@@ -1,0 +1,27 @@
+//! Criterion form of Figure 11: SimpleScalar vs FastSim (no memo) vs
+//! FastSim (memo) on three representative workloads.
+
+use bench::{run_fastsim, run_simplescalar, workload_image};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for name in ["129.compress", "126.gcc", "101.tomcatv"] {
+        let w = facile_workloads::by_name(name).unwrap();
+        let image = workload_image(&w, 0.02);
+        g.bench_with_input(BenchmarkId::new("simplescalar", name), &image, |b, img| {
+            b.iter(|| run_simplescalar(img).cycles)
+        });
+        g.bench_with_input(BenchmarkId::new("fastsim_nomemo", name), &image, |b, img| {
+            b.iter(|| run_fastsim(img, false, None).cycles)
+        });
+        g.bench_with_input(BenchmarkId::new("fastsim_memo", name), &image, |b, img| {
+            b.iter(|| run_fastsim(img, true, None).cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion form of Figure 12: the Facile OOO simulator with and
+//! without fast-forwarding. The compiled step function is shared; each
+//! iteration runs a fresh simulation (fresh action cache).
+
+use bench::{compile_facile, run_facile, workload_image, FacileSim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig12(c: &mut Criterion) {
+    let step = compile_facile(FacileSim::Ooo);
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for name in ["129.compress", "101.tomcatv"] {
+        let w = facile_workloads::by_name(name).unwrap();
+        let image = workload_image(&w, 0.02);
+        g.bench_with_input(BenchmarkId::new("facile_nomemo", name), &image, |b, img| {
+            b.iter(|| run_facile(&step, FacileSim::Ooo, img, false, None).cycles)
+        });
+        g.bench_with_input(BenchmarkId::new("facile_memo", name), &image, |b, img| {
+            b.iter(|| run_facile(&step, FacileSim::Ooo, img, true, None).cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

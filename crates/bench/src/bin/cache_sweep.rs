@@ -1,0 +1,44 @@
+//! §6.2's cache-capacity claim: "cache size can be reduced by a factor
+//! of ten, with little impact on memoized simulator performance" under
+//! the clear-on-full policy.
+//!
+//! Usage: cache_sweep [--scale F] [--bench NAME]
+
+use bench::*;
+
+fn main() {
+    let scale = arg_f64("--scale", 1.0);
+    let name = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--bench")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "134.perl".into());
+    let w = facile_workloads::by_name(&name).expect("workload exists");
+    let step = compile_facile(FacileSim::Ooo);
+    let image = workload_image(&w, scale);
+
+    // Establish the unbounded footprint first.
+    let unbounded = run_facile(&step, FacileSim::Ooo, &image, true, None);
+    println!(
+        "{}: {} insns, unbounded cache {:.1} MiB, {} i/s\n",
+        w.name,
+        unbounded.insns,
+        unbounded.memo_bytes as f64 / (1 << 20) as f64,
+        fmt_rate(unbounded.sim_ips())
+    );
+    println!("{:>12} {:>8} {:>10} {:>10} {:>10}", "cap", "clears", "i/s", "rel", "ff%");
+    for div in [1u64, 2, 4, 10, 20, 50] {
+        let cap = (unbounded.memo_bytes / div).max(64 * 1024);
+        let r = run_facile(&step, FacileSim::Ooo, &image, true, Some(cap));
+        assert_eq!(r.cycles, unbounded.cycles, "capacity must not change results");
+        println!(
+            "{:>9}KiB {:>8} {:>10} {:>10.2} {:>10.3}",
+            cap >> 10,
+            r.clears,
+            fmt_rate(r.sim_ips()),
+            r.sim_ips() / unbounded.sim_ips(),
+            100.0 * r.fast_fraction,
+        );
+    }
+}

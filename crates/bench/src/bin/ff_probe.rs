@@ -1,0 +1,28 @@
+//! Fast-forward fraction vs run length (calibration; not a paper artifact).
+use bench::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "go".into());
+    let w = facile_workloads::by_name(&name).unwrap();
+    for scale in [0.25, 1.0, 3.0] {
+        let image = workload_image(&w, scale);
+        let r = run_fastsim(&image, true, None);
+        println!(
+            "fastsim scale {scale}: {} insns, ff {:.5}, {:.1} MiB, {} i/s",
+            r.insns,
+            r.fast_fraction,
+            r.memo_bytes as f64 / (1 << 20) as f64,
+            fmt_rate(r.sim_ips())
+        );
+    }
+    let ooo = compile_facile(FacileSim::Ooo);
+    let image = workload_image(&w, 1.0);
+    let r = run_facile(&ooo, FacileSim::Ooo, &image, true, None);
+    println!(
+        "facile  scale 1.0: {} insns, ff {:.5}, {:.1} MiB, {} i/s",
+        r.insns,
+        r.fast_fraction,
+        r.memo_bytes as f64 / (1 << 20) as f64,
+        fmt_rate(r.sim_ips())
+    );
+}

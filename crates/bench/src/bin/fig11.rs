@@ -1,0 +1,56 @@
+//! Figure 11: FastSim (hand-coded memoization) with and without
+//! memoization vs. SimpleScalar — simulated instructions per second for
+//! every synthetic SPEC95 workload.
+//!
+//! Paper expectations (shape, not absolute MIPS): FastSim without
+//! memoization runs 1.1–2.1x faster than SimpleScalar; with memoization
+//! it is fastest, by a margin that grows with the workload's locality
+//! (the paper reports 8.5–14.7x vs SimpleScalar on 1990s hosts; see
+//! EXPERIMENTS.md for why the magnitude is host-dependent).
+//!
+//! Usage: fig11 [--scale F]   (default 1.0)
+
+use bench::*;
+
+fn main() {
+    let scale = arg_f64("--scale", 1.0);
+    println!("Figure 11: hand-coded fast-forwarding (FastSim role) vs SimpleScalar");
+    println!("workload scale: {scale}\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "benchmark", "insns", "ss i/s", "fs- i/s", "fs+ i/s", "fs-/ss", "fs+/fs-", "ff%"
+    );
+    let mut ratios_no = Vec::new();
+    let mut ratios_memo = Vec::new();
+    for w in facile_workloads::suite() {
+        let image = workload_image(&w, scale);
+        let ss = run_simplescalar(&image);
+        let fs_no = run_fastsim(&image, false, None);
+        let fs_yes = run_fastsim(&image, true, None);
+        assert_eq!(ss.insns, fs_no.insns);
+        assert_eq!(fs_no.cycles, fs_yes.cycles, "memoization must be exact");
+        let r_no = fs_no.sim_ips() / ss.sim_ips();
+        let r_memo = fs_yes.sim_ips() / fs_no.sim_ips();
+        ratios_no.push(r_no);
+        ratios_memo.push(r_memo);
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>10} {:>8.2} {:>8.2} {:>8.3}",
+            w.name,
+            ss.insns,
+            fmt_rate(ss.sim_ips()),
+            fmt_rate(fs_no.sim_ips()),
+            fmt_rate(fs_yes.sim_ips()),
+            r_no,
+            r_memo,
+            100.0 * fs_yes.fast_fraction,
+        );
+    }
+    println!(
+        "\nharmonic means: fastsim-no-memo/simplescalar = {:.2} (paper: 1.1-2.1)",
+        harmonic_mean(&ratios_no)
+    );
+    println!(
+        "                fastsim+memo/fastsim-no-memo = {:.2} (paper: 4.9-11.9)",
+        harmonic_mean(&ratios_memo)
+    );
+}

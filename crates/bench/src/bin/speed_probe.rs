@@ -1,0 +1,25 @@
+//! Quick calibration probe: raw simulation rates of every engine on one
+//! workload, used to pick harness scales. Not a paper artifact.
+
+use bench::*;
+
+fn main() {
+    let scale = arg_f64("--scale", 0.05);
+    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".into());
+    let w = facile_workloads::by_name(&name).unwrap();
+    let image = workload_image(&w, scale);
+
+    let ss = run_simplescalar(&image);
+    println!("simplescalar : {} insns, {} i/s", ss.insns, fmt_rate(ss.sim_ips()));
+    let fs0 = run_fastsim(&image, false, None);
+    println!("fastsim -memo: {} insns, {} i/s", fs0.insns, fmt_rate(fs0.sim_ips()));
+    let fs1 = run_fastsim(&image, true, None);
+    println!("fastsim +memo: {} insns, {} i/s (ff {:.4})", fs1.insns, fmt_rate(fs1.sim_ips()), fs1.fast_fraction);
+
+    let ooo = compile_facile(FacileSim::Ooo);
+    let f0 = run_facile(&ooo, FacileSim::Ooo, &image, false, None);
+    println!("facile  -memo: {} insns, {} i/s", f0.insns, fmt_rate(f0.sim_ips()));
+    let f1 = run_facile(&ooo, FacileSim::Ooo, &image, true, None);
+    println!("facile  +memo: {} insns, {} i/s (ff {:.4}, {} KiB memo)", f1.insns, fmt_rate(f1.sim_ips()), f1.fast_fraction, f1.memo_bytes / 1024);
+    println!("cycles: ss {}, fastsim {}, facile {}", ss.cycles, fs1.cycles, f1.cycles);
+}

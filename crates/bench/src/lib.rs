@@ -1,0 +1,170 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each table/figure has a binary under `src/bin/` (see DESIGN.md §4 for
+//! the experiment index); Criterion benches under `benches/` measure the
+//! same configurations with statistical rigor. This library holds the
+//! runners they share.
+
+use facile::hosts::{initial_args, ArchHost};
+use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
+use facile_runtime::Image;
+use facile_workloads::Workload;
+use std::time::{Duration, Instant};
+
+/// Result of one measured simulator run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunResult {
+    /// Retired target instructions.
+    pub insns: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Host wall-clock time.
+    pub wall: Duration,
+    /// Fraction of instructions fast-forwarded (0 for non-memoizing).
+    pub fast_fraction: f64,
+    /// Bytes ever memoized.
+    pub memo_bytes: u64,
+    /// Cache/memo clear events.
+    pub clears: u64,
+}
+
+impl RunResult {
+    /// Simulated target instructions per host second.
+    pub fn sim_ips(&self) -> f64 {
+        self.insns as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Upper bound on simulated instructions per run (safety net; workloads
+/// halt on their own).
+pub const MAX_INSNS: u64 = 2_000_000_000;
+
+/// Runs the SimpleScalar-role conventional simulator.
+pub fn run_simplescalar(image: &Image) -> RunResult {
+    let mut sim = simplescalar::SimpleScalar::new(image, simplescalar::Config::default());
+    let t0 = Instant::now();
+    sim.run(MAX_INSNS);
+    let wall = t0.elapsed();
+    assert!(sim.halted(), "workload did not halt under simplescalar");
+    RunResult {
+        insns: sim.stats.insns,
+        cycles: sim.stats.cycles,
+        wall,
+        fast_fraction: 0.0,
+        memo_bytes: 0,
+        clears: 0,
+    }
+}
+
+/// Runs the hand-coded memoizing simulator (FastSim role).
+pub fn run_fastsim(image: &Image, memoize: bool, capacity: Option<u64>) -> RunResult {
+    let mut sim = fastsim::FastSim::new(image, memoize, capacity);
+    let t0 = Instant::now();
+    sim.run(MAX_INSNS);
+    let wall = t0.elapsed();
+    assert!(sim.halted(), "workload did not halt under fastsim");
+    RunResult {
+        insns: sim.stats.insns,
+        cycles: sim.stats.cycles,
+        wall,
+        fast_fraction: sim.stats.fast_forwarded_fraction(),
+        memo_bytes: sim.memo_stats().bytes_total,
+        clears: sim.memo_stats().clears,
+    }
+}
+
+/// Which shipped Facile simulator to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FacileSim {
+    /// `functional.fac`
+    Functional,
+    /// `inorder.fac`
+    Inorder,
+    /// `ooo.fac`
+    Ooo,
+}
+
+/// Compiles a shipped Facile simulator once (reusable across runs).
+pub fn compile_facile(which: FacileSim) -> facile::CompiledStep {
+    let src = match which {
+        FacileSim::Functional => facile::sims::functional_source(),
+        FacileSim::Inorder => facile::sims::inorder_source(),
+        FacileSim::Ooo => facile::sims::ooo_source(),
+    };
+    compile_source(&src, &CompilerOptions::default()).expect("shipped simulator compiles")
+}
+
+/// Runs a compiled Facile simulator over an image.
+pub fn run_facile(
+    step: &facile::CompiledStep,
+    which: FacileSim,
+    image: &Image,
+    memoize: bool,
+    capacity: Option<u64>,
+) -> RunResult {
+    let args = match which {
+        FacileSim::Functional => initial_args::functional(image.entry),
+        FacileSim::Inorder => initial_args::inorder(image.entry),
+        FacileSim::Ooo => initial_args::ooo(image.entry),
+    };
+    let mut sim = Simulation::new(
+        step.clone(),
+        Target::load(image),
+        &args,
+        SimOptions {
+            memoize,
+            cache_capacity: capacity,
+        },
+    )
+    .expect("simulation constructs");
+    ArchHost::new().bind(&mut sim).expect("externals bind");
+    let t0 = Instant::now();
+    sim.run_steps(MAX_INSNS);
+    let wall = t0.elapsed();
+    assert!(
+        sim.halted().is_some(),
+        "workload did not halt under the facile simulator"
+    );
+    let cs = sim.cache_stats();
+    RunResult {
+        insns: sim.stats().insns,
+        cycles: sim.stats().cycles,
+        wall,
+        fast_fraction: sim.stats().fast_forwarded_fraction(),
+        memo_bytes: cs.bytes_total,
+        clears: cs.clears,
+    }
+}
+
+/// Builds the image of a workload at the given scale.
+pub fn workload_image(w: &Workload, scale: f64) -> Image {
+    facile_workloads::build_image(w, scale)
+}
+
+/// Formats a rate as "N.NN M/s".
+pub fn fmt_rate(ips: f64) -> String {
+    if ips >= 1e6 {
+        format!("{:7.2}M", ips / 1e6)
+    } else {
+        format!("{:7.1}k", ips / 1e3)
+    }
+}
+
+/// Harmonic mean of positive values.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    if values.is_empty() {
+        return 0.0;
+    }
+    n / values.iter().map(|v| 1.0 / v.max(1e-12)).sum::<f64>()
+}
+
+/// Reads a `--scale <f64>` style argument with a default.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

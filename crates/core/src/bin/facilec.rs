@@ -1,0 +1,246 @@
+//! `facilec` — the Facile compiler driver.
+//!
+//! Compiles a Facile simulator description and reports or dumps the
+//! results of each phase:
+//!
+//! ```text
+//! facilec sim.fac                  # check + summary statistics
+//! facilec sim.fac --emit ast       # canonical pretty-printed source
+//! facilec sim.fac --emit ir        # lowered IR (after folding + lifts)
+//! facilec sim.fac --emit bta       # per-block binding-time labels
+//! facilec sim.fac --emit actions   # the fast engine's action table
+//! facilec --builtin ooo --emit stats
+//! ```
+//!
+//! `--builtin functional|inorder|ooo` compiles a shipped simulator
+//! instead of a file. `--run <prog.asm> [--steps N]` additionally
+//! assembles a TRISC program, binds the standard micro-architecture
+//! components and simulates it, reporting the statistics.
+
+use facile::{compile_source, CompilerOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut builtin: Option<String> = None;
+    let mut emit = "stats".to_owned();
+    let mut run: Option<String> = None;
+    let mut steps: u64 = u64::MAX >> 1;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--emit" => {
+                i += 1;
+                emit = args.get(i).cloned().unwrap_or_default();
+            }
+            "--builtin" => {
+                i += 1;
+                builtin = args.get(i).cloned();
+            }
+            "--run" => {
+                i += 1;
+                run = args.get(i).cloned();
+            }
+            "--steps" => {
+                i += 1;
+                steps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(u64::MAX >> 1);
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: facilec <file.fac> [--emit ast|ir|bta|actions|stats]");
+                eprintln!("       facilec --builtin functional|inorder|ooo [--emit ...]");
+                eprintln!("       facilec --builtin ooo --run prog.asm [--steps N]");
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => file = Some(f.to_owned()),
+            other => {
+                eprintln!("facilec: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let src = match (&file, &builtin) {
+        (Some(f), None) => match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("facilec: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(b)) => match b.as_str() {
+            "functional" => facile::sims::functional_source(),
+            "inorder" => facile::sims::inorder_source(),
+            "ooo" => facile::sims::ooo_source(),
+            other => {
+                eprintln!("facilec: unknown builtin `{other}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: facilec <file.fac> | --builtin <name> [--emit ...]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if emit == "ast" {
+        let mut diags = facile::Diagnostics::new();
+        let program = facile_lang::parse(&src, &mut diags);
+        if diags.has_errors() {
+            eprintln!("{}", diags.render_all(&src));
+            return ExitCode::FAILURE;
+        }
+        print!("{}", facile_lang::pretty::print_program(&program));
+        return ExitCode::SUCCESS;
+    }
+
+    let step = match compile_source(&src, &CompilerOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(prog) = run {
+        return run_target(step, &builtin, &prog, steps);
+    }
+
+    match emit.as_str() {
+        "ir" => print!("{}", step.ir.main),
+        "bta" => {
+            for &b in &step.bta.order {
+                println!("bb{}:", b.0);
+                for (i, inst) in step.ir.main.blocks[b.index()].insts.iter().enumerate() {
+                    let label = if step.bta.inst_dynamic[b.index()][i] {
+                        "dyn"
+                    } else {
+                        "rt "
+                    };
+                    println!("    [{label}] {inst}");
+                }
+                let t = if step.bta.term_dynamic[b.index()] {
+                    "dyn"
+                } else {
+                    "rt "
+                };
+                println!("    [{t}] {}", step.ir.main.blocks[b.index()].term);
+            }
+        }
+        "actions" => {
+            for (i, a) in step.actions.iter().enumerate() {
+                println!("action {i}: {:?} ({} ops)", kind_name(&a.kind), a.ops.len());
+                for op in &a.ops {
+                    println!("    {op:?}");
+                }
+            }
+        }
+        "stats" => {
+            let dynamic: usize = step
+                .bta
+                .order
+                .iter()
+                .map(|b| {
+                    step.bta.inst_dynamic[b.index()]
+                        .iter()
+                        .filter(|d| **d)
+                        .count()
+                })
+                .sum();
+            println!("blocks (reachable): {}", step.bta.order.len());
+            println!("actions:            {}", step.action_count());
+            println!("dynamic insts:      {dynamic}");
+            println!(
+                "rt-static fraction: {:.3}",
+                step.rt_static_fraction()
+            );
+        }
+        other => {
+            eprintln!("facilec: unknown emit kind `{other}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Assembles and simulates a TRISC program under the compiled simulator.
+fn run_target(
+    step: facile::CompiledStep,
+    builtin: &Option<String>,
+    prog: &str,
+    steps: u64,
+) -> ExitCode {
+    use facile::hosts::{initial_args, ArchHost};
+    use facile::{SimOptions, Simulation, Target};
+
+    let asm = match std::fs::read_to_string(prog) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("facilec: cannot read {prog}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let image = match facile_isa::assemble_image(&asm, 0x1_0000, vec![]) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("facilec: {prog}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = match builtin.as_deref() {
+        Some("inorder") => initial_args::inorder(image.entry),
+        Some("ooo") => initial_args::ooo(image.entry),
+        _ => initial_args::functional(image.entry),
+    };
+    let mut sim = match Simulation::new(step, Target::load(&image), &args, SimOptions::default())
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("facilec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = ArchHost::new().bind(&mut sim) {
+        eprintln!("facilec: {e}");
+        return ExitCode::FAILURE;
+    }
+    let t0 = std::time::Instant::now();
+    let halt = sim.run_steps(steps);
+    let wall = t0.elapsed();
+    println!("halted:      {halt:?}");
+    println!("insns:       {}", sim.stats().insns);
+    println!("cycles:      {}", sim.stats().cycles);
+    println!(
+        "ipc:         {:.3}",
+        sim.stats().insns as f64 / sim.stats().cycles.max(1) as f64
+    );
+    println!(
+        "fast-fwd:    {:.3}%",
+        100.0 * sim.stats().fast_forwarded_fraction()
+    );
+    println!(
+        "memoized:    {} KiB in {} nodes",
+        sim.cache_stats().bytes_total >> 10,
+        sim.cache_stats().nodes_created
+    );
+    println!(
+        "sim speed:   {:.0} insn/s",
+        sim.stats().insns as f64 / wall.as_secs_f64()
+    );
+    if !sim.trace().is_empty() {
+        println!("out:         {:?}", sim.trace());
+    }
+    ExitCode::SUCCESS
+}
+
+fn kind_name(kind: &facile_codegen::ActionKind) -> &'static str {
+    match kind {
+        facile_codegen::ActionKind::Plain => "plain",
+        facile_codegen::ActionKind::Test { .. } => "test",
+        facile_codegen::ActionKind::Index { .. } => "index",
+    }
+}

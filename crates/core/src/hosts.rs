@@ -1,0 +1,113 @@
+//! Host-side wiring for the shipped simulators.
+//!
+//! The in-order and out-of-order Facile simulators declare external
+//! functions for the branch predictor and the cache hierarchy (the
+//! paper's un-memoized components). [`ArchHost`] owns those components —
+//! implemented in `facile-arch` — and binds them to a
+//! [`crate::Simulation`].
+
+use crate::{SimError, Simulation};
+use facile_arch::bpred::{BranchPredictor, Btb, Gshare};
+use facile_arch::cache::Hierarchy;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The micro-architecture components shared between the externals of one
+/// simulation: a two-level cache hierarchy, a gshare branch predictor and
+/// a BTB for indirect jumps.
+#[derive(Clone)]
+pub struct ArchHost {
+    /// Cache hierarchy (instruction + data).
+    pub hierarchy: Rc<RefCell<Hierarchy>>,
+    /// Direction predictor.
+    pub predictor: Rc<RefCell<Gshare>>,
+    /// Branch target buffer.
+    pub btb: Rc<RefCell<Btb>>,
+}
+
+impl ArchHost {
+    /// Components with the workspace-standard configuration (32 KiB L1s,
+    /// 512 KiB L2, 4 K-entry gshare, 512-entry BTB).
+    pub fn new() -> ArchHost {
+        ArchHost {
+            hierarchy: Rc::new(RefCell::new(Hierarchy::new())),
+            predictor: Rc::new(RefCell::new(Gshare::new(4096, 10))),
+            btb: Rc::new(RefCell::new(Btb::new(512))),
+        }
+    }
+
+    /// Binds every external the simulator declares; externals a simulator
+    /// does not declare (e.g. the in-order model has no branch predictor)
+    /// are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding failures other than unknown names.
+    pub fn bind(&self, sim: &mut Simulation) -> Result<(), SimError> {
+        let tolerate = |r: Result<(), SimError>| match r {
+            Err(SimError::UnknownExternal(_)) => Ok(()),
+            other => other,
+        };
+        let h = self.hierarchy.clone();
+        tolerate(sim.bind_external("icache", move |args| {
+            h.borrow_mut().inst_access(args[0] as u64) as i64
+        }))?;
+        let h = self.hierarchy.clone();
+        tolerate(sim.bind_external("dcache", move |args| {
+            h.borrow_mut().data_access(args[0] as u64, args[1] != 0) as i64
+        }))?;
+        let p = self.predictor.clone();
+        tolerate(sim.bind_external("bp_predict", move |args| {
+            p.borrow_mut().predict(args[0] as u64) as i64
+        }))?;
+        let p = self.predictor.clone();
+        tolerate(sim.bind_external("bp_update", move |args| {
+            p.borrow_mut().update(args[0] as u64, args[1] != 0);
+            0
+        }))?;
+        let b = self.btb.clone();
+        tolerate(sim.bind_external("btb_lookup", move |args| {
+            let (pc, actual) = (args[0] as u64, args[1] as u64);
+            let hit = b.borrow().predict(pc) == Some(actual);
+            b.borrow_mut().update(pc, actual);
+            hit as i64
+        }))?;
+        Ok(())
+    }
+}
+
+impl Default for ArchHost {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Initial `main` arguments for each shipped simulator, given the target
+/// entry point.
+pub mod initial_args {
+    use crate::ArgValue;
+
+    /// `functional.fac`: `(pc)`.
+    pub fn functional(entry: u64) -> Vec<ArgValue> {
+        vec![ArgValue::Scalar(entry as i64)]
+    }
+
+    /// `inorder.fac`: `(reservation table, pc)`.
+    pub fn inorder(entry: u64) -> Vec<ArgValue> {
+        vec![ArgValue::Queue(vec![0; 32]), ArgValue::Scalar(entry as i64)]
+    }
+
+    /// `ooo.fac`: `(wd, woff1, woff2, wlat, wst, wcls, slot, pc)`.
+    pub fn ooo(entry: u64) -> Vec<ArgValue> {
+        vec![
+            ArgValue::Queue(vec![0; 32]),
+            ArgValue::Queue(vec![]),
+            ArgValue::Queue(vec![]),
+            ArgValue::Queue(vec![]),
+            ArgValue::Queue(vec![]),
+            ArgValue::Queue(vec![]),
+            ArgValue::Scalar(0),
+            ArgValue::Scalar(entry as i64),
+        ]
+    }
+}

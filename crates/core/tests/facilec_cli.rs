@@ -1,0 +1,60 @@
+//! Smoke tests of the `facilec` driver binary.
+
+use std::process::Command;
+
+fn facilec(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_facilec"))
+        .args(args)
+        .output()
+        .expect("facilec runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn stats_for_builtin_ooo() {
+    let (ok, stdout, stderr) = facilec(&["--builtin", "ooo", "--emit", "stats"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("actions:"), "{stdout}");
+    assert!(stdout.contains("rt-static fraction:"), "{stdout}");
+}
+
+#[test]
+fn ast_round_trips_through_facilec() {
+    let dir = std::env::temp_dir().join("facilec_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.fac");
+    std::fs::write(&path, "fun main(x : int) { next(x + 1); }\n").unwrap();
+    let (ok, stdout, stderr) = facilec(&[path.to_str().unwrap(), "--emit", "ast"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("fun main(x : int)"), "{stdout}");
+}
+
+#[test]
+fn bta_labels_are_emitted() {
+    let (ok, stdout, _) = facilec(&["--builtin", "functional", "--emit", "bta"]);
+    assert!(ok);
+    assert!(stdout.contains("[rt ]"), "some rt-static labels exist");
+    assert!(stdout.contains("[dyn]"), "some dynamic labels exist");
+}
+
+#[test]
+fn compile_errors_are_reported_with_location() {
+    let dir = std::env::temp_dir().join("facilec_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.fac");
+    std::fs::write(&path, "fun main(x : int) { next(nothere); }\n").unwrap();
+    let (ok, _, stderr) = facilec(&[path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("undefined variable"), "{stderr}");
+}
+
+#[test]
+fn unknown_builtin_fails() {
+    let (ok, _, stderr) = facilec(&["--builtin", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown builtin"));
+}

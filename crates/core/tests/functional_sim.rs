@@ -1,0 +1,228 @@
+//! Differential tests: the Facile functional simulator vs. the golden
+//! TRISC interpreter, with and without fast-forwarding.
+
+use facile::{compile_source, ArgValue, CompilerOptions, SimOptions, Simulation, Target};
+use facile_isa::asm::assemble_image;
+use facile_isa::interp::Cpu;
+
+fn run_facile(asm: &str, memoize: bool, max_steps: u64) -> Simulation {
+    let image = assemble_image(asm, 0x1_0000, vec![]).expect("assembles");
+    let step = compile_source(&facile::sims::functional_source(), &CompilerOptions::default())
+        .expect("functional simulator compiles");
+    let mut sim = Simulation::new(
+        step,
+        Target::load(&image),
+        &[ArgValue::Scalar(image.entry as i64)],
+        SimOptions {
+            memoize,
+            cache_capacity: None,
+        },
+    )
+    .expect("simulation constructs");
+    sim.run_steps(max_steps);
+    sim
+}
+
+fn run_golden(asm: &str, max: u64) -> Cpu {
+    let image = assemble_image(asm, 0x1_0000, vec![]).expect("assembles");
+    let mut target = Target::load(&image);
+    let mut cpu = Cpu::new(&target);
+    cpu.run(&mut target, max);
+    cpu
+}
+
+/// Checks Facile (both modes) against the golden interpreter.
+fn differential(asm: &str, max_steps: u64) -> Simulation {
+    let golden = run_golden(asm, max_steps);
+    let fast = run_facile(asm, true, max_steps);
+    let slow = run_facile(asm, false, max_steps);
+    assert_eq!(fast.stats().insns, golden.insns, "fast vs golden insns");
+    assert_eq!(slow.stats().insns, golden.insns, "slow vs golden insns");
+    assert_eq!(fast.trace(), golden.out.as_slice(), "fast vs golden out");
+    assert_eq!(slow.trace(), golden.out.as_slice(), "slow vs golden out");
+    fast
+}
+
+#[test]
+fn straight_line_arithmetic() {
+    differential(
+        "addi r1, r0, 12\n\
+         addi r2, r0, 30\n\
+         add r3, r1, r2\n\
+         sub r4, r3, r1\n\
+         mul r5, r4, r2\n\
+         out r5\n\
+         halt\n",
+        100,
+    );
+}
+
+#[test]
+fn counted_loop_fast_forwards() {
+    let sim = differential(
+        "addi r1, r0, 200\n\
+         addi r2, r0, 0\n\
+         loop: add r2, r2, r1\n\
+         addi r1, r1, -1\n\
+         bne r1, r0, loop\n\
+         out r2\n\
+         halt\n",
+        10_000,
+    );
+    // 200 iterations of a 3-instruction loop: nearly everything replays.
+    assert!(
+        sim.stats().fast_forwarded_fraction() > 0.95,
+        "fraction = {}",
+        sim.stats().fast_forwarded_fraction()
+    );
+}
+
+#[test]
+fn memory_and_bytes() {
+    differential(
+        "lui r10, 2\n\
+         addi r1, r0, 1000\n\
+         addi r3, r0, 10\n\
+         fill: st r1, 0(r10)\n\
+         stb r3, 512(r10)\n\
+         addi r10, r10, 8\n\
+         addi r3, r3, -1\n\
+         bne r3, r0, fill\n\
+         lui r10, 2\n\
+         ld r4, 16(r10)\n\
+         ldb r5, 528(r10)\n\
+         out r4\n\
+         out r5\n\
+         halt\n",
+        10_000,
+    );
+}
+
+#[test]
+fn call_return_and_indirect_jumps() {
+    differential(
+        "addi r1, r0, 3\n\
+         again: jal double\n\
+         addi r1, r1, -1\n\
+         bne r1, r0, again\n\
+         out r2\n\
+         halt\n\
+         double: add r2, r2, r2\n\
+         addi r2, r2, 1\n\
+         jalr r0, r31\n",
+        10_000,
+    );
+}
+
+#[test]
+fn shifts_and_logic() {
+    differential(
+        "addi r1, r0, -8\n\
+         srai r2, r1, 1\n\
+         srli r3, r1, 60\n\
+         slli r4, r1, 2\n\
+         addi r5, r0, 3\n\
+         sra r6, r1, r5\n\
+         srl r7, r1, r5\n\
+         sll r8, r1, r5\n\
+         out r2\n out r3\n out r4\n out r6\n out r7\n out r8\n\
+         andi r9, r1, 0xF0\n\
+         ori r10, r9, 0x0F\n\
+         xori r11, r10, -1\n\
+         out r9\n out r10\n out r11\n\
+         halt\n",
+        100,
+    );
+}
+
+#[test]
+fn floating_point_kernel() {
+    differential(
+        "addi r1, r0, 1\n\
+         addi r2, r0, 50\n\
+         i2f r10, r0\n\
+         i2f r11, r1\n\
+         sum: i2f r12, r1\n\
+         fdiv r13, r11, r12\n\
+         fadd r10, r10, r13\n\
+         addi r1, r1, 1\n\
+         blt r1, r2, sum\n\
+         fmul r14, r10, r10\n\
+         f2i r15, r14\n\
+         out r15\n\
+         flt r16, r11, r10\n\
+         out r16\n\
+         halt\n",
+        10_000,
+    );
+}
+
+#[test]
+fn nested_loops_with_data_dependent_branches() {
+    let sim = differential(
+        "addi r1, r0, 0      ; i\n\
+         addi r9, r0, 20     ; N\n\
+         outer: addi r2, r0, 0\n\
+         inner: add r3, r1, r2\n\
+         andi r4, r3, 1\n\
+         beq r4, r0, even\n\
+         addi r5, r5, 3\n\
+         beq r0, r0, join\n\
+         even: addi r5, r5, 1\n\
+         join: addi r2, r2, 1\n\
+         blt r2, r9, inner\n\
+         addi r1, r1, 1\n\
+         blt r1, r9, outer\n\
+         out r5\n\
+         halt\n",
+        100_000,
+    );
+    assert!(sim.stats().fast_forwarded_fraction() > 0.9);
+}
+
+#[test]
+fn division_by_zero_semantics_match() {
+    differential(
+        "addi r1, r0, 42\n\
+         div r2, r1, r0\n\
+         rem r3, r1, r0\n\
+         out r2\n out r3\n\
+         halt\n",
+        100,
+    );
+}
+
+#[test]
+fn r0_writes_ignored_in_facile_too() {
+    differential(
+        "addi r0, r0, 5\n\
+         add r0, r1, r1\n\
+         out r0\n\
+         halt\n",
+        100,
+    );
+}
+
+#[test]
+fn memoization_reuses_the_action_cache() {
+    let sim = run_facile(
+        "addi r1, r0, 1000\n\
+         spin: addi r1, r1, -1\n\
+         bne r1, r0, spin\n\
+         halt\n",
+        true,
+        100_000,
+    );
+    let cs = sim.cache_stats();
+    // Two entries dominate (the loop body and header); nodes stay small.
+    assert!(cs.entries_created < 20, "{cs:?}");
+    assert_eq!(sim.stats().insns, 2002);
+    assert!(sim.stats().fast_forwarded_fraction() > 0.99);
+}
+
+#[test]
+fn line_counts_report() {
+    let counts = facile::sims::line_counts();
+    let trisc = counts.iter().find(|(n, _)| n.starts_with("trisc")).unwrap();
+    assert!(trisc.1 > 80, "ISA description should be substantial");
+}

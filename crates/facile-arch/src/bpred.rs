@@ -1,0 +1,272 @@
+//! Branch predictors.
+//!
+//! These are the *external, un-memoized* components of the paper's
+//! simulators ("the branch predictor and cache simulator are not
+//! memoized", §6.2): the Facile out-of-order model calls them through
+//! `ext fun`, and the hand-coded simulators (`simplescalar`, `fastsim`)
+//! use them natively. All predictors are deterministic, so simulator runs
+//! are exactly reproducible.
+
+/// Direction predictor interface.
+pub trait BranchPredictor {
+    /// Predicts whether the branch at `pc` is taken.
+    fn predict(&mut self, pc: u64) -> bool;
+    /// Trains with the resolved outcome.
+    fn update(&mut self, pc: u64, taken: bool);
+    /// Resets all state.
+    fn reset(&mut self);
+}
+
+/// Always predicts taken (the paper-era static baseline).
+#[derive(Clone, Debug, Default)]
+pub struct StaticTaken;
+
+impl BranchPredictor for StaticTaken {
+    fn predict(&mut self, _pc: u64) -> bool {
+        true
+    }
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+    fn reset(&mut self) {}
+}
+
+/// Bimodal predictor: a table of 2-bit saturating counters indexed by PC.
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: Vec<u8>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `entries` counters (rounded up to a power
+    /// of two).
+    pub fn new(entries: usize) -> Bimodal {
+        let n = entries.next_power_of_two().max(2);
+        Bimodal {
+            table: vec![1; n], // weakly not-taken
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.table[self.index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.table[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.table.iter_mut().for_each(|c| *c = 1);
+    }
+}
+
+/// Two-level gshare predictor: global history xor PC indexes a pattern
+/// history table of 2-bit counters.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    pht: Vec<u8>,
+    ghr: u64,
+    history_bits: u32,
+    mask: u64,
+}
+
+impl Gshare {
+    /// Creates a gshare with `entries` counters and `history_bits` of
+    /// global history.
+    pub fn new(entries: usize, history_bits: u32) -> Gshare {
+        let n = entries.next_power_of_two().max(2);
+        Gshare {
+            pht: vec![1; n],
+            ghr: 0,
+            history_bits: history_bits.min(63),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.ghr) & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for Gshare {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.pht[self.index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.pht[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.ghr = ((self.ghr << 1) | taken as u64) & ((1 << self.history_bits) - 1);
+    }
+
+    fn reset(&mut self) {
+        self.pht.iter_mut().for_each(|c| *c = 1);
+        self.ghr = 0;
+    }
+}
+
+/// A branch target buffer for indirect jumps (`jalr`): last-target
+/// prediction.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    entries: Vec<(u64, u64)>,
+    mask: u64,
+}
+
+impl Btb {
+    /// Creates a direct-mapped BTB with `entries` slots.
+    pub fn new(entries: usize) -> Btb {
+        let n = entries.next_power_of_two().max(2);
+        Btb {
+            entries: vec![(u64::MAX, 0); n],
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Predicted target for the jump at `pc`, if a tag match exists.
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        let (tag, target) = self.entries[((pc >> 2) & self.mask) as usize];
+        (tag == pc).then_some(target)
+    }
+
+    /// Records a resolved target.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = ((pc >> 2) & self.mask) as usize;
+        self.entries[i] = (pc, target);
+    }
+
+    /// Resets all entries.
+    pub fn reset(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = (u64::MAX, 0));
+    }
+}
+
+/// Prediction accuracy counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BpredStats {
+    /// Branches predicted.
+    pub lookups: u64,
+    /// Correct direction predictions.
+    pub hits: u64,
+}
+
+impl BpredStats {
+    /// Records one prediction result.
+    pub fn record(&mut self, correct: bool) {
+        self.lookups += 1;
+        if correct {
+            self.hits += 1;
+        }
+    }
+
+    /// Direction prediction accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..4 {
+            p.update(0x100, true);
+        }
+        assert!(p.predict(0x100));
+        for _ in 0..4 {
+            p.update(0x100, false);
+        }
+        assert!(!p.predict(0x100));
+    }
+
+    #[test]
+    fn bimodal_counters_saturate() {
+        let mut p = Bimodal::new(8);
+        for _ in 0..100 {
+            p.update(0, true);
+        }
+        // One not-taken shouldn't flip a saturated counter.
+        p.update(0, false);
+        assert!(p.predict(0));
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        let mut p = Gshare::new(1024, 8);
+        // Train a strict alternation; gshare should learn it, bimodal
+        // cannot.
+        let mut correct = 0;
+        let mut taken = false;
+        for i in 0..2000 {
+            taken = !taken;
+            let pred = p.predict(0x40);
+            if i >= 1000 && pred == taken {
+                correct += 1;
+            }
+            p.update(0x40, taken);
+        }
+        assert!(correct > 950, "gshare got {correct}/1000");
+    }
+
+    #[test]
+    fn btb_last_target() {
+        let mut b = Btb::new(16);
+        assert_eq!(b.predict(0x80), None);
+        b.update(0x80, 0x4000);
+        assert_eq!(b.predict(0x80), Some(0x4000));
+        b.update(0x80, 0x5000);
+        assert_eq!(b.predict(0x80), Some(0x5000));
+    }
+
+    #[test]
+    fn btb_conflicts_evict() {
+        let mut b = Btb::new(2);
+        b.update(0x0, 1);
+        b.update(0x8, 2); // same set on a 2-entry BTB
+        assert_eq!(b.predict(0x0), None);
+        assert_eq!(b.predict(0x8), Some(2));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut p = Gshare::new(64, 6);
+        for _ in 0..10 {
+            p.update(4, true);
+        }
+        p.reset();
+        assert!(!p.predict(4));
+    }
+
+    #[test]
+    fn stats_accuracy() {
+        let mut s = BpredStats::default();
+        s.record(true);
+        s.record(true);
+        s.record(false);
+        assert!((s.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

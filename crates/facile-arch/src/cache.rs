@@ -1,0 +1,285 @@
+//! Cache hierarchy model.
+//!
+//! A set-associative, LRU, write-allocate latency model: each access
+//! returns the number of cycles until the data is available. Pipelines
+//! treat loads as non-blocking by scheduling the writeback `latency`
+//! cycles ahead (and bounding outstanding misses with their MSHR count) —
+//! matching the paper's "non-blocking data caches" at the same level of
+//! abstraction SimpleScalar uses.
+
+/// Geometry and timing of one cache level.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Cycles for a hit in this level.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 2-way, 32 B-line L1.
+    pub fn l1() -> CacheConfig {
+        CacheConfig {
+            sets: 512,
+            ways: 2,
+            line_bytes: 32,
+            hit_latency: 1,
+        }
+    }
+
+    /// A 512 KiB, 4-way, 64 B-line L2.
+    pub fn l2() -> CacheConfig {
+        CacheConfig {
+            sets: 2048,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency: 8,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+}
+
+/// One cache level: tags + LRU stamps only (a latency model holds no
+/// data).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `tags[set * ways + way]`; `u64::MAX` is invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    tick: u64,
+    /// Accesses and misses.
+    pub accesses: u64,
+    /// Misses.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Cache {
+            tags: vec![u64::MAX; config.sets * config.ways],
+            stamps: vec![0; config.sets * config.ways],
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+            config,
+        }
+    }
+
+    /// Looks up `addr`, filling on miss. Returns whether it hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.accesses += 1;
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line as usize) & (self.config.sets - 1);
+        let base = set * self.config.ways;
+        let ways = &mut self.tags[base..base + self.config.ways];
+        if let Some(w) = ways.iter().position(|&t| t == line) {
+            self.stamps[base + w] = self.tick;
+            return true;
+        }
+        self.misses += 1;
+        // Evict LRU.
+        let lru = (0..self.config.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways is non-empty");
+        self.tags[base + lru] = line;
+        self.stamps[base + lru] = self.tick;
+        false
+    }
+
+    /// Miss ratio so far.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Clears all lines and statistics.
+    pub fn reset(&mut self) {
+        self.tags.iter_mut().for_each(|t| *t = u64::MAX);
+        self.stamps.iter_mut().for_each(|s| *s = 0);
+        self.tick = 0;
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+/// A two-level hierarchy with separate L1 I and D caches, a unified L2
+/// and a flat memory latency.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Unified second level.
+    pub l2: Cache,
+    /// Cycles to main memory after an L2 miss.
+    pub memory_latency: u32,
+}
+
+impl Hierarchy {
+    /// The default R10000-flavoured hierarchy used across the workspace.
+    pub fn new() -> Hierarchy {
+        Hierarchy {
+            l1i: Cache::new(CacheConfig::l1()),
+            l1d: Cache::new(CacheConfig::l1()),
+            l2: Cache::new(CacheConfig::l2()),
+            memory_latency: 50,
+        }
+    }
+
+    /// Data access; returns total latency in cycles.
+    pub fn data_access(&mut self, addr: u64, _write: bool) -> u32 {
+        if self.l1d.access(addr) {
+            return self.l1d.config.hit_latency;
+        }
+        if self.l2.access(addr) {
+            return self.l1d.config.hit_latency + self.l2.config.hit_latency;
+        }
+        self.l1d.config.hit_latency + self.l2.config.hit_latency + self.memory_latency
+    }
+
+    /// Instruction fetch; returns total latency in cycles.
+    pub fn inst_access(&mut self, addr: u64) -> u32 {
+        if self.l1i.access(addr) {
+            return self.l1i.config.hit_latency;
+        }
+        if self.l2.access(addr) {
+            return self.l1i.config.hit_latency + self.l2.config.hit_latency;
+        }
+        self.l1i.config.hit_latency + self.l2.config.hit_latency + self.memory_latency
+    }
+
+    /// Clears all levels.
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.l2.reset();
+    }
+}
+
+impl Default for Hierarchy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = Cache::new(CacheConfig::l1());
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1008)); // same 32 B line
+        assert!(!c.access(0x1000 + 32)); // next line
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.accesses, 4);
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        // 2-way: touching three conflicting lines evicts the least
+        // recently used.
+        let cfg = CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 16,
+            hit_latency: 1,
+        };
+        let mut c = Cache::new(cfg);
+        let stride = (cfg.sets * cfg.line_bytes) as u64; // same set
+        assert!(!c.access(0));
+        assert!(!c.access(stride));
+        assert!(c.access(0)); // refresh line 0
+        assert!(!c.access(2 * stride)); // evicts `stride`
+        assert!(c.access(0));
+        assert!(!c.access(stride)); // was evicted
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = Cache::new(CacheConfig::l1());
+        let cap = c.config.capacity() as u64;
+        // Stream over 4x capacity twice: second pass still misses.
+        for pass in 0..2 {
+            for a in (0..4 * cap).step_by(32) {
+                c.access(a);
+            }
+            if pass == 0 {
+                c.misses = 0;
+                c.accesses = 0;
+            }
+        }
+        assert!(c.miss_ratio() > 0.99, "ratio = {}", c.miss_ratio());
+    }
+
+    #[test]
+    fn small_working_set_fits() {
+        let mut c = Cache::new(CacheConfig::l1());
+        for pass in 0..2 {
+            for a in (0..4096).step_by(8) {
+                c.access(a);
+            }
+            if pass == 0 {
+                c.misses = 0;
+                c.accesses = 0;
+            }
+        }
+        assert_eq!(c.miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hierarchy_latencies_stack() {
+        let mut h = Hierarchy::new();
+        let cold = h.data_access(0x8000, false);
+        assert_eq!(cold, 1 + 8 + 50);
+        let warm = h.data_access(0x8000, false);
+        assert_eq!(warm, 1);
+        // L1 eviction but L2 hit gives the middle latency.
+        let cap = CacheConfig::l1().capacity() as u64;
+        for a in (0..4 * cap).step_by(32) {
+            h.data_access(0x10_0000 + a, false);
+        }
+        let l2_hit = h.data_access(0x8000, false);
+        assert_eq!(l2_hit, 1 + 8);
+    }
+
+    #[test]
+    fn inst_and_data_paths_are_separate() {
+        let mut h = Hierarchy::new();
+        h.inst_access(0x0);
+        // A data access to the same line still misses L1D (but hits L2).
+        assert_eq!(h.data_access(0x0, false), 1 + 8);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut h = Hierarchy::new();
+        h.data_access(64, false);
+        h.reset();
+        assert_eq!(h.data_access(64, false), 59);
+        assert_eq!(h.l1d.accesses, 1);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! External micro-architecture components.
+//!
+//! The paper's simulators keep the branch predictor and the cache
+//! simulator *outside* the memoized step function ("the branch predictor
+//! and cache simulator are not memoized, while the pipeline simulator ...
+//! is", §6.2). This crate provides those components for every simulator
+//! in the workspace:
+//!
+//! * [`bpred`] — static, bimodal and gshare direction predictors plus a
+//!   BTB for indirect jumps;
+//! * [`cache`] — a two-level set-associative LRU latency model.
+//!
+//! The Facile out-of-order simulator reaches them through `ext fun`
+//! bindings; `simplescalar` and `fastsim` call them directly. One shared
+//! implementation keeps all simulators' timing models identical, so their
+//! cycle counts are comparable.
+//!
+//! # Examples
+//!
+//! ```
+//! use facile_arch::bpred::{Bimodal, BranchPredictor};
+//! use facile_arch::cache::Hierarchy;
+//!
+//! let mut bp = Bimodal::new(2048);
+//! bp.update(0x100, true);
+//! bp.update(0x100, true);
+//! assert!(bp.predict(0x100));
+//!
+//! let mut mem = Hierarchy::new();
+//! let cold = mem.data_access(0x4000, false);
+//! let warm = mem.data_access(0x4000, false);
+//! assert!(cold > warm);
+//! ```
+
+pub mod bpred;
+pub mod cache;
+
+pub use bpred::{Bimodal, BpredStats, BranchPredictor, Btb, Gshare, StaticTaken};
+pub use cache::{Cache, CacheConfig, Hierarchy};

@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+
+//! Action extraction and engine generation for fast-forwarding simulators.
+//!
+//! [`compile`] is the back half of the Facile compiler pipeline: it takes
+//! lowered IR, runs compile-time constant folding (`facile-ir::fold`),
+//! binding-time analysis and lift insertion (`facile-bta`), and extracts
+//! the dynamic-action table ([`actions::extract_actions`]) that drives the
+//! two engines in `facile-vm`:
+//!
+//! * the **slow/complete** engine interprets the annotated IR and records
+//!   actions into the specialized action cache, and
+//! * the **fast/residual** engine replays [`ActionCode`] entries.
+//!
+//! # Examples
+//!
+//! ```
+//! use facile_lang::{parser::parse, diag::Diagnostics};
+//! use facile_sema::analyze as sema;
+//! use facile_ir::lower::lower;
+//! use facile_codegen::{compile, CodegenConfig};
+//!
+//! let src = r#"
+//!     val R = array(32){0};
+//!     fun main(pc : stream) {
+//!         R[0] = R[0] + 1;
+//!         next(pc + 4);
+//!     }
+//! "#;
+//! let mut diags = Diagnostics::new();
+//! let program = parse(src, &mut diags);
+//! let syms = sema(&program, &mut diags);
+//! let ir = lower(&program, &syms, &mut diags).unwrap();
+//! let step = compile(ir, &CodegenConfig::default());
+//! // The register update and the step's INDEX share one action: nothing
+//! // dynamic separates them, so they replay as a single unit.
+//! assert_eq!(step.action_count(), 1);
+//! ```
+
+pub mod actions;
+
+pub use actions::{
+    ActionCode, ActionKind, BlockAnnot, Closes, CompiledStep, FOp, FOperand, InstAnnot,
+    KeyPlanArg, LiftWhat, Resume,
+};
+
+use facile_bta::{insert_lifts, LiftConfig};
+use facile_ir::fold::fold_constants;
+use facile_ir::ir::IrProgram;
+
+/// Configuration of the back-end pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct CodegenConfig {
+    /// Run compile-time constant folding (paper §6.3 optimization 5).
+    pub fold: bool,
+    /// Lift/flush configuration (paper §6.3 optimization 3).
+    pub lifts: LiftConfig,
+}
+
+impl Default for CodegenConfig {
+    fn default() -> Self {
+        CodegenConfig {
+            fold: true,
+            lifts: LiftConfig::default(),
+        }
+    }
+}
+
+/// Runs folding, binding-time analysis, lift insertion and action
+/// extraction.
+pub fn compile(mut ir: IrProgram, config: &CodegenConfig) -> CompiledStep {
+    if config.fold {
+        fold_constants(&mut ir.main);
+    }
+    let (bta, _stats) = insert_lifts(&mut ir, config.lifts);
+    actions::extract_actions(ir, bta)
+}

@@ -1,0 +1,382 @@
+//! Liveness analyses.
+//!
+//! Two analyses live here:
+//!
+//! * **Scalar variable liveness** — classic backward dataflow over the CFG,
+//!   exposed for diagnostics and tests.
+//! * **Global read-before-write analysis** — which globals may be read
+//!   before being (re)written once the *next* simulator step begins. The
+//!   paper's proposed optimization 3 (§6.3): a global that is run-time
+//!   static at the end of a step normally has to be "made dynamic" (its
+//!   value written through a memoized action) for the next step; if the
+//!   next step cannot read it before overwriting it, that flush — and its
+//!   action-cache traffic — can be skipped. `facile-codegen` consumes this
+//!   set when `prune_dead_flushes` is enabled.
+
+use crate::ir::*;
+use facile_sema::GlobalId;
+use std::collections::{HashMap, HashSet};
+
+/// Per-block liveness result for scalar variables.
+#[derive(Clone, Debug, Default)]
+pub struct VarLiveness {
+    /// Variables live at entry of each block (indexed by block).
+    pub live_in: Vec<HashSet<VarId>>,
+    /// Variables live at exit of each block.
+    pub live_out: Vec<HashSet<VarId>>,
+}
+
+/// Computes scalar-variable liveness with a standard backward fixed point.
+pub fn var_liveness(f: &IrFunction) -> VarLiveness {
+    let n = f.blocks.len();
+    // use/def per block.
+    let mut use_: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+    let mut def: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for i in &b.insts {
+            for op in i.operands() {
+                if let Operand::Var(v) = op {
+                    if !def[bi].contains(&v) {
+                        use_[bi].insert(v);
+                    }
+                }
+            }
+            // Aggregate variables are conservatively live on every touch:
+            // element writes are partial, so nothing kills them.
+            let mut touch = |l: &Loc| {
+                if let Loc::Var(v) = l {
+                    if !def[bi].contains(v) {
+                        use_[bi].insert(*v);
+                    }
+                }
+            };
+            match i {
+                Inst::ElemGet { agg, .. }
+                | Inst::ElemSet { agg, .. }
+                | Inst::ArrFill { arr: agg, .. }
+                | Inst::Queue { q: agg, .. }
+                | Inst::LiftAgg { loc: agg } => touch(agg),
+                Inst::AggCopy { dst, src } => {
+                    touch(dst);
+                    touch(src);
+                }
+                Inst::SetNext { args } => {
+                    for a in args {
+                        if let KeyArg::Queue(l) = a {
+                            touch(l);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if let Some(d) = i.dst() {
+                def[bi].insert(d);
+            }
+        }
+        match &b.term {
+            Terminator::Branch {
+                cond: Operand::Var(v),
+                ..
+            }
+            | Terminator::Switch {
+                val: Operand::Var(v),
+                ..
+            }
+                if !def[bi].contains(v) => {
+                    use_[bi].insert(*v);
+                }
+            _ => {}
+        }
+    }
+
+    let mut live_in: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+    let mut live_out: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+    let order: Vec<BlockId> = f.reverse_postorder();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &bid in order.iter().rev() {
+            let bi = bid.index();
+            let mut out = HashSet::new();
+            for s in f.blocks[bi].term.successors() {
+                out.extend(live_in[s.index()].iter().copied());
+            }
+            let mut inn: HashSet<VarId> = use_[bi].clone();
+            inn.extend(out.difference(&def[bi]).copied());
+            if inn != live_in[bi] || out != live_out[bi] {
+                live_in[bi] = inn;
+                live_out[bi] = out;
+                changed = true;
+            }
+        }
+    }
+    VarLiveness { live_in, live_out }
+}
+
+/// Access summary of one block with respect to scalar globals.
+#[derive(Clone, Debug, Default)]
+struct GlobalBlockFacts {
+    /// Globals read before any write in this block.
+    gen: HashSet<GlobalId>,
+    /// Globals definitely (re)written in this block.
+    kill: HashSet<GlobalId>,
+}
+
+/// Computes the set of globals that may be read before written when
+/// execution (re)starts at the entry block — i.e. the globals whose values
+/// must survive into the next step.
+///
+/// Aggregate globals (arrays, queues) are handled conservatively: any
+/// element read counts as a read of the whole global, and partial writes
+/// never kill.
+pub fn entry_live_globals(f: &IrFunction) -> HashSet<GlobalId> {
+    let n = f.blocks.len();
+    let mut facts: Vec<GlobalBlockFacts> = Vec::with_capacity(n);
+    for b in &f.blocks {
+        let mut fb = GlobalBlockFacts::default();
+        for i in &b.insts {
+            match i {
+                Inst::LoadGlobal { g, .. }
+                    if !fb.kill.contains(g) => {
+                        fb.gen.insert(*g);
+                    }
+                Inst::StoreGlobal { g, .. } => {
+                    fb.kill.insert(*g);
+                }
+                // Aggregate reads (including partial writes: an ElemSet of
+                // one element leaves the others readable).
+                Inst::ElemGet {
+                    agg: Loc::Global(g),
+                    ..
+                }
+                | Inst::ElemSet {
+                    agg: Loc::Global(g),
+                    ..
+                }
+                    if !fb.kill.contains(g) => {
+                        fb.gen.insert(*g);
+                    }
+                Inst::Queue {
+                    q: Loc::Global(g),
+                    op,
+                    ..
+                } => {
+                    if *op == QueueOp::Clear {
+                        fb.kill.insert(*g);
+                    } else if !fb.kill.contains(g) {
+                        fb.gen.insert(*g);
+                    }
+                }
+                Inst::ArrFill {
+                    arr: Loc::Global(g),
+                    ..
+                } => {
+                    fb.kill.insert(*g);
+                }
+                Inst::AggCopy { dst, src } => {
+                    if let Loc::Global(g) = src {
+                        if !fb.kill.contains(g) {
+                            fb.gen.insert(*g);
+                        }
+                    }
+                    if let Loc::Global(g) = dst {
+                        fb.kill.insert(*g);
+                    }
+                }
+                Inst::SetNext { args } => {
+                    for a in args {
+                        if let KeyArg::Queue(Loc::Global(g)) = a {
+                            if !fb.kill.contains(g) {
+                                fb.gen.insert(*g);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        facts.push(fb);
+    }
+
+    // Backward fixed point: live-in(B) = gen(B) ∪ (live-out(B) \ kill(B)).
+    let order: Vec<BlockId> = f.reverse_postorder();
+    let mut live_in: Vec<HashSet<GlobalId>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &bid in order.iter().rev() {
+            let bi = bid.index();
+            let mut out: HashSet<GlobalId> = HashSet::new();
+            for s in f.blocks[bi].term.successors() {
+                out.extend(live_in[s.index()].iter().copied());
+            }
+            let mut inn: HashSet<GlobalId> = facts[bi].gen.clone();
+            inn.extend(out.difference(&facts[bi].kill).copied());
+            if inn != live_in[bi] {
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+    live_in[f.entry.index()].clone()
+}
+
+/// Convenience: the entry-live set as a membership vector indexed by
+/// global id.
+pub fn entry_live_globals_bitmap(f: &IrFunction, global_count: usize) -> Vec<bool> {
+    let set = entry_live_globals(f);
+    let mut out = vec![false; global_count];
+    for g in set {
+        if g.index() < global_count {
+            out[g.index()] = true;
+        }
+    }
+    out
+}
+
+/// Per-variable use counts across the reachable CFG; exposed for tests and
+/// the `facilec --dump-ir` statistics.
+pub fn use_counts(f: &IrFunction) -> HashMap<VarId, usize> {
+    let mut counts: HashMap<VarId, usize> = HashMap::new();
+    for bid in f.reverse_postorder() {
+        let b = f.block(bid);
+        for i in &b.insts {
+            for op in i.operands() {
+                if let Operand::Var(v) = op {
+                    *counts.entry(v).or_default() += 1;
+                }
+            }
+        }
+        match &b.term {
+            Terminator::Branch {
+                cond: Operand::Var(v),
+                ..
+            }
+            | Terminator::Switch {
+                val: Operand::Var(v),
+                ..
+            } => *counts.entry(*v).or_default() += 1,
+            _ => {}
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use facile_lang::diag::Diagnostics;
+    use facile_lang::parser::parse;
+    use facile_sema::analyze;
+
+    fn build(src: &str) -> IrProgram {
+        let mut diags = Diagnostics::new();
+        let prog = parse(src, &mut diags);
+        let syms = analyze(&prog, &mut diags);
+        assert!(!diags.has_errors(), "{}", diags.render_all(src));
+        lower(&prog, &syms, &mut diags).expect("lowering succeeds")
+    }
+
+    fn gid(ir: &IrProgram, name: &str) -> GlobalId {
+        GlobalId(
+            ir.globals
+                .iter()
+                .position(|g| g.name == name)
+                .unwrap_or_else(|| panic!("global {name}")) as u32,
+        )
+    }
+
+    #[test]
+    fn global_read_before_write_is_live() {
+        let ir = build("val g = 0;\nfun main(x : int) { val y = g + x; trace(y); next(x); }");
+        let live = entry_live_globals(&ir.main);
+        assert!(live.contains(&gid(&ir, "g")));
+    }
+
+    #[test]
+    fn global_written_before_read_is_dead() {
+        let ir = build("val g = 0;\nfun main(x : int) { g = x; trace(g); next(x); }");
+        let live = entry_live_globals(&ir.main);
+        assert!(!live.contains(&gid(&ir, "g")));
+    }
+
+    #[test]
+    fn global_read_on_one_path_is_live() {
+        let ir = build(
+            "val g = 0;\nfun main(x : int) { if (x) { trace(g); } g = 1; next(x); }",
+        );
+        let live = entry_live_globals(&ir.main);
+        assert!(live.contains(&gid(&ir, "g")));
+    }
+
+    #[test]
+    fn never_touched_global_is_dead() {
+        let ir = build("val g = 0;\nval h = 0;\nfun main(x : int) { trace(h); next(x); }");
+        let live = entry_live_globals(&ir.main);
+        assert!(!live.contains(&gid(&ir, "g")));
+        assert!(live.contains(&gid(&ir, "h")));
+    }
+
+    #[test]
+    fn array_global_partial_write_does_not_kill() {
+        let ir = build(
+            "val R = array(4){0};\nfun main(x : int) { R[0] = x; trace(R[1]); next(x); }",
+        );
+        let live = entry_live_globals(&ir.main);
+        assert!(live.contains(&gid(&ir, "R")));
+    }
+
+    #[test]
+    fn queue_clear_kills() {
+        let ir = build(
+            "val q : queue;\nfun main(x : int) { q?clear(); q?push_back(x); next(x); }",
+        );
+        let live = entry_live_globals(&ir.main);
+        assert!(!live.contains(&gid(&ir, "q")));
+    }
+
+    #[test]
+    fn queue_push_without_clear_is_live() {
+        let ir = build("val q : queue;\nfun main(x : int) { q?push_back(x); next(x); }");
+        let live = entry_live_globals(&ir.main);
+        assert!(live.contains(&gid(&ir, "q")));
+    }
+
+    #[test]
+    fn var_liveness_param_live_until_last_use() {
+        let ir = build("fun main(x : int) { trace(x); next(x + 1); }");
+        let lv = var_liveness(&ir.main);
+        let p = ir.main.params[0];
+        assert!(lv.live_in[ir.main.entry.index()].contains(&p));
+    }
+
+    #[test]
+    fn var_liveness_loop_carried() {
+        let ir = build(
+            "fun main(n : int) { val i = 0; while (i < n) { i = i + 1; } next(i); }",
+        );
+        let lv = var_liveness(&ir.main);
+        // `n` is live around the loop: some block has it live-out.
+        let p = ir.main.params[0];
+        assert!(lv.live_out.iter().any(|s| s.contains(&p)));
+    }
+
+    #[test]
+    fn use_counts_counts_terminators() {
+        let ir = build("fun main(x : int) { if (x) { } next(x); }");
+        let counts = use_counts(&ir.main);
+        let p = ir.main.params[0];
+        assert!(counts[&p] >= 2);
+    }
+
+    #[test]
+    fn bitmap_matches_set() {
+        let ir = build("val g = 0;\nfun main(x : int) { trace(g); next(x); }");
+        let set = entry_live_globals(&ir.main);
+        let bm = entry_live_globals_bitmap(&ir.main, ir.globals.len());
+        for (i, b) in bm.iter().enumerate() {
+            assert_eq!(*b, set.contains(&GlobalId(i as u32)));
+        }
+    }
+}

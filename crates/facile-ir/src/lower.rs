@@ -1,0 +1,1816 @@
+//! AST → IR lowering.
+//!
+//! The whole program becomes one IR function: `main` with every user
+//! function and `sem` body inlined at its call sites. Inlining is total and
+//! terminates because `facile-sema` rejects recursion; it plays the role of
+//! the paper's *polyvariant division* — each call site gets its own copy of
+//! the callee, so binding-time analysis can label each copy independently
+//! (paper §4.1).
+//!
+//! Decode dispatch (`stream?exec()` and pattern switches) is compiled here:
+//! the token word is fetched (a run-time-static read of immutable target
+//! text), and patterns are matched either through a *discriminator switch*
+//! on a field that every pattern pins (the common case: an opcode field) or
+//! through a linear chain of mask/value tests.
+
+use crate::ir::*;
+use facile_lang::ast::{self, ArmLabels, ExprKind, Item, StmtKind};
+use facile_lang::diag::Diagnostics;
+use facile_lang::span::Span;
+use facile_sema::builtins::{Attr, Builtin};
+use facile_sema::symbols::{Conjunction, FieldId, PatId, Symbols, TokenId, Type};
+use std::collections::HashMap;
+
+/// Halt reason: the program executed `sim_halt()`.
+pub const HALT_EXPLICIT: i64 = 0;
+/// Halt reason: a step finished without calling `next(...)`.
+pub const HALT_NO_NEXT: i64 = 1;
+/// Halt reason: decode failed (no pattern matched the token word).
+pub const HALT_DECODE_FAIL: i64 = 2;
+
+/// Lowers a checked program to IR.
+///
+/// Returns `None` (with diagnostics) only for problems that earlier phases
+/// cannot see, e.g. `?exec` with no `sem`-bearing patterns.
+pub fn lower(
+    program: &ast::Program,
+    syms: &Symbols,
+    diags: &mut Diagnostics,
+) -> Option<IrProgram> {
+    let globals = lower_globals(program, syms, diags);
+    let main_id = syms.main?;
+    let main_info = syms.fun(main_id);
+    let Item::Fun(main_decl) = &program.items[main_info.item] else {
+        unreachable!("fun table points at fun items");
+    };
+
+    let mut cx = Cx {
+        program,
+        syms,
+        diags,
+        f: IrFunction {
+            params: Vec::new(),
+            param_types: Vec::new(),
+            vars: Vec::new(),
+            blocks: vec![Block::new()],
+            entry: BlockId(0),
+        },
+        cur: BlockId(0),
+        scopes: Vec::new(),
+        scope_bases: vec![0],
+        loops: Vec::new(),
+        rets: Vec::new(),
+        exit: BlockId(0),
+        had_error: false,
+    };
+
+    // Parameters.
+    cx.scopes.push(HashMap::new());
+    for (name, ty) in &main_info.params {
+        let kind = match ty {
+            Type::Queue => VarKind::Queue,
+            _ => VarKind::Scalar,
+        };
+        let v = cx.new_var(name, kind, false);
+        cx.f.params.push(v);
+        cx.f.param_types.push(*ty);
+        cx.scopes.last_mut().unwrap().insert(name.clone(), v);
+    }
+
+    // The shared exit block.
+    cx.exit = cx.new_block();
+    cx.f.blocks[cx.exit.index()].term = Terminator::Return;
+
+    cx.block(&main_decl.body);
+    cx.set_term(Terminator::Jump(cx.exit));
+
+    if cx.had_error {
+        return None;
+    }
+    Some(IrProgram {
+        globals,
+        main: cx.f,
+        token_widths: syms.tokens.iter().map(|t| t.width).collect(),
+        ext_names: syms.exts.iter().map(|e| e.name.clone()).collect(),
+    })
+}
+
+fn lower_globals(
+    program: &ast::Program,
+    syms: &Symbols,
+    diags: &mut Diagnostics,
+) -> Vec<GlobalDef> {
+    let mut out = Vec::with_capacity(syms.globals.len());
+    for g in &syms.globals {
+        let Item::Global(decl) = &program.items[g.item] else {
+            unreachable!("global table points at global items");
+        };
+        let init = match g.ty {
+            Type::Queue => GlobalInit::Queue,
+            Type::Array(size) => {
+                let fill = decl
+                    .init
+                    .as_ref()
+                    .and_then(|e| match &e.kind {
+                        ExprKind::ArrayInit { fill, .. } => const_eval(fill),
+                        _ => None,
+                    })
+                    .unwrap_or(0);
+                GlobalInit::Array { size, fill }
+            }
+            _ => {
+                let v = match &decl.init {
+                    Some(e) => const_eval(e).unwrap_or_else(|| {
+                        diags.error("global initializer is not a constant", e.span);
+                        0
+                    }),
+                    None => 0,
+                };
+                GlobalInit::Scalar(v)
+            }
+        };
+        out.push(GlobalDef {
+            name: g.name.clone(),
+            init,
+        });
+    }
+    out
+}
+
+/// Evaluates a closed constant expression.
+pub fn const_eval(e: &ast::Expr) -> Option<i64> {
+    match &e.kind {
+        ExprKind::Int(v) => Some(*v),
+        ExprKind::Bool(b) => Some(*b as i64),
+        ExprKind::Unary(op, a) => {
+            let a = const_eval(a)?;
+            Some(match op {
+                ast::UnOp::Neg => a.wrapping_neg(),
+                ast::UnOp::Not => (a == 0) as i64,
+                ast::UnOp::BitNot => !a,
+            })
+        }
+        ExprKind::Binary(op, a, b) => {
+            let a = const_eval(a)?;
+            let b = const_eval(b)?;
+            Some(eval_binop(map_binop(*op)?, a, b))
+        }
+        _ => None,
+    }
+}
+
+fn map_binop(op: ast::BinOp) -> Option<BinOp> {
+    Some(match op {
+        ast::BinOp::BitOr => BinOp::Or,
+        ast::BinOp::BitXor => BinOp::Xor,
+        ast::BinOp::BitAnd => BinOp::And,
+        ast::BinOp::Eq => BinOp::Eq,
+        ast::BinOp::Ne => BinOp::Ne,
+        ast::BinOp::Lt => BinOp::Lt,
+        ast::BinOp::Le => BinOp::Le,
+        ast::BinOp::Gt => BinOp::Gt,
+        ast::BinOp::Ge => BinOp::Ge,
+        ast::BinOp::Shl => BinOp::Shl,
+        ast::BinOp::Shr => BinOp::Shr,
+        ast::BinOp::Add => BinOp::Add,
+        ast::BinOp::Sub => BinOp::Sub,
+        ast::BinOp::Mul => BinOp::Mul,
+        ast::BinOp::Div => BinOp::Div,
+        ast::BinOp::Rem => BinOp::Rem,
+        ast::BinOp::LogAnd | ast::BinOp::LogOr => return None,
+    })
+}
+
+/// Evaluates a binary IR op on two constants; shared with the constant
+/// folder and the VM so semantics agree everywhere.
+pub fn eval_binop(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        BinOp::Shru => ((a as u64) >> (b as u32 & 63)) as i64,
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::FAdd => (f64::from_bits(a as u64) + f64::from_bits(b as u64)).to_bits() as i64,
+        BinOp::FSub => (f64::from_bits(a as u64) - f64::from_bits(b as u64)).to_bits() as i64,
+        BinOp::FMul => (f64::from_bits(a as u64) * f64::from_bits(b as u64)).to_bits() as i64,
+        BinOp::FDiv => (f64::from_bits(a as u64) / f64::from_bits(b as u64)).to_bits() as i64,
+        BinOp::FLt => (f64::from_bits(a as u64) < f64::from_bits(b as u64)) as i64,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    }
+}
+
+/// Evaluates a unary IR op on a constant.
+pub fn eval_unop(op: UnOp, a: i64) -> i64 {
+    match op {
+        UnOp::Neg => a.wrapping_neg(),
+        UnOp::Not => (a == 0) as i64,
+        UnOp::BitNot => !a,
+        UnOp::Sext(w) => {
+            let shift = 64 - w.clamp(1, 64);
+            (a << shift) >> shift
+        }
+        UnOp::Zext(w) => {
+            if w >= 64 {
+                a
+            } else {
+                a & ((1i64 << w) - 1)
+            }
+        }
+        UnOp::I2F => (a as f64).to_bits() as i64,
+        UnOp::F2I => f64::from_bits(a as u64) as i64,
+    }
+}
+
+/// A name binding: scalar variables hold a [`VarId`]; aggregates may also
+/// alias a caller's location across an inline boundary.
+#[derive(Clone, Copy)]
+enum Binding {
+    Var(VarId),
+    AggAlias(Loc),
+}
+
+struct Cx<'a> {
+    program: &'a ast::Program,
+    syms: &'a Symbols,
+    diags: &'a mut Diagnostics,
+    f: IrFunction,
+    cur: BlockId,
+    scopes: Vec<HashMap<String, VarId>>,
+    /// Aggregate aliases live beside normal scopes, keyed the same way.
+    /// (Kept in the same maps via `Binding` would force VarId==Loc; instead
+    /// alias maps shadow scope maps — see `agg_aliases`.)
+    scope_bases: Vec<usize>,
+    loops: Vec<(BlockId, BlockId)>,
+    /// Inline return frames: (result var, exit block, alias frame).
+    rets: Vec<(Option<VarId>, BlockId)>,
+    exit: BlockId,
+    had_error: bool,
+}
+
+// Aggregate aliases are rare (queue/array parameters of inlined functions),
+// so they are stored in the same scope maps through a parallel side table.
+impl<'a> Cx<'a> {
+    fn new_var(&mut self, name: &str, kind: VarKind, is_temp: bool) -> VarId {
+        let id = VarId(self.f.vars.len() as u32);
+        self.f.vars.push(VarInfo {
+            name: name.to_owned(),
+            kind,
+            is_temp,
+        });
+        id
+    }
+
+    fn temp(&mut self) -> VarId {
+        let n = self.f.vars.len();
+        self.new_var(&format!("%{n}"), VarKind::Scalar, true)
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.f.blocks.len() as u32);
+        self.f.blocks.push(Block::new());
+        id
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.f.blocks[self.cur.index()].insts.push(inst);
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        self.f.blocks[self.cur.index()].term = term;
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    fn error(&mut self, msg: impl Into<String>, span: Span) {
+        self.diags.error(msg, span);
+        self.had_error = true;
+    }
+
+    /// Resolves `name` to a binding, respecting inline scope barriers.
+    fn resolve(&self, name: &str) -> Option<Binding> {
+        let base = *self.scope_bases.last().unwrap();
+        for scope in self.scopes[base..].iter().rev() {
+            if let Some(&v) = scope.get(name) {
+                return Some(Binding::Var(v));
+            }
+        }
+        self.syms
+            .global_by_name
+            .get(name)
+            .map(|&g| Binding::AggAlias(Loc::Global(g)))
+    }
+
+    /// Resolves a name known to be a scalar, producing a readable operand.
+    fn read_scalar(&mut self, name: &str, span: Span) -> Operand {
+        match self.resolve(name) {
+            Some(Binding::Var(v)) => match self.f.var(v).kind {
+                VarKind::Scalar => Operand::Var(v),
+                _ => {
+                    self.error(format!("`{name}` is not a scalar"), span);
+                    Operand::Const(0)
+                }
+            },
+            Some(Binding::AggAlias(Loc::Global(g))) => {
+                match self.syms.global(g).ty {
+                    Type::Array(_) | Type::Queue => {
+                        self.error(format!("`{name}` is not a scalar"), span);
+                        Operand::Const(0)
+                    }
+                    _ => {
+                        let t = self.temp();
+                        self.emit(Inst::LoadGlobal { dst: t, g });
+                        Operand::Var(t)
+                    }
+                }
+            }
+            Some(Binding::AggAlias(Loc::Var(v))) => Operand::Var(v),
+            None => {
+                self.error(format!("undefined variable `{name}`"), span);
+                Operand::Const(0)
+            }
+        }
+    }
+
+    /// Resolves a name known to be an aggregate (array or queue).
+    fn resolve_agg(&mut self, name: &str, span: Span) -> Option<Loc> {
+        match self.resolve(name) {
+            Some(Binding::Var(v)) => match self.f.var(v).kind {
+                VarKind::Scalar => {
+                    self.error(format!("`{name}` is not an array or queue"), span);
+                    None
+                }
+                _ => Some(Loc::Var(v)),
+            },
+            Some(Binding::AggAlias(loc @ Loc::Var(_))) => Some(loc),
+            Some(Binding::AggAlias(loc @ Loc::Global(g))) => {
+                match self.syms.global(g).ty {
+                    Type::Array(_) | Type::Queue => Some(loc),
+                    _ => {
+                        self.error(format!("`{name}` is not an array or queue"), span);
+                        None
+                    }
+                }
+            }
+            None => {
+                self.error(format!("undefined variable `{name}`"), span);
+                None
+            }
+        }
+    }
+
+    /// Kind of an aggregate location.
+    fn loc_kind(&self, loc: Loc) -> VarKind {
+        match loc {
+            Loc::Var(v) => self.f.var(v).kind,
+            Loc::Global(g) => match self.syms.global(g).ty {
+                Type::Array(n) => VarKind::Array(n),
+                Type::Queue => VarKind::Queue,
+                _ => VarKind::Scalar,
+            },
+        }
+    }
+
+    // ----- statements -----
+
+    fn block(&mut self, b: &ast::Block) {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, s: &ast::Stmt) {
+        match &s.kind {
+            StmtKind::Local(v) => self.local(v),
+            StmtKind::Assign { place, value } => self.assign(place, value),
+            StmtKind::If { cond, then, els } => {
+                let c = self.expr(cond);
+                let then_bb = self.new_block();
+                let exit_bb = self.new_block();
+                let else_bb = if els.is_some() {
+                    self.new_block()
+                } else {
+                    exit_bb
+                };
+                self.set_term(Terminator::Branch {
+                    cond: c,
+                    then_bb,
+                    else_bb,
+                });
+                self.switch_to(then_bb);
+                self.block(then);
+                self.set_term(Terminator::Jump(exit_bb));
+                if let Some(els) = els {
+                    self.switch_to(else_bb);
+                    self.block(els);
+                    self.set_term(Terminator::Jump(exit_bb));
+                }
+                self.switch_to(exit_bb);
+            }
+            StmtKind::While { cond, body } => {
+                let head = self.new_block();
+                let body_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.set_term(Terminator::Jump(head));
+                self.switch_to(head);
+                let c = self.expr(cond);
+                self.set_term(Terminator::Branch {
+                    cond: c,
+                    then_bb: body_bb,
+                    else_bb: exit_bb,
+                });
+                self.switch_to(body_bb);
+                self.loops.push((head, exit_bb));
+                self.block(body);
+                self.loops.pop();
+                self.set_term(Terminator::Jump(head));
+                self.switch_to(exit_bb);
+            }
+            StmtKind::Switch {
+                subject,
+                arms,
+                default,
+            } => {
+                let is_pattern = arms.iter().any(|a| matches!(a.labels, ArmLabels::Pats(_)));
+                if is_pattern {
+                    self.pattern_switch(subject, arms, default.as_ref());
+                } else {
+                    self.value_switch(subject, arms, default.as_ref());
+                }
+            }
+            StmtKind::Break => {
+                if let Some(&(_, brk)) = self.loops.last() {
+                    self.set_term(Terminator::Jump(brk));
+                    let dead = self.new_block();
+                    self.switch_to(dead);
+                }
+            }
+            StmtKind::Continue => {
+                if let Some(&(cont, _)) = self.loops.last() {
+                    self.set_term(Terminator::Jump(cont));
+                    let dead = self.new_block();
+                    self.switch_to(dead);
+                }
+            }
+            StmtKind::Return(value) => {
+                if let Some((result, ret_bb)) = self.rets.last().copied() {
+                    if let (Some(result), Some(value)) = (result, value.as_ref()) {
+                        let v = self.expr(value);
+                        self.emit(Inst::Copy {
+                            dst: result,
+                            src: v,
+                        });
+                    }
+                    self.set_term(Terminator::Jump(ret_bb));
+                } else {
+                    // Return from main ends the step.
+                    self.set_term(Terminator::Jump(self.exit));
+                }
+                let dead = self.new_block();
+                self.switch_to(dead);
+            }
+            StmtKind::Expr(e) => {
+                self.effect_expr(e);
+            }
+        }
+    }
+
+    fn local(&mut self, v: &ast::ValDecl) {
+        let declared = v.ty.as_ref().map(Type::from_ast);
+        // Determine kind.
+        let kind = match (&declared, &v.init) {
+            (Some(Type::Array(n)), _) => VarKind::Array(*n),
+            (Some(Type::Queue), _) => VarKind::Queue,
+            (None, Some(init)) => match &init.kind {
+                ExprKind::ArrayInit { size, .. } => VarKind::Array(*size),
+                ExprKind::Var(name)
+                    if matches!(self.resolve(&name.text), Some(Binding::Var(vv)) if self.f.var(vv).kind == VarKind::Queue) =>
+                {
+                    VarKind::Queue
+                }
+                _ => VarKind::Scalar,
+            },
+            _ => VarKind::Scalar,
+        };
+        let var = self.new_var(&v.name.text, kind, false);
+        match kind {
+            VarKind::Scalar => {
+                let src = match &v.init {
+                    Some(init) => self.expr(init),
+                    None => Operand::Const(0),
+                };
+                self.emit(Inst::Copy { dst: var, src });
+            }
+            VarKind::Array(_) => {
+                let fill = match v.init.as_ref().map(|e| &e.kind) {
+                    Some(ExprKind::ArrayInit { fill, .. }) => self.expr(fill),
+                    _ => Operand::Const(0),
+                };
+                self.emit(Inst::ArrFill {
+                    arr: Loc::Var(var),
+                    fill,
+                });
+            }
+            VarKind::Queue => {
+                self.emit(Inst::Queue {
+                    op: QueueOp::Clear,
+                    q: Loc::Var(var),
+                    args: [None, None],
+                    dst: None,
+                });
+                if let Some(init) = &v.init {
+                    if let ExprKind::Var(name) = &init.kind {
+                        if let Some(src) = self.resolve_agg(&name.text, init.span) {
+                            self.emit(Inst::AggCopy {
+                                dst: Loc::Var(var),
+                                src,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(v.name.text.clone(), var);
+    }
+
+    fn assign(&mut self, place: &ast::Place, value: &ast::Expr) {
+        match &place.index {
+            Some(index) => {
+                let Some(agg) = self.resolve_agg(&place.name.text, place.span) else {
+                    return;
+                };
+                let idx = self.expr(index);
+                let src = self.expr(value);
+                self.emit(Inst::ElemSet { agg, idx, src });
+            }
+            None => {
+                // Whole-variable assignment: scalar or aggregate copy.
+                let target_kind = match self.resolve(&place.name.text) {
+                    Some(Binding::Var(v)) => Some((Loc::Var(v), self.f.var(v).kind)),
+                    Some(Binding::AggAlias(loc)) => Some((loc, self.loc_kind(loc))),
+                    None => {
+                        self.error(
+                            format!("undefined variable `{}`", place.name),
+                            place.name.span,
+                        );
+                        None
+                    }
+                };
+                let Some((loc, kind)) = target_kind else {
+                    return;
+                };
+                match kind {
+                    VarKind::Scalar => {
+                        let src = self.expr(value);
+                        match loc {
+                            Loc::Var(v) => self.emit(Inst::Copy { dst: v, src }),
+                            Loc::Global(g) => self.emit(Inst::StoreGlobal { g, src }),
+                        }
+                    }
+                    _ => {
+                        if let ExprKind::Var(name) = &value.kind {
+                            if let Some(src) = self.resolve_agg(&name.text, value.span) {
+                                self.emit(Inst::AggCopy { dst: loc, src });
+                            }
+                        } else {
+                            self.error(
+                                "aggregates may only be assigned from named variables",
+                                value.span,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn value_switch(
+        &mut self,
+        subject: &ast::Expr,
+        arms: &[ast::SwitchArm],
+        default: Option<&ast::Block>,
+    ) {
+        let val = self.expr(subject);
+        let exit_bb = self.new_block();
+        let default_bb = if default.is_some() {
+            self.new_block()
+        } else {
+            exit_bb
+        };
+        let mut cases = Vec::new();
+        let mut arm_blocks = Vec::new();
+        for arm in arms {
+            let bb = self.new_block();
+            arm_blocks.push(bb);
+            if let ArmLabels::Values(vals) = &arm.labels {
+                for (v, _) in vals {
+                    cases.push((*v, bb));
+                }
+            }
+        }
+        self.set_term(Terminator::Switch {
+            val,
+            cases,
+            default: default_bb,
+        });
+        for (arm, bb) in arms.iter().zip(arm_blocks) {
+            self.switch_to(bb);
+            self.block(&arm.body);
+            self.set_term(Terminator::Jump(exit_bb));
+        }
+        if let Some(d) = default {
+            self.switch_to(default_bb);
+            self.block(d);
+            self.set_term(Terminator::Jump(exit_bb));
+        }
+        self.switch_to(exit_bb);
+    }
+
+    // ----- decode dispatch -----
+
+    fn pattern_switch(
+        &mut self,
+        subject: &ast::Expr,
+        arms: &[ast::SwitchArm],
+        default: Option<&ast::Block>,
+    ) {
+        let stream = self.expr(subject);
+        let mut dispatch_arms = Vec::new();
+        for arm in arms {
+            let ArmLabels::Pats(names) = &arm.labels else {
+                continue;
+            };
+            let mut pats = Vec::new();
+            for n in names {
+                if let Some(&pid) = self.syms.pat_by_name.get(&n.text) {
+                    pats.push(pid);
+                }
+            }
+            dispatch_arms.push((pats, ArmBody::Block(&arm.body)));
+        }
+        let exit_bb = self.new_block();
+        let default_bb = self.new_block();
+        self.dispatch(stream, dispatch_arms, default_bb, exit_bb, subject.span);
+        self.switch_to(default_bb);
+        if let Some(d) = default {
+            self.block(d);
+        }
+        self.set_term(Terminator::Jump(exit_bb));
+        self.switch_to(exit_bb);
+    }
+
+    fn lower_exec(&mut self, stream: Operand, span: Span) {
+        let arms: Vec<(Vec<PatId>, ArmBody)> = (0..self.syms.pats.len())
+            .filter_map(|i| {
+                let pid = PatId(i as u32);
+                self.syms.pat(pid).sem_item.map(|_| (vec![pid], ArmBody::Sem(pid)))
+            })
+            .collect();
+        if arms.is_empty() {
+            self.error("`?exec` needs at least one pattern with semantics", span);
+            return;
+        }
+        let exit_bb = self.new_block();
+        let default_bb = self.new_block();
+        self.dispatch(stream, arms, default_bb, exit_bb, span);
+        // No pattern matched: halt with a decode failure.
+        self.switch_to(default_bb);
+        self.emit(Inst::Halt {
+            code: Operand::Const(HALT_DECODE_FAIL),
+        });
+        self.set_term(Terminator::Jump(exit_bb));
+        self.switch_to(exit_bb);
+    }
+
+    /// Compiles first-match dispatch over `arms` at the token(s) under
+    /// `stream`. Control continues at `exit_bb`; `default_bb` receives
+    /// non-matching words.
+    ///
+    /// Arms may constrain *different* tokens (variable-width instruction
+    /// sets, paper §3.1: "For variable width instructions, such as
+    /// Intel's x86, several tokens may be necessary"): each token is
+    /// fetched once and arms are tried in first-match order. The
+    /// discriminator-switch optimization applies when a single token is
+    /// involved.
+    fn dispatch(
+        &mut self,
+        stream: Operand,
+        arms: Vec<(Vec<PatId>, ArmBody)>,
+        default_bb: BlockId,
+        exit_bb: BlockId,
+        span: Span,
+    ) {
+        let _ = span;
+        // Tokens used, in arm order; fetch each once.
+        let mut token_vars: Vec<(TokenId, VarId)> = Vec::new();
+        let mut arm_token: Vec<Option<TokenId>> = Vec::new();
+        for (pats, _) in &arms {
+            let mut t0: Option<TokenId> = None;
+            for &p in pats {
+                let t = self.syms.pat(p).token;
+                t0 = Some(t); // sema guarantees one token per arm
+                if !token_vars.iter().any(|(tok, _)| *tok == t) {
+                    let v = self.temp();
+                    self.emit(Inst::FetchToken {
+                        dst: v,
+                        stream,
+                        token: t,
+                    });
+                    token_vars.push((t, v));
+                }
+            }
+            arm_token.push(t0);
+        }
+        if token_vars.is_empty() {
+            self.set_term(Terminator::Jump(default_bb));
+            return;
+        }
+        let tok_var = |t: TokenId| -> VarId {
+            token_vars
+                .iter()
+                .find(|(tok, _)| *tok == t)
+                .map(|&(_, v)| v)
+                .expect("token fetched above")
+        };
+
+        // Create one body block per arm (bodies bind their token's fields).
+        let mut arm_entry = Vec::with_capacity(arms.len());
+        let saved_cur = self.cur;
+        for ((_, body), t0) in arms.iter().zip(&arm_token) {
+            let bb = self.new_block();
+            self.switch_to(bb);
+            match t0 {
+                Some(t) => self.bind_fields_and_body(*t, tok_var(*t), body, exit_bb),
+                None => {
+                    // An arm with no known patterns (earlier resolution
+                    // error); treat as empty.
+                    self.set_term(Terminator::Jump(exit_bb));
+                }
+            }
+            arm_entry.push(bb);
+        }
+        self.switch_to(saved_cur);
+
+        // `(conjunction, arm index)` in first-match order.
+        let mut tests: Vec<(Conjunction, usize)> = Vec::new();
+        for (i, (pats, _)) in arms.iter().enumerate() {
+            for &p in pats {
+                for c in &self.syms.pat(p).dnf {
+                    tests.push((c.clone(), i));
+                }
+            }
+        }
+
+        if token_vars.len() > 1 {
+            // Mixed tokens: a linear first-match chain, each conjunction
+            // tested against its own token's word.
+            for (c, arm) in &tests {
+                let t = arm_token[*arm].expect("arm with tests has a token");
+                let fail_bb = self.new_block();
+                self.emit_conj_test(tok_var(t), c, arm_entry[*arm], fail_bb);
+                self.switch_to(fail_bb);
+            }
+            self.set_term(Terminator::Jump(default_bb));
+            return;
+        }
+        let tok = token_vars[0].1;
+
+        if let Some(disc) = self.find_discriminator(&tests) {
+            // Discriminator switch: test the pinned field once, then only
+            // the residual constraints inside each case.
+            let finfo = self.syms.field(disc).clone();
+            let fval = self.extract_field(tok, finfo.lo, finfo.width());
+            let mut groups: Vec<(i64, Vec<(Conjunction, usize)>)> = Vec::new();
+            for (c, arm) in &tests {
+                let pinned = finfo.extract(c.value) as i64;
+                let mut residual = c.clone();
+                residual.mask &= !finfo.mask();
+                residual.value &= !finfo.mask();
+                match groups.iter_mut().find(|(v, _)| *v == pinned) {
+                    Some((_, list)) => list.push((residual, *arm)),
+                    None => groups.push((pinned, vec![(residual, *arm)])),
+                }
+            }
+            let mut cases = Vec::new();
+            let group_data: Vec<(BlockId, Vec<(Conjunction, usize)>)> = groups
+                .into_iter()
+                .map(|(v, list)| {
+                    let bb = self.new_block();
+                    cases.push((v, bb));
+                    (bb, list)
+                })
+                .collect();
+            self.set_term(Terminator::Switch {
+                val: fval,
+                cases,
+                default: default_bb,
+            });
+            for (bb, list) in group_data {
+                self.switch_to(bb);
+                self.emit_test_chain(tok, &list, &arm_entry, default_bb);
+            }
+        } else {
+            self.emit_test_chain(tok, &tests, &arm_entry, default_bb);
+        }
+    }
+
+    /// A field every conjunction fully pins (typically the opcode).
+    fn find_discriminator(&self, tests: &[(Conjunction, usize)]) -> Option<FieldId> {
+        if tests.is_empty() {
+            return None;
+        }
+        // Candidate fields in declaration order (opcode fields come first
+        // by convention, giving the best split).
+        for (fid, f) in self.syms.fields.iter().enumerate() {
+            let fid = FieldId(fid as u32);
+            let mask = f.mask();
+            if tests.iter().all(|(c, _)| c.mask & mask == mask) {
+                return Some(fid);
+            }
+        }
+        None
+    }
+
+    fn extract_field(&mut self, tok: VarId, lo: u32, width: u32) -> Operand {
+        let shifted = if lo == 0 {
+            Operand::Var(tok)
+        } else {
+            let t = self.temp();
+            self.emit(Inst::Bin {
+                op: BinOp::Shr,
+                dst: t,
+                a: Operand::Var(tok),
+                b: Operand::Const(lo as i64),
+            });
+            Operand::Var(t)
+        };
+        if width >= 64 {
+            return shifted;
+        }
+        let t = self.temp();
+        self.emit(Inst::Bin {
+            op: BinOp::And,
+            dst: t,
+            a: shifted,
+            b: Operand::Const(((1u64 << width) - 1) as i64),
+        });
+        Operand::Var(t)
+    }
+
+    /// Emits a chain of conjunction tests ending at `default_bb`.
+    fn emit_test_chain(
+        &mut self,
+        tok: VarId,
+        tests: &[(Conjunction, usize)],
+        arm_entry: &[BlockId],
+        default_bb: BlockId,
+    ) {
+        for (c, arm) in tests {
+            let fail_bb = self.new_block();
+            self.emit_conj_test(tok, c, arm_entry[*arm], fail_bb);
+            self.switch_to(fail_bb);
+        }
+        self.set_term(Terminator::Jump(default_bb));
+    }
+
+    /// Branches to `pass` if the token word satisfies `c`, else to `fail`.
+    fn emit_conj_test(&mut self, tok: VarId, c: &Conjunction, pass: BlockId, fail: BlockId) {
+        let mut checks: Vec<Operand> = Vec::new();
+        if c.mask != 0 {
+            let masked = self.temp();
+            self.emit(Inst::Bin {
+                op: BinOp::And,
+                dst: masked,
+                a: Operand::Var(tok),
+                b: Operand::Const(c.mask as i64),
+            });
+            let eq = self.temp();
+            self.emit(Inst::Bin {
+                op: BinOp::Eq,
+                dst: eq,
+                a: Operand::Var(masked),
+                b: Operand::Const(c.value as i64),
+            });
+            checks.push(Operand::Var(eq));
+        }
+        for &(fid, v) in &c.ne {
+            let f = self.syms.field(fid).clone();
+            let fv = self.extract_field(tok, f.lo, f.width());
+            let ne = self.temp();
+            self.emit(Inst::Bin {
+                op: BinOp::Ne,
+                dst: ne,
+                a: fv,
+                b: Operand::Const(v as i64),
+            });
+            checks.push(Operand::Var(ne));
+        }
+        let cond = match checks.len() {
+            0 => Operand::Const(1),
+            1 => checks[0],
+            _ => {
+                let mut acc = checks[0];
+                for c in &checks[1..] {
+                    let t = self.temp();
+                    self.emit(Inst::Bin {
+                        op: BinOp::And,
+                        dst: t,
+                        a: acc,
+                        b: *c,
+                    });
+                    acc = Operand::Var(t);
+                }
+                acc
+            }
+        };
+        self.set_term(Terminator::Branch {
+            cond,
+            then_bb: pass,
+            else_bb: fail,
+        });
+    }
+
+    /// In an arm body block: bind the token's fields and lower the body,
+    /// ending with a jump to `exit_bb`.
+    fn bind_fields_and_body(
+        &mut self,
+        token: TokenId,
+        tok: VarId,
+        body: &ArmBody,
+        exit_bb: BlockId,
+    ) {
+        let is_sem = matches!(body, ArmBody::Sem(_));
+        if is_sem {
+            // `sem` bodies see only globals and fields, not enclosing locals.
+            self.scope_bases.push(self.scopes.len());
+        }
+        self.scopes.push(HashMap::new());
+        for &fid in &self.syms.token(token).fields.clone() {
+            let f = self.syms.field(fid).clone();
+            let val = self.extract_field(tok, f.lo, f.width());
+            let var = self.new_var(&f.name, VarKind::Scalar, false);
+            self.emit(Inst::Copy { dst: var, src: val });
+            self.scopes.last_mut().unwrap().insert(f.name.clone(), var);
+        }
+        match body {
+            ArmBody::Sem(pid) => {
+                let sem_item = self.syms.pat(*pid).sem_item.expect("sem arm has a body");
+                let Item::Sem(decl) = &self.program.items[sem_item] else {
+                    unreachable!("sem_item points at a sem item");
+                };
+                self.block(&decl.body);
+            }
+            ArmBody::Block(b) => self.block(b),
+        }
+        self.scopes.pop();
+        if is_sem {
+            self.scope_bases.pop();
+        }
+        self.set_term(Terminator::Jump(exit_bb));
+    }
+
+    // ----- expressions -----
+
+    /// Lowers an expression in effect position (procedure calls allowed).
+    fn effect_expr(&mut self, e: &ast::Expr) {
+        match &e.kind {
+            ExprKind::Call { name, args } => {
+                self.call(name, args, e.span);
+            }
+            ExprKind::Attr { recv, name, args } => {
+                self.attr(recv, name, args, e.span);
+            }
+            _ => {
+                self.expr(e);
+            }
+        }
+    }
+
+    /// Lowers a value-producing expression.
+    fn expr(&mut self, e: &ast::Expr) -> Operand {
+        match &e.kind {
+            ExprKind::Int(v) => Operand::Const(*v),
+            ExprKind::Bool(b) => Operand::Const(*b as i64),
+            ExprKind::Var(name) => self.read_scalar(&name.text, name.span),
+            ExprKind::Unary(op, a) => {
+                let a = self.expr(a);
+                let dst = self.temp();
+                let op = match op {
+                    ast::UnOp::Neg => UnOp::Neg,
+                    ast::UnOp::Not => UnOp::Not,
+                    ast::UnOp::BitNot => UnOp::BitNot,
+                };
+                self.emit(Inst::Un { op, dst, a });
+                Operand::Var(dst)
+            }
+            ExprKind::Binary(op, a, b) => self.binary(*op, a, b),
+            ExprKind::Call { name, args } => self
+                .call(name, args, e.span)
+                .unwrap_or(Operand::Const(0)),
+            ExprKind::Attr { recv, name, args } => self
+                .attr(recv, name, args, e.span)
+                .unwrap_or(Operand::Const(0)),
+            ExprKind::Index { base, index } => {
+                let Some(agg) = self.resolve_agg(&base.text, base.span) else {
+                    return Operand::Const(0);
+                };
+                let idx = self.expr(index);
+                let dst = self.temp();
+                self.emit(Inst::ElemGet { dst, agg, idx });
+                Operand::Var(dst)
+            }
+            ExprKind::ArrayInit { .. } => {
+                self.error("`array(n){fill}` is only allowed as an initializer", e.span);
+                Operand::Const(0)
+            }
+        }
+    }
+
+    fn binary(&mut self, op: ast::BinOp, a: &ast::Expr, b: &ast::Expr) -> Operand {
+        use ast::BinOp::*;
+        match op {
+            LogAnd | LogOr if expr_has_effects(b) => self.short_circuit(op == LogAnd, a, b),
+            LogAnd | LogOr => {
+                let a = self.expr(a);
+                let b = self.expr(b);
+                let na = self.normalize_bool(a);
+                let nb = self.normalize_bool(b);
+                let dst = self.temp();
+                self.emit(Inst::Bin {
+                    op: if op == LogAnd { BinOp::And } else { BinOp::Or },
+                    dst,
+                    a: na,
+                    b: nb,
+                });
+                Operand::Var(dst)
+            }
+            _ => {
+                let ir_op = map_binop(op).expect("non-logical operators map directly");
+                let a = self.expr(a);
+                let b = self.expr(b);
+                let dst = self.temp();
+                self.emit(Inst::Bin {
+                    op: ir_op,
+                    dst,
+                    a,
+                    b,
+                });
+                Operand::Var(dst)
+            }
+        }
+    }
+
+    fn normalize_bool(&mut self, v: Operand) -> Operand {
+        let dst = self.temp();
+        self.emit(Inst::Bin {
+            op: BinOp::Ne,
+            dst,
+            a: v,
+            b: Operand::Const(0),
+        });
+        Operand::Var(dst)
+    }
+
+    fn short_circuit(&mut self, is_and: bool, a: &ast::Expr, b: &ast::Expr) -> Operand {
+        let result = self.temp();
+        let a = self.expr(a);
+        let rhs_bb = self.new_block();
+        let skip_bb = self.new_block();
+        let exit_bb = self.new_block();
+        let (then_bb, else_bb) = if is_and {
+            (rhs_bb, skip_bb)
+        } else {
+            (skip_bb, rhs_bb)
+        };
+        self.set_term(Terminator::Branch {
+            cond: a,
+            then_bb,
+            else_bb,
+        });
+        self.switch_to(rhs_bb);
+        let b = self.expr(b);
+        let nb = self.normalize_bool(b);
+        self.emit(Inst::Copy {
+            dst: result,
+            src: nb,
+        });
+        self.set_term(Terminator::Jump(exit_bb));
+        self.switch_to(skip_bb);
+        self.emit(Inst::Copy {
+            dst: result,
+            src: Operand::Const(if is_and { 0 } else { 1 }),
+        });
+        self.set_term(Terminator::Jump(exit_bb));
+        self.switch_to(exit_bb);
+        Operand::Var(result)
+    }
+
+    fn call(
+        &mut self,
+        name: &ast::Ident,
+        args: &[ast::Expr],
+        span: Span,
+    ) -> Option<Operand> {
+        if let Some(&fid) = self.syms.fun_by_name.get(&name.text) {
+            return self.inline_call(fid, args, span);
+        }
+        if let Some(&eid) = self.syms.ext_by_name.get(&name.text) {
+            let ops: Vec<Operand> = args.iter().map(|a| self.expr(a)).collect();
+            let dst = self.syms.ext(eid).ret.map(|_| self.temp());
+            self.emit(Inst::CallExt {
+                ext: eid,
+                args: ops,
+                dst,
+            });
+            return dst.map(Operand::Var);
+        }
+        if let Some(b) = Builtin::lookup(&name.text) {
+            return self.builtin(b, args, span);
+        }
+        self.error(format!("undefined function `{name}`"), name.span);
+        None
+    }
+
+    fn builtin(&mut self, b: Builtin, args: &[ast::Expr], span: Span) -> Option<Operand> {
+        match b {
+            Builtin::Next => {
+                let main = self.syms.main.expect("main exists by now");
+                let ptypes: Vec<Type> = self
+                    .syms
+                    .fun(main)
+                    .params
+                    .iter()
+                    .map(|(_, t)| *t)
+                    .collect();
+                let mut key_args = Vec::with_capacity(args.len());
+                for (a, t) in args.iter().zip(ptypes) {
+                    match t {
+                        Type::Queue => {
+                            let ExprKind::Var(name) = &a.kind else {
+                                self.error("queue key components must be named variables", a.span);
+                                continue;
+                            };
+                            if let Some(loc) = self.resolve_agg(&name.text, a.span) {
+                                key_args.push(KeyArg::Queue(loc));
+                            }
+                        }
+                        _ => key_args.push(KeyArg::Scalar(self.expr(a))),
+                    }
+                }
+                self.emit(Inst::SetNext { args: key_args });
+                // `next` ends the step: the INDEX action must be the last
+                // recorded action, so nothing may execute after it.
+                self.set_term(Terminator::Jump(self.exit));
+                let dead = self.new_block();
+                self.switch_to(dead);
+                None
+            }
+            Builtin::MemLd | Builtin::MemLd4 | Builtin::MemLd1 => {
+                let addr = self.expr(&args[0]);
+                let dst = self.temp();
+                let width = match b {
+                    Builtin::MemLd => MemWidth::W8,
+                    Builtin::MemLd4 => MemWidth::W4,
+                    _ => MemWidth::W1,
+                };
+                self.emit(Inst::MemLoad { width, dst, addr });
+                Some(Operand::Var(dst))
+            }
+            Builtin::MemSt | Builtin::MemSt4 | Builtin::MemSt1 => {
+                let addr = self.expr(&args[0]);
+                let src = self.expr(&args[1]);
+                let width = match b {
+                    Builtin::MemSt => MemWidth::W8,
+                    Builtin::MemSt4 => MemWidth::W4,
+                    _ => MemWidth::W1,
+                };
+                self.emit(Inst::MemStore { width, addr, src });
+                None
+            }
+            Builtin::CountCycles => {
+                let n = self.expr(&args[0]);
+                self.emit(Inst::CountCycles { n });
+                None
+            }
+            Builtin::CountInsns => {
+                let n = self.expr(&args[0]);
+                self.emit(Inst::CountInsns { n });
+                None
+            }
+            Builtin::SimHalt => {
+                self.emit(Inst::Halt {
+                    code: Operand::Const(HALT_EXPLICIT),
+                });
+                None
+            }
+            Builtin::Trace => {
+                let v = self.expr(&args[0]);
+                self.emit(Inst::Trace { v });
+                None
+            }
+            Builtin::StreamAt => {
+                // Streams are addresses; the conversion is the identity.
+                Some(self.expr(&args[0]))
+            }
+            Builtin::I2F | Builtin::F2I => {
+                let a = self.expr(&args[0]);
+                let dst = self.temp();
+                let op = if b == Builtin::I2F { UnOp::I2F } else { UnOp::F2I };
+                self.emit(Inst::Un { op, dst, a });
+                Some(Operand::Var(dst))
+            }
+            Builtin::FAdd
+            | Builtin::FSub
+            | Builtin::FMul
+            | Builtin::FDiv
+            | Builtin::FLt
+            | Builtin::Lsr
+            | Builtin::Min
+            | Builtin::Max => {
+                let a = self.expr(&args[0]);
+                let bb = self.expr(&args[1]);
+                let dst = self.temp();
+                let op = match b {
+                    Builtin::FAdd => BinOp::FAdd,
+                    Builtin::FSub => BinOp::FSub,
+                    Builtin::FMul => BinOp::FMul,
+                    Builtin::FDiv => BinOp::FDiv,
+                    Builtin::FLt => BinOp::FLt,
+                    Builtin::Lsr => BinOp::Shru,
+                    Builtin::Min => BinOp::Min,
+                    _ => BinOp::Max,
+                };
+                self.emit(Inst::Bin { op, dst, a, b: bb });
+                Some(Operand::Var(dst))
+            }
+        }
+        .or_else(|| {
+            let _ = span;
+            None
+        })
+    }
+
+    fn inline_call(
+        &mut self,
+        fid: facile_sema::FunId,
+        args: &[ast::Expr],
+        span: Span,
+    ) -> Option<Operand> {
+        if self.rets.len() >= 64 {
+            self.error("function calls nested too deeply to inline", span);
+            return None;
+        }
+        let info = self.syms.fun(fid).clone();
+        let Item::Fun(decl) = &self.program.items[info.item] else {
+            unreachable!("fun table points at fun items");
+        };
+        // Evaluate arguments in the caller's scope.
+        let mut bindings: Vec<(String, VarId)> = Vec::new();
+        for ((pname, pty), a) in info.params.iter().zip(args) {
+            match pty {
+                Type::Queue | Type::Array(_) => {
+                    // Aggregates pass by reference: bind the parameter name
+                    // to the caller's location (no pointers exist, so the
+                    // argument is always a named variable).
+                    let ExprKind::Var(vname) = &a.kind else {
+                        self.error(
+                            format!("argument for `{pname}` must be a named variable"),
+                            a.span,
+                        );
+                        continue;
+                    };
+                    match self.resolve_agg(&vname.text, a.span) {
+                        Some(Loc::Var(v)) => bindings.push((pname.clone(), v)),
+                        Some(Loc::Global(_)) | None => {
+                            // Globals are visible inside the callee anyway;
+                            // alias via a scope entry is impossible for
+                            // globals, so we reject the rare shadowing case.
+                            if let Some(Loc::Global(g)) = self.resolve_agg(&vname.text, a.span) {
+                                let gname = self.syms.global(g).name.clone();
+                                if gname != *pname {
+                                    self.error(
+                                        format!(
+                                            "global aggregate `{gname}` cannot be passed as parameter `{pname}`; pass a local or rename the parameter"
+                                        ),
+                                        a.span,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let v = self.expr(a);
+                    let p = self.new_var(pname, VarKind::Scalar, false);
+                    self.emit(Inst::Copy { dst: p, src: v });
+                    bindings.push((pname.clone(), p));
+                }
+            }
+        }
+        let result = info.ret.map(|_| {
+            let t = self.temp();
+            self.emit(Inst::Copy {
+                dst: t,
+                src: Operand::Const(0),
+            });
+            t
+        });
+        let ret_bb = self.new_block();
+
+        // Enter the callee: a scope barrier hides the caller's locals.
+        self.scope_bases.push(self.scopes.len());
+        self.scopes.push(bindings.into_iter().collect());
+        self.rets.push((result, ret_bb));
+        self.block(&decl.body);
+        self.set_term(Terminator::Jump(ret_bb));
+        self.rets.pop();
+        self.scopes.pop();
+        self.scope_bases.pop();
+        self.switch_to(ret_bb);
+        result.map(Operand::Var)
+    }
+
+    fn attr(
+        &mut self,
+        recv: &ast::Expr,
+        name: &ast::Ident,
+        args: &[ast::Expr],
+        span: Span,
+    ) -> Option<Operand> {
+        let attr = Attr::lookup(&name.text)?;
+        match attr {
+            Attr::Sext | Attr::Zext => {
+                let a = self.expr(recv);
+                let w = const_eval(&args[0]).unwrap_or(64).clamp(1, 64) as u32;
+                let dst = self.temp();
+                let op = if attr == Attr::Sext {
+                    UnOp::Sext(w)
+                } else {
+                    UnOp::Zext(w)
+                };
+                self.emit(Inst::Un { op, dst, a });
+                Some(Operand::Var(dst))
+            }
+            Attr::Verify => {
+                let a = self.expr(recv);
+                let dst = self.temp();
+                self.emit(Inst::Verify { dst, src: a });
+                Some(Operand::Var(dst))
+            }
+            Attr::Addr => Some(self.expr(recv)), // streams are addresses
+            Attr::TokenWord => {
+                let s = self.expr(recv);
+                if self.syms.tokens.is_empty() {
+                    self.error("`?token` needs a token declaration", span);
+                    return Some(Operand::Const(0));
+                }
+                let dst = self.temp();
+                self.emit(Inst::FetchToken {
+                    dst,
+                    stream: s,
+                    token: TokenId(0),
+                });
+                Some(Operand::Var(dst))
+            }
+            Attr::Exec => {
+                let s = self.expr(recv);
+                self.lower_exec(s, span);
+                None
+            }
+            _ => {
+                // Queue operations.
+                let ExprKind::Var(qname) = &recv.kind else {
+                    self.error("queue attributes need a named queue variable", recv.span);
+                    return Some(Operand::Const(0));
+                };
+                let q = self.resolve_agg(&qname.text, recv.span)?;
+                let op = match attr {
+                    Attr::QPushBack => QueueOp::PushBack,
+                    Attr::QPushFront => QueueOp::PushFront,
+                    Attr::QPopBack => QueueOp::PopBack,
+                    Attr::QPopFront => QueueOp::PopFront,
+                    Attr::QLen => QueueOp::Len,
+                    Attr::QGet => QueueOp::Get,
+                    Attr::QSet => QueueOp::Set,
+                    Attr::QClear => QueueOp::Clear,
+                    Attr::QFront => QueueOp::Front,
+                    Attr::QBack => QueueOp::Back,
+                    _ => unreachable!("remaining attrs are queue ops"),
+                };
+                let mut a0 = None;
+                let mut a1 = None;
+                if let Some(a) = args.first() {
+                    a0 = Some(self.expr(a));
+                }
+                if let Some(a) = args.get(1) {
+                    a1 = Some(self.expr(a));
+                }
+                let dst = match op {
+                    QueueOp::PopBack
+                    | QueueOp::PopFront
+                    | QueueOp::Len
+                    | QueueOp::Get
+                    | QueueOp::Front
+                    | QueueOp::Back => Some(self.temp()),
+                    _ => None,
+                };
+                self.emit(Inst::Queue {
+                    op,
+                    q,
+                    args: [a0, a1],
+                    dst,
+                });
+                dst.map(Operand::Var)
+            }
+        }
+    }
+}
+
+enum ArmBody<'a> {
+    /// Run the `sem` body of this pattern.
+    Sem(PatId),
+    /// Run a user block (pattern-switch arm).
+    Block(&'a ast::Block),
+}
+
+/// Whether evaluating `e` can have side effects (calls, queue mutation,
+/// verification). Local scalar variables are never mutated by expressions,
+/// so pure operand captures stay valid.
+fn expr_has_effects(e: &ast::Expr) -> bool {
+    match &e.kind {
+        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Var(_) => false,
+        ExprKind::Unary(_, a) => expr_has_effects(a),
+        ExprKind::Binary(_, a, b) => expr_has_effects(a) || expr_has_effects(b),
+        ExprKind::Call { .. } => true,
+        ExprKind::Attr { recv, name, args } => {
+            !matches!(
+                Attr::lookup(&name.text),
+                Some(Attr::Sext | Attr::Zext | Attr::Addr | Attr::TokenWord | Attr::QLen
+                    | Attr::QGet | Attr::QFront | Attr::QBack)
+            ) || expr_has_effects(recv)
+                || args.iter().any(expr_has_effects)
+        }
+        ExprKind::Index { index, .. } => expr_has_effects(index),
+        ExprKind::ArrayInit { fill, .. } => expr_has_effects(fill),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_lang::parser::parse;
+    use facile_sema::analyze;
+
+    fn lower_src(src: &str) -> IrProgram {
+        let mut diags = Diagnostics::new();
+        let prog = parse(src, &mut diags);
+        assert!(!diags.has_errors(), "parse: {}", diags.render_all(src));
+        let syms = analyze(&prog, &mut diags);
+        assert!(!diags.has_errors(), "sema: {}", diags.render_all(src));
+        let ir = lower(&prog, &syms, &mut diags);
+        assert!(!diags.has_errors(), "lower: {}", diags.render_all(src));
+        ir.expect("lowering succeeds")
+    }
+
+    fn count_insts(ir: &IrProgram, pred: impl Fn(&Inst) -> bool) -> usize {
+        ir.main
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    const H: &str =
+        "token instr[32] fields op 26:31, rd 21:25, rs1 16:20, imm16 0:15;\n";
+
+    #[test]
+    fn trivial_main_lowers() {
+        let ir = lower_src("fun main(pc : stream) { next(pc + 4); }");
+        assert_eq!(ir.main.params.len(), 1);
+        assert_eq!(count_insts(&ir, |i| matches!(i, Inst::SetNext { .. })), 1);
+    }
+
+    #[test]
+    fn globals_lowered_with_initializers() {
+        let ir = lower_src("val a = 5;\nval b = array(4){7};\nval q : queue;\nfun main() { }");
+        assert_eq!(ir.globals.len(), 3);
+        assert_eq!(ir.globals[0].init, GlobalInit::Scalar(5));
+        assert_eq!(ir.globals[1].init, GlobalInit::Array { size: 4, fill: 7 });
+        assert_eq!(ir.globals[2].init, GlobalInit::Queue);
+    }
+
+    #[test]
+    fn const_global_initializer_folds() {
+        let ir = lower_src("val a = 2 + 3 * 4;\nfun main() { }");
+        assert_eq!(ir.globals[0].init, GlobalInit::Scalar(14));
+    }
+
+    #[test]
+    fn exec_emits_decode_switch_on_opcode() {
+        let ir = lower_src(&format!(
+            "{H}pat add = op==0;\npat sub = op==1;\nval R = array(32){{0}};\n\
+             sem add {{ R[rd] = R[rs1] + 1; }}\nsem sub {{ R[rd] = R[rs1] - 1; }}\n\
+             fun main(pc : stream) {{ pc?exec(); next(pc + 4); }}"
+        ));
+        // The discriminator optimization should produce a Switch terminator.
+        let has_switch = ir
+            .main
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Switch { .. }));
+        assert!(has_switch, "expected discriminator switch:\n{}", ir.main);
+        assert_eq!(
+            count_insts(&ir, |i| matches!(i, Inst::FetchToken { .. })),
+            1
+        );
+        // Decode failure path exists.
+        assert!(count_insts(&ir, |i| matches!(i, Inst::Halt { .. })) >= 1);
+    }
+
+    #[test]
+    fn paper_add_with_two_conjunctions_uses_residual_tests() {
+        let ir = lower_src(&format!(
+            "{H}pat i = op==0;\n\
+             pat add = op==0 && (rd==1 || rs1==0);\n\
+             sem add {{ trace(1); }}\n\
+             fun main(pc : stream) {{ pc?exec(); next(pc + 4); }}"
+        ));
+        // op is pinned in both conjunctions -> switch; residual tests on
+        // rd/rs1 remain as branches.
+        let branches = ir
+            .main
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+            .count();
+        assert!(branches >= 2, "expected residual branch tests:\n{}", ir.main);
+    }
+
+    #[test]
+    fn linear_chain_when_no_discriminator() {
+        // Two patterns pinning different fields: no common discriminator.
+        let ir = lower_src(&format!(
+            "{H}pat a = rd==1;\npat b = imm16==2;\n\
+             sem a {{ }}\nsem b {{ }}\n\
+             fun main(pc : stream) {{ pc?exec(); next(pc + 4); }}"
+        ));
+        let has_switch = ir
+            .main
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Switch { .. }));
+        assert!(!has_switch, "no discriminator should exist:\n{}", ir.main);
+    }
+
+    #[test]
+    fn sem_fields_are_extracted() {
+        let ir = lower_src(&format!(
+            "{H}pat add = op==0;\nval R = array(32){{0}};\n\
+             sem add {{ R[rd] = rs1 + imm16?sext(16); }}\n\
+             fun main(pc : stream) {{ pc?exec(); next(pc + 4); }}"
+        ));
+        // Sign extension survives lowering.
+        assert_eq!(
+            count_insts(&ir, |i| matches!(
+                i,
+                Inst::Un {
+                    op: UnOp::Sext(16),
+                    ..
+                }
+            )),
+            1
+        );
+    }
+
+    #[test]
+    fn inlining_copies_body_per_call_site() {
+        let ir = lower_src(
+            "fun f(x : int) { trace(x); }\n\
+             fun main() { f(1); f(2); f(3); }",
+        );
+        assert_eq!(count_insts(&ir, |i| matches!(i, Inst::Trace { .. })), 3);
+    }
+
+    #[test]
+    fn inlined_function_returns_value() {
+        let ir = lower_src(
+            "fun double(x : int) { return x * 2; }\n\
+             fun main() { val y = double(21); trace(y); }",
+        );
+        assert!(count_insts(&ir, |i| matches!(
+            i,
+            Inst::Bin {
+                op: BinOp::Mul,
+                ..
+            }
+        )) == 1);
+    }
+
+    #[test]
+    fn queue_param_aliases_caller_queue() {
+        let ir = lower_src(
+            "fun push2(q : queue) { q?push_back(1); q?push_back(2); }\n\
+             fun main(iq : queue) { push2(iq); next(iq); }",
+        );
+        // Both pushes target the parameter variable of main.
+        let param = ir.main.params[0];
+        let pushes: Vec<_> = ir
+            .main
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter_map(|i| match i {
+                Inst::Queue {
+                    op: QueueOp::PushBack,
+                    q,
+                    ..
+                } => Some(*q),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pushes, vec![Loc::Var(param), Loc::Var(param)]);
+    }
+
+    #[test]
+    fn while_with_break_and_continue() {
+        let ir = lower_src(
+            "fun main(n : int) {\n\
+               val i = 0;\n\
+               while (1) {\n\
+                 i = i + 1;\n\
+                 if (i == n) { break; }\n\
+                 if (i % 2) { continue; }\n\
+                 trace(i);\n\
+               }\n\
+               next(n);\n\
+             }",
+        );
+        assert!(ir.main.blocks.len() > 5);
+        assert_eq!(count_insts(&ir, |i| matches!(i, Inst::Trace { .. })), 1);
+    }
+
+    #[test]
+    fn short_circuit_only_when_rhs_has_effects() {
+        let pure = lower_src("fun main(a : int, b : int) { if (a && b) { } next(a, b); }");
+        // Pure rhs: no extra control flow beyond the `if`.
+        let branches = pure
+            .main
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+            .count();
+        assert_eq!(branches, 1, "{}", pure.main);
+
+        let effectful = lower_src(
+            "ext fun probe(x : int) : int;\n\
+             fun main(a : int) { if (a && probe(a)) { } next(a); }",
+        );
+        let eff_branches = effectful
+            .main
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+            .count();
+        assert!(eff_branches >= 2, "{}", effectful.main);
+    }
+
+    #[test]
+    fn verify_lowered() {
+        let ir = lower_src(
+            "ext fun cache(a : int) : int;\n\
+             fun main(x : int) { val lat = cache(x)?verify; next(x + lat); }",
+        );
+        assert_eq!(count_insts(&ir, |i| matches!(i, Inst::Verify { .. })), 1);
+        assert_eq!(count_insts(&ir, |i| matches!(i, Inst::CallExt { .. })), 1);
+    }
+
+    #[test]
+    fn local_array_and_queue_initialization() {
+        let ir = lower_src(
+            "fun main() {\n\
+               val a : array(8);\n\
+               val b = array(4){9};\n\
+               val q : queue;\n\
+               a[0] = b[1];\n\
+               q?push_back(a[0]);\n\
+             }",
+        );
+        assert_eq!(count_insts(&ir, |i| matches!(i, Inst::ArrFill { .. })), 2);
+        assert_eq!(
+            count_insts(&ir, |i| matches!(
+                i,
+                Inst::Queue {
+                    op: QueueOp::Clear,
+                    ..
+                }
+            )),
+            1
+        );
+    }
+
+    #[test]
+    fn value_switch_lowering() {
+        let ir = lower_src(
+            "fun main(x : int) {\n\
+               switch (x) { case 1: trace(1); case 2, 3: trace(2); default: trace(0); }\n\
+               next(x);\n\
+             }",
+        );
+        let sw = ir
+            .main
+            .blocks
+            .iter()
+            .find_map(|b| match &b.term {
+                Terminator::Switch { cases, .. } => Some(cases.clone()),
+                _ => None,
+            })
+            .expect("switch exists");
+        assert_eq!(sw.len(), 3);
+    }
+
+    #[test]
+    fn return_from_main_jumps_to_exit() {
+        let ir = lower_src("fun main(x : int) { if (x) { return; } next(x + 1); }");
+        // No panic, and the exit block is reachable from two paths.
+        assert!(ir.main.reverse_postorder().len() >= 3);
+    }
+
+    #[test]
+    fn mem_and_counter_builtins() {
+        let ir = lower_src(
+            "fun main(a : int) {\n\
+               mem_st(a, 1); mem_st4(a, 2); mem_st1(a, 3);\n\
+               val x = mem_ld(a) + mem_ld4(a) + mem_ld1(a);\n\
+               count_cycles(2); count_insns(1);\n\
+               if (x > 100) { sim_halt(); }\n\
+               next(a + 8);\n\
+             }",
+        );
+        assert_eq!(count_insts(&ir, |i| matches!(i, Inst::MemStore { .. })), 3);
+        assert_eq!(count_insts(&ir, |i| matches!(i, Inst::MemLoad { .. })), 3);
+        assert_eq!(count_insts(&ir, |i| matches!(i, Inst::CountCycles { .. })), 1);
+        assert_eq!(count_insts(&ir, |i| matches!(i, Inst::Halt { .. })), 1);
+    }
+
+    #[test]
+    fn float_builtins_lower_to_float_ops() {
+        let ir = lower_src(
+            "fun main(a : int, b : int) {\n\
+               val s = fadd(i2f(a), i2f(b));\n\
+               val c = flt(s, fdiv(s, fmul(s, fsub(s, s))));\n\
+               next(f2i(s), c);\n\
+             }",
+        );
+        for op in [BinOp::FAdd, BinOp::FSub, BinOp::FMul, BinOp::FDiv, BinOp::FLt] {
+            assert_eq!(
+                count_insts(&ir, |i| matches!(i, Inst::Bin { op: o, .. } if *o == op)),
+                1,
+                "missing {op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rpo_covers_all_reachable_blocks() {
+        let ir = lower_src(&format!(
+            "{H}pat add = op==0;\nval R = array(32){{0}};\n\
+             sem add {{ R[rd] = R[rs1] + 1; }}\n\
+             fun main(pc : stream) {{ pc?exec(); next(pc + 4); }}"
+        ));
+        let rpo = ir.main.reverse_postorder();
+        assert!(rpo.len() >= 5);
+        assert_eq!(rpo[0], ir.main.entry);
+    }
+}

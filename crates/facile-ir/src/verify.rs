@@ -1,0 +1,305 @@
+//! Structural IR verifier.
+//!
+//! Catches compiler bugs early: every block target, variable id, global id
+//! and aggregate-kind assumption is checked. Run by `facilec` after each
+//! pass and by the test suites.
+
+use crate::ir::*;
+use facile_sema::Type;
+
+/// Verifies structural invariants of a lowered program.
+///
+/// # Errors
+///
+/// Returns a list of human-readable violations; empty means the program is
+/// well-formed.
+pub fn verify(ir: &IrProgram) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    let f = &ir.main;
+    let nb = f.blocks.len();
+    let nv = f.vars.len();
+    let ng = ir.globals.len();
+
+    let check_var = |v: VarId, what: &str, errs: &mut Vec<String>| {
+        if v.index() >= nv {
+            errs.push(format!("{what}: variable {v} out of range"));
+        }
+    };
+    let check_scalar = |v: VarId, what: &str, errs: &mut Vec<String>| {
+        if v.index() >= nv {
+            errs.push(format!("{what}: variable {v} out of range"));
+        } else if f.vars[v.index()].kind != VarKind::Scalar {
+            errs.push(format!("{what}: variable {v} is not scalar"));
+        }
+    };
+    let check_op = |o: Operand, what: &str, errs: &mut Vec<String>| {
+        if let Operand::Var(v) = o {
+            check_scalar(v, what, errs);
+        }
+    };
+    let check_loc_kind = |l: Loc, want_queue: Option<bool>, what: &str, errs: &mut Vec<String>| {
+        let kind = match l {
+            Loc::Var(v) => {
+                if v.index() >= nv {
+                    errs.push(format!("{what}: aggregate variable {v} out of range"));
+                    return;
+                }
+                f.vars[v.index()].kind
+            }
+            Loc::Global(g) => {
+                if g.index() >= ng {
+                    errs.push(format!("{what}: global g{} out of range", g.0));
+                    return;
+                }
+                ir.globals[g.index()].kind()
+            }
+        };
+        match (want_queue, kind) {
+            (_, VarKind::Scalar) => errs.push(format!("{what}: {l} is scalar, not aggregate")),
+            (Some(true), VarKind::Array(_)) => {
+                errs.push(format!("{what}: {l} is an array, queue required"))
+            }
+            (Some(false), VarKind::Queue) => {
+                errs.push(format!("{what}: {l} is a queue, array required"))
+            }
+            _ => {}
+        }
+    };
+    let check_block = |b: BlockId, what: &str, errs: &mut Vec<String>| {
+        if b.index() >= nb {
+            errs.push(format!("{what}: block {b} out of range"));
+        }
+    };
+
+    if f.entry.index() >= nb {
+        errs.push(format!("entry block {} out of range", f.entry));
+    }
+    if f.params.len() != f.param_types.len() {
+        errs.push("params and param_types lengths differ".into());
+    }
+    for (p, t) in f.params.iter().zip(&f.param_types) {
+        check_var(*p, "param", &mut errs);
+        if p.index() < nv {
+            let kind = f.vars[p.index()].kind;
+            let ok = matches!(
+                (t, kind),
+                (Type::Int, VarKind::Scalar)
+                    | (Type::Stream, VarKind::Scalar)
+                    | (Type::Queue, VarKind::Queue)
+            );
+            if !ok {
+                errs.push(format!("param {p} kind {kind:?} does not match type {t}"));
+            }
+        }
+    }
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let at = |i: usize| format!("bb{bi}[{i}]");
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if let Some(d) = inst.dst() {
+                check_scalar(d, &at(ii), &mut errs);
+            }
+            for op in inst.operands() {
+                check_op(op, &at(ii), &mut errs);
+            }
+            match inst {
+                Inst::LoadGlobal { g, .. } | Inst::StoreGlobal { g, .. } => {
+                    if g.index() >= ng {
+                        errs.push(format!("{}: global g{} out of range", at(ii), g.0));
+                    } else if ir.globals[g.index()].kind() != VarKind::Scalar {
+                        errs.push(format!(
+                            "{}: global g{} is not scalar",
+                            at(ii),
+                            g.0
+                        ));
+                    }
+                }
+                Inst::ElemGet { agg, .. } | Inst::ElemSet { agg, .. } => {
+                    check_loc_kind(*agg, None, &at(ii), &mut errs);
+                }
+                Inst::ArrFill { arr, .. } => {
+                    check_loc_kind(*arr, Some(false), &at(ii), &mut errs);
+                }
+                Inst::Queue { q, op, dst, args } => {
+                    check_loc_kind(*q, Some(true), &at(ii), &mut errs);
+                    let (want_args, want_dst) = match op {
+                        QueueOp::PushBack | QueueOp::PushFront => (1, false),
+                        QueueOp::PopBack
+                        | QueueOp::PopFront
+                        | QueueOp::Len
+                        | QueueOp::Front
+                        | QueueOp::Back => (0, true),
+                        QueueOp::Get => (1, true),
+                        QueueOp::Set => (2, false),
+                        QueueOp::Clear => (0, false),
+                    };
+                    let have_args = args.iter().flatten().count();
+                    if have_args != want_args {
+                        errs.push(format!(
+                            "{}: queue op {op:?} expects {want_args} args, has {have_args}",
+                            at(ii)
+                        ));
+                    }
+                    if dst.is_some() != want_dst {
+                        errs.push(format!(
+                            "{}: queue op {op:?} dst mismatch",
+                            at(ii)
+                        ));
+                    }
+                }
+                Inst::AggCopy { dst, src } => {
+                    check_loc_kind(*dst, None, &at(ii), &mut errs);
+                    check_loc_kind(*src, None, &at(ii), &mut errs);
+                }
+                Inst::SetNext { args } => {
+                    if args.len() != f.params.len() {
+                        errs.push(format!(
+                            "{}: next() has {} args, main has {} params",
+                            at(ii),
+                            args.len(),
+                            f.params.len()
+                        ));
+                    }
+                    for (a, t) in args.iter().zip(&f.param_types) {
+                        match (a, t) {
+                            (KeyArg::Queue(l), Type::Queue) => {
+                                check_loc_kind(*l, Some(true), &at(ii), &mut errs)
+                            }
+                            (KeyArg::Scalar(_), Type::Queue) => errs.push(format!(
+                                "{}: scalar key component for queue parameter",
+                                at(ii)
+                            )),
+                            (KeyArg::Queue(_), _) => errs.push(format!(
+                                "{}: queue key component for scalar parameter",
+                                at(ii)
+                            )),
+                            _ => {}
+                        }
+                    }
+                }
+                Inst::LiftVar { v } => check_var(*v, &at(ii), &mut errs),
+                Inst::LiftGlobal { g }
+                    if g.index() >= ng => {
+                        errs.push(format!("{}: global g{} out of range", at(ii), g.0));
+                    }
+                Inst::LiftAgg { loc } => check_loc_kind(*loc, None, &at(ii), &mut errs),
+                _ => {}
+            }
+        }
+        match &b.term {
+            Terminator::Jump(t) => check_block(*t, &format!("bb{bi} term"), &mut errs),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                check_op(*cond, &format!("bb{bi} term"), &mut errs);
+                check_block(*then_bb, &format!("bb{bi} term"), &mut errs);
+                check_block(*else_bb, &format!("bb{bi} term"), &mut errs);
+            }
+            Terminator::Switch {
+                val,
+                cases,
+                default,
+            } => {
+                check_op(*val, &format!("bb{bi} term"), &mut errs);
+                check_block(*default, &format!("bb{bi} term"), &mut errs);
+                let mut seen = std::collections::HashSet::new();
+                for (v, t) in cases {
+                    check_block(*t, &format!("bb{bi} term"), &mut errs);
+                    if !seen.insert(*v) {
+                        errs.push(format!("bb{bi} term: duplicate switch case {v}"));
+                    }
+                }
+            }
+            Terminator::Return => {}
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::fold_constants;
+    use crate::lower::lower;
+    use facile_lang::diag::Diagnostics;
+    use facile_lang::parser::parse;
+    use facile_sema::analyze;
+
+    fn build(src: &str) -> IrProgram {
+        let mut diags = Diagnostics::new();
+        let prog = parse(src, &mut diags);
+        let syms = analyze(&prog, &mut diags);
+        assert!(!diags.has_errors(), "{}", diags.render_all(src));
+        lower(&prog, &syms, &mut diags).expect("lowering succeeds")
+    }
+
+    #[test]
+    fn lowered_programs_verify() {
+        let srcs = [
+            "fun main(x : int) { next(x + 1); }",
+            "val q : queue;\nfun main(x : int) { q?push_back(x); next(q?pop_front()); }",
+            "token t[32] fields op 26:31, rd 21:25;\npat a = op==0;\nval R = array(32){0};\nsem a { R[rd] = 1; }\nfun main(pc : stream) { pc?exec(); next(pc + 4); }",
+        ];
+        for src in srcs {
+            let ir = build(src);
+            verify(&ir).unwrap_or_else(|e| panic!("{src}\n{}", e.join("\n")));
+        }
+    }
+
+    #[test]
+    fn folded_programs_still_verify() {
+        let mut ir = build(
+            "fun main(x : int) { val y = 2 * 3 + x; if (y > 5) { trace(y); } next(y); }",
+        );
+        fold_constants(&mut ir.main);
+        verify(&ir).unwrap_or_else(|e| panic!("{}", e.join("\n")));
+    }
+
+    #[test]
+    fn detects_bad_block_target() {
+        let mut ir = build("fun main(x : int) { next(x); }");
+        ir.main.blocks[0].term = Terminator::Jump(BlockId(999));
+        assert!(verify(&ir).is_err());
+    }
+
+    #[test]
+    fn detects_bad_var() {
+        let mut ir = build("fun main(x : int) { next(x); }");
+        ir.main.blocks[0].insts.push(Inst::Copy {
+            dst: VarId(999),
+            src: Operand::Const(0),
+        });
+        assert!(verify(&ir).is_err());
+    }
+
+    #[test]
+    fn detects_queue_op_on_array() {
+        let mut ir = build("val a = array(4){0};\nfun main(x : int) { next(x); }");
+        ir.main.blocks[0].insts.push(Inst::Queue {
+            op: QueueOp::Clear,
+            q: Loc::Global(facile_sema::GlobalId(0)),
+            args: [None, None],
+            dst: None,
+        });
+        assert!(verify(&ir).is_err());
+    }
+
+    #[test]
+    fn detects_duplicate_switch_cases() {
+        let mut ir = build("fun main(x : int) { next(x); }");
+        let b0 = BlockId(0);
+        ir.main.blocks[b0.index()].term = Terminator::Switch {
+            val: Operand::Const(0),
+            cases: vec![(1, ir.main.entry), (1, ir.main.entry)],
+            default: ir.main.entry,
+        };
+        assert!(verify(&ir).is_err());
+    }
+}

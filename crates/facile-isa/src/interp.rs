@@ -1,0 +1,336 @@
+//! The golden TRISC interpreter.
+//!
+//! A direct, obviously-correct functional interpreter used as the
+//! reference for differential testing: every simulator in this workspace
+//! (the Facile-compiled ones, `simplescalar`, `fastsim`) must retire the
+//! same instruction stream with the same architectural effects.
+
+use crate::isa::{Insn, Opcode};
+use facile_runtime::Target;
+
+/// Architectural CPU state.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    /// The register file; `regs[0]` is forced to zero.
+    pub regs: [i64; 32],
+    /// Program counter.
+    pub pc: u64,
+    /// Whether a `halt` has executed.
+    pub halted: bool,
+    /// Values emitted by `out`.
+    pub out: Vec<i64>,
+    /// Retired instruction count.
+    pub insns: u64,
+}
+
+impl Cpu {
+    /// A CPU at the entry point of `target`.
+    pub fn new(target: &Target) -> Cpu {
+        Cpu {
+            regs: [0; 32],
+            pc: target.entry(),
+            halted: false,
+            out: Vec::new(),
+            insns: 0,
+        }
+    }
+
+    fn write(&mut self, rd: u8, v: i64) {
+        if rd != 0 {
+            self.regs[rd as usize] = v;
+        }
+    }
+
+    /// Executes one instruction. Returns the retired instruction, or
+    /// `None` when halted or on an undecodable word (which also halts).
+    pub fn step(&mut self, target: &mut Target) -> Option<Insn> {
+        if self.halted {
+            return None;
+        }
+        let word = target.fetch_token(self.pc, 32) as u32;
+        let Some(i) = Insn::decode(word) else {
+            self.halted = true;
+            return None;
+        };
+        self.step_decoded(&i, target);
+        Some(i)
+    }
+
+    /// Executes one *already decoded* instruction (the caller guarantees
+    /// it matches the word at the current PC). Avoids the second
+    /// fetch+decode in timing simulators that decode for classification.
+    pub fn step_decoded(&mut self, i: &Insn, target: &mut Target) {
+        let i = *i;
+        let pc = self.pc;
+        let mut npc = pc.wrapping_add(4);
+        let rs1 = self.regs[i.rs1 as usize];
+        let rs2 = self.regs[i.rs2 as usize];
+        let rd_val = self.regs[i.rd as usize];
+        let imm = i.imm16 as i64;
+        use Opcode::*;
+        match i.op {
+            Add => self.write(i.rd, rs1.wrapping_add(rs2)),
+            Sub => self.write(i.rd, rs1.wrapping_sub(rs2)),
+            And => self.write(i.rd, rs1 & rs2),
+            Or => self.write(i.rd, rs1 | rs2),
+            Xor => self.write(i.rd, rs1 ^ rs2),
+            Sll => self.write(i.rd, rs1.wrapping_shl(rs2 as u32 & 63)),
+            Srl => self.write(i.rd, ((rs1 as u64) >> (rs2 as u32 & 63)) as i64),
+            Sra => self.write(i.rd, rs1.wrapping_shr(rs2 as u32 & 63)),
+            Mul => self.write(i.rd, rs1.wrapping_mul(rs2)),
+            Div => self.write(i.rd, if rs2 == 0 { 0 } else { rs1.wrapping_div(rs2) }),
+            Slt => self.write(i.rd, (rs1 < rs2) as i64),
+            Rem => self.write(i.rd, if rs2 == 0 { 0 } else { rs1.wrapping_rem(rs2) }),
+            Addi => self.write(i.rd, rs1.wrapping_add(imm)),
+            Andi => self.write(i.rd, rs1 & imm),
+            Ori => self.write(i.rd, rs1 | imm),
+            Xori => self.write(i.rd, rs1 ^ imm),
+            Slli => self.write(i.rd, rs1.wrapping_shl(imm as u32 & 63)),
+            Srli => self.write(i.rd, ((rs1 as u64) >> (imm as u32 & 63)) as i64),
+            Srai => self.write(i.rd, rs1.wrapping_shr(imm as u32 & 63)),
+            Slti => self.write(i.rd, (rs1 < imm) as i64),
+            Lui => self.write(i.rd, imm << 16),
+            Ld => {
+                let addr = (rs1 as u64).wrapping_add(imm as u64);
+                self.write(i.rd, target.mem.load(addr, 8) as i64);
+            }
+            St => {
+                let addr = (rs1 as u64).wrapping_add(imm as u64);
+                target.mem.store(addr, 8, rd_val as u64);
+            }
+            Ldb => {
+                let addr = (rs1 as u64).wrapping_add(imm as u64);
+                self.write(i.rd, target.mem.load(addr, 1) as i64);
+            }
+            Stb => {
+                let addr = (rs1 as u64).wrapping_add(imm as u64);
+                target.mem.store(addr, 1, rd_val as u64);
+            }
+            Beq => {
+                if rd_val == rs1 {
+                    npc = branch_target(pc, i.imm16);
+                }
+            }
+            Bne => {
+                if rd_val != rs1 {
+                    npc = branch_target(pc, i.imm16);
+                }
+            }
+            Blt => {
+                if rd_val < rs1 {
+                    npc = branch_target(pc, i.imm16);
+                }
+            }
+            Bge => {
+                if rd_val >= rs1 {
+                    npc = branch_target(pc, i.imm16);
+                }
+            }
+            Jal => {
+                self.write(31, npc as i64);
+                npc = pc.wrapping_add((i.imm26 as i64 * 4) as u64);
+            }
+            Jalr => {
+                self.write(i.rd, npc as i64);
+                npc = rs1 as u64;
+            }
+            Fadd => self.write(i.rd, fop(rs1, rs2, |a, b| a + b)),
+            Fsub => self.write(i.rd, fop(rs1, rs2, |a, b| a - b)),
+            Fmul => self.write(i.rd, fop(rs1, rs2, |a, b| a * b)),
+            Fdiv => self.write(i.rd, fop(rs1, rs2, |a, b| a / b)),
+            Flt => self.write(
+                i.rd,
+                (f64::from_bits(rs1 as u64) < f64::from_bits(rs2 as u64)) as i64,
+            ),
+            I2f => self.write(i.rd, (rs1 as f64).to_bits() as i64),
+            F2i => self.write(i.rd, f64::from_bits(rs1 as u64) as i64),
+            Out => self.out.push(rd_val),
+            Nop => {}
+            Halt => {
+                self.halted = true;
+            }
+        }
+        self.pc = npc;
+        self.insns += 1;
+    }
+
+    /// Runs up to `max_insns`; returns the number retired.
+    pub fn run(&mut self, target: &mut Target, max_insns: u64) -> u64 {
+        let start = self.insns;
+        while !self.halted && self.insns - start < max_insns {
+            if self.step(target).is_none() {
+                break;
+            }
+        }
+        self.insns - start
+    }
+
+    /// The branch target/taken outcome of `i` at `pc` given this register
+    /// state — shared oracle for branch predictors and pipelines.
+    pub fn branch_outcome(&self, i: &Insn, pc: u64) -> Option<(bool, u64)> {
+        use Opcode::*;
+        let rd_val = self.regs[i.rd as usize];
+        let rs1 = self.regs[i.rs1 as usize];
+        match i.op {
+            Beq => Some((rd_val == rs1, branch_target(pc, i.imm16))),
+            Bne => Some((rd_val != rs1, branch_target(pc, i.imm16))),
+            Blt => Some((rd_val < rs1, branch_target(pc, i.imm16))),
+            Bge => Some((rd_val >= rs1, branch_target(pc, i.imm16))),
+            Jal => Some((true, pc.wrapping_add((i.imm26 as i64 * 4) as u64))),
+            Jalr => Some((true, rs1 as u64)),
+            _ => None,
+        }
+    }
+}
+
+fn branch_target(pc: u64, off16: i32) -> u64 {
+    pc.wrapping_add((off16 as i64 * 4) as u64)
+}
+
+fn fop(a: i64, b: i64, f: impl Fn(f64, f64) -> f64) -> i64 {
+    f(f64::from_bits(a as u64), f64::from_bits(b as u64)).to_bits() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_image;
+    use facile_runtime::Target;
+
+    fn run(src: &str) -> (Cpu, Target) {
+        let image = assemble_image(src, 0, vec![]).unwrap();
+        let mut target = Target::load(&image);
+        let mut cpu = Cpu::new(&target);
+        cpu.run(&mut target, 1_000_000);
+        (cpu, target)
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        let (cpu, _) = run("addi r1, r0, 5\n\
+                            addi r2, r0, 0\n\
+                            loop: add r2, r2, r1\n\
+                            addi r1, r1, -1\n\
+                            bne r1, r0, loop\n\
+                            out r2\n\
+                            halt\n");
+        assert!(cpu.halted);
+        assert_eq!(cpu.out, vec![15]); // 5+4+3+2+1
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let (cpu, _) = run("addi r0, r0, 99\nout r0\nhalt\n");
+        assert_eq!(cpu.out, vec![0]);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let (cpu, target) = run(
+            "lui r1, 1\n\
+             addi r2, r0, 1234\n\
+             st r2, 8(r1)\n\
+             ld r3, 8(r1)\n\
+             out r3\n\
+             stb r2, 0(r1)\n\
+             ldb r4, 0(r1)\n\
+             out r4\n\
+             halt\n",
+        );
+        assert_eq!(cpu.out, vec![1234, 1234 & 0xFF]);
+        assert_eq!(target.mem.load(0x10008, 8), 1234);
+    }
+
+    #[test]
+    fn jal_and_jalr_call_return() {
+        let (cpu, _) = run(
+            "jal func\n\
+             out r5\n\
+             halt\n\
+             func: addi r5, r0, 7\n\
+             jalr r0, r31\n",
+        );
+        assert_eq!(cpu.out, vec![7]);
+        assert_eq!(cpu.insns, 5);
+    }
+
+    #[test]
+    fn branch_variants() {
+        let (cpu, _) = run(
+            "addi r1, r0, -3\n\
+             addi r2, r0, 3\n\
+             blt r1, r2, a\n\
+             out r0\n\
+             a: bge r2, r1, b\n\
+             out r0\n\
+             b: beq r1, r1, c\n\
+             out r0\n\
+             c: bne r1, r2, d\n\
+             out r0\n\
+             d: addi r9, r0, 1\n\
+             out r9\n\
+             halt\n",
+        );
+        assert_eq!(cpu.out, vec![1]);
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let (cpu, _) = run(
+            "addi r1, r0, 7\n\
+             addi r2, r0, 2\n\
+             i2f r3, r1\n\
+             i2f r4, r2\n\
+             fdiv r5, r3, r4\n\
+             f2i r6, r5\n\
+             out r6\n\
+             flt r7, r4, r3\n\
+             out r7\n\
+             halt\n",
+        );
+        assert_eq!(cpu.out, vec![3, 1]); // 7.0/2.0 truncates to 3
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let (cpu, _) = run(
+            "addi r1, r0, 9\n\
+             div r2, r1, r0\n\
+             rem r3, r1, r0\n\
+             out r2\n\
+             out r3\n\
+             halt\n",
+        );
+        assert_eq!(cpu.out, vec![0, 0]);
+    }
+
+    #[test]
+    fn undecodable_word_halts() {
+        // Opcode 0x0C is undefined (all-ones would decode as `halt`).
+        let word: u32 = 0x0C << 26;
+        let image = facile_runtime::Image {
+            text_base: 0,
+            text: word.to_le_bytes().to_vec(),
+            data: vec![],
+            entry: 0,
+        };
+        let mut target = Target::load(&image);
+        let mut cpu = Cpu::new(&target);
+        assert!(cpu.step(&mut target).is_none());
+        assert!(cpu.halted);
+        assert_eq!(cpu.insns, 0);
+    }
+
+    #[test]
+    fn branch_outcome_oracle_matches_execution() {
+        let image = assemble_image("beq r0, r0, 4\n", 0, vec![]).unwrap();
+        let mut target = Target::load(&image);
+        let mut cpu = Cpu::new(&target);
+        let word = target.fetch_token(0, 32) as u32;
+        let i = Insn::decode(word).unwrap();
+        let (taken, t) = cpu.branch_outcome(&i, 0).unwrap();
+        assert!(taken);
+        cpu.step(&mut target);
+        assert_eq!(cpu.pc, t);
+    }
+}

@@ -1,0 +1,600 @@
+//! The TRISC instruction set.
+//!
+//! TRISC is this repository's stand-in for the paper's SPARC target: a
+//! 32-bit fixed-width RISC with 32 general 64-bit registers (`r0` is
+//! hardwired to zero), compare-and-branch instructions (no condition
+//! codes), 64-bit addressing, and an f64 unit operating on register bit
+//! patterns. The encoding matches the `trisc.fac` Facile description
+//! shipped with the `facile` crate: `op` in bits 26–31, `rd` 21–25,
+//! `rs1` 16–20, `rs2` 11–15, `imm16` 0–15, `imm26` 0–25.
+
+use std::fmt;
+
+/// TRISC opcodes (the `op` field).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `add rd, rs1, rs2` — rd = rs1 + rs2
+    Add = 0x00,
+    /// `sub rd, rs1, rs2`
+    Sub = 0x01,
+    /// `and rd, rs1, rs2`
+    And = 0x02,
+    /// `or rd, rs1, rs2`
+    Or = 0x03,
+    /// `xor rd, rs1, rs2`
+    Xor = 0x04,
+    /// `sll rd, rs1, rs2` — shift left by rs2 & 63
+    Sll = 0x05,
+    /// `srl rd, rs1, rs2` — logical right shift
+    Srl = 0x06,
+    /// `sra rd, rs1, rs2` — arithmetic right shift
+    Sra = 0x07,
+    /// `mul rd, rs1, rs2`
+    Mul = 0x08,
+    /// `div rd, rs1, rs2` — 0 on division by zero
+    Div = 0x09,
+    /// `slt rd, rs1, rs2` — signed set-less-than
+    Slt = 0x0A,
+    /// `rem rd, rs1, rs2` — 0 on division by zero
+    Rem = 0x0B,
+    /// `addi rd, rs1, imm16` — imm sign-extended
+    Addi = 0x10,
+    /// `andi rd, rs1, imm16`
+    Andi = 0x11,
+    /// `ori rd, rs1, imm16`
+    Ori = 0x12,
+    /// `xori rd, rs1, imm16`
+    Xori = 0x13,
+    /// `slli rd, rs1, imm16` — shift by imm & 63
+    Slli = 0x14,
+    /// `srli rd, rs1, imm16`
+    Srli = 0x15,
+    /// `srai rd, rs1, imm16`
+    Srai = 0x16,
+    /// `slti rd, rs1, imm16`
+    Slti = 0x17,
+    /// `lui rd, imm16` — rd = imm16 << 16
+    Lui = 0x18,
+    /// `ld rd, imm16(rs1)` — 8-byte load
+    Ld = 0x20,
+    /// `st rd, imm16(rs1)` — 8-byte store of rd
+    St = 0x21,
+    /// `ldb rd, imm16(rs1)` — 1-byte load, zero-extended
+    Ldb = 0x22,
+    /// `stb rd, imm16(rs1)` — 1-byte store
+    Stb = 0x23,
+    /// `beq rd, rs1, off16` — branch to pc + sext(off)*4 if rd == rs1
+    Beq = 0x28,
+    /// `bne rd, rs1, off16`
+    Bne = 0x29,
+    /// `blt rd, rs1, off16` — signed rd < rs1
+    Blt = 0x2A,
+    /// `bge rd, rs1, off16`
+    Bge = 0x2B,
+    /// `jal off26` — r31 = pc + 4; pc += sext(off26)*4
+    Jal = 0x30,
+    /// `jalr rd, rs1` — rd = pc + 4; pc = rs1
+    Jalr = 0x31,
+    /// `fadd rd, rs1, rs2` — f64 on bit patterns
+    Fadd = 0x34,
+    /// `fsub rd, rs1, rs2`
+    Fsub = 0x35,
+    /// `fmul rd, rs1, rs2`
+    Fmul = 0x36,
+    /// `fdiv rd, rs1, rs2`
+    Fdiv = 0x37,
+    /// `flt rd, rs1, rs2` — f64 less-than, 0/1
+    Flt = 0x38,
+    /// `i2f rd, rs1`
+    I2f = 0x39,
+    /// `f2i rd, rs1`
+    F2i = 0x3A,
+    /// `out rd` — emit rd on the output port
+    Out = 0x3D,
+    /// `nop`
+    Nop = 0x3E,
+    /// `halt`
+    Halt = 0x3F,
+}
+
+impl Opcode {
+    /// All opcodes, for table-driven tests.
+    pub const ALL: [Opcode; 38] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Slt,
+        Opcode::Rem,
+        Opcode::Addi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Slti,
+        Opcode::Lui,
+        Opcode::Ld,
+        Opcode::St,
+        Opcode::Ldb,
+        Opcode::Stb,
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Jal,
+        Opcode::Jalr,
+        Opcode::Fadd,
+        Opcode::Fsub,
+        Opcode::Fmul,
+        Opcode::Fdiv,
+        Opcode::Flt,
+        Opcode::I2f,
+        Opcode::F2i,
+    ];
+
+    /// Decodes the `op` field; `None` for undefined encodings.
+    pub fn from_bits(op: u32) -> Option<Opcode> {
+        Some(match op {
+            0x00 => Opcode::Add,
+            0x01 => Opcode::Sub,
+            0x02 => Opcode::And,
+            0x03 => Opcode::Or,
+            0x04 => Opcode::Xor,
+            0x05 => Opcode::Sll,
+            0x06 => Opcode::Srl,
+            0x07 => Opcode::Sra,
+            0x08 => Opcode::Mul,
+            0x09 => Opcode::Div,
+            0x0A => Opcode::Slt,
+            0x0B => Opcode::Rem,
+            0x10 => Opcode::Addi,
+            0x11 => Opcode::Andi,
+            0x12 => Opcode::Ori,
+            0x13 => Opcode::Xori,
+            0x14 => Opcode::Slli,
+            0x15 => Opcode::Srli,
+            0x16 => Opcode::Srai,
+            0x17 => Opcode::Slti,
+            0x18 => Opcode::Lui,
+            0x20 => Opcode::Ld,
+            0x21 => Opcode::St,
+            0x22 => Opcode::Ldb,
+            0x23 => Opcode::Stb,
+            0x28 => Opcode::Beq,
+            0x29 => Opcode::Bne,
+            0x2A => Opcode::Blt,
+            0x2B => Opcode::Bge,
+            0x30 => Opcode::Jal,
+            0x31 => Opcode::Jalr,
+            0x34 => Opcode::Fadd,
+            0x35 => Opcode::Fsub,
+            0x36 => Opcode::Fmul,
+            0x37 => Opcode::Fdiv,
+            0x38 => Opcode::Flt,
+            0x39 => Opcode::I2f,
+            0x3A => Opcode::F2i,
+            0x3D => Opcode::Out,
+            0x3E => Opcode::Nop,
+            0x3F => Opcode::Halt,
+            _ => return None,
+        })
+    }
+
+    /// The mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Sll => "sll",
+            Opcode::Srl => "srl",
+            Opcode::Sra => "sra",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Slt => "slt",
+            Opcode::Rem => "rem",
+            Opcode::Addi => "addi",
+            Opcode::Andi => "andi",
+            Opcode::Ori => "ori",
+            Opcode::Xori => "xori",
+            Opcode::Slli => "slli",
+            Opcode::Srli => "srli",
+            Opcode::Srai => "srai",
+            Opcode::Slti => "slti",
+            Opcode::Lui => "lui",
+            Opcode::Ld => "ld",
+            Opcode::St => "st",
+            Opcode::Ldb => "ldb",
+            Opcode::Stb => "stb",
+            Opcode::Beq => "beq",
+            Opcode::Bne => "bne",
+            Opcode::Blt => "blt",
+            Opcode::Bge => "bge",
+            Opcode::Jal => "jal",
+            Opcode::Jalr => "jalr",
+            Opcode::Fadd => "fadd",
+            Opcode::Fsub => "fsub",
+            Opcode::Fmul => "fmul",
+            Opcode::Fdiv => "fdiv",
+            Opcode::Flt => "flt",
+            Opcode::I2f => "i2f",
+            Opcode::F2i => "f2i",
+            Opcode::Out => "out",
+            Opcode::Nop => "nop",
+            Opcode::Halt => "halt",
+        }
+    }
+
+    /// Instruction class used by timing models.
+    pub fn class(self) -> InsnClass {
+        match self {
+            Opcode::Ld | Opcode::Ldb => InsnClass::Load,
+            Opcode::St | Opcode::Stb => InsnClass::Store,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge => InsnClass::Branch,
+            Opcode::Jal | Opcode::Jalr => InsnClass::Jump,
+            Opcode::Mul => InsnClass::Mul,
+            Opcode::Div | Opcode::Rem => InsnClass::Div,
+            Opcode::Fadd | Opcode::Fsub | Opcode::Flt | Opcode::I2f | Opcode::F2i => {
+                InsnClass::FpAdd
+            }
+            Opcode::Fmul => InsnClass::FpMul,
+            Opcode::Fdiv => InsnClass::FpDiv,
+            Opcode::Halt => InsnClass::Halt,
+            _ => InsnClass::Alu,
+        }
+    }
+}
+
+/// Coarse instruction classes for pipeline timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InsnClass {
+    /// Single-cycle integer operation.
+    Alu,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump / call / return.
+    Jump,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide/remainder.
+    Div,
+    /// FP add-class (add/sub/compare/convert).
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// FP divide.
+    FpDiv,
+    /// Program termination.
+    Halt,
+}
+
+impl InsnClass {
+    /// Execution latency in cycles (the R10000-like model shared by every
+    /// simulator in this workspace).
+    pub fn latency(self) -> u32 {
+        match self {
+            InsnClass::Alu | InsnClass::Branch | InsnClass::Jump | InsnClass::Store => 1,
+            InsnClass::Load => 1, // plus cache latency, modeled separately
+            InsnClass::Mul => 3,
+            InsnClass::Div => 12,
+            InsnClass::FpAdd => 2,
+            InsnClass::FpMul => 4,
+            InsnClass::FpDiv => 12,
+            InsnClass::Halt => 1,
+        }
+    }
+}
+
+/// A decoded TRISC instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Insn {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register (also the compared/stored register for
+    /// branches and stores).
+    pub rd: u8,
+    /// First source register.
+    pub rs1: u8,
+    /// Second source register.
+    pub rs2: u8,
+    /// 16-bit immediate, sign-extended.
+    pub imm16: i32,
+    /// 26-bit immediate, sign-extended (JAL).
+    pub imm26: i32,
+}
+
+impl Insn {
+    /// Encodes into a 32-bit word. Only the fields the format uses are
+    /// written (the `rs2` field overlaps `imm16`; unused fields encode as
+    /// zero so disassembly round-trips).
+    pub fn encode(&self) -> u32 {
+        let op = (self.op as u32) << 26;
+        let rd = (self.rd as u32 & 31) << 21;
+        let rs1 = (self.rs1 as u32 & 31) << 16;
+        let rs2 = (self.rs2 as u32 & 31) << 11;
+        let imm16 = self.imm16 as u32 & 0xFFFF;
+        use Opcode::*;
+        match self.op {
+            Jal => op | (self.imm26 as u32 & 0x03FF_FFFF),
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Mul | Div | Slt | Rem | Fadd
+            | Fsub | Fmul | Fdiv | Flt => op | rd | rs1 | rs2,
+            Jalr | I2f | F2i => op | rd | rs1,
+            Lui => op | rd | imm16,
+            Out => op | rd,
+            Nop | Halt => op,
+            _ => op | rd | rs1 | imm16,
+        }
+    }
+
+    /// Decodes a 32-bit word; `None` for undefined opcodes.
+    pub fn decode(word: u32) -> Option<Insn> {
+        let op = Opcode::from_bits(word >> 26)?;
+        let imm16 = ((word & 0xFFFF) as i32) << 16 >> 16;
+        let imm26 = ((word & 0x03FF_FFFF) as i32) << 6 >> 6;
+        Some(Insn {
+            op,
+            rd: ((word >> 21) & 31) as u8,
+            rs1: ((word >> 16) & 31) as u8,
+            rs2: ((word >> 11) & 31) as u8,
+            imm16,
+            imm26,
+        })
+    }
+
+    /// Source registers read by this instruction.
+    pub fn sources(&self) -> (Option<u8>, Option<u8>) {
+        use Opcode::*;
+        match self.op {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Mul | Div | Slt | Rem | Fadd
+            | Fsub | Fmul | Fdiv | Flt => (Some(self.rs1), Some(self.rs2)),
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Ld | Ldb | Jalr | I2f
+            | F2i => (Some(self.rs1), None),
+            St | Stb => (Some(self.rs1), Some(self.rd)),
+            Beq | Bne | Blt | Bge => (Some(self.rd), Some(self.rs1)),
+            Out => (Some(self.rd), None),
+            Lui | Jal | Nop | Halt => (None, None),
+        }
+    }
+
+    /// Destination register written by this instruction, if any
+    /// (`r0` writes are discarded architecturally).
+    pub fn dest(&self) -> Option<u8> {
+        use Opcode::*;
+        match self.op {
+            St | Stb | Beq | Bne | Blt | Bge | Out | Nop | Halt => None,
+            Jal => Some(31),
+            _ => {
+                if self.rd == 0 {
+                    None
+                } else {
+                    Some(self.rd)
+                }
+            }
+        }
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.op.class(),
+            InsnClass::Branch | InsnClass::Jump | InsnClass::Halt
+        )
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        let m = self.op.mnemonic();
+        match self.op {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Mul | Div | Slt | Rem | Fadd
+            | Fsub | Fmul | Fdiv | Flt => {
+                write!(f, "{m} r{}, r{}, r{}", self.rd, self.rs1, self.rs2)
+            }
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => {
+                write!(f, "{m} r{}, r{}, {}", self.rd, self.rs1, self.imm16)
+            }
+            Lui => write!(f, "{m} r{}, {}", self.rd, self.imm16),
+            Ld | St | Ldb | Stb => {
+                write!(f, "{m} r{}, {}(r{})", self.rd, self.imm16, self.rs1)
+            }
+            Beq | Bne | Blt | Bge => {
+                write!(f, "{m} r{}, r{}, {}", self.rd, self.rs1, self.imm16)
+            }
+            Jal => write!(f, "{m} {}", self.imm26),
+            Jalr => write!(f, "{m} r{}, r{}", self.rd, self.rs1),
+            I2f | F2i => write!(f, "{m} r{}, r{}", self.rd, self.rs1),
+            Out => write!(f, "{m} r{}", self.rd),
+            Nop | Halt => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for op in Opcode::ALL {
+            // rs2 and imm16 overlap; only one is meaningful per format.
+            let r_format = matches!(
+                op,
+                Opcode::Add
+                    | Opcode::Sub
+                    | Opcode::And
+                    | Opcode::Or
+                    | Opcode::Xor
+                    | Opcode::Sll
+                    | Opcode::Srl
+                    | Opcode::Sra
+                    | Opcode::Mul
+                    | Opcode::Div
+                    | Opcode::Slt
+                    | Opcode::Rem
+                    | Opcode::Fadd
+                    | Opcode::Fsub
+                    | Opcode::Fmul
+                    | Opcode::Fdiv
+                    | Opcode::Flt
+            );
+            let no_rs1 = matches!(op, Opcode::Lui | Opcode::Out);
+            let no_imm = matches!(op, Opcode::Jalr | Opcode::I2f | Opcode::F2i | Opcode::Out);
+            let i = Insn {
+                op,
+                rd: 3,
+                rs1: if no_rs1 { 0 } else { 17 },
+                rs2: if r_format { 30 } else { 0 },
+                imm16: if r_format || no_imm { 0 } else { -5 },
+                imm26: if op == Opcode::Jal { -100 } else { 0 },
+            };
+            let d = Insn::decode(i.encode()).expect("decodes");
+            assert_eq!(d.op, op);
+            // Re-encoding is always a fixed point.
+            assert_eq!(d.encode(), i.encode());
+            if op == Opcode::Jal {
+                assert_eq!(d.imm26, -100);
+            } else if r_format {
+                assert_eq!((d.rd, d.rs1, d.rs2), (3, 17, 30));
+            } else if !no_rs1 && !no_imm {
+                assert_eq!((d.rd, d.rs1), (3, 17));
+                assert_eq!(d.imm16, -5);
+            }
+        }
+    }
+
+    #[test]
+    fn undefined_opcode_decodes_to_none() {
+        assert_eq!(Insn::decode(0x0C << 26), None);
+        assert_eq!(Insn::decode(0x3B << 26), None);
+    }
+
+    #[test]
+    fn imm16_sign_extension() {
+        let i = Insn {
+            op: Opcode::Addi,
+            rd: 1,
+            rs1: 1,
+            rs2: 0,
+            imm16: -1,
+            imm26: 0,
+        };
+        let d = Insn::decode(i.encode()).unwrap();
+        assert_eq!(d.imm16, -1);
+        let j = Insn {
+            imm16: 32767,
+            ..i
+        };
+        assert_eq!(Insn::decode(j.encode()).unwrap().imm16, 32767);
+    }
+
+    #[test]
+    fn imm26_range() {
+        for v in [-(1 << 25), (1 << 25) - 1, 0, 1234, -4321] {
+            let i = Insn {
+                op: Opcode::Jal,
+                rd: 0,
+                rs1: 0,
+                rs2: 0,
+                imm16: 0,
+                imm26: v,
+            };
+            assert_eq!(Insn::decode(i.encode()).unwrap().imm26, v);
+        }
+    }
+
+    #[test]
+    fn sources_and_dest() {
+        let st = Insn::decode(
+            Insn {
+                op: Opcode::St,
+                rd: 5,
+                rs1: 6,
+                rs2: 0,
+                imm16: 8,
+                imm26: 0,
+            }
+            .encode(),
+        )
+        .unwrap();
+        assert_eq!(st.sources(), (Some(6), Some(5)));
+        assert_eq!(st.dest(), None);
+
+        let beq = Insn {
+            op: Opcode::Beq,
+            rd: 1,
+            rs1: 2,
+            rs2: 0,
+            imm16: -3,
+            imm26: 0,
+        };
+        assert_eq!(beq.sources(), (Some(1), Some(2)));
+        assert!(beq.is_control());
+
+        let jal = Insn {
+            op: Opcode::Jal,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm16: 0,
+            imm26: 4,
+        };
+        assert_eq!(jal.dest(), Some(31));
+
+        let add_r0 = Insn {
+            op: Opcode::Add,
+            rd: 0,
+            rs1: 1,
+            rs2: 2,
+            imm16: 0,
+            imm26: 0,
+        };
+        assert_eq!(add_r0.dest(), None);
+    }
+
+    #[test]
+    fn latencies_match_unit_classes() {
+        assert_eq!(Opcode::Add.class().latency(), 1);
+        assert_eq!(Opcode::Mul.class().latency(), 3);
+        assert_eq!(Opcode::Div.class().latency(), 12);
+        assert_eq!(Opcode::Fmul.class().latency(), 4);
+        assert_eq!(Opcode::Fdiv.class().latency(), 12);
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Insn {
+            op: Opcode::Ld,
+            rd: 2,
+            rs1: 3,
+            rs2: 0,
+            imm16: 16,
+            imm26: 0,
+        };
+        assert_eq!(i.to_string(), "ld r2, 16(r3)");
+        let b = Insn {
+            op: Opcode::Bne,
+            rd: 4,
+            rs1: 0,
+            rs2: 0,
+            imm16: -2,
+            imm26: 0,
+        };
+        assert_eq!(b.to_string(), "bne r4, r0, -2");
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! TRISC: the target instruction set of this workspace.
+//!
+//! TRISC stands in for the paper's SPARC V8/V9 targets (see DESIGN.md for
+//! the substitution argument): a 32-bit fixed-width RISC with 32 64-bit
+//! registers, compare-and-branch control flow and an f64 unit. The crate
+//! provides
+//!
+//! * [`isa`] — encodings, decoder, instruction classes and latencies,
+//! * [`asm`] — a two-pass assembler and disassembler,
+//! * [`interp::Cpu`] — the golden functional interpreter used for
+//!   differential testing of every simulator in the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use facile_isa::asm::assemble_image;
+//! use facile_isa::interp::Cpu;
+//! use facile_runtime::Target;
+//!
+//! let image = assemble_image(
+//!     "addi r1, r0, 6\n\
+//!      mul r2, r1, r1\n\
+//!      out r2\n\
+//!      halt\n",
+//!     0,
+//!     vec![],
+//! ).unwrap();
+//! let mut target = Target::load(&image);
+//! let mut cpu = Cpu::new(&target);
+//! cpu.run(&mut target, 100);
+//! assert_eq!(cpu.out, vec![36]);
+//! ```
+
+pub mod asm;
+pub mod interp;
+pub mod isa;
+
+pub use asm::{assemble, assemble_image, disassemble, AsmError};
+pub use interp::Cpu;
+pub use isa::{Insn, InsnClass, Opcode};

@@ -1,0 +1,47 @@
+//! Properties of the TRISC encoding and assembler.
+
+use facile_isa::asm::{assemble, disassemble};
+use facile_isa::isa::{Insn, Opcode};
+use proptest::prelude::*;
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    (
+        prop::sample::select(Opcode::ALL.to_vec()),
+        0u8..32,
+        0u8..32,
+        0u8..32,
+        -32768i32..32768,
+        -(1 << 25)..(1 << 25),
+    )
+        .prop_map(|(op, rd, rs1, rs2, imm16, imm26)| Insn {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm16,
+            imm26,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// decode(encode(i)) preserves every field the format keeps.
+    #[test]
+    fn encode_decode_preserves_meaning(i in arb_insn()) {
+        let d = Insn::decode(i.encode()).expect("all generated opcodes decode");
+        prop_assert_eq!(d.op, i.op);
+        // Re-encoding the decoded instruction is a fixed point.
+        prop_assert_eq!(d.encode(), i.encode());
+    }
+
+    /// Disassembling and reassembling a random instruction sequence
+    /// reproduces the same words.
+    #[test]
+    fn disasm_asm_roundtrip(insns in prop::collection::vec(arb_insn(), 1..40)) {
+        let words: Vec<u32> = insns.iter().map(Insn::encode).collect();
+        let text = disassemble(&words).join("\n") + "\n";
+        let again = assemble(&text, 0).expect("disassembly reassembles");
+        prop_assert_eq!(words, again);
+    }
+}

@@ -1,0 +1,598 @@
+//! Abstract syntax tree for the Facile language.
+//!
+//! The shape of the language follows the paper (Schnarr, Hill & Larus,
+//! PLDI 2001, §3): `token`/`fields` declarations describe binary instruction
+//! encodings, `pat` declarations name constraints over token fields, `sem`
+//! declarations attach simulation semantics to patterns, and ordinary
+//! `val`/`fun` declarations provide the general-purpose core used to write
+//! the simulator step function `main`.
+//!
+//! Every node carries a [`Span`] so later phases can report precise
+//! diagnostics.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An identifier with its source location.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Ident {
+    /// The identifier text.
+    pub text: String,
+    /// Where it appears.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier.
+    pub fn new(text: impl Into<String>, span: Span) -> Self {
+        Ident {
+            text: text.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A complete Facile program: an ordered list of top-level items.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Top-level declarations in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Item {
+    /// `token name[width] fields f a:b, ...;`
+    Token(TokenDecl),
+    /// `pat name = <pattern expression>;`
+    Pattern(PatDecl),
+    /// `sem name { ... }`
+    Sem(SemDecl),
+    /// A global `val` declaration.
+    Global(ValDecl),
+    /// `fun name(params) { ... }`
+    Fun(FunDecl),
+    /// `ext fun name(params) : type;`
+    ExtFun(ExtFunDecl),
+}
+
+impl Item {
+    /// The span of the whole item.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Token(d) => d.span,
+            Item::Pattern(d) => d.span,
+            Item::Sem(d) => d.span,
+            Item::Global(d) => d.span,
+            Item::Fun(d) => d.span,
+            Item::ExtFun(d) => d.span,
+        }
+    }
+
+    /// The declared name of the item.
+    pub fn name(&self) -> &Ident {
+        match self {
+            Item::Token(d) => &d.name,
+            Item::Pattern(d) => &d.name,
+            Item::Sem(d) => &d.name,
+            Item::Global(d) => &d.name,
+            Item::Fun(d) => &d.name,
+            Item::ExtFun(d) => &d.name,
+        }
+    }
+}
+
+/// `token instruction[32] fields op 24:31, rs1 16:20;`
+///
+/// Declares one fixed-width token and the named bit fields within it.
+/// Bit positions follow the paper's convention: bit 0 is the least
+/// significant bit and ranges are inclusive (`lo:hi`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenDecl {
+    /// Token name, e.g. `instruction`.
+    pub name: Ident,
+    /// Token width in bits (at most 64).
+    pub width: u32,
+    /// Declared bit fields.
+    pub fields: Vec<FieldDecl>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// One named bit field `name lo:hi` inside a token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: Ident,
+    /// Least-significant bit (inclusive).
+    pub lo: u32,
+    /// Most-significant bit (inclusive).
+    pub hi: u32,
+    /// Span of the field spec.
+    pub span: Span,
+}
+
+/// `pat add = op==0x00 && (i==1 || fill==0);`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatDecl {
+    /// Pattern name.
+    pub name: Ident,
+    /// Constraint expression.
+    pub body: PatExpr,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A pattern constraint expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatExpr {
+    /// The expression shape.
+    pub kind: PatExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Shapes of pattern constraint expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatExprKind {
+    /// Disjunction `a || b`.
+    Or(Box<PatExpr>, Box<PatExpr>),
+    /// Conjunction `a && b`.
+    And(Box<PatExpr>, Box<PatExpr>),
+    /// Field comparison `field == value` or `field != value`.
+    Cmp {
+        /// The constrained field.
+        field: Ident,
+        /// Whether the comparison is equality (`true`) or inequality.
+        eq: bool,
+        /// The constant the field is compared against.
+        value: i64,
+    },
+    /// Reference to a previously declared pattern by name.
+    Ref(Ident),
+}
+
+/// `sem add { R[rd] = R[rs1] + R[rs2]; }`
+///
+/// Attaches simulation code to the like-named pattern. Inside the body all
+/// fields of the token the pattern constrains are in scope as run-time
+/// static integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemDecl {
+    /// Name of the pattern this semantics belongs to.
+    pub name: Ident,
+    /// The simulation code.
+    pub body: Block,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A `val` declaration (global when at top level, local inside a block).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValDecl {
+    /// Variable name.
+    pub name: Ident,
+    /// Declared type, if explicit.
+    pub ty: Option<TypeExpr>,
+    /// Initializer, if present.
+    pub init: Option<Expr>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// `fun name(a : int, q : queue) { ... }`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunDecl {
+    /// Function name. `main` is the simulator step function.
+    pub name: Ident,
+    /// Parameter list.
+    pub params: Vec<Param>,
+    /// Function body.
+    pub body: Block,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// `ext fun cache_access(addr : int, write : int) : int;`
+///
+/// Declares a function implemented outside Facile (in Rust, standing in for
+/// the paper's C). External calls are always dynamic and never memoized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtFunDecl {
+    /// External function name.
+    pub name: Ident,
+    /// Parameter list (scalar types only).
+    pub params: Vec<Param>,
+    /// Return type; `None` means the call returns nothing.
+    pub ret: Option<TypeExpr>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A function parameter `name : type`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: Ident,
+    /// Parameter type.
+    pub ty: TypeExpr,
+}
+
+/// A syntactic type annotation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeExpr {
+    /// The denoted type.
+    pub kind: TypeExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The denotable types of the language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeExprKind {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// A token stream: a position in the simulated target's text segment.
+    Stream,
+    /// Fixed-size integer array `array(n)`.
+    Array(u32),
+    /// Double-ended integer queue.
+    Queue,
+}
+
+/// A brace-delimited statement list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Span including the braces.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stmt {
+    /// The statement shape.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Shapes of statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StmtKind {
+    /// Local `val` declaration.
+    Local(ValDecl),
+    /// Assignment to a variable or array element.
+    Assign {
+        /// The assigned place.
+        place: Place,
+        /// The assigned value.
+        value: Expr,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken branch.
+        then: Block,
+        /// Optional else branch (an `else if` chain is a nested block).
+        els: Option<Block>,
+    },
+    /// `while (cond) { ... }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `switch (subject) { pat a: ... }` or `switch (subject) { case 1: ... }`
+    Switch {
+        /// The scrutinee. A stream for pattern arms, an integer for value arms.
+        subject: Expr,
+        /// The arms in source order.
+        arms: Vec<SwitchArm>,
+        /// Optional `default:` body.
+        default: Option<Block>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return;` or `return expr;`
+    Return(Option<Expr>),
+    /// An expression evaluated for effect, e.g. `PC?exec();`.
+    Expr(Expr),
+}
+
+/// An assignable place: a variable or an element of an array/queue variable.
+///
+/// Facile has no pointers, so a place is always rooted at a named variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Place {
+    /// The root variable.
+    pub name: Ident,
+    /// Optional element index (`name[index] = ...`).
+    pub index: Option<Expr>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One arm of a `switch` statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwitchArm {
+    /// The labels selecting this arm.
+    pub labels: ArmLabels,
+    /// The arm body. There is no fall-through between arms.
+    pub body: Block,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Labels of a switch arm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArmLabels {
+    /// `pat name, name2:` — instruction-pattern labels.
+    Pats(Vec<Ident>),
+    /// `case 1, 2:` — integer labels.
+    Values(Vec<(i64, Span)>),
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Expr {
+    /// The expression shape.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Shapes of expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(Ident),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation. `&&`/`||` short-circuit.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Call of a user function, external function or builtin: `f(a, b)`.
+    Call {
+        /// Callee name.
+        name: Ident,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Attribute application `recv?name(args)`, e.g. `x?sext(32)`,
+    /// `PC?exec()`, `lat?verify`, `q?push_back(v)`.
+    Attr {
+        /// The receiver.
+        recv: Box<Expr>,
+        /// Attribute name.
+        name: Ident,
+        /// Attribute arguments (empty for bare `?name`).
+        args: Vec<Expr>,
+    },
+    /// Element read `name[index]` from an array or queue variable.
+    Index {
+        /// The indexed variable.
+        base: Ident,
+        /// Element index.
+        index: Box<Expr>,
+    },
+    /// Array initializer `array(n){fill}` (only valid as a `val` initializer).
+    ArrayInit {
+        /// Number of elements.
+        size: u32,
+        /// Fill value for every element.
+        fill: Box<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Bitwise complement `~x`.
+    BitNot,
+}
+
+impl UnOp {
+    /// Source text of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+        }
+    }
+}
+
+/// Binary operators, in increasing-precedence groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `||` (short-circuit)
+    LogOr,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `&`
+    BitAnd,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic shift on signed values)
+    Shr,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero yields zero, see the VM docs)
+    Div,
+    /// `%` (remainder; by zero yields zero)
+    Rem,
+}
+
+impl BinOp {
+    /// Source text of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::LogOr => "||",
+            BinOp::LogAnd => "&&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::BitAnd => "&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        }
+    }
+
+    /// Binding strength; higher binds tighter. Matches the parser.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::LogOr => 1,
+            BinOp::LogAnd => 2,
+            BinOp::BitOr => 3,
+            BinOp::BitXor => 4,
+            BinOp::BitAnd => 5,
+            BinOp::Eq | BinOp::Ne => 6,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 7,
+            BinOp::Shl | BinOp::Shr => 8,
+            BinOp::Add | BinOp::Sub => 9,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 10,
+        }
+    }
+}
+
+impl Program {
+    /// Finds the function declaration named `name`, if any.
+    pub fn fun(&self, name: &str) -> Option<&FunDecl> {
+        self.items.iter().find_map(|i| match i {
+            Item::Fun(f) if f.name.text == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterates over all global `val` declarations.
+    pub fn globals(&self) -> impl Iterator<Item = &ValDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Global(v) => Some(v),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_is_strictly_layered() {
+        // Mul binds tighter than Add binds tighter than Eq, etc.
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Shl.precedence());
+        assert!(BinOp::Shl.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::BitAnd.precedence());
+        assert!(BinOp::BitAnd.precedence() > BinOp::BitXor.precedence());
+        assert!(BinOp::BitXor.precedence() > BinOp::BitOr.precedence());
+        assert!(BinOp::BitOr.precedence() > BinOp::LogAnd.precedence());
+        assert!(BinOp::LogAnd.precedence() > BinOp::LogOr.precedence());
+    }
+
+    #[test]
+    fn symbols_are_distinct() {
+        use std::collections::HashSet;
+        let ops = [
+            BinOp::LogOr,
+            BinOp::LogAnd,
+            BinOp::BitOr,
+            BinOp::BitXor,
+            BinOp::BitAnd,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Shl,
+            BinOp::Shr,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+        ];
+        let set: HashSet<_> = ops.iter().map(|o| o.symbol()).collect();
+        assert_eq!(set.len(), ops.len());
+    }
+
+    #[test]
+    fn program_lookup_helpers() {
+        let span = Span::DUMMY;
+        let prog = Program {
+            items: vec![
+                Item::Global(ValDecl {
+                    name: Ident::new("g", span),
+                    ty: None,
+                    init: None,
+                    span,
+                }),
+                Item::Fun(FunDecl {
+                    name: Ident::new("main", span),
+                    params: vec![],
+                    body: Block {
+                        stmts: vec![],
+                        span,
+                    },
+                    span,
+                }),
+            ],
+        };
+        assert!(prog.fun("main").is_some());
+        assert!(prog.fun("other").is_none());
+        assert_eq!(prog.globals().count(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Compiler diagnostics.
+//!
+//! All phases of the Facile compiler report problems as [`Diagnostic`]s
+//! collected into a [`Diagnostics`] sink, so a single run can surface many
+//! errors. A rendered diagnostic points at the offending source with a
+//! line/column resolved through [`crate::span::LineMap`].
+
+use crate::span::{LineMap, Span};
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A hint that does not block compilation.
+    Warning,
+    /// A problem that prevents the program from compiling.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A single problem found in a Facile program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description, lowercase, no trailing period.
+    pub message: String,
+    /// Primary location of the problem.
+    pub span: Span,
+    /// Optional secondary notes (location + text).
+    pub notes: Vec<(Span, String)>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a secondary note.
+    pub fn with_note(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.notes.push((span, message.into()));
+        self
+    }
+
+    /// Renders the diagnostic against `src` as `line:col: severity: message`.
+    pub fn render(&self, src: &str) -> String {
+        let map = LineMap::new(src);
+        let (line, col) = map.line_col(self.span.lo);
+        let mut out = format!("{line}:{col}: {}: {}", self.severity, self.message);
+        for (span, note) in &self.notes {
+            let (nl, nc) = map.line_col(span.lo);
+            out.push_str(&format!("\n  {nl}:{nc}: note: {note}"));
+        }
+        out
+    }
+}
+
+/// An accumulating sink for diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// use facile_lang::diag::{Diagnostic, Diagnostics};
+/// use facile_lang::span::Span;
+///
+/// let mut diags = Diagnostics::new();
+/// assert!(!diags.has_errors());
+/// diags.push(Diagnostic::error("undefined field `op`", Span::new(0, 2)));
+/// assert!(diags.has_errors());
+/// assert_eq!(diags.iter().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Shorthand for recording an error.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Shorthand for recording a warning.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::warning(message, span));
+    }
+
+    /// Whether any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Iterates over all recorded diagnostics in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of recorded diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Consumes the sink, returning the diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+
+    /// Renders every diagnostic against `src`, one per line.
+    pub fn render_all(&self, src: &str) -> String {
+        self.items
+            .iter()
+            .map(|d| d.render(src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn render_points_at_line_and_column() {
+        let src = "val x = 1;\nval y = ;\n";
+        let d = Diagnostic::error("expected expression", Span::new(19, 20));
+        assert_eq!(d.render(src), "2:9: error: expected expression");
+    }
+
+    #[test]
+    fn render_includes_notes() {
+        let src = "pat a = op==1;\npat a = op==2;\n";
+        let d = Diagnostic::error("duplicate pattern `a`", Span::new(19, 20))
+            .with_note(Span::new(4, 5), "first defined here");
+        let rendered = d.render(src);
+        assert!(rendered.contains("2:5: error: duplicate pattern `a`"));
+        assert!(rendered.contains("1:5: note: first defined here"));
+    }
+
+    #[test]
+    fn warnings_do_not_count_as_errors() {
+        let mut diags = Diagnostics::new();
+        diags.warning("unused value", Span::DUMMY);
+        assert!(!diags.has_errors());
+        diags.error("boom", Span::DUMMY);
+        assert!(diags.has_errors());
+        assert_eq!(diags.len(), 2);
+    }
+
+    #[test]
+    fn render_all_joins_lines() {
+        let mut diags = Diagnostics::new();
+        diags.error("first", Span::new(0, 1));
+        diags.error("second", Span::new(2, 3));
+        let out = diags.render_all("abcd");
+        assert_eq!(out.lines().count(), 2);
+    }
+}

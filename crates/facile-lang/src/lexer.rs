@@ -1,0 +1,405 @@
+//! The Facile lexer.
+//!
+//! Converts source text into a vector of [`Token`]s. Comments (`//` line and
+//! `/* ... */` block) and whitespace are skipped. Malformed input produces
+//! diagnostics but lexing continues, so the parser always receives a
+//! well-formed (EOF-terminated) token stream.
+
+use crate::diag::Diagnostics;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `src` into tokens, reporting problems into `diags`.
+///
+/// The returned vector always ends with an [`TokenKind::Eof`] token.
+///
+/// # Examples
+///
+/// ```
+/// use facile_lang::{lexer::lex, diag::Diagnostics, token::TokenKind};
+/// let mut diags = Diagnostics::new();
+/// let tokens = lex("pat add = op==0x00;", &mut diags);
+/// assert!(!diags.has_errors());
+/// assert_eq!(tokens[0].kind, TokenKind::KwPat);
+/// assert_eq!(tokens[4].kind, TokenKind::EqEq);
+/// assert_eq!(tokens[5].kind, TokenKind::Int(0));
+/// ```
+pub fn lex(src: &str, diags: &mut Diagnostics) -> Vec<Token> {
+    Lexer::new(src, diags).run()
+}
+
+struct Lexer<'a, 'd> {
+    src: &'a [u8],
+    pos: usize,
+    diags: &'d mut Diagnostics,
+    tokens: Vec<Token>,
+}
+
+impl<'a, 'd> Lexer<'a, 'd> {
+    fn new(src: &'a str, diags: &'d mut Diagnostics) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            diags,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        self.src.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.src.get(self.pos + 1).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn emit(&mut self, kind: TokenKind, lo: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(lo as u32, self.pos as u32),
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        loop {
+            self.skip_trivia();
+            let lo = self.pos;
+            if self.pos >= self.src.len() {
+                self.emit(TokenKind::Eof, lo);
+                return self.tokens;
+            }
+            let b = self.bump();
+            match b {
+                b'(' => self.emit(TokenKind::LParen, lo),
+                b')' => self.emit(TokenKind::RParen, lo),
+                b'{' => self.emit(TokenKind::LBrace, lo),
+                b'}' => self.emit(TokenKind::RBrace, lo),
+                b'[' => self.emit(TokenKind::LBracket, lo),
+                b']' => self.emit(TokenKind::RBracket, lo),
+                b',' => self.emit(TokenKind::Comma, lo),
+                b';' => self.emit(TokenKind::Semi, lo),
+                b':' => self.emit(TokenKind::Colon, lo),
+                b'?' => self.emit(TokenKind::Question, lo),
+                b'+' => self.emit(TokenKind::Plus, lo),
+                b'-' => self.emit(TokenKind::Minus, lo),
+                b'*' => self.emit(TokenKind::Star, lo),
+                b'/' => self.emit(TokenKind::Slash, lo),
+                b'%' => self.emit(TokenKind::Percent, lo),
+                b'^' => self.emit(TokenKind::Caret, lo),
+                b'~' => self.emit(TokenKind::Tilde, lo),
+                b'=' => {
+                    if self.peek() == b'=' {
+                        self.bump();
+                        self.emit(TokenKind::EqEq, lo);
+                    } else {
+                        self.emit(TokenKind::Eq, lo);
+                    }
+                }
+                b'!' => {
+                    if self.peek() == b'=' {
+                        self.bump();
+                        self.emit(TokenKind::BangEq, lo);
+                    } else {
+                        self.emit(TokenKind::Bang, lo);
+                    }
+                }
+                b'<' => match self.peek() {
+                    b'=' => {
+                        self.bump();
+                        self.emit(TokenKind::Le, lo);
+                    }
+                    b'<' => {
+                        self.bump();
+                        self.emit(TokenKind::Shl, lo);
+                    }
+                    _ => self.emit(TokenKind::Lt, lo),
+                },
+                b'>' => match self.peek() {
+                    b'=' => {
+                        self.bump();
+                        self.emit(TokenKind::Ge, lo);
+                    }
+                    b'>' => {
+                        self.bump();
+                        self.emit(TokenKind::Shr, lo);
+                    }
+                    _ => self.emit(TokenKind::Gt, lo),
+                },
+                b'&' => {
+                    if self.peek() == b'&' {
+                        self.bump();
+                        self.emit(TokenKind::AmpAmp, lo);
+                    } else {
+                        self.emit(TokenKind::Amp, lo);
+                    }
+                }
+                b'|' => {
+                    if self.peek() == b'|' {
+                        self.bump();
+                        self.emit(TokenKind::PipePipe, lo);
+                    } else {
+                        self.emit(TokenKind::Pipe, lo);
+                    }
+                }
+                b'0'..=b'9' => self.lex_number(lo),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(lo),
+                other => {
+                    self.diags.error(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(lo as u32, self.pos as u32),
+                    );
+                }
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let lo = self.pos;
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while self.pos < self.src.len() {
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                        self.bump();
+                    }
+                    if !closed {
+                        self.diags.error(
+                            "unterminated block comment",
+                            Span::new(lo as u32, self.pos as u32),
+                        );
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn lex_ident(&mut self, lo: usize) {
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[lo..self.pos]).expect("identifier is ascii");
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+        self.emit(kind, lo);
+    }
+
+    fn lex_number(&mut self, lo: usize) {
+        let first = self.src[lo];
+        let (radix, digits_start) = if first == b'0' && matches!(self.peek(), b'x' | b'X') {
+            self.bump();
+            (16, self.pos)
+        } else if first == b'0' && matches!(self.peek(), b'b' | b'B') {
+            self.bump();
+            (2, self.pos)
+        } else {
+            (10, lo)
+        };
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let text: String = std::str::from_utf8(&self.src[digits_start..self.pos])
+            .expect("number is ascii")
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        let span = Span::new(lo as u32, self.pos as u32);
+        if text.is_empty() {
+            self.diags.error("integer literal has no digits", span);
+            self.emit(TokenKind::Int(0), lo);
+            return;
+        }
+        // Accept the full u64 range so masks like 0xffff_ffff_ffff_ffff lex;
+        // values wrap into i64 two's-complement.
+        match u64::from_str_radix(&text, radix) {
+            Ok(v) => self.emit(TokenKind::Int(v as i64), lo),
+            Err(_) => {
+                self.diags
+                    .error(format!("invalid integer literal `{text}`"), span);
+                self.emit(TokenKind::Int(0), lo);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut diags = Diagnostics::new();
+        let toks = lex(src, &mut diags);
+        assert!(!diags.has_errors(), "{}", diags.render_all(src));
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("pat pats"),
+            vec![
+                TokenKind::KwPat,
+                TokenKind::Ident("pats".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_in_all_radices() {
+        assert_eq!(
+            kinds("10 0x1f 0b101 0 0xFF"),
+            vec![
+                TokenKind::Int(10),
+                TokenKind::Int(31),
+                TokenKind::Int(5),
+                TokenKind::Int(0),
+                TokenKind::Int(255),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        assert_eq!(kinds("1_000_000")[0], TokenKind::Int(1_000_000));
+        assert_eq!(kinds("0xdead_beef")[0], TokenKind::Int(0xdead_beef));
+    }
+
+    #[test]
+    fn max_u64_wraps_to_negative() {
+        assert_eq!(kinds("0xffffffffffffffff")[0], TokenKind::Int(-1));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= << >> && ||"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::BangEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn adjacent_single_char_operators() {
+        assert_eq!(
+            kinds("=<>&|!"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Amp,
+                TokenKind::Pipe,
+                TokenKind::Bang,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\nb /* c */ d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comment_spanning_lines() {
+        assert_eq!(
+            kinds("a /* one\ntwo\nthree */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        let mut diags = Diagnostics::new();
+        lex("a /* oops", &mut diags);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn unexpected_character_is_error_but_continues() {
+        let mut diags = Diagnostics::new();
+        let toks = lex("a @ b", &mut diags);
+        assert!(diags.has_errors());
+        // Both identifiers survive.
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn empty_hex_literal_is_error() {
+        let mut diags = Diagnostics::new();
+        lex("0x", &mut diags);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let mut diags = Diagnostics::new();
+        let toks = lex("ab cd", &mut diags);
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn question_attribute_sequence() {
+        assert_eq!(
+            kinds("x?sext(32)"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Question,
+                TokenKind::Ident("sext".into()),
+                TokenKind::LParen,
+                TokenKind::Int(32),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! Front end of the Facile compiler: lexer, parser, AST and diagnostics.
+//!
+//! Facile is the domain-specific language for writing detailed processor
+//! simulators described by Schnarr, Hill & Larus in *"Facile: A Language and
+//! Compiler for High-Performance Processor Simulators"* (PLDI 2001). A
+//! Facile program describes
+//!
+//! * instruction **encodings** — `token`/`fields` declarations and `pat`
+//!   constraints (syntax derived from the New Jersey Machine-Code Toolkit),
+//! * instruction **semantics** — `sem` declarations attached to patterns, and
+//! * the **simulator step function** `main`, whose calls are memoized by the
+//!   fast-forwarding runtime.
+//!
+//! This crate contains only syntax: later crates perform name resolution and
+//! type checking (`facile-sema`), lowering (`facile-ir`), binding-time
+//! analysis (`facile-bta`) and engine generation (`facile-codegen`).
+//!
+//! # Examples
+//!
+//! ```
+//! use facile_lang::{parser::parse, diag::Diagnostics, pretty::print_program};
+//!
+//! let src = r#"
+//!     token instr[32] fields op 26:31, rd 21:25, rs1 16:20, imm16 0:15;
+//!     pat addi = op==0x10;
+//!     val R = array(32){0};
+//!     sem addi { R[rd] = R[rs1] + imm16?sext(16); }
+//!     fun main(pc : stream) {
+//!         pc?exec();
+//!         next(pc + 4);
+//!     }
+//! "#;
+//!
+//! let mut diags = Diagnostics::new();
+//! let program = parse(src, &mut diags);
+//! assert!(!diags.has_errors(), "{}", diags.render_all(src));
+//! // The AST pretty-prints back to canonical source.
+//! let canonical = print_program(&program);
+//! assert!(canonical.contains("sem addi {"));
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::Program;
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use parser::parse;
+pub use span::Span;

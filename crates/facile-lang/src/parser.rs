@@ -1,0 +1,1211 @@
+//! Recursive-descent parser for Facile.
+//!
+//! The parser is error-tolerant: on a syntax error it reports a diagnostic
+//! and resynchronizes at the next statement or item boundary, so one run
+//! surfaces as many problems as possible. A program parsed without errors is
+//! structurally complete; semantic legality is checked later by
+//! `facile-sema`.
+
+use crate::ast::*;
+use crate::diag::Diagnostics;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses Facile source text into a [`Program`].
+///
+/// Diagnostics (including lexer diagnostics) are reported into `diags`;
+/// callers should check [`Diagnostics::has_errors`] before using the result.
+///
+/// # Examples
+///
+/// ```
+/// use facile_lang::{parser::parse, diag::Diagnostics};
+/// let src = r#"
+///     token instr[32] fields op 26:31, rd 21:25;
+///     pat add = op==0x00;
+///     sem add { }
+///     fun main(pc : stream) { pc?exec(); }
+/// "#;
+/// let mut diags = Diagnostics::new();
+/// let program = parse(src, &mut diags);
+/// assert!(!diags.has_errors(), "{}", diags.render_all(src));
+/// assert_eq!(program.items.len(), 4);
+/// ```
+pub fn parse(src: &str, diags: &mut Diagnostics) -> Program {
+    let tokens = lex(src, diags);
+    Parser {
+        tokens,
+        pos: 0,
+        diags,
+    }
+    .program()
+}
+
+struct Parser<'d> {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: &'d mut Diagnostics,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> bool {
+        if self.eat(kind) {
+            true
+        } else {
+            let found = self.peek().clone();
+            self.diags.error(
+                format!("expected {}, found {found}", kind.describe()),
+                self.span(),
+            );
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Ident {
+        if let TokenKind::Ident(_) = self.peek() {
+            let t = self.bump();
+            match t.kind {
+                TokenKind::Ident(text) => Ident { text, span: t.span },
+                _ => unreachable!(),
+            }
+        } else {
+            self.diags.error(
+                format!("expected identifier, found {}", self.peek()),
+                self.span(),
+            );
+            Ident::new("<error>", self.span())
+        }
+    }
+
+    fn expect_int(&mut self) -> i64 {
+        if let TokenKind::Int(_) = self.peek() {
+            match self.bump().kind {
+                TokenKind::Int(v) => v,
+                _ => unreachable!(),
+            }
+        } else {
+            self.diags.error(
+                format!("expected integer literal, found {}", self.peek()),
+                self.span(),
+            );
+            0
+        }
+    }
+
+    /// Skips tokens until a plausible item/statement boundary.
+    fn recover(&mut self, stop_at_brace: bool) {
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return,
+                TokenKind::Semi => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::RBrace if stop_at_brace => return,
+                TokenKind::KwToken
+                | TokenKind::KwPat
+                | TokenKind::KwSem
+                | TokenKind::KwFun
+                | TokenKind::KwExt => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ----- items -----
+
+    fn program(mut self) -> Program {
+        let mut items = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            let before = self.pos;
+            if let Some(item) = self.item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                // Defensive: never loop without progress.
+                self.bump();
+            }
+        }
+        Program { items }
+    }
+
+    fn item(&mut self) -> Option<Item> {
+        match self.peek() {
+            TokenKind::KwToken => self.token_decl().map(Item::Token),
+            TokenKind::KwPat => self.pat_decl().map(Item::Pattern),
+            TokenKind::KwSem => self.sem_decl().map(Item::Sem),
+            TokenKind::KwVal => self.val_decl().map(Item::Global),
+            TokenKind::KwFun => self.fun_decl().map(Item::Fun),
+            TokenKind::KwExt => self.ext_fun_decl().map(Item::ExtFun),
+            other => {
+                let other = other.clone();
+                self.diags.error(
+                    format!("expected a top-level declaration, found {other}"),
+                    self.span(),
+                );
+                self.recover(false);
+                None
+            }
+        }
+    }
+
+    fn token_decl(&mut self) -> Option<TokenDecl> {
+        let lo = self.span();
+        self.expect(&TokenKind::KwToken);
+        let name = self.expect_ident();
+        self.expect(&TokenKind::LBracket);
+        let width = self.expect_int();
+        self.expect(&TokenKind::RBracket);
+        self.expect(&TokenKind::KwFields);
+        let mut fields = Vec::new();
+        loop {
+            let fname = self.expect_ident();
+            let flo = self.expect_int();
+            self.expect(&TokenKind::Colon);
+            let fhi = self.expect_int();
+            let span = fname.span.to(self.prev_span());
+            fields.push(FieldDecl {
+                name: fname,
+                lo: flo.max(0) as u32,
+                hi: fhi.max(0) as u32,
+                span,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semi);
+        if !(1..=64).contains(&width) {
+            self.diags
+                .error(format!("token width {width} must be between 1 and 64"), lo);
+        }
+        Some(TokenDecl {
+            name,
+            width: width.clamp(1, 64) as u32,
+            fields,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    fn pat_decl(&mut self) -> Option<PatDecl> {
+        let lo = self.span();
+        self.expect(&TokenKind::KwPat);
+        let name = self.expect_ident();
+        self.expect(&TokenKind::Eq);
+        let body = self.pat_or();
+        self.expect(&TokenKind::Semi);
+        Some(PatDecl {
+            name,
+            body,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    fn pat_or(&mut self) -> PatExpr {
+        let mut lhs = self.pat_and();
+        while self.eat(&TokenKind::PipePipe) {
+            let rhs = self.pat_and();
+            let span = lhs.span.to(rhs.span);
+            lhs = PatExpr {
+                kind: PatExprKind::Or(Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn pat_and(&mut self) -> PatExpr {
+        let mut lhs = self.pat_prim();
+        while self.eat(&TokenKind::AmpAmp) {
+            let rhs = self.pat_prim();
+            let span = lhs.span.to(rhs.span);
+            lhs = PatExpr {
+                kind: PatExprKind::And(Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn pat_prim(&mut self) -> PatExpr {
+        let lo = self.span();
+        if self.eat(&TokenKind::LParen) {
+            let inner = self.pat_or();
+            self.expect(&TokenKind::RParen);
+            return PatExpr {
+                span: lo.to(self.prev_span()),
+                ..inner
+            };
+        }
+        let name = self.expect_ident();
+        match self.peek() {
+            TokenKind::EqEq | TokenKind::BangEq => {
+                let eq = self.bump().kind == TokenKind::EqEq;
+                let negate = self.eat(&TokenKind::Minus);
+                let mut value = self.expect_int();
+                if negate {
+                    value = -value;
+                }
+                PatExpr {
+                    span: lo.to(self.prev_span()),
+                    kind: PatExprKind::Cmp {
+                        field: name,
+                        eq,
+                        value,
+                    },
+                }
+            }
+            _ => PatExpr {
+                span: name.span,
+                kind: PatExprKind::Ref(name),
+            },
+        }
+    }
+
+    fn sem_decl(&mut self) -> Option<SemDecl> {
+        let lo = self.span();
+        self.expect(&TokenKind::KwSem);
+        let name = self.expect_ident();
+        let body = self.block();
+        self.eat(&TokenKind::Semi); // optional trailing `;` as in the paper
+        Some(SemDecl {
+            name,
+            body,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    fn val_decl(&mut self) -> Option<ValDecl> {
+        let lo = self.span();
+        self.expect(&TokenKind::KwVal);
+        let name = self.expect_ident();
+        let ty = if self.eat(&TokenKind::Colon) {
+            Some(self.type_expr())
+        } else {
+            None
+        };
+        let init = if self.eat(&TokenKind::Eq) {
+            Some(self.expr())
+        } else {
+            None
+        };
+        if ty.is_none() && init.is_none() {
+            self.diags.error(
+                format!("`val {name}` needs a type annotation or an initializer"),
+                lo.to(self.prev_span()),
+            );
+        }
+        self.expect(&TokenKind::Semi);
+        Some(ValDecl {
+            name,
+            ty,
+            init,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    fn fun_decl(&mut self) -> Option<FunDecl> {
+        let lo = self.span();
+        self.expect(&TokenKind::KwFun);
+        let name = self.expect_ident();
+        let params = self.params();
+        let body = self.block();
+        Some(FunDecl {
+            name,
+            params,
+            body,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    fn ext_fun_decl(&mut self) -> Option<ExtFunDecl> {
+        let lo = self.span();
+        self.expect(&TokenKind::KwExt);
+        self.expect(&TokenKind::KwFun);
+        let name = self.expect_ident();
+        let params = self.params();
+        let ret = if self.eat(&TokenKind::Colon) {
+            Some(self.type_expr())
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi);
+        Some(ExtFunDecl {
+            name,
+            params,
+            ret,
+            span: lo.to(self.prev_span()),
+        })
+    }
+
+    fn params(&mut self) -> Vec<Param> {
+        let mut params = Vec::new();
+        self.expect(&TokenKind::LParen);
+        if self.eat(&TokenKind::RParen) {
+            return params;
+        }
+        loop {
+            let name = self.expect_ident();
+            self.expect(&TokenKind::Colon);
+            let ty = self.type_expr();
+            params.push(Param { name, ty });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen);
+        params
+    }
+
+    fn type_expr(&mut self) -> TypeExpr {
+        let lo = self.span();
+        let kind = match self.peek() {
+            TokenKind::KwInt => {
+                self.bump();
+                TypeExprKind::Int
+            }
+            TokenKind::KwBool => {
+                self.bump();
+                TypeExprKind::Bool
+            }
+            TokenKind::KwStream => {
+                self.bump();
+                TypeExprKind::Stream
+            }
+            TokenKind::KwQueue => {
+                self.bump();
+                TypeExprKind::Queue
+            }
+            TokenKind::KwArray => {
+                self.bump();
+                self.expect(&TokenKind::LParen);
+                let size = self.expect_int();
+                self.expect(&TokenKind::RParen);
+                if size <= 0 {
+                    self.diags
+                        .error("array size must be positive", lo.to(self.prev_span()));
+                }
+                TypeExprKind::Array(size.max(1) as u32)
+            }
+            other => {
+                let other = other.clone();
+                self.diags
+                    .error(format!("expected a type, found {other}"), self.span());
+                TypeExprKind::Int
+            }
+        };
+        TypeExpr {
+            kind,
+            span: lo.to(self.prev_span()),
+        }
+    }
+
+    // ----- statements -----
+
+    fn block(&mut self) -> Block {
+        let lo = self.span();
+        if !self.expect(&TokenKind::LBrace) {
+            return Block {
+                stmts: vec![],
+                span: lo,
+            };
+        }
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            let before = self.pos;
+            if let Some(s) = self.stmt() {
+                stmts.push(s);
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.expect(&TokenKind::RBrace);
+        Block {
+            stmts,
+            span: lo.to(self.prev_span()),
+        }
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        let lo = self.span();
+        match self.peek() {
+            TokenKind::KwVal => {
+                let v = self.val_decl()?;
+                let span = v.span;
+                Some(Stmt {
+                    kind: StmtKind::Local(v),
+                    span,
+                })
+            }
+            TokenKind::KwIf => Some(self.if_stmt()),
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen);
+                let cond = self.expr();
+                self.expect(&TokenKind::RParen);
+                let body = self.block();
+                Some(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    span: lo.to(self.prev_span()),
+                })
+            }
+            TokenKind::KwSwitch => Some(self.switch_stmt()),
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(&TokenKind::Semi);
+                Some(Stmt {
+                    kind: StmtKind::Break,
+                    span: lo.to(self.prev_span()),
+                })
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(&TokenKind::Semi);
+                Some(Stmt {
+                    kind: StmtKind::Continue,
+                    span: lo.to(self.prev_span()),
+                })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr())
+                };
+                self.expect(&TokenKind::Semi);
+                Some(Stmt {
+                    kind: StmtKind::Return(value),
+                    span: lo.to(self.prev_span()),
+                })
+            }
+            _ => self.assign_or_expr_stmt(),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Stmt {
+        let lo = self.span();
+        self.expect(&TokenKind::KwIf);
+        self.expect(&TokenKind::LParen);
+        let cond = self.expr();
+        self.expect(&TokenKind::RParen);
+        let then = self.block();
+        let els = if self.eat(&TokenKind::KwElse) {
+            if self.at(&TokenKind::KwIf) {
+                // `else if`: wrap the nested if in a synthetic block.
+                let nested = self.if_stmt();
+                let span = nested.span;
+                Some(Block {
+                    stmts: vec![nested],
+                    span,
+                })
+            } else {
+                Some(self.block())
+            }
+        } else {
+            None
+        };
+        Stmt {
+            kind: StmtKind::If { cond, then, els },
+            span: lo.to(self.prev_span()),
+        }
+    }
+
+    fn switch_stmt(&mut self) -> Stmt {
+        let lo = self.span();
+        self.expect(&TokenKind::KwSwitch);
+        self.expect(&TokenKind::LParen);
+        let subject = self.expr();
+        self.expect(&TokenKind::RParen);
+        self.expect(&TokenKind::LBrace);
+        let mut arms = Vec::new();
+        let mut default = None;
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            let arm_lo = self.span();
+            match self.peek() {
+                TokenKind::KwPat => {
+                    self.bump();
+                    let mut names = vec![self.expect_ident()];
+                    while self.eat(&TokenKind::Comma) {
+                        names.push(self.expect_ident());
+                    }
+                    self.expect(&TokenKind::Colon);
+                    let body = self.arm_body();
+                    arms.push(SwitchArm {
+                        labels: ArmLabels::Pats(names),
+                        span: arm_lo.to(self.prev_span()),
+                        body,
+                    });
+                }
+                TokenKind::KwCase => {
+                    self.bump();
+                    let mut values = Vec::new();
+                    loop {
+                        let vspan = self.span();
+                        let neg = self.eat(&TokenKind::Minus);
+                        let mut v = self.expect_int();
+                        if neg {
+                            v = -v;
+                        }
+                        values.push((v, vspan.to(self.prev_span())));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::Colon);
+                    let body = self.arm_body();
+                    arms.push(SwitchArm {
+                        labels: ArmLabels::Values(values),
+                        span: arm_lo.to(self.prev_span()),
+                        body,
+                    });
+                }
+                TokenKind::KwDefault => {
+                    self.bump();
+                    self.expect(&TokenKind::Colon);
+                    let body = self.arm_body();
+                    if default.is_some() {
+                        self.diags
+                            .error("duplicate `default:` arm", arm_lo.to(self.prev_span()));
+                    }
+                    default = Some(body);
+                }
+                other => {
+                    let other = other.clone();
+                    self.diags.error(
+                        format!("expected `pat`, `case` or `default` arm, found {other}"),
+                        self.span(),
+                    );
+                    self.recover(true);
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace);
+        Stmt {
+            kind: StmtKind::Switch {
+                subject,
+                arms,
+                default,
+            },
+            span: lo.to(self.prev_span()),
+        }
+    }
+
+    /// Statements of a switch arm, up to the next label or closing brace.
+    fn arm_body(&mut self) -> Block {
+        let lo = self.span();
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::KwPat | TokenKind::KwCase | TokenKind::KwDefault
+                | TokenKind::RBrace
+                | TokenKind::Eof => break,
+                _ => {
+                    let before = self.pos;
+                    if let Some(s) = self.stmt() {
+                        stmts.push(s);
+                    }
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        Block {
+            stmts,
+            span: lo.to(self.prev_span()),
+        }
+    }
+
+    fn assign_or_expr_stmt(&mut self) -> Option<Stmt> {
+        let lo = self.span();
+        // Lookahead: `ident =`, `ident [ ... ] =` are assignments.
+        if let TokenKind::Ident(_) = self.peek() {
+            if self.peek2() == &TokenKind::Eq {
+                let name = self.expect_ident();
+                self.bump(); // `=`
+                let value = self.expr();
+                self.expect(&TokenKind::Semi);
+                let span = lo.to(self.prev_span());
+                return Some(Stmt {
+                    kind: StmtKind::Assign {
+                        place: Place {
+                            span: name.span,
+                            name,
+                            index: None,
+                        },
+                        value,
+                    },
+                    span,
+                });
+            }
+            if self.peek2() == &TokenKind::LBracket {
+                // Could be `a[i] = e;` or the expression `a[i];`/`a[i] + ...;`.
+                // Parse the indexed place speculatively.
+                let save = self.pos;
+                let name = self.expect_ident();
+                self.bump(); // `[`
+                let index = self.expr();
+                if self.eat(&TokenKind::RBracket) && self.at(&TokenKind::Eq) {
+                    self.bump(); // `=`
+                    let value = self.expr();
+                    self.expect(&TokenKind::Semi);
+                    let span = lo.to(self.prev_span());
+                    return Some(Stmt {
+                        kind: StmtKind::Assign {
+                            place: Place {
+                                span: name.span.to(index.span),
+                                name,
+                                index: Some(index),
+                            },
+                            value,
+                        },
+                        span,
+                    });
+                }
+                self.pos = save;
+            }
+        }
+        let e = self.expr();
+        if !self.expect(&TokenKind::Semi) {
+            self.recover(true);
+        }
+        let span = lo.to(self.prev_span());
+        Some(Stmt {
+            kind: StmtKind::Expr(e),
+            span,
+        })
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self) -> Expr {
+        self.binary_expr(0)
+    }
+
+    fn binop_of(kind: &TokenKind) -> Option<BinOp> {
+        Some(match kind {
+            TokenKind::PipePipe => BinOp::LogOr,
+            TokenKind::AmpAmp => BinOp::LogAnd,
+            TokenKind::Pipe => BinOp::BitOr,
+            TokenKind::Caret => BinOp::BitXor,
+            TokenKind::Amp => BinOp::BitAnd,
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::BangEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::Shl => BinOp::Shl,
+            TokenKind::Shr => BinOp::Shr,
+            TokenKind::Plus => BinOp::Add,
+            TokenKind::Minus => BinOp::Sub,
+            TokenKind::Star => BinOp::Mul,
+            TokenKind::Slash => BinOp::Div,
+            TokenKind::Percent => BinOp::Rem,
+            _ => return None,
+        })
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Expr {
+        let mut lhs = self.unary_expr();
+        while let Some(op) = Self::binop_of(self.peek()) {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1); // all operators left-associative
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn unary_expr(&mut self) -> Expr {
+        let lo = self.span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Bang => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let inner = self.unary_expr();
+            let span = lo.to(inner.span);
+            return Expr {
+                kind: ExprKind::Unary(op, Box::new(inner)),
+                span,
+            };
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Expr {
+        let mut e = self.primary_expr();
+        loop {
+            if self.eat(&TokenKind::Question) {
+                let name = self.expect_ident();
+                let args = if self.at(&TokenKind::LParen) {
+                    self.call_args()
+                } else {
+                    Vec::new()
+                };
+                let span = e.span.to(self.prev_span());
+                e = Expr {
+                    kind: ExprKind::Attr {
+                        recv: Box::new(e),
+                        name,
+                        args,
+                    },
+                    span,
+                };
+            } else if self.at(&TokenKind::LBracket) {
+                // Indexing binds only to bare variable bases (no pointers).
+                let base = match &e.kind {
+                    ExprKind::Var(name) => name.clone(),
+                    _ => {
+                        self.diags.error(
+                            "only a named array or queue variable can be indexed",
+                            self.span(),
+                        );
+                        Ident::new("<error>", e.span)
+                    }
+                };
+                self.bump(); // `[`
+                let index = self.expr();
+                self.expect(&TokenKind::RBracket);
+                let span = e.span.to(self.prev_span());
+                e = Expr {
+                    kind: ExprKind::Index {
+                        base,
+                        index: Box::new(index),
+                    },
+                    span,
+                };
+            } else {
+                return e;
+            }
+        }
+    }
+
+    fn call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        self.expect(&TokenKind::LParen);
+        if self.eat(&TokenKind::RParen) {
+            return args;
+        }
+        loop {
+            args.push(self.expr());
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen);
+        args
+    }
+
+    fn primary_expr(&mut self) -> Expr {
+        let lo = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::Int(v),
+                    span: lo,
+                }
+            }
+            TokenKind::KwTrue => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::Bool(true),
+                    span: lo,
+                }
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::Bool(false),
+                    span: lo,
+                }
+            }
+            TokenKind::KwArray => {
+                self.bump();
+                self.expect(&TokenKind::LParen);
+                let size = self.expect_int();
+                self.expect(&TokenKind::RParen);
+                self.expect(&TokenKind::LBrace);
+                let fill = self.expr();
+                self.expect(&TokenKind::RBrace);
+                if size <= 0 {
+                    self.diags
+                        .error("array size must be positive", lo.to(self.prev_span()));
+                }
+                Expr {
+                    kind: ExprKind::ArrayInit {
+                        size: size.max(1) as u32,
+                        fill: Box::new(fill),
+                    },
+                    span: lo.to(self.prev_span()),
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr();
+                self.expect(&TokenKind::RParen);
+                Expr {
+                    span: lo.to(self.prev_span()),
+                    ..inner
+                }
+            }
+            TokenKind::Ident(_) => {
+                let name = self.expect_ident();
+                if self.at(&TokenKind::LParen) {
+                    let args = self.call_args();
+                    Expr {
+                        span: lo.to(self.prev_span()),
+                        kind: ExprKind::Call { name, args },
+                    }
+                } else {
+                    Expr {
+                        span: name.span,
+                        kind: ExprKind::Var(name),
+                    }
+                }
+            }
+            other => {
+                self.diags
+                    .error(format!("expected expression, found {other}"), self.span());
+                // Do not consume: the caller's recovery decides.
+                Expr {
+                    kind: ExprKind::Int(0),
+                    span: lo,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        let mut diags = Diagnostics::new();
+        let p = parse(src, &mut diags);
+        assert!(!diags.has_errors(), "{}", diags.render_all(src));
+        p
+    }
+
+    fn parse_err(src: &str) -> Diagnostics {
+        let mut diags = Diagnostics::new();
+        parse(src, &mut diags);
+        assert!(diags.has_errors(), "expected errors for {src:?}");
+        diags
+    }
+
+    #[test]
+    fn paper_figure4_token_and_patterns() {
+        let p = parse_ok(
+            "token instruction[32] fields op 24:31, rl 19:23, r2 14:18, r3 0:4,
+                 i 13:13, imm 0:12, offset 0:18, fill 5:12;
+             pat add = op==0x00 && (i==1 || fill==0);
+             pat bz = op==0x01;",
+        );
+        assert_eq!(p.items.len(), 3);
+        match &p.items[0] {
+            Item::Token(t) => {
+                assert_eq!(t.width, 32);
+                assert_eq!(t.fields.len(), 8);
+                assert_eq!(t.fields[0].name.text, "op");
+                assert_eq!((t.fields[0].lo, t.fields[0].hi), (24, 31));
+            }
+            other => panic!("expected token decl, got {other:?}"),
+        }
+        match &p.items[1] {
+            Item::Pattern(pd) => match &pd.body.kind {
+                PatExprKind::And(l, r) => {
+                    assert!(matches!(l.kind, PatExprKind::Cmp { .. }));
+                    assert!(matches!(r.kind, PatExprKind::Or(_, _)));
+                }
+                other => panic!("expected conjunction, got {other:?}"),
+            },
+            other => panic!("expected pattern decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_figure5_semantics() {
+        let p = parse_ok(
+            "val PC : stream;
+             val nPC : stream;
+             val R = array(32){0};
+             sem add {
+               if (i) { R[rl] = R[r2] + imm?sext(32); }
+               else { R[rl] = R[r2] + R[r3]; }
+             };
+             sem bz {
+               if (R[rl]==0) { nPC = PC + offset?sext(32); }
+             };",
+        );
+        assert_eq!(p.items.len(), 5);
+        assert!(matches!(&p.items[3], Item::Sem(_)));
+    }
+
+    #[test]
+    fn paper_figure6_step_function() {
+        let p = parse_ok(
+            "fun main(pc : stream) {
+               PC = pc;
+               nPC = PC + 4;
+               PC?exec();
+               next(nPC);
+             }",
+        );
+        let main = p.fun("main").expect("main exists");
+        assert_eq!(main.params.len(), 1);
+        assert_eq!(main.body.stmts.len(), 4);
+        assert!(matches!(
+            &main.body.stmts[2].kind,
+            StmtKind::Expr(Expr {
+                kind: ExprKind::Attr { .. },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn pattern_switch_with_multiple_labels() {
+        let p = parse_ok(
+            "fun f(pc : stream) {
+               switch (pc) {
+                 pat add, sub: val x = 1;
+                 pat bz: val y = 2;
+                 default: val z = 3;
+               }
+             }",
+        );
+        let f = p.fun("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::Switch { arms, default, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert!(default.is_some());
+                match &arms[0].labels {
+                    ArmLabels::Pats(names) => {
+                        assert_eq!(names.len(), 2);
+                        assert_eq!(names[0].text, "add");
+                    }
+                    other => panic!("expected pattern labels, got {other:?}"),
+                }
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_switch_with_negative_case() {
+        let p = parse_ok(
+            "fun f(x : int) {
+               switch (x) {
+                 case 0, 1: val a = 0;
+                 case -3: val b = 1;
+               }
+             }",
+        );
+        let f = p.fun("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::Switch { arms, .. } => match &arms[1].labels {
+                ArmLabels::Values(vs) => assert_eq!(vs[0].0, -3),
+                other => panic!("expected value labels, got {other:?}"),
+            },
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_ok("fun f() { val x = 1 + 2 * 3; }");
+        let f = p.fun("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::Local(v) => match &v.init.as_ref().unwrap().kind {
+                ExprKind::Binary(BinOp::Add, _, rhs) => {
+                    assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("expected addition at top, got {other:?}"),
+            },
+            other => panic!("expected local, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let p = parse_ok("fun f() { val x = 10 - 3 - 2; }");
+        let f = p.fun("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::Local(v) => match &v.init.as_ref().unwrap().kind {
+                ExprKind::Binary(BinOp::Sub, lhs, _) => {
+                    assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::Sub, _, _)));
+                }
+                other => panic!("expected subtraction at top, got {other:?}"),
+            },
+            other => panic!("expected local, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_attributes_and_indexing() {
+        parse_ok("fun f(q : queue) { val v = q?get(0)?sext(16); q[1] = v; }");
+    }
+
+    #[test]
+    fn indexed_assignment_vs_indexed_expression() {
+        let p = parse_ok("fun f(a : array(4)) { a[0] = 1; a[0]?verify; }");
+        let f = p.fun("f").unwrap();
+        assert!(matches!(&f.body.stmts[0].kind, StmtKind::Assign { .. }));
+        assert!(matches!(&f.body.stmts[1].kind, StmtKind::Expr(_)));
+    }
+
+    #[test]
+    fn else_if_chain_desugars() {
+        let p = parse_ok("fun f(x : int) { if (x) { } else if (x == 2) { } else { } }");
+        let f = p.fun("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::If { els: Some(b), .. } => {
+                assert_eq!(b.stmts.len(), 1);
+                assert!(matches!(b.stmts[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("expected if with else, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ext_fun_with_and_without_return() {
+        let p = parse_ok(
+            "ext fun cache_access(addr : int, write : int) : int;
+             ext fun log_event(code : int);",
+        );
+        match (&p.items[0], &p.items[1]) {
+            (Item::ExtFun(a), Item::ExtFun(b)) => {
+                assert!(a.ret.is_some());
+                assert!(b.ret.is_none());
+            }
+            other => panic!("expected two ext funs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn val_without_type_or_init_is_error() {
+        parse_err("val x;");
+    }
+
+    #[test]
+    fn missing_semicolon_is_reported_but_recovers() {
+        let mut diags = Diagnostics::new();
+        let p = parse("pat a = op==1\npat b = op==2;", &mut diags);
+        assert!(diags.has_errors());
+        // The second pattern still parses.
+        assert!(p
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Pattern(pd) if pd.name.text == "b")));
+    }
+
+    #[test]
+    fn error_recovery_inside_block() {
+        let mut diags = Diagnostics::new();
+        let p = parse("fun f() { val x = ; val y = 2; }", &mut diags);
+        assert!(diags.has_errors());
+        let f = p.fun("f").unwrap();
+        assert!(f
+            .body
+            .stmts
+            .iter()
+            .any(|s| matches!(&s.kind, StmtKind::Local(v) if v.name.text == "y")));
+    }
+
+    #[test]
+    fn zero_width_token_rejected() {
+        parse_err("token t[0] fields f 0:0;");
+        parse_err("token t[65] fields f 0:0;");
+    }
+
+    #[test]
+    fn duplicate_default_rejected() {
+        parse_err("fun f(x : int) { switch (x) { default: default: } }");
+    }
+
+    #[test]
+    fn indexing_non_variable_rejected() {
+        parse_err("fun f() { val x = (1 + 2)[0]; }");
+    }
+
+    #[test]
+    fn negative_pattern_value() {
+        let p = parse_ok("pat a = op==-1;");
+        match &p.items[0] {
+            Item::Pattern(pd) => match &pd.body.kind {
+                PatExprKind::Cmp { value, .. } => assert_eq!(*value, -1),
+                other => panic!("expected cmp, got {other:?}"),
+            },
+            other => panic!("expected pattern, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = parse_ok("");
+        assert!(p.items.is_empty());
+    }
+
+    #[test]
+    fn eof_inside_block_does_not_hang() {
+        let mut diags = Diagnostics::new();
+        let _ = parse("fun f() { val x = 1;", &mut diags);
+        assert!(diags.has_errors());
+    }
+}

@@ -1,0 +1,474 @@
+//! Pretty-printer for Facile ASTs.
+//!
+//! Produces canonical source text that reparses to an identical AST (modulo
+//! spans). Used by `facilec --dump-ast`, by golden tests, and by the
+//! property test `pretty → parse` round-trip.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as canonical Facile source.
+///
+/// # Examples
+///
+/// ```
+/// use facile_lang::{parser::parse, pretty::print_program, diag::Diagnostics};
+/// let mut diags = Diagnostics::new();
+/// let p = parse("pat add = op==0;", &mut diags);
+/// assert_eq!(print_program(&p), "pat add = op == 0;\n");
+/// ```
+pub fn print_program(program: &Program) -> String {
+    let mut p = Printer::default();
+    for item in &program.items {
+        p.item(item);
+    }
+    p.out
+}
+
+/// Renders a single expression as canonical Facile source.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(expr, 0);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Token(t) => {
+                self.pad();
+                let fields = t
+                    .fields
+                    .iter()
+                    .map(|f| format!("{} {}:{}", f.name, f.lo, f.hi))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(self.out, "token {}[{}] fields {};", t.name, t.width, fields);
+            }
+            Item::Pattern(pd) => {
+                self.pad();
+                let _ = write!(self.out, "pat {} = ", pd.name);
+                self.pat_expr(&pd.body, 0);
+                self.out.push_str(";\n");
+            }
+            Item::Sem(s) => {
+                self.pad();
+                let _ = write!(self.out, "sem {} ", s.name);
+                self.block(&s.body);
+                self.out.push('\n');
+            }
+            Item::Global(v) => self.val_decl(v),
+            Item::Fun(f) => {
+                self.pad();
+                let params = f
+                    .params
+                    .iter()
+                    .map(|p| format!("{} : {}", p.name, Self::type_text(&p.ty)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = write!(self.out, "fun {}({}) ", f.name, params);
+                self.block(&f.body);
+                self.out.push('\n');
+            }
+            Item::ExtFun(f) => {
+                self.pad();
+                let params = f
+                    .params
+                    .iter()
+                    .map(|p| format!("{} : {}", p.name, Self::type_text(&p.ty)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                match &f.ret {
+                    Some(ret) => {
+                        let _ = writeln!(
+                            self.out,
+                            "ext fun {}({}) : {};",
+                            f.name,
+                            params,
+                            Self::type_text(ret)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(self.out, "ext fun {}({});", f.name, params);
+                    }
+                }
+            }
+        }
+    }
+
+    fn type_text(ty: &TypeExpr) -> String {
+        match &ty.kind {
+            TypeExprKind::Int => "int".into(),
+            TypeExprKind::Bool => "bool".into(),
+            TypeExprKind::Stream => "stream".into(),
+            TypeExprKind::Array(n) => format!("array({n})"),
+            TypeExprKind::Queue => "queue".into(),
+        }
+    }
+
+    fn pat_expr(&mut self, p: &PatExpr, parent_prec: u8) {
+        // Precedence: Or = 1, And = 2, atoms = 3.
+        let prec = match &p.kind {
+            PatExprKind::Or(_, _) => 1,
+            PatExprKind::And(_, _) => 2,
+            _ => 3,
+        };
+        let paren = prec < parent_prec;
+        if paren {
+            self.out.push('(');
+        }
+        match &p.kind {
+            PatExprKind::Or(a, b) => {
+                self.pat_expr(a, prec);
+                self.out.push_str(" || ");
+                self.pat_expr(b, prec + 1);
+            }
+            PatExprKind::And(a, b) => {
+                self.pat_expr(a, prec);
+                self.out.push_str(" && ");
+                self.pat_expr(b, prec + 1);
+            }
+            PatExprKind::Cmp { field, eq, value } => {
+                let op = if *eq { "==" } else { "!=" };
+                let _ = write!(self.out, "{field} {op} {value}");
+            }
+            PatExprKind::Ref(name) => {
+                let _ = write!(self.out, "{name}");
+            }
+        }
+        if paren {
+            self.out.push(')');
+        }
+    }
+
+    fn val_decl(&mut self, v: &ValDecl) {
+        self.pad();
+        let _ = write!(self.out, "val {}", v.name);
+        if let Some(ty) = &v.ty {
+            let _ = write!(self.out, " : {}", Self::type_text(ty));
+        }
+        if let Some(init) = &v.init {
+            self.out.push_str(" = ");
+            self.expr(init, 0);
+        }
+        self.out.push_str(";\n");
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.out.push_str("{\n");
+        self.indent += 1;
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.pad();
+        self.out.push('}');
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Local(v) => self.val_decl(v),
+            StmtKind::Assign { place, value } => {
+                self.pad();
+                let _ = write!(self.out, "{}", place.name);
+                if let Some(idx) = &place.index {
+                    self.out.push('[');
+                    self.expr(idx, 0);
+                    self.out.push(']');
+                }
+                self.out.push_str(" = ");
+                self.expr(value, 0);
+                self.out.push_str(";\n");
+            }
+            StmtKind::If { cond, then, els } => {
+                self.pad();
+                self.out.push_str("if (");
+                self.expr(cond, 0);
+                self.out.push_str(") ");
+                self.block(then);
+                if let Some(els) = els {
+                    self.out.push_str(" else ");
+                    self.block(els);
+                }
+                self.out.push('\n');
+            }
+            StmtKind::While { cond, body } => {
+                self.pad();
+                self.out.push_str("while (");
+                self.expr(cond, 0);
+                self.out.push_str(") ");
+                self.block(body);
+                self.out.push('\n');
+            }
+            StmtKind::Switch {
+                subject,
+                arms,
+                default,
+            } => {
+                self.pad();
+                self.out.push_str("switch (");
+                self.expr(subject, 0);
+                self.out.push_str(") {\n");
+                self.indent += 1;
+                for arm in arms {
+                    self.pad();
+                    match &arm.labels {
+                        ArmLabels::Pats(names) => {
+                            let names = names
+                                .iter()
+                                .map(|n| n.text.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let _ = writeln!(self.out, "pat {names}:");
+                        }
+                        ArmLabels::Values(vals) => {
+                            let vals = vals
+                                .iter()
+                                .map(|(v, _)| v.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let _ = writeln!(self.out, "case {vals}:");
+                        }
+                    }
+                    self.indent += 1;
+                    for s in &arm.body.stmts {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                if let Some(d) = default {
+                    self.line("default:");
+                    self.indent += 1;
+                    for s in &d.stmts {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.pad();
+                self.out.push_str("}\n");
+            }
+            StmtKind::Break => self.line("break;"),
+            StmtKind::Continue => self.line("continue;"),
+            StmtKind::Return(None) => self.line("return;"),
+            StmtKind::Return(Some(e)) => {
+                self.pad();
+                self.out.push_str("return ");
+                self.expr(e, 0);
+                self.out.push_str(";\n");
+            }
+            StmtKind::Expr(e) => {
+                self.pad();
+                self.expr(e, 0);
+                self.out.push_str(";\n");
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, parent_prec: u8) {
+        const POSTFIX_PREC: u8 = 12;
+        const UNARY_PREC: u8 = 11;
+        match &e.kind {
+            ExprKind::Int(v) => {
+                // A negative literal reads as a unary minus when reparsed,
+                // so it needs parentheses exactly where a unary would.
+                if *v < 0 && parent_prec > UNARY_PREC {
+                    let _ = write!(self.out, "({v})");
+                } else {
+                    let _ = write!(self.out, "{v}");
+                }
+            }
+            ExprKind::Bool(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            ExprKind::Var(name) => {
+                let _ = write!(self.out, "{name}");
+            }
+            ExprKind::Unary(op, inner) => {
+                let paren = UNARY_PREC < parent_prec;
+                if paren {
+                    self.out.push('(');
+                }
+                self.out.push_str(op.symbol());
+                // A nested unary (or negative literal) needs parentheses:
+                // `--1` would reparse as a double negation.
+                self.expr(inner, UNARY_PREC + 1);
+                if paren {
+                    self.out.push(')');
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let prec = op.precedence();
+                let paren = prec < parent_prec;
+                if paren {
+                    self.out.push('(');
+                }
+                self.expr(a, prec);
+                let _ = write!(self.out, " {} ", op.symbol());
+                self.expr(b, prec + 1);
+                if paren {
+                    self.out.push(')');
+                }
+            }
+            ExprKind::Call { name, args } => {
+                let _ = write!(self.out, "{name}(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a, 0);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Attr { recv, name, args } => {
+                self.expr(recv, POSTFIX_PREC);
+                let _ = write!(self.out, "?{name}");
+                if !args.is_empty() || Self::attr_needs_parens(&name.text) {
+                    self.out.push('(');
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.expr(a, 0);
+                    }
+                    self.out.push(')');
+                }
+            }
+            ExprKind::Index { base, index } => {
+                let _ = write!(self.out, "{base}[");
+                self.expr(index, 0);
+                self.out.push(']');
+            }
+            ExprKind::ArrayInit { size, fill } => {
+                let _ = write!(self.out, "array({size}){{");
+                self.expr(fill, 0);
+                self.out.push('}');
+            }
+        }
+    }
+
+    /// Attributes conventionally written with empty parens, e.g. `?exec()`.
+    fn attr_needs_parens(name: &str) -> bool {
+        matches!(
+            name,
+            "exec" | "pop_front" | "pop_back" | "clear" | "front" | "back"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostics;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let mut diags = Diagnostics::new();
+        let p1 = parse(src, &mut diags);
+        assert!(!diags.has_errors(), "{}", diags.render_all(src));
+        let printed = print_program(&p1);
+        let mut diags2 = Diagnostics::new();
+        let p2 = parse(&printed, &mut diags2);
+        assert!(
+            !diags2.has_errors(),
+            "printed source failed to reparse:\n{printed}\n{}",
+            diags2.render_all(&printed)
+        );
+        let printed2 = print_program(&p2);
+        assert_eq!(printed, printed2, "print is not a fixed point");
+    }
+
+    #[test]
+    fn roundtrip_paper_example() {
+        roundtrip(
+            "token instruction[32] fields op 24:31, i 13:13, imm 0:12, fill 5:12;
+             pat add = op==0x00 && (i==1 || fill==0);
+             pat bz = op==0x01;
+             val R = array(32){0};
+             sem add { if (i) { R[1] = R[2] + imm?sext(32); } else { R[1] = R[2] + R[3]; } }
+             fun main(pc : stream) { pc?exec(); next(pc + 4); }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_precedence_parens() {
+        roundtrip("fun f() { val x = (1 + 2) * 3; val y = 1 + 2 * 3; val z = -(1 + 2); }");
+    }
+
+    #[test]
+    fn roundtrip_nested_or_in_and() {
+        roundtrip("pat p = a==1 && (b==2 || c==3) || d!=4;");
+    }
+
+    #[test]
+    fn roundtrip_switch_forms() {
+        roundtrip(
+            "fun f(pc : stream, x : int) {
+               switch (pc) { pat a, b: val u = 1; default: val w = 0; }
+               switch (x) { case 0, 1: val v = 2; case -5: break; }
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            "fun f(n : int) {
+               val i = 0;
+               while (i < n) {
+                 if (i % 2 == 0) { continue; } else { break; }
+               }
+               return i;
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_queue_attributes() {
+        roundtrip(
+            "fun f(q : queue) {
+               q?push_back(1);
+               val v = q?pop_front();
+               val n = q?len;
+               q?clear();
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_negative_literal_under_unary() {
+        roundtrip("fun f() { val x = ~-1; val y = 2 - -3; }");
+    }
+
+    #[test]
+    fn print_expr_simple() {
+        let mut diags = Diagnostics::new();
+        let p = parse("fun f() { val x = a + b * c; }", &mut diags);
+        let f = p.fun("f").unwrap();
+        if let crate::ast::StmtKind::Local(v) = &f.body.stmts[0].kind {
+            assert_eq!(print_expr(v.init.as_ref().unwrap()), "a + b * c");
+        } else {
+            panic!("expected local");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Source locations.
+//!
+//! Every token, AST node and diagnostic carries a [`Span`]: a half-open byte
+//! range into the source text. Spans are cheap to copy and are resolved to
+//! line/column pairs only when a diagnostic is rendered.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into a source file.
+///
+/// # Examples
+///
+/// ```
+/// use facile_lang::span::Span;
+/// let s = Span::new(3, 7);
+/// assert_eq!(s.len(), 4);
+/// assert!(Span::new(0, 0).is_empty());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: u32,
+    /// Byte offset one past the last character.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span from byte offsets. `lo` must not exceed `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds only) if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi, "span lo {lo} > hi {hi}");
+        Span { lo, hi }
+    }
+
+    /// A zero-width span at offset 0, used for synthesized nodes.
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// ```
+    /// use facile_lang::span::Span;
+    /// assert_eq!(Span::new(1, 3).to(Span::new(5, 9)), Span::new(1, 9));
+    /// ```
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A value paired with the span it came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The wrapped value.
+    pub node: T,
+    /// Where it appeared in the source.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs `node` with `span`.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+}
+
+/// Maps byte offsets back to 1-based line and column numbers.
+///
+/// Built once per source file; lookups are `O(log lines)`.
+///
+/// # Examples
+///
+/// ```
+/// use facile_lang::span::LineMap;
+/// let map = LineMap::new("ab\ncd\n");
+/// assert_eq!(map.line_col(0), (1, 1));
+/// assert_eq!(map.line_col(3), (2, 1));
+/// assert_eq!(map.line_col(4), (2, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    /// Byte offset at which each line starts. Always begins with 0.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Scans `src` and records the start offset of every line.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Returns the 1-based `(line, column)` of a byte offset.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line as u32 + 1, offset - self.line_starts[line] + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_is_commutative() {
+        let a = Span::new(2, 4);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), b.to(a));
+        assert_eq!(a.to(b), Span::new(2, 12));
+    }
+
+    #[test]
+    fn span_merge_with_overlap() {
+        assert_eq!(Span::new(0, 5).to(Span::new(3, 4)), Span::new(0, 5));
+    }
+
+    #[test]
+    fn dummy_span_is_empty() {
+        assert!(Span::DUMMY.is_empty());
+        assert_eq!(Span::DUMMY.len(), 0);
+    }
+
+    #[test]
+    fn line_map_empty_source() {
+        let map = LineMap::new("");
+        assert_eq!(map.line_col(0), (1, 1));
+    }
+
+    #[test]
+    fn line_map_no_trailing_newline() {
+        let map = LineMap::new("hello");
+        assert_eq!(map.line_col(4), (1, 5));
+    }
+
+    #[test]
+    fn line_map_multiline() {
+        let src = "first\nsecond\n\nfourth";
+        let map = LineMap::new(src);
+        assert_eq!(map.line_col(0), (1, 1));
+        assert_eq!(map.line_col(6), (2, 1));
+        assert_eq!(map.line_col(11), (2, 6));
+        assert_eq!(map.line_col(13), (3, 1));
+        assert_eq!(map.line_col(14), (4, 1));
+    }
+
+    #[test]
+    fn spanned_carries_both() {
+        let s = Spanned::new(42, Span::new(1, 2));
+        assert_eq!(s.node, 42);
+        assert_eq!(s.span, Span::new(1, 2));
+    }
+}

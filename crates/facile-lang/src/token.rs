@@ -1,0 +1,266 @@
+//! Lexical tokens of the Facile language.
+
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Identifiers and integer literals carry their payload; everything else is
+/// identified by kind alone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and names.
+    /// An identifier such as `main` or `rs1`.
+    Ident(String),
+    /// An integer literal. Decimal, `0x` hex or `0b` binary in the source.
+    Int(i64),
+
+    // Keywords.
+    /// `token`
+    KwToken,
+    /// `fields`
+    KwFields,
+    /// `pat`
+    KwPat,
+    /// `sem`
+    KwSem,
+    /// `val`
+    KwVal,
+    /// `fun`
+    KwFun,
+    /// `ext`
+    KwExt,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `switch`
+    KwSwitch,
+    /// `case`
+    KwCase,
+    /// `default`
+    KwDefault,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `return`
+    KwReturn,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `int`
+    KwInt,
+    /// `bool`
+    KwBool,
+    /// `stream`
+    KwStream,
+    /// `array`
+    KwArray,
+    /// `queue`
+    KwQueue,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Looks up the keyword for `ident`, if it is one.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "token" => TokenKind::KwToken,
+            "fields" => TokenKind::KwFields,
+            "pat" => TokenKind::KwPat,
+            "sem" => TokenKind::KwSem,
+            "val" => TokenKind::KwVal,
+            "fun" => TokenKind::KwFun,
+            "ext" => TokenKind::KwExt,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "switch" => TokenKind::KwSwitch,
+            "case" => TokenKind::KwCase,
+            "default" => TokenKind::KwDefault,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "return" => TokenKind::KwReturn,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            "int" => TokenKind::KwInt,
+            "bool" => TokenKind::KwBool,
+            "stream" => TokenKind::KwStream,
+            "array" => TokenKind::KwArray,
+            "queue" => TokenKind::KwQueue,
+            _ => return None,
+        })
+    }
+
+    /// A short name used in "expected X, found Y" messages.
+    pub fn describe(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Ident(_) => "identifier",
+            Int(_) => "integer literal",
+            KwToken => "`token`",
+            KwFields => "`fields`",
+            KwPat => "`pat`",
+            KwSem => "`sem`",
+            KwVal => "`val`",
+            KwFun => "`fun`",
+            KwExt => "`ext`",
+            KwIf => "`if`",
+            KwElse => "`else`",
+            KwWhile => "`while`",
+            KwSwitch => "`switch`",
+            KwCase => "`case`",
+            KwDefault => "`default`",
+            KwBreak => "`break`",
+            KwContinue => "`continue`",
+            KwReturn => "`return`",
+            KwTrue => "`true`",
+            KwFalse => "`false`",
+            KwInt => "`int`",
+            KwBool => "`bool`",
+            KwStream => "`stream`",
+            KwArray => "`array`",
+            KwQueue => "`queue`",
+            LParen => "`(`",
+            RParen => "`)`",
+            LBrace => "`{`",
+            RBrace => "`}`",
+            LBracket => "`[`",
+            RBracket => "`]`",
+            Comma => "`,`",
+            Semi => "`;`",
+            Colon => "`:`",
+            Question => "`?`",
+            Eq => "`=`",
+            EqEq => "`==`",
+            BangEq => "`!=`",
+            Lt => "`<`",
+            Le => "`<=`",
+            Gt => "`>`",
+            Ge => "`>=`",
+            Shl => "`<<`",
+            Shr => "`>>`",
+            Plus => "`+`",
+            Minus => "`-`",
+            Star => "`*`",
+            Slash => "`/`",
+            Percent => "`%`",
+            Amp => "`&`",
+            AmpAmp => "`&&`",
+            Pipe => "`|`",
+            PipePipe => "`||`",
+            Caret => "`^`",
+            Bang => "`!`",
+            Tilde => "`~`",
+            Eof => "end of input",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "`{v}`"),
+            other => f.write_str(other.describe()),
+        }
+    }
+}
+
+/// A lexical token: a kind plus the span it covers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it appears in the source.
+    pub span: crate::span::Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        assert_eq!(TokenKind::keyword("pat"), Some(TokenKind::KwPat));
+        assert_eq!(TokenKind::keyword("queue"), Some(TokenKind::KwQueue));
+        assert_eq!(TokenKind::keyword("patx"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+    }
+
+    #[test]
+    fn display_quotes_identifiers() {
+        assert_eq!(TokenKind::Ident("abc".into()).to_string(), "`abc`");
+        assert_eq!(TokenKind::Int(7).to_string(), "`7`");
+        assert_eq!(TokenKind::AmpAmp.to_string(), "`&&`");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property: pretty-printing a random expression AST and reparsing it
+//! yields the same canonical form (print ∘ parse ∘ print = print).
+
+use facile_lang::ast::{BinOp, Expr, ExprKind, Ident, UnOp};
+use facile_lang::diag::Diagnostics;
+use facile_lang::parser::parse;
+use facile_lang::pretty::print_program;
+use facile_lang::span::Span;
+use proptest::prelude::*;
+
+fn ident(name: &str) -> Ident {
+    Ident::new(name, Span::DUMMY)
+}
+
+fn expr(kind: ExprKind) -> Expr {
+    Expr {
+        kind,
+        span: Span::DUMMY,
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(|v| expr(ExprKind::Int(v))),
+        prop_oneof![Just("a"), Just("b"), Just("count")]
+            .prop_map(|n| expr(ExprKind::Var(ident(n)))),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        let bin = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Rem),
+            Just(BinOp::BitAnd),
+            Just(BinOp::BitOr),
+            Just(BinOp::BitXor),
+            Just(BinOp::Shl),
+            Just(BinOp::Shr),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+        ];
+        let un = prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)];
+        prop_oneof![
+            (bin, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| expr(ExprKind::Binary(op, Box::new(a), Box::new(b)))),
+            (un, inner.clone()).prop_map(|(op, a)| expr(ExprKind::Unary(op, Box::new(a)))),
+            (1u32..=64, inner.clone()).prop_map(|(w, a)| expr(ExprKind::Attr {
+                recv: Box::new(a),
+                name: ident("sext"),
+                args: vec![expr(ExprKind::Int(w as i64))],
+            })),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_parse_pretty_is_identity(e in arb_expr()) {
+        use facile_lang::ast::{Block, FunDecl, Item, Param, Program, Stmt, StmtKind,
+            TypeExpr, TypeExprKind, ValDecl};
+        // Wrap the expression in a well-formed program.
+        let program = Program {
+            items: vec![Item::Fun(FunDecl {
+                name: ident("main"),
+                params: vec![
+                    Param { name: ident("a"), ty: TypeExpr { kind: TypeExprKind::Int, span: Span::DUMMY } },
+                    Param { name: ident("b"), ty: TypeExpr { kind: TypeExprKind::Int, span: Span::DUMMY } },
+                    Param { name: ident("count"), ty: TypeExpr { kind: TypeExprKind::Int, span: Span::DUMMY } },
+                ],
+                body: Block {
+                    stmts: vec![Stmt {
+                        kind: StmtKind::Local(ValDecl {
+                            name: ident("x"),
+                            ty: None,
+                            init: Some(e),
+                            span: Span::DUMMY,
+                        }),
+                        span: Span::DUMMY,
+                    }],
+                    span: Span::DUMMY,
+                },
+                span: Span::DUMMY,
+            })],
+        };
+        let once = print_program(&program);
+        let mut diags = Diagnostics::new();
+        let reparsed = parse(&once, &mut diags);
+        prop_assert!(!diags.has_errors(), "reparse failed:\n{once}\n{}", diags.render_all(&once));
+        let twice = print_program(&reparsed);
+        prop_assert_eq!(once, twice);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The front end never panics and never loops on arbitrary input —
+    /// it reports diagnostics instead.
+    #[test]
+    fn parser_is_total(src in "[ -~\\n]{0,200}") {
+        let mut diags = Diagnostics::new();
+        let _ = parse(&src, &mut diags);
+    }
+
+    /// Arbitrary token soup assembled from valid lexemes also never
+    /// panics (exercises error recovery paths specifically).
+    #[test]
+    fn parser_survives_token_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "fun", "val", "pat", "sem", "token", "fields", "ext",
+                "if", "else", "while", "switch", "case", "default",
+                "break", "continue", "return", "int", "queue", "stream",
+                "array", "(", ")", "{", "}", "[", "]", ",", ";", ":",
+                "?", "=", "==", "!=", "+", "-", "*", "/", "%", "&&",
+                "||", "<<", ">>", "x", "y", "main", "0", "42", "0xff",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let mut diags = Diagnostics::new();
+        let _ = parse(&src, &mut diags);
+    }
+}

@@ -1,0 +1,489 @@
+//! The specialized action cache (paper §2, Figure 2).
+//!
+//! The cache stores, per memoization key, the *dynamic actions* a slow
+//! simulator recorded while executing one step: action numbers plus
+//! run-time-static placeholder data, "linked together in the order in
+//! which they execute". Actions that test dynamic values have multiple
+//! successors keyed by the observed value; INDEX actions chain to the next
+//! step's entry so the fast simulator can follow links instead of doing a
+//! full lookup.
+//!
+//! Recording happens through a [`Cursor`]: the position of the pending
+//! link. The fast simulator walks nodes; when a needed successor is
+//! missing it converts its position back into a cursor and hands control
+//! to the slow simulator (an *action-cache miss*, paper §2.1).
+//!
+//! Memory accounting (paper Table 2) charges each node its varint-encoded
+//! payload size — matching the paper's compressed representation — plus a
+//! small fixed overhead; a capacity limit with a clear-on-full policy
+//! reproduces §6.2's 256 MB experiments.
+
+use crate::key::{varint_len, zigzag, Key};
+use std::collections::HashMap;
+
+/// Index of a node in the action cache arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Successor links of a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Succ {
+    /// Not recorded yet.
+    None,
+    /// Straight-line link (plain actions).
+    One(NodeId),
+    /// Dynamic result test: one successor per observed value.
+    Tests(Vec<(i64, NodeId)>),
+    /// INDEX action: successors are step entries. Links are keyed by the
+    /// key's *dynamic components only* — the run-time-static components
+    /// are identical on every execution of the same node, so the dynamic
+    /// signature discriminates fully and replay never has to serialize
+    /// the whole key (the paper's "faster to follow the link").
+    Index(Vec<(Box<[i64]>, NodeId)>),
+}
+
+/// One recorded action.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The action number (an index into the fast engine's action table).
+    pub action: u32,
+    /// Run-time-static placeholder data read by the fast engine.
+    pub data: Box<[i64]>,
+    /// What follows this action.
+    pub succ: Succ,
+}
+
+/// Where the next recorded node will be linked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cursor {
+    /// Start of simulation (or right after a clear): the next node becomes
+    /// the entry for this key.
+    AtEntry(Key),
+    /// After a plain action.
+    AfterPlain(NodeId),
+    /// After a dynamic result test that observed `1`-th value.
+    AfterTest(NodeId, i64),
+    /// After an INDEX action that computed this next key (with the
+    /// dynamic signature used for the node-local link).
+    AfterIndex(NodeId, Key, Vec<i64>),
+}
+
+/// Counters describing cache behaviour, for Tables 1 and 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Nodes ever created (across clears).
+    pub nodes_created: u64,
+    /// Entries ever registered.
+    pub entries_created: u64,
+    /// Times the cache was cleared because it hit capacity.
+    pub clears: u64,
+    /// Bytes currently held.
+    pub bytes_current: u64,
+    /// Bytes ever memoized (monotonic; what Table 2 reports).
+    pub bytes_total: u64,
+    /// High-water mark of `bytes_current`.
+    pub bytes_peak: u64,
+}
+
+/// The specialized action cache.
+#[derive(Clone, Debug)]
+pub struct ActionCache {
+    nodes: Vec<Node>,
+    entries: HashMap<Key, NodeId>,
+    capacity: Option<u64>,
+    stats: CacheStats,
+    /// Bumped on every clear so engines can notice stale node ids.
+    generation: u64,
+}
+
+/// Fixed per-node overhead charged to the byte budget (action number +
+/// link), matching the paper's description of compact entries.
+const NODE_OVERHEAD: u64 = 8;
+/// Fixed per-entry overhead (hash-table slot + link).
+const ENTRY_OVERHEAD: u64 = 16;
+
+impl ActionCache {
+    /// An unbounded cache.
+    pub fn new() -> Self {
+        ActionCache {
+            nodes: Vec::new(),
+            entries: HashMap::new(),
+            capacity: None,
+            stats: CacheStats::default(),
+            generation: 0,
+        }
+    }
+
+    /// A cache that clears itself when `bytes` are exceeded (checked at
+    /// step boundaries by the engines).
+    pub fn with_capacity(bytes: u64) -> Self {
+        let mut c = Self::new();
+        c.capacity = Some(bytes);
+        c
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Current generation; changes whenever the cache is cleared.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the byte budget is exhausted.
+    pub fn over_capacity(&self) -> bool {
+        match self.capacity {
+            Some(cap) => self.stats.bytes_current > cap,
+            None => false,
+        }
+    }
+
+    /// Drops all recorded behaviour (the clear-on-full policy, §6.2).
+    /// Outstanding [`NodeId`]s and [`Cursor`]s become invalid; engines
+    /// detect this through [`generation`](Self::generation).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.entries.clear();
+        self.stats.bytes_current = 0;
+        self.stats.clears += 1;
+        self.generation += 1;
+    }
+
+    /// The entry node for `key`, if one was recorded.
+    pub fn entry(&self, key: &Key) -> Option<NodeId> {
+        self.entries.get(key).copied()
+    }
+
+    /// The node behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale (from before a clear).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Successor of a plain action.
+    pub fn next_plain(&self, id: NodeId) -> Option<NodeId> {
+        match &self.nodes[id.index()].succ {
+            Succ::One(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Successor of a dynamic result test for `value`.
+    pub fn next_test(&self, id: NodeId, value: i64) -> Option<NodeId> {
+        match &self.nodes[id.index()].succ {
+            Succ::Tests(list) => list.iter().find(|(v, _)| *v == value).map(|&(_, n)| n),
+            _ => None,
+        }
+    }
+
+    /// Node-local successor of an INDEX action for a dynamic signature —
+    /// the fast path, no key serialization needed.
+    pub fn next_index_local(&self, id: NodeId, sig: &[i64]) -> Option<NodeId> {
+        if let Succ::Index(list) = &self.nodes[id.index()].succ {
+            if let Some(&(_, n)) = list.iter().find(|(s, _)| &**s == sig) {
+                return Some(n);
+            }
+        }
+        None
+    }
+
+    // ----- recording -----
+
+    fn new_node(&mut self, action: u32, data: Vec<i64>, succ: Succ) -> NodeId {
+        let bytes: u64 = NODE_OVERHEAD
+            + data
+                .iter()
+                .map(|&v| varint_len(zigzag(v)) as u64)
+                .sum::<u64>();
+        self.stats.bytes_current += bytes;
+        self.stats.bytes_total += bytes;
+        self.stats.bytes_peak = self.stats.bytes_peak.max(self.stats.bytes_current);
+        self.stats.nodes_created += 1;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            action,
+            data: data.into_boxed_slice(),
+            succ,
+        });
+        id
+    }
+
+    fn link(&mut self, cursor: &Cursor, new: NodeId) {
+        match cursor {
+            Cursor::AtEntry(key) => {
+                self.register_entry(key.clone(), new);
+            }
+            Cursor::AfterPlain(n) => {
+                let node = &mut self.nodes[n.index()];
+                debug_assert!(matches!(node.succ, Succ::None), "plain link already filled");
+                node.succ = Succ::One(new);
+            }
+            Cursor::AfterTest(n, v) => {
+                let node = &mut self.nodes[n.index()];
+                match &mut node.succ {
+                    Succ::Tests(list) => {
+                        debug_assert!(
+                            !list.iter().any(|(x, _)| x == v),
+                            "test successor already recorded"
+                        );
+                        list.push((*v, new));
+                        self.stats.bytes_current += varint_len(zigzag(*v)) as u64 + 4;
+                        self.stats.bytes_total += varint_len(zigzag(*v)) as u64 + 4;
+                    }
+                    other => unreachable!("test cursor on non-test node: {other:?}"),
+                }
+            }
+            Cursor::AfterIndex(n, key, sig) => {
+                {
+                    let node = &mut self.nodes[n.index()];
+                    match &mut node.succ {
+                        Succ::Index(list) => {
+                            list.push((sig.clone().into_boxed_slice(), new))
+                        }
+                        other => unreachable!("index cursor on non-index node: {other:?}"),
+                    }
+                }
+                self.stats.bytes_current += key.len() as u64 + 4;
+                self.stats.bytes_total += key.len() as u64 + 4;
+                self.register_entry(key.clone(), new);
+            }
+        }
+    }
+
+    fn register_entry(&mut self, key: Key, node: NodeId) {
+        let bytes = key.len() as u64 + ENTRY_OVERHEAD;
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.entries.entry(key) {
+            slot.insert(node);
+            self.stats.bytes_current += bytes;
+            self.stats.bytes_total += bytes;
+            self.stats.bytes_peak = self.stats.bytes_peak.max(self.stats.bytes_current);
+            self.stats.entries_created += 1;
+        }
+    }
+
+    /// Records a plain action at the cursor; advances the cursor.
+    pub fn record_plain(&mut self, cursor: &mut Cursor, action: u32, data: Vec<i64>) -> NodeId {
+        let id = self.new_node(action, data, Succ::None);
+        self.link(cursor, id);
+        *cursor = Cursor::AfterPlain(id);
+        id
+    }
+
+    /// Records a dynamic result test that observed `value`; advances the
+    /// cursor to the pending `value` branch.
+    pub fn record_test(
+        &mut self,
+        cursor: &mut Cursor,
+        action: u32,
+        data: Vec<i64>,
+        value: i64,
+    ) -> NodeId {
+        let id = self.new_node(action, data, Succ::Tests(Vec::new()));
+        self.link(cursor, id);
+        *cursor = Cursor::AfterTest(id, value);
+        id
+    }
+
+    /// Records an INDEX action computing `next_key` (with dynamic
+    /// signature `sig`); advances the cursor to the pending entry link.
+    pub fn record_index(
+        &mut self,
+        cursor: &mut Cursor,
+        action: u32,
+        data: Vec<i64>,
+        next_key: Key,
+        sig: Vec<i64>,
+    ) -> NodeId {
+        let id = self.new_node(action, data, Succ::Index(Vec::new()));
+        self.link(cursor, id);
+        *cursor = Cursor::AfterIndex(id, next_key, sig);
+        id
+    }
+
+    /// Links an existing entry as the successor of an INDEX cursor — the
+    /// hand-off from slow recording to fast replay when the next key is
+    /// already cached.
+    pub fn link_existing(&mut self, cursor: &Cursor, entry: NodeId) {
+        if let Cursor::AfterIndex(n, key, sig) = cursor {
+            let node = &mut self.nodes[n.index()];
+            if let Succ::Index(list) = &mut node.succ {
+                if !list.iter().any(|(s, _)| &**s == sig.as_slice()) {
+                    list.push((sig.clone().into_boxed_slice(), entry));
+                    self.stats.bytes_current += key.len() as u64 + 4;
+                    self.stats.bytes_total += key.len() as u64 + 4;
+                }
+            }
+        }
+    }
+}
+
+impl Default for ActionCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyWriter;
+
+    fn key(v: i64) -> Key {
+        let mut w = KeyWriter::new();
+        w.scalar(v);
+        w.finish()
+    }
+
+    #[test]
+    fn record_and_replay_straight_line() {
+        let mut c = ActionCache::new();
+        let mut cur = Cursor::AtEntry(key(1));
+        let a = c.record_plain(&mut cur, 10, vec![5]);
+        let b = c.record_plain(&mut cur, 11, vec![6, 7]);
+
+        let e = c.entry(&key(1)).expect("entry exists");
+        assert_eq!(e, a);
+        assert_eq!(c.node(e).action, 10);
+        assert_eq!(&*c.node(e).data, &[5]);
+        assert_eq!(c.next_plain(e), Some(b));
+        assert_eq!(c.next_plain(b), None);
+    }
+
+    #[test]
+    fn test_node_multiple_successors() {
+        // Record a hit path, then miss path, as in paper §2.2's load.
+        let mut c = ActionCache::new();
+        let mut cur = Cursor::AtEntry(key(1));
+        let t = c.record_test(&mut cur, 3, vec![], 0);
+        let hit = c.record_plain(&mut cur, 4, vec![]);
+        // Second recording of the same test with value 1.
+        let mut cur2 = Cursor::AfterTest(t, 1);
+        let miss = c.record_plain(&mut cur2, 5, vec![]);
+
+        assert_eq!(c.next_test(t, 0), Some(hit));
+        assert_eq!(c.next_test(t, 1), Some(miss));
+        assert_eq!(c.next_test(t, 18), None);
+    }
+
+    #[test]
+    fn index_chains_entries() {
+        let mut c = ActionCache::new();
+        let mut cur = Cursor::AtEntry(key(1));
+        let idx = c.record_index(&mut cur, 99, vec![], key(2), vec![2]);
+        // Next step's first action registers entry for key(2) and links
+        // the dynamic signature locally.
+        let e2 = c.record_plain(&mut cur, 7, vec![]);
+        assert_eq!(c.entry(&key(2)), Some(e2));
+        assert_eq!(c.next_index_local(idx, &[2]), Some(e2));
+        // Unknown signature has no local link.
+        assert_eq!(c.next_index_local(idx, &[3]), None);
+    }
+
+    #[test]
+    fn index_fallback_to_entry_table() {
+        let mut c = ActionCache::new();
+        // Entry for key 2 recorded via a different path.
+        let mut cur_a = Cursor::AtEntry(key(2));
+        let e2 = c.record_plain(&mut cur_a, 1, vec![]);
+        // An index node that never locally linked key 2: the engine
+        // falls back to the entry table by (re)building the key.
+        let mut cur_b = Cursor::AtEntry(key(1));
+        let idx = c.record_index(&mut cur_b, 99, vec![], key(9), vec![9]);
+        assert_eq!(c.next_index_local(idx, &[2]), None);
+        assert_eq!(c.entry(&key(2)), Some(e2));
+    }
+
+    #[test]
+    fn link_existing_creates_local_shortcut() {
+        let mut c = ActionCache::new();
+        let mut cur_a = Cursor::AtEntry(key(2));
+        let e2 = c.record_plain(&mut cur_a, 1, vec![]);
+        let mut cur_b = Cursor::AtEntry(key(1));
+        c.record_index(&mut cur_b, 99, vec![], key(2), vec![2]);
+        c.link_existing(&cur_b, e2);
+        let Cursor::AfterIndex(idx, _, _) = cur_b else {
+            panic!("cursor should be after index");
+        };
+        assert_eq!(c.next_index_local(idx, &[2]), Some(e2));
+        if let Succ::Index(list) = &c.node(idx).succ {
+            assert_eq!(list.len(), 1);
+        } else {
+            panic!("index successors expected");
+        }
+    }
+
+    #[test]
+    fn byte_accounting_and_capacity() {
+        let mut c = ActionCache::with_capacity(100);
+        let mut cur = Cursor::AtEntry(key(1));
+        assert!(!c.over_capacity());
+        for i in 0..20 {
+            c.record_plain(&mut cur, i, vec![i as i64, -(i as i64)]);
+        }
+        assert!(c.over_capacity());
+        let before = c.stats();
+        assert!(before.bytes_total >= before.bytes_current);
+        c.clear();
+        let after = c.stats();
+        assert_eq!(after.bytes_current, 0);
+        assert_eq!(after.clears, 1);
+        assert_eq!(after.bytes_total, before.bytes_total, "total is monotonic");
+        assert_eq!(c.entry(&key(1)), None);
+        assert_ne!(c.generation(), 0);
+    }
+
+    #[test]
+    fn small_values_cost_one_byte() {
+        let mut c = ActionCache::new();
+        let mut cur = Cursor::AtEntry(key(1));
+        c.record_plain(&mut cur, 0, vec![1, 2, 3]);
+        // 8 overhead + 3 single-byte varints + entry (1-byte key + 16).
+        assert_eq!(c.stats().bytes_current, 8 + 3 + 1 + 16);
+    }
+
+    #[test]
+    fn duplicate_entry_registration_is_idempotent() {
+        let mut c = ActionCache::new();
+        let mut cur1 = Cursor::AtEntry(key(1));
+        let a = c.record_plain(&mut cur1, 0, vec![]);
+        let mut cur2 = Cursor::AtEntry(key(1));
+        let _b = c.record_plain(&mut cur2, 0, vec![]);
+        // First registration wins; stats count one entry.
+        assert_eq!(c.entry(&key(1)), Some(a));
+        assert_eq!(c.stats().entries_created, 1);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut c = ActionCache::with_capacity(50);
+        let mut cur = Cursor::AtEntry(key(1));
+        for i in 0..10 {
+            c.record_plain(&mut cur, i, vec![1]);
+        }
+        let peak = c.stats().bytes_peak;
+        c.clear();
+        assert_eq!(c.stats().bytes_peak, peak);
+    }
+}

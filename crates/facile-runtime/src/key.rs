@@ -1,0 +1,275 @@
+//! Memoization keys.
+//!
+//! A key is the serialized run-time-static input of one simulator step —
+//! the arguments of `main` (paper §3.2). Scalars and queue snapshots are
+//! encoded with zig-zag varints, which is how the paper's instruction
+//! queue ("compressed into fewer than 40 bytes") is reproduced here: small
+//! stage/latency values cost one byte each.
+
+use std::fmt;
+
+/// A serialized memoization key.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Key(Vec<u8>);
+
+impl Key {
+    /// The encoded byte length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty (a `main` with no parameters).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key[{}B]", self.0.len())
+    }
+}
+
+/// Incremental key builder.
+///
+/// # Examples
+///
+/// ```
+/// use facile_runtime::key::{KeyWriter, KeyReader};
+///
+/// let mut w = KeyWriter::new();
+/// w.scalar(0x10074);
+/// w.queue(&[3, -1, 250]);
+/// let key = w.finish();
+///
+/// let mut r = KeyReader::new(&key);
+/// assert_eq!(r.scalar(), Some(0x10074));
+/// assert_eq!(r.queue(), Some(vec![3, -1, 250]));
+/// assert!(r.at_end());
+/// ```
+#[derive(Default)]
+pub struct KeyWriter {
+    buf: Vec<u8>,
+}
+
+impl KeyWriter {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one scalar component.
+    pub fn scalar(&mut self, v: i64) {
+        write_varint(&mut self.buf, zigzag(v));
+    }
+
+    /// Appends a queue component: length followed by the elements.
+    pub fn queue<'a>(&mut self, items: impl IntoIterator<Item = &'a i64>) {
+        let start = self.buf.len();
+        // Reserve space by writing a placeholder length we fix up after —
+        // varints make that awkward, so collect the count first.
+        let items: Vec<i64> = items.into_iter().copied().collect();
+        let _ = start;
+        write_varint(&mut self.buf, items.len() as u64);
+        for v in items {
+            write_varint(&mut self.buf, zigzag(v));
+        }
+    }
+
+    /// Finalizes the key.
+    pub fn finish(self) -> Key {
+        Key(self.buf)
+    }
+}
+
+/// Decoder for [`Key`] bytes.
+pub struct KeyReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> KeyReader<'a> {
+    /// Starts reading `key` from the beginning.
+    pub fn new(key: &'a Key) -> Self {
+        KeyReader {
+            buf: &key.0,
+            pos: 0,
+        }
+    }
+
+    /// Reads one scalar component.
+    pub fn scalar(&mut self) -> Option<i64> {
+        read_varint(self.buf, &mut self.pos).map(unzigzag)
+    }
+
+    /// Reads one queue component.
+    pub fn queue(&mut self) -> Option<Vec<i64>> {
+        let len = read_varint(self.buf, &mut self.pos)? as usize;
+        // Guard against corrupt lengths.
+        if len > self.buf.len().saturating_sub(self.pos).saturating_add(1) * 10 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(unzigzag(read_varint(self.buf, &mut self.pos)?));
+        }
+        Some(out)
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Zig-zag encoding maps small-magnitude signed values to small unsigned
+/// ones.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// LEB128-style varint append.
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// LEB128-style varint read.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Encoded size in bytes of one value, used for memoized-data accounting.
+pub fn varint_len(v: u64) -> usize {
+    let mut v = v;
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x10074] {
+            assert_eq!(unzigzag(zigzag(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_values_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u64::MAX, 1 << 42] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v));
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_none() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn key_round_trip_mixed() {
+        let mut w = KeyWriter::new();
+        w.scalar(-5);
+        w.queue(&[1, 2, 3]);
+        w.scalar(1 << 40);
+        w.queue(&[]);
+        let key = w.finish();
+        let mut r = KeyReader::new(&key);
+        assert_eq!(r.scalar(), Some(-5));
+        assert_eq!(r.queue(), Some(vec![1, 2, 3]));
+        assert_eq!(r.scalar(), Some(1 << 40));
+        assert_eq!(r.queue(), Some(vec![]));
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn equal_content_gives_equal_keys() {
+        let mut a = KeyWriter::new();
+        a.scalar(7);
+        a.queue(&[9]);
+        let mut b = KeyWriter::new();
+        b.scalar(7);
+        b.queue(&[9]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_grouping_gives_different_keys() {
+        // queue [1] then scalar 2 vs scalar 1 then queue [2]: lengths
+        // disambiguate.
+        let mut a = KeyWriter::new();
+        a.queue(&[1]);
+        a.scalar(2);
+        let mut b = KeyWriter::new();
+        b.scalar(1);
+        b.queue(&[2]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn paper_sized_instruction_queue_is_compact() {
+        // 11 instructions with small stage/latency values, as in Figure 3,
+        // should compress well below 40 bytes per parallel queue triple.
+        let mut w = KeyWriter::new();
+        // Addresses delta-encoded by the simulator would be smaller still;
+        // even raw, small stages/latencies cost one byte each.
+        w.queue(&(0..11).map(|i| i % 4).collect::<Vec<i64>>());
+        w.queue(&(0..11).map(|i| i % 19).collect::<Vec<i64>>());
+        let key = w.finish();
+        assert!(key.len() <= 24, "key is {} bytes", key.len());
+    }
+}

@@ -1,0 +1,261 @@
+//! Simulated target state: text segment, sparse data memory, program
+//! image.
+//!
+//! The paper's simulators read target instructions from the text segment
+//! of a SPARC executable (immutable during simulation — the assumption
+//! that makes decoding run-time static, §4.1 footnote 3) and model data
+//! memory separately. Here the target is a TRISC [`Image`] produced by
+//! `facile-isa`'s assembler or any other front end.
+
+use std::collections::HashMap;
+
+/// A loadable program image: text plus initial data.
+#[derive(Clone, Debug, Default)]
+pub struct Image {
+    /// Base address of the text segment.
+    pub text_base: u64,
+    /// Raw text bytes (little-endian token words).
+    pub text: Vec<u8>,
+    /// Initial data segments: `(base address, bytes)`.
+    pub data: Vec<(u64, Vec<u8>)>,
+    /// Program entry point.
+    pub entry: u64,
+}
+
+/// Byte-addressed sparse memory with 4 KiB pages.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE]>>,
+}
+
+const PAGE: usize = 4096;
+
+impl Memory {
+    /// Empty memory (all bytes read as zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident pages (for footprint statistics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn load1(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr / PAGE as u64)) {
+            Some(p) => p[(addr % PAGE as u64) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn store1(&mut self, addr: u64, v: u8) {
+        let page = self
+            .pages
+            .entry(addr / PAGE as u64)
+            .or_insert_with(|| Box::new([0u8; PAGE]));
+        page[(addr % PAGE as u64) as usize] = v;
+    }
+
+    /// Reads `n <= 8` little-endian bytes, zero-extended.
+    pub fn load(&self, addr: u64, n: u32) -> u64 {
+        debug_assert!(n <= 8);
+        // Fast path: within one page.
+        let off = (addr % PAGE as u64) as usize;
+        if off + n as usize <= PAGE {
+            if let Some(p) = self.pages.get(&(addr / PAGE as u64)) {
+                let mut buf = [0u8; 8];
+                buf[..n as usize].copy_from_slice(&p[off..off + n as usize]);
+                return u64::from_le_bytes(buf);
+            }
+            return 0;
+        }
+        let mut v = 0u64;
+        for i in 0..n as u64 {
+            v |= (self.load1(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n <= 8` bytes of `v`, little-endian.
+    pub fn store(&mut self, addr: u64, n: u32, v: u64) {
+        debug_assert!(n <= 8);
+        let bytes = v.to_le_bytes();
+        let off = (addr % PAGE as u64) as usize;
+        if off + n as usize <= PAGE {
+            let page = self
+                .pages
+                .entry(addr / PAGE as u64)
+                .or_insert_with(|| Box::new([0u8; PAGE]));
+            page[off..off + n as usize].copy_from_slice(&bytes[..n as usize]);
+            return;
+        }
+        for (i, b) in bytes[..n as usize].iter().enumerate() {
+            self.store1(addr + i as u64, *b);
+        }
+    }
+
+    /// Copies a byte slice into memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.store1(addr + i as u64, b);
+        }
+    }
+}
+
+/// The loaded target: immutable text plus mutable data memory.
+#[derive(Clone, Debug)]
+pub struct Target {
+    text_base: u64,
+    text: Vec<u8>,
+    /// Mutable simulated data memory.
+    pub mem: Memory,
+    entry: u64,
+}
+
+impl Target {
+    /// Loads an image: text becomes immutable, data segments populate
+    /// memory.
+    pub fn load(image: &Image) -> Self {
+        let mut mem = Memory::new();
+        for (base, bytes) in &image.data {
+            mem.write_bytes(*base, bytes);
+        }
+        Target {
+            text_base: image.text_base,
+            text: image.text.clone(),
+            mem,
+            entry: image.entry,
+        }
+    }
+
+    /// The program entry point.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// Base address of the text segment.
+    pub fn text_base(&self) -> u64 {
+        self.text_base
+    }
+
+    /// Size of the text segment in bytes.
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Fetches an instruction token of `bits` width (8/16/32/64) at
+    /// `addr`, zero-extended. Out-of-text reads return 0 (which no valid
+    /// pattern should match).
+    pub fn fetch_token(&self, addr: u64, bits: u32) -> u64 {
+        let bytes = bits.div_ceil(8) as usize;
+        let Some(off) = addr.checked_sub(self.text_base) else {
+            return 0;
+        };
+        let off = off as usize;
+        if off + bytes > self.text.len() {
+            return 0;
+        }
+        let mut buf = [0u8; 8];
+        buf[..bytes].copy_from_slice(&self.text[off..off + bytes]);
+        let v = u64::from_le_bytes(buf);
+        if bits >= 64 {
+            v
+        } else {
+            v & ((1u64 << bits) - 1)
+        }
+    }
+
+    /// Whether `addr` lies inside the text segment.
+    pub fn in_text(&self, addr: u64) -> bool {
+        addr >= self.text_base && addr < self.text_base + self.text.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_defaults_to_zero() {
+        let m = Memory::new();
+        assert_eq!(m.load(0xdead_beef, 8), 0);
+        assert_eq!(m.load1(42), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut m = Memory::new();
+        m.store(0x1000, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.load(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.load(0x1000, 4), 0x5566_7788);
+        assert_eq!(m.load(0x1000, 1), 0x88);
+        assert_eq!(m.load(0x1004, 4), 0x1122_3344);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = 4096 - 3;
+        m.store(addr, 8, 0x0102_0304_0506_0708);
+        assert_eq!(m.load(addr, 8), 0x0102_0304_0506_0708);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_store_preserves_neighbors() {
+        let mut m = Memory::new();
+        m.store(0, 8, u64::MAX);
+        m.store(0, 1, 0);
+        assert_eq!(m.load(0, 8), u64::MAX << 8);
+        m.store(2, 4, 0);
+        assert_eq!(m.load(0, 8), (u64::MAX << 48) | 0xff00);
+    }
+
+    #[test]
+    fn image_loads_into_target() {
+        let image = Image {
+            text_base: 0x10000,
+            text: vec![0x78, 0x56, 0x34, 0x12, 0xff, 0xff, 0xff, 0xff],
+            data: vec![(0x2000, vec![1, 2, 3])],
+            entry: 0x10000,
+        };
+        let t = Target::load(&image);
+        assert_eq!(t.entry(), 0x10000);
+        assert_eq!(t.fetch_token(0x10000, 32), 0x1234_5678);
+        assert_eq!(t.fetch_token(0x10004, 32), 0xffff_ffff);
+        assert_eq!(t.mem.load(0x2000, 1), 1);
+        assert_eq!(t.mem.load(0x2002, 1), 3);
+    }
+
+    #[test]
+    fn out_of_text_fetch_is_zero() {
+        let image = Image {
+            text_base: 0x10000,
+            text: vec![0xff; 4],
+            data: vec![],
+            entry: 0x10000,
+        };
+        let t = Target::load(&image);
+        assert_eq!(t.fetch_token(0x0, 32), 0);
+        assert_eq!(t.fetch_token(0x10004, 32), 0);
+        assert_eq!(t.fetch_token(0x10002, 32), 0, "straddles the end");
+        assert!(t.in_text(0x10003));
+        assert!(!t.in_text(0x10004));
+    }
+
+    #[test]
+    fn narrow_token_masking() {
+        let image = Image {
+            text_base: 0,
+            text: vec![0xff, 0xff],
+            data: vec![],
+            entry: 0,
+        };
+        let t = Target::load(&image);
+        assert_eq!(t.fetch_token(0, 16), 0xffff);
+        assert_eq!(t.fetch_token(0, 8), 0xff);
+    }
+}

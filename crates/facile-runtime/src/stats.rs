@@ -1,0 +1,128 @@
+//! Simulation statistics.
+//!
+//! Tracks the counters the paper's evaluation reports: simulated cycles
+//! and instructions, with instructions *attributed to the engine that
+//! simulated them* — the basis of Table 1 ("Percentage of instructions
+//! fast-forwarded") — plus step counts and halt state.
+
+/// Which engine is currently executing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// The slow/complete simulator (records actions).
+    Slow,
+    /// The fast/residual simulator (replays actions).
+    Fast,
+}
+
+/// Why the simulation stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HaltReason {
+    /// The target executed an explicit halt (`sim_halt()` reason 0).
+    Explicit,
+    /// A step completed without calling `next(...)`.
+    NoNext,
+    /// Decode failed: no pattern matched an instruction word.
+    DecodeFail,
+    /// The host asked the run loop to stop (step budget).
+    Budget,
+    /// Program-defined reason code (anything else).
+    Other(i64),
+}
+
+impl HaltReason {
+    /// Maps the halt code surfaced by `Inst::Halt`.
+    pub fn from_code(code: i64) -> HaltReason {
+        match code {
+            0 => HaltReason::Explicit,
+            1 => HaltReason::NoNext,
+            2 => HaltReason::DecodeFail,
+            c => HaltReason::Other(c),
+        }
+    }
+}
+
+/// Counters of one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Simulated cycles (`count_cycles`).
+    pub cycles: u64,
+    /// Simulated retired instructions (`count_insns`).
+    pub insns: u64,
+    /// Instructions counted while the fast engine was replaying.
+    pub fast_insns: u64,
+    /// Instructions counted while the slow engine was executing.
+    pub slow_insns: u64,
+    /// Steps completed by the fast engine.
+    pub fast_steps: u64,
+    /// Steps completed by the slow engine (recording or recovering).
+    pub slow_steps: u64,
+    /// Action-cache misses that triggered recovery.
+    pub misses: u64,
+    /// Actions replayed by the fast engine.
+    pub actions_replayed: u64,
+    /// External function calls made.
+    pub ext_calls: u64,
+}
+
+impl SimStats {
+    /// Records retired instructions under the current engine.
+    pub fn count_insns(&mut self, engine: Engine, n: u64) {
+        self.insns += n;
+        match engine {
+            Engine::Fast => self.fast_insns += n,
+            Engine::Slow => self.slow_insns += n,
+        }
+    }
+
+    /// Records simulated cycles.
+    pub fn count_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Fraction of instructions simulated by the fast engine — the
+    /// quantity Table 1 reports per benchmark (paper: 99.689%–99.999%).
+    pub fn fast_forwarded_fraction(&self) -> f64 {
+        if self.insns == 0 {
+            0.0
+        } else {
+            self.fast_insns as f64 / self.insns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_by_engine() {
+        let mut s = SimStats::default();
+        s.count_insns(Engine::Slow, 10);
+        s.count_insns(Engine::Fast, 990);
+        assert_eq!(s.insns, 1000);
+        assert_eq!(s.slow_insns, 10);
+        assert_eq!(s.fast_insns, 990);
+        assert!((s.fast_forwarded_fraction() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_fraction_is_zero() {
+        assert_eq!(SimStats::default().fast_forwarded_fraction(), 0.0);
+    }
+
+    #[test]
+    fn halt_reason_codes() {
+        assert_eq!(HaltReason::from_code(0), HaltReason::Explicit);
+        assert_eq!(HaltReason::from_code(1), HaltReason::NoNext);
+        assert_eq!(HaltReason::from_code(2), HaltReason::DecodeFail);
+        assert_eq!(HaltReason::from_code(9), HaltReason::Other(9));
+    }
+
+    #[test]
+    fn cycles_accumulate() {
+        let mut s = SimStats::default();
+        s.count_cycles(6);
+        s.count_cycles(18);
+        assert_eq!(s.cycles, 24);
+    }
+}

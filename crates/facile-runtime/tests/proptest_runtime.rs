@@ -1,0 +1,107 @@
+//! Properties of the memoization keys and the specialized action cache.
+
+use facile_runtime::cache::{ActionCache, Cursor};
+use facile_runtime::key::{KeyReader, KeyWriter};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any mixed sequence of scalar and queue components round-trips.
+    #[test]
+    fn key_roundtrip(components in prop::collection::vec(
+        prop_oneof![
+            any::<i64>().prop_map(|v| (true, vec![v])),
+            prop::collection::vec(any::<i64>(), 0..20).prop_map(|q| (false, q)),
+        ],
+        0..10,
+    )) {
+        let mut w = KeyWriter::new();
+        for (scalar, vals) in &components {
+            if *scalar {
+                w.scalar(vals[0]);
+            } else {
+                w.queue(vals);
+            }
+        }
+        let key = w.finish();
+        let mut r = KeyReader::new(&key);
+        for (scalar, vals) in &components {
+            if *scalar {
+                prop_assert_eq!(r.scalar(), Some(vals[0]));
+            } else {
+                prop_assert_eq!(r.queue(), Some(vals.clone()));
+            }
+        }
+        prop_assert!(r.at_end());
+    }
+
+    /// Recording a random straight-line action sequence and walking it
+    /// back reproduces the same actions and data; byte accounting is
+    /// monotone.
+    #[test]
+    fn record_replay_straight_line(
+        actions in prop::collection::vec(
+            (0u32..50, prop::collection::vec(-1000i64..1000, 0..6)),
+            1..30,
+        ),
+        key_val in any::<i64>(),
+    ) {
+        let mut cache = ActionCache::new();
+        let mut wkey = KeyWriter::new();
+        wkey.scalar(key_val);
+        let key = wkey.finish();
+        let mut cursor = Cursor::AtEntry(key.clone());
+        let mut bytes_before = 0;
+        for (a, data) in &actions {
+            cache.record_plain(&mut cursor, *a, data.clone());
+            let now = cache.stats().bytes_total;
+            prop_assert!(now > bytes_before, "accounting must grow");
+            bytes_before = now;
+        }
+        // Replay.
+        let mut node = cache.entry(&key).expect("entry recorded");
+        for (i, (a, data)) in actions.iter().enumerate() {
+            let n = cache.node(node);
+            prop_assert_eq!(n.action, *a);
+            prop_assert_eq!(&*n.data, data.as_slice());
+            match cache.next_plain(node) {
+                Some(next) => node = next,
+                None => prop_assert_eq!(i, actions.len() - 1),
+            }
+        }
+    }
+
+    /// Dynamic result tests fork correctly: successors recorded under
+    /// distinct values are found under exactly those values.
+    #[test]
+    fn test_nodes_fork(values in prop::collection::hash_set(any::<i64>(), 1..8)) {
+        let mut cache = ActionCache::new();
+        let mut wkey = KeyWriter::new();
+        wkey.scalar(7);
+        let key = wkey.finish();
+        let mut first = None;
+        let values: Vec<i64> = values.into_iter().collect();
+        for (i, v) in values.iter().enumerate() {
+            let mut cursor = match first {
+                None => Cursor::AtEntry(key.clone()),
+                Some(t) => Cursor::AfterTest(t, *v),
+            };
+            if first.is_none() {
+                let t = cache.record_test(&mut cursor, 1, vec![], *v);
+                first = Some(t);
+            }
+            let _ = cache.record_plain(&mut cursor, 100 + i as u32, vec![]);
+        }
+        let t = first.unwrap();
+        for (i, v) in values.iter().enumerate() {
+            let succ = cache.next_test(t, *v).expect("successor recorded");
+            prop_assert_eq!(cache.node(succ).action, 100 + i as u32);
+        }
+        // A value never observed misses.
+        let unseen = values.iter().map(|v| v.wrapping_mul(31).wrapping_add(12345)).find(|v| !values.contains(v));
+        if let Some(u) = unseen {
+            prop_assert_eq!(cache.next_test(t, u), None);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Built-in functions and `?attribute` operations.
+//!
+//! The paper folds micro-architecture-friendly data types and helpers into
+//! the language "so a compiler can analyze and transform code that uses
+//! them" (§3.2). Each builtin therefore carries a *binding-time class* used
+//! by `facile-bta`:
+//!
+//! * **pure** — the result's binding time is the join of the arguments';
+//!   no side effect; a run-time-static call is skipped by fast-forwarding.
+//! * **dynamic** — always executed by both engines (simulated-state side
+//!   effects, external world).
+
+use crate::symbols::Type;
+
+/// How a builtin participates in binding-time analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BtClass {
+    /// Result binding time is the join of argument binding times; no effect.
+    Pure,
+    /// Always dynamic: touches simulated state or the external world.
+    Dynamic,
+}
+
+/// A built-in function callable as `name(args...)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `next(a, b, ...)` — supplies the run-time-static key for the *next*
+    /// call of `main`. Must match `main`'s parameter list. Ends the step's
+    /// key computation; in the cache this becomes the INDEX action.
+    Next,
+    /// `mem_ld(addr) -> int` — load 8 bytes from simulated data memory.
+    MemLd,
+    /// `mem_ld4(addr) -> int` — load 4 bytes (zero-extended).
+    MemLd4,
+    /// `mem_ld1(addr) -> int` — load 1 byte (zero-extended).
+    MemLd1,
+    /// `mem_st(addr, v)` — store 8 bytes to simulated data memory.
+    MemSt,
+    /// `mem_st4(addr, v)` — store the low 4 bytes.
+    MemSt4,
+    /// `mem_st1(addr, v)` — store the low byte.
+    MemSt1,
+    /// `count_cycles(n)` — advance the simulated cycle counter.
+    CountCycles,
+    /// `count_insns(n)` — advance the simulated retired-instruction counter.
+    CountInsns,
+    /// `sim_halt()` — stop the simulation at the end of this step.
+    SimHalt,
+    /// `fadd(a, b) -> int` — f64 addition on bit-cast values.
+    FAdd,
+    /// `fsub(a, b) -> int` — f64 subtraction.
+    FSub,
+    /// `fmul(a, b) -> int` — f64 multiplication.
+    FMul,
+    /// `fdiv(a, b) -> int` — f64 division.
+    FDiv,
+    /// `flt(a, b) -> int` — f64 less-than, 0 or 1.
+    FLt,
+    /// `i2f(a) -> int` — integer to f64 bits.
+    I2F,
+    /// `f2i(a) -> int` — f64 bits truncated to integer.
+    F2I,
+    /// `stream_at(addr) -> stream` — make a token stream at an address.
+    StreamAt,
+    /// `lsr(a, b) -> int` — logical (unsigned) right shift.
+    Lsr,
+    /// `min(a, b) -> int`.
+    Min,
+    /// `max(a, b) -> int`.
+    Max,
+    /// `trace(v)` — debugging output through the host.
+    Trace,
+}
+
+impl Builtin {
+    /// Looks a builtin up by its source name.
+    pub fn lookup(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "next" => Builtin::Next,
+            "mem_ld" => Builtin::MemLd,
+            "mem_ld4" => Builtin::MemLd4,
+            "mem_ld1" => Builtin::MemLd1,
+            "mem_st" => Builtin::MemSt,
+            "mem_st4" => Builtin::MemSt4,
+            "mem_st1" => Builtin::MemSt1,
+            "count_cycles" => Builtin::CountCycles,
+            "count_insns" => Builtin::CountInsns,
+            "sim_halt" => Builtin::SimHalt,
+            "fadd" => Builtin::FAdd,
+            "fsub" => Builtin::FSub,
+            "fmul" => Builtin::FMul,
+            "fdiv" => Builtin::FDiv,
+            "flt" => Builtin::FLt,
+            "i2f" => Builtin::I2F,
+            "f2i" => Builtin::F2I,
+            "stream_at" => Builtin::StreamAt,
+            "lsr" => Builtin::Lsr,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "trace" => Builtin::Trace,
+            _ => return None,
+        })
+    }
+
+    /// The source name of the builtin.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Next => "next",
+            Builtin::MemLd => "mem_ld",
+            Builtin::MemLd4 => "mem_ld4",
+            Builtin::MemLd1 => "mem_ld1",
+            Builtin::MemSt => "mem_st",
+            Builtin::MemSt4 => "mem_st4",
+            Builtin::MemSt1 => "mem_st1",
+            Builtin::CountCycles => "count_cycles",
+            Builtin::CountInsns => "count_insns",
+            Builtin::SimHalt => "sim_halt",
+            Builtin::FAdd => "fadd",
+            Builtin::FSub => "fsub",
+            Builtin::FMul => "fmul",
+            Builtin::FDiv => "fdiv",
+            Builtin::FLt => "flt",
+            Builtin::I2F => "i2f",
+            Builtin::F2I => "f2i",
+            Builtin::StreamAt => "stream_at",
+            Builtin::Lsr => "lsr",
+            Builtin::Min => "min",
+            Builtin::Max => "max",
+            Builtin::Trace => "trace",
+        }
+    }
+
+    /// Parameter types. `None` means the builtin is variadic (`next`).
+    pub fn params(self) -> Option<&'static [Type]> {
+        use Type::*;
+        Some(match self {
+            Builtin::Next => return None,
+            Builtin::MemLd | Builtin::MemLd4 | Builtin::MemLd1 => &[Int],
+            Builtin::MemSt | Builtin::MemSt4 | Builtin::MemSt1 => &[Int, Int],
+            Builtin::CountCycles | Builtin::CountInsns => &[Int],
+            Builtin::SimHalt => &[],
+            Builtin::FAdd | Builtin::FSub | Builtin::FMul | Builtin::FDiv | Builtin::FLt => {
+                &[Int, Int]
+            }
+            Builtin::I2F | Builtin::F2I => &[Int],
+            Builtin::StreamAt => &[Int],
+            Builtin::Lsr | Builtin::Min | Builtin::Max => &[Int, Int],
+            Builtin::Trace => &[Int],
+        })
+    }
+
+    /// Result type; `None` for procedures.
+    pub fn ret(self) -> Option<Type> {
+        match self {
+            Builtin::Next
+            | Builtin::MemSt
+            | Builtin::MemSt4
+            | Builtin::MemSt1
+            | Builtin::CountCycles
+            | Builtin::CountInsns
+            | Builtin::SimHalt
+            | Builtin::Trace => None,
+            Builtin::StreamAt => Some(Type::Stream),
+            _ => Some(Type::Int),
+        }
+    }
+
+    /// Binding-time class (see [`BtClass`]).
+    pub fn bt_class(self) -> BtClass {
+        match self {
+            Builtin::FAdd
+            | Builtin::FSub
+            | Builtin::FMul
+            | Builtin::FDiv
+            | Builtin::FLt
+            | Builtin::I2F
+            | Builtin::F2I
+            | Builtin::StreamAt
+            | Builtin::Lsr
+            | Builtin::Min
+            | Builtin::Max => BtClass::Pure,
+            // `next` is handled specially by codegen (the INDEX action);
+            // everything else touches simulated state.
+            _ => BtClass::Dynamic,
+        }
+    }
+}
+
+/// A `recv?name(args)` attribute operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Attr {
+    /// `x?sext(w)` — sign-extend `x` from its low `w` bits.
+    Sext,
+    /// `x?zext(w)` — zero all but the low `w` bits.
+    Zext,
+    /// `x?verify` — a *dynamic result test*: record the dynamic value in the
+    /// action cache and lift it to run-time static (paper §4.2).
+    Verify,
+    /// `s?exec()` — decode the instruction at stream `s` and run its `sem`.
+    Exec,
+    /// `s?addr` — the integer address of stream `s`.
+    Addr,
+    /// `s?token` — the raw token word at stream `s` (run-time static,
+    /// since target text is immutable; paper §4.1 footnote 3).
+    TokenWord,
+    /// `q?push_back(v)`.
+    QPushBack,
+    /// `q?push_front(v)`.
+    QPushFront,
+    /// `q?pop_back() -> int`.
+    QPopBack,
+    /// `q?pop_front() -> int`.
+    QPopFront,
+    /// `q?len -> int`.
+    QLen,
+    /// `q?get(i) -> int`.
+    QGet,
+    /// `q?set(i, v)`.
+    QSet,
+    /// `q?clear()`.
+    QClear,
+    /// `q?front() -> int` (panics on empty queue at run time: yields 0).
+    QFront,
+    /// `q?back() -> int`.
+    QBack,
+}
+
+impl Attr {
+    /// Looks an attribute up by its source name.
+    pub fn lookup(name: &str) -> Option<Attr> {
+        Some(match name {
+            "sext" => Attr::Sext,
+            "zext" => Attr::Zext,
+            "verify" => Attr::Verify,
+            "exec" => Attr::Exec,
+            "addr" => Attr::Addr,
+            "token" => Attr::TokenWord,
+            "push_back" => Attr::QPushBack,
+            "push_front" => Attr::QPushFront,
+            "pop_back" => Attr::QPopBack,
+            "pop_front" => Attr::QPopFront,
+            "len" => Attr::QLen,
+            "get" => Attr::QGet,
+            "set" => Attr::QSet,
+            "clear" => Attr::QClear,
+            "front" => Attr::QFront,
+            "back" => Attr::QBack,
+            _ => return None,
+        })
+    }
+
+    /// Required receiver type.
+    pub fn receiver(self) -> Type {
+        match self {
+            Attr::Sext | Attr::Zext | Attr::Verify => Type::Int,
+            Attr::Exec | Attr::Addr | Attr::TokenWord => Type::Stream,
+            _ => Type::Queue,
+        }
+    }
+
+    /// Argument types after the receiver.
+    pub fn params(self) -> &'static [Type] {
+        use Type::*;
+        match self {
+            Attr::Sext | Attr::Zext => &[Int],
+            Attr::QPushBack | Attr::QPushFront => &[Int],
+            Attr::QGet => &[Int],
+            Attr::QSet => &[Int, Int],
+            _ => &[],
+        }
+    }
+
+    /// Result type; `None` for effect-only attributes.
+    pub fn ret(self) -> Option<Type> {
+        match self {
+            Attr::Sext | Attr::Zext | Attr::Verify => Some(Type::Int),
+            Attr::Addr => Some(Type::Int),
+            Attr::TokenWord => Some(Type::Int),
+            Attr::Exec => None,
+            Attr::QPopBack | Attr::QPopFront | Attr::QLen | Attr::QGet | Attr::QFront
+            | Attr::QBack => Some(Type::Int),
+            Attr::QPushBack | Attr::QPushFront | Attr::QSet | Attr::QClear => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_round_trip() {
+        for b in [
+            Builtin::Next,
+            Builtin::MemLd,
+            Builtin::MemLd4,
+            Builtin::MemLd1,
+            Builtin::MemSt,
+            Builtin::MemSt4,
+            Builtin::MemSt1,
+            Builtin::CountCycles,
+            Builtin::CountInsns,
+            Builtin::SimHalt,
+            Builtin::FAdd,
+            Builtin::FSub,
+            Builtin::FMul,
+            Builtin::FDiv,
+            Builtin::FLt,
+            Builtin::I2F,
+            Builtin::F2I,
+            Builtin::StreamAt,
+            Builtin::Lsr,
+            Builtin::Min,
+            Builtin::Max,
+            Builtin::Trace,
+        ] {
+            assert_eq!(Builtin::lookup(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::lookup("nope"), None);
+    }
+
+    #[test]
+    fn float_ops_are_pure() {
+        assert_eq!(Builtin::FAdd.bt_class(), BtClass::Pure);
+        assert_eq!(Builtin::Min.bt_class(), BtClass::Pure);
+        assert_eq!(Builtin::MemLd.bt_class(), BtClass::Dynamic);
+        assert_eq!(Builtin::CountCycles.bt_class(), BtClass::Dynamic);
+    }
+
+    #[test]
+    fn next_is_variadic() {
+        assert!(Builtin::Next.params().is_none());
+        assert_eq!(Builtin::MemSt.params().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn attr_receivers() {
+        assert_eq!(Attr::lookup("sext"), Some(Attr::Sext));
+        assert_eq!(Attr::Sext.receiver(), Type::Int);
+        assert_eq!(Attr::Exec.receiver(), Type::Stream);
+        assert_eq!(Attr::QLen.receiver(), Type::Queue);
+        assert_eq!(Attr::lookup("bogus"), None);
+    }
+
+    #[test]
+    fn attr_signatures() {
+        assert_eq!(Attr::QSet.params(), &[Type::Int, Type::Int]);
+        assert_eq!(Attr::QSet.ret(), None);
+        assert_eq!(Attr::QGet.ret(), Some(Type::Int));
+        assert_eq!(Attr::Exec.ret(), None);
+        assert_eq!(Attr::Verify.ret(), Some(Type::Int));
+    }
+}

@@ -1,0 +1,1367 @@
+//! Type and legality checking.
+//!
+//! Runs after [`resolve`](crate::resolve::resolve) and enforces the
+//! language rules that make the fast-forwarding analyses tractable
+//! (paper §3.2): no recursion, no pointers (places are always named
+//! variables), scalar-only external interfaces, and a `main` step function
+//! whose parameters form the memoization key.
+//!
+//! Function return types are inferred here (callees before callers, which
+//! is well-defined because recursion is rejected) and written back into the
+//! symbol table.
+
+use crate::builtins::{Attr, Builtin};
+use crate::symbols::*;
+use facile_lang::ast::{self, ArmLabels, Block, Expr, ExprKind, Item, Program, Stmt, StmtKind};
+use facile_lang::diag::Diagnostics;
+use facile_lang::span::Span;
+use std::collections::HashMap;
+
+/// Type-checks the whole program, inferring function return types into
+/// `syms`. Reports problems into `diags`.
+pub fn check(program: &Program, syms: &mut Symbols, diags: &mut Diagnostics) {
+    // 1. Order functions callees-first; rejects recursion.
+    let Some(order) = call_order(program, syms, diags) else {
+        return;
+    };
+
+    // 2. Check global initializers (must be constant-ish scalar expressions
+    //    or array initializers; they may not call anything).
+    for g in 0..syms.globals.len() {
+        check_global_init(program, syms, GlobalId(g as u32), diags);
+    }
+
+    // 3. Check main's parameter types.
+    if let Some(main) = syms.main {
+        for (name, ty) in &syms.fun(main).params.clone() {
+            if matches!(ty, Type::Array(_)) {
+                diags.error(
+                    format!(
+                        "`main` parameter `{name}` has array type; memoization keys may be int, stream or queue"
+                    ),
+                    syms.fun(main).span,
+                );
+            }
+        }
+    }
+
+    // 4. Check functions in dependency order, recording return types.
+    for fid in order {
+        let info = syms.fun(fid).clone();
+        let Item::Fun(decl) = &program.items[info.item] else {
+            unreachable!("fun id points at a fun item");
+        };
+        let mut cx = Checker {
+            syms,
+            diags,
+            scopes: vec![HashMap::new()],
+            fields_in_scope: Vec::new(),
+            loop_depth: 0,
+            in_sem: false,
+            ret: RetState::Unknown,
+        };
+        for (name, ty) in &info.params {
+            cx.scopes[0].insert(name.clone(), *ty);
+        }
+        cx.block(&decl.body);
+        let ret = match cx.ret {
+            RetState::Unknown | RetState::None => None,
+            RetState::Some(t) => Some(t),
+        };
+        syms.funs[fid.index()].ret = ret;
+    }
+
+    // 5. Warn about ambiguous decode: two `sem`-bearing patterns that can
+    //    match the same word dispatch by declaration order, which is easy
+    //    to get wrong silently.
+    for i in 0..syms.pats.len() {
+        for j in (i + 1)..syms.pats.len() {
+            let (a, b) = (&syms.pats[i], &syms.pats[j]);
+            if a.sem_item.is_none() || b.sem_item.is_none() {
+                continue;
+            }
+            if crate::resolve::patterns_overlap(a, b, syms) {
+                diags.push(
+                    facile_lang::diag::Diagnostic::warning(
+                        format!(
+                            "patterns `{}` and `{}` overlap; `?exec` dispatches to `{}` (declared first)",
+                            a.name, b.name, a.name
+                        ),
+                        b.span,
+                    )
+                    .with_note(a.span, "first pattern declared here"),
+                );
+            }
+        }
+    }
+
+    // 6. Check sem bodies (fields of the pattern's token are in scope).
+    for pid in 0..syms.pats.len() {
+        let info = syms.pats[pid].clone();
+        let Some(sem_item) = info.sem_item else {
+            continue;
+        };
+        let Item::Sem(decl) = &program.items[sem_item] else {
+            unreachable!("sem_item points at a sem item");
+        };
+        let fields = syms.token(info.token).fields.clone();
+        let mut cx = Checker {
+            syms,
+            diags,
+            scopes: vec![HashMap::new()],
+            fields_in_scope: fields,
+            loop_depth: 0,
+            in_sem: true,
+            ret: RetState::Unknown,
+        };
+        cx.block(&decl.body);
+        if !matches!(cx.ret, RetState::Unknown) {
+            diags.error(
+                format!("semantics `{}` may not contain `return`", info.name),
+                decl.span,
+            );
+        }
+    }
+}
+
+/// Returns user functions ordered callees-first, or `None` on recursion.
+fn call_order(
+    program: &Program,
+    syms: &Symbols,
+    diags: &mut Diagnostics,
+) -> Option<Vec<FunId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let n = syms.funs.len();
+    let mut callees: Vec<Vec<FunId>> = vec![Vec::new(); n];
+    for (i, info) in syms.funs.iter().enumerate() {
+        let Item::Fun(decl) = &program.items[info.item] else {
+            unreachable!("fun table points at fun items");
+        };
+        collect_calls(&decl.body, syms, &mut callees[i]);
+    }
+    let mut color = vec![Color::White; n];
+    let mut order = Vec::with_capacity(n);
+    // Iterative DFS to keep deep call chains off the host stack.
+    for root in 0..n {
+        if color[root] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = Color::Grey;
+        while let Some(&mut (f, ref mut next)) = stack.last_mut() {
+            if *next < callees[f].len() {
+                let callee = callees[f][*next].index();
+                *next += 1;
+                match color[callee] {
+                    Color::White => {
+                        color[callee] = Color::Grey;
+                        stack.push((callee, 0));
+                    }
+                    Color::Grey => {
+                        diags.error(
+                            format!(
+                                "recursion is not allowed: `{}` (indirectly) calls itself",
+                                syms.funs[callee].name
+                            ),
+                            syms.funs[callee].span,
+                        );
+                        return None;
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[f] = Color::Black;
+                order.push(FunId(f as u32));
+                stack.pop();
+            }
+        }
+    }
+    Some(order)
+}
+
+fn collect_calls(block: &Block, syms: &Symbols, out: &mut Vec<FunId>) {
+    fn expr(e: &Expr, syms: &Symbols, out: &mut Vec<FunId>) {
+        match &e.kind {
+            ExprKind::Call { name, args } => {
+                if let Some(&fid) = syms.fun_by_name.get(&name.text) {
+                    out.push(fid);
+                }
+                for a in args {
+                    expr(a, syms, out);
+                }
+            }
+            ExprKind::Unary(_, a) => expr(a, syms, out),
+            ExprKind::Binary(_, a, b) => {
+                expr(a, syms, out);
+                expr(b, syms, out);
+            }
+            ExprKind::Attr { recv, args, .. } => {
+                expr(recv, syms, out);
+                for a in args {
+                    expr(a, syms, out);
+                }
+            }
+            ExprKind::Index { index, .. } => expr(index, syms, out),
+            ExprKind::ArrayInit { fill, .. } => expr(fill, syms, out),
+            ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+        }
+    }
+    fn stmt(s: &Stmt, syms: &Symbols, out: &mut Vec<FunId>) {
+        match &s.kind {
+            StmtKind::Local(v) => {
+                if let Some(init) = &v.init {
+                    expr(init, syms, out);
+                }
+            }
+            StmtKind::Assign { place, value } => {
+                if let Some(i) = &place.index {
+                    expr(i, syms, out);
+                }
+                expr(value, syms, out);
+            }
+            StmtKind::If { cond, then, els } => {
+                expr(cond, syms, out);
+                walk(then, syms, out);
+                if let Some(e) = els {
+                    walk(e, syms, out);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                expr(cond, syms, out);
+                walk(body, syms, out);
+            }
+            StmtKind::Switch {
+                subject,
+                arms,
+                default,
+            } => {
+                expr(subject, syms, out);
+                for arm in arms {
+                    walk(&arm.body, syms, out);
+                }
+                if let Some(d) = default {
+                    walk(d, syms, out);
+                }
+            }
+            StmtKind::Return(Some(e)) => expr(e, syms, out),
+            StmtKind::Expr(e) => expr(e, syms, out),
+            StmtKind::Break | StmtKind::Continue | StmtKind::Return(None) => {}
+        }
+    }
+    fn walk(b: &Block, syms: &Symbols, out: &mut Vec<FunId>) {
+        for s in &b.stmts {
+            stmt(s, syms, out);
+        }
+    }
+    // `sem` bodies are reachable from `?exec`, which may appear in any
+    // function; the recursion check treats them as part of every caller,
+    // which is conservative but sound because `?exec` is banned inside sem
+    // bodies themselves.
+    walk(block, syms, out);
+}
+
+fn check_global_init(
+    program: &Program,
+    syms: &mut Symbols,
+    gid: GlobalId,
+    diags: &mut Diagnostics,
+) {
+    let info = syms.global(gid).clone();
+    let Item::Global(decl) = &program.items[info.item] else {
+        unreachable!("global table points at global items");
+    };
+    let Some(init) = &decl.init else {
+        return;
+    };
+    match (&info.ty, &init.kind) {
+        (Type::Array(n), ExprKind::ArrayInit { size, fill }) => {
+            if n != size {
+                diags.error(
+                    format!("array initializer has {size} elements but the type says {n}"),
+                    init.span,
+                );
+            }
+            require_const(fill, diags);
+        }
+        (Type::Array(_), _) => {
+            diags.error("array globals must be initialized with `array(n){fill}`", init.span);
+        }
+        (Type::Queue, _) => {
+            diags.error("queue globals start empty and may not have initializers", init.span);
+        }
+        (_, ExprKind::ArrayInit { .. }) => {
+            diags.error("`array(n){fill}` initializer needs an array-typed variable", init.span);
+        }
+        _ => require_const(init, diags),
+    }
+}
+
+/// Global initializers run before the target is loaded, so they must be
+/// closed integer expressions.
+fn require_const(e: &Expr, diags: &mut Diagnostics) {
+    match &e.kind {
+        ExprKind::Int(_) | ExprKind::Bool(_) => {}
+        ExprKind::Unary(_, a) => require_const(a, diags),
+        ExprKind::Binary(op, a, b) => {
+            if matches!(op, ast::BinOp::LogAnd | ast::BinOp::LogOr) {
+                diags.error("global initializers must be simple constants", e.span);
+            }
+            require_const(a, diags);
+            require_const(b, diags);
+        }
+        _ => diags.error("global initializers must be constant expressions", e.span),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum RetState {
+    /// No `return` seen yet.
+    Unknown,
+    /// Only bare `return;` seen.
+    None,
+    /// `return expr;` of this type seen.
+    Some(Type),
+}
+
+struct Checker<'a> {
+    syms: &'a Symbols,
+    diags: &'a mut Diagnostics,
+    scopes: Vec<HashMap<String, Type>>,
+    /// Token fields visible in a `sem` body or pattern-switch arm.
+    fields_in_scope: Vec<FieldId>,
+    loop_depth: u32,
+    in_sem: bool,
+    ret: RetState,
+}
+
+impl Checker<'_> {
+    fn lookup_var(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&t) = scope.get(name) {
+                return Some(t);
+            }
+        }
+        if self
+            .fields_in_scope
+            .iter()
+            .any(|&f| self.syms.field(f).name == name)
+        {
+            return Some(Type::Int);
+        }
+        self.syms
+            .global_by_name
+            .get(name)
+            .map(|&g| self.syms.global(g).ty)
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Local(v) => self.local(v),
+            StmtKind::Assign { place, value } => self.assign(place, value, s.span),
+            StmtKind::If { cond, then, els } => {
+                self.expect_int(cond);
+                self.block(then);
+                if let Some(e) = els {
+                    self.block(e);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.expect_int(cond);
+                self.loop_depth += 1;
+                self.block(body);
+                self.loop_depth -= 1;
+            }
+            StmtKind::Switch {
+                subject,
+                arms,
+                default,
+            } => self.switch(subject, arms, default.as_ref(), s.span),
+            StmtKind::Break | StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    self.diags
+                        .error("`break`/`continue` outside of a loop", s.span);
+                }
+            }
+            StmtKind::Return(value) => {
+                let ty = value.as_ref().map(|e| self.scalar_expr(e));
+                let new = match ty {
+                    None => RetState::None,
+                    Some(t) => RetState::Some(t),
+                };
+                match (self.ret, new) {
+                    (RetState::Unknown, n) => self.ret = n,
+                    (a, b) if a == b => {}
+                    _ => self
+                        .diags
+                        .error("inconsistent return types in function", s.span),
+                }
+            }
+            StmtKind::Expr(e) => {
+                // Effect position: procedures are fine here.
+                self.expr(e, true);
+            }
+        }
+    }
+
+    fn local(&mut self, v: &ast::ValDecl) {
+        let declared = v.ty.as_ref().map(Type::from_ast);
+        let ty = match (&declared, &v.init) {
+            (Some(Type::Array(n)), Some(init)) => {
+                if let ExprKind::ArrayInit { size, fill } = &init.kind {
+                    if size != n {
+                        self.diags.error(
+                            format!("array initializer has {size} elements but the type says {n}"),
+                            init.span,
+                        );
+                    }
+                    self.expect_int(fill);
+                } else {
+                    self.diags
+                        .error("array locals must be initialized with `array(n){fill}`", init.span);
+                }
+                Type::Array(*n)
+            }
+            (Some(Type::Queue), Some(init)) => {
+                let t = self.expr(init, false);
+                if t != Some(Type::Queue) {
+                    self.diags
+                        .error("queue locals may only be initialized from another queue", init.span);
+                }
+                Type::Queue
+            }
+            (Some(t), Some(init)) => {
+                let found = self.scalar_expr(init);
+                if found != *t {
+                    self.diags.error(
+                        format!("initializer has type {found}, but `{}` is declared {t}", v.name),
+                        init.span,
+                    );
+                }
+                *t
+            }
+            (Some(t), None) => *t,
+            (None, Some(init)) => match &init.kind {
+                ExprKind::ArrayInit { size, fill } => {
+                    self.expect_int(fill);
+                    Type::Array(*size)
+                }
+                _ => self.expr(init, false).unwrap_or(Type::Int),
+            },
+            (None, None) => Type::Int, // parser already reported this
+        };
+        if self.scopes.last().unwrap().contains_key(&v.name.text) {
+            self.diags.error(
+                format!("`{}` is already defined in this scope", v.name),
+                v.name.span,
+            );
+        }
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(v.name.text.clone(), ty);
+    }
+
+    fn assign(&mut self, place: &ast::Place, value: &Expr, span: Span) {
+        let Some(base_ty) = self.lookup_var(&place.name.text) else {
+            self.diags.error(
+                format!("assignment to undefined variable `{}`", place.name),
+                place.name.span,
+            );
+            self.expr(value, false);
+            return;
+        };
+        if self
+            .fields_in_scope
+            .iter()
+            .any(|&f| self.syms.field(f).name == place.name.text)
+            && self.lookup_local_only(&place.name.text).is_none()
+        {
+            self.diags.error(
+                format!("token field `{}` is read-only", place.name),
+                place.name.span,
+            );
+        }
+        match &place.index {
+            Some(index) => {
+                self.expect_int(index);
+                if !matches!(base_ty, Type::Array(_) | Type::Queue) {
+                    self.diags.error(
+                        format!("`{}` has type {base_ty} and cannot be indexed", place.name),
+                        place.span,
+                    );
+                }
+                self.expect_int(value);
+            }
+            None => match base_ty {
+                Type::Queue => {
+                    let t = self.expr(value, false);
+                    if t != Some(Type::Queue) {
+                        self.diags
+                            .error("queues may only be assigned from queues (a copy)", span);
+                    }
+                }
+                Type::Array(n) => {
+                    let t = self.expr(value, false);
+                    if t != Some(Type::Array(n)) {
+                        self.diags.error(
+                            format!("arrays may only be assigned from arrays of the same size ({n})"),
+                            span,
+                        );
+                    }
+                }
+                scalar => {
+                    let found = self.scalar_expr(value);
+                    if found != scalar {
+                        self.diags.error(
+                            format!(
+                                "cannot assign {found} to `{}` of type {scalar}",
+                                place.name
+                            ),
+                            span,
+                        );
+                    }
+                }
+            },
+        }
+    }
+
+    fn lookup_local_only(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&t) = scope.get(name) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn switch(
+        &mut self,
+        subject: &Expr,
+        arms: &[ast::SwitchArm],
+        default: Option<&Block>,
+        span: Span,
+    ) {
+        let is_pattern_switch = arms
+            .iter()
+            .any(|a| matches!(a.labels, ArmLabels::Pats(_)));
+        let is_value_switch = arms
+            .iter()
+            .any(|a| matches!(a.labels, ArmLabels::Values(_)));
+        if is_pattern_switch && is_value_switch {
+            self.diags
+                .error("switch mixes `pat` and `case` arms", span);
+        }
+        if is_pattern_switch {
+            let t = self.scalar_expr(subject);
+            if t != Type::Stream {
+                self.diags.error(
+                    format!("pattern switch subject must be a stream, found {t}"),
+                    subject.span,
+                );
+            }
+            for arm in arms {
+                let ArmLabels::Pats(names) = &arm.labels else {
+                    continue;
+                };
+                let mut token: Option<TokenId> = None;
+                let mut ok = true;
+                for name in names {
+                    match self.syms.pat_by_name.get(&name.text) {
+                        Some(&pid) => {
+                            let ptok = self.syms.pat(pid).token;
+                            match token {
+                                None => token = Some(ptok),
+                                Some(t) if t == ptok => {}
+                                Some(_) => {
+                                    self.diags.error(
+                                        "arm labels constrain different tokens",
+                                        name.span,
+                                    );
+                                    ok = false;
+                                }
+                            }
+                        }
+                        None => {
+                            self.diags
+                                .error(format!("unknown pattern `{name}`"), name.span);
+                            ok = false;
+                        }
+                    }
+                }
+                let saved = std::mem::take(&mut self.fields_in_scope);
+                if ok {
+                    if let Some(tok) = token {
+                        self.fields_in_scope = self.syms.token(tok).fields.clone();
+                    }
+                }
+                self.block(&arm.body);
+                self.fields_in_scope = saved;
+            }
+        } else {
+            self.expect_int(subject);
+            let mut seen = HashMap::new();
+            for arm in arms {
+                if let ArmLabels::Values(vals) = &arm.labels {
+                    for (v, vspan) in vals {
+                        if let Some(first) = seen.insert(*v, *vspan) {
+                            self.diags.push(
+                                facile_lang::diag::Diagnostic::error(
+                                    format!("duplicate case value {v}"),
+                                    *vspan,
+                                )
+                                .with_note(first, "first used here"),
+                            );
+                        }
+                    }
+                }
+                self.block(&arm.body);
+            }
+        }
+        if let Some(d) = default {
+            self.block(d);
+        }
+    }
+
+    /// Checks an expression expected to produce a scalar, returning its type
+    /// (Int on error, to limit cascades).
+    fn scalar_expr(&mut self, e: &Expr) -> Type {
+        match self.expr(e, false) {
+            Some(t) if t.is_scalar() => t,
+            Some(t) => {
+                self.diags
+                    .error(format!("expected a scalar value, found {t}"), e.span);
+                Type::Int
+            }
+            None => {
+                self.diags
+                    .error("expression produces no value", e.span);
+                Type::Int
+            }
+        }
+    }
+
+    fn expect_int(&mut self, e: &Expr) {
+        let t = self.scalar_expr(e);
+        if t != Type::Int {
+            self.diags
+                .error(format!("expected int, found {t}"), e.span);
+        }
+    }
+
+    /// Type of an expression; `None` for procedure calls (only legal in
+    /// effect position).
+    fn expr(&mut self, e: &Expr, effect_position: bool) -> Option<Type> {
+        match &e.kind {
+            ExprKind::Int(_) | ExprKind::Bool(_) => Some(Type::Int),
+            ExprKind::Var(name) => match self.lookup_var(&name.text) {
+                Some(t) => Some(t),
+                None => {
+                    self.diags
+                        .error(format!("undefined variable `{name}`"), name.span);
+                    Some(Type::Int)
+                }
+            },
+            ExprKind::Unary(_, a) => {
+                self.expect_int(a);
+                Some(Type::Int)
+            }
+            ExprKind::Binary(op, a, b) => Some(self.binary(*op, a, b, e.span)),
+            ExprKind::Call { name, args } => self.call(name, args, effect_position, e.span),
+            ExprKind::Attr { recv, name, args } => {
+                self.attr(recv, name, args, effect_position, e.span)
+            }
+            ExprKind::Index { base, index } => {
+                self.expect_int(index);
+                match self.lookup_var(&base.text) {
+                    Some(Type::Array(_)) | Some(Type::Queue) => Some(Type::Int),
+                    Some(t) => {
+                        self.diags.error(
+                            format!("`{base}` has type {t} and cannot be indexed"),
+                            base.span,
+                        );
+                        Some(Type::Int)
+                    }
+                    None => {
+                        self.diags
+                            .error(format!("undefined variable `{base}`"), base.span);
+                        Some(Type::Int)
+                    }
+                }
+            }
+            ExprKind::ArrayInit { .. } => {
+                self.diags.error(
+                    "`array(n){fill}` is only allowed as a `val` initializer",
+                    e.span,
+                );
+                Some(Type::Int)
+            }
+        }
+    }
+
+    fn binary(&mut self, op: ast::BinOp, a: &Expr, b: &Expr, span: Span) -> Type {
+        use ast::BinOp::*;
+        let ta = self.scalar_expr(a);
+        let tb = self.scalar_expr(b);
+        match op {
+            Add => match (ta, tb) {
+                (Type::Int, Type::Int) => Type::Int,
+                (Type::Stream, Type::Int) | (Type::Int, Type::Stream) => Type::Stream,
+                _ => {
+                    self.diags
+                        .error(format!("cannot add {ta} and {tb}"), span);
+                    Type::Int
+                }
+            },
+            Sub => match (ta, tb) {
+                (Type::Int, Type::Int) => Type::Int,
+                (Type::Stream, Type::Int) => Type::Stream,
+                (Type::Stream, Type::Stream) => Type::Int,
+                _ => {
+                    self.diags
+                        .error(format!("cannot subtract {tb} from {ta}"), span);
+                    Type::Int
+                }
+            },
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                if ta != tb {
+                    self.diags
+                        .error(format!("cannot compare {ta} with {tb}"), span);
+                }
+                Type::Int
+            }
+            _ => {
+                if ta != Type::Int || tb != Type::Int {
+                    self.diags.error(
+                        format!("operator `{}` needs int operands, found {ta} and {tb}",
+                            op.symbol()),
+                        span,
+                    );
+                }
+                Type::Int
+            }
+        }
+    }
+
+    fn call(
+        &mut self,
+        name: &ast::Ident,
+        args: &[Expr],
+        effect_position: bool,
+        span: Span,
+    ) -> Option<Type> {
+        // User function?
+        if let Some(&fid) = self.syms.fun_by_name.get(&name.text) {
+            let info = self.syms.fun(fid).clone();
+            if Some(fid) == self.syms.main {
+                self.diags
+                    .error("`main` may not be called explicitly", span);
+            }
+            self.check_args(&info.params, args, &name.text, span);
+            if info.ret.is_none() && !effect_position {
+                self.diags.error(
+                    format!("`{name}` returns nothing and cannot be used as a value"),
+                    span,
+                );
+            }
+            return info.ret;
+        }
+        // External function?
+        if let Some(&eid) = self.syms.ext_by_name.get(&name.text) {
+            let info = self.syms.ext(eid).clone();
+            self.check_args(&info.params, args, &name.text, span);
+            if info.ret.is_none() && !effect_position {
+                self.diags.error(
+                    format!("`{name}` returns nothing and cannot be used as a value"),
+                    span,
+                );
+            }
+            return info.ret;
+        }
+        // Builtin?
+        if let Some(b) = Builtin::lookup(&name.text) {
+            return self.builtin_call(b, args, effect_position, span);
+        }
+        self.diags
+            .error(format!("undefined function `{name}`"), name.span);
+        for a in args {
+            self.expr(a, false);
+        }
+        Some(Type::Int)
+    }
+
+    fn builtin_call(
+        &mut self,
+        b: Builtin,
+        args: &[Expr],
+        effect_position: bool,
+        span: Span,
+    ) -> Option<Type> {
+        if b == Builtin::Next {
+            let main = self.syms.main?;
+            let params = self.syms.fun(main).params.clone();
+            if params.len() != args.len() {
+                self.diags.error(
+                    format!(
+                        "`next` takes {} argument(s) to match `main`, found {}",
+                        params.len(),
+                        args.len()
+                    ),
+                    span,
+                );
+            }
+            for ((pname, pty), a) in params.iter().zip(args) {
+                let found = self.expr(a, false).unwrap_or(Type::Int);
+                if found != *pty {
+                    self.diags.error(
+                        format!(
+                            "`next` argument for `{pname}` has type {found}, expected {pty}"
+                        ),
+                        a.span,
+                    );
+                }
+            }
+            if !effect_position {
+                self.diags
+                    .error("`next` returns nothing and cannot be used as a value", span);
+            }
+            return None;
+        }
+        let params = b.params().expect("only next is variadic");
+        if params.len() != args.len() {
+            self.diags.error(
+                format!(
+                    "`{}` takes {} argument(s), found {}",
+                    b.name(),
+                    params.len(),
+                    args.len()
+                ),
+                span,
+            );
+        }
+        for (pty, a) in params.iter().zip(args) {
+            let found = self.scalar_expr(a);
+            if found != *pty {
+                self.diags.error(
+                    format!("`{}` argument has type {found}, expected {pty}", b.name()),
+                    a.span,
+                );
+            }
+        }
+        let ret = b.ret();
+        if ret.is_none() && !effect_position {
+            self.diags.error(
+                format!("`{}` returns nothing and cannot be used as a value", b.name()),
+                span,
+            );
+        }
+        ret
+    }
+
+    fn check_args(&mut self, params: &[(String, Type)], args: &[Expr], name: &str, span: Span) {
+        if params.len() != args.len() {
+            self.diags.error(
+                format!(
+                    "`{name}` takes {} argument(s), found {}",
+                    params.len(),
+                    args.len()
+                ),
+                span,
+            );
+        }
+        for ((pname, pty), a) in params.iter().zip(args) {
+            let found = self.expr(a, false).unwrap_or(Type::Int);
+            if found != *pty {
+                self.diags.error(
+                    format!("argument for `{pname}` has type {found}, expected {pty}"),
+                    a.span,
+                );
+            }
+        }
+    }
+
+    fn attr(
+        &mut self,
+        recv: &Expr,
+        name: &ast::Ident,
+        args: &[Expr],
+        effect_position: bool,
+        span: Span,
+    ) -> Option<Type> {
+        let Some(attr) = Attr::lookup(&name.text) else {
+            self.diags
+                .error(format!("unknown attribute `?{name}`"), name.span);
+            self.expr(recv, false);
+            for a in args {
+                self.expr(a, false);
+            }
+            return Some(Type::Int);
+        };
+        // Queue attributes need the receiver to be a named variable: queue
+        // state lives in variables, not in flowing values.
+        if attr.receiver() == Type::Queue && !matches!(recv.kind, ExprKind::Var(_)) {
+            self.diags.error(
+                format!("`?{name}` requires a named queue variable"),
+                recv.span,
+            );
+        }
+        let rt = self.expr(recv, false).unwrap_or(Type::Int);
+        if rt != attr.receiver() {
+            self.diags.error(
+                format!(
+                    "`?{name}` applies to {}, but the receiver has type {rt}",
+                    attr.receiver()
+                ),
+                span,
+            );
+        }
+        if attr == Attr::Exec && self.in_sem {
+            self.diags.error(
+                "`?exec` is not allowed inside `sem` bodies (it would recurse into decode)",
+                span,
+            );
+        }
+        let params = attr.params();
+        if params.len() != args.len() {
+            self.diags.error(
+                format!(
+                    "`?{}` takes {} argument(s), found {}",
+                    name.text,
+                    params.len(),
+                    args.len()
+                ),
+                span,
+            );
+        }
+        for (pty, a) in params.iter().zip(args) {
+            let found = self.scalar_expr(a);
+            if found != *pty {
+                self.diags.error(
+                    format!("`?{}` argument has type {found}, expected {pty}", name.text),
+                    a.span,
+                );
+            }
+        }
+        if matches!(attr, Attr::Sext | Attr::Zext) {
+            if let Some(w) = args.first() {
+                if let ExprKind::Int(v) = w.kind {
+                    if !(1..=64).contains(&v) {
+                        self.diags
+                            .error("extension width must be between 1 and 64", w.span);
+                    }
+                } else {
+                    self.diags
+                        .error("extension width must be a literal", w.span);
+                }
+            }
+        }
+        let ret = attr.ret();
+        if ret.is_none() && !effect_position {
+            self.diags.error(
+                format!("`?{}` returns nothing and cannot be used as a value", name.text),
+                span,
+            );
+        }
+        ret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::resolve;
+    use facile_lang::parser::parse;
+
+    fn check_src(src: &str) -> (Symbols, Diagnostics) {
+        let mut diags = Diagnostics::new();
+        let prog = parse(src, &mut diags);
+        assert!(!diags.has_errors(), "parse: {}", diags.render_all(src));
+        let mut syms = resolve(&prog, &mut diags);
+        if !diags.has_errors() {
+            check(&prog, &mut syms, &mut diags);
+        }
+        (syms, diags)
+    }
+
+    fn ok(src: &str) -> Symbols {
+        let (syms, diags) = check_src(src);
+        assert!(!diags.has_errors(), "{}", diags.render_all(src));
+        syms
+    }
+
+    fn err(src: &str, needle: &str) {
+        let (_, diags) = check_src(src);
+        assert!(diags.has_errors(), "expected error for {src:?}");
+        let all = diags.render_all(src);
+        assert!(
+            all.contains(needle),
+            "expected error containing {needle:?}, got:\n{all}"
+        );
+    }
+
+    const H: &str =
+        "token instr[32] fields op 26:31, rd 21:25, rs1 16:20, imm16 0:15;\n";
+
+    #[test]
+    fn paper_step_function_checks() {
+        ok(&format!(
+            "{H}pat add = op==0;\nval R = array(32){{0}};\n\
+             sem add {{ R[rd] = R[rs1] + imm16?sext(16); }}\n\
+             fun main(pc : stream) {{ pc?exec(); next(pc + 4); }}"
+        ));
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        err(
+            "fun f(x : int) { g(x); }\nfun g(x : int) { f(x); }\nfun main() { f(1); }",
+            "recursion",
+        );
+    }
+
+    #[test]
+    fn self_recursion_rejected() {
+        err("fun f(x : int) { f(x); }\nfun main() { }", "recursion");
+    }
+
+    #[test]
+    fn return_type_inference() {
+        let syms = ok("fun f(x : int) { return x + 1; }\nfun main() { val y = f(2); }");
+        let f = syms.fun(syms.fun_by_name["f"]);
+        assert_eq!(f.ret, Some(Type::Int));
+    }
+
+    #[test]
+    fn stream_return_type() {
+        let syms = ok("fun f(s : stream) { return s + 4; }\nfun main(pc : stream) { next(f(pc)); }");
+        assert_eq!(syms.fun(syms.fun_by_name["f"]).ret, Some(Type::Stream));
+    }
+
+    #[test]
+    fn mixed_return_types_rejected() {
+        err(
+            "fun f(x : int, s : stream) { if (x) { return x; } return s; }\nfun main() { }",
+            "inconsistent return",
+        );
+    }
+
+    #[test]
+    fn procedure_in_value_position_rejected() {
+        err(
+            "fun p(x : int) { trace(x); }\nfun main() { val y = p(1); }",
+            "returns nothing",
+        );
+    }
+
+    #[test]
+    fn next_arity_must_match_main() {
+        err(
+            "fun main(a : int, b : int) { next(a); }",
+            "`next` takes 2 argument(s)",
+        );
+    }
+
+    #[test]
+    fn next_type_must_match_main() {
+        err(
+            "fun main(pc : stream) { next(1); }",
+            "expected stream",
+        );
+    }
+
+    #[test]
+    fn next_with_queue_key() {
+        ok("fun main(q : queue, pc : stream) { q?push_back(1); next(q, pc); }");
+    }
+
+    #[test]
+    fn main_array_param_rejected() {
+        err("fun main(a : array(4)) { }", "array type");
+    }
+
+    #[test]
+    fn stream_arithmetic() {
+        ok("fun main(pc : stream) { val npc = pc + 4; val delta = npc - pc; next(pc + delta); }");
+    }
+
+    #[test]
+    fn int_plus_stream_ok_stream_plus_stream_not() {
+        err("fun main(pc : stream) { val x = pc + pc; }", "cannot add");
+    }
+
+    #[test]
+    fn int_assigned_to_stream_rejected() {
+        err(
+            "val s : stream;\nfun main(pc : stream) { s = 4; }",
+            "cannot assign int",
+        );
+    }
+
+    #[test]
+    fn stream_comparison_ok() {
+        ok("fun main(pc : stream) { if (pc == pc) { } if (pc < pc + 8) { } }");
+    }
+
+    #[test]
+    fn undefined_variable() {
+        err("fun main() { val x = nothere; }", "undefined variable");
+    }
+
+    #[test]
+    fn undefined_function() {
+        err("fun main() { val x = nofun(1); }", "undefined function");
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        err("fun main() { break; }", "outside of a loop");
+    }
+
+    #[test]
+    fn break_inside_loop_ok() {
+        ok("fun main() { while (1) { break; } }");
+    }
+
+    #[test]
+    fn sem_fields_in_scope() {
+        ok(&format!(
+            "{H}pat add = op==0;\nval R = array(32){{0}};\n\
+             sem add {{ R[rd] = rs1 + imm16; }}\nfun main() {{ }}"
+        ));
+    }
+
+    #[test]
+    fn sem_field_write_rejected() {
+        err(
+            &format!("{H}pat add = op==0;\nsem add {{ rd = 1; }}\nfun main() {{ }}"),
+            "read-only",
+        );
+    }
+
+    #[test]
+    fn field_shadowing_by_local_allowed() {
+        ok(&format!(
+            "{H}pat add = op==0;\nsem add {{ val rd = 5; rd = 6; }}\nfun main() {{ }}"
+        ));
+    }
+
+    #[test]
+    fn exec_in_sem_rejected() {
+        err(
+            &format!(
+                "{H}pat add = op==0;\nval PC : stream;\nsem add {{ PC?exec(); }}\nfun main() {{ }}"
+            ),
+            "not allowed inside `sem`",
+        );
+    }
+
+    #[test]
+    fn pattern_switch_binds_fields() {
+        ok(&format!(
+            "{H}pat add = op==0;\npat sub = op==1;\n\
+             fun main(pc : stream) {{\n\
+               switch (pc) {{ pat add, sub: val x = rd + rs1; default: }}\n\
+             }}"
+        ));
+    }
+
+    #[test]
+    fn pattern_switch_on_int_rejected() {
+        err(
+            &format!("{H}pat add = op==0;\nfun main() {{ switch (3) {{ pat add: }} }}"),
+            "must be a stream",
+        );
+    }
+
+    #[test]
+    fn value_switch_duplicate_case_rejected() {
+        err(
+            "fun main(x : int) { switch (x) { case 1: case 1: } }",
+            "duplicate case",
+        );
+    }
+
+    #[test]
+    fn mixed_switch_arms_rejected() {
+        err(
+            &format!(
+                "{H}pat add = op==0;\nfun main(pc : stream) {{ switch (pc) {{ pat add: case 1: }} }}"
+            ),
+            "mixes",
+        );
+    }
+
+    #[test]
+    fn queue_operations_check() {
+        ok("fun main(q : queue) {\n\
+              q?push_back(1); q?push_front(2);\n\
+              val a = q?pop_front(); val b = q?pop_back();\n\
+              val n = q?len; val x = q?get(0); q?set(0, 5); q?clear();\n\
+              val qq : queue; qq = q;\n\
+              next(q);\n\
+            }");
+    }
+
+    #[test]
+    fn queue_attr_on_int_rejected() {
+        err("fun main(x : int) { val n = x?len; }", "applies to queue");
+    }
+
+    #[test]
+    fn queue_assigned_from_int_rejected() {
+        err(
+            "fun main(q : queue) { q = 3; }",
+            "queues may only be assigned from queues",
+        );
+    }
+
+    #[test]
+    fn verify_lifts_int() {
+        ok("ext fun cache(addr : int) : int;\nfun main(x : int) { val lat = cache(x)?verify; next(x + lat); }");
+    }
+
+    #[test]
+    fn sext_width_must_be_literal() {
+        err(
+            "fun main(x : int, w : int) { val y = x?sext(w); }",
+            "must be a literal",
+        );
+    }
+
+    #[test]
+    fn sext_width_range_checked() {
+        err("fun main(x : int) { val y = x?sext(0); }", "between 1 and 64");
+        err("fun main(x : int) { val y = x?sext(65); }", "between 1 and 64");
+    }
+
+    #[test]
+    fn array_local_and_indexing() {
+        ok("fun main() { val a : array(8); a[0] = 1; val x = a[0] + a[7]; }");
+    }
+
+    #[test]
+    fn indexing_scalar_rejected() {
+        err("fun main(x : int) { val y = x[0]; }", "cannot be indexed");
+    }
+
+    #[test]
+    fn array_assignment_size_mismatch() {
+        err(
+            "fun main() { val a : array(4); val b : array(8); a = b; }",
+            "same size",
+        );
+    }
+
+    #[test]
+    fn global_initializer_must_be_const() {
+        err("val g = mem_ld(0);\nfun main() { }", "constant");
+    }
+
+    #[test]
+    fn global_queue_initializer_rejected() {
+        err("val q : queue = 1;\nfun main() { }", "start empty");
+    }
+
+    #[test]
+    fn calling_main_rejected() {
+        err("fun f() { main(); }\nfun main() { }", "may not be called");
+    }
+
+    #[test]
+    fn main_calling_itself_is_recursion() {
+        err("fun main() { main(); }", "recursion");
+    }
+
+    #[test]
+    fn shadowing_in_same_scope_rejected() {
+        err("fun main() { val x = 1; val x = 2; }", "already defined");
+    }
+
+    #[test]
+    fn shadowing_in_nested_scope_allowed() {
+        ok("fun main() { val x = 1; if (x) { val x = 2; x = 3; } }");
+    }
+
+    #[test]
+    fn ext_fun_call_checks_types() {
+        err(
+            "ext fun f(a : int) : int;\nfun main(pc : stream) { val x = f(pc); }",
+            "expected int",
+        );
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        err("fun main() { val x = min(1); }", "takes 2 argument(s)");
+    }
+
+    #[test]
+    fn trace_is_procedure() {
+        err("fun main() { val x = trace(1); }", "returns nothing");
+    }
+
+    #[test]
+    fn sem_with_return_rejected() {
+        err(
+            &format!("{H}pat add = op==0;\nsem add {{ return 1; }}\nfun main() {{ }}"),
+            "may not contain `return`",
+        );
+    }
+
+    #[test]
+    fn callees_checked_before_callers() {
+        // g uses f's inferred return type.
+        ok("fun f() { return 1; }\nfun g() { return f() + 1; }\nfun main() { val x = g(); }");
+    }
+
+    #[test]
+    fn overlapping_sem_patterns_warn() {
+        let src = format!(
+            "{H}pat a = op==0;\npat b = op==0 && rd==1;\nsem a {{ }}\nsem b {{ }}\nfun main() {{ }}"
+        );
+        let mut diags = Diagnostics::new();
+        let prog = facile_lang::parser::parse(&src, &mut diags);
+        let mut syms = resolve(&prog, &mut diags);
+        check(&prog, &mut syms, &mut diags);
+        assert!(!diags.has_errors());
+        assert!(
+            diags.iter().any(|d| d.severity == facile_lang::Severity::Warning
+                && d.message.contains("overlap")),
+            "{}",
+            diags.render_all(&src)
+        );
+    }
+
+    #[test]
+    fn disjoint_sem_patterns_do_not_warn() {
+        let src = format!(
+            "{H}pat a = op==0;\npat b = op==1;\nsem a {{ }}\nsem b {{ }}\nfun main() {{ }}"
+        );
+        let mut diags = Diagnostics::new();
+        let prog = facile_lang::parser::parse(&src, &mut diags);
+        let mut syms = resolve(&prog, &mut diags);
+        check(&prog, &mut syms, &mut diags);
+        assert!(diags.is_empty(), "{}", diags.render_all(&src));
+    }
+
+    #[test]
+    fn float_builtins() {
+        ok("fun main(a : int, b : int) {\n\
+              val s = fadd(i2f(a), i2f(b));\n\
+              val c = flt(s, i2f(100));\n\
+              val t = f2i(fdiv(s, fmul(s, fsub(s, s))));\n\
+            }");
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! Semantic analysis for the Facile compiler.
+//!
+//! Two passes run over the parsed AST:
+//!
+//! 1. [`resolve::resolve`] builds the [`symbols::Symbols`] tables: tokens,
+//!    bit fields, patterns (normalized to DNF over token bits), globals,
+//!    functions and external functions.
+//! 2. [`check::check`] type-checks every body, infers function return
+//!    types, and enforces the restrictions the paper imposes to keep
+//!    binding-time analysis precise: no recursion, no pointers, scalar
+//!    external interfaces, and a well-formed `main` step function.
+//!
+//! [`analyze`] runs both.
+//!
+//! # Examples
+//!
+//! ```
+//! use facile_lang::{parser::parse, diag::Diagnostics};
+//! use facile_sema::analyze;
+//!
+//! let src = r#"
+//!     token instr[32] fields op 26:31, rd 21:25, rs1 16:20, imm16 0:15;
+//!     pat addi = op==0x10;
+//!     val R = array(32){0};
+//!     sem addi { R[rd] = R[rs1] + imm16?sext(16); }
+//!     fun main(pc : stream) { pc?exec(); next(pc + 4); }
+//! "#;
+//! let mut diags = Diagnostics::new();
+//! let program = parse(src, &mut diags);
+//! let syms = analyze(&program, &mut diags);
+//! assert!(!diags.has_errors(), "{}", diags.render_all(src));
+//! assert!(syms.main.is_some());
+//! assert_eq!(syms.pats.len(), 1);
+//! ```
+
+pub mod builtins;
+pub mod check;
+pub mod resolve;
+pub mod symbols;
+
+pub use builtins::{Attr, BtClass, Builtin};
+pub use symbols::{
+    Conjunction, ExtId, FieldId, FunId, GlobalId, PatId, Symbols, TokenId, Type,
+};
+
+use facile_lang::ast::Program;
+use facile_lang::diag::Diagnostics;
+
+/// Runs name resolution and type checking.
+///
+/// Returns the (possibly partial) symbol tables; consult `diags` before
+/// trusting them.
+pub fn analyze(program: &Program, diags: &mut Diagnostics) -> Symbols {
+    let mut syms = resolve::resolve(program, diags);
+    if !diags.has_errors() {
+        check::check(program, &mut syms, diags);
+    }
+    syms
+}

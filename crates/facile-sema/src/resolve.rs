@@ -1,0 +1,562 @@
+//! Name resolution: building [`Symbols`] from a parsed program.
+//!
+//! Resolution collects all top-level declarations, checks name uniqueness,
+//! normalizes every pattern into disjunctive normal form over token bits,
+//! and associates `sem` declarations with their patterns.
+
+use crate::symbols::*;
+use facile_lang::ast::{self, Item, PatExpr, PatExprKind, Program};
+use facile_lang::diag::Diagnostics;
+use std::collections::HashMap;
+
+/// Patterns whose DNF would exceed this many conjunctions are rejected;
+/// real instruction patterns are tiny and this bounds analysis cost.
+const MAX_CONJUNCTIONS: usize = 256;
+
+/// Resolves top-level names and constructs pattern DNFs.
+///
+/// Always returns a table (possibly partial) so later phases can continue
+/// reporting errors; check `diags` for validity.
+pub fn resolve(program: &Program, diags: &mut Diagnostics) -> Symbols {
+    let mut syms = Symbols::default();
+    let mut names: HashMap<&str, facile_lang::span::Span> = HashMap::new();
+    let mut sem_items: Vec<usize> = Vec::new();
+
+    for (item_idx, item) in program.items.iter().enumerate() {
+        // `sem` shares its name with the pattern it implements, so it is
+        // exempt from the global uniqueness check.
+        if !matches!(item, Item::Sem(_)) {
+            let name = &item.name().text;
+            if let Some(&first) = names.get(name.as_str()) {
+                diags.push(
+                    facile_lang::diag::Diagnostic::error(
+                        format!("duplicate definition of `{name}`"),
+                        item.name().span,
+                    )
+                    .with_note(first, "first defined here"),
+                );
+                continue;
+            }
+            names.insert(name, item.name().span);
+        }
+
+        match item {
+            Item::Token(t) => {
+                let token_id = TokenId(syms.tokens.len() as u32);
+                let mut field_ids = Vec::new();
+                for f in &t.fields {
+                    if f.lo > f.hi || f.hi >= t.width {
+                        diags.error(
+                            format!(
+                                "field `{}` range {}:{} is invalid for a {}-bit token",
+                                f.name, f.lo, f.hi, t.width
+                            ),
+                            f.span,
+                        );
+                        continue;
+                    }
+                    if syms.field_by_name.contains_key(&f.name.text) {
+                        diags.error(
+                            format!("duplicate field name `{}` (fields are global)", f.name),
+                            f.name.span,
+                        );
+                        continue;
+                    }
+                    let id = FieldId(syms.fields.len() as u32);
+                    syms.fields.push(FieldInfo {
+                        name: f.name.text.clone(),
+                        token: token_id,
+                        lo: f.lo,
+                        hi: f.hi,
+                        span: f.span,
+                    });
+                    syms.field_by_name.insert(f.name.text.clone(), id);
+                    field_ids.push(id);
+                }
+                syms.tokens.push(TokenInfo {
+                    name: t.name.text.clone(),
+                    width: t.width,
+                    fields: field_ids,
+                    span: t.span,
+                });
+            }
+            Item::Pattern(p) => {
+                let mut token = None;
+                let dnf = pat_dnf(&p.body, &syms, &mut token, diags);
+                let Some(token) = token else {
+                    diags.error(
+                        format!("pattern `{}` constrains no known field", p.name),
+                        p.span,
+                    );
+                    continue;
+                };
+                let id = PatId(syms.pats.len() as u32);
+                syms.pats.push(PatInfo {
+                    name: p.name.text.clone(),
+                    item: item_idx,
+                    token,
+                    dnf,
+                    sem_item: None,
+                    span: p.span,
+                });
+                syms.pat_by_name.insert(p.name.text.clone(), id);
+            }
+            Item::Sem(_) => sem_items.push(item_idx),
+            Item::Global(v) => {
+                let ty = global_type(v, diags);
+                let id = GlobalId(syms.globals.len() as u32);
+                syms.globals.push(GlobalInfo {
+                    name: v.name.text.clone(),
+                    ty,
+                    item: item_idx,
+                    span: v.span,
+                });
+                syms.global_by_name.insert(v.name.text.clone(), id);
+            }
+            Item::Fun(f) => {
+                let params = f
+                    .params
+                    .iter()
+                    .map(|p| (p.name.text.clone(), Type::from_ast(&p.ty)))
+                    .collect();
+                let id = FunId(syms.funs.len() as u32);
+                syms.funs.push(FunInfo {
+                    name: f.name.text.clone(),
+                    params,
+                    ret: None, // inferred by the checker
+                    item: item_idx,
+                    span: f.span,
+                });
+                syms.fun_by_name.insert(f.name.text.clone(), id);
+                if f.name.text == "main" {
+                    syms.main = Some(id);
+                }
+            }
+            Item::ExtFun(f) => {
+                let params: Vec<_> = f
+                    .params
+                    .iter()
+                    .map(|p| (p.name.text.clone(), Type::from_ast(&p.ty)))
+                    .collect();
+                for (p, ast_p) in params.iter().zip(&f.params) {
+                    if !p.1.is_scalar() {
+                        diags.error(
+                            format!(
+                                "external function parameter `{}` must be a scalar, not {}",
+                                p.0, p.1
+                            ),
+                            ast_p.name.span,
+                        );
+                    }
+                }
+                let ret = f.ret.as_ref().map(Type::from_ast);
+                if let Some(r) = ret {
+                    if !r.is_scalar() {
+                        diags.error(
+                            format!("external function return type must be a scalar, not {r}"),
+                            f.span,
+                        );
+                    }
+                }
+                let id = ExtId(syms.exts.len() as u32);
+                syms.exts.push(ExtInfo {
+                    name: f.name.text.clone(),
+                    params,
+                    ret,
+                    item: item_idx,
+                    span: f.span,
+                });
+                syms.ext_by_name.insert(f.name.text.clone(), id);
+            }
+        }
+    }
+
+    // Attach `sem` declarations to their patterns.
+    for item_idx in sem_items {
+        let Item::Sem(s) = &program.items[item_idx] else {
+            unreachable!("collected index is a sem item");
+        };
+        match syms.pat_by_name.get(&s.name.text) {
+            Some(&pid) => {
+                let info = &mut syms.pats[pid.index()];
+                if info.sem_item.is_some() {
+                    diags.error(
+                        format!("duplicate semantics for pattern `{}`", s.name),
+                        s.name.span,
+                    );
+                } else {
+                    info.sem_item = Some(item_idx);
+                }
+            }
+            None => diags.error(
+                format!("semantics `{}` has no matching pattern declaration", s.name),
+                s.name.span,
+            ),
+        }
+    }
+
+    if syms.main.is_none() {
+        diags.error(
+            "program has no `main` step function",
+            facile_lang::span::Span::DUMMY,
+        );
+    }
+
+    syms
+}
+
+fn global_type(v: &ast::ValDecl, _diags: &mut Diagnostics) -> Type {
+    if let Some(ty) = &v.ty {
+        return Type::from_ast(ty);
+    }
+    // Infer from the initializer shape: array(n){...} makes an array;
+    // anything else must be a scalar (streams only via annotation or
+    // stream-typed initializers, which the checker verifies).
+    match v.init.as_ref().map(|e| &e.kind) {
+        Some(ast::ExprKind::ArrayInit { size, .. }) => Type::Array(*size),
+        _ => Type::Int,
+    }
+}
+
+/// Expands a pattern expression to DNF, tracking the (single) token it
+/// constrains.
+fn pat_dnf(
+    expr: &PatExpr,
+    syms: &Symbols,
+    token: &mut Option<TokenId>,
+    diags: &mut Diagnostics,
+) -> Vec<Conjunction> {
+    match &expr.kind {
+        PatExprKind::Or(a, b) => {
+            let mut lhs = pat_dnf(a, syms, token, diags);
+            lhs.extend(pat_dnf(b, syms, token, diags));
+            if lhs.len() > MAX_CONJUNCTIONS {
+                diags.error("pattern is too complex", expr.span);
+                lhs.truncate(MAX_CONJUNCTIONS);
+            }
+            lhs
+        }
+        PatExprKind::And(a, b) => {
+            let lhs = pat_dnf(a, syms, token, diags);
+            let rhs = pat_dnf(b, syms, token, diags);
+            let mut out = Vec::new();
+            for l in &lhs {
+                for r in &rhs {
+                    // Contradictory conjunctions are dropped: they can never
+                    // match, which is exactly what `&&` of incompatible
+                    // equality constraints means.
+                    if let Some(c) = l.and(r) {
+                        out.push(c);
+                    }
+                }
+            }
+            if out.len() > MAX_CONJUNCTIONS {
+                diags.error("pattern is too complex", expr.span);
+                out.truncate(MAX_CONJUNCTIONS);
+            }
+            out
+        }
+        PatExprKind::Cmp { field, eq, value } => {
+            let Some(&fid) = syms.field_by_name.get(&field.text) else {
+                diags.error(format!("unknown field `{field}`"), field.span);
+                return vec![Conjunction::any()];
+            };
+            let info = syms.field(fid);
+            merge_token(token, info.token, field.span, syms, diags);
+            let width = info.width();
+            let max = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let uvalue = *value as u64 & max;
+            if *value < 0 || *value as u64 > max {
+                diags.error(
+                    format!(
+                        "value {value} does not fit in field `{field}` ({width} bits)",
+                    ),
+                    expr.span,
+                );
+            }
+            if *eq {
+                vec![Conjunction {
+                    mask: info.mask(),
+                    value: uvalue << info.lo,
+                    ne: Vec::new(),
+                }]
+            } else {
+                vec![Conjunction {
+                    mask: 0,
+                    value: 0,
+                    ne: vec![(fid, uvalue)],
+                }]
+            }
+        }
+        PatExprKind::Ref(name) => {
+            let Some(&pid) = syms.pat_by_name.get(&name.text) else {
+                diags.error(
+                    format!("unknown pattern `{name}` (patterns must be declared before use)"),
+                    name.span,
+                );
+                return vec![Conjunction::any()];
+            };
+            let info = syms.pat(pid);
+            merge_token(token, info.token, name.span, syms, diags);
+            info.dnf.clone()
+        }
+    }
+}
+
+fn merge_token(
+    token: &mut Option<TokenId>,
+    found: TokenId,
+    span: facile_lang::span::Span,
+    syms: &Symbols,
+    diags: &mut Diagnostics,
+) {
+    match token {
+        None => *token = Some(found),
+        Some(t) if *t == found => {}
+        Some(t) => diags.error(
+            format!(
+                "pattern mixes fields of token `{}` and token `{}`; a pattern must constrain exactly one token",
+                syms.token(*t).name,
+                syms.token(found).name
+            ),
+            span,
+        ),
+    }
+}
+
+/// Whether a conjunction can match any word at all, given its inequality
+/// constraints. Used for overlap warnings.
+pub fn conjunction_satisfiable(c: &Conjunction, syms: &Symbols) -> bool {
+    for &(fid, v) in &c.ne {
+        let f = syms.field(fid);
+        // If every bit of the field is pinned by the equality mask and the
+        // pinned value equals the excluded one, the conjunction is empty.
+        if c.mask & f.mask() == f.mask() && f.extract(c.value) == v {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether two patterns can both match some word (decode ambiguity).
+pub fn patterns_overlap(a: &PatInfo, b: &PatInfo, syms: &Symbols) -> bool {
+    if a.token != b.token {
+        return false;
+    }
+    for ca in &a.dnf {
+        for cb in &b.dnf {
+            if let Some(c) = ca.and(cb) {
+                if conjunction_satisfiable(&c, syms) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_lang::parser::parse;
+
+    fn resolve_src(src: &str) -> (Symbols, Diagnostics) {
+        let mut diags = Diagnostics::new();
+        let prog = parse(src, &mut diags);
+        assert!(!diags.has_errors(), "parse: {}", diags.render_all(src));
+        let syms = resolve(&prog, &mut diags);
+        (syms, diags)
+    }
+
+    const HEADER: &str = "token instr[32] fields op 26:31, rd 21:25, rs1 16:20, i 13:13, fill 5:12;\n";
+
+    fn with_main(body: &str) -> String {
+        format!("{HEADER}{body}\nfun main(pc : stream) {{ }}")
+    }
+
+    #[test]
+    fn collects_tokens_and_fields() {
+        let (syms, diags) = resolve_src(&with_main(""));
+        assert!(!diags.has_errors(), "{}", diags.render_all(""));
+        assert_eq!(syms.tokens.len(), 1);
+        assert_eq!(syms.fields.len(), 5);
+        assert_eq!(syms.field(syms.field_by_name["op"]).width(), 6);
+    }
+
+    #[test]
+    fn simple_equality_pattern() {
+        let (syms, diags) = resolve_src(&with_main("pat add = op==0x2a;"));
+        assert!(!diags.has_errors());
+        let p = syms.pat(syms.pat_by_name["add"]);
+        assert_eq!(p.dnf.len(), 1);
+        assert_eq!(p.dnf[0].mask, 0b111111 << 26);
+        assert_eq!(p.dnf[0].value, 0x2a << 26);
+    }
+
+    #[test]
+    fn paper_add_pattern_dnf() {
+        // pat add = op==0x00 && (i==1 || fill==0)  =>  two conjunctions.
+        let (syms, diags) = resolve_src(&with_main("pat add = op==0x00 && (i==1 || fill==0);"));
+        assert!(!diags.has_errors());
+        let p = syms.pat(syms.pat_by_name["add"]);
+        assert_eq!(p.dnf.len(), 2);
+        let fields = &syms.fields;
+        // First conjunction: op==0 and i==1.
+        assert!(p.dnf[0].matches(1 << 13, fields));
+        // Second: op==0 and fill==0.
+        assert!(p.dnf[1].matches(0, fields));
+        // op!=0 matches neither.
+        assert!(!p.dnf[0].matches(1 << 26, fields));
+        assert!(!p.dnf[1].matches((1 << 26) | (1 << 5), fields));
+    }
+
+    #[test]
+    fn pattern_reference_expands() {
+        let (syms, diags) = resolve_src(&with_main(
+            "pat alu = op==0;\npat add = alu && rd==1;",
+        ));
+        assert!(!diags.has_errors());
+        let p = syms.pat(syms.pat_by_name["add"]);
+        assert_eq!(p.dnf.len(), 1);
+        assert_eq!(p.dnf[0].mask, (0b111111 << 26) | (0b11111 << 21));
+    }
+
+    #[test]
+    fn inequality_constraint() {
+        let (syms, diags) = resolve_src(&with_main("pat notzero = op==0 && rd!=0;"));
+        assert!(!diags.has_errors());
+        let p = syms.pat(syms.pat_by_name["notzero"]);
+        assert_eq!(p.dnf[0].ne.len(), 1);
+        assert!(!p.dnf[0].matches(0, &syms.fields));
+        assert!(p.dnf[0].matches(1 << 21, &syms.fields));
+    }
+
+    #[test]
+    fn contradictory_and_drops_conjunction() {
+        let (syms, diags) = resolve_src(&with_main(
+            "pat a = op==0;\npat b = op==1;\npat both = (a || b) && op==1;",
+        ));
+        assert!(!diags.has_errors());
+        let p = syms.pat(syms.pat_by_name["both"]);
+        // (op==0 && op==1) is dropped; only (op==1 && op==1) remains.
+        assert_eq!(p.dnf.len(), 1);
+        assert_eq!(p.dnf[0].value, 1 << 26);
+    }
+
+    #[test]
+    fn value_too_big_for_field() {
+        let mut diags = Diagnostics::new();
+        let prog = parse(&with_main("pat bad = i==2;"), &mut diags);
+        resolve(&prog, &mut diags);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn unknown_field_is_error() {
+        let mut diags = Diagnostics::new();
+        let prog = parse(&with_main("pat bad = nosuch==1;"), &mut diags);
+        resolve(&prog, &mut diags);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn forward_pattern_reference_is_error() {
+        let mut diags = Diagnostics::new();
+        let prog = parse(&with_main("pat a = later;\npat later = op==1;"), &mut diags);
+        resolve(&prog, &mut diags);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn sem_attaches_to_pattern() {
+        let (syms, diags) = resolve_src(&with_main("pat add = op==0;\nsem add { }"));
+        assert!(!diags.has_errors());
+        assert!(syms.pat(syms.pat_by_name["add"]).sem_item.is_some());
+    }
+
+    #[test]
+    fn orphan_sem_is_error() {
+        let mut diags = Diagnostics::new();
+        let prog = parse(&with_main("sem ghost { }"), &mut diags);
+        resolve(&prog, &mut diags);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn duplicate_sem_is_error() {
+        let mut diags = Diagnostics::new();
+        let prog = parse(
+            &with_main("pat add = op==0;\nsem add { }\nsem add { }"),
+            &mut diags,
+        );
+        resolve(&prog, &mut diags);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn missing_main_is_error() {
+        let mut diags = Diagnostics::new();
+        let prog = parse("val x = 1;", &mut diags);
+        resolve(&prog, &mut diags);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn duplicate_global_is_error() {
+        let mut diags = Diagnostics::new();
+        let prog = parse("val x = 1;\nval x = 2;\nfun main() { }", &mut diags);
+        resolve(&prog, &mut diags);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn global_array_type_inferred_from_initializer() {
+        let (syms, diags) = resolve_src(&with_main("val R = array(32){0};"));
+        assert!(!diags.has_errors());
+        assert_eq!(syms.global(syms.global_by_name["R"]).ty, Type::Array(32));
+    }
+
+    #[test]
+    fn field_out_of_token_range_is_error() {
+        let mut diags = Diagnostics::new();
+        let prog = parse(
+            "token t[16] fields f 10:20;\nfun main() { }",
+            &mut diags,
+        );
+        resolve(&prog, &mut diags);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn overlapping_patterns_detected() {
+        let (syms, _) = resolve_src(&with_main(
+            "pat a = op==0;\npat b = op==0 && rd==1;\npat c = op==1;",
+        ));
+        let a = syms.pat(syms.pat_by_name["a"]).clone();
+        let b = syms.pat(syms.pat_by_name["b"]).clone();
+        let c = syms.pat(syms.pat_by_name["c"]).clone();
+        assert!(patterns_overlap(&a, &b, &syms));
+        assert!(!patterns_overlap(&a, &c, &syms));
+        assert!(!patterns_overlap(&b, &c, &syms));
+    }
+
+    #[test]
+    fn ne_makes_conjunction_unsatisfiable() {
+        let (syms, _) = resolve_src(&with_main("pat a = rd==3;\npat b = rd!=3;"));
+        let a = syms.pat(syms.pat_by_name["a"]).clone();
+        let b = syms.pat(syms.pat_by_name["b"]).clone();
+        assert!(!patterns_overlap(&a, &b, &syms));
+    }
+
+    #[test]
+    fn ext_fun_queue_param_rejected() {
+        let mut diags = Diagnostics::new();
+        let prog = parse("ext fun f(q : queue);\nfun main() { }", &mut diags);
+        resolve(&prog, &mut diags);
+        assert!(diags.has_errors());
+    }
+}

@@ -1,0 +1,434 @@
+//! Symbol tables: the named entities of a Facile program.
+//!
+//! Name resolution collects every top-level declaration into typed tables
+//! indexed by small integer ids. Later phases (type checking, lowering,
+//! binding-time analysis) refer to entities by id, never by string.
+
+use facile_lang::ast;
+use facile_lang::span::Span;
+use std::collections::HashMap;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a usable index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a `token` declaration.
+    TokenId
+);
+define_id!(
+    /// Identifies a bit field within a token.
+    FieldId
+);
+define_id!(
+    /// Identifies a `pat` declaration.
+    PatId
+);
+define_id!(
+    /// Identifies a global `val`.
+    GlobalId
+);
+define_id!(
+    /// Identifies a `fun` declaration.
+    FunId
+);
+define_id!(
+    /// Identifies an `ext fun` declaration.
+    ExtId
+);
+
+/// The semantic type of a Facile value or variable.
+///
+/// `bool` in source is an alias for [`Type::Int`]; the language is
+/// deliberately loose about int/bool, like the C-flavoured original.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer (also used for booleans and raw f64 bits).
+    Int,
+    /// A position in the simulated target's text segment.
+    Stream,
+    /// Fixed-size integer array.
+    Array(u32),
+    /// Double-ended integer queue.
+    Queue,
+}
+
+impl Type {
+    /// Whether the type is a scalar (fits in one value).
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Type::Int | Type::Stream)
+    }
+
+    /// Converts a syntactic type annotation.
+    pub fn from_ast(ty: &ast::TypeExpr) -> Type {
+        match ty.kind {
+            ast::TypeExprKind::Int | ast::TypeExprKind::Bool => Type::Int,
+            ast::TypeExprKind::Stream => Type::Stream,
+            ast::TypeExprKind::Array(n) => Type::Array(n),
+            ast::TypeExprKind::Queue => Type::Queue,
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Stream => f.write_str("stream"),
+            Type::Array(n) => write!(f, "array({n})"),
+            Type::Queue => f.write_str("queue"),
+        }
+    }
+}
+
+/// A resolved `token` declaration.
+#[derive(Clone, Debug)]
+pub struct TokenInfo {
+    /// Token name.
+    pub name: String,
+    /// Width in bits (1..=64).
+    pub width: u32,
+    /// Fields declared inside this token.
+    pub fields: Vec<FieldId>,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A resolved bit field.
+#[derive(Clone, Debug)]
+pub struct FieldInfo {
+    /// Field name (globally unique across tokens).
+    pub name: String,
+    /// Owning token.
+    pub token: TokenId,
+    /// Least significant bit, inclusive.
+    pub lo: u32,
+    /// Most significant bit, inclusive.
+    pub hi: u32,
+    /// Declaration site.
+    pub span: Span,
+}
+
+impl FieldInfo {
+    /// Width of the field in bits.
+    pub fn width(&self) -> u32 {
+        self.hi - self.lo + 1
+    }
+
+    /// Bit mask of the field within its token word (unshifted value bits
+    /// shifted into position).
+    pub fn mask(&self) -> u64 {
+        let w = self.width();
+        let ones = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        ones << self.lo
+    }
+
+    /// Extracts this field's value from a raw token word.
+    pub fn extract(&self, word: u64) -> u64 {
+        (word & self.mask()) >> self.lo
+    }
+}
+
+/// A resolved `pat` declaration.
+#[derive(Clone, Debug)]
+pub struct PatInfo {
+    /// Pattern name.
+    pub name: String,
+    /// Index of the declaration in `Program::items`.
+    pub item: usize,
+    /// The token this pattern constrains (every pattern constrains exactly
+    /// one token; checked during resolution).
+    pub token: TokenId,
+    /// Disjunctive normal form of the constraint.
+    pub dnf: Vec<Conjunction>,
+    /// The `sem` declaration attached to this pattern, if any
+    /// (index into `Program::items`).
+    pub sem_item: Option<usize>,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// One conjunction of field constraints: `mask/value` plus inequalities.
+///
+/// A token word `w` matches iff `w & mask == value` and for every `(f, v)`
+/// in `ne`, field `f` of `w` differs from `v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conjunction {
+    /// Bits constrained by equality tests.
+    pub mask: u64,
+    /// Required values of the constrained bits.
+    pub value: u64,
+    /// Inequality constraints `(field, excluded value)`.
+    pub ne: Vec<(FieldId, u64)>,
+}
+
+impl Conjunction {
+    /// The unconstrained conjunction (matches everything).
+    pub fn any() -> Self {
+        Conjunction {
+            mask: 0,
+            value: 0,
+            ne: Vec::new(),
+        }
+    }
+
+    /// Whether a raw token word satisfies this conjunction.
+    pub fn matches(&self, word: u64, fields: &[FieldInfo]) -> bool {
+        if word & self.mask != self.value {
+            return false;
+        }
+        self.ne
+            .iter()
+            .all(|&(f, v)| fields[f.index()].extract(word) != v)
+    }
+
+    /// Conjoins two conjunctions; `None` if the equality parts contradict.
+    pub fn and(&self, other: &Conjunction) -> Option<Conjunction> {
+        let common = self.mask & other.mask;
+        if self.value & common != other.value & common {
+            return None;
+        }
+        let mut ne = self.ne.clone();
+        for c in &other.ne {
+            if !ne.contains(c) {
+                ne.push(*c);
+            }
+        }
+        Some(Conjunction {
+            mask: self.mask | other.mask,
+            value: self.value | other.value,
+            ne,
+        })
+    }
+}
+
+/// A resolved global variable.
+#[derive(Clone, Debug)]
+pub struct GlobalInfo {
+    /// Variable name.
+    pub name: String,
+    /// Its type.
+    pub ty: Type,
+    /// Index of the declaration in `Program::items`.
+    pub item: usize,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A resolved `fun` declaration.
+#[derive(Clone, Debug)]
+pub struct FunInfo {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, Type)>,
+    /// Return type; `None` for procedures.
+    pub ret: Option<Type>,
+    /// Index of the declaration in `Program::items`.
+    pub item: usize,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A resolved `ext fun` declaration.
+#[derive(Clone, Debug)]
+pub struct ExtInfo {
+    /// External function name.
+    pub name: String,
+    /// Parameter names and types (scalars only).
+    pub params: Vec<(String, Type)>,
+    /// Return type; `None` for procedures.
+    pub ret: Option<Type>,
+    /// Index of the declaration in `Program::items`.
+    pub item: usize,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// All symbol tables of a resolved program.
+#[derive(Clone, Debug, Default)]
+pub struct Symbols {
+    /// Token declarations.
+    pub tokens: Vec<TokenInfo>,
+    /// Bit fields, across all tokens.
+    pub fields: Vec<FieldInfo>,
+    /// Pattern declarations.
+    pub pats: Vec<PatInfo>,
+    /// Global variables.
+    pub globals: Vec<GlobalInfo>,
+    /// User functions.
+    pub funs: Vec<FunInfo>,
+    /// External functions.
+    pub exts: Vec<ExtInfo>,
+    /// Field lookup by name.
+    pub field_by_name: HashMap<String, FieldId>,
+    /// Pattern lookup by name.
+    pub pat_by_name: HashMap<String, PatId>,
+    /// Global lookup by name.
+    pub global_by_name: HashMap<String, GlobalId>,
+    /// Function lookup by name.
+    pub fun_by_name: HashMap<String, FunId>,
+    /// External function lookup by name.
+    pub ext_by_name: HashMap<String, ExtId>,
+    /// The step function, if declared.
+    pub main: Option<FunId>,
+}
+
+impl Symbols {
+    /// The field table entry for `id`.
+    pub fn field(&self, id: FieldId) -> &FieldInfo {
+        &self.fields[id.index()]
+    }
+
+    /// The pattern table entry for `id`.
+    pub fn pat(&self, id: PatId) -> &PatInfo {
+        &self.pats[id.index()]
+    }
+
+    /// The global table entry for `id`.
+    pub fn global(&self, id: GlobalId) -> &GlobalInfo {
+        &self.globals[id.index()]
+    }
+
+    /// The function table entry for `id`.
+    pub fn fun(&self, id: FunId) -> &FunInfo {
+        &self.funs[id.index()]
+    }
+
+    /// The external-function table entry for `id`.
+    pub fn ext(&self, id: ExtId) -> &ExtInfo {
+        &self.exts[id.index()]
+    }
+
+    /// The token table entry for `id`.
+    pub fn token(&self, id: TokenId) -> &TokenInfo {
+        &self.tokens[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(lo: u32, hi: u32) -> FieldInfo {
+        FieldInfo {
+            name: "f".into(),
+            token: TokenId(0),
+            lo,
+            hi,
+            span: Span::DUMMY,
+        }
+    }
+
+    #[test]
+    fn field_mask_and_extract() {
+        let f = field(26, 31);
+        assert_eq!(f.width(), 6);
+        assert_eq!(f.mask(), 0b111111 << 26);
+        assert_eq!(f.extract(0x2Bu64 << 26), 0x2B);
+        assert_eq!(f.extract(0xFFFF), 0);
+    }
+
+    #[test]
+    fn single_bit_field() {
+        let f = field(13, 13);
+        assert_eq!(f.width(), 1);
+        assert_eq!(f.extract(1 << 13), 1);
+        assert_eq!(f.extract(!(1u64 << 13)), 0);
+    }
+
+    #[test]
+    fn full_width_field() {
+        let f = field(0, 63);
+        assert_eq!(f.mask(), u64::MAX);
+        assert_eq!(f.extract(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn conjunction_matches() {
+        let fields = vec![field(0, 3)];
+        let c = Conjunction {
+            mask: 0xF0,
+            value: 0x20,
+            ne: vec![(FieldId(0), 5)],
+        };
+        assert!(c.matches(0x21, &fields));
+        assert!(!c.matches(0x25, &fields)); // field 0..3 == 5 excluded
+        assert!(!c.matches(0x31, &fields)); // high nibble wrong
+    }
+
+    #[test]
+    fn conjunction_and_compatible() {
+        let a = Conjunction {
+            mask: 0xF0,
+            value: 0x20,
+            ne: vec![],
+        };
+        let b = Conjunction {
+            mask: 0x0F,
+            value: 0x03,
+            ne: vec![(FieldId(0), 1)],
+        };
+        let c = a.and(&b).expect("compatible");
+        assert_eq!(c.mask, 0xFF);
+        assert_eq!(c.value, 0x23);
+        assert_eq!(c.ne.len(), 1);
+    }
+
+    #[test]
+    fn conjunction_and_contradiction() {
+        let a = Conjunction {
+            mask: 0xF0,
+            value: 0x20,
+            ne: vec![],
+        };
+        let b = Conjunction {
+            mask: 0xF0,
+            value: 0x30,
+            ne: vec![],
+        };
+        assert!(a.and(&b).is_none());
+    }
+
+    #[test]
+    fn conjunction_and_dedups_ne() {
+        let a = Conjunction {
+            mask: 0,
+            value: 0,
+            ne: vec![(FieldId(0), 1)],
+        };
+        let c = a.and(&a).unwrap();
+        assert_eq!(c.ne.len(), 1);
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(Conjunction::any().matches(u64::MAX, &[]));
+        assert!(Conjunction::any().matches(0, &[]));
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::Array(32).to_string(), "array(32)");
+        assert_eq!(Type::Queue.to_string(), "queue");
+        assert_eq!(Type::Stream.to_string(), "stream");
+    }
+}

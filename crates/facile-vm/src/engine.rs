@@ -1,0 +1,331 @@
+//! The simulation driver: mode switching between the two engines,
+//! capacity policy, and the public run API.
+//!
+//! This is Figure 1 of the paper as a state machine:
+//!
+//! ```text
+//!           ┌────────────── action-cache hit (INDEX link) ───────────┐
+//!           ▼                                                        │
+//!   slow/complete ── records actions ──► specialized action cache ──►│
+//!           ▲                                                 fast/residual
+//!           └──── miss (recovery) / unknown next key ◄───────────────┘
+//! ```
+
+use crate::fast::{fast_run, FastOutcome};
+use crate::recovery::recover;
+use crate::slow::{slow_step, Position, Recording, StepOutcome};
+use crate::state::{ExtFn, MachineState, Store};
+use facile_codegen::CompiledStep;
+use facile_ir::ir::Loc;
+use facile_runtime::cache::{ActionCache, Cursor, NodeId};
+use facile_runtime::key::{Key, KeyReader, KeyWriter};
+use facile_runtime::{CacheStats, Engine, HaltReason, SimStats, Target};
+use facile_sema::Type;
+
+/// An initial value for one `main` parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgValue {
+    /// An `int`/`stream` key component.
+    Scalar(i64),
+    /// A `queue` key component.
+    Queue(Vec<i64>),
+}
+
+/// Simulator construction options.
+#[derive(Clone, Debug)]
+pub struct SimOptions {
+    /// Enable fast-forwarding (memoization). Off reproduces the paper's
+    /// "without memoization" builds: only the slow simulator runs, with no
+    /// recording overhead.
+    pub memoize: bool,
+    /// Action-cache capacity in bytes; the cache clears when it fills
+    /// (§6.2 used 256 MB). `None` = unbounded.
+    pub cache_capacity: Option<u64>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            memoize: true,
+            cache_capacity: None,
+        }
+    }
+}
+
+/// Errors surfaced by the driver API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// `bind_external` named a function the program never declared.
+    UnknownExternal(String),
+    /// The initial arguments do not match `main`'s parameters.
+    BadArguments(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownExternal(n) => write!(f, "unknown external function `{n}`"),
+            SimError::BadArguments(m) => write!(f, "bad initial arguments: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+enum Mode {
+    /// Run a slow step for this key.
+    Slow(Key),
+    /// Replay from this node (entry key attached).
+    Fast(NodeId, Key),
+    /// Resume slow execution mid-step after a recovery.
+    SlowResume(Position),
+    /// Simulation over.
+    Done,
+}
+
+/// A running fast-forwarding simulation.
+pub struct Simulation {
+    step: CompiledStep,
+    st: MachineState,
+    cache: ActionCache,
+    cursor: Cursor,
+    mode: Mode,
+    memoize: bool,
+}
+
+impl Simulation {
+    /// Creates a simulation of `step` over `target`, with `main`'s first
+    /// arguments given by `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadArguments`] when `args` do not match
+    /// `main`'s parameter list.
+    pub fn new(
+        step: CompiledStep,
+        target: Target,
+        args: &[ArgValue],
+        options: SimOptions,
+    ) -> Result<Simulation, SimError> {
+        if args.len() != step.param_types.len() {
+            return Err(SimError::BadArguments(format!(
+                "main takes {} parameter(s), got {}",
+                step.param_types.len(),
+                args.len()
+            )));
+        }
+        let mut w = KeyWriter::new();
+        for (a, t) in args.iter().zip(&step.param_types) {
+            match (a, t) {
+                (ArgValue::Scalar(v), Type::Int | Type::Stream) => w.scalar(*v),
+                (ArgValue::Queue(vals), Type::Queue) => w.queue(vals),
+                (a, t) => {
+                    return Err(SimError::BadArguments(format!(
+                        "argument {a:?} does not match parameter type {t}"
+                    )))
+                }
+            }
+        }
+        let key = w.finish();
+        let cache = match options.cache_capacity {
+            Some(cap) => ActionCache::with_capacity(cap),
+            None => ActionCache::new(),
+        };
+        let st = MachineState::new(&step.ir, target);
+        Ok(Simulation {
+            cursor: Cursor::AtEntry(key.clone()),
+            mode: Mode::Slow(key),
+            memoize: options.memoize,
+            step,
+            st,
+            cache,
+        })
+    }
+
+    /// Binds a Rust closure to a declared `ext fun`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownExternal`] if `name` was not declared.
+    pub fn bind_external(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&[i64]) -> i64 + 'static,
+    ) -> Result<(), SimError> {
+        let idx = self
+            .step
+            .ir
+            .ext_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| SimError::UnknownExternal(name.to_owned()))?;
+        self.st.externals[idx] = Box::new(f) as ExtFn;
+        Ok(())
+    }
+
+    /// Runs until the target halts or `max_steps` simulator steps have
+    /// completed. Returns the halt reason if the simulation ended.
+    pub fn run_steps(&mut self, max_steps: u64) -> Option<HaltReason> {
+        let mut steps: u64 = 0;
+        while steps < max_steps {
+            match std::mem::replace(&mut self.mode, Mode::Done) {
+                Mode::Done => {
+                    self.mode = Mode::Done;
+                    return self.st.halted;
+                }
+                Mode::Slow(key) => {
+                    // Hand off to the fast engine when this key was
+                    // already recorded.
+                    if self.memoize {
+                        if let Some(entry) = self.cache.entry(&key) {
+                            self.cache.link_existing(&self.cursor, entry);
+                            self.mode = Mode::Fast(entry, key);
+                            continue;
+                        }
+                        if self.cache.over_capacity() {
+                            self.cache.clear();
+                            self.cursor = Cursor::AtEntry(key.clone());
+                        }
+                    }
+                    self.seed_params(&key);
+                    steps += 1;
+                    self.run_slow_from(Position::entry(&self.step));
+                }
+                Mode::SlowResume(pos) => {
+                    steps += 1;
+                    self.run_slow_from(pos);
+                }
+                Mode::Fast(node, entry_key) => {
+                    let out = fast_run(
+                        &self.step,
+                        &mut self.st,
+                        &mut self.cache,
+                        node,
+                        entry_key,
+                        &mut steps,
+                        max_steps,
+                    );
+                    match out {
+                        FastOutcome::Halted => {
+                            self.mode = Mode::Done;
+                            return self.st.halted;
+                        }
+                        FastOutcome::Budget { node, entry_key } => {
+                            self.mode = Mode::Fast(node, entry_key);
+                            return None;
+                        }
+                        FastOutcome::NeedSlow { key, cursor } => {
+                            self.cursor = cursor;
+                            self.mode = Mode::Slow(key);
+                        }
+                        FastOutcome::Miss {
+                            entry_key,
+                            replayed,
+                            cursor,
+                        } => {
+                            let resume =
+                                recover(&self.step, &mut self.st, &entry_key, &replayed);
+                            self.cursor = cursor;
+                            self.mode = Mode::SlowResume(resume);
+                        }
+                    }
+                }
+            }
+            if self.st.halted.is_some() {
+                self.mode = Mode::Done;
+                return self.st.halted;
+            }
+        }
+        self.st.halted
+    }
+
+    /// Runs one slow step (recording if memoization is on) and updates the
+    /// mode from its outcome.
+    fn run_slow_from(&mut self, pos: Position) {
+        self.st.engine = Engine::Slow;
+        let rec = if self.memoize {
+            Some(Recording {
+                cache: &mut self.cache,
+                cursor: &mut self.cursor,
+            })
+        } else {
+            None
+        };
+        match slow_step(&self.step, &mut self.st, rec, pos) {
+            StepOutcome::Halted => {
+                self.mode = Mode::Done;
+            }
+            StepOutcome::Next(key) => {
+                self.st.stats.slow_steps += 1;
+                self.mode = Mode::Slow(key);
+            }
+        }
+    }
+
+    /// Writes `main`'s parameters into the real state from a key.
+    fn seed_params(&mut self, key: &Key) {
+        let mut r = KeyReader::new(key);
+        let params: Vec<_> = self
+            .step
+            .ir
+            .main
+            .params
+            .iter()
+            .copied()
+            .zip(self.step.param_types.clone())
+            .collect();
+        for (p, t) in params {
+            match t {
+                Type::Queue => {
+                    let vals = r.queue().expect("key matches parameter types");
+                    self.st.agg_mut(Loc::Var(p)).load_values(&vals);
+                }
+                _ => {
+                    let v = r.scalar().expect("key matches parameter types");
+                    self.st.set_reg(p, v);
+                }
+            }
+        }
+    }
+
+    /// Simulation counters so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.st.stats
+    }
+
+    /// Action-cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Values the target emitted via `trace(v)`.
+    pub fn trace(&self) -> &[i64] {
+        &self.st.trace
+    }
+
+    /// Why the simulation halted, if it has.
+    pub fn halted(&self) -> Option<HaltReason> {
+        self.st.halted
+    }
+
+    /// Reads a scalar global by source name (post-halt inspection).
+    ///
+    /// After a halt from the *fast* engine, run-time-static globals may be
+    /// stale (their values live in the action cache, not in storage);
+    /// dynamic state — simulated memory, counters, traces — is always
+    /// exact.
+    pub fn global_scalar(&self, name: &str) -> Option<i64> {
+        let idx = self.step.ir.globals.iter().position(|g| g.name == name)?;
+        Some(self.st.gscalars[idx])
+    }
+
+    /// Read access to simulated data memory.
+    pub fn memory(&self) -> &facile_runtime::Memory {
+        &self.st.target.mem
+    }
+
+    /// The compiled step function driving this simulation.
+    pub fn compiled(&self) -> &CompiledStep {
+        &self.step
+    }
+}

@@ -1,0 +1,112 @@
+//! Shared execution of value instructions.
+//!
+//! The slow engine (on the real state) and miss recovery (on the shadow
+//! state) both interpret IR value instructions; this module is the single
+//! implementation. Arithmetic delegates to `facile_ir::lower::{eval_binop,
+//! eval_unop}` so compiler constant folding, the slow engine and the fast
+//! engine agree bit-for-bit.
+
+use crate::state::Store;
+use facile_ir::ir::{Inst, Loc, Operand, QueueOp};
+use facile_ir::lower::{eval_binop, eval_unop};
+
+/// Evaluates an operand against a store.
+#[inline]
+pub fn ev(op: Operand, s: &impl Store) -> i64 {
+    match op {
+        Operand::Const(c) => c,
+        Operand::Var(v) => s.reg(v),
+    }
+}
+
+/// Executes a *value* instruction (pure state transformations on
+/// registers, globals and aggregates plus token fetches). Returns `false`
+/// for instruction kinds that involve the outside world (memory, external
+/// calls, counters, halts, traces, verify, next, lifts) — the caller
+/// handles those.
+pub fn exec_value_inst(inst: &Inst, s: &mut impl Store) -> bool {
+    match inst {
+        Inst::Bin { op, dst, a, b } => {
+            let r = eval_binop(*op, ev(*a, s), ev(*b, s));
+            s.set_reg(*dst, r);
+        }
+        Inst::Un { op, dst, a } => {
+            let r = eval_unop(*op, ev(*a, s));
+            s.set_reg(*dst, r);
+        }
+        Inst::Copy { dst, src } => {
+            let r = ev(*src, s);
+            s.set_reg(*dst, r);
+        }
+        Inst::LoadGlobal { dst, g } => {
+            let r = s.gscalar(*g);
+            s.set_reg(*dst, r);
+        }
+        Inst::StoreGlobal { g, src } => {
+            let r = ev(*src, s);
+            s.set_gscalar(*g, r);
+        }
+        Inst::ElemGet { dst, agg, idx } => {
+            let i = ev(*idx, s);
+            let r = elem_get(s, *agg, i);
+            s.set_reg(*dst, r);
+        }
+        Inst::ElemSet { agg, idx, src } => {
+            let i = ev(*idx, s);
+            let v = ev(*src, s);
+            elem_set(s, *agg, i, v);
+        }
+        Inst::AggCopy { dst, src } => {
+            s.agg_copy(*dst, *src);
+        }
+        Inst::ArrFill { arr, fill } => {
+            let v = ev(*fill, s);
+            s.agg_mut(*arr).fill(v);
+        }
+        Inst::Queue { op, q, args, dst } => {
+            let a0 = args[0].map(|a| ev(a, s)).unwrap_or(0);
+            let a1 = args[1].map(|a| ev(a, s)).unwrap_or(0);
+            let r = s.agg_mut(*q).queue_op(*op, a0, a1);
+            if let Some(d) = dst {
+                s.set_reg(*d, r);
+            }
+        }
+        Inst::FetchToken { dst, stream, .. } => {
+            // Width resolved by the caller-independent convention: the
+            // store fetches little-endian at the address; the bit width
+            // comes from the instruction's token. Callers pass it via
+            // `fetch_bits` (see `exec_fetch`).
+            let _ = (dst, stream);
+            return false;
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// Executes a `FetchToken` with an explicit width.
+pub fn exec_fetch(dst: facile_ir::ir::VarId, stream: Operand, bits: u32, s: &mut impl Store) {
+    let addr = ev(stream, s);
+    let w = s.fetch_token(addr, bits);
+    s.set_reg(dst, w);
+}
+
+/// Queue-aware element read shared by ElemGet on arrays and queues.
+fn elem_get(s: &impl Store, loc: Loc, idx: i64) -> i64 {
+    s.agg(loc).get(idx)
+}
+
+fn elem_set(s: &mut impl Store, loc: Loc, idx: i64, v: i64) {
+    match s.agg_mut(loc) {
+        crate::state::AggStorage::Array(a) => {
+            if idx >= 0 {
+                if let Some(slot) = a.get_mut(idx as usize) {
+                    *slot = v;
+                }
+            }
+        }
+        q @ crate::state::AggStorage::Queue(_) => {
+            q.queue_op(QueueOp::Set, idx, v);
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The fast/residual simulator (paper Figure 9).
+//!
+//! Replays recorded actions: reads action numbers by following cache
+//! links, consumes run-time-static placeholder data, executes the dynamic
+//! ops, verifies dynamic result tests, and chains across step boundaries
+//! through INDEX actions. A missing successor is an *action-cache miss*
+//! and hands control back to the slow simulator.
+
+use crate::state::{MachineState, Store};
+use facile_codegen::{ActionKind, CompiledStep, FOp, FOperand, KeyPlanArg};
+use facile_ir::lower::{eval_binop, eval_unop};
+use facile_runtime::cache::{ActionCache, Cursor, NodeId};
+use facile_runtime::key::{Key, KeyWriter};
+use facile_runtime::{Engine, HaltReason};
+
+/// One replayed action, pushed onto the recovery stack (paper §4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Replayed {
+    /// The action number.
+    pub action: u32,
+    /// For dynamic result tests: the value the fast engine computed.
+    pub value: Option<i64>,
+}
+
+/// Why the fast engine returned.
+#[derive(Debug)]
+pub enum FastOutcome {
+    /// Mid-entry action-cache miss: recovery is required.
+    Miss {
+        /// Key of the entry being replayed (recovers the step's inputs).
+        entry_key: Key,
+        /// Actions replayed since the entry, including the missing one.
+        replayed: Vec<Replayed>,
+        /// Where the slow engine should attach new recordings.
+        cursor: Cursor,
+    },
+    /// INDEX reached a key with no cached entry: a clean step boundary;
+    /// the slow simulator takes over with no recovery.
+    NeedSlow {
+        /// The next step's key.
+        key: Key,
+        /// Cursor for the new entry's recording.
+        cursor: Cursor,
+    },
+    /// The simulation halted during replay.
+    Halted,
+    /// The step budget ran out; resume from this node later.
+    Budget {
+        /// Node to resume at.
+        node: NodeId,
+        /// Its entry key.
+        entry_key: Key,
+    },
+}
+
+/// Replays from `node` (the entry node for `entry_key`) until a miss,
+/// halt or budget exhaustion. `steps` is incremented at each INDEX
+/// crossing and replay stops when it reaches `max_steps`.
+pub fn fast_run(
+    step: &CompiledStep,
+    st: &mut MachineState,
+    cache: &mut ActionCache,
+    mut node: NodeId,
+    mut entry_key: Key,
+    steps: &mut u64,
+    max_steps: u64,
+) -> FastOutcome {
+    st.engine = Engine::Fast;
+    let mut replayed: Vec<Replayed> = Vec::new();
+    // How to reconstruct the current entry's key on demand: the INDEX
+    // node we crossed, the placeholder offset of its key components, and
+    // the dynamic signature observed at the crossing. `None` means
+    // `entry_key` is already the current entry's key.
+    let mut cur_index: Option<(NodeId, usize, Vec<i64>)> = None;
+
+    loop {
+        let n = cache.node(node);
+        let action = n.action;
+        let code = &step.actions[action as usize];
+        let data: &[i64] = &n.data;
+        let mut ph = 0usize;
+
+        // Execute the dynamic ops.
+        for op in &code.ops {
+            if exec_fop(op, st, data, &mut ph) {
+                return FastOutcome::Halted;
+            }
+        }
+        st.stats.actions_replayed += 1;
+
+        match &code.kind {
+            ActionKind::Plain => {
+                replayed.push(Replayed {
+                    action,
+                    value: None,
+                });
+                match cache.next_plain(node) {
+                    Some(next) => node = next,
+                    None => {
+                        st.stats.misses += 1;
+                        return FastOutcome::Miss {
+                            entry_key: current_entry_key(step, cache, &entry_key, &cur_index),
+                            replayed,
+                            cursor: Cursor::AfterPlain(node),
+                        };
+                    }
+                }
+            }
+            ActionKind::Test { src } => {
+                let v = eval_foperand(*src, st, data, &mut ph);
+                replayed.push(Replayed {
+                    action,
+                    value: Some(v),
+                });
+                match cache.next_test(node, v) {
+                    Some(next) => node = next,
+                    None => {
+                        st.stats.misses += 1;
+                        return FastOutcome::Miss {
+                            entry_key: current_entry_key(step, cache, &entry_key, &cur_index),
+                            replayed,
+                            cursor: Cursor::AfterTest(node, v),
+                        };
+                    }
+                }
+            }
+            ActionKind::Index { plan } => {
+                st.stats.fast_steps += 1;
+                *steps += 1;
+                // Fast path: follow the node-local link keyed by the
+                // dynamic key components — no key serialization.
+                let sig = dynamic_signature(plan, st);
+                match cache.next_index_local(node, &sig) {
+                    Some(next) => {
+                        cur_index = Some((node, ph, sig));
+                        node = next;
+                        replayed.clear();
+                        if *steps >= max_steps {
+                            let entry_key =
+                                current_entry_key(step, cache, &entry_key, &cur_index);
+                            return FastOutcome::Budget { node, entry_key };
+                        }
+                    }
+                    None => {
+                        // Rebuild the full key for a table lookup; link
+                        // the signature locally for future replays.
+                        let key = rebuild_key(plan, st, data, &mut ph);
+                        match cache.entry(&key) {
+                            Some(next) => {
+                                let cursor =
+                                    Cursor::AfterIndex(node, key.clone(), sig);
+                                cache.link_existing(&cursor, next);
+                                node = next;
+                                entry_key = key;
+                                cur_index = None;
+                                replayed.clear();
+                                if *steps >= max_steps {
+                                    return FastOutcome::Budget { node, entry_key };
+                                }
+                            }
+                            None => {
+                                return FastOutcome::NeedSlow {
+                                    cursor: Cursor::AfterIndex(node, key.clone(), sig),
+                                    key,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn eval_foperand(op: FOperand, st: &MachineState, data: &[i64], ph: &mut usize) -> i64 {
+    match op {
+        FOperand::Reg(v) => st.reg(v),
+        FOperand::Imm(c) => c,
+        FOperand::Ph => {
+            let v = data[*ph];
+            *ph += 1;
+            v
+        }
+    }
+}
+
+/// Executes one fast op. Returns `true` when the op halted the
+/// simulation.
+fn exec_fop(op: &FOp, st: &mut MachineState, data: &[i64], ph: &mut usize) -> bool {
+    macro_rules! e {
+        ($x:expr) => {
+            eval_foperand($x, st, data, ph)
+        };
+    }
+    match op {
+        FOp::Bin { op, dst, a, b } => {
+            let a = e!(*a);
+            let b = e!(*b);
+            let r = eval_binop(*op, a, b);
+            st.set_reg(*dst, r);
+        }
+        FOp::Un { op, dst, a } => {
+            let a = e!(*a);
+            st.set_reg(*dst, eval_unop(*op, a));
+        }
+        FOp::Copy { dst, src } => {
+            let v = e!(*src);
+            st.set_reg(*dst, v);
+        }
+        FOp::LoadGlobal { dst, g } => {
+            let v = st.gscalar(*g);
+            st.set_reg(*dst, v);
+        }
+        FOp::StoreGlobal { g, src } => {
+            let v = e!(*src);
+            st.set_gscalar(*g, v);
+        }
+        FOp::ElemGet { dst, agg, idx } => {
+            let i = e!(*idx);
+            let v = st.agg(*agg).get(i);
+            st.set_reg(*dst, v);
+        }
+        FOp::ElemSet { agg, idx, src } => {
+            let i = e!(*idx);
+            let v = e!(*src);
+            st.agg_mut(*agg).set(i, v);
+        }
+        FOp::AggCopy { dst, src } => {
+            st.agg_copy(*dst, *src);
+        }
+        FOp::ArrFill { arr, fill } => {
+            let v = e!(*fill);
+            st.agg_mut(*arr).fill(v);
+        }
+        FOp::Queue { op, q, args, dst } => {
+            let a0 = args[0].map(|a| e!(a)).unwrap_or(0);
+            let a1 = args[1].map(|a| e!(a)).unwrap_or(0);
+            let r = st.agg_mut(*q).queue_op(*op, a0, a1);
+            if let Some(d) = dst {
+                st.set_reg(*d, r);
+            }
+        }
+        FOp::FetchToken { dst, stream, bits } => {
+            let a = e!(*stream);
+            let w = st.fetch_token(a, *bits);
+            st.set_reg(*dst, w);
+        }
+        FOp::CallExt { ext, args, dst } => {
+            let vals: Vec<i64> = args.iter().map(|&a| e!(a)).collect();
+            let r = st.call_ext(ext.index(), &vals);
+            if let Some(d) = dst {
+                st.set_reg(*d, r);
+            }
+        }
+        FOp::MemLoad { width, dst, addr } => {
+            let a = e!(*addr) as u64;
+            let v = st.target.mem.load(a, width.bytes() as u32) as i64;
+            st.set_reg(*dst, v);
+        }
+        FOp::MemStore { width, addr, src } => {
+            let a = e!(*addr) as u64;
+            let v = e!(*src) as u64;
+            st.target.mem.store(a, width.bytes() as u32, v);
+        }
+        FOp::CountCycles { n } => {
+            let v = e!(*n).max(0) as u64;
+            st.stats.count_cycles(v);
+        }
+        FOp::CountInsns { n } => {
+            let v = e!(*n).max(0) as u64;
+            let engine = st.engine;
+            st.stats.count_insns(engine, v);
+        }
+        FOp::Halt { code } => {
+            let c = e!(*code);
+            st.halted = Some(HaltReason::from_code(c));
+            return true;
+        }
+        FOp::Trace { v } => {
+            let val = e!(*v);
+            st.push_trace(val);
+        }
+        FOp::LiftVar { dst } => {
+            let v = data[*ph];
+            *ph += 1;
+            st.set_reg(*dst, v);
+        }
+        FOp::LiftGlobal { g } => {
+            let v = data[*ph];
+            *ph += 1;
+            st.set_gscalar(*g, v);
+        }
+        FOp::LiftAgg { loc } => {
+            let len = data[*ph] as usize;
+            *ph += 1;
+            let vals = &data[*ph..*ph + len];
+            *ph += len;
+            st.agg_mut(*loc).load_values(vals);
+        }
+    }
+    false
+}
+
+/// Materializes the current entry key: either the one passed in, or a
+/// rebuild from the last INDEX crossing's node data + dynamic signature.
+fn current_entry_key(
+    step: &CompiledStep,
+    cache: &ActionCache,
+    entry_key: &Key,
+    cur_index: &Option<(NodeId, usize, Vec<i64>)>,
+) -> Key {
+    match cur_index {
+        None => entry_key.clone(),
+        Some((node, ph_pos, sig)) => {
+            let n = cache.node(*node);
+            let ActionKind::Index { plan } = &step.actions[n.action as usize].kind else {
+                unreachable!("index crossing recorded a non-index node");
+            };
+            let mut w = KeyWriter::new();
+            let mut ph = *ph_pos;
+            let mut si = 0usize;
+            for arg in plan {
+                match arg {
+                    KeyPlanArg::ScalarRt => {
+                        w.scalar(n.data[ph]);
+                        ph += 1;
+                    }
+                    KeyPlanArg::QueueRt => {
+                        let len = n.data[ph] as usize;
+                        ph += 1;
+                        w.queue(&n.data[ph..ph + len]);
+                        ph += len;
+                    }
+                    KeyPlanArg::ScalarDyn(_) => {
+                        w.scalar(sig[si]);
+                        si += 1;
+                    }
+                    KeyPlanArg::QueueDyn(_) => {
+                        let len = sig[si] as usize;
+                        w.queue(&sig[si + 1..si + 1 + len]);
+                        si += 1 + len;
+                    }
+                }
+            }
+            w.finish()
+        }
+    }
+}
+
+/// Collects the dynamic key components (the node-local link signature).
+fn dynamic_signature(plan: &[KeyPlanArg], st: &MachineState) -> Vec<i64> {
+    let mut sig: Vec<i64> = Vec::new();
+    for arg in plan {
+        match arg {
+            KeyPlanArg::ScalarDyn(op) => {
+                let mut zero = 0usize;
+                sig.push(eval_foperand(*op, st, &[], &mut zero));
+            }
+            KeyPlanArg::QueueDyn(loc) => {
+                let agg = st.agg(*loc);
+                sig.push(agg.len() as i64);
+                sig.extend(agg.iter());
+            }
+            _ => {}
+        }
+    }
+    sig
+}
+
+/// Rebuilds the next step's key from the INDEX plan.
+fn rebuild_key(
+    plan: &[KeyPlanArg],
+    st: &MachineState,
+    data: &[i64],
+    ph: &mut usize,
+) -> Key {
+    let mut w = KeyWriter::new();
+    for arg in plan {
+        match arg {
+            KeyPlanArg::ScalarRt => {
+                w.scalar(data[*ph]);
+                *ph += 1;
+            }
+            KeyPlanArg::ScalarDyn(op) => {
+                let v = eval_foperand(*op, st, data, ph);
+                w.scalar(v);
+            }
+            KeyPlanArg::QueueRt => {
+                let len = data[*ph] as usize;
+                *ph += 1;
+                let vals = &data[*ph..*ph + len];
+                *ph += len;
+                w.queue(vals);
+            }
+            KeyPlanArg::QueueDyn(loc) => {
+                let vals: Vec<i64> = st.agg(*loc).iter().collect();
+                w.queue(&vals);
+            }
+        }
+    }
+    w.finish()
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! The Facile execution engines.
+//!
+//! A compiled step function ([`facile_codegen::CompiledStep`]) runs here
+//! under the fast-forwarding regime of the paper:
+//!
+//! * [`slow`] — the slow/complete simulator: interprets the annotated IR,
+//!   recording dynamic actions into the specialized action cache.
+//! * [`fast`] — the fast/residual simulator: replays recorded actions,
+//!   verifying dynamic result tests.
+//! * [`recovery`] — action-cache miss recovery via shadow re-execution of
+//!   the run-time-static slice (the paper's §6.3 optimization 2: a
+//!   dedicated recovery engine with the dynamic guards compiled out).
+//! * [`engine::Simulation`] — the driver tying them together, with the
+//!   clear-on-full capacity policy of §6.2.
+//!
+//! Both engines share one [`state::MachineState`]; the fast engine's
+//! dynamic register writes are directly visible to the slow engine after
+//! a miss, which is how dynamic data crosses the engine boundary.
+//!
+//! # Examples
+//!
+//! ```
+//! use facile_lang::{parser::parse, diag::Diagnostics};
+//! use facile_sema::analyze as sema;
+//! use facile_ir::lower::lower;
+//! use facile_codegen::{compile, CodegenConfig};
+//! use facile_vm::engine::{ArgValue, SimOptions, Simulation};
+//! use facile_runtime::{Image, Target};
+//!
+//! let src = r#"
+//!     fun main(x : int) {
+//!         count_insns(1);
+//!         if (x == 0) { sim_halt(); }
+//!         next(x - 1);
+//!     }
+//! "#;
+//! let mut diags = Diagnostics::new();
+//! let program = parse(src, &mut diags);
+//! let syms = sema(&program, &mut diags);
+//! let ir = lower(&program, &syms, &mut diags).unwrap();
+//! let step = compile(ir, &CodegenConfig::default());
+//! let target = Target::load(&Image::default());
+//! let mut sim = Simulation::new(step, target, &[ArgValue::Scalar(10)],
+//!                               SimOptions::default()).unwrap();
+//! sim.run_steps(1_000);
+//! assert_eq!(sim.stats().insns, 11);
+//! ```
+
+pub mod engine;
+pub mod exec;
+pub mod fast;
+pub mod recovery;
+pub mod slow;
+pub mod state;
+
+pub use engine::{ArgValue, SimError, SimOptions, Simulation};
+pub use state::{AggStorage, ExtFn, MachineState};

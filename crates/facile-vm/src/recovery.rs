@@ -1,0 +1,290 @@
+//! Miss recovery (paper §2.1, §4.3).
+//!
+//! When the fast simulator hits an action-cache miss mid-entry, dynamic
+//! state has already advanced past the start of the step, so the slow
+//! simulator cannot simply restart. The paper's recovery re-runs the slow
+//! simulator in a mode where dynamic statements are guarded off and
+//! dynamic result tests read the values the fast simulator pushed onto a
+//! *recovery stack*; §6.3 (optimization 2) proposes compiling this mode as
+//! a separate function.
+//!
+//! This module implements that separate recovery engine: it re-executes
+//! only the run-time-static slice of the step — on a fresh
+//! [`ShadowState`], reading nothing from the real state — steering
+//! through dynamic result tests with the recorded values. When the
+//! recovery stack is exhausted (the miss point), every shadow slot that is
+//! run-time static *at that point* is committed to the real state, and
+//! normal slow execution resumes there. Dynamic slots keep the values the
+//! fast engine wrote, which is exactly the paper's hand-off of dynamic
+//! data through shared storage.
+
+use crate::exec::{exec_fetch, exec_value_inst};
+use crate::fast::Replayed;
+use crate::slow::Position;
+use crate::state::{AggLayout, AggStorage, MachineState, ShadowState, Store};
+use facile_codegen::{Closes, CompiledStep, Resume};
+use facile_ir::ir::{Inst, Loc, Terminator, VarKind};
+use facile_runtime::key::{Key, KeyReader};
+use facile_sema::Type;
+
+/// Mutable views of the real state's value slots, split from the layout
+/// and target so the shadow can share the latter.
+struct RealSlots<'a> {
+    regs: &'a mut [i64],
+    var_aggs: &'a mut [AggStorage],
+    gscalars: &'a mut [i64],
+    gaggs: &'a mut [AggStorage],
+    layout: &'a AggLayout,
+}
+
+impl RealSlots<'_> {
+    fn agg_mut(&mut self, loc: Loc) -> &mut AggStorage {
+        match loc {
+            Loc::Var(v) => &mut self.var_aggs[self.layout.var_slot[v.index()] as usize],
+            Loc::Global(g) => &mut self.gaggs[self.layout.global_slot[g.index()] as usize],
+        }
+    }
+}
+
+/// Re-executes the run-time-static slice and commits it; returns where
+/// normal slow execution resumes.
+///
+/// # Panics
+///
+/// Panics if the recovery stack disagrees with the recorded action
+/// numbers — that would mean the two engines were generated from
+/// different programs (the consistency check the paper calls "useful to
+/// ensure that the fast and slow simulators communicate correctly").
+pub fn recover(
+    step: &CompiledStep,
+    st: &mut MachineState,
+    entry_key: &Key,
+    replayed: &[Replayed],
+) -> Position {
+    assert!(!replayed.is_empty(), "recovery needs at least the miss action");
+    let MachineState {
+        ref mut regs,
+        ref mut var_aggs,
+        ref mut gscalars,
+        ref mut gaggs,
+        ref layout,
+        ref target,
+        ..
+    } = *st;
+    let mut real = RealSlots {
+        regs,
+        var_aggs,
+        gscalars,
+        gaggs,
+        layout,
+    };
+    let mut shadow = ShadowState::new(layout, target, &step.ir);
+    seed_params(step, &mut shadow, entry_key);
+
+    let mut block = step.ir.main.entry;
+    let mut ii = 0usize;
+    let mut item = 0usize; // next recovery-stack index
+    // The action of the most recently consumed item, while its group is
+    // still open.
+    let mut current: Option<Replayed> = None;
+
+    loop {
+        let b = &step.ir.main.blocks[block.index()];
+        let annots = &step.blocks[block.index()];
+        while ii < b.insts.len() {
+            let inst = &b.insts[ii];
+            let annot = &annots.insts[ii];
+            if annot.dynamic {
+                if let Some(a) = annot.action_start {
+                    let r = replayed
+                        .get(item)
+                        .unwrap_or_else(|| panic!("recovery stack underflow at action {a}"));
+                    assert_eq!(
+                        r.action, a,
+                        "recovery stack action mismatch: recorded {a}, stack has {}",
+                        r.action
+                    );
+                    current = Some(*r);
+                    item += 1;
+                }
+                match annot.closes {
+                    Some(Closes::Verify) => {
+                        let r = current.take().expect("verify closes an open group");
+                        let v = r.value.expect("verify actions record their value");
+                        if let Inst::Verify { dst, .. } = inst {
+                            shadow.set_reg(*dst, v);
+                        }
+                        if item == replayed.len() {
+                            // The miss action: commit and resume after it.
+                            commit(step, &mut real, &shadow, r.action);
+                            let Resume::AtInst { block, inst } =
+                                step.actions[r.action as usize].resume
+                            else {
+                                unreachable!("verify resumes at the next instruction")
+                            };
+                            return Position {
+                                block,
+                                inst: inst as usize,
+                            };
+                        }
+                    }
+                    Some(Closes::Index) => {
+                        unreachable!("INDEX misses are clean boundaries, not recoveries")
+                    }
+                    None => {}
+                }
+                // Dynamic effects were already applied by the fast engine.
+            } else {
+                if !exec_value_inst(inst, &mut shadow) {
+                    match inst {
+                        Inst::FetchToken { dst, stream, token } => exec_fetch(
+                            *dst,
+                            *stream,
+                            step.ir.token_widths[token.index()],
+                            &mut shadow,
+                        ),
+                        other => {
+                            unreachable!("instruction labeled rt-static is not a value op: {other}")
+                        }
+                    }
+                }
+            }
+            ii += 1;
+        }
+
+        // Block end: a plain group that closes here may be the miss point.
+        if annots.term_action.is_none() {
+            if let Some(r) = current.take() {
+                if item == replayed.len() {
+                    commit(step, &mut real, &shadow, r.action);
+                    return Position {
+                        block,
+                        inst: b.insts.len(),
+                    };
+                }
+            }
+        }
+
+        match &b.term {
+            Terminator::Jump(t) => {
+                block = *t;
+                ii = 0;
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let v = if let Some(a) = annots.term_action {
+                    let r = take_term_item(replayed, &mut item, &mut current, a);
+                    let v = r.value.expect("test actions record their value");
+                    if item == replayed.len() {
+                        commit(step, &mut real, &shadow, a);
+                        return Position {
+                            block: if v != 0 { *then_bb } else { *else_bb },
+                            inst: 0,
+                        };
+                    }
+                    v
+                } else {
+                    crate::exec::ev(*cond, &shadow)
+                };
+                block = if v != 0 { *then_bb } else { *else_bb };
+                ii = 0;
+            }
+            Terminator::Switch {
+                val,
+                cases,
+                default,
+            } => {
+                let v = if let Some(a) = annots.term_action {
+                    let r = take_term_item(replayed, &mut item, &mut current, a);
+                    let v = r.value.expect("test actions record their value");
+                    if item == replayed.len() {
+                        commit(step, &mut real, &shadow, a);
+                        let target = cases
+                            .iter()
+                            .find(|(c, _)| *c == v)
+                            .map(|&(_, t)| t)
+                            .unwrap_or(*default);
+                        return Position {
+                            block: target,
+                            inst: 0,
+                        };
+                    }
+                    v
+                } else {
+                    crate::exec::ev(*val, &shadow)
+                };
+                block = cases
+                    .iter()
+                    .find(|(c, _)| *c == v)
+                    .map(|&(_, t)| t)
+                    .unwrap_or(*default);
+                ii = 0;
+            }
+            Terminator::Return => {
+                unreachable!("recovery walked past the recorded actions")
+            }
+        }
+    }
+}
+
+/// Consumes the recovery item for a dynamic terminator. The item is the
+/// open group's (if the terminator closed an open action) or a fresh one.
+fn take_term_item(
+    replayed: &[Replayed],
+    item: &mut usize,
+    current: &mut Option<Replayed>,
+    action: u32,
+) -> Replayed {
+    if let Some(r) = current.take() {
+        assert_eq!(r.action, action, "terminator closes its own group");
+        return r;
+    }
+    let r = replayed
+        .get(*item)
+        .unwrap_or_else(|| panic!("recovery stack underflow at terminator action {action}"));
+    assert_eq!(r.action, action, "recovery stack terminator mismatch");
+    *item += 1;
+    *r
+}
+
+/// Writes `main`'s parameters into the shadow from the entry key.
+fn seed_params(step: &CompiledStep, shadow: &mut ShadowState<'_>, key: &Key) {
+    let mut r = KeyReader::new(key);
+    for (p, t) in step.ir.main.params.iter().zip(&step.param_types) {
+        match t {
+            Type::Queue => {
+                let vals = r.queue().expect("key decodes per the parameter types");
+                shadow.agg_mut(Loc::Var(*p)).load_values(&vals);
+            }
+            _ => {
+                let v = r.scalar().expect("key decodes per the parameter types");
+                shadow.set_reg(*p, v);
+            }
+        }
+    }
+}
+
+/// Copies every slot that is run-time static (and live) after `action`
+/// from the shadow to the real state.
+fn commit(step: &CompiledStep, real: &mut RealSlots<'_>, shadow: &ShadowState<'_>, action: u32) {
+    let code = &step.actions[action as usize];
+    for &v in code.known_vars_after.iter() {
+        real.regs[v.index()] = shadow.reg(v);
+    }
+    for &v in code.known_aggs_after.iter() {
+        let src = shadow.agg(Loc::Var(v));
+        real.agg_mut(Loc::Var(v)).copy_from(src);
+    }
+    for &g in code.known_globals_after.iter() {
+        match step.ir.globals[g.index()].kind() {
+            VarKind::Scalar => real.gscalars[g.index()] = shadow.gscalar(g),
+            _ => {
+                let src = shadow.agg(Loc::Global(g));
+                real.agg_mut(Loc::Global(g)).copy_from(src);
+            }
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Machine state shared by both engines.
+//!
+//! There is exactly one authoritative simulation state. The slow engine
+//! computes everything on it; the fast engine applies only dynamic
+//! effects (run-time-static state is implicit in the recorded
+//! placeholders); miss recovery recomputes the run-time-static slice on a
+//! separate [`ShadowState`] and commits it back. Because both engines use
+//! the *same* variable numbering, dynamic values written by the fast
+//! engine are directly visible when the slow engine takes over — the
+//! paper's "dynamic data to be passed from the fast simulator to the slow
+//! simulator" (§3.2).
+
+use facile_ir::ir::{GlobalInit, IrProgram, Loc, QueueOp, VarId, VarKind};
+use facile_runtime::{Engine, HaltReason, SimStats, Target};
+use facile_sema::GlobalId;
+use std::collections::VecDeque;
+
+/// Storage of one aggregate (array or queue).
+#[derive(Clone, Debug)]
+pub enum AggStorage {
+    /// Fixed-size array.
+    Array(Vec<i64>),
+    /// Double-ended queue.
+    Queue(VecDeque<i64>),
+}
+
+impl AggStorage {
+    /// Element at `idx` (0 when out of range — the language's total
+    /// semantics).
+    pub fn get(&self, idx: i64) -> i64 {
+        let i = idx as usize;
+        match self {
+            AggStorage::Array(v) => v.get(i).copied().unwrap_or(0),
+            AggStorage::Queue(q) => {
+                if idx < 0 {
+                    0
+                } else {
+                    q.get(i).copied().unwrap_or(0)
+                }
+            }
+        }
+    }
+
+    /// Sets element `idx` (ignored when out of range).
+    pub fn set(&mut self, idx: i64, val: i64) {
+        if idx < 0 {
+            return;
+        }
+        let i = idx as usize;
+        match self {
+            AggStorage::Array(v) => {
+                if let Some(slot) = v.get_mut(i) {
+                    *slot = val;
+                }
+            }
+            AggStorage::Queue(q) => {
+                if let Some(slot) = q.get_mut(i) {
+                    *slot = val;
+                }
+            }
+        }
+    }
+
+    /// Executes a queue operation; `None` result for effect-only ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if applied to an array.
+    pub fn queue_op(&mut self, op: QueueOp, a0: i64, a1: i64) -> i64 {
+        let AggStorage::Queue(q) = self else {
+            debug_assert!(false, "queue op on array");
+            return 0;
+        };
+        match op {
+            QueueOp::PushBack => {
+                q.push_back(a0);
+                0
+            }
+            QueueOp::PushFront => {
+                q.push_front(a0);
+                0
+            }
+            QueueOp::PopBack => q.pop_back().unwrap_or(0),
+            QueueOp::PopFront => q.pop_front().unwrap_or(0),
+            QueueOp::Len => q.len() as i64,
+            QueueOp::Get => {
+                if a0 < 0 {
+                    0
+                } else {
+                    q.get(a0 as usize).copied().unwrap_or(0)
+                }
+            }
+            QueueOp::Set => {
+                if a0 >= 0 {
+                    if let Some(slot) = q.get_mut(a0 as usize) {
+                        *slot = a1;
+                    }
+                }
+                0
+            }
+            QueueOp::Clear => {
+                q.clear();
+                0
+            }
+            QueueOp::Front => q.front().copied().unwrap_or(0),
+            QueueOp::Back => q.back().copied().unwrap_or(0),
+        }
+    }
+
+    /// Copies contents from `src` (same kind).
+    pub fn copy_from(&mut self, src: &AggStorage) {
+        match (self, src) {
+            (AggStorage::Array(d), AggStorage::Array(s)) => {
+                d.clear();
+                d.extend_from_slice(s);
+            }
+            (AggStorage::Queue(d), AggStorage::Queue(s)) => {
+                d.clear();
+                d.extend(s.iter().copied());
+            }
+            _ => debug_assert!(false, "aggregate kind mismatch in copy"),
+        }
+    }
+
+    /// Fills an array with `v` (queues: replaces contents is not defined;
+    /// debug-panics).
+    pub fn fill(&mut self, v: i64) {
+        match self {
+            AggStorage::Array(a) => a.iter_mut().for_each(|x| *x = v),
+            AggStorage::Queue(_) => debug_assert!(false, "fill on queue"),
+        }
+    }
+
+    /// Iterates the elements in order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = i64> + '_> {
+        match self {
+            AggStorage::Array(a) => Box::new(a.iter().copied()),
+            AggStorage::Queue(q) => Box::new(q.iter().copied()),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            AggStorage::Array(a) => a.len(),
+            AggStorage::Queue(q) => q.len(),
+        }
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replaces contents with `vals` (queue) or writes prefix (array).
+    pub fn load_values(&mut self, vals: &[i64]) {
+        match self {
+            AggStorage::Array(a) => {
+                for (slot, v) in a.iter_mut().zip(vals.iter().chain(std::iter::repeat(&0))) {
+                    *slot = *v;
+                }
+            }
+            AggStorage::Queue(q) => {
+                q.clear();
+                q.extend(vals.iter().copied());
+            }
+        }
+    }
+}
+
+/// Read/write access to registers, globals, aggregates and target text —
+/// the subset of state that run-time-static code touches. Implemented by
+/// both the real [`MachineState`] and the recovery [`ShadowState`].
+pub trait Store {
+    /// Reads a scalar register.
+    fn reg(&self, v: VarId) -> i64;
+    /// Writes a scalar register.
+    fn set_reg(&mut self, v: VarId, val: i64);
+    /// Reads a scalar global.
+    fn gscalar(&self, g: GlobalId) -> i64;
+    /// Writes a scalar global.
+    fn set_gscalar(&mut self, g: GlobalId, val: i64);
+    /// Mutable access to an aggregate.
+    fn agg_mut(&mut self, loc: Loc) -> &mut AggStorage;
+    /// Shared access to an aggregate.
+    fn agg(&self, loc: Loc) -> &AggStorage;
+    /// Fetches a token word from the (immutable) target text.
+    fn fetch_token(&self, addr: i64, bits: u32) -> i64;
+    /// Copies one aggregate onto another (handles the aliasing borrow).
+    fn agg_copy(&mut self, dst: Loc, src: Loc) {
+        if dst == src {
+            return;
+        }
+        let snapshot = self.agg(src).clone();
+        self.agg_mut(dst).copy_from(&snapshot);
+    }
+}
+
+/// An external (Rust) function callable from Facile.
+pub type ExtFn = Box<dyn FnMut(&[i64]) -> i64>;
+
+/// Maps variables/globals to aggregate slots.
+#[derive(Clone, Debug)]
+pub struct AggLayout {
+    /// Per-variable slot into the variable aggregate pool (`u32::MAX` for
+    /// scalars).
+    pub var_slot: Vec<u32>,
+    /// Per-global slot into the global aggregate pool.
+    pub global_slot: Vec<u32>,
+}
+
+impl AggLayout {
+    /// Builds the layout and initial pools for `ir`.
+    pub fn new(ir: &IrProgram) -> (AggLayout, Vec<AggStorage>, Vec<AggStorage>) {
+        let mut var_slot = vec![u32::MAX; ir.main.vars.len()];
+        let mut var_pool = Vec::new();
+        for (i, v) in ir.main.vars.iter().enumerate() {
+            match v.kind {
+                VarKind::Scalar => {}
+                VarKind::Array(n) => {
+                    var_slot[i] = var_pool.len() as u32;
+                    var_pool.push(AggStorage::Array(vec![0; n as usize]));
+                }
+                VarKind::Queue => {
+                    var_slot[i] = var_pool.len() as u32;
+                    var_pool.push(AggStorage::Queue(VecDeque::new()));
+                }
+            }
+        }
+        let mut global_slot = vec![u32::MAX; ir.globals.len()];
+        let mut global_pool = Vec::new();
+        for (i, g) in ir.globals.iter().enumerate() {
+            match g.init {
+                GlobalInit::Scalar(_) => {}
+                GlobalInit::Array { size, fill } => {
+                    global_slot[i] = global_pool.len() as u32;
+                    global_pool.push(AggStorage::Array(vec![fill; size as usize]));
+                }
+                GlobalInit::Queue => {
+                    global_slot[i] = global_pool.len() as u32;
+                    global_pool.push(AggStorage::Queue(VecDeque::new()));
+                }
+            }
+        }
+        (
+            AggLayout {
+                var_slot,
+                global_slot,
+            },
+            var_pool,
+            global_pool,
+        )
+    }
+}
+
+/// The authoritative simulation state.
+pub struct MachineState {
+    /// Scalar registers, one per IR variable.
+    pub regs: Vec<i64>,
+    /// Aggregate storage for aggregate variables.
+    pub var_aggs: Vec<AggStorage>,
+    /// Scalar global values.
+    pub gscalars: Vec<i64>,
+    /// Aggregate storage for aggregate globals.
+    pub gaggs: Vec<AggStorage>,
+    /// Slot layout shared with the shadow state.
+    pub layout: AggLayout,
+    /// The loaded target (text + data memory).
+    pub target: Target,
+    /// Simulation counters.
+    pub stats: SimStats,
+    /// Which engine is currently executing (for attribution).
+    pub engine: Engine,
+    /// Set when the simulation has stopped.
+    pub halted: Option<HaltReason>,
+    /// Values emitted by `trace(v)` (capped; see `trace_dropped`).
+    pub trace: Vec<i64>,
+    /// Number of trace values dropped after the cap.
+    pub trace_dropped: u64,
+    /// Bound external functions, indexed by `ExtId`.
+    pub externals: Vec<ExtFn>,
+}
+
+/// Maximum retained trace values.
+const TRACE_CAP: usize = 1 << 20;
+
+impl MachineState {
+    /// Creates the state for a compiled program over a loaded target.
+    /// External functions start unbound (calls return 0 and count).
+    pub fn new(ir: &IrProgram, target: Target) -> Self {
+        let (layout, var_aggs, gaggs) = AggLayout::new(ir);
+        let gscalars = ir
+            .globals
+            .iter()
+            .map(|g| match g.init {
+                GlobalInit::Scalar(v) => v,
+                _ => 0,
+            })
+            .collect();
+        let externals = ir
+            .ext_names
+            .iter()
+            .map(|_| Box::new(|_: &[i64]| 0i64) as ExtFn)
+            .collect();
+        MachineState {
+            regs: vec![0; ir.main.vars.len()],
+            var_aggs,
+            gscalars,
+            gaggs,
+            layout,
+            target,
+            stats: SimStats::default(),
+            engine: Engine::Slow,
+            halted: None,
+            trace: Vec::new(),
+            trace_dropped: 0,
+            externals,
+        }
+    }
+
+    /// Emits a trace value.
+    pub fn push_trace(&mut self, v: i64) {
+        if self.trace.len() < TRACE_CAP {
+            self.trace.push(v);
+        } else {
+            self.trace_dropped += 1;
+        }
+    }
+
+    /// Calls external `ext` with `args`.
+    pub fn call_ext(&mut self, ext: usize, args: &[i64]) -> i64 {
+        self.stats.ext_calls += 1;
+        (self.externals[ext])(args)
+    }
+}
+
+impl Store for MachineState {
+    fn reg(&self, v: VarId) -> i64 {
+        self.regs[v.index()]
+    }
+    fn set_reg(&mut self, v: VarId, val: i64) {
+        self.regs[v.index()] = val;
+    }
+    fn gscalar(&self, g: GlobalId) -> i64 {
+        self.gscalars[g.index()]
+    }
+    fn set_gscalar(&mut self, g: GlobalId, val: i64) {
+        self.gscalars[g.index()] = val;
+    }
+    fn agg_mut(&mut self, loc: Loc) -> &mut AggStorage {
+        match loc {
+            Loc::Var(v) => &mut self.var_aggs[self.layout.var_slot[v.index()] as usize],
+            Loc::Global(g) => &mut self.gaggs[self.layout.global_slot[g.index()] as usize],
+        }
+    }
+    fn agg(&self, loc: Loc) -> &AggStorage {
+        match loc {
+            Loc::Var(v) => &self.var_aggs[self.layout.var_slot[v.index()] as usize],
+            Loc::Global(g) => &self.gaggs[self.layout.global_slot[g.index()] as usize],
+        }
+    }
+    fn fetch_token(&self, addr: i64, bits: u32) -> i64 {
+        self.target.fetch_token(addr as u64, bits) as i64
+    }
+}
+
+/// Recovery shadow: same shapes as the machine, plus a borrowed target
+/// for token fetches. Run-time-static recomputation happens here; the
+/// commit copies known slots back to the real state (see
+/// `facile-vm::recovery`).
+pub struct ShadowState<'a> {
+    /// Shadow registers.
+    pub regs: Vec<i64>,
+    /// Shadow aggregate pool (variables).
+    pub var_aggs: Vec<AggStorage>,
+    /// Shadow scalar globals.
+    pub gscalars: Vec<i64>,
+    /// Shadow aggregate pool (globals).
+    pub gaggs: Vec<AggStorage>,
+    /// Shared layout.
+    pub layout: &'a AggLayout,
+    /// The target, for run-time-static token fetches.
+    pub target: &'a Target,
+}
+
+impl<'a> ShadowState<'a> {
+    /// Builds a shadow with fresh storage shaped like `ir`, sharing the
+    /// real state's layout and target.
+    pub fn new(layout: &'a AggLayout, target: &'a Target, ir: &IrProgram) -> Self {
+        let (_, var_aggs, gaggs) = AggLayout::new(ir);
+        ShadowState {
+            regs: vec![0; ir.main.vars.len()],
+            var_aggs,
+            gscalars: vec![0; ir.globals.len()],
+            gaggs,
+            layout,
+            target,
+        }
+    }
+}
+
+impl Store for ShadowState<'_> {
+    fn reg(&self, v: VarId) -> i64 {
+        self.regs[v.index()]
+    }
+    fn set_reg(&mut self, v: VarId, val: i64) {
+        self.regs[v.index()] = val;
+    }
+    fn gscalar(&self, g: GlobalId) -> i64 {
+        self.gscalars[g.index()]
+    }
+    fn set_gscalar(&mut self, g: GlobalId, val: i64) {
+        self.gscalars[g.index()] = val;
+    }
+    fn agg_mut(&mut self, loc: Loc) -> &mut AggStorage {
+        match loc {
+            Loc::Var(v) => &mut self.var_aggs[self.layout.var_slot[v.index()] as usize],
+            Loc::Global(g) => &mut self.gaggs[self.layout.global_slot[g.index()] as usize],
+        }
+    }
+    fn agg(&self, loc: Loc) -> &AggStorage {
+        match loc {
+            Loc::Var(v) => &self.var_aggs[self.layout.var_slot[v.index()] as usize],
+            Loc::Global(g) => &self.gaggs[self.layout.global_slot[g.index()] as usize],
+        }
+    }
+    fn fetch_token(&self, addr: i64, bits: u32) -> i64 {
+        self.target.fetch_token(addr as u64, bits) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_array_get_set_bounds() {
+        let mut a = AggStorage::Array(vec![0; 4]);
+        a.set(2, 7);
+        assert_eq!(a.get(2), 7);
+        assert_eq!(a.get(9), 0);
+        a.set(9, 1); // ignored
+        assert_eq!(a.len(), 4);
+        a.set(-1, 5); // ignored
+        assert_eq!(a.get(-1), 0);
+    }
+
+    #[test]
+    fn agg_queue_ops() {
+        let mut q = AggStorage::Queue(VecDeque::new());
+        assert_eq!(q.queue_op(QueueOp::PopFront, 0, 0), 0);
+        q.queue_op(QueueOp::PushBack, 1, 0);
+        q.queue_op(QueueOp::PushBack, 2, 0);
+        q.queue_op(QueueOp::PushFront, 0, 0);
+        assert_eq!(q.queue_op(QueueOp::Len, 0, 0), 3);
+        assert_eq!(q.queue_op(QueueOp::Front, 0, 0), 0);
+        assert_eq!(q.queue_op(QueueOp::Back, 0, 0), 2);
+        assert_eq!(q.queue_op(QueueOp::Get, 1, 0), 1);
+        q.queue_op(QueueOp::Set, 1, 9);
+        assert_eq!(q.queue_op(QueueOp::Get, 1, 0), 9);
+        assert_eq!(q.queue_op(QueueOp::PopBack, 0, 0), 2);
+        assert_eq!(q.queue_op(QueueOp::PopFront, 0, 0), 0);
+        q.queue_op(QueueOp::Clear, 0, 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn agg_copy_and_load() {
+        let mut a = AggStorage::Array(vec![1, 2, 3]);
+        let b = AggStorage::Array(vec![9, 9, 9]);
+        a.copy_from(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![9, 9, 9]);
+        a.load_values(&[5]);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![5, 0, 0]);
+
+        let mut q = AggStorage::Queue(VecDeque::new());
+        q.load_values(&[1, 2]);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Targeted tests of the miss-recovery machinery: multi-fork test nodes,
+//! repeated misses within one entry, lifts across recoveries, and
+//! recovery interaction with queue keys.
+
+use facile_codegen::{compile, CodegenConfig};
+use facile_ir::lower::lower;
+use facile_lang::diag::Diagnostics;
+use facile_lang::parser::parse;
+use facile_runtime::{Image, Target};
+use facile_sema::analyze as sema;
+use facile_vm::engine::{ArgValue, SimOptions, Simulation};
+
+fn build(src: &str) -> facile_codegen::CompiledStep {
+    let mut diags = Diagnostics::new();
+    let prog = parse(src, &mut diags);
+    let syms = sema(&prog, &mut diags);
+    assert!(!diags.has_errors(), "{}", diags.render_all(src));
+    let ir = lower(&prog, &syms, &mut diags).expect("lowers");
+    compile(ir, &CodegenConfig::default())
+}
+
+fn new_sim(src: &str, args: &[ArgValue], memoize: bool) -> Simulation {
+    Simulation::new(
+        build(src),
+        Target::load(&Image::default()),
+        args,
+        SimOptions {
+            memoize,
+            cache_capacity: None,
+        },
+    )
+    .unwrap()
+}
+
+/// Two verifies per step, each with several possible outcomes, so one
+/// entry accumulates a fan-out tree and misses happen at both depths.
+#[test]
+fn two_verifies_per_step_fork_independently() {
+    let src = "ext fun a(x : int) : int;
+               ext fun b(x : int) : int;
+               fun main(k : int) {
+                 count_insns(1);
+                 val c = mem_ld(0);
+                 mem_st(0, c + 1);
+                 val u = a(k)?verify;
+                 val v = b(k + u)?verify;
+                 count_cycles(u * 3 + v);
+                 if (c >= 500) { sim_halt(); }
+                 next(k);
+               }";
+    let bind = |sim: &mut Simulation, seed: u64| {
+        let mut s = seed | 1;
+        sim.bind_external("a", move |_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) % 3) as i64
+        })
+        .unwrap();
+        let mut t = seed.wrapping_add(99) | 1;
+        sim.bind_external("b", move |_| {
+            t = t.wrapping_mul(6364136223846793005).wrapping_add(7);
+            ((t >> 33) % 4) as i64
+        })
+        .unwrap();
+    };
+    let mut fast = new_sim(src, &[ArgValue::Scalar(0)], true);
+    bind(&mut fast, 42);
+    fast.run_steps(10_000);
+    let mut slow = new_sim(src, &[ArgValue::Scalar(0)], false);
+    bind(&mut slow, 42);
+    slow.run_steps(10_000);
+    assert_eq!(fast.stats().cycles, slow.stats().cycles);
+    assert_eq!(fast.stats().insns, slow.stats().insns);
+    // The single key guarantees many misses as the 12 outcome pairs fill
+    // in, then fast steps dominate.
+    assert!(fast.stats().misses >= 5, "{:?}", fast.stats());
+    assert!(fast.stats().fast_steps > fast.stats().slow_steps);
+}
+
+/// A run-time-static accumulator threaded through the key must survive
+/// recovery: the shadow recomputation has to rebuild it exactly.
+#[test]
+fn rt_static_state_survives_recovery() {
+    let src = "ext fun flip(x : int) : int;
+               fun main(acc : int, k : int) {
+                 count_insns(1);
+                 val c = mem_ld(0);
+                 mem_st(0, c + 1);
+                 val t = flip(k)?verify;
+                 val acc2 = acc * 3 + t + k;    // rt-static chain
+                 trace(acc2);
+                 if (c >= 300) { sim_halt(); }
+                 next(acc2 % 1000, (k + 1) % 5);
+               }";
+    let bind = |sim: &mut Simulation| {
+        let mut s = 0x12345u64;
+        sim.bind_external("flip", move |_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2) as i64
+        })
+        .unwrap();
+    };
+    let args = [ArgValue::Scalar(1), ArgValue::Scalar(0)];
+    let mut fast = new_sim(src, &args, true);
+    bind(&mut fast);
+    fast.run_steps(10_000);
+    let mut slow = new_sim(src, &args, false);
+    bind(&mut slow);
+    slow.run_steps(10_000);
+    assert_eq!(fast.trace(), slow.trace(), "rt-static accumulator diverged");
+    assert!(fast.stats().misses > 0);
+}
+
+/// Queue keys rebuilt from entry keys during recovery.
+#[test]
+fn queue_key_recovery() {
+    let src = "ext fun flip(x : int) : int;
+               fun main(q : queue, k : int) {
+                 count_insns(1);
+                 val c = mem_ld(0);
+                 mem_st(0, c + 1);
+                 val t = flip(k)?verify;
+                 q?push_back((k + t) % 7);
+                 if (q?len > 5) { q?pop_front(); }
+                 val sum = 0;
+                 val i = 0;
+                 while (i < q?len) { sum = sum + q?get(i); i = i + 1; }
+                 count_cycles(sum + 1);
+                 trace(sum);
+                 if (c >= 400) { sim_halt(); }
+                 next(q, (k + 1) % 3);
+               }";
+    let bind = |sim: &mut Simulation| {
+        let mut s = 7u64;
+        sim.bind_external("flip", move |_| {
+            s = s.wrapping_mul(48271) % 0x7fffffff;
+            (s % 3) as i64
+        })
+        .unwrap();
+    };
+    let args = [ArgValue::Queue(vec![]), ArgValue::Scalar(0)];
+    let mut fast = new_sim(src, &args, true);
+    bind(&mut fast);
+    fast.run_steps(10_000);
+    let mut slow = new_sim(src, &args, false);
+    bind(&mut slow);
+    slow.run_steps(10_000);
+    assert_eq!(fast.trace(), slow.trace());
+    assert_eq!(fast.stats().cycles, slow.stats().cycles);
+    assert!(fast.stats().misses > 0, "outcome changes should miss");
+}
+
+/// A dynamic switch (multi-way dynamic result test at a terminator).
+#[test]
+fn dynamic_switch_forks_per_case() {
+    let src = "fun main(k : int) {
+                 count_insns(1);
+                 val c = mem_ld(0);
+                 mem_st(0, c + 1);
+                 switch (c % 4) {
+                   case 0: count_cycles(1);
+                   case 1: count_cycles(2);
+                   case 2, 3: count_cycles(5);
+                 }
+                 if (c >= 100) { sim_halt(); }
+                 next(k);
+               }";
+    let mut fast = new_sim(src, &[ArgValue::Scalar(0)], true);
+    fast.run_steps(10_000);
+    let mut slow = new_sim(src, &[ArgValue::Scalar(0)], false);
+    slow.run_steps(10_000);
+    assert_eq!(fast.stats().cycles, slow.stats().cycles);
+    // 0,1,2,3 all observed: at least 3 misses after the first recording.
+    assert!(fast.stats().misses >= 3, "{:?}", fast.stats());
+    assert_eq!(fast.stats().insns, 101);
+}
+
+/// A step whose *first* action is the dynamic branch (empty-ops test
+/// action at a terminator).
+#[test]
+fn leading_dynamic_branch() {
+    let src = "val R = array(2){0};
+               fun main(k : int) {
+                 if (R[0] == 0) { count_cycles(1); } else { count_cycles(7); }
+                 count_insns(1);
+                 R[0] = 1 - R[0];
+                 val c = mem_ld(0);
+                 mem_st(0, c + 1);
+                 if (c >= 50) { sim_halt(); }
+                 next(k);
+               }";
+    let mut fast = new_sim(src, &[ArgValue::Scalar(0)], true);
+    fast.run_steps(10_000);
+    let mut slow = new_sim(src, &[ArgValue::Scalar(0)], false);
+    slow.run_steps(10_000);
+    assert_eq!(fast.stats().cycles, slow.stats().cycles);
+    assert_eq!(fast.stats().insns, slow.stats().insns);
+}
+
+/// Clearing a tiny cache in the middle of fan-out recording must not
+/// corrupt subsequent recordings (generation bump).
+#[test]
+fn tiny_cache_with_forks_is_sound() {
+    let src = "ext fun flip(x : int) : int;
+               fun main(k : int) {
+                 count_insns(1);
+                 val c = mem_ld(0);
+                 mem_st(0, c + 1);
+                 val t = flip(c)?verify;
+                 count_cycles(t + 1);
+                 if (c >= 600) { sim_halt(); }
+                 next((k + t + 1) % 11);
+               }";
+    let bind = |sim: &mut Simulation| {
+        let mut s = 3u64;
+        sim.bind_external("flip", move |_| {
+            s = s.wrapping_mul(1103515245).wrapping_add(12345);
+            ((s >> 16) % 4) as i64
+        })
+        .unwrap();
+    };
+    let run = |memoize, cap| {
+        let mut sim = Simulation::new(
+            build(src),
+            Target::load(&Image::default()),
+            &[ArgValue::Scalar(0)],
+            SimOptions {
+                memoize,
+                cache_capacity: cap,
+            },
+        )
+        .unwrap();
+        bind(&mut sim);
+        sim.run_steps(100_000);
+        (sim.stats().cycles, sim.stats().insns, sim.cache_stats().clears)
+    };
+    let (c_ref, i_ref, _) = run(false, None);
+    let (c_tiny, i_tiny, clears) = run(true, Some(800));
+    assert_eq!((c_tiny, i_tiny), (c_ref, i_ref));
+    assert!(clears > 0, "capacity was never hit");
+}

@@ -1,0 +1,299 @@
+#![warn(missing_docs)]
+
+//! Synthetic SPEC95-shaped TRISC workloads.
+//!
+//! The paper evaluates on the SPEC95 suite, which cannot be redistributed
+//! and would need a SPARC toolchain. What fast-forwarding performance
+//! actually depends on is not *what* a program computes but its
+//! **instruction working set** (how many distinct paths the action cache
+//! must hold) and its **control/data regularity** (how often dynamic
+//! result tests fork). This crate generates one deterministic TRISC
+//! program per SPEC95 benchmark with knobs tuned to the published
+//! per-benchmark memoization profile (paper Tables 1 and 2):
+//!
+//! * `go`/`gcc`-like — large irregular code, data-dependent dispatch over
+//!   many blocks → hundreds of MB of memoized data in the paper; here the
+//!   largest caches of the suite.
+//! * `compress`/`li`/`m88ksim`-like — small hot loops → a few MB.
+//! * FP suite (`tomcatv` … `wave5`) — regular loop nests, modest caches,
+//!   ≥99.97% fast-forwarded.
+//!
+//! Programs are generated as assembly text, assembled by `facile-isa`,
+//! and verified terminating with a checksum `out` so differential tests
+//! across simulators are meaningful.
+
+use facile_isa::asm::assemble_image;
+use facile_runtime::Image;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// A synthetic workload specification.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// SPEC95 benchmark this mimics (e.g. `"099.go"`).
+    pub name: &'static str,
+    /// Integer (true) or floating-point suite.
+    pub integer: bool,
+    /// Number of distinct code blocks the main loop dispatches over —
+    /// the instruction-working-set knob.
+    pub blocks: u32,
+    /// Inner-loop iterations per block visit.
+    pub block_len: u32,
+    /// Data working set in KiB — the cache-behaviour knob.
+    pub data_kb: u32,
+    /// Data-dependent sub-branches per block (0–3) — the
+    /// control-irregularity knob.
+    pub subpaths: u32,
+    /// Default outer iterations (scaled by the generator argument).
+    pub outer: u32,
+}
+
+impl Workload {
+    /// Deterministic seed derived from the benchmark name.
+    fn seed(&self) -> u64 {
+        self.name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            })
+    }
+}
+
+/// The full 18-benchmark suite, in the paper's order (8 integer, 10 FP).
+pub fn suite() -> Vec<Workload> {
+    vec![
+        // Integer: the wide Table 2 spread comes from `blocks`/`subpaths`.
+        Workload { name: "099.go",       integer: true,  blocks: 64, block_len: 8,  data_kb: 512,  subpaths: 2, outer: 14_000 },
+        Workload { name: "124.m88ksim",  integer: true,  blocks: 10, block_len: 10, data_kb: 64,   subpaths: 1, outer: 16_000 },
+        Workload { name: "126.gcc",      integer: true,  blocks: 48, block_len: 7,  data_kb: 1024, subpaths: 2, outer: 14_000 },
+        Workload { name: "129.compress", integer: true,  blocks: 4,  block_len: 12, data_kb: 256,  subpaths: 1, outer: 16_000 },
+        Workload { name: "130.li",       integer: true,  blocks: 8,  block_len: 8,  data_kb: 32,   subpaths: 1, outer: 16_000 },
+        Workload { name: "132.ijpeg",    integer: true,  blocks: 32, block_len: 12, data_kb: 512,  subpaths: 2, outer: 12_000 },
+        Workload { name: "134.perl",     integer: true,  blocks: 32, block_len: 6,  data_kb: 128,  subpaths: 2, outer: 12_000 },
+        Workload { name: "147.vortex",   integer: true,  blocks: 28, block_len: 8,  data_kb: 768,  subpaths: 2, outer: 12_000 },
+        // Floating point: regular loop nests.
+        Workload { name: "101.tomcatv",  integer: false, blocks: 3,  block_len: 20, data_kb: 512,  subpaths: 0, outer: 10_000 },
+        Workload { name: "102.swim",     integer: false, blocks: 4,  block_len: 16, data_kb: 1024, subpaths: 0, outer: 10_000 },
+        Workload { name: "103.su2cor",   integer: false, blocks: 6,  block_len: 14, data_kb: 512,  subpaths: 1, outer: 10_000 },
+        Workload { name: "104.hydro2d",  integer: false, blocks: 6,  block_len: 14, data_kb: 768,  subpaths: 1, outer: 10_000 },
+        Workload { name: "107.mgrid",    integer: false, blocks: 2,  block_len: 24, data_kb: 512,  subpaths: 0, outer: 10_000 },
+        Workload { name: "110.applu",    integer: false, blocks: 4,  block_len: 18, data_kb: 512,  subpaths: 0, outer: 10_000 },
+        Workload { name: "125.turb3d",   integer: false, blocks: 4,  block_len: 16, data_kb: 256,  subpaths: 0, outer: 10_000 },
+        Workload { name: "141.apsi",     integer: false, blocks: 6,  block_len: 12, data_kb: 384,  subpaths: 1, outer: 10_000 },
+        Workload { name: "145.fpppp",    integer: false, blocks: 2,  block_len: 40, data_kb: 64,   subpaths: 0, outer: 8_000 },
+        Workload { name: "146.wave5",    integer: false, blocks: 5,  block_len: 14, data_kb: 640,  subpaths: 1, outer: 10_000 },
+    ]
+}
+
+/// Looks a workload up by (suffix of) its name, e.g. `"gcc"`.
+pub fn by_name(name: &str) -> Option<Workload> {
+    suite()
+        .into_iter()
+        .find(|w| w.name == name || w.name.ends_with(name))
+}
+
+/// Base address of the data working set touched by generated code.
+const DATA_BASE: u64 = 0x10_0000;
+
+/// Generates the assembly text of a workload. `scale` multiplies the
+/// outer iteration count (use small values for quick tests).
+///
+/// Register conventions: r26 = xorshift state, r25 = outer counter,
+/// r24 = dispatch selector, r27 = checksum, r28 = data base,
+/// r23..r20 = scratch, r19 = inner counter, r18 = address cursor,
+/// r15..r10 = block-local values.
+pub fn generate(w: &Workload, scale: f64) -> String {
+    let mut rng = StdRng::seed_from_u64(w.seed());
+    let outer = ((w.outer as f64 * scale).max(1.0)) as i64;
+    let mut s = String::new();
+    let _ = writeln!(s, "; synthetic {} ({}), generated by facile-workloads", w.name,
+        if w.integer { "integer" } else { "fp" });
+    let _ = writeln!(s, "    lui r28, {}", (DATA_BASE >> 16) as i64);
+    let _ = writeln!(s, "    addi r26, r0, {}", rng.gen_range(1000..30000));
+    let _ = writeln!(s, "    addi r27, r0, 0");
+    // The outer count can exceed 16 bits: build it in two steps.
+    let _ = writeln!(s, "    addi r25, r0, {}", outer >> 12);
+    let _ = writeln!(s, "    slli r25, r25, 12");
+    let _ = writeln!(s, "    ori r25, r25, {}", outer & 0xFFF);
+    let _ = writeln!(s, "outer:");
+    // xorshift step on r26.
+    let _ = writeln!(s, "    slli r23, r26, 13");
+    let _ = writeln!(s, "    xor r26, r26, r23");
+    let _ = writeln!(s, "    srli r23, r26, 7");
+    let _ = writeln!(s, "    xor r26, r26, r23");
+    let _ = writeln!(s, "    slli r23, r26, 17");
+    let _ = writeln!(s, "    xor r26, r26, r23");
+    // Dispatch over blocks using selector bits.
+    let nb = w.blocks.max(1);
+    let sel_mask = (nb.next_power_of_two() - 1) as i64;
+    let _ = writeln!(s, "    srli r24, r26, 5");
+    let _ = writeln!(s, "    andi r24, r24, {sel_mask}");
+    for b in 0..nb {
+        let _ = writeln!(s, "    addi r23, r0, {b}");
+        let _ = writeln!(s, "    beq r24, r23, blk{b}");
+    }
+    let _ = writeln!(s, "    jal join ; selector beyond block count");
+    for b in 0..nb {
+        block(&mut s, w, b, &mut rng);
+    }
+    let _ = writeln!(s, "join:");
+    let _ = writeln!(s, "    addi r25, r25, -1");
+    let _ = writeln!(s, "    bne r25, r0, outer");
+    let _ = writeln!(s, "    out r27");
+    let _ = writeln!(s, "    halt");
+    s
+}
+
+fn block(s: &mut String, w: &Workload, b: u32, rng: &mut StdRng) {
+    let _ = writeln!(s, "blk{b}:");
+    let inner = w.block_len.max(1);
+    let stride = [8i64, 16, 24, 40, 64, 72][rng.gen_range(0..6)];
+    let span = (w.data_kb as i64 * 1024 - 64).max(64);
+    let offset = (rng.gen_range(0..span / 2) & !7).min(32000);
+    let _ = writeln!(s, "    addi r19, r0, {inner}");
+    let _ = writeln!(s, "    addi r18, r28, {offset}");
+    let _ = writeln!(s, "blk{b}_loop:");
+    // Memory walk within the working set: load, mix, store back.
+    let _ = writeln!(s, "    ld r15, 0(r18)");
+    if w.integer {
+        int_work(s, rng);
+    } else {
+        fp_work(s, rng);
+    }
+    // Data-dependent sub-branches (control irregularity).
+    for p in 0..w.subpaths {
+        let bit = 1 << rng.gen_range(0..3);
+        let _ = writeln!(s, "    andi r20, r15, {bit}");
+        let _ = writeln!(s, "    beq r20, r0, blk{b}_p{p}");
+        let _ = writeln!(s, "    addi r27, r27, {}", rng.gen_range(1..9));
+        let _ = writeln!(s, "    xor r15, r15, r26");
+        let _ = writeln!(s, "blk{b}_p{p}:");
+    }
+    let _ = writeln!(s, "    st r15, 0(r18)");
+    // Advance the cursor with wraparound inside the working set. The
+    // wrap limit intentionally stays within the 16-bit immediate range,
+    // so very large `data_kb` values express themselves through the
+    // per-block offsets instead.
+    let _ = writeln!(s, "    addi r18, r18, {stride}");
+    let wrap = span.min(30000);
+    let _ = writeln!(s, "    add r21, r28, r0");
+    let _ = writeln!(s, "    addi r21, r21, {wrap}");
+    let _ = writeln!(s, "    blt r18, r21, blk{b}_nw");
+    let _ = writeln!(s, "    add r18, r28, r0");
+    let _ = writeln!(s, "blk{b}_nw:");
+    let _ = writeln!(s, "    addi r19, r19, -1");
+    let _ = writeln!(s, "    bne r19, r0, blk{b}_loop");
+    let _ = writeln!(s, "    jal join");
+}
+
+fn int_work(s: &mut String, rng: &mut StdRng) {
+    let k1 = rng.gen_range(3..1000);
+    let k2 = rng.gen_range(1..15);
+    let _ = writeln!(s, "    addi r14, r15, {k1}");
+    let _ = writeln!(s, "    mul r13, r14, r26");
+    let _ = writeln!(s, "    srai r13, r13, {k2}");
+    let _ = writeln!(s, "    xor r15, r15, r13");
+    let _ = writeln!(s, "    add r27, r27, r14");
+    if rng.gen_bool(0.3) {
+        let _ = writeln!(s, "    div r12, r14, r26");
+        let _ = writeln!(s, "    add r27, r27, r12");
+    }
+}
+
+fn fp_work(s: &mut String, rng: &mut StdRng) {
+    let _ = writeln!(s, "    i2f r14, r15");
+    let _ = writeln!(s, "    i2f r13, r19");
+    let _ = writeln!(s, "    fadd r12, r14, r13");
+    let _ = writeln!(s, "    fmul r11, r12, r14");
+    if rng.gen_bool(0.4) {
+        let _ = writeln!(s, "    fdiv r11, r11, r12");
+    }
+    let _ = writeln!(s, "    f2i r10, r11");
+    let _ = writeln!(s, "    xor r15, r15, r10");
+    let _ = writeln!(s, "    add r27, r27, r10");
+}
+
+/// Assembles a workload into a loadable image. `scale` multiplies the
+/// outer iteration count.
+///
+/// # Panics
+///
+/// Panics if generated assembly fails to assemble — a generator bug, not
+/// an input condition.
+pub fn build_image(w: &Workload, scale: f64) -> Image {
+    let asm = generate(w, scale);
+    assemble_image(&asm, 0x1_0000, vec![])
+        .unwrap_or_else(|e| panic!("workload {} failed to assemble: {e}", w.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_isa::interp::Cpu;
+    use facile_runtime::Target;
+
+    #[test]
+    fn suite_has_eighteen_named_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 18);
+        assert_eq!(s.iter().filter(|w| w.integer).count(), 8);
+        assert!(by_name("gcc").is_some());
+        assert!(by_name("101.tomcatv").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = by_name("go").unwrap();
+        assert_eq!(generate(&w, 0.01), generate(&w, 0.01));
+    }
+
+    #[test]
+    fn all_workloads_assemble_and_terminate() {
+        for w in suite() {
+            let image = build_image(&w, 0.002);
+            let mut target = Target::load(&image);
+            let mut cpu = Cpu::new(&target);
+            cpu.run(&mut target, 50_000_000);
+            assert!(cpu.halted, "{} did not halt", w.name);
+            assert_eq!(cpu.out.len(), 1, "{} emits one checksum", w.name);
+        }
+    }
+
+    #[test]
+    fn checksum_is_reproducible() {
+        let w = by_name("compress").unwrap();
+        let run = || {
+            let image = build_image(&w, 0.01);
+            let mut target = Target::load(&image);
+            let mut cpu = Cpu::new(&target);
+            cpu.run(&mut target, 50_000_000);
+            (cpu.out.clone(), cpu.insns)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scale_controls_instruction_count() {
+        let w = by_name("li").unwrap();
+        let count = |scale| {
+            let image = build_image(&w, scale);
+            let mut target = Target::load(&image);
+            let mut cpu = Cpu::new(&target);
+            cpu.run(&mut target, 100_000_000);
+            assert!(cpu.halted);
+            cpu.insns
+        };
+        let small = count(0.005);
+        let big = count(0.02);
+        assert!(big > small * 2, "big={big} small={small}");
+    }
+
+    #[test]
+    fn code_footprint_tracks_block_knob() {
+        let go = generate(&by_name("go").unwrap(), 1.0);
+        let compress = generate(&by_name("compress").unwrap(), 1.0);
+        assert!(go.lines().count() > 4 * compress.lines().count());
+    }
+}

@@ -1,0 +1,730 @@
+#![warn(missing_docs)]
+
+//! FastSim: a hand-coded memoizing out-of-order simulator.
+//!
+//! The paper's §6.1 baseline is FastSim — fast-forwarding implemented *by
+//! hand* in C, predating the Facile compiler — which demonstrates the
+//! technique's ceiling without DSL or engine-generation overhead. This
+//! crate plays that role natively in Rust:
+//!
+//! * the **pipeline bookkeeping** (the run-time-static part) is memoized:
+//!   each step's effect is cached keyed by the pipeline state — ready
+//!   countdowns, window contents, fetch slot, PC — compressed with the
+//!   same varint keys as `facile-runtime`;
+//! * the **dynamic part** always executes: oracle functional execution
+//!   (direct execution, paper footnote 4), cache probes and branch
+//!   predictor calls, whose results select among cached successors —
+//!   the dynamic result tests;
+//! * on a **miss**, the concrete pipeline state is reconstructed from the
+//!   entry key and the bookkeeping runs in full, recording a new case.
+//!
+//! The timing model is *identical*, step for step, to the Facile `ooo.fac`
+//! simulator (same component configurations, same call order), so the two
+//! cross-validate: equal cycle counts on equal programs. Like the paper's
+//! FastSim, memoization changes speed, never results.
+
+use facile_arch::bpred::{BranchPredictor, Btb, Gshare};
+use facile_arch::cache::Hierarchy;
+use facile_isa::interp::Cpu;
+use facile_isa::isa::{Insn, InsnClass, Opcode};
+use facile_runtime::key::{varint_len, zigzag, Key, KeyReader, KeyWriter};
+use facile_runtime::{Image, Target};
+use std::collections::{HashMap, VecDeque};
+
+const WINDOW: usize = 32;
+const FETCH_W: i64 = 4;
+const MISPRED_PENALTY: i64 = 6;
+
+/// Concrete pipeline state — the run-time-static data of one step, and
+/// (serialized) the memoization key. The layout mirrors `ooo.fac`'s
+/// `next(wd, woff1, woff2, wlat, wst, wcls, slot, pc)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipeState {
+    /// Per register: distance from the window back to its last in-flight
+    /// writer (0 = none; clamped at 33).
+    pub wd: [i64; 32],
+    /// Per window entry: producer offset of source 1 (0 = ready).
+    pub woff1: VecDeque<i64>,
+    /// Per window entry: producer offset of source 2.
+    pub woff2: VecDeque<i64>,
+    /// Per window entry: remaining execution latency.
+    pub wlat: VecDeque<i64>,
+    /// Per window entry: 0 waiting, 1 executing, 2 done.
+    pub wst: VecDeque<i64>,
+    /// Per window entry: functional-unit class (0 int, 1 mem, 2 fp).
+    pub wcls: VecDeque<i64>,
+    /// Fetch slot within the current cycle (4-wide fetch).
+    pub slot: i64,
+    /// Next PC.
+    pub pc: u64,
+}
+
+impl PipeState {
+    /// The reset state at `entry`.
+    pub fn new(entry: u64) -> PipeState {
+        PipeState {
+            wd: [0; 32],
+            woff1: VecDeque::new(),
+            woff2: VecDeque::new(),
+            wlat: VecDeque::new(),
+            wst: VecDeque::new(),
+            wcls: VecDeque::new(),
+            slot: 0,
+            pc: entry,
+        }
+    }
+
+    /// Serializes to a memoization key.
+    pub fn key(&self) -> Key {
+        let mut w = KeyWriter::new();
+        w.queue(&self.wd);
+        for q in [&self.woff1, &self.woff2, &self.wlat, &self.wst, &self.wcls] {
+            let v: Vec<i64> = q.iter().copied().collect();
+            w.queue(&v);
+        }
+        w.scalar(self.slot);
+        w.scalar(self.pc as i64);
+        w.finish()
+    }
+
+    /// Reconstructs the state from a key (miss recovery).
+    pub fn from_key(key: &Key) -> PipeState {
+        let mut r = KeyReader::new(key);
+        let wd_v = r.queue().expect("key holds wd");
+        let woff1 = r.queue().expect("key holds woff1");
+        let woff2 = r.queue().expect("key holds woff2");
+        let wlat = r.queue().expect("key holds wlat");
+        let wst = r.queue().expect("key holds wst");
+        let wcls = r.queue().expect("key holds wcls");
+        let slot = r.scalar().expect("key holds slot");
+        let pc = r.scalar().expect("key holds pc") as u64;
+        let mut wd = [0i64; 32];
+        wd[..wd_v.len().min(32)].copy_from_slice(&wd_v[..wd_v.len().min(32)]);
+        PipeState {
+            wd,
+            woff1: woff1.into(),
+            woff2: woff2.into(),
+            wlat: wlat.into(),
+            wst: wst.into(),
+            wcls: wcls.into(),
+            slot,
+            pc,
+        }
+    }
+
+    fn producer_done(&self, j: usize, off: i64) -> bool {
+        if off == 0 {
+            return true;
+        }
+        let p = j as i64 - off;
+        if p < 0 {
+            return true;
+        }
+        self.wst[p as usize] == 2
+    }
+
+    /// One processor cycle: wakeup, select (FU pools: 2 int, 1 mem,
+    /// 2 fp), execute, in-order retire (width 4). Mirrors `ooo.fac`'s
+    /// `tick` exactly.
+    pub fn tick(&mut self) {
+        let mut fu = [2i32, 1, 2]; // int, mem, fp
+        for j in 0..self.wst.len() {
+            let st = self.wst[j];
+            if st == 0 {
+                if self.producer_done(j, self.woff1[j])
+                    && self.producer_done(j, self.woff2[j])
+                {
+                    let cls = self.wcls[j] as usize;
+                    if fu[cls] > 0 {
+                        fu[cls] -= 1;
+                        let l = self.wlat[j] - 1;
+                        if l <= 0 {
+                            self.wst[j] = 2;
+                        } else {
+                            self.wst[j] = 1;
+                            self.wlat[j] = l;
+                        }
+                    }
+                }
+            } else if st == 1 {
+                let l = self.wlat[j] - 1;
+                self.wlat[j] = l;
+                if l <= 0 {
+                    self.wst[j] = 2;
+                }
+            }
+        }
+        let mut r = 0;
+        while r < 4 && !self.wst.is_empty() && self.wst[0] == 2 {
+            self.woff1.pop_front();
+            self.woff2.pop_front();
+            self.wlat.pop_front();
+            self.wst.pop_front();
+            self.wcls.pop_front();
+            r += 1;
+        }
+    }
+
+    fn source_offset(&self, src: u8) -> i64 {
+        if src == 0 {
+            return 0;
+        }
+        let d = self.wd[src as usize];
+        if d == 0 || d > self.wst.len() as i64 {
+            return 0;
+        }
+        d
+    }
+}
+
+/// A memoized step effect for one (entry, dynamic-results) pair.
+#[derive(Clone, Debug)]
+struct Terminal {
+    /// Cycles this step consumed.
+    adv: u64,
+    /// The next step's key.
+    next_key: Key,
+    /// Resolved link to the next entry (the paper's "follow the link"
+    /// optimization); filled lazily.
+    next: Option<u32>,
+}
+
+/// One memo entry: a pipeline state plus its recorded successor cases.
+#[derive(Clone, Debug)]
+struct Entry {
+    key: Key,
+    /// `(dynamic results, effect)` — dynamic result tests with their
+    /// successor actions.
+    cases: Vec<(Vec<i64>, Terminal)>,
+}
+
+/// Cache counters (mirrors `facile_runtime::CacheStats` semantics).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoStats {
+    /// Entries ever created.
+    pub entries_created: u64,
+    /// Cases ever recorded.
+    pub cases_created: u64,
+    /// Bytes currently held.
+    pub bytes_current: u64,
+    /// Bytes ever memoized (monotonic).
+    pub bytes_total: u64,
+    /// Clear-on-full events.
+    pub clears: u64,
+}
+
+struct MemoTable {
+    entries: Vec<Entry>,
+    index: HashMap<Key, u32>,
+    capacity: Option<u64>,
+    stats: MemoStats,
+}
+
+impl MemoTable {
+    fn new(capacity: Option<u64>) -> MemoTable {
+        MemoTable {
+            entries: Vec::new(),
+            index: HashMap::new(),
+            capacity,
+            stats: MemoStats::default(),
+        }
+    }
+
+    fn lookup(&self, key: &Key) -> Option<u32> {
+        self.index.get(key).copied()
+    }
+
+    fn insert_entry(&mut self, key: Key) -> u32 {
+        let bytes = key.len() as u64 + 16;
+        self.stats.bytes_current += bytes;
+        self.stats.bytes_total += bytes;
+        self.stats.entries_created += 1;
+        let idx = self.entries.len() as u32;
+        self.entries.push(Entry {
+            key: key.clone(),
+            cases: Vec::new(),
+        });
+        self.index.insert(key, idx);
+        idx
+    }
+
+    fn record_case(&mut self, entry: u32, tests: Vec<i64>, adv: u64, next_key: Key) {
+        let bytes = tests
+            .iter()
+            .map(|&v| varint_len(zigzag(v)) as u64)
+            .sum::<u64>()
+            + varint_len(adv) as u64
+            + next_key.len() as u64
+            + 8;
+        self.stats.bytes_current += bytes;
+        self.stats.bytes_total += bytes;
+        self.stats.cases_created += 1;
+        self.entries[entry as usize].cases.push((
+            tests,
+            Terminal {
+                adv,
+                next_key,
+                next: None,
+            },
+        ));
+    }
+
+    fn over_capacity(&self) -> bool {
+        self.capacity
+            .is_some_and(|cap| self.stats.bytes_current > cap)
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.stats.bytes_current = 0;
+        self.stats.clears += 1;
+    }
+}
+
+/// Simulation counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Retired target instructions.
+    pub insns: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions simulated through the memo fast path.
+    pub fast_insns: u64,
+    /// Instructions simulated by full bookkeeping.
+    pub slow_insns: u64,
+    /// Memo misses (new cases recorded).
+    pub misses: u64,
+}
+
+impl Stats {
+    /// Fraction of instructions fast-forwarded (paper Table 1).
+    pub fn fast_forwarded_fraction(&self) -> f64 {
+        if self.insns == 0 {
+            0.0
+        } else {
+            self.fast_insns as f64 / self.insns as f64
+        }
+    }
+}
+
+/// The hand-coded memoizing out-of-order simulator.
+pub struct FastSim {
+    cpu: Cpu,
+    target: Target,
+    hierarchy: Hierarchy,
+    predictor: Gshare,
+    btb: Btb,
+    memoize: bool,
+    memo: MemoTable,
+    /// Fast-path position: the entry being replayed.
+    cur_entry: Option<u32>,
+    /// Concrete state (authoritative when not on the fast path).
+    state: PipeState,
+    /// Statistics.
+    pub stats: Stats,
+    halted: bool,
+    /// Checksum outputs.
+    pub out: Vec<i64>,
+}
+
+impl FastSim {
+    /// Loads `image`. `memoize=false` reproduces the paper's "without
+    /// memoization" runs; `capacity` bounds the memo in bytes with a
+    /// clear-on-full policy.
+    pub fn new(image: &Image, memoize: bool, capacity: Option<u64>) -> FastSim {
+        let target = Target::load(image);
+        let cpu = Cpu::new(&target);
+        let state = PipeState::new(target.entry());
+        FastSim {
+            cpu,
+            target,
+            hierarchy: Hierarchy::new(),
+            predictor: Gshare::new(4096, 10),
+            btb: Btb::new(512),
+            memoize,
+            memo: MemoTable::new(capacity),
+            cur_entry: None,
+            state,
+            stats: Stats::default(),
+            halted: false,
+            out: Vec::new(),
+        }
+    }
+
+    /// Whether the target has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Memo statistics.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.stats
+    }
+
+    /// Runs until halt or `max_insns` instructions.
+    pub fn run(&mut self, max_insns: u64) -> u64 {
+        let start = self.stats.insns;
+        while !self.halted && self.stats.insns - start < max_insns {
+            self.step();
+        }
+        self.out.clone_from(&self.cpu.out);
+        self.stats.insns - start
+    }
+
+    /// One fetched instruction — one memoized step, mirroring `ooo.fac`.
+    fn step(&mut self) {
+        let pc = self.cpu.pc;
+        let word = self.target.fetch_token(pc, 32) as u32;
+        self.stats.insns += 1;
+        let Some(insn) = Insn::decode(word) else {
+            self.halted = true;
+            return;
+        };
+
+        // ---- the dynamic part: always executed, never memoized ----
+        // (call order matches ooo.fac so component state agrees exactly)
+        let ilat = self.hierarchy.inst_access(pc) as i64;
+        let class = insn.op.class();
+        let is_mem = matches!(class, InsnClass::Load | InsnClass::Store);
+        let dlat = if is_mem {
+            let addr = (self.cpu.regs[insn.rs1 as usize] as u64)
+                .wrapping_add(insn.imm16 as i64 as u64);
+            Some(self.hierarchy.data_access(addr, class == InsnClass::Store) as i64)
+        } else {
+            None
+        };
+        let outcome = self.cpu.branch_outcome(&insn, pc);
+        // Oracle execution (pre-decoded: no second fetch).
+        self.cpu.step_decoded(&insn, &mut self.target);
+        if class == InsnClass::Halt {
+            self.halted = true;
+        }
+        if class == InsnClass::Halt {
+            // sim_halt() ends the facile step before any timing code runs.
+            self.stats.slow_insns += 1;
+            return;
+        }
+        let npc = self.cpu.pc;
+        let mut buf = [0i64; 6];
+        let mut tn = 0usize;
+        buf[tn] = ilat;
+        tn += 1;
+        if let Some(d) = dlat {
+            buf[tn] = d;
+            tn += 1;
+        }
+        let mut br_info = None;
+        if class == InsnClass::Branch {
+            let (taken, _) = outcome.expect("branches have outcomes");
+            let pred = self.predictor.predict(pc);
+            self.predictor.update(pc, taken);
+            buf[tn] = pred as i64;
+            buf[tn + 1] = taken as i64;
+            tn += 2;
+            br_info = Some((pred, taken));
+        }
+        let mut btb_hit = None;
+        if insn.op == Opcode::Jalr {
+            let hit = self.btb.predict(pc) == Some(npc);
+            self.btb.update(pc, npc);
+            buf[tn] = hit as i64;
+            tn += 1;
+            btb_hit = Some(hit);
+        }
+        buf[tn] = npc as i64;
+        tn += 1;
+        let tests = &buf[..tn];
+
+        // ---- fast path: replay a memoized step ----
+        if self.memoize {
+            if let Some(entry) = self.current_entry() {
+                if let Some(case) = self.memo.entries[entry as usize]
+                    .cases
+                    .iter()
+                    .position(|(t, _)| t.as_slice() == tests)
+                {
+                    let t = &self.memo.entries[entry as usize].cases[case].1;
+                    let adv = t.adv;
+                    let resolved = t.next;
+                    self.stats.cycles += adv;
+                    self.stats.fast_insns += 1;
+                    match resolved {
+                        Some(n) => self.cur_entry = Some(n),
+                        None => {
+                            // First crossing: resolve the link (the
+                            // paper's follow-the-link optimization).
+                            let next_key = self.memo.entries[entry as usize].cases[case]
+                                .1
+                                .next_key
+                                .clone();
+                            let next = self.memo.lookup(&next_key);
+                            self.memo.entries[entry as usize].cases[case].1.next = next;
+                            self.cur_entry = next;
+                            if next.is_none() {
+                                // Unknown next entry: a clean step
+                                // boundary; the slow path takes over.
+                                self.state = PipeState::from_key(&next_key);
+                            }
+                        }
+                    }
+                    return;
+                }
+                // Case miss: rebuild concrete state from the entry key.
+                self.stats.misses += 1;
+                self.state =
+                    PipeState::from_key(&self.memo.entries[entry as usize].key.clone());
+                self.cur_entry = Some(entry);
+            }
+        }
+
+        // ---- slow path: full pipeline bookkeeping ----
+        self.stats.slow_insns += 1;
+        let prev_key = if self.memoize {
+            match self.cur_entry {
+                Some(e) => self.memo.entries[e as usize].key.clone(),
+                None => self.state.key(),
+            }
+        } else {
+            Key::default()
+        };
+        let adv = bookkeeping(&mut self.state, &insn, ilat, dlat, br_info, btb_hit, npc);
+        self.stats.cycles += adv;
+        if self.memoize {
+            let next_key = self.state.key();
+            // Capacity policy, checked at step boundaries as in §6.2.
+            if self.memo.over_capacity() {
+                self.memo.clear();
+                self.cur_entry = None;
+            }
+            // Capacity policy, checked at step boundaries as in §6.2.
+            if self.memo.over_capacity() {
+                self.memo.clear();
+                self.cur_entry = None;
+            }
+            let entry = self
+                .memo
+                .lookup(&prev_key)
+                .unwrap_or_else(|| self.memo.insert_entry(prev_key.clone()));
+            self.memo.record_case(entry, tests.to_vec(), adv, next_key.clone());
+            self.cur_entry = Some(
+                self.memo
+                    .lookup(&next_key)
+                    .unwrap_or_else(|| self.memo.insert_entry(next_key)),
+            );
+        }
+    }
+
+    /// The entry for the current state, creating it when memoizing.
+    fn current_entry(&mut self) -> Option<u32> {
+        if let Some(e) = self.cur_entry {
+            return Some(e);
+        }
+        let key = self.state.key();
+        let e = self.memo.lookup(&key)?;
+        self.cur_entry = Some(e);
+        Some(e)
+    }
+}
+
+/// The pure pipeline-bookkeeping function — the exact algorithm of
+/// `ooo.fac`'s `main`, minus the dynamic parts whose results arrive as
+/// arguments. Deterministic in its inputs, which is what makes
+/// memoization exact. Mutates `s` in place (the no-memoization hot path)
+/// and returns the elapsed cycles.
+fn bookkeeping(
+    s: &mut PipeState,
+    insn: &Insn,
+    ilat: i64,
+    dlat: Option<i64>,
+    br_info: Option<(bool, bool)>,
+    btb_hit: Option<bool>,
+    npc: u64,
+) -> u64 {
+    let mut cyc: i64 = 0;
+
+    // 4-wide fetch clock.
+    s.slot += 1;
+    if s.slot >= FETCH_W {
+        s.slot = 0;
+        s.tick();
+        cyc += 1;
+    }
+    // Instruction cache: the front end stalls through a miss.
+    if ilat > 1 {
+        let k = ilat - 1;
+        cyc += k;
+        for _ in 0..k {
+            s.tick();
+        }
+        s.slot = 0;
+    }
+    // Structural stall: wait for a free window entry.
+    while s.wst.len() >= WINDOW {
+        s.tick();
+        cyc += 1;
+    }
+    // Dispatch with exact renaming.
+    let (s1, s2) = insn.sources();
+    let off1 = s1.map(|r| s.source_offset(r)).unwrap_or(0);
+    let off2 = s2.map(|r| s.source_offset(r)).unwrap_or(0);
+    let extra = dlat.map(|d| d - 1).unwrap_or(0);
+    let lat = insn.op.class().latency() as i64 + extra;
+    let cls = match insn.op.class() {
+        InsnClass::Load | InsnClass::Store => 1,
+        InsnClass::FpAdd | InsnClass::FpMul | InsnClass::FpDiv => 2,
+        _ => 0,
+    };
+    s.woff1.push_back(off1);
+    s.woff2.push_back(off2);
+    s.wlat.push_back(lat);
+    s.wst.push_back(0);
+    s.wcls.push_back(cls);
+    for d in s.wd.iter_mut().skip(1) {
+        if *d != 0 && *d < 33 {
+            *d += 1;
+        }
+    }
+    if let Some(d) = insn.dest() {
+        s.wd[d as usize] = 1;
+    }
+    // Control flow: stall until a mispredicted branch resolves, plus the
+    // redirect penalty.
+    let mut flush = false;
+    if let Some((pred, taken)) = br_info {
+        if pred != taken {
+            flush = true;
+        }
+    }
+    if let Some(hit) = btb_hit {
+        if !hit {
+            flush = true;
+        }
+    }
+    if flush {
+        let depth = s.wst.len();
+        while s.wst.len() >= depth && s.wst.back().copied().unwrap_or(2) != 2 {
+            s.tick();
+            cyc += 1;
+        }
+        for _ in 0..MISPRED_PENALTY {
+            s.tick();
+            cyc += 1;
+        }
+        s.slot = 0;
+    }
+    s.pc = npc;
+    cyc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facile_isa::asm::assemble_image;
+
+    fn image(asm: &str) -> Image {
+        assemble_image(asm, 0x1_0000, vec![]).unwrap()
+    }
+
+    const LOOP: &str = "addi r1, r0, 500\n\
+                        addi r2, r0, 0\n\
+                        loop: add r2, r2, r1\n\
+                        addi r1, r1, -1\n\
+                        bne r1, r0, loop\n\
+                        out r2\n\
+                        halt\n";
+
+    fn run(asm: &str, memoize: bool) -> FastSim {
+        let mut s = FastSim::new(&image(asm), memoize, None);
+        s.run(10_000_000);
+        s
+    }
+
+    #[test]
+    fn memoization_is_transparent() {
+        let a = run(LOOP, true);
+        let b = run(LOOP, false);
+        assert_eq!(a.stats.insns, b.stats.insns);
+        assert_eq!(a.stats.cycles, b.stats.cycles, "memoization changed timing");
+        assert_eq!(a.out, b.out);
+    }
+
+    #[test]
+    fn retires_the_golden_stream() {
+        let img = image(LOOP);
+        let mut t = Target::load(&img);
+        let mut golden = Cpu::new(&t);
+        golden.run(&mut t, 1_000_000);
+        let s = run(LOOP, true);
+        assert_eq!(s.stats.insns, golden.insns);
+        assert_eq!(s.out, golden.out);
+    }
+
+    #[test]
+    fn loops_fast_forward() {
+        // Pipeline states take some iterations to recur; use a long loop.
+        let long = "addi r1, r0, 10000\n\
+                    loop: addi r2, r2, 3\n\
+                    addi r1, r1, -1\n\
+                    bne r1, r0, loop\n\
+                    halt\n";
+        let s = run(long, true);
+        assert!(
+            s.stats.fast_forwarded_fraction() > 0.98,
+            "fraction = {}",
+            s.stats.fast_forwarded_fraction()
+        );
+    }
+
+    #[test]
+    fn without_memoization_nothing_is_fast() {
+        let s = run(LOOP, false);
+        assert_eq!(s.stats.fast_insns, 0);
+        assert_eq!(s.memo_stats().entries_created, 0);
+    }
+
+    #[test]
+    fn key_round_trip() {
+        let mut st = PipeState::new(0x1_0000);
+        st.wd[3] = 7;
+        st.woff1.push_back(1);
+        st.woff2.push_back(0);
+        st.wlat.push_back(2);
+        st.wst.push_back(0);
+        st.wcls.push_back(1);
+        st.slot = 2;
+        let k = st.key();
+        assert_eq!(PipeState::from_key(&k), st);
+    }
+
+    #[test]
+    fn capacity_clear_preserves_timing() {
+        let mut tiny = FastSim::new(&image(LOOP), true, Some(2_000));
+        tiny.run(10_000_000);
+        let full = run(LOOP, false);
+        assert_eq!(tiny.stats.cycles, full.stats.cycles);
+        assert_eq!(tiny.stats.insns, full.stats.insns);
+    }
+
+    #[test]
+    fn pipeline_overlaps_independent_work() {
+        let ilp = "addi r9, r0, 300\n\
+                   loop: mul r1, r9, r9\n\
+                   mul r2, r9, r9\n\
+                   mul r3, r9, r9\n\
+                   addi r9, r9, -1\n\
+                   bne r9, r0, loop\n\
+                   halt\n";
+        let chain = "addi r9, r0, 300\n\
+                     loop: mul r1, r1, r9\n\
+                     mul r1, r1, r9\n\
+                     mul r1, r1, r9\n\
+                     addi r9, r9, -1\n\
+                     bne r9, r0, loop\n\
+                     halt\n";
+        let a = run(ilp, true);
+        let b = run(chain, true);
+        assert_eq!(a.stats.insns, b.stats.insns);
+        assert!(a.stats.cycles < b.stats.cycles);
+    }
+}

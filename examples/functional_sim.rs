@@ -1,0 +1,59 @@
+//! The shipped functional TRISC simulator, driven on a hand-written
+//! assembly program, differentially checked against the golden
+//! interpreter.
+//!
+//! ```sh
+//! cargo run --example functional_sim
+//! ```
+
+use facile::hosts::initial_args;
+use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
+use facile_isa::asm::assemble_image;
+use facile_isa::interp::Cpu;
+
+const PROGRAM: &str = "
+    ; sum of squares 1..=100, printed via the output port
+    addi r1, r0, 1          ; i
+    addi r2, r0, 0          ; acc
+    addi r3, r0, 100        ; limit
+loop:
+    mul  r4, r1, r1
+    add  r2, r2, r4
+    addi r1, r1, 1
+    bge  r3, r1, loop
+    out  r2
+    halt
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = assemble_image(PROGRAM, 0x1_0000, vec![])?;
+
+    // Golden reference.
+    let mut target = Target::load(&image);
+    let mut cpu = Cpu::new(&target);
+    cpu.run(&mut target, 1_000_000);
+    println!("golden: out = {:?} after {} instructions", cpu.out, cpu.insns);
+
+    // The Facile functional simulator, with fast-forwarding.
+    let step = compile_source(
+        &facile::sims::functional_source(),
+        &CompilerOptions::default(),
+    )?;
+    let mut sim = Simulation::new(
+        step,
+        Target::load(&image),
+        &initial_args::functional(image.entry),
+        SimOptions::default(),
+    )?;
+    sim.run_steps(1_000_000);
+    println!(
+        "facile: out = {:?} after {} instructions ({:.2}% fast-forwarded)",
+        sim.trace(),
+        sim.stats().insns,
+        100.0 * sim.stats().fast_forwarded_fraction()
+    );
+    assert_eq!(sim.trace(), cpu.out.as_slice());
+    assert_eq!(sim.stats().insns, cpu.insns);
+    println!("architectural results match.");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! The paper's headline scenario: the out-of-order pipeline simulator
+//! written in Facile, with branch prediction and a two-level cache
+//! hierarchy as external components, run over a SPEC95-shaped workload —
+//! with and without fast-forwarding.
+//!
+//! ```sh
+//! cargo run --release --example ooo_pipeline [workload] [scale]
+//! ```
+
+use facile::hosts::{initial_args, ArchHost};
+use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "129.compress".into());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let workload = facile_workloads::by_name(&name)
+        .ok_or_else(|| format!("unknown workload {name}"))?;
+    let image = facile_workloads::build_image(&workload, scale);
+
+    println!("compiling the out-of-order simulator (ooo.fac)...");
+    let step = compile_source(&facile::sims::ooo_source(), &CompilerOptions::default())?;
+    println!(
+        "  {} actions, {:.1}% run-time static\n",
+        step.action_count(),
+        100.0 * step.rt_static_fraction()
+    );
+
+    let mut results = Vec::new();
+    for memoize in [false, true] {
+        let mut sim = Simulation::new(
+            step.clone(),
+            Target::load(&image),
+            &initial_args::ooo(image.entry),
+            SimOptions {
+                memoize,
+                cache_capacity: Some(256 << 20),
+            },
+        )?;
+        ArchHost::new().bind(&mut sim)?;
+        let t0 = Instant::now();
+        sim.run_steps(u64::MAX >> 1);
+        let wall = t0.elapsed();
+        let label = if memoize { "fast-forwarding" } else { "slow only     " };
+        println!(
+            "{label}: {:>9} insns, {:>9} cycles (IPC {:.2}), {:>8.0} insn/s, ff {:.2}%",
+            sim.stats().insns,
+            sim.stats().cycles,
+            sim.stats().insns as f64 / sim.stats().cycles as f64,
+            sim.stats().insns as f64 / wall.as_secs_f64(),
+            100.0 * sim.stats().fast_forwarded_fraction()
+        );
+        results.push((sim.stats().cycles, wall));
+    }
+    assert_eq!(results[0].0, results[1].0, "fast-forwarding must be exact");
+    println!(
+        "\nidentical cycle counts; speedup {:.1}x",
+        results[0].1.as_secs_f64() / results[1].1.as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Integration surface for the Facile reproduction workspace.
+//!
+//! This crate exists to host the top-level `examples/` and `tests/`
+//! directories; the actual functionality lives in the `crates/*` members.
+//! See the [`facile`] crate for the public API.
+pub use facile;

@@ -1,0 +1,116 @@
+//! The fast-forwarding contract, end to end: memoization (at any cache
+//! capacity) never changes simulated results — only speed. This is the
+//! paper's "while computing exactly the same simulated cycle counts".
+
+use facile::hosts::{initial_args, ArchHost};
+use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
+use facile_runtime::Image;
+use proptest::prelude::*;
+
+fn run_sim(src: &str, image: &Image, args: &[facile::ArgValue], opts: SimOptions) -> Simulation {
+    let step = compile_source(src, &CompilerOptions::default()).expect("compiles");
+    let mut sim =
+        Simulation::new(step, Target::load(image), args, opts).expect("constructs");
+    ArchHost::new().bind(&mut sim).expect("binds");
+    sim.run_steps(10_000_000);
+    sim
+}
+
+#[test]
+fn capacity_sweep_is_transparent_for_the_ooo_simulator() {
+    let w = facile_workloads::by_name("134.perl").unwrap();
+    let image = facile_workloads::build_image(&w, 0.004);
+    let src = facile::sims::ooo_source();
+    let args = initial_args::ooo(image.entry);
+
+    let reference = run_sim(&src, &image, &args, SimOptions {
+        memoize: false,
+        cache_capacity: None,
+    });
+    for cap in [None, Some(50_000_000), Some(200_000), Some(20_000)] {
+        let sim = run_sim(&src, &image, &args, SimOptions {
+            memoize: true,
+            cache_capacity: cap,
+        });
+        assert_eq!(sim.stats().cycles, reference.stats().cycles, "cap {cap:?}");
+        assert_eq!(sim.stats().insns, reference.stats().insns, "cap {cap:?}");
+        assert_eq!(sim.trace(), reference.trace(), "cap {cap:?}");
+    }
+}
+
+#[test]
+fn inorder_simulator_transparent_on_workloads() {
+    for name in ["130.li", "107.mgrid"] {
+        let w = facile_workloads::by_name(name).unwrap();
+        let image = facile_workloads::build_image(&w, 0.004);
+        let src = facile::sims::inorder_source();
+        let args = initial_args::inorder(image.entry);
+        let fast = run_sim(&src, &image, &args, SimOptions::default());
+        let slow = run_sim(&src, &image, &args, SimOptions {
+            memoize: false,
+            cache_capacity: None,
+        });
+        assert_eq!(fast.stats().cycles, slow.stats().cycles, "{name}");
+        assert_eq!(fast.trace(), slow.trace(), "{name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: for random step functions over random external latency
+    /// sequences, memoization is observationally transparent.
+    #[test]
+    fn random_programs_are_transparent(
+        modulus in 2i64..12,
+        stride in 1i64..9,
+        limit in 50i64..400,
+        penalty in 1i64..20,
+        seed in any::<u64>(),
+    ) {
+        let src = format!(
+            "ext fun probe(x : int) : int;
+             val hist = array(16){{0}};
+             fun main(k : int) {{
+                 count_insns(1);
+                 val c = mem_ld(0);
+                 mem_st(0, c + 1);
+                 val t = probe(k)?verify;
+                 val slot = (k + t) % 16;
+                 hist[slot] = hist[slot] + 1;
+                 trace(hist[slot]);
+                 count_cycles(t % {penalty} + 1);
+                 if (c >= {limit}) {{ sim_halt(); }}
+                 next((k + t + {stride}) % {modulus});
+             }}"
+        );
+        let image = Image::default();
+        let run = |memoize: bool| {
+            let step = compile_source(&src, &CompilerOptions::default()).unwrap();
+            let mut sim = Simulation::new(
+                step,
+                Target::load(&image),
+                &[facile::ArgValue::Scalar(0)],
+                SimOptions { memoize, cache_capacity: Some(4096) },
+            )
+            .unwrap();
+            let mut state = seed | 1;
+            sim.bind_external("probe", move |args| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state = state.wrapping_add(args[0] as u64);
+                (state % 5) as i64
+            })
+            .unwrap();
+            sim.run_steps(1_000_000);
+            (
+                sim.stats().cycles,
+                sim.stats().insns,
+                sim.trace().to_vec(),
+                sim.halted(),
+            )
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}

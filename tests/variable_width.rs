@@ -1,0 +1,114 @@
+//! Variable-width instruction sets (paper §3.1: "For variable width
+//! instructions, such as Intel's x86, several tokens may be necessary"):
+//! a mixed 16/32-bit accumulator ISA in the RISC-V-C style, where the
+//! low two bits select the instruction width. Each `sem` sets `nPC` by
+//! its own width.
+
+use facile::{compile_source, ArgValue, CompilerOptions, Image, SimOptions, Simulation, Target};
+
+const MIXED_ISA: &str = r#"
+    // 16-bit compressed form: quadrant bits 0:1 != 3.
+    token c16[16] fields cop 13:15, cimm 2:9, cq 0:1;
+    // 32-bit wide form: quadrant bits == 3.
+    token w32[32] fields xop 28:31, ximm 8:23, xq 0:1;
+
+    pat caddi = cq!=3 && cop==0;   // ACC += sext(imm8)
+    pat cout  = cq!=3 && cop==1;   // emit ACC
+    pat chalt = cq!=3 && cop==2;
+    pat wlui  = xq==3 && xop==0;   // ACC = imm16 << 4
+    pat wjnz  = xq==3 && xop==1;   // if ACC != 0 goto imm16 (byte address)
+
+    val ACC : int;
+    val PC  : stream;
+    val nPC : stream;
+
+    sem caddi { ACC = ACC + cimm?sext(8); nPC = PC + 2; }
+    sem cout  { trace(ACC); nPC = PC + 2; }
+    sem chalt { sim_halt(); }
+    sem wlui  { ACC = ximm << 4; nPC = PC + 4; }
+    sem wjnz  { if (ACC != 0) { nPC = stream_at(ximm); } else { nPC = PC + 4; } }
+
+    fun main(pc : stream) {
+        PC = pc;
+        nPC = pc;          // every sem decides its own length
+        count_insns(1);
+        count_cycles(1);
+        pc?exec();
+        next(nPC);
+    }
+"#;
+
+fn c16(op: u16, imm: i16) -> Vec<u8> {
+    let w: u16 = (op << 13) | (((imm as u16) & 0xFF) << 2) | 0b01;
+    w.to_le_bytes().to_vec()
+}
+
+fn w32(op: u32, imm: u32) -> Vec<u8> {
+    let w: u32 = (op << 28) | ((imm & 0xFFFF) << 8) | 0b11;
+    w.to_le_bytes().to_vec()
+}
+
+fn program() -> (Image, Vec<i64>) {
+    // 0x00: wlui 0x10      -> ACC = 0x100          (4 bytes)
+    // 0x04: caddi -6                              (2 bytes)
+    // 0x06: cout                                  (2 bytes)
+    // 0x08: caddi -50  loop body                  (2 bytes)
+    // 0x0a: cout                                  (2 bytes)
+    // 0x0c: wjnz 0x08                             (4 bytes)
+    // 0x10: chalt                                 (2 bytes)
+    let mut text = Vec::new();
+    text.extend(w32(0, 0x10));
+    text.extend(c16(0, -6));
+    text.extend(c16(1, 0));
+    text.extend(c16(0, -50));
+    text.extend(c16(1, 0));
+    text.extend(w32(1, 0x08));
+    text.extend(c16(2, 0));
+    // Expected: ACC = 0x100 - 6 = 250; then 250-50=200,150,100,50,0.
+    let expected = vec![250, 200, 150, 100, 50, 0];
+    (
+        Image {
+            text_base: 0,
+            text,
+            data: vec![],
+            entry: 0,
+        },
+        expected,
+    )
+}
+
+fn run(memoize: bool) -> Simulation {
+    let (image, _) = program();
+    let step = compile_source(MIXED_ISA, &CompilerOptions::default()).expect("compiles");
+    let mut sim = Simulation::new(
+        step,
+        Target::load(&image),
+        &[ArgValue::Scalar(0)],
+        SimOptions {
+            memoize,
+            cache_capacity: None,
+        },
+    )
+    .expect("constructs");
+    sim.run_steps(10_000);
+    sim
+}
+
+#[test]
+fn mixed_width_decode_executes_correctly() {
+    let (_, expected) = program();
+    let sim = run(true);
+    assert_eq!(sim.trace(), expected.as_slice());
+    // 3 setup+first-emit insns, 5 loop iterations x 3, final wjnz fall
+    // through already counted, + halt.
+    assert_eq!(sim.stats().insns, 3 + 5 * 3 + 1);
+}
+
+#[test]
+fn mixed_width_is_transparent_under_memoization() {
+    let fast = run(true);
+    let slow = run(false);
+    assert_eq!(fast.trace(), slow.trace());
+    assert_eq!(fast.stats().cycles, slow.stats().cycles);
+    assert!(fast.stats().fast_forwarded_fraction() > 0.5);
+}

@@ -1,0 +1,34 @@
+//! Every synthetic SPEC95 workload, run through the Facile functional
+//! simulator, must reproduce the golden interpreter's checksum and
+//! instruction count exactly (with fast-forwarding on).
+
+use facile::hosts::initial_args;
+use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
+use facile_isa::interp::Cpu;
+
+#[test]
+fn functional_simulator_matches_golden_on_the_whole_suite() {
+    let step = compile_source(
+        &facile::sims::functional_source(),
+        &CompilerOptions::default(),
+    )
+    .expect("functional simulator compiles");
+    for w in facile_workloads::suite() {
+        let image = facile_workloads::build_image(&w, 0.002);
+        let mut target = Target::load(&image);
+        let mut golden = Cpu::new(&target);
+        golden.run(&mut target, 100_000_000);
+        assert!(golden.halted, "{}", w.name);
+
+        let mut sim = Simulation::new(
+            step.clone(),
+            Target::load(&image),
+            &initial_args::functional(image.entry),
+            SimOptions::default(),
+        )
+        .expect("constructs");
+        sim.run_steps(u64::MAX >> 1);
+        assert_eq!(sim.stats().insns, golden.insns, "{} insns", w.name);
+        assert_eq!(sim.trace(), golden.out.as_slice(), "{} checksum", w.name);
+    }
+}
