@@ -1,25 +1,20 @@
-//! Criterion form of the §6.2 cache-capacity ablation: memoized
-//! performance under shrinking action-cache budgets (clear-on-full).
+//! Bench form of the §6.2 cache-capacity ablation: memoized performance
+//! under shrinking action-cache budgets (clear-on-full). Run with
+//! `cargo bench -p bench --bench cache_ablation`.
 
-use bench::{compile_facile, run_facile, workload_image, FacileSim};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{arg_f64, compile_facile, run_facile, time_bench, workload_image, FacileSim};
 
-fn cache_ablation(c: &mut Criterion) {
+fn main() {
+    let scale = arg_f64("--scale", 0.02);
     let step = compile_facile(FacileSim::Ooo);
     let w = facile_workloads::by_name("134.perl").unwrap();
-    let image = workload_image(&w, 0.02);
+    let image = workload_image(&w, scale);
     // Unbounded footprint for this configuration.
     let full = run_facile(&step, FacileSim::Ooo, &image, true, None).memo_bytes;
-    let mut g = c.benchmark_group("cache_ablation");
-    g.sample_size(10);
     for div in [1u64, 10, 50] {
         let cap = (full / div).max(64 * 1024);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("1/{div}")), &cap, |b, &cap| {
-            b.iter(|| run_facile(&step, FacileSim::Ooo, &image, true, Some(cap)).cycles)
+        time_bench(&format!("cache_ablation/1-{div} ({cap} B)"), 10, &mut || {
+            run_facile(&step, FacileSim::Ooo, &image, true, Some(cap)).cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, cache_ablation);
-criterion_main!(benches);

@@ -1,22 +1,19 @@
 //! Compiler-pipeline benchmarks: end-to-end compilation of the three
-//! shipped simulators, plus the middle-end passes in isolation.
+//! shipped simulators. Run with `cargo bench -p bench --bench compiler`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::time_bench;
 use facile::{compile_source, CompilerOptions};
 
-fn compiler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compiler");
+fn main() {
     for (name, src) in [
         ("functional", facile::sims::functional_source()),
         ("inorder", facile::sims::inorder_source()),
         ("ooo", facile::sims::ooo_source()),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| compile_source(&src, &CompilerOptions::default()).unwrap().action_count())
+        time_bench(&format!("compiler/{name}"), 20, &mut || {
+            compile_source(&src, &CompilerOptions::default())
+                .unwrap()
+                .action_count() as u64
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, compiler);
-criterion_main!(benches);

@@ -1,27 +1,22 @@
-//! Criterion form of Figure 11: SimpleScalar vs FastSim (no memo) vs
-//! FastSim (memo) on three representative workloads.
+//! Bench form of Figure 11: SimpleScalar vs FastSim (no memo) vs
+//! FastSim (memo) on three representative workloads. Run with
+//! `cargo bench -p bench --bench fig11_fastsim`.
 
-use bench::{run_fastsim, run_simplescalar, workload_image};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{arg_f64, run_fastsim, run_simplescalar, time_bench, workload_image};
 
-fn fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
+fn main() {
+    let scale = arg_f64("--scale", 0.02);
     for name in ["129.compress", "126.gcc", "101.tomcatv"] {
         let w = facile_workloads::by_name(name).unwrap();
-        let image = workload_image(&w, 0.02);
-        g.bench_with_input(BenchmarkId::new("simplescalar", name), &image, |b, img| {
-            b.iter(|| run_simplescalar(img).cycles)
+        let image = workload_image(&w, scale);
+        time_bench(&format!("fig11/simplescalar/{name}"), 10, &mut || {
+            run_simplescalar(&image).cycles
         });
-        g.bench_with_input(BenchmarkId::new("fastsim_nomemo", name), &image, |b, img| {
-            b.iter(|| run_fastsim(img, false, None).cycles)
+        time_bench(&format!("fig11/fastsim_nomemo/{name}"), 10, &mut || {
+            run_fastsim(&image, false, None).cycles
         });
-        g.bench_with_input(BenchmarkId::new("fastsim_memo", name), &image, |b, img| {
-            b.iter(|| run_fastsim(img, true, None).cycles)
+        time_bench(&format!("fig11/fastsim_memo/{name}"), 10, &mut || {
+            run_fastsim(&image, true, None).cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, fig11);
-criterion_main!(benches);

@@ -1,26 +1,21 @@
-//! Criterion form of Figure 12: the Facile OOO simulator with and
-//! without fast-forwarding. The compiled step function is shared; each
-//! iteration runs a fresh simulation (fresh action cache).
+//! Bench form of Figure 12: the Facile OOO simulator with and without
+//! fast-forwarding. The compiled step function is shared; each iteration
+//! runs a fresh simulation (fresh action cache). Run with
+//! `cargo bench -p bench --bench fig12_facile`.
 
-use bench::{compile_facile, run_facile, workload_image, FacileSim};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::{arg_f64, compile_facile, run_facile, time_bench, workload_image, FacileSim};
 
-fn fig12(c: &mut Criterion) {
+fn main() {
+    let scale = arg_f64("--scale", 0.02);
     let step = compile_facile(FacileSim::Ooo);
-    let mut g = c.benchmark_group("fig12");
-    g.sample_size(10);
     for name in ["129.compress", "101.tomcatv"] {
         let w = facile_workloads::by_name(name).unwrap();
-        let image = workload_image(&w, 0.02);
-        g.bench_with_input(BenchmarkId::new("facile_nomemo", name), &image, |b, img| {
-            b.iter(|| run_facile(&step, FacileSim::Ooo, img, false, None).cycles)
+        let image = workload_image(&w, scale);
+        time_bench(&format!("fig12/facile_nomemo/{name}"), 10, &mut || {
+            run_facile(&step, FacileSim::Ooo, &image, false, None).cycles
         });
-        g.bench_with_input(BenchmarkId::new("facile_memo", name), &image, |b, img| {
-            b.iter(|| run_facile(&step, FacileSim::Ooo, img, true, None).cycles)
+        time_bench(&format!("fig12/facile_memo/{name}"), 10, &mut || {
+            run_facile(&step, FacileSim::Ooo, &image, true, None).cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, fig12);
-criterion_main!(benches);

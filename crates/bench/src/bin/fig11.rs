@@ -8,12 +8,13 @@
 //! (the paper reports 8.5–14.7x vs SimpleScalar on 1990s hosts; see
 //! EXPERIMENTS.md for why the magnitude is host-dependent).
 //!
-//! Usage: fig11 [--scale F]   (default 1.0)
+//! Usage: fig11 [--scale F] [--metrics-out fig11.jsonl]   (default scale 1.0)
 
 use bench::*;
 
 fn main() {
     let scale = arg_f64("--scale", 1.0);
+    let mut sink = MetricsSink::from_args();
     println!("Figure 11: hand-coded fast-forwarding (FastSim role) vs SimpleScalar");
     println!("workload scale: {scale}\n");
     println!(
@@ -24,9 +25,16 @@ fn main() {
     let mut ratios_memo = Vec::new();
     for w in facile_workloads::suite() {
         let image = workload_image(&w, scale);
-        let ss = run_simplescalar(&image);
-        let fs_no = run_fastsim(&image, false, None);
-        let fs_yes = run_fastsim(&image, true, None);
+        let ss = run_simplescalar_sink(&image, &format!("{}/simplescalar", w.name), &mut sink);
+        let fs_no = run_fastsim_sink(
+            &image,
+            false,
+            None,
+            &format!("{}/fastsim-nomemo", w.name),
+            &mut sink,
+        );
+        let fs_yes =
+            run_fastsim_sink(&image, true, None, &format!("{}/fastsim", w.name), &mut sink);
         assert_eq!(ss.insns, fs_no.insns);
         assert_eq!(fs_no.cycles, fs_yes.cycles, "memoization must be exact");
         let r_no = fs_no.sim_ips() / ss.sim_ips();
@@ -53,4 +61,5 @@ fn main() {
         "                fastsim+memo/fastsim-no-memo = {:.2} (paper: 4.9-11.9)",
         harmonic_mean(&ratios_memo)
     );
+    sink.finish();
 }

@@ -6,13 +6,14 @@
 //! irregular code; the action cache is capped at 256 MB and cleared when
 //! full, which is what hurt the paper's gcc.
 //!
-//! Usage: fig12 [--scale F] [--cap BYTES]
+//! Usage: fig12 [--scale F] [--cap BYTES] [--metrics-out fig12.jsonl]
 
 use bench::*;
 
 fn main() {
     let scale = arg_f64("--scale", 1.0);
     let cap = arg_f64("--cap", 256.0 * 1024.0 * 1024.0) as u64;
+    let mut sink = MetricsSink::from_args();
     println!("Figure 12: Facile-compiled out-of-order simulator");
     println!("workload scale: {scale}, action cache cap: {} MiB\n", cap >> 20);
     println!(
@@ -24,9 +25,25 @@ fn main() {
     let mut vs_ss = Vec::new();
     for w in facile_workloads::suite() {
         let image = workload_image(&w, scale);
-        let ss = run_simplescalar(&image);
-        let no = run_facile(&step, FacileSim::Ooo, &image, false, None);
-        let yes = run_facile(&step, FacileSim::Ooo, &image, true, Some(cap));
+        let ss = run_simplescalar_sink(&image, &format!("{}/simplescalar", w.name), &mut sink);
+        let no = run_facile_sink(
+            &step,
+            FacileSim::Ooo,
+            &image,
+            false,
+            None,
+            &format!("{}/facile-nomemo", w.name),
+            &mut sink,
+        );
+        let yes = run_facile_sink(
+            &step,
+            FacileSim::Ooo,
+            &image,
+            true,
+            Some(cap),
+            &format!("{}/facile", w.name),
+            &mut sink,
+        );
         assert_eq!(no.cycles, yes.cycles, "fast-forwarding must be exact");
         let sp = yes.sim_ips() / no.sim_ips();
         let rs = yes.sim_ips() / ss.sim_ips();
@@ -52,4 +69,5 @@ fn main() {
         "                facile+memo/simplescalar    = {:.2} (paper: 1.5; interpreted engines, see EXPERIMENTS.md)",
         harmonic_mean(&vs_ss)
     );
+    sink.finish();
 }

@@ -1,0 +1,185 @@
+//! `sim_report` — renders paper-style tables from metrics documents
+//! alone, with no re-simulation.
+//!
+//! Input is any mix of files produced by `facilec run --metrics-out`
+//! (one JSON document) or the bench binaries' `--metrics-out` (JSONL,
+//! one document per line; see `table1`, `table2`, `fig11`, `fig12`).
+//!
+//! ```text
+//! sim_report metrics.jsonl [more.json ...] [--detail]
+//! ```
+//!
+//! Renders a Table 1-style view (percentage of instructions
+//! fast-forwarded) and a Table 2-style view (quantity of memoized data)
+//! over every document; `--detail` additionally dumps each document's
+//! derived registry — engine transitions, miss/recovery counts, recovery
+//! depths, hottest replayed actions and coarse latency quantiles.
+
+use facile_obs::{json, LogHistogram, MetricsDoc};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let detail = args.iter().any(|a| a == "--detail");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        eprintln!("usage: sim_report <metrics.json|metrics.jsonl>... [--detail]");
+        return ExitCode::FAILURE;
+    }
+
+    let mut docs: Vec<MetricsDoc> = Vec::new();
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sim_report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match load_docs(&text) {
+            Some(mut d) if !d.is_empty() => docs.append(&mut d),
+            _ => {
+                eprintln!("sim_report: {path}: no facile-obs/v1 metrics documents");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(out, "Table 1-style: percentage of instructions fast-forwarded\n");
+    let _ = writeln!(
+        out,
+        "{:<26} {:>14} {:>10} {:>12}",
+        "label", "insns", "ff%", "insn/s"
+    );
+    for d in &docs {
+        let _ = writeln!(
+            out,
+            "{:<26} {:>14} {:>10.3} {:>12}",
+            d.label,
+            d.sim.insns,
+            100.0 * d.sim.fast_forwarded_fraction(),
+            fmt_rate(d.insns_per_sec()),
+        );
+    }
+
+    let _ = writeln!(out, "\nTable 2-style: quantity of memoized data\n");
+    let _ = writeln!(
+        out,
+        "{:<26} {:>12} {:>12} {:>8} {:>10}",
+        "label", "MiB total", "MiB peak", "clears", "misses"
+    );
+    for d in &docs {
+        let _ = writeln!(
+            out,
+            "{:<26} {:>12.2} {:>12.2} {:>8} {:>10}",
+            d.label,
+            d.cache.bytes_total as f64 / (1024.0 * 1024.0),
+            d.cache.peak_mib(),
+            d.cache.clears,
+            d.sim.misses,
+        );
+    }
+
+    if detail {
+        for d in &docs {
+            print_detail(&mut out, d);
+        }
+    }
+    // One buffered write; a closed pipe (`sim_report ... | head`) is the
+    // reader's choice, not an error.
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    ExitCode::SUCCESS
+}
+
+/// Parses either one JSON document or JSONL (one document per line).
+fn load_docs(text: &str) -> Option<Vec<MetricsDoc>> {
+    if let Ok(v) = json::parse(text) {
+        return MetricsDoc::from_value(&v).map(|d| vec![d]);
+    }
+    let mut docs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).ok()?;
+        docs.push(MetricsDoc::from_value(&v)?);
+    }
+    Some(docs)
+}
+
+fn print_detail(out: &mut String, d: &MetricsDoc) {
+    let _ = writeln!(out, "\n--- {} ---", d.label);
+    let _ = writeln!(
+        out,
+        "engines: {} fast insn, {} slow insn over {} fast / {} slow steps",
+        d.sim.fast_insns, d.sim.slow_insns, d.sim.fast_steps, d.sim.slow_steps
+    );
+    let _ = writeln!(
+        out,
+        "replay:  {} actions, {} misses, {} recoveries, {} ext calls",
+        d.sim.actions_replayed, d.sim.misses, d.sim.recoveries, d.sim.ext_calls
+    );
+    let Some(m) = &d.metrics else {
+        let _ = writeln!(out, "derived: (run was not observed)");
+        return;
+    };
+    let _ = writeln!(
+        out,
+        "derived: {} engine switches, {} clean slow hand-offs, {} cache clears",
+        m.engine_switches, m.need_slow, m.cache_clears
+    );
+    let hot = hottest(&m.action_replays, 5);
+    if !hot.is_empty() {
+        let list: Vec<String> = hot
+            .iter()
+            .map(|&(a, c)| format!("#{a}\u{d7}{c}"))
+            .collect();
+        let _ = writeln!(out, "hottest replayed actions: {}", list.join(", "));
+    }
+    print_hist(out, "recovery depth", &m.recovery_depth, "");
+    print_hist(out, "slow-step time", &m.slow_step_ns, "ns");
+    print_hist(out, "fast-burst time", &m.fast_burst_ns, "ns");
+    print_hist(out, "fast-burst steps", &m.fast_burst_steps, "");
+}
+
+fn print_hist(out: &mut String, name: &str, h: &LogHistogram, unit: &str) {
+    if h.count() == 0 {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "{name}: n={} mean={:.1}{unit} p50\u{2265}{}{unit} p99\u{2265}{}{unit} max={}{unit}",
+        h.count(),
+        h.mean(),
+        h.quantile_lo(50),
+        h.quantile_lo(99),
+        h.max(),
+    );
+}
+
+/// Top `n` (action, count) pairs by replay count.
+fn hottest(replays: &[u64], n: usize) -> Vec<(usize, u64)> {
+    let mut pairs: Vec<(usize, u64)> = replays
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(n);
+    pairs
+}
+
+fn fmt_rate(ips: f64) -> String {
+    if ips >= 1e6 {
+        format!("{:.2}M", ips / 1e6)
+    } else if ips > 0.0 {
+        format!("{:.1}k", ips / 1e3)
+    } else {
+        "-".to_owned()
+    }
+}

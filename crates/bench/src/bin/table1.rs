@@ -5,12 +5,13 @@
 //! synthetic runs sit lower — the per-benchmark ORDER is the
 //! reproduction target (gcc/go worst, tight FP loops best).
 //!
-//! Usage: table1 [--scale F]
+//! Usage: table1 [--scale F] [--metrics-out table1.jsonl]
 
 use bench::*;
 
 fn main() {
     let scale = arg_f64("--scale", 1.0);
+    let mut sink = MetricsSink::from_args();
     println!("Table 1: percentage of instructions fast-forwarded (Facile OOO)\n");
     println!("{:<14} {:>12} {:>10} {:>10}", "benchmark", "insns", "ff%", "paper%");
     let paper: &[(&str, f64)] = &[
@@ -24,7 +25,7 @@ fn main() {
     let step = compile_facile(FacileSim::Ooo);
     for w in facile_workloads::suite() {
         let image = workload_image(&w, scale);
-        let r = run_facile(&step, FacileSim::Ooo, &image, true, None);
+        let r = run_facile_sink(&step, FacileSim::Ooo, &image, true, None, w.name, &mut sink);
         let p = paper.iter().find(|(n, _)| *n == w.name).map(|(_, v)| *v).unwrap_or(0.0);
         println!(
             "{:<14} {:>12} {:>10.3} {:>10.3}",
@@ -34,4 +35,5 @@ fn main() {
             p
         );
     }
+    sink.finish();
 }

@@ -7,6 +7,7 @@
 
 use facile::hosts::{initial_args, ArchHost};
 use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
+use facile_obs::{CacheStatsSnapshot, MetricsDoc, SimStatsSnapshot};
 use facile_runtime::Image;
 use facile_workloads::Workload;
 use std::time::{Duration, Instant};
@@ -39,13 +40,84 @@ impl RunResult {
 /// halt on their own).
 pub const MAX_INSNS: u64 = 2_000_000_000;
 
+/// Collects one `facile-obs` metrics document per run; [`finish`]
+/// (MetricsSink::finish) writes them as JSONL to the `--metrics-out`
+/// path. Without the flag the sink is inert and the runners skip all
+/// observation work.
+pub struct MetricsSink {
+    path: Option<String>,
+    lines: Vec<String>,
+}
+
+impl MetricsSink {
+    /// Binds to the `--metrics-out <path>` command-line argument.
+    pub fn from_args() -> MetricsSink {
+        MetricsSink {
+            path: arg_str("--metrics-out"),
+            lines: Vec::new(),
+        }
+    }
+
+    /// A sink that collects nothing.
+    pub fn disabled() -> MetricsSink {
+        MetricsSink {
+            path: None,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Whether documents are being collected.
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Adds one document (no-op when inactive).
+    pub fn push(&mut self, doc: &MetricsDoc) {
+        if self.active() {
+            self.lines.push(doc.to_json());
+        }
+    }
+
+    /// Writes the collected documents as JSONL and reports the path.
+    pub fn finish(&self) {
+        let Some(path) = &self.path else { return };
+        let mut body = self.lines.join("\n");
+        body.push('\n');
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!("wrote {} metrics document(s) to {path}", self.lines.len()),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
+
 /// Runs the SimpleScalar-role conventional simulator.
 pub fn run_simplescalar(image: &Image) -> RunResult {
+    run_simplescalar_sink(image, "simplescalar", &mut MetricsSink::disabled())
+}
+
+/// [`run_simplescalar`], recording a metrics document into the sink.
+/// SimpleScalar has no fast path, so every instruction counts as slow
+/// and the cache snapshot is empty.
+pub fn run_simplescalar_sink(image: &Image, label: &str, sink: &mut MetricsSink) -> RunResult {
     let mut sim = simplescalar::SimpleScalar::new(image, simplescalar::Config::default());
     let t0 = Instant::now();
     sim.run(MAX_INSNS);
     let wall = t0.elapsed();
     assert!(sim.halted(), "workload did not halt under simplescalar");
+    if sink.active() {
+        sink.push(&MetricsDoc {
+            label: label.to_owned(),
+            sim: SimStatsSnapshot {
+                cycles: sim.stats.cycles,
+                insns: sim.stats.insns,
+                slow_insns: sim.stats.insns,
+                ..SimStatsSnapshot::default()
+            },
+            cache: CacheStatsSnapshot::default(),
+            wall_ns: wall.as_nanos() as u64,
+            metrics: None,
+        });
+    }
     RunResult {
         insns: sim.stats.insns,
         cycles: sim.stats.cycles,
@@ -58,11 +130,51 @@ pub fn run_simplescalar(image: &Image) -> RunResult {
 
 /// Runs the hand-coded memoizing simulator (FastSim role).
 pub fn run_fastsim(image: &Image, memoize: bool, capacity: Option<u64>) -> RunResult {
+    run_fastsim_sink(image, memoize, capacity, "fastsim", &mut MetricsSink::disabled())
+}
+
+/// [`run_fastsim`], recording a metrics document into the sink. FastSim
+/// tracks its own counters (no obs pipeline), so the document carries
+/// the snapshot fields it has and no derived registry.
+pub fn run_fastsim_sink(
+    image: &Image,
+    memoize: bool,
+    capacity: Option<u64>,
+    label: &str,
+    sink: &mut MetricsSink,
+) -> RunResult {
     let mut sim = fastsim::FastSim::new(image, memoize, capacity);
     let t0 = Instant::now();
     sim.run(MAX_INSNS);
     let wall = t0.elapsed();
     assert!(sim.halted(), "workload did not halt under fastsim");
+    if sink.active() {
+        let m = sim.memo_stats();
+        sink.push(&MetricsDoc {
+            label: label.to_owned(),
+            sim: SimStatsSnapshot {
+                cycles: sim.stats.cycles,
+                insns: sim.stats.insns,
+                fast_insns: sim.stats.fast_insns,
+                slow_insns: sim.stats.slow_insns,
+                misses: sim.stats.misses,
+                ..SimStatsSnapshot::default()
+            },
+            cache: CacheStatsSnapshot {
+                entries_created: m.entries_created,
+                nodes_created: m.cases_created,
+                clears: m.clears,
+                bytes_current: m.bytes_current,
+                bytes_total: m.bytes_total,
+                // FastSim does not track a high-water mark; the held
+                // bytes at halt are the best lower bound available.
+                bytes_peak: m.bytes_current,
+                bytes_cleared: m.bytes_total.saturating_sub(m.bytes_current),
+            },
+            wall_ns: wall.as_nanos() as u64,
+            metrics: None,
+        });
+    }
     RunResult {
         insns: sim.stats.insns,
         cycles: sim.stats.cycles,
@@ -102,6 +214,31 @@ pub fn run_facile(
     memoize: bool,
     capacity: Option<u64>,
 ) -> RunResult {
+    run_facile_sink(
+        step,
+        which,
+        image,
+        memoize,
+        capacity,
+        "facile",
+        &mut MetricsSink::disabled(),
+    )
+}
+
+/// [`run_facile`], recording a metrics document into the sink. With an
+/// active sink the run carries a full observability handle, so the
+/// document includes the derived registry (per-action replay counts,
+/// latency histograms, recovery depths); with an inert sink the run is
+/// unobserved and identical to [`run_facile`].
+pub fn run_facile_sink(
+    step: &facile::CompiledStep,
+    which: FacileSim,
+    image: &Image,
+    memoize: bool,
+    capacity: Option<u64>,
+    label: &str,
+    sink: &mut MetricsSink,
+) -> RunResult {
     let args = match which {
         FacileSim::Functional => initial_args::functional(image.entry),
         FacileSim::Inorder => initial_args::inorder(image.entry),
@@ -118,6 +255,9 @@ pub fn run_facile(
     )
     .expect("simulation constructs");
     ArchHost::new().bind(&mut sim).expect("externals bind");
+    if sink.active() {
+        facile::obs::observe_metrics(&mut sim);
+    }
     let t0 = Instant::now();
     sim.run_steps(MAX_INSNS);
     let wall = t0.elapsed();
@@ -125,6 +265,9 @@ pub fn run_facile(
         sim.halted().is_some(),
         "workload did not halt under the facile simulator"
     );
+    if sink.active() {
+        sink.push(&facile::obs::metrics_doc(label, &sim, wall.as_nanos() as u64));
+    }
     let cs = sim.cache_stats();
     RunResult {
         insns: sim.stats().insns,
@@ -159,6 +302,15 @@ pub fn harmonic_mean(values: &[f64]) -> f64 {
     n / values.iter().map(|v| 1.0 / v.max(1e-12)).sum::<f64>()
 }
 
+/// Reads a `--name <value>` string argument.
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 /// Reads a `--scale <f64>` style argument with a default.
 pub fn arg_f64(name: &str, default: f64) -> f64 {
     let args: Vec<String> = std::env::args().collect();
@@ -167,4 +319,24 @@ pub fn arg_f64(name: &str, default: f64) -> f64 {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Times `f` over `samples` runs and prints one line per configuration:
+/// label, best and median wall time, and the checksum of the last run
+/// (so the measured work cannot be optimized away). Replaces the
+/// external criterion harness; the workspace builds offline.
+pub fn time_bench(label: &str, samples: usize, f: &mut dyn FnMut() -> u64) {
+    let mut times: Vec<Duration> = Vec::with_capacity(samples.max(1));
+    let mut check = 0u64;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        check = f();
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let best = times[0];
+    let median = times[times.len() / 2];
+    println!(
+        "{label:<40} best {best:>10.3?}  median {median:>10.3?}  (check {check})"
+    );
 }

@@ -16,6 +16,16 @@
 //! instead of a file. `--run <prog.asm> [--steps N]` additionally
 //! assembles a TRISC program, binds the standard micro-architecture
 //! components and simulates it, reporting the statistics.
+//!
+//! Observability (with `--run`):
+//!
+//! ```text
+//! --metrics-out <path>   # write a facile-obs/v1 metrics JSON document
+//! --trace-out <path>     # stream the structured trace as JSONL
+//! ```
+//!
+//! Either flag attaches an observer to the run; `sim_report` (in the
+//! bench crate) renders paper-style tables from the metrics documents.
 
 use facile::{compile_source, CompilerOptions};
 use std::process::ExitCode;
@@ -27,9 +37,31 @@ fn main() -> ExitCode {
     let mut emit = "stats".to_owned();
     let mut run: Option<String> = None;
     let mut steps: u64 = u64::MAX >> 1;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => trace_out = Some(v.clone()),
+                    None => {
+                        eprintln!("facilec: --trace-out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--metrics-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => metrics_out = Some(v.clone()),
+                    None => {
+                        eprintln!("facilec: --metrics-out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--emit" => {
                 i += 1;
                 emit = args.get(i).cloned().unwrap_or_default();
@@ -53,6 +85,7 @@ fn main() -> ExitCode {
                 eprintln!("usage: facilec <file.fac> [--emit ast|ir|bta|actions|stats]");
                 eprintln!("       facilec --builtin functional|inorder|ooo [--emit ...]");
                 eprintln!("       facilec --builtin ooo --run prog.asm [--steps N]");
+                eprintln!("               [--metrics-out m.json] [--trace-out t.jsonl]");
                 return ExitCode::SUCCESS;
             }
             f if !f.starts_with('-') => file = Some(f.to_owned()),
@@ -107,7 +140,11 @@ fn main() -> ExitCode {
     };
 
     if let Some(prog) = run {
-        return run_target(step, &builtin, &prog, steps);
+        return run_target(step, &builtin, &prog, steps, trace_out, metrics_out);
+    }
+    if trace_out.is_some() || metrics_out.is_some() {
+        eprintln!("facilec: --trace-out/--metrics-out require --run");
+        return ExitCode::FAILURE;
     }
 
     match emit.as_str() {
@@ -173,9 +210,11 @@ fn run_target(
     builtin: &Option<String>,
     prog: &str,
     steps: u64,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 ) -> ExitCode {
     use facile::hosts::{initial_args, ArchHost};
-    use facile::{SimOptions, Simulation, Target};
+    use facile::{ObsConfig, ObsHandle, SimOptions, Simulation, Target};
 
     let asm = match std::fs::read_to_string(prog) {
         Ok(s) => s,
@@ -208,9 +247,40 @@ fn run_target(
         eprintln!("facilec: {e}");
         return ExitCode::FAILURE;
     }
+    if trace_out.is_some() || metrics_out.is_some() {
+        let obs = ObsHandle::new(ObsConfig::default());
+        if let Some(path) = &trace_out {
+            match std::fs::File::create(path) {
+                Ok(f) => obs.set_writer(Box::new(std::io::BufWriter::new(f))),
+                Err(e) => {
+                    eprintln!("facilec: cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sim.attach_obs(obs);
+    }
     let t0 = std::time::Instant::now();
     let halt = sim.run_steps(steps);
     let wall = t0.elapsed();
+    sim.obs().flush();
+    if sim.obs().io_errors() > 0 {
+        eprintln!(
+            "facilec: warning: {} trace write error(s)",
+            sim.obs().io_errors()
+        );
+    }
+    if let Some(path) = &metrics_out {
+        let label = format!(
+            "{} {prog}",
+            builtin.as_deref().unwrap_or("custom")
+        );
+        let doc = facile::obs::metrics_doc(&label, &sim, wall.as_nanos() as u64);
+        if let Err(e) = std::fs::write(path, doc.to_json() + "\n") {
+            eprintln!("facilec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     println!("halted:      {halt:?}");
     println!("insns:       {}", sim.stats().insns);
     println!("cycles:      {}", sim.stats().cycles);

@@ -52,11 +52,13 @@
 //! (`facile-isa`).
 
 pub mod hosts;
+pub mod obs;
 pub mod sims;
 
 pub use facile_bta::LiftConfig;
 pub use facile_codegen::{CodegenConfig, CompiledStep};
 pub use facile_lang::{Diagnostic, Diagnostics, Severity};
+pub use facile_obs::{MetricsDoc, ObsConfig, ObsHandle, SimObserver, TraceEvent};
 pub use facile_runtime::{CacheStats, HaltReason, Image, Memory, SimStats, Target};
 pub use facile_vm::{ArgValue, SimError, SimOptions, Simulation};
 

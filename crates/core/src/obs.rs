@@ -1,0 +1,116 @@
+//! Bridges the runtime's counters to `facile-obs` metrics documents.
+//!
+//! `facile-obs` sits below `facile-runtime` in the dependency order, so
+//! it cannot reference `SimStats`/`CacheStats` directly; the conversion
+//! into plain-integer snapshots happens here, at the top of the stack.
+//! `facilec run --metrics-out` and the bench binaries all funnel through
+//! [`metrics_doc`], which makes every emitted document identical in
+//! shape — `sim_report` can render any of them.
+
+use facile_obs::{CacheStatsSnapshot, MetricsDoc, ObsConfig, ObsHandle, SimStatsSnapshot};
+use facile_runtime::{CacheStats, SimStats};
+use facile_vm::Simulation;
+
+/// Snapshots the simulation counters into the JSON-facing form.
+pub fn snapshot_sim(s: &SimStats) -> SimStatsSnapshot {
+    SimStatsSnapshot {
+        cycles: s.cycles,
+        insns: s.insns,
+        fast_insns: s.fast_insns,
+        slow_insns: s.slow_insns,
+        fast_steps: s.fast_steps,
+        slow_steps: s.slow_steps,
+        misses: s.misses,
+        recoveries: s.recoveries,
+        actions_replayed: s.actions_replayed,
+        ext_calls: s.ext_calls,
+    }
+}
+
+/// Snapshots the action-cache counters into the JSON-facing form.
+pub fn snapshot_cache(c: &CacheStats) -> CacheStatsSnapshot {
+    CacheStatsSnapshot {
+        nodes_created: c.nodes_created,
+        entries_created: c.entries_created,
+        clears: c.clears,
+        bytes_current: c.bytes_current,
+        bytes_total: c.bytes_total,
+        bytes_peak: c.bytes_peak,
+        bytes_cleared: c.bytes_cleared,
+    }
+}
+
+/// Builds one metrics document from a (finished) simulation. Includes the
+/// derived registry when an observability handle with metrics was
+/// attached; `wall_ns` is the caller-measured wall-clock duration.
+pub fn metrics_doc(label: &str, sim: &Simulation, wall_ns: u64) -> MetricsDoc {
+    MetricsDoc {
+        label: label.to_owned(),
+        sim: snapshot_sim(sim.stats()),
+        cache: snapshot_cache(&sim.cache_stats()),
+        wall_ns,
+        metrics: sim.obs().metrics(),
+    }
+}
+
+/// Attaches a metrics-only observability handle (no event ring churn
+/// beyond the default capacity, no writer) and returns it. The common
+/// setup for `--metrics-out`.
+pub fn observe_metrics(sim: &mut Simulation) -> ObsHandle {
+    let obs = ObsHandle::new(ObsConfig::default());
+    sim.attach_obs(obs.clone());
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_source, ArgValue, CompilerOptions, SimOptions};
+    use facile_runtime::{Image, Target};
+
+    fn counting_sim() -> Simulation {
+        let src = r#"
+            fun main(x : int) {
+                count_insns(1);
+                if (x == 0) { sim_halt(); }
+                next(x - 1);
+            }
+        "#;
+        let step = compile_source(src, &CompilerOptions::default()).unwrap();
+        Simulation::new(
+            step,
+            Target::load(&Image::default()),
+            &[ArgValue::Scalar(40)],
+            SimOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn doc_mirrors_live_counters() {
+        let mut sim = counting_sim();
+        sim.run_steps(1_000);
+        let doc = metrics_doc("count-down", &sim, 12_345);
+        assert_eq!(doc.sim.insns, sim.stats().insns);
+        assert_eq!(doc.sim.misses, sim.stats().misses);
+        assert_eq!(doc.cache.bytes_total, sim.cache_stats().bytes_total);
+        assert_eq!(doc.wall_ns, 12_345);
+        assert!(doc.metrics.is_none(), "no observer was attached");
+    }
+
+    #[test]
+    fn observed_run_carries_the_registry() {
+        let mut sim = counting_sim();
+        let obs = observe_metrics(&mut sim);
+        sim.run_steps(1_000);
+        let doc = metrics_doc("count-down", &sim, 0);
+        let m = doc.metrics.clone().expect("metrics registry present");
+        let replay_total: u64 = m.action_replays.iter().sum();
+        assert_eq!(replay_total, sim.stats().actions_replayed);
+        assert_eq!(m.misses, sim.stats().misses);
+        assert!(obs.total_events() > 0, "the run emitted trace events");
+        // And the document survives its own serialization.
+        let back = MetricsDoc::from_json(&doc.to_json()).unwrap();
+        assert_eq!(back.sim, doc.sim);
+    }
+}

@@ -58,3 +58,63 @@ fn unknown_builtin_fails() {
     assert!(!ok);
     assert!(stderr.contains("unknown builtin"));
 }
+
+const LOOP_ASM: &str = "addi r1, r0, 200\n\
+     addi r2, r0, 0\n\
+     loop: add r2, r2, r1\n\
+     addi r1, r1, -1\n\
+     bne r1, r0, loop\n\
+     out r2\n\
+     halt\n";
+
+#[test]
+fn run_emits_parseable_metrics_and_trace() {
+    let dir = std::env::temp_dir().join("facilec_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let asm = dir.join("loop.asm");
+    std::fs::write(&asm, LOOP_ASM).unwrap();
+    let metrics = dir.join("loop_metrics.json");
+    let trace = dir.join("loop_trace.jsonl");
+    let (ok, _, stderr) = facilec(&[
+        "--builtin",
+        "functional",
+        "--run",
+        asm.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+
+    let doc = facile::MetricsDoc::from_json(&std::fs::read_to_string(&metrics).unwrap())
+        .expect("metrics file holds a facile-obs/v1 document");
+    assert!(doc.sim.insns > 200, "the loop executes: {:?}", doc.sim);
+    assert_eq!(doc.sim.fast_insns + doc.sim.slow_insns, doc.sim.insns);
+    assert_eq!(doc.sim.misses, doc.sim.recoveries);
+    let m = doc.metrics.expect("observed run carries the derived registry");
+    assert_eq!(m.action_replays.iter().sum::<u64>(), doc.sim.actions_replayed);
+
+    // Every trace line is standalone JSON with an "ev" discriminator,
+    // and the run's halt is in the stream.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let mut halts = 0;
+    let mut lines = 0;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        lines += 1;
+        let v = facile_obs::json::parse(line).expect("trace line parses");
+        let ev = v.get("ev").and_then(|e| e.as_str()).expect("has ev kind");
+        if ev == "halt" {
+            halts += 1;
+        }
+    }
+    assert!(lines > 1, "trace has events:\n{text}");
+    assert_eq!(halts, 1, "exactly one halt event:\n{text}");
+}
+
+#[test]
+fn metrics_out_without_run_fails() {
+    let (ok, _, stderr) = facilec(&["--builtin", "functional", "--metrics-out", "/dev/null"]);
+    assert!(!ok);
+    assert!(stderr.contains("require --run"), "{stderr}");
+}

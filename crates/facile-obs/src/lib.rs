@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Observability for the two-engine simulator: structured tracing, a
+//! metrics registry and profiling hooks.
+//!
+//! The Facile execution model (slow/complete engine recording dynamic
+//! actions, fast/residual engine replaying them, recovery on action-cache
+//! miss) is easy to measure in aggregate — `SimStats` totals — but hard
+//! to *explain*: why did fast-forwarding stall, how deep do recoveries
+//! run, when did the cache clear. This crate closes that gap without
+//! taxing the replay loop:
+//!
+//! * [`event::TraceEvent`] — a structured stream of engine transitions,
+//!   step boundaries, miss → recovery → resume sequences, cache clears
+//!   and external calls; buffered in an [`ring::EventRing`] and drained
+//!   as JSONL.
+//! * [`metrics::Metrics`] — integer-only derived counters: per-action
+//!   replay counts, log-bucketed latency histograms
+//!   ([`hist::LogHistogram`]), recovery-depth distribution and cache
+//!   clear tracking.
+//! * [`observer::SimObserver`] / [`observer::ObsHandle`] — the hook
+//!   surface the engines call. A disabled handle (the default) costs one
+//!   null-check per hook site.
+//! * [`report::MetricsDoc`] — the JSON document `--metrics-out` writes
+//!   and `sim_report` renders into the paper's Table 1 / Table 2 layout,
+//!   via the offline reader/writer in [`json`].
+//!
+//! This crate is dependency-free and sits *below* `facile-runtime`, so
+//! the action cache itself can announce clears; snapshot conversion from
+//! the runtime's counter types lives up in `facile` core.
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod report;
+pub mod ring;
+
+pub use event::{EngineTag, TraceEvent};
+pub use hist::LogHistogram;
+pub use metrics::Metrics;
+pub use observer::{ObsConfig, ObsHandle, SimObserver};
+pub use report::{CacheStatsSnapshot, MetricsDoc, SimStatsSnapshot, SCHEMA};
+pub use ring::EventRing;

@@ -1,0 +1,138 @@
+//! The metrics registry.
+//!
+//! Extends the flat end-of-run counters (`SimStats`/`CacheStats`, which
+//! stay authoritative in `facile-runtime`) with the distributions the
+//! paper's evaluation needs to be *explained* rather than just totalled:
+//! per-action replay counts, per-step latency histograms, recovery-depth
+//! distribution and cache occupancy/clear tracking. All counters are
+//! integers; updates are derived from [`TraceEvent`]s plus one dedicated
+//! per-action hook kept separate because it is the hottest call site.
+
+use crate::event::TraceEvent;
+use crate::hist::LogHistogram;
+
+/// Derived metrics, updated by observing the event stream.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Replays per action number (index = action id).
+    pub action_replays: Vec<u64>,
+    /// Host-nanosecond latency of slow/complete steps.
+    pub slow_step_ns: LogHistogram,
+    /// Host-nanosecond latency of fast replay bursts.
+    pub fast_burst_ns: LogHistogram,
+    /// Steps covered per fast burst.
+    pub fast_burst_steps: LogHistogram,
+    /// Recovery-stack depth at each action-cache miss.
+    pub recovery_depth: LogHistogram,
+    /// Engine switches observed.
+    pub engine_switches: u64,
+    /// Misses observed.
+    pub misses: u64,
+    /// Recoveries completed.
+    pub recoveries: u64,
+    /// Clean (no-recovery) fast→slow boundary hand-offs.
+    pub need_slow: u64,
+    /// Cache clears observed.
+    pub cache_clears: u64,
+    /// Bytes held by the cache at its last observed clear.
+    pub bytes_at_last_clear: u64,
+    /// External calls observed in the trace.
+    pub ext_calls: u64,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one replayed action (the hot hook).
+    #[inline]
+    pub fn action_replayed(&mut self, action: u32) {
+        let i = action as usize;
+        if i >= self.action_replays.len() {
+            self.action_replays.resize(i + 1, 0);
+        }
+        self.action_replays[i] = self.action_replays[i].saturating_add(1);
+    }
+
+    /// Folds one trace event into the registry.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::EngineSwitch { .. } => {
+                self.engine_switches = self.engine_switches.saturating_add(1);
+            }
+            TraceEvent::SlowStep { ns, .. } => {
+                self.slow_step_ns.record(ns);
+            }
+            TraceEvent::FastBurst { steps, ns, .. } => {
+                self.fast_burst_ns.record(ns);
+                self.fast_burst_steps.record(steps);
+            }
+            TraceEvent::Miss { depth, .. } => {
+                self.misses = self.misses.saturating_add(1);
+                self.recovery_depth.record(depth);
+            }
+            TraceEvent::RecoveryEnd { .. } => {
+                self.recoveries = self.recoveries.saturating_add(1);
+            }
+            TraceEvent::NeedSlow { .. } => {
+                self.need_slow = self.need_slow.saturating_add(1);
+            }
+            TraceEvent::CacheClear { bytes, .. } => {
+                self.cache_clears = self.cache_clears.saturating_add(1);
+                self.bytes_at_last_clear = bytes;
+            }
+            TraceEvent::ExtCall { .. } => {
+                self.ext_calls = self.ext_calls.saturating_add(1);
+            }
+            TraceEvent::RecoveryBegin { .. } | TraceEvent::Halt { .. } => {}
+        }
+    }
+
+    /// Total replays summed over every action.
+    pub fn total_action_replays(&self) -> u64 {
+        self.action_replays
+            .iter()
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EngineTag;
+
+    #[test]
+    fn per_action_counts_grow_on_demand() {
+        let mut m = Metrics::new();
+        m.action_replayed(5);
+        m.action_replayed(5);
+        m.action_replayed(1);
+        assert_eq!(m.action_replays, vec![0, 1, 0, 0, 0, 2]);
+        assert_eq!(m.total_action_replays(), 3);
+    }
+
+    #[test]
+    fn events_update_the_right_counters() {
+        let mut m = Metrics::new();
+        m.observe(&TraceEvent::Miss { step: 1, action: 0, depth: 4 });
+        m.observe(&TraceEvent::RecoveryEnd { step: 1, action: 0, committed: 2 });
+        m.observe(&TraceEvent::CacheClear { bytes: 100, nodes: 3, clears: 1 });
+        m.observe(&TraceEvent::EngineSwitch {
+            step: 2,
+            from: EngineTag::Fast,
+            to: EngineTag::Slow,
+        });
+        m.observe(&TraceEvent::SlowStep { step: 3, insns: 1, ns: 1500 });
+        m.observe(&TraceEvent::FastBurst { step: 9, steps: 6, actions: 60, insns: 6, ns: 900 });
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.recoveries, 1);
+        assert_eq!(m.cache_clears, 1);
+        assert_eq!(m.bytes_at_last_clear, 100);
+        assert_eq!(m.engine_switches, 1);
+        assert_eq!(m.slow_step_ns.count(), 1);
+        assert_eq!(m.fast_burst_steps.sum(), 6);
+        assert_eq!(m.recovery_depth.max(), 4);
+    }
+}

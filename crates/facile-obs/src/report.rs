@@ -1,0 +1,338 @@
+//! The metrics document: the JSON contract between a simulator run and
+//! offline reporting.
+//!
+//! `facilec run --metrics-out` and the bench binaries write one
+//! [`MetricsDoc`] per run; `sim_report` reconstructs the paper-style
+//! tables from these documents alone, with no re-simulation. The
+//! document embeds plain integer snapshots of the runtime counters
+//! (`SimStats`/`CacheStats` live in `facile-runtime`, which this crate
+//! sits below, so the conversion happens in `facile` core) plus the
+//! derived [`Metrics`] registry when observation was enabled.
+
+use crate::hist::LogHistogram;
+use crate::json::{escape_into, parse, ParseError, Value};
+use crate::metrics::Metrics;
+use std::fmt::Write as _;
+
+/// Schema tag written into every document.
+pub const SCHEMA: &str = "facile-obs/v1";
+
+/// Integer snapshot of the runtime's `SimStats`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStatsSnapshot {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Simulated instructions, both engines.
+    pub insns: u64,
+    /// Instructions retired by the fast engine.
+    pub fast_insns: u64,
+    /// Instructions retired by the slow engine.
+    pub slow_insns: u64,
+    /// Steps completed by the fast engine.
+    pub fast_steps: u64,
+    /// Steps completed by the slow engine.
+    pub slow_steps: u64,
+    /// Action-cache misses.
+    pub misses: u64,
+    /// Miss recoveries completed.
+    pub recoveries: u64,
+    /// Actions replayed by the fast engine.
+    pub actions_replayed: u64,
+    /// External function calls.
+    pub ext_calls: u64,
+}
+
+impl SimStatsSnapshot {
+    /// Fraction of instructions executed by the fast engine.
+    pub fn fast_forwarded_fraction(&self) -> f64 {
+        if self.insns == 0 {
+            0.0
+        } else {
+            self.fast_insns as f64 / self.insns as f64
+        }
+    }
+}
+
+/// Integer snapshot of the runtime's `CacheStats`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Decision/action nodes ever created.
+    pub nodes_created: u64,
+    /// Step entries ever created.
+    pub entries_created: u64,
+    /// Times the cache was cleared.
+    pub clears: u64,
+    /// Bytes held now.
+    pub bytes_current: u64,
+    /// Bytes ever recorded (cumulative).
+    pub bytes_total: u64,
+    /// High-water mark of held bytes.
+    pub bytes_peak: u64,
+    /// Bytes released by clears (cumulative).
+    pub bytes_cleared: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Peak memoization footprint in MiB (Table 2's unit).
+    pub fn peak_mib(&self) -> f64 {
+        self.bytes_peak as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// One run's metrics, as written to `--metrics-out`.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsDoc {
+    /// Human label for the run (workload/config name).
+    pub label: String,
+    /// Snapshot of the runtime counters.
+    pub sim: SimStatsSnapshot,
+    /// Snapshot of the action-cache counters.
+    pub cache: CacheStatsSnapshot,
+    /// Wall-clock duration of the run, nanoseconds.
+    pub wall_ns: u64,
+    /// The derived registry, when observation was on during the run.
+    pub metrics: Option<Metrics>,
+}
+
+fn u64_field(v: &Value, key: &str) -> Option<u64> {
+    v.get(key)?.as_u64()
+}
+
+fn write_kv(out: &mut String, key: &str, val: u64, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(out, "\"{key}\":{val}");
+}
+
+impl MetricsDoc {
+    /// Simulated instructions per wall second (0 if no wall time).
+    pub fn insns_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.sim.insns as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Serializes the document as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"schema\":");
+        escape_into(&mut s, SCHEMA);
+        s.push_str(",\"label\":");
+        escape_into(&mut s, &self.label);
+        let _ = write!(s, ",\"wall_ns\":{},\"sim\":{{", self.wall_ns);
+        let mut first = true;
+        for (k, v) in [
+            ("cycles", self.sim.cycles),
+            ("insns", self.sim.insns),
+            ("fast_insns", self.sim.fast_insns),
+            ("slow_insns", self.sim.slow_insns),
+            ("fast_steps", self.sim.fast_steps),
+            ("slow_steps", self.sim.slow_steps),
+            ("misses", self.sim.misses),
+            ("recoveries", self.sim.recoveries),
+            ("actions_replayed", self.sim.actions_replayed),
+            ("ext_calls", self.sim.ext_calls),
+        ] {
+            write_kv(&mut s, k, v, &mut first);
+        }
+        s.push_str("},\"cache\":{");
+        let mut first = true;
+        for (k, v) in [
+            ("nodes_created", self.cache.nodes_created),
+            ("entries_created", self.cache.entries_created),
+            ("clears", self.cache.clears),
+            ("bytes_current", self.cache.bytes_current),
+            ("bytes_total", self.cache.bytes_total),
+            ("bytes_peak", self.cache.bytes_peak),
+            ("bytes_cleared", self.cache.bytes_cleared),
+        ] {
+            write_kv(&mut s, k, v, &mut first);
+        }
+        s.push('}');
+        if let Some(m) = &self.metrics {
+            s.push_str(",\"derived\":{");
+            let mut first = true;
+            for (k, v) in [
+                ("engine_switches", m.engine_switches),
+                ("misses", m.misses),
+                ("recoveries", m.recoveries),
+                ("need_slow", m.need_slow),
+                ("cache_clears", m.cache_clears),
+                ("bytes_at_last_clear", m.bytes_at_last_clear),
+                ("ext_calls", m.ext_calls),
+            ] {
+                write_kv(&mut s, k, v, &mut first);
+            }
+            s.push_str(",\"action_replays\":[");
+            for (i, c) in m.action_replays.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push(']');
+            for (k, h) in [
+                ("slow_step_ns", &m.slow_step_ns),
+                ("fast_burst_ns", &m.fast_burst_ns),
+                ("fast_burst_steps", &m.fast_burst_steps),
+                ("recovery_depth", &m.recovery_depth),
+            ] {
+                let _ = write!(s, ",\"{k}\":{}", h.to_json());
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+
+    /// Rebuilds a document from its parsed JSON value.
+    pub fn from_value(v: &Value) -> Option<MetricsDoc> {
+        if v.get("schema")?.as_str()? != SCHEMA {
+            return None;
+        }
+        let sim_v = v.get("sim")?;
+        let cache_v = v.get("cache")?;
+        let sim = SimStatsSnapshot {
+            cycles: u64_field(sim_v, "cycles")?,
+            insns: u64_field(sim_v, "insns")?,
+            fast_insns: u64_field(sim_v, "fast_insns")?,
+            slow_insns: u64_field(sim_v, "slow_insns")?,
+            fast_steps: u64_field(sim_v, "fast_steps")?,
+            slow_steps: u64_field(sim_v, "slow_steps")?,
+            misses: u64_field(sim_v, "misses")?,
+            recoveries: u64_field(sim_v, "recoveries")?,
+            actions_replayed: u64_field(sim_v, "actions_replayed")?,
+            ext_calls: u64_field(sim_v, "ext_calls")?,
+        };
+        let cache = CacheStatsSnapshot {
+            nodes_created: u64_field(cache_v, "nodes_created")?,
+            entries_created: u64_field(cache_v, "entries_created")?,
+            clears: u64_field(cache_v, "clears")?,
+            bytes_current: u64_field(cache_v, "bytes_current")?,
+            bytes_total: u64_field(cache_v, "bytes_total")?,
+            bytes_peak: u64_field(cache_v, "bytes_peak")?,
+            bytes_cleared: u64_field(cache_v, "bytes_cleared")?,
+        };
+        let metrics = v.get("derived").and_then(|d| {
+            Some(Metrics {
+                action_replays: d
+                    .get("action_replays")?
+                    .as_arr()?
+                    .iter()
+                    .map(|c| c.as_u64().unwrap_or(0))
+                    .collect(),
+                slow_step_ns: LogHistogram::from_json(d.get("slow_step_ns")?)?,
+                fast_burst_ns: LogHistogram::from_json(d.get("fast_burst_ns")?)?,
+                fast_burst_steps: LogHistogram::from_json(d.get("fast_burst_steps")?)?,
+                recovery_depth: LogHistogram::from_json(d.get("recovery_depth")?)?,
+                engine_switches: u64_field(d, "engine_switches")?,
+                misses: u64_field(d, "misses")?,
+                recoveries: u64_field(d, "recoveries")?,
+                need_slow: u64_field(d, "need_slow")?,
+                cache_clears: u64_field(d, "cache_clears")?,
+                bytes_at_last_clear: u64_field(d, "bytes_at_last_clear")?,
+                ext_calls: u64_field(d, "ext_calls")?,
+            })
+        });
+        Some(MetricsDoc {
+            label: v.get("label")?.as_str()?.to_string(),
+            sim,
+            cache,
+            wall_ns: u64_field(v, "wall_ns")?,
+            metrics,
+        })
+    }
+
+    /// Parses a document from JSON text.
+    pub fn from_json(text: &str) -> Result<MetricsDoc, ParseError> {
+        let v = parse(text)?;
+        MetricsDoc::from_value(&v).ok_or(ParseError {
+            msg: "not a facile-obs/v1 metrics document",
+            at: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn sample_doc() -> MetricsDoc {
+        let mut m = Metrics::new();
+        m.action_replayed(0);
+        m.action_replayed(2);
+        m.action_replayed(2);
+        m.observe(&TraceEvent::Miss { step: 5, action: 2, depth: 3 });
+        m.observe(&TraceEvent::RecoveryEnd { step: 5, action: 2, committed: 1 });
+        m.observe(&TraceEvent::SlowStep { step: 6, insns: 1, ns: 420 });
+        MetricsDoc {
+            label: "functional.fac go.ss".into(),
+            sim: SimStatsSnapshot {
+                cycles: 10,
+                insns: 100,
+                fast_insns: 90,
+                slow_insns: 10,
+                fast_steps: 90,
+                slow_steps: 10,
+                misses: 1,
+                recoveries: 1,
+                actions_replayed: 3,
+                ext_calls: 2,
+            },
+            cache: CacheStatsSnapshot {
+                nodes_created: 7,
+                entries_created: 4,
+                clears: 1,
+                bytes_current: 64,
+                bytes_total: 128,
+                bytes_peak: 96,
+                bytes_cleared: 64,
+            },
+            wall_ns: 1_000_000,
+            metrics: Some(m),
+        }
+    }
+
+    #[test]
+    fn document_round_trips() {
+        let doc = sample_doc();
+        let back = MetricsDoc::from_json(&doc.to_json()).unwrap();
+        assert_eq!(back.label, doc.label);
+        assert_eq!(back.sim, doc.sim);
+        assert_eq!(back.cache, doc.cache);
+        assert_eq!(back.wall_ns, doc.wall_ns);
+        let (a, b) = (back.metrics.unwrap(), doc.metrics.unwrap());
+        assert_eq!(a.action_replays, b.action_replays);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.recovery_depth, b.recovery_depth);
+        assert_eq!(a.slow_step_ns, b.slow_step_ns);
+    }
+
+    #[test]
+    fn document_without_metrics_round_trips() {
+        let mut doc = sample_doc();
+        doc.metrics = None;
+        let back = MetricsDoc::from_json(&doc.to_json()).unwrap();
+        assert!(back.metrics.is_none());
+        assert_eq!(back.sim, doc.sim);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let doc = sample_doc();
+        assert!((doc.sim.fast_forwarded_fraction() - 0.9).abs() < 1e-12);
+        assert!((doc.insns_per_sec() - 100_000.0).abs() < 1e-6);
+        assert!(doc.cache.peak_mib() > 0.0);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let json = sample_doc().to_json().replace(SCHEMA, "facile-obs/v0");
+        assert!(MetricsDoc::from_json(&json).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! A bounded event ring.
+//!
+//! Trace events buffer here before being drained as JSONL. With a writer
+//! attached the ring flushes itself when full (streaming mode, nothing is
+//! lost); without one, the oldest events are overwritten and counted in
+//! [`EventRing::dropped`], so a bounded tail of the run is always
+//! available for post-mortem inspection.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+
+/// Default ring capacity (events).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A bounded buffer of trace events.
+#[derive(Debug, Default)]
+pub struct EventRing {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    total: u64,
+}
+
+impl EventRing {
+    /// A ring holding up to `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            total: 0,
+        }
+    }
+
+    /// Whether the next push would exceed capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() >= self.capacity
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.is_full() {
+            self.buf.pop_front();
+            self.dropped = self.dropped.saturating_add(1);
+        }
+        self.buf.push_back(ev);
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted without being drained.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Serializes and removes all buffered events as JSONL.
+    pub fn drain_jsonl(&mut self) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 48);
+        for ev in self.buf.drain(..) {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(step: u64) -> TraceEvent {
+        TraceEvent::NeedSlow { step }
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total(), 5);
+        let steps: Vec<u64> = r
+            .drain()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::NeedSlow { step } => *step,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(steps, vec![2, 3, 4]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn drain_jsonl_is_one_line_per_event() {
+        let mut r = EventRing::new(8);
+        r.push(ev(1));
+        r.push(ev(2));
+        let text = r.drain_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(crate::json::parse(line).is_ok(), "{line}");
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! reproduces §6.2's 256 MB experiments.
 
 use crate::key::{varint_len, zigzag, Key};
+use facile_obs::{ObsHandle, TraceEvent};
 use std::collections::HashMap;
 
 /// Index of a node in the action cache arena.
@@ -90,6 +91,9 @@ pub struct CacheStats {
     pub bytes_total: u64,
     /// High-water mark of `bytes_current`.
     pub bytes_peak: u64,
+    /// Bytes released by clears (cumulative). Invariant:
+    /// `bytes_total == bytes_current + bytes_cleared`.
+    pub bytes_cleared: u64,
 }
 
 /// The specialized action cache.
@@ -101,6 +105,8 @@ pub struct ActionCache {
     stats: CacheStats,
     /// Bumped on every clear so engines can notice stale node ids.
     generation: u64,
+    /// Observability hook; disabled (free) by default.
+    obs: ObsHandle,
 }
 
 /// Fixed per-node overhead charged to the byte budget (action number +
@@ -118,7 +124,15 @@ impl ActionCache {
             capacity: None,
             stats: CacheStats::default(),
             generation: 0,
+            obs: ObsHandle::off(),
         }
+    }
+
+    /// Attaches an observability handle; the cache announces clears
+    /// through it. Pass a clone of the simulation's handle so all
+    /// components feed one stream.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// A cache that clears itself when `bytes` are exceeded (checked at
@@ -161,11 +175,21 @@ impl ActionCache {
     /// Outstanding [`NodeId`]s and [`Cursor`]s become invalid; engines
     /// detect this through [`generation`](Self::generation).
     pub fn clear(&mut self) {
+        let freed = self.stats.bytes_current;
+        let nodes = self.nodes.len() as u64;
         self.nodes.clear();
         self.entries.clear();
+        self.stats.bytes_cleared = self.stats.bytes_cleared.saturating_add(freed);
         self.stats.bytes_current = 0;
         self.stats.clears += 1;
         self.generation += 1;
+        if self.obs.enabled() {
+            self.obs.emit(TraceEvent::CacheClear {
+                bytes: freed,
+                nodes,
+                clears: self.stats.clears,
+            });
+        }
     }
 
     /// The entry node for `key`, if one was recorded.
@@ -217,10 +241,10 @@ impl ActionCache {
                 .iter()
                 .map(|&v| varint_len(zigzag(v)) as u64)
                 .sum::<u64>();
-        self.stats.bytes_current += bytes;
-        self.stats.bytes_total += bytes;
+        self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
+        self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
         self.stats.bytes_peak = self.stats.bytes_peak.max(self.stats.bytes_current);
-        self.stats.nodes_created += 1;
+        self.stats.nodes_created = self.stats.nodes_created.saturating_add(1);
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             action,
@@ -249,8 +273,9 @@ impl ActionCache {
                             "test successor already recorded"
                         );
                         list.push((*v, new));
-                        self.stats.bytes_current += varint_len(zigzag(*v)) as u64 + 4;
-                        self.stats.bytes_total += varint_len(zigzag(*v)) as u64 + 4;
+                        let bytes = varint_len(zigzag(*v)) as u64 + 4;
+                        self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
+                        self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
                     }
                     other => unreachable!("test cursor on non-test node: {other:?}"),
                 }
@@ -265,8 +290,9 @@ impl ActionCache {
                         other => unreachable!("index cursor on non-index node: {other:?}"),
                     }
                 }
-                self.stats.bytes_current += key.len() as u64 + 4;
-                self.stats.bytes_total += key.len() as u64 + 4;
+                let bytes = key.len() as u64 + 4;
+                self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
+                self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
                 self.register_entry(key.clone(), new);
             }
         }
@@ -276,10 +302,10 @@ impl ActionCache {
         let bytes = key.len() as u64 + ENTRY_OVERHEAD;
         if let std::collections::hash_map::Entry::Vacant(slot) = self.entries.entry(key) {
             slot.insert(node);
-            self.stats.bytes_current += bytes;
-            self.stats.bytes_total += bytes;
+            self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
+            self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
             self.stats.bytes_peak = self.stats.bytes_peak.max(self.stats.bytes_current);
-            self.stats.entries_created += 1;
+            self.stats.entries_created = self.stats.entries_created.saturating_add(1);
         }
     }
 
@@ -331,8 +357,9 @@ impl ActionCache {
             if let Succ::Index(list) = &mut node.succ {
                 if !list.iter().any(|(s, _)| &**s == sig.as_slice()) {
                     list.push((sig.clone().into_boxed_slice(), entry));
-                    self.stats.bytes_current += key.len() as u64 + 4;
-                    self.stats.bytes_total += key.len() as u64 + 4;
+                    let bytes = key.len() as u64 + 4;
+                    self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
+                    self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
                 }
             }
         }
@@ -473,6 +500,48 @@ mod tests {
         // First registration wins; stats count one entry.
         assert_eq!(c.entry(&key(1)), Some(a));
         assert_eq!(c.stats().entries_created, 1);
+    }
+
+    #[test]
+    fn clear_accounts_released_bytes() {
+        let mut c = ActionCache::with_capacity(50);
+        let mut cur = Cursor::AtEntry(key(1));
+        for i in 0..10 {
+            c.record_plain(&mut cur, i, vec![1]);
+        }
+        let before = c.stats();
+        c.clear();
+        let mut cur2 = Cursor::AtEntry(key(2));
+        c.record_plain(&mut cur2, 0, vec![2]);
+        let after = c.stats();
+        assert_eq!(after.bytes_cleared, before.bytes_current);
+        assert_eq!(
+            after.bytes_total,
+            after.bytes_current + after.bytes_cleared,
+            "total = current + cleared must hold across clears"
+        );
+    }
+
+    #[test]
+    fn clear_announces_itself_to_the_observer() {
+        use facile_obs::{ObsConfig, ObsHandle, TraceEvent};
+        let mut c = ActionCache::new();
+        let obs = ObsHandle::new(ObsConfig::default());
+        c.set_obs(obs.clone());
+        let mut cur = Cursor::AtEntry(key(1));
+        c.record_plain(&mut cur, 0, vec![1, 2]);
+        c.clear();
+        let events = obs.drain_events();
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            TraceEvent::CacheClear { bytes, nodes, clears } => {
+                assert!(bytes > 0);
+                assert_eq!(nodes, 1);
+                assert_eq!(clears, 1);
+            }
+            other => panic!("expected CacheClear, got {other:?}"),
+        }
+        assert_eq!(obs.metrics().unwrap().cache_clears, 1);
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub struct SimStats {
     pub slow_steps: u64,
     /// Action-cache misses that triggered recovery.
     pub misses: u64,
+    /// Miss recoveries completed (equals `misses` once a run settles —
+    /// every miss is recovered before the engines continue).
+    pub recoveries: u64,
     /// Actions replayed by the fast engine.
     pub actions_replayed: u64,
     /// External function calls made.
@@ -65,18 +68,21 @@ pub struct SimStats {
 }
 
 impl SimStats {
-    /// Records retired instructions under the current engine.
+    /// Records retired instructions under the current engine. Saturating:
+    /// a counter pinned at `u64::MAX` beats a panic mid-simulation, and
+    /// at ~10⁹ simulated instructions per second saturation is centuries
+    /// away anyway.
     pub fn count_insns(&mut self, engine: Engine, n: u64) {
-        self.insns += n;
+        self.insns = self.insns.saturating_add(n);
         match engine {
-            Engine::Fast => self.fast_insns += n,
-            Engine::Slow => self.slow_insns += n,
+            Engine::Fast => self.fast_insns = self.fast_insns.saturating_add(n),
+            Engine::Slow => self.slow_insns = self.slow_insns.saturating_add(n),
         }
     }
 
-    /// Records simulated cycles.
+    /// Records simulated cycles (saturating).
     pub fn count_cycles(&mut self, n: u64) {
-        self.cycles += n;
+        self.cycles = self.cycles.saturating_add(n);
     }
 
     /// Fraction of instructions simulated by the fast engine — the
@@ -124,5 +130,20 @@ mod tests {
         s.count_cycles(6);
         s.count_cycles(18);
         assert_eq!(s.cycles, 24);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let mut s = SimStats {
+            cycles: u64::MAX - 1,
+            insns: u64::MAX - 1,
+            fast_insns: u64::MAX - 1,
+            ..SimStats::default()
+        };
+        s.count_cycles(100);
+        s.count_insns(Engine::Fast, 100);
+        assert_eq!(s.cycles, u64::MAX);
+        assert_eq!(s.insns, u64::MAX);
+        assert_eq!(s.fast_insns, u64::MAX);
     }
 }

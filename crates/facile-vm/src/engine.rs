@@ -17,6 +17,7 @@ use crate::slow::{slow_step, Position, Recording, StepOutcome};
 use crate::state::{ExtFn, MachineState, Store};
 use facile_codegen::CompiledStep;
 use facile_ir::ir::Loc;
+use facile_obs::{EngineTag, ObsHandle, TraceEvent};
 use facile_runtime::cache::{ActionCache, Cursor, NodeId};
 use facile_runtime::key::{Key, KeyReader, KeyWriter};
 use facile_runtime::{CacheStats, Engine, HaltReason, SimStats, Target};
@@ -71,6 +72,14 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// The observability mirror of the runtime's `Engine`.
+fn obs_tag(e: Engine) -> EngineTag {
+    match e {
+        Engine::Slow => EngineTag::Slow,
+        Engine::Fast => EngineTag::Fast,
+    }
+}
 
 enum Mode {
     /// Run a slow step for this key.
@@ -163,6 +172,31 @@ impl Simulation {
         Ok(())
     }
 
+    /// Attaches an observability handle. Trace events and metrics flow
+    /// through it from this point on, from both engines and the action
+    /// cache. Pass [`ObsHandle::off()`] to detach.
+    pub fn attach_obs(&mut self, obs: ObsHandle) {
+        self.cache.set_obs(obs.clone());
+        self.st.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.st.obs
+    }
+
+    /// Emits an `EngineSwitch` event when control is about to move to an
+    /// engine other than the one currently attributed.
+    fn note_engine(&mut self, to: Engine) {
+        if self.st.obs.enabled() && self.st.engine != to {
+            self.st.obs.emit(TraceEvent::EngineSwitch {
+                step: self.st.obs_step(),
+                from: obs_tag(self.st.engine),
+                to: obs_tag(to),
+            });
+        }
+    }
+
     /// Runs until the target halts or `max_steps` simulator steps have
     /// completed. Returns the halt reason if the simulation ended.
     pub fn run_steps(&mut self, max_steps: u64) -> Option<HaltReason> {
@@ -196,6 +230,13 @@ impl Simulation {
                     self.run_slow_from(pos);
                 }
                 Mode::Fast(node, entry_key) => {
+                    self.note_engine(Engine::Fast);
+                    // Timing and counter deltas only when someone listens.
+                    let before = self
+                        .st
+                        .obs
+                        .enabled()
+                        .then(|| (std::time::Instant::now(), self.st.stats));
                     let out = fast_run(
                         &self.step,
                         &mut self.st,
@@ -205,6 +246,16 @@ impl Simulation {
                         &mut steps,
                         max_steps,
                     );
+                    if let Some((t0, b)) = before {
+                        let s = self.st.stats;
+                        self.st.obs.emit(TraceEvent::FastBurst {
+                            step: self.st.obs_step(),
+                            steps: s.fast_steps.saturating_sub(b.fast_steps),
+                            actions: s.actions_replayed.saturating_sub(b.actions_replayed),
+                            insns: s.fast_insns.saturating_sub(b.fast_insns),
+                            ns: t0.elapsed().as_nanos() as u64,
+                        });
+                    }
                     match out {
                         FastOutcome::Halted => {
                             self.mode = Mode::Done;
@@ -215,6 +266,11 @@ impl Simulation {
                             return None;
                         }
                         FastOutcome::NeedSlow { key, cursor } => {
+                            if self.st.obs.enabled() {
+                                self.st.obs.emit(TraceEvent::NeedSlow {
+                                    step: self.st.obs_step(),
+                                });
+                            }
                             self.cursor = cursor;
                             self.mode = Mode::Slow(key);
                         }
@@ -225,6 +281,8 @@ impl Simulation {
                         } => {
                             let resume =
                                 recover(&self.step, &mut self.st, &entry_key, &replayed);
+                            self.st.stats.recoveries =
+                                self.st.stats.recoveries.saturating_add(1);
                             self.cursor = cursor;
                             self.mode = Mode::SlowResume(resume);
                         }
@@ -242,7 +300,13 @@ impl Simulation {
     /// Runs one slow step (recording if memoization is on) and updates the
     /// mode from its outcome.
     fn run_slow_from(&mut self, pos: Position) {
+        self.note_engine(Engine::Slow);
         self.st.engine = Engine::Slow;
+        let before = self
+            .st
+            .obs
+            .enabled()
+            .then(|| (std::time::Instant::now(), self.st.stats.insns));
         let rec = if self.memoize {
             Some(Recording {
                 cache: &mut self.cache,
@@ -256,9 +320,16 @@ impl Simulation {
                 self.mode = Mode::Done;
             }
             StepOutcome::Next(key) => {
-                self.st.stats.slow_steps += 1;
+                self.st.stats.slow_steps = self.st.stats.slow_steps.saturating_add(1);
                 self.mode = Mode::Slow(key);
             }
+        }
+        if let Some((t0, insns0)) = before {
+            self.st.obs.emit(TraceEvent::SlowStep {
+                step: self.st.obs_step(),
+                insns: self.st.stats.insns.saturating_sub(insns0),
+                ns: t0.elapsed().as_nanos() as u64,
+            });
         }
     }
 

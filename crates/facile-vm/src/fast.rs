@@ -9,6 +9,7 @@
 use crate::state::{MachineState, Store};
 use facile_codegen::{ActionKind, CompiledStep, FOp, FOperand, KeyPlanArg};
 use facile_ir::lower::{eval_binop, eval_unop};
+use facile_obs::{EngineTag, TraceEvent};
 use facile_runtime::cache::{ActionCache, Cursor, NodeId};
 use facile_runtime::key::{Key, KeyWriter};
 use facile_runtime::{Engine, HaltReason};
@@ -86,7 +87,10 @@ pub fn fast_run(
                 return FastOutcome::Halted;
             }
         }
-        st.stats.actions_replayed += 1;
+        st.stats.actions_replayed = st.stats.actions_replayed.saturating_add(1);
+        if st.obs.enabled() {
+            st.obs.action_replayed(action);
+        }
 
         match &code.kind {
             ActionKind::Plain => {
@@ -97,7 +101,7 @@ pub fn fast_run(
                 match cache.next_plain(node) {
                     Some(next) => node = next,
                     None => {
-                        st.stats.misses += 1;
+                        note_miss(st, action, replayed.len());
                         return FastOutcome::Miss {
                             entry_key: current_entry_key(step, cache, &entry_key, &cur_index),
                             replayed,
@@ -115,7 +119,7 @@ pub fn fast_run(
                 match cache.next_test(node, v) {
                     Some(next) => node = next,
                     None => {
-                        st.stats.misses += 1;
+                        note_miss(st, action, replayed.len());
                         return FastOutcome::Miss {
                             entry_key: current_entry_key(step, cache, &entry_key, &cur_index),
                             replayed,
@@ -125,7 +129,7 @@ pub fn fast_run(
                 }
             }
             ActionKind::Index { plan } => {
-                st.stats.fast_steps += 1;
+                st.stats.fast_steps = st.stats.fast_steps.saturating_add(1);
                 *steps += 1;
                 // Fast path: follow the node-local link keyed by the
                 // dynamic key components — no key serialization.
@@ -169,6 +173,18 @@ pub fn fast_run(
                 }
             }
         }
+    }
+}
+
+/// Counts an action-cache miss and announces it to the observer.
+fn note_miss(st: &mut MachineState, action: u32, depth: usize) {
+    st.stats.misses = st.stats.misses.saturating_add(1);
+    if st.obs.enabled() {
+        st.obs.emit(TraceEvent::Miss {
+            step: st.obs_step(),
+            action,
+            depth: depth as u64,
+        });
     }
 }
 
@@ -275,6 +291,13 @@ fn exec_fop(op: &FOp, st: &mut MachineState, data: &[i64], ph: &mut usize) -> bo
         FOp::Halt { code } => {
             let c = e!(*code);
             st.halted = Some(HaltReason::from_code(c));
+            if st.obs.enabled() {
+                st.obs.emit(TraceEvent::Halt {
+                    step: st.obs_step(),
+                    engine: EngineTag::Fast,
+                    code: c,
+                });
+            }
             return true;
         }
         FOp::Trace { v } => {

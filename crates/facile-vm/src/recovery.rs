@@ -24,6 +24,7 @@ use crate::slow::Position;
 use crate::state::{AggLayout, AggStorage, MachineState, ShadowState, Store};
 use facile_codegen::{Closes, CompiledStep, Resume};
 use facile_ir::ir::{Inst, Loc, Terminator, VarKind};
+use facile_obs::{ObsHandle, TraceEvent};
 use facile_runtime::key::{Key, KeyReader};
 use facile_sema::Type;
 
@@ -62,6 +63,14 @@ pub fn recover(
     replayed: &[Replayed],
 ) -> Position {
     assert!(!replayed.is_empty(), "recovery needs at least the miss action");
+    let obs = st.obs.clone();
+    let step_no = st.obs_step();
+    if obs.enabled() {
+        obs.emit(TraceEvent::RecoveryBegin {
+            step: step_no,
+            depth: replayed.len() as u64,
+        });
+    }
     let MachineState {
         ref mut regs,
         ref mut var_aggs,
@@ -116,7 +125,7 @@ pub fn recover(
                         }
                         if item == replayed.len() {
                             // The miss action: commit and resume after it.
-                            commit(step, &mut real, &shadow, r.action);
+                            commit(step, &mut real, &shadow, r.action, &obs, step_no);
                             let Resume::AtInst { block, inst } =
                                 step.actions[r.action as usize].resume
                             else {
@@ -156,7 +165,7 @@ pub fn recover(
         if annots.term_action.is_none() {
             if let Some(r) = current.take() {
                 if item == replayed.len() {
-                    commit(step, &mut real, &shadow, r.action);
+                    commit(step, &mut real, &shadow, r.action, &obs, step_no);
                     return Position {
                         block,
                         inst: b.insts.len(),
@@ -179,7 +188,7 @@ pub fn recover(
                     let r = take_term_item(replayed, &mut item, &mut current, a);
                     let v = r.value.expect("test actions record their value");
                     if item == replayed.len() {
-                        commit(step, &mut real, &shadow, a);
+                        commit(step, &mut real, &shadow, a, &obs, step_no);
                         return Position {
                             block: if v != 0 { *then_bb } else { *else_bb },
                             inst: 0,
@@ -201,7 +210,7 @@ pub fn recover(
                     let r = take_term_item(replayed, &mut item, &mut current, a);
                     let v = r.value.expect("test actions record their value");
                     if item == replayed.len() {
-                        commit(step, &mut real, &shadow, a);
+                        commit(step, &mut real, &shadow, a, &obs, step_no);
                         let target = cases
                             .iter()
                             .find(|(c, _)| *c == v)
@@ -268,8 +277,16 @@ fn seed_params(step: &CompiledStep, shadow: &mut ShadowState<'_>, key: &Key) {
 }
 
 /// Copies every slot that is run-time static (and live) after `action`
-/// from the shadow to the real state.
-fn commit(step: &CompiledStep, real: &mut RealSlots<'_>, shadow: &ShadowState<'_>, action: u32) {
+/// from the shadow to the real state, then announces the end of the
+/// recovery (with the number of slots committed) to the observer.
+fn commit(
+    step: &CompiledStep,
+    real: &mut RealSlots<'_>,
+    shadow: &ShadowState<'_>,
+    action: u32,
+    obs: &ObsHandle,
+    step_no: u64,
+) {
     let code = &step.actions[action as usize];
     for &v in code.known_vars_after.iter() {
         real.regs[v.index()] = shadow.reg(v);
@@ -286,5 +303,15 @@ fn commit(step: &CompiledStep, real: &mut RealSlots<'_>, shadow: &ShadowState<'_
                 real.agg_mut(Loc::Global(g)).copy_from(src);
             }
         }
+    }
+    if obs.enabled() {
+        let committed = code.known_vars_after.len()
+            + code.known_aggs_after.len()
+            + code.known_globals_after.len();
+        obs.emit(TraceEvent::RecoveryEnd {
+            step: step_no,
+            action,
+            committed: committed as u64,
+        });
     }
 }

@@ -10,6 +10,7 @@ use crate::exec::{ev, exec_fetch, exec_value_inst};
 use crate::state::{MachineState, Store};
 use facile_codegen::{ActionKind, Closes, CompiledStep, KeyPlanArg, LiftWhat};
 use facile_ir::ir::{BlockId, Inst, KeyArg, Terminator};
+use facile_obs::{EngineTag, TraceEvent};
 use facile_runtime::cache::{ActionCache, Cursor};
 use facile_runtime::key::{Key, KeyWriter};
 use facile_runtime::HaltReason;
@@ -139,6 +140,13 @@ pub fn slow_step(
                     Inst::Halt { code } => {
                         let c = ev(*code, st);
                         st.halted = Some(HaltReason::from_code(c));
+                        if st.obs.enabled() {
+                            st.obs.emit(TraceEvent::Halt {
+                                step: st.obs_step(),
+                                engine: EngineTag::Slow,
+                                code: c,
+                            });
+                        }
                         if let (Some(rec), Some((a, data))) = (&mut rec, pending.take()) {
                             rec.cache.record_plain(rec.cursor, a, data);
                         }
@@ -260,6 +268,13 @@ pub fn slow_step(
             Terminator::Return => {
                 // A step that falls off the end never called `next`.
                 st.halted = Some(HaltReason::NoNext);
+                if st.obs.enabled() {
+                    st.obs.emit(TraceEvent::Halt {
+                        step: st.obs_step(),
+                        engine: EngineTag::Slow,
+                        code: 1,
+                    });
+                }
                 if let (Some(rec), Some((a, data))) = (&mut rec, pending.take()) {
                     rec.cache.record_plain(rec.cursor, a, data);
                 }

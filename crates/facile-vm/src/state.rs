@@ -11,6 +11,7 @@
 //! simulator" (§3.2).
 
 use facile_ir::ir::{GlobalInit, IrProgram, Loc, QueueOp, VarId, VarKind};
+use facile_obs::{ObsHandle, TraceEvent};
 use facile_runtime::{Engine, HaltReason, SimStats, Target};
 use facile_sema::GlobalId;
 use std::collections::VecDeque;
@@ -279,6 +280,9 @@ pub struct MachineState {
     pub trace_dropped: u64,
     /// Bound external functions, indexed by `ExtId`.
     pub externals: Vec<ExtFn>,
+    /// Observability hook; disabled (`ObsHandle::off()`) by default, so
+    /// every emit site reduces to one null check.
+    pub obs: ObsHandle,
 }
 
 /// Maximum retained trace values.
@@ -315,7 +319,13 @@ impl MachineState {
             trace: Vec::new(),
             trace_dropped: 0,
             externals,
+            obs: ObsHandle::off(),
         }
+    }
+
+    /// Logical timestamp for trace events: steps completed so far.
+    pub fn obs_step(&self) -> u64 {
+        self.stats.fast_steps.saturating_add(self.stats.slow_steps)
     }
 
     /// Emits a trace value.
@@ -329,7 +339,13 @@ impl MachineState {
 
     /// Calls external `ext` with `args`.
     pub fn call_ext(&mut self, ext: usize, args: &[i64]) -> i64 {
-        self.stats.ext_calls += 1;
+        self.stats.ext_calls = self.stats.ext_calls.saturating_add(1);
+        if self.obs.enabled() {
+            self.obs.emit(TraceEvent::ExtCall {
+                step: self.obs_step(),
+                ext: ext as u32,
+            });
+        }
         (self.externals[ext])(args)
     }
 }

@@ -23,9 +23,7 @@
 //! across simulators are meaningful.
 
 use facile_isa::asm::assemble_image;
-use facile_runtime::Image;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use facile_runtime::{Image, Rng};
 use std::fmt::Write as _;
 
 /// A synthetic workload specification.
@@ -104,13 +102,13 @@ const DATA_BASE: u64 = 0x10_0000;
 /// r23..r20 = scratch, r19 = inner counter, r18 = address cursor,
 /// r15..r10 = block-local values.
 pub fn generate(w: &Workload, scale: f64) -> String {
-    let mut rng = StdRng::seed_from_u64(w.seed());
+    let mut rng = Rng::new(w.seed());
     let outer = ((w.outer as f64 * scale).max(1.0)) as i64;
     let mut s = String::new();
     let _ = writeln!(s, "; synthetic {} ({}), generated by facile-workloads", w.name,
         if w.integer { "integer" } else { "fp" });
     let _ = writeln!(s, "    lui r28, {}", (DATA_BASE >> 16) as i64);
-    let _ = writeln!(s, "    addi r26, r0, {}", rng.gen_range(1000..30000));
+    let _ = writeln!(s, "    addi r26, r0, {}", rng.range_i64(1000, 30000));
     let _ = writeln!(s, "    addi r27, r0, 0");
     // The outer count can exceed 16 bits: build it in two steps.
     let _ = writeln!(s, "    addi r25, r0, {}", outer >> 12);
@@ -145,12 +143,12 @@ pub fn generate(w: &Workload, scale: f64) -> String {
     s
 }
 
-fn block(s: &mut String, w: &Workload, b: u32, rng: &mut StdRng) {
+fn block(s: &mut String, w: &Workload, b: u32, rng: &mut Rng) {
     let _ = writeln!(s, "blk{b}:");
     let inner = w.block_len.max(1);
-    let stride = [8i64, 16, 24, 40, 64, 72][rng.gen_range(0..6)];
+    let stride = *rng.pick(&[8i64, 16, 24, 40, 64, 72]);
     let span = (w.data_kb as i64 * 1024 - 64).max(64);
-    let offset = (rng.gen_range(0..span / 2) & !7).min(32000);
+    let offset = (rng.range_i64(0, span / 2) & !7).min(32000);
     let _ = writeln!(s, "    addi r19, r0, {inner}");
     let _ = writeln!(s, "    addi r18, r28, {offset}");
     let _ = writeln!(s, "blk{b}_loop:");
@@ -163,10 +161,10 @@ fn block(s: &mut String, w: &Workload, b: u32, rng: &mut StdRng) {
     }
     // Data-dependent sub-branches (control irregularity).
     for p in 0..w.subpaths {
-        let bit = 1 << rng.gen_range(0..3);
+        let bit = 1 << rng.range_i64(0, 3);
         let _ = writeln!(s, "    andi r20, r15, {bit}");
         let _ = writeln!(s, "    beq r20, r0, blk{b}_p{p}");
-        let _ = writeln!(s, "    addi r27, r27, {}", rng.gen_range(1..9));
+        let _ = writeln!(s, "    addi r27, r27, {}", rng.range_i64(1, 9));
         let _ = writeln!(s, "    xor r15, r15, r26");
         let _ = writeln!(s, "blk{b}_p{p}:");
     }
@@ -187,26 +185,26 @@ fn block(s: &mut String, w: &Workload, b: u32, rng: &mut StdRng) {
     let _ = writeln!(s, "    jal join");
 }
 
-fn int_work(s: &mut String, rng: &mut StdRng) {
-    let k1 = rng.gen_range(3..1000);
-    let k2 = rng.gen_range(1..15);
+fn int_work(s: &mut String, rng: &mut Rng) {
+    let k1 = rng.range_i64(3, 1000);
+    let k2 = rng.range_i64(1, 15);
     let _ = writeln!(s, "    addi r14, r15, {k1}");
     let _ = writeln!(s, "    mul r13, r14, r26");
     let _ = writeln!(s, "    srai r13, r13, {k2}");
     let _ = writeln!(s, "    xor r15, r15, r13");
     let _ = writeln!(s, "    add r27, r27, r14");
-    if rng.gen_bool(0.3) {
+    if rng.chance(3, 10) {
         let _ = writeln!(s, "    div r12, r14, r26");
         let _ = writeln!(s, "    add r27, r27, r12");
     }
 }
 
-fn fp_work(s: &mut String, rng: &mut StdRng) {
+fn fp_work(s: &mut String, rng: &mut Rng) {
     let _ = writeln!(s, "    i2f r14, r15");
     let _ = writeln!(s, "    i2f r13, r19");
     let _ = writeln!(s, "    fadd r12, r14, r13");
     let _ = writeln!(s, "    fmul r11, r12, r14");
-    if rng.gen_bool(0.4) {
+    if rng.chance(2, 5) {
         let _ = writeln!(s, "    fdiv r11, r11, r12");
     }
     let _ = writeln!(s, "    f2i r10, r11");

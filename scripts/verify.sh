@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Tier-1 verification, runnable with no network access.
+#
+#   scripts/verify.sh
+#
+# Runs the repo's tier-1 gate (ROADMAP.md) with --offline, lints the
+# instrumented crates at deny-warnings, and smoke-tests that
+# `facilec --run --metrics-out` emits a parseable facile-obs/v1 document.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release (offline)"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q (offline)"
+cargo test -q --offline
+
+echo "==> clippy -D warnings on instrumented crates (offline)"
+cargo clippy --offline -q \
+    -p facile-obs -p facile-runtime -p facile-vm -p facile -p bench \
+    --all-targets -- -D warnings
+
+echo "==> smoke: facilec --run --metrics-out emits parseable JSON"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cat > "$tmp/loop.asm" <<'EOF'
+addi r1, r0, 100
+addi r2, r0, 0
+loop: add r2, r2, r1
+addi r1, r1, -1
+bne r1, r0, loop
+out r2
+halt
+EOF
+./target/release/facilec --builtin functional --run "$tmp/loop.asm" \
+    --metrics-out "$tmp/metrics.json" --trace-out "$tmp/trace.jsonl" > /dev/null
+./target/release/sim_report "$tmp/metrics.json" > /dev/null
+grep -q '"schema":"facile-obs/v1"' "$tmp/metrics.json"
+grep -q '"ev":"halt"' "$tmp/trace.jsonl"
+
+echo "verify: OK"

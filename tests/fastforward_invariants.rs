@@ -4,8 +4,7 @@
 
 use facile::hosts::{initial_args, ArchHost};
 use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
-use facile_runtime::Image;
-use proptest::prelude::*;
+use facile_runtime::{Image, Rng};
 
 fn run_sim(src: &str, image: &Image, args: &[facile::ArgValue], opts: SimOptions) -> Simulation {
     let step = compile_source(src, &CompilerOptions::default()).expect("compiles");
@@ -55,19 +54,18 @@ fn inorder_simulator_transparent_on_workloads() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Property: for random step functions over random external latency
-    /// sequences, memoization is observationally transparent.
-    #[test]
-    fn random_programs_are_transparent(
-        modulus in 2i64..12,
-        stride in 1i64..9,
-        limit in 50i64..400,
-        penalty in 1i64..20,
-        seed in any::<u64>(),
-    ) {
+/// For random step functions over random external latency sequences,
+/// memoization is observationally transparent. Twelve seeded cases,
+/// identical on every run and machine.
+#[test]
+fn random_programs_are_transparent() {
+    let mut cases = Rng::new(0xfa57_f04d);
+    for _case in 0..12 {
+        let modulus = cases.range_i64(2, 12);
+        let stride = cases.range_i64(1, 9);
+        let limit = cases.range_i64(50, 400);
+        let penalty = cases.range_i64(1, 20);
+        let seed = cases.next_u64();
         let src = format!(
             "ext fun probe(x : int) : int;
              val hist = array(16){{0}};
@@ -111,6 +109,6 @@ proptest! {
                 sim.halted(),
             )
         };
-        prop_assert_eq!(run(true), run(false));
+        assert_eq!(run(true), run(false));
     }
 }

@@ -1,0 +1,165 @@
+//! Observability invariants: the structured trace stream and the metrics
+//! registry must agree *exactly* with the runtime counters. Any drift
+//! between what the engines count and what they announce is a bug in the
+//! instrumentation, so these tests recount everything from the drained
+//! events and compare field by field.
+
+use facile::hosts::{initial_args, ArchHost};
+use facile::{
+    compile_source, CompilerOptions, ObsConfig, ObsHandle, SimOptions, Simulation, Target,
+    TraceEvent,
+};
+use facile_isa::asm::assemble_image;
+
+/// A counted loop with an inner data-dependent branch: enough repetition
+/// for long replays, enough irregularity for several misses.
+const LOOP_ASM: &str = "addi r1, r0, 300\n\
+     addi r2, r0, 0\n\
+     addi r3, r0, 0\n\
+     loop: add r2, r2, r1\n\
+     andi r4, r1, 3\n\
+     bne r4, r0, skip\n\
+     addi r3, r3, 1\n\
+     skip: addi r1, r1, -1\n\
+     bne r1, r0, loop\n\
+     out r2\n\
+     out r3\n\
+     halt\n";
+
+fn observed_run(which: &str) -> (Simulation, ObsHandle) {
+    let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+    let src = match which {
+        "inorder" => facile::sims::inorder_source(),
+        _ => facile::sims::functional_source(),
+    };
+    let step = compile_source(&src, &CompilerOptions::default()).expect("compiles");
+    let args = match which {
+        "inorder" => initial_args::inorder(image.entry),
+        _ => initial_args::functional(image.entry),
+    };
+    let mut sim = Simulation::new(
+        step,
+        Target::load(&image),
+        &args,
+        SimOptions::default(),
+    )
+    .expect("simulation constructs");
+    ArchHost::new().bind(&mut sim).expect("externals bind");
+    let obs = ObsHandle::new(ObsConfig::default());
+    sim.attach_obs(obs.clone());
+    sim.run_steps(u64::MAX >> 1);
+    (sim, obs)
+}
+
+/// Replays the drained trace and checks every recount against SimStats.
+fn check_trace_agrees(which: &str) {
+    let (sim, obs) = observed_run(which);
+    let s = *sim.stats();
+    assert!(sim.halted().is_some(), "{which}: workload halts");
+    assert!(s.misses > 0, "{which}: the loop should miss at least once");
+
+    // Counter-level invariants.
+    assert_eq!(s.misses, s.recoveries, "{which}: every miss is recovered");
+    assert_eq!(
+        s.fast_insns + s.slow_insns,
+        s.insns,
+        "{which}: engines partition the instruction count"
+    );
+
+    // Event-level recount. The ring must have kept everything.
+    assert_eq!(obs.dropped_events(), 0, "{which}: ring big enough");
+    let events = obs.drain_events();
+    let (mut actions, mut misses, mut rec_begin, mut rec_end) = (0u64, 0u64, 0u64, 0u64);
+    let (mut fast_insns, mut slow_insns, mut fast_steps) = (0u64, 0u64, 0u64);
+    let mut halts = 0u64;
+    for ev in &events {
+        match *ev {
+            TraceEvent::FastBurst {
+                steps,
+                actions: a,
+                insns,
+                ..
+            } => {
+                actions += a;
+                fast_insns += insns;
+                fast_steps += steps;
+            }
+            TraceEvent::SlowStep { insns, .. } => slow_insns += insns,
+            TraceEvent::Miss { .. } => misses += 1,
+            TraceEvent::RecoveryBegin { .. } => rec_begin += 1,
+            TraceEvent::RecoveryEnd { .. } => rec_end += 1,
+            TraceEvent::Halt { .. } => halts += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(actions, s.actions_replayed, "{which}: replayed-action recount");
+    assert_eq!(misses, s.misses, "{which}: miss recount");
+    assert_eq!(rec_begin, s.recoveries, "{which}: recovery-begin recount");
+    assert_eq!(rec_end, s.recoveries, "{which}: recovery-end recount");
+    assert_eq!(fast_insns, s.fast_insns, "{which}: fast-insn recount");
+    assert_eq!(slow_insns, s.slow_insns, "{which}: slow-insn recount");
+    assert_eq!(fast_steps, s.fast_steps, "{which}: fast-step recount");
+    assert_eq!(halts, 1, "{which}: exactly one halt event");
+
+    // The Table 1 quantity from the trace alone matches the live one.
+    let recount = fast_insns as f64 / (fast_insns + slow_insns) as f64;
+    assert!(
+        (recount - s.fast_forwarded_fraction()).abs() < 1e-12,
+        "{which}: fraction from trace = {recount}, live = {}",
+        s.fast_forwarded_fraction()
+    );
+
+    // The metrics registry saw the same stream.
+    let m = obs.metrics().expect("metrics registry is on by default");
+    assert_eq!(
+        m.action_replays.iter().sum::<u64>(),
+        s.actions_replayed,
+        "{which}: registry replay total"
+    );
+    assert_eq!(m.misses, s.misses, "{which}: registry misses");
+    assert_eq!(m.recoveries, s.recoveries, "{which}: registry recoveries");
+    assert_eq!(
+        m.recovery_depth.count(),
+        s.recoveries,
+        "{which}: one depth sample per recovery"
+    );
+}
+
+#[test]
+fn functional_trace_recount_matches_stats() {
+    check_trace_agrees("functional");
+}
+
+#[test]
+fn inorder_trace_recount_matches_stats() {
+    check_trace_agrees("inorder");
+}
+
+/// The same run, unobserved: counters must not depend on observation.
+#[test]
+fn observation_does_not_perturb_the_simulation() {
+    let (observed, _obs) = observed_run("functional");
+
+    let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+    let step = compile_source(
+        &facile::sims::functional_source(),
+        &CompilerOptions::default(),
+    )
+    .expect("compiles");
+    let mut plain = Simulation::new(
+        step,
+        Target::load(&image),
+        &initial_args::functional(image.entry),
+        SimOptions::default(),
+    )
+    .expect("simulation constructs");
+    ArchHost::new().bind(&mut plain).expect("externals bind");
+    plain.run_steps(u64::MAX >> 1);
+
+    assert_eq!(plain.stats(), observed.stats());
+    assert_eq!(plain.trace(), observed.trace());
+    assert_eq!(
+        plain.cache_stats().bytes_total,
+        observed.cache_stats().bytes_total
+    );
+}
