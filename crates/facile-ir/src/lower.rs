@@ -183,6 +183,7 @@ fn map_binop(op: ast::BinOp) -> Option<BinOp> {
 
 /// Evaluates a binary IR op on two constants; shared with the constant
 /// folder and the VM so semantics agree everywhere.
+#[inline]
 pub fn eval_binop(op: BinOp, a: i64, b: i64) -> i64 {
     match op {
         BinOp::Add => a.wrapping_add(b),
@@ -225,6 +226,7 @@ pub fn eval_binop(op: BinOp, a: i64, b: i64) -> i64 {
 }
 
 /// Evaluates a unary IR op on a constant.
+#[inline]
 pub fn eval_unop(op: UnOp, a: i64) -> i64 {
     match op {
         UnOp::Neg => a.wrapping_neg(),

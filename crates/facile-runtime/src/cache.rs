@@ -17,10 +17,26 @@
 //! payload size — matching the paper's compressed representation — plus a
 //! small fixed overhead; a capacity limit with a clear-on-full policy
 //! reproduces §6.2's 256 MB experiments.
+//!
+//! # Hot-path layout (docs/PERFORMANCE.md)
+//!
+//! Replay throughput dominates end-to-end speed once fast-forwarding
+//! covers >99% of instructions, so the structures the replay loop walks
+//! are laid out for it:
+//!
+//! * Placeholder data and INDEX link signatures live in one contiguous
+//!   `Vec<i64>` **slab**; nodes hold `(offset, len)` ranges. Replay in
+//!   recording order walks linear memory instead of chasing one boxed
+//!   allocation per node.
+//! * The entry table is an insert-only **open-addressing** map (linear
+//!   probing, power-of-two capacity) keyed by a precomputed 64-bit
+//!   mix of the key bytes — no SipHash, no per-lookup hasher state.
+//! * Test and INDEX successor lists carry a **hot index**: the position
+//!   taken by the previous replay, checked first. Lists that outgrow
+//!   [`LINEAR_MAX`] are kept sorted and binary-searched.
 
-use crate::key::{varint_len, zigzag, Key};
+use crate::key::{hash_bytes, varint_len, zigzag, Key};
 use facile_obs::{ObsHandle, TraceEvent};
-use std::collections::HashMap;
 
 /// Index of a node in the action cache arena.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -33,6 +49,138 @@ impl NodeId {
     }
 }
 
+/// A `(offset, len)` range into the cache's data slab.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlabRange {
+    off: u32,
+    len: u32,
+}
+
+impl SlabRange {
+    const EMPTY: SlabRange = SlabRange { off: 0, len: 0 };
+
+    /// Number of values in the range.
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Successor lists longer than this are kept sorted and binary-searched;
+/// at or below it they are scanned linearly (after the hot-index probe).
+const LINEAR_MAX: usize = 8;
+
+/// Successors of a dynamic result test: one per observed value, with a
+/// hot-index inline cache remembering the last successor taken.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct TestList {
+    /// `(observed value, successor)`; sorted by value once the list
+    /// outgrows [`LINEAR_MAX`].
+    items: Vec<(i64, NodeId)>,
+    /// Index of the most recently taken successor (hint only).
+    hot: u32,
+}
+
+impl TestList {
+    /// The recorded `(value, successor)` pairs (order unspecified).
+    pub fn items(&self) -> &[(i64, NodeId)] {
+        &self.items
+    }
+
+    /// Number of recorded successors.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no successor was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Immutable lookup (no inline-cache update).
+    pub fn get(&self, value: i64) -> Option<NodeId> {
+        if let Some(&(v, n)) = self.items.get(self.hot as usize) {
+            if v == value {
+                return Some(n);
+            }
+        }
+        self.position(value).map(|i| self.items[i].1)
+    }
+
+    /// Lookup that refreshes the hot index on success.
+    fn get_hot(&mut self, value: i64) -> Option<NodeId> {
+        if let Some(&(v, n)) = self.items.get(self.hot as usize) {
+            if v == value {
+                return Some(n);
+            }
+        }
+        let i = self.position(value)?;
+        self.hot = i as u32;
+        Some(self.items[i].1)
+    }
+
+    fn position(&self, value: i64) -> Option<usize> {
+        if self.items.len() <= LINEAR_MAX {
+            self.items.iter().position(|&(v, _)| v == value)
+        } else {
+            self.items.binary_search_by_key(&value, |&(v, _)| v).ok()
+        }
+    }
+
+    /// Inserts a new `(value, successor)` pair, keeping the sorted
+    /// invariant for large lists and pointing the hot index at it.
+    fn insert(&mut self, value: i64, node: NodeId) {
+        debug_assert!(
+            self.position(value).is_none(),
+            "test successor already recorded"
+        );
+        if self.items.len() < LINEAR_MAX {
+            self.hot = self.items.len() as u32;
+            self.items.push((value, node));
+            return;
+        }
+        if self.items.len() == LINEAR_MAX {
+            self.items.sort_unstable_by_key(|&(v, _)| v);
+        }
+        let at = self
+            .items
+            .binary_search_by_key(&value, |&(v, _)| v)
+            .unwrap_err();
+        self.items.insert(at, (value, node));
+        self.hot = at as u32;
+    }
+}
+
+/// Successors of an INDEX action, keyed by the *dynamic* key components
+/// only — the run-time-static components are identical on every execution
+/// of the same node, so the dynamic signature discriminates fully and
+/// replay never has to serialize the whole key (the paper's "faster to
+/// follow the link"). Signatures live in the cache's slab.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct IndexList {
+    /// `(signature range, successor entry)`; sorted by signature content
+    /// once the list outgrows [`LINEAR_MAX`].
+    items: Vec<(SlabRange, NodeId)>,
+    /// Index of the most recently taken successor (hint only).
+    hot: u32,
+}
+
+impl IndexList {
+    /// Number of recorded successors.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no successor was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
 /// Successor links of a node.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Succ {
@@ -41,24 +189,20 @@ pub enum Succ {
     /// Straight-line link (plain actions).
     One(NodeId),
     /// Dynamic result test: one successor per observed value.
-    Tests(Vec<(i64, NodeId)>),
-    /// INDEX action: successors are step entries. Links are keyed by the
-    /// key's *dynamic components only* — the run-time-static components
-    /// are identical on every execution of the same node, so the dynamic
-    /// signature discriminates fully and replay never has to serialize
-    /// the whole key (the paper's "faster to follow the link").
-    Index(Vec<(Box<[i64]>, NodeId)>),
+    Tests(TestList),
+    /// INDEX action: successors are step entries, keyed by dynamic
+    /// signature.
+    Index(IndexList),
 }
 
 /// One recorded action.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct Node {
     /// The action number (an index into the fast engine's action table).
     pub action: u32,
-    /// Run-time-static placeholder data read by the fast engine.
-    pub data: Box<[i64]>,
-    /// What follows this action.
-    pub succ: Succ,
+    /// Run-time-static placeholder data, as a range into the cache's
+    /// slab (resolve with [`ActionCache::node_data`]).
+    pub data: SlabRange,
 }
 
 /// Where the next recorded node will be linked.
@@ -96,11 +240,128 @@ pub struct CacheStats {
     pub bytes_cleared: u64,
 }
 
+/// One slot of the open-addressing entry table.
+#[derive(Clone, Debug)]
+struct EntrySlot {
+    /// Precomputed [`hash_bytes`] of the key (valid only when occupied).
+    hash: u64,
+    /// Entry node, or [`EntryTable::VACANT`] when the slot is free.
+    node: u32,
+    /// The key bytes (empty when the slot is free).
+    key: Key,
+}
+
+/// Insert-only open-addressing hash table from [`Key`] to entry node.
+/// Linear probing over a power-of-two slot array; no tombstones (the
+/// cache only ever inserts and clears wholesale).
+#[derive(Clone, Debug)]
+struct EntryTable {
+    slots: Vec<EntrySlot>,
+    len: usize,
+}
+
+impl EntryTable {
+    const VACANT: u32 = u32::MAX;
+    const INITIAL_SLOTS: usize = 64;
+
+    fn new() -> EntryTable {
+        EntryTable {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.node = Self::VACANT;
+            s.key = Key::default();
+        }
+        self.len = 0;
+    }
+
+    fn get(&self, bytes: &[u8]) -> Option<NodeId> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let hash = hash_bytes(bytes);
+        let mut i = hash as usize & mask;
+        loop {
+            let slot = &self.slots[i];
+            if slot.node == Self::VACANT {
+                return None;
+            }
+            if slot.hash == hash && slot.key.as_bytes() == bytes {
+                return Some(NodeId(slot.node));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `key -> node` if absent; returns whether it inserted.
+    fn insert_if_vacant(&mut self, key: Key, node: NodeId) -> bool {
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let hash = hash_bytes(key.as_bytes());
+        let mut i = hash as usize & mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.node == Self::VACANT {
+                *slot = EntrySlot {
+                    hash,
+                    node: node.0,
+                    key,
+                };
+                self.len += 1;
+                return true;
+            }
+            if slot.hash == hash && slot.key == key {
+                return false; // first registration wins
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(Self::INITIAL_SLOTS);
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                EntrySlot {
+                    hash: 0,
+                    node: Self::VACANT,
+                    key: Key::default(),
+                };
+                new_cap
+            ],
+        );
+        let mask = new_cap - 1;
+        for slot in old {
+            if slot.node == Self::VACANT {
+                continue;
+            }
+            let mut i = slot.hash as usize & mask;
+            while self.slots[i].node != Self::VACANT {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = slot;
+        }
+    }
+}
+
 /// The specialized action cache.
 #[derive(Clone, Debug)]
 pub struct ActionCache {
     nodes: Vec<Node>,
-    entries: HashMap<Key, NodeId>,
+    /// Successor links, parallel to `nodes` (kept out of [`Node`] so the
+    /// node header stays `Copy` and the replay walk reads a dense array).
+    succs: Vec<Succ>,
+    /// Contiguous backing store for placeholder data and INDEX link
+    /// signatures.
+    slab: Vec<i64>,
+    entries: EntryTable,
     capacity: Option<u64>,
     stats: CacheStats,
     /// Bumped on every clear so engines can notice stale node ids.
@@ -120,7 +381,9 @@ impl ActionCache {
     pub fn new() -> Self {
         ActionCache {
             nodes: Vec::new(),
-            entries: HashMap::new(),
+            succs: Vec::new(),
+            slab: Vec::new(),
+            entries: EntryTable::new(),
             capacity: None,
             stats: CacheStats::default(),
             generation: 0,
@@ -160,7 +423,7 @@ impl ActionCache {
 
     /// Number of live entries.
     pub fn entry_count(&self) -> usize {
-        self.entries.len()
+        self.entries.len
     }
 
     /// Whether the byte budget is exhausted.
@@ -178,6 +441,8 @@ impl ActionCache {
         let freed = self.stats.bytes_current;
         let nodes = self.nodes.len() as u64;
         self.nodes.clear();
+        self.succs.clear();
+        self.slab.clear();
         self.entries.clear();
         self.stats.bytes_cleared = self.stats.bytes_cleared.saturating_add(freed);
         self.stats.bytes_current = 0;
@@ -194,7 +459,14 @@ impl ActionCache {
 
     /// The entry node for `key`, if one was recorded.
     pub fn entry(&self, key: &Key) -> Option<NodeId> {
-        self.entries.get(key).copied()
+        self.entries.get(key.as_bytes())
+    }
+
+    /// [`entry`](Self::entry) from raw serialized key bytes — lets the
+    /// replay loop look up a key it built in a reusable buffer without
+    /// materializing a [`Key`].
+    pub fn entry_bytes(&self, bytes: &[u8]) -> Option<NodeId> {
+        self.entries.get(bytes)
     }
 
     /// The node behind `id`.
@@ -202,40 +474,121 @@ impl ActionCache {
     /// # Panics
     ///
     /// Panics if `id` is stale (from before a clear).
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.index()]
+    }
+
+    /// The placeholder data of a node, resolved from the slab.
+    pub fn node_data(&self, id: NodeId) -> &[i64] {
+        self.range(self.nodes[id.index()].data)
+    }
+
+    /// Resolves any slab range.
+    pub fn range(&self, r: SlabRange) -> &[i64] {
+        &self.slab[r.off as usize..(r.off + r.len) as usize]
+    }
+
+    /// The successor links of a node.
+    pub fn succ(&self, id: NodeId) -> &Succ {
+        &self.succs[id.index()]
     }
 
     /// Successor of a plain action.
     pub fn next_plain(&self, id: NodeId) -> Option<NodeId> {
-        match &self.nodes[id.index()].succ {
+        match &self.succs[id.index()] {
             Succ::One(n) => Some(*n),
             _ => None,
         }
     }
 
-    /// Successor of a dynamic result test for `value`.
+    /// Successor of a dynamic result test for `value` (immutable; no
+    /// inline-cache update — replay uses [`next_test_hot`](Self::next_test_hot)).
     pub fn next_test(&self, id: NodeId, value: i64) -> Option<NodeId> {
-        match &self.nodes[id.index()].succ {
-            Succ::Tests(list) => list.iter().find(|(v, _)| *v == value).map(|&(_, n)| n),
+        match &self.succs[id.index()] {
+            Succ::Tests(list) => list.get(value),
+            _ => None,
+        }
+    }
+
+    /// Successor of a dynamic result test for `value`, refreshing the
+    /// node's hot-index inline cache on a hit.
+    pub fn next_test_hot(&mut self, id: NodeId, value: i64) -> Option<NodeId> {
+        match &mut self.succs[id.index()] {
+            Succ::Tests(list) => list.get_hot(value),
             _ => None,
         }
     }
 
     /// Node-local successor of an INDEX action for a dynamic signature —
-    /// the fast path, no key serialization needed.
+    /// the fast path, no key serialization needed (immutable variant).
     pub fn next_index_local(&self, id: NodeId, sig: &[i64]) -> Option<NodeId> {
-        if let Succ::Index(list) = &self.nodes[id.index()].succ {
-            if let Some(&(_, n)) = list.iter().find(|(s, _)| &**s == sig) {
+        let Succ::Index(list) = &self.succs[id.index()] else {
+            return None;
+        };
+        if let Some(&(r, n)) = list.items.get(list.hot as usize) {
+            if self.range(r) == sig {
                 return Some(n);
             }
         }
-        None
+        self.index_position(list, sig).map(|i| list.items[i].1)
+    }
+
+    /// [`next_index_local`](Self::next_index_local), refreshing the
+    /// node's hot-index inline cache on a hit.
+    pub fn next_index_local_hot(&mut self, id: NodeId, sig: &[i64]) -> Option<NodeId> {
+        let Succ::Index(list) = &self.succs[id.index()] else {
+            return None;
+        };
+        if let Some(&(r, n)) = list.items.get(list.hot as usize) {
+            if range_of(&self.slab, r) == sig {
+                return Some(n);
+            }
+        }
+        let i = self.index_position(list, sig)?;
+        let n = list.items[i].1;
+        let Succ::Index(list) = &mut self.succs[id.index()] else {
+            unreachable!()
+        };
+        list.hot = i as u32;
+        Some(n)
+    }
+
+    /// Position of `sig` in an INDEX successor list: linear scan for
+    /// small lists, binary search by signature content for large ones.
+    fn index_position(&self, list: &IndexList, sig: &[i64]) -> Option<usize> {
+        if list.items.len() <= LINEAR_MAX {
+            list.items
+                .iter()
+                .position(|&(r, _)| range_of(&self.slab, r) == sig)
+        } else {
+            list.items
+                .binary_search_by(|&(r, _)| range_of(&self.slab, r).cmp(sig))
+                .ok()
+        }
     }
 
     // ----- recording -----
 
-    fn new_node(&mut self, action: u32, data: Vec<i64>, succ: Succ) -> NodeId {
+    /// Appends `values` to the slab, returning the range.
+    fn push_slab(&mut self, values: &[i64]) -> SlabRange {
+        if values.is_empty() {
+            return SlabRange::EMPTY;
+        }
+        let off = self.slab.len() as u32;
+        self.slab.extend_from_slice(values);
+        SlabRange {
+            off,
+            len: values.len() as u32,
+        }
+    }
+
+    /// Raises the high-water mark to the current level. Must be called
+    /// everywhere `bytes_current` grows.
+    fn note_peak(&mut self) {
+        self.stats.bytes_peak = self.stats.bytes_peak.max(self.stats.bytes_current);
+    }
+
+    fn new_node(&mut self, action: u32, data: &[i64], succ: Succ) -> NodeId {
         let bytes: u64 = NODE_OVERHEAD
             + data
                 .iter()
@@ -243,15 +596,44 @@ impl ActionCache {
                 .sum::<u64>();
         self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
         self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
-        self.stats.bytes_peak = self.stats.bytes_peak.max(self.stats.bytes_current);
+        self.note_peak();
         self.stats.nodes_created = self.stats.nodes_created.saturating_add(1);
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
-            action,
-            data: data.into_boxed_slice(),
-            succ,
-        });
+        let data = self.push_slab(data);
+        self.nodes.push(Node { action, data });
+        self.succs.push(succ);
         id
+    }
+
+    /// Inserts the `sig -> node` link into an INDEX successor list,
+    /// keeping the sorted invariant for large lists.
+    fn index_insert(&mut self, index_node: NodeId, sig: &[i64], target: NodeId) {
+        let range = self.push_slab(sig);
+        let Succ::Index(list) = &mut self.succs[index_node.index()] else {
+            unreachable!("index link on non-index node");
+        };
+        if list.items.len() < LINEAR_MAX {
+            list.hot = list.items.len() as u32;
+            list.items.push((range, target));
+            return;
+        }
+        // Sorting compares slab contents, so the list is taken out of
+        // `succs` while the slab is borrowed.
+        let mut items = std::mem::take(&mut list.items);
+        if items.len() == LINEAR_MAX {
+            items.sort_unstable_by(|&(a, _), &(b, _)| {
+                range_of(&self.slab, a).cmp(range_of(&self.slab, b))
+            });
+        }
+        let at = items
+            .binary_search_by(|&(r, _)| range_of(&self.slab, r).cmp(sig))
+            .unwrap_err();
+        items.insert(at, (range, target));
+        let Succ::Index(list) = &mut self.succs[index_node.index()] else {
+            unreachable!()
+        };
+        list.items = items;
+        list.hot = at as u32;
     }
 
     fn link(&mut self, cursor: &Cursor, new: NodeId) {
@@ -260,39 +642,28 @@ impl ActionCache {
                 self.register_entry(key.clone(), new);
             }
             Cursor::AfterPlain(n) => {
-                let node = &mut self.nodes[n.index()];
-                debug_assert!(matches!(node.succ, Succ::None), "plain link already filled");
-                node.succ = Succ::One(new);
+                let succ = &mut self.succs[n.index()];
+                debug_assert!(matches!(succ, Succ::None), "plain link already filled");
+                *succ = Succ::One(new);
             }
             Cursor::AfterTest(n, v) => {
-                let node = &mut self.nodes[n.index()];
-                match &mut node.succ {
+                match &mut self.succs[n.index()] {
                     Succ::Tests(list) => {
-                        debug_assert!(
-                            !list.iter().any(|(x, _)| x == v),
-                            "test successor already recorded"
-                        );
-                        list.push((*v, new));
+                        list.insert(*v, new);
                         let bytes = varint_len(zigzag(*v)) as u64 + 4;
                         self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
                         self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
+                        self.note_peak();
                     }
                     other => unreachable!("test cursor on non-test node: {other:?}"),
                 }
             }
             Cursor::AfterIndex(n, key, sig) => {
-                {
-                    let node = &mut self.nodes[n.index()];
-                    match &mut node.succ {
-                        Succ::Index(list) => {
-                            list.push((sig.clone().into_boxed_slice(), new))
-                        }
-                        other => unreachable!("index cursor on non-index node: {other:?}"),
-                    }
-                }
+                self.index_insert(*n, sig, new);
                 let bytes = key.len() as u64 + 4;
                 self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
                 self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
+                self.note_peak();
                 self.register_entry(key.clone(), new);
             }
         }
@@ -300,17 +671,16 @@ impl ActionCache {
 
     fn register_entry(&mut self, key: Key, node: NodeId) {
         let bytes = key.len() as u64 + ENTRY_OVERHEAD;
-        if let std::collections::hash_map::Entry::Vacant(slot) = self.entries.entry(key) {
-            slot.insert(node);
+        if self.entries.insert_if_vacant(key, node) {
             self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
             self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
-            self.stats.bytes_peak = self.stats.bytes_peak.max(self.stats.bytes_current);
+            self.note_peak();
             self.stats.entries_created = self.stats.entries_created.saturating_add(1);
         }
     }
 
     /// Records a plain action at the cursor; advances the cursor.
-    pub fn record_plain(&mut self, cursor: &mut Cursor, action: u32, data: Vec<i64>) -> NodeId {
+    pub fn record_plain(&mut self, cursor: &mut Cursor, action: u32, data: &[i64]) -> NodeId {
         let id = self.new_node(action, data, Succ::None);
         self.link(cursor, id);
         *cursor = Cursor::AfterPlain(id);
@@ -323,10 +693,10 @@ impl ActionCache {
         &mut self,
         cursor: &mut Cursor,
         action: u32,
-        data: Vec<i64>,
+        data: &[i64],
         value: i64,
     ) -> NodeId {
-        let id = self.new_node(action, data, Succ::Tests(Vec::new()));
+        let id = self.new_node(action, data, Succ::Tests(TestList::default()));
         self.link(cursor, id);
         *cursor = Cursor::AfterTest(id, value);
         id
@@ -338,11 +708,11 @@ impl ActionCache {
         &mut self,
         cursor: &mut Cursor,
         action: u32,
-        data: Vec<i64>,
+        data: &[i64],
         next_key: Key,
         sig: Vec<i64>,
     ) -> NodeId {
-        let id = self.new_node(action, data, Succ::Index(Vec::new()));
+        let id = self.new_node(action, data, Succ::Index(IndexList::default()));
         self.link(cursor, id);
         *cursor = Cursor::AfterIndex(id, next_key, sig);
         id
@@ -353,17 +723,30 @@ impl ActionCache {
     /// already cached.
     pub fn link_existing(&mut self, cursor: &Cursor, entry: NodeId) {
         if let Cursor::AfterIndex(n, key, sig) = cursor {
-            let node = &mut self.nodes[n.index()];
-            if let Succ::Index(list) = &mut node.succ {
-                if !list.iter().any(|(s, _)| &**s == sig.as_slice()) {
-                    list.push((sig.clone().into_boxed_slice(), entry));
-                    let bytes = key.len() as u64 + 4;
-                    self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
-                    self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
-                }
+            let Succ::Index(list) = &self.succs[n.index()] else {
+                return;
+            };
+            if self.index_position(list, sig).is_some()
+                || list
+                    .items
+                    .get(list.hot as usize)
+                    .is_some_and(|&(r, _)| range_of(&self.slab, r) == sig.as_slice())
+            {
+                return;
             }
+            self.index_insert(*n, sig, entry);
+            let bytes = key.len() as u64 + 4;
+            self.stats.bytes_current = self.stats.bytes_current.saturating_add(bytes);
+            self.stats.bytes_total = self.stats.bytes_total.saturating_add(bytes);
+            self.note_peak();
         }
     }
+}
+
+/// Free-function range resolution, usable while a successor list is
+/// borrowed from the cache.
+fn range_of(slab: &[i64], r: SlabRange) -> &[i64] {
+    &slab[r.off as usize..(r.off + r.len) as usize]
 }
 
 impl Default for ActionCache {
@@ -387,13 +770,14 @@ mod tests {
     fn record_and_replay_straight_line() {
         let mut c = ActionCache::new();
         let mut cur = Cursor::AtEntry(key(1));
-        let a = c.record_plain(&mut cur, 10, vec![5]);
-        let b = c.record_plain(&mut cur, 11, vec![6, 7]);
+        let a = c.record_plain(&mut cur, 10, &[5]);
+        let b = c.record_plain(&mut cur, 11, &[6, 7]);
 
         let e = c.entry(&key(1)).expect("entry exists");
         assert_eq!(e, a);
         assert_eq!(c.node(e).action, 10);
-        assert_eq!(&*c.node(e).data, &[5]);
+        assert_eq!(c.node_data(e), &[5]);
+        assert_eq!(c.node_data(b), &[6, 7]);
         assert_eq!(c.next_plain(e), Some(b));
         assert_eq!(c.next_plain(b), None);
     }
@@ -403,29 +787,74 @@ mod tests {
         // Record a hit path, then miss path, as in paper §2.2's load.
         let mut c = ActionCache::new();
         let mut cur = Cursor::AtEntry(key(1));
-        let t = c.record_test(&mut cur, 3, vec![], 0);
-        let hit = c.record_plain(&mut cur, 4, vec![]);
+        let t = c.record_test(&mut cur, 3, &[], 0);
+        let hit = c.record_plain(&mut cur, 4, &[]);
         // Second recording of the same test with value 1.
         let mut cur2 = Cursor::AfterTest(t, 1);
-        let miss = c.record_plain(&mut cur2, 5, vec![]);
+        let miss = c.record_plain(&mut cur2, 5, &[]);
 
         assert_eq!(c.next_test(t, 0), Some(hit));
         assert_eq!(c.next_test(t, 1), Some(miss));
         assert_eq!(c.next_test(t, 18), None);
+        assert_eq!(c.next_test_hot(t, 0), Some(hit));
+        assert_eq!(c.next_test_hot(t, 18), None);
+    }
+
+    #[test]
+    fn test_dispatch_beyond_linear_threshold_sorts_and_searches() {
+        // More successors than LINEAR_MAX: the list switches to sorted +
+        // binary search and must still resolve every value.
+        let mut c = ActionCache::new();
+        let mut cur = Cursor::AtEntry(key(1));
+        let t = c.record_test(&mut cur, 3, &[], 0);
+        let mut nodes = vec![c.record_plain(&mut cur, 100, &[])];
+        // Insert values in a scrambled order to exercise sorted insertion.
+        for v in [7, -3, 12, 5, 42, -99, 2, 30, 17, 9, -5, 64] {
+            let mut cur2 = Cursor::AfterTest(t, v);
+            nodes.push(c.record_plain(&mut cur2, 100 + v.unsigned_abs() as u32, &[]));
+        }
+        assert_eq!(c.next_test(t, 0), Some(nodes[0]));
+        for (i, v) in [7, -3, 12, 5, 42, -99, 2, 30, 17, 9, -5, 64].iter().enumerate() {
+            assert_eq!(c.next_test_hot(t, *v), Some(nodes[i + 1]), "value {v}");
+            // Hot hit on repeat.
+            assert_eq!(c.next_test_hot(t, *v), Some(nodes[i + 1]), "value {v} (hot)");
+        }
+        assert_eq!(c.next_test(t, 1000), None);
     }
 
     #[test]
     fn index_chains_entries() {
         let mut c = ActionCache::new();
         let mut cur = Cursor::AtEntry(key(1));
-        let idx = c.record_index(&mut cur, 99, vec![], key(2), vec![2]);
+        let idx = c.record_index(&mut cur, 99, &[], key(2), vec![2]);
         // Next step's first action registers entry for key(2) and links
         // the dynamic signature locally.
-        let e2 = c.record_plain(&mut cur, 7, vec![]);
+        let e2 = c.record_plain(&mut cur, 7, &[]);
         assert_eq!(c.entry(&key(2)), Some(e2));
         assert_eq!(c.next_index_local(idx, &[2]), Some(e2));
+        assert_eq!(c.next_index_local_hot(idx, &[2]), Some(e2));
         // Unknown signature has no local link.
         assert_eq!(c.next_index_local(idx, &[3]), None);
+    }
+
+    #[test]
+    fn index_dispatch_beyond_linear_threshold() {
+        let mut c = ActionCache::new();
+        let mut cur = Cursor::AtEntry(key(1));
+        let idx = c.record_index(&mut cur, 99, &[], key(1000), vec![1000]);
+        let first = c.record_plain(&mut cur, 1, &[]);
+        assert_eq!(c.next_index_local(idx, &[1000]), Some(first));
+        let mut targets = Vec::new();
+        for v in [9i64, 3, 27, 81, 1, 55, 13, 7, 99, 41, 2, 68] {
+            let mut cur2 = Cursor::AfterIndex(idx, key(v), vec![v, v + 1]);
+            targets.push((v, c.record_plain(&mut cur2, 50 + v as u32, &[])));
+        }
+        for (v, n) in &targets {
+            assert_eq!(c.next_index_local_hot(idx, &[*v, *v + 1]), Some(*n), "sig {v}");
+            assert_eq!(c.next_index_local_hot(idx, &[*v, *v + 1]), Some(*n), "sig {v} hot");
+        }
+        assert_eq!(c.next_index_local(idx, &[1000]), Some(first));
+        assert_eq!(c.next_index_local(idx, &[10_000]), None);
     }
 
     #[test]
@@ -433,32 +862,42 @@ mod tests {
         let mut c = ActionCache::new();
         // Entry for key 2 recorded via a different path.
         let mut cur_a = Cursor::AtEntry(key(2));
-        let e2 = c.record_plain(&mut cur_a, 1, vec![]);
+        let e2 = c.record_plain(&mut cur_a, 1, &[]);
         // An index node that never locally linked key 2: the engine
         // falls back to the entry table by (re)building the key.
         let mut cur_b = Cursor::AtEntry(key(1));
-        let idx = c.record_index(&mut cur_b, 99, vec![], key(9), vec![9]);
+        let idx = c.record_index(&mut cur_b, 99, &[], key(9), vec![9]);
         assert_eq!(c.next_index_local(idx, &[2]), None);
         assert_eq!(c.entry(&key(2)), Some(e2));
+        assert_eq!(c.entry_bytes(key(2).as_bytes()), Some(e2));
     }
 
     #[test]
     fn link_existing_creates_local_shortcut() {
         let mut c = ActionCache::new();
         let mut cur_a = Cursor::AtEntry(key(2));
-        let e2 = c.record_plain(&mut cur_a, 1, vec![]);
+        let e2 = c.record_plain(&mut cur_a, 1, &[]);
         let mut cur_b = Cursor::AtEntry(key(1));
-        c.record_index(&mut cur_b, 99, vec![], key(2), vec![2]);
+        c.record_index(&mut cur_b, 99, &[], key(2), vec![2]);
         c.link_existing(&cur_b, e2);
         let Cursor::AfterIndex(idx, _, _) = cur_b else {
             panic!("cursor should be after index");
         };
         assert_eq!(c.next_index_local(idx, &[2]), Some(e2));
-        if let Succ::Index(list) = &c.node(idx).succ {
+        if let Succ::Index(list) = c.succ(idx) {
             assert_eq!(list.len(), 1);
         } else {
             panic!("index successors expected");
         }
+        // Idempotent: a second link of the same signature is a no-op.
+        let stats_before = c.stats();
+        c.link_existing(&cur_b, e2);
+        if let Succ::Index(list) = c.succ(idx) {
+            assert_eq!(list.len(), 1);
+        } else {
+            panic!("index successors expected");
+        }
+        assert_eq!(c.stats(), stats_before);
     }
 
     #[test]
@@ -467,7 +906,7 @@ mod tests {
         let mut cur = Cursor::AtEntry(key(1));
         assert!(!c.over_capacity());
         for i in 0..20 {
-            c.record_plain(&mut cur, i, vec![i as i64, -(i as i64)]);
+            c.record_plain(&mut cur, i, &[i as i64, -(i as i64)]);
         }
         assert!(c.over_capacity());
         let before = c.stats();
@@ -485,7 +924,7 @@ mod tests {
     fn small_values_cost_one_byte() {
         let mut c = ActionCache::new();
         let mut cur = Cursor::AtEntry(key(1));
-        c.record_plain(&mut cur, 0, vec![1, 2, 3]);
+        c.record_plain(&mut cur, 0, &[1, 2, 3]);
         // 8 overhead + 3 single-byte varints + entry (1-byte key + 16).
         assert_eq!(c.stats().bytes_current, 8 + 3 + 1 + 16);
     }
@@ -494,12 +933,27 @@ mod tests {
     fn duplicate_entry_registration_is_idempotent() {
         let mut c = ActionCache::new();
         let mut cur1 = Cursor::AtEntry(key(1));
-        let a = c.record_plain(&mut cur1, 0, vec![]);
+        let a = c.record_plain(&mut cur1, 0, &[]);
         let mut cur2 = Cursor::AtEntry(key(1));
-        let _b = c.record_plain(&mut cur2, 0, vec![]);
+        let _b = c.record_plain(&mut cur2, 0, &[]);
         // First registration wins; stats count one entry.
         assert_eq!(c.entry(&key(1)), Some(a));
         assert_eq!(c.stats().entries_created, 1);
+    }
+
+    #[test]
+    fn entry_table_survives_growth() {
+        let mut c = ActionCache::new();
+        let mut expected = Vec::new();
+        for i in 0..1000 {
+            let mut cur = Cursor::AtEntry(key(i));
+            expected.push((i, c.record_plain(&mut cur, 0, &[])));
+        }
+        assert_eq!(c.entry_count(), 1000);
+        for (i, n) in expected {
+            assert_eq!(c.entry(&key(i)), Some(n), "key {i}");
+        }
+        assert_eq!(c.entry(&key(1_000_000)), None);
     }
 
     #[test]
@@ -507,12 +961,12 @@ mod tests {
         let mut c = ActionCache::with_capacity(50);
         let mut cur = Cursor::AtEntry(key(1));
         for i in 0..10 {
-            c.record_plain(&mut cur, i, vec![1]);
+            c.record_plain(&mut cur, i, &[1]);
         }
         let before = c.stats();
         c.clear();
         let mut cur2 = Cursor::AtEntry(key(2));
-        c.record_plain(&mut cur2, 0, vec![2]);
+        c.record_plain(&mut cur2, 0, &[2]);
         let after = c.stats();
         assert_eq!(after.bytes_cleared, before.bytes_current);
         assert_eq!(
@@ -523,13 +977,30 @@ mod tests {
     }
 
     #[test]
+    fn clear_resets_entry_lookups() {
+        let mut c = ActionCache::new();
+        let mut cur = Cursor::AtEntry(key(7));
+        let idx = c.record_index(&mut cur, 9, &[], key(8), vec![8]);
+        c.record_plain(&mut cur, 1, &[4]);
+        c.clear();
+        assert_eq!(c.entry(&key(7)), None);
+        assert_eq!(c.entry(&key(8)), None);
+        assert_eq!(c.node_count(), 0);
+        // Recording works again from scratch.
+        let mut cur2 = Cursor::AtEntry(key(7));
+        let a = c.record_plain(&mut cur2, 2, &[1]);
+        assert_eq!(c.entry(&key(7)), Some(a));
+        let _ = idx; // stale id; generation flags it
+    }
+
+    #[test]
     fn clear_announces_itself_to_the_observer() {
         use facile_obs::{ObsConfig, ObsHandle, TraceEvent};
         let mut c = ActionCache::new();
         let obs = ObsHandle::new(ObsConfig::default());
         c.set_obs(obs.clone());
         let mut cur = Cursor::AtEntry(key(1));
-        c.record_plain(&mut cur, 0, vec![1, 2]);
+        c.record_plain(&mut cur, 0, &[1, 2]);
         c.clear();
         let events = obs.drain_events();
         assert_eq!(events.len(), 1);
@@ -549,10 +1020,62 @@ mod tests {
         let mut c = ActionCache::with_capacity(50);
         let mut cur = Cursor::AtEntry(key(1));
         for i in 0..10 {
-            c.record_plain(&mut cur, i, vec![1]);
+            c.record_plain(&mut cur, i, &[1]);
         }
         let peak = c.stats().bytes_peak;
         c.clear();
         assert_eq!(c.stats().bytes_peak, peak);
+    }
+
+    #[test]
+    fn peak_tracks_test_and_index_link_growth() {
+        // Regression: `bytes_current` grown on the AfterTest/AfterIndex
+        // and link_existing paths must raise `bytes_peak` too.
+        let mut c = ActionCache::new();
+        let mut cur = Cursor::AtEntry(key(1));
+        let t = c.record_test(&mut cur, 0, &[], 0);
+        c.record_plain(&mut cur, 1, &[]);
+        let mut cur2 = Cursor::AfterTest(t, 1);
+        c.record_plain(&mut cur2, 2, &[]);
+        assert_eq!(
+            c.stats().bytes_peak,
+            c.stats().bytes_current,
+            "peak lags current after AfterTest link"
+        );
+
+        let mut cur3 = Cursor::AtEntry(key(5));
+        c.record_index(&mut cur3, 3, &[], key(6), vec![6]);
+        c.record_plain(&mut cur3, 4, &[]);
+        assert_eq!(
+            c.stats().bytes_peak,
+            c.stats().bytes_current,
+            "peak lags current after AfterIndex link"
+        );
+
+        // link_existing growth path.
+        let mut cur4 = Cursor::AtEntry(key(9));
+        let e9 = c.record_plain(&mut cur4, 5, &[]);
+        let mut cur5 = Cursor::AtEntry(key(10));
+        c.record_index(&mut cur5, 6, &[], key(9), vec![9]);
+        c.link_existing(&cur5, e9);
+        assert_eq!(
+            c.stats().bytes_peak,
+            c.stats().bytes_current,
+            "peak lags current after link_existing"
+        );
+    }
+
+    #[test]
+    fn slab_ranges_are_stable_across_growth() {
+        let mut c = ActionCache::new();
+        let mut cur = Cursor::AtEntry(key(1));
+        let mut ids = Vec::new();
+        for i in 0..200i64 {
+            ids.push(c.record_plain(&mut cur, i as u32, &[i, i * 2, i * 3]));
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let i = i as i64;
+            assert_eq!(c.node_data(*id), &[i, i * 2, i * 3]);
+        }
     }
 }

@@ -27,6 +27,19 @@ impl Key {
     pub fn as_bytes(&self) -> &[u8] {
         &self.0
     }
+
+    /// A key owning a copy of already-encoded bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Key {
+        Key(bytes.to_vec())
+    }
+
+    /// Replaces the key's content in place, reusing its allocation — the
+    /// replay loop's way to update its current entry key without
+    /// allocating once the buffer has warmed up.
+    pub fn set_from_bytes(&mut self, bytes: &[u8]) {
+        self.0.clear();
+        self.0.extend_from_slice(bytes);
+    }
 }
 
 impl fmt::Debug for Key {
@@ -55,6 +68,10 @@ impl fmt::Debug for Key {
 #[derive(Default)]
 pub struct KeyWriter {
     buf: Vec<u8>,
+    /// Staging area for queue elements (the varint length prefix needs
+    /// the count first); retained across [`reset`](Self::reset) so a
+    /// reused writer stops allocating once warm.
+    scratch: Vec<i64>,
 }
 
 impl KeyWriter {
@@ -70,15 +87,30 @@ impl KeyWriter {
 
     /// Appends a queue component: length followed by the elements.
     pub fn queue<'a>(&mut self, items: impl IntoIterator<Item = &'a i64>) {
-        let start = self.buf.len();
-        // Reserve space by writing a placeholder length we fix up after —
-        // varints make that awkward, so collect the count first.
-        let items: Vec<i64> = items.into_iter().copied().collect();
-        let _ = start;
-        write_varint(&mut self.buf, items.len() as u64);
-        for v in items {
-            write_varint(&mut self.buf, zigzag(v));
+        self.queue_vals(items.into_iter().copied());
+    }
+
+    /// [`queue`](Self::queue) for by-value iterators (e.g. live queue
+    /// storage on the replay hot path).
+    pub fn queue_vals(&mut self, items: impl IntoIterator<Item = i64>) {
+        // The varint length prefix needs the element count up front;
+        // stage into the retained scratch buffer.
+        self.scratch.clear();
+        self.scratch.extend(items);
+        write_varint(&mut self.buf, self.scratch.len() as u64);
+        for i in 0..self.scratch.len() {
+            write_varint(&mut self.buf, zigzag(self.scratch[i]));
         }
+    }
+
+    /// Clears the built content, keeping the allocation for reuse.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes built so far (what [`finish`](Self::finish) would wrap).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Finalizes the key.
@@ -167,6 +199,32 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
             return None;
         }
     }
+}
+
+/// A fast 64-bit hash of key bytes: FxHash-style 8-byte folding with a
+/// splitmix64 finalizer. Not SipHash — the action cache's entry table is
+/// not exposed to untrusted input, and lookup latency is on the replay
+/// hot path.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    const FOLD: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15 ^ bytes.len() as u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().unwrap());
+        h = (h ^ v).wrapping_mul(FOLD).rotate_left(26);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(tail)).wrapping_mul(FOLD).rotate_left(26);
+    }
+    // splitmix64 finalizer for avalanche.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
 }
 
 /// Encoded size in bytes of one value, used for memoized-data accounting.
@@ -258,6 +316,50 @@ mod tests {
         b.scalar(1);
         b.queue(&[2]);
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn set_from_bytes_replaces_content_in_place() {
+        let mut w = KeyWriter::new();
+        w.scalar(1);
+        w.queue(&[2, 3]);
+        let built = w.finish();
+        let mut k = Key::from_bytes(&[9, 9, 9, 9, 9, 9, 9, 9]);
+        k.set_from_bytes(built.as_bytes());
+        assert_eq!(k, built);
+        k.set_from_bytes(&[]);
+        assert!(k.is_empty());
+    }
+
+    #[test]
+    fn key_writer_reset_reuses_buffer() {
+        let mut w = KeyWriter::new();
+        w.scalar(5);
+        w.queue(&[1, 2, 3]);
+        let first = w.bytes().to_vec();
+        w.reset();
+        assert!(w.bytes().is_empty());
+        w.scalar(5);
+        w.queue(&[1, 2, 3]);
+        assert_eq!(w.bytes(), first.as_slice());
+    }
+
+    #[test]
+    fn hash_bytes_discriminates_and_is_stable() {
+        // Deterministic across calls.
+        assert_eq!(hash_bytes(b"facile"), hash_bytes(b"facile"));
+        // Distinct lengths, contents, and tails hash apart.
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_ne!(hash_bytes(b"\0"), hash_bytes(b"\0\0"));
+        assert_ne!(hash_bytes(b"12345678"), hash_bytes(b"12345679"));
+        assert_ne!(hash_bytes(b"123456789"), hash_bytes(b"123456780"));
+        // No trivial collisions over a small dense set.
+        let mut seen = std::collections::HashSet::new();
+        for a in 0u8..=63 {
+            for b in 0u8..=63 {
+                assert!(seen.insert(hash_bytes(&[a, b])), "collision at {a},{b}");
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! memory separately. Here the target is a TRISC [`Image`] produced by
 //! `facile-isa`'s assembler or any other front end.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 
 /// A loadable program image: text plus initial data.
 #[derive(Clone, Debug, Default)]
@@ -22,13 +24,69 @@ pub struct Image {
     pub entry: u64,
 }
 
+/// Hashes page numbers with a splitmix64 finalizer: one multiply chain
+/// instead of SipHash rounds. The page index is never keyed by untrusted
+/// input, so collision-flooding resistance buys nothing here.
+#[derive(Clone, Copy, Debug, Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback; `u64` keys go through `write_u64`.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut z = n.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BuildPageHasher;
+
+impl BuildHasher for BuildPageHasher {
+    type Hasher = PageHasher;
+    fn build_hasher(&self) -> PageHasher {
+        PageHasher::default()
+    }
+}
+
 /// Byte-addressed sparse memory with 4 KiB pages.
-#[derive(Clone, Debug, Default)]
+///
+/// Pages live in one `Vec`; a side map translates page numbers to vector
+/// slots, and a one-entry inline cache short-circuits the map for the
+/// (overwhelmingly common) case of consecutive accesses to one page.
+#[derive(Clone, Debug)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE]>>,
+    index: HashMap<u64, u32, BuildPageHasher>,
+    pages: Vec<Box<[u8; PAGE]>>,
+    /// Last page translated: `(page number, slot)`.
+    last: Cell<(u64, u32)>,
 }
 
 const PAGE: usize = 4096;
+/// No address maps to this page number (max is `u64::MAX / PAGE`).
+const NO_PAGE: u64 = u64::MAX;
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory {
+            index: HashMap::default(),
+            pages: Vec::new(),
+            last: Cell::new((NO_PAGE, 0)),
+        }
+    }
+}
 
 impl Memory {
     /// Empty memory (all bytes read as zero).
@@ -41,30 +99,60 @@ impl Memory {
         self.pages.len()
     }
 
+    #[inline]
+    fn page(&self, pno: u64) -> Option<&[u8; PAGE]> {
+        let (lp, li) = self.last.get();
+        if lp == pno {
+            return Some(&self.pages[li as usize]);
+        }
+        let i = *self.index.get(&pno)?;
+        self.last.set((pno, i));
+        Some(&self.pages[i as usize])
+    }
+
+    #[inline]
+    fn page_mut(&mut self, pno: u64) -> &mut [u8; PAGE] {
+        let (lp, li) = self.last.get();
+        if lp == pno {
+            return &mut self.pages[li as usize];
+        }
+        let i = match self.index.get(&pno) {
+            Some(&i) => i,
+            None => {
+                let i = self.pages.len() as u32;
+                self.pages.push(Box::new([0u8; PAGE]));
+                self.index.insert(pno, i);
+                i
+            }
+        };
+        self.last.set((pno, i));
+        &mut self.pages[i as usize]
+    }
+
     /// Reads one byte.
+    #[inline]
     pub fn load1(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr / PAGE as u64)) {
+        match self.page(addr / PAGE as u64) {
             Some(p) => p[(addr % PAGE as u64) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn store1(&mut self, addr: u64, v: u8) {
-        let page = self
-            .pages
-            .entry(addr / PAGE as u64)
-            .or_insert_with(|| Box::new([0u8; PAGE]));
+        let page = self.page_mut(addr / PAGE as u64);
         page[(addr % PAGE as u64) as usize] = v;
     }
 
     /// Reads `n <= 8` little-endian bytes, zero-extended.
+    #[inline]
     pub fn load(&self, addr: u64, n: u32) -> u64 {
         debug_assert!(n <= 8);
         // Fast path: within one page.
         let off = (addr % PAGE as u64) as usize;
         if off + n as usize <= PAGE {
-            if let Some(p) = self.pages.get(&(addr / PAGE as u64)) {
+            if let Some(p) = self.page(addr / PAGE as u64) {
                 let mut buf = [0u8; 8];
                 buf[..n as usize].copy_from_slice(&p[off..off + n as usize]);
                 return u64::from_le_bytes(buf);
@@ -79,15 +167,13 @@ impl Memory {
     }
 
     /// Writes the low `n <= 8` bytes of `v`, little-endian.
+    #[inline]
     pub fn store(&mut self, addr: u64, n: u32, v: u64) {
         debug_assert!(n <= 8);
         let bytes = v.to_le_bytes();
         let off = (addr % PAGE as u64) as usize;
         if off + n as usize <= PAGE {
-            let page = self
-                .pages
-                .entry(addr / PAGE as u64)
-                .or_insert_with(|| Box::new([0u8; PAGE]));
+            let page = self.page_mut(addr / PAGE as u64);
             page[off..off + n as usize].copy_from_slice(&bytes[..n as usize]);
             return;
         }
@@ -148,6 +234,7 @@ impl Target {
     /// Fetches an instruction token of `bits` width (8/16/32/64) at
     /// `addr`, zero-extended. Out-of-text reads return 0 (which no valid
     /// pattern should match).
+    #[inline]
     pub fn fetch_token(&self, addr: u64, bits: u32) -> u64 {
         let bytes = bits.div_ceil(8) as usize;
         let Some(off) = addr.checked_sub(self.text_base) else {

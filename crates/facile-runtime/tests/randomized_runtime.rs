@@ -63,7 +63,7 @@ fn record_replay_straight_line() {
         let mut cursor = Cursor::AtEntry(key.clone());
         let mut bytes_before = 0;
         for (a, data) in &actions {
-            cache.record_plain(&mut cursor, *a, data.clone());
+            cache.record_plain(&mut cursor, *a, data);
             let now = cache.stats().bytes_total;
             assert!(now > bytes_before, "case {case}: accounting must grow");
             bytes_before = now;
@@ -73,7 +73,7 @@ fn record_replay_straight_line() {
         for (i, (a, data)) in actions.iter().enumerate() {
             let n = cache.node(node);
             assert_eq!(n.action, *a, "case {case}");
-            assert_eq!(&*n.data, data.as_slice(), "case {case}");
+            assert_eq!(cache.node_data(node), data.as_slice(), "case {case}");
             match cache.next_plain(node) {
                 Some(next) => node = next,
                 None => assert_eq!(i, actions.len() - 1, "case {case}"),
@@ -102,10 +102,10 @@ fn test_nodes_fork() {
                 Some(t) => Cursor::AfterTest(t, *v),
             };
             if first.is_none() {
-                let t = cache.record_test(&mut cursor, 1, vec![], *v);
+                let t = cache.record_test(&mut cursor, 1, &[], *v);
                 first = Some(t);
             }
-            let _ = cache.record_plain(&mut cursor, 100 + i as u32, vec![]);
+            let _ = cache.record_plain(&mut cursor, 100 + i as u32, &[]);
         }
         let t = first.unwrap();
         for (i, v) in values.iter().enumerate() {

@@ -11,7 +11,7 @@
 //!           └──── miss (recovery) / unknown next key ◄───────────────┘
 //! ```
 
-use crate::fast::{fast_run, FastOutcome};
+use crate::fast::{fast_run, FastOutcome, ReplayScratch};
 use crate::recovery::recover;
 use crate::slow::{slow_step, Position, Recording, StepOutcome};
 use crate::state::{ExtFn, MachineState, Store};
@@ -84,8 +84,8 @@ fn obs_tag(e: Engine) -> EngineTag {
 enum Mode {
     /// Run a slow step for this key.
     Slow(Key),
-    /// Replay from this node (entry key attached).
-    Fast(NodeId, Key),
+    /// Replay from this node (its entry key lives in `Simulation::fast_key`).
+    Fast(NodeId),
     /// Resume slow execution mid-step after a recovery.
     SlowResume(Position),
     /// Simulation over.
@@ -100,6 +100,11 @@ pub struct Simulation {
     cursor: Cursor,
     mode: Mode,
     memoize: bool,
+    /// Key of the entry `Mode::Fast` replays; updated in place by the
+    /// fast engine so steady-state replay never allocates key storage.
+    fast_key: Key,
+    /// Reusable replay buffers (see [`ReplayScratch`]).
+    scratch: ReplayScratch,
 }
 
 impl Simulation {
@@ -148,6 +153,8 @@ impl Simulation {
             step,
             st,
             cache,
+            fast_key: Key::default(),
+            scratch: ReplayScratch::new(),
         })
     }
 
@@ -213,7 +220,8 @@ impl Simulation {
                     if self.memoize {
                         if let Some(entry) = self.cache.entry(&key) {
                             self.cache.link_existing(&self.cursor, entry);
-                            self.mode = Mode::Fast(entry, key);
+                            self.fast_key = key;
+                            self.mode = Mode::Fast(entry);
                             continue;
                         }
                         if self.cache.over_capacity() {
@@ -229,7 +237,7 @@ impl Simulation {
                     steps += 1;
                     self.run_slow_from(pos);
                 }
-                Mode::Fast(node, entry_key) => {
+                Mode::Fast(node) => {
                     self.note_engine(Engine::Fast);
                     // Timing and counter deltas only when someone listens.
                     let before = self
@@ -242,7 +250,8 @@ impl Simulation {
                         &mut self.st,
                         &mut self.cache,
                         node,
-                        entry_key,
+                        &mut self.fast_key,
+                        &mut self.scratch,
                         &mut steps,
                         max_steps,
                     );
@@ -261,8 +270,8 @@ impl Simulation {
                             self.mode = Mode::Done;
                             return self.st.halted;
                         }
-                        FastOutcome::Budget { node, entry_key } => {
-                            self.mode = Mode::Fast(node, entry_key);
+                        FastOutcome::Budget { node } => {
+                            self.mode = Mode::Fast(node);
                             return None;
                         }
                         FastOutcome::NeedSlow { key, cursor } => {
@@ -274,13 +283,13 @@ impl Simulation {
                             self.cursor = cursor;
                             self.mode = Mode::Slow(key);
                         }
-                        FastOutcome::Miss {
-                            entry_key,
-                            replayed,
-                            cursor,
-                        } => {
-                            let resume =
-                                recover(&self.step, &mut self.st, &entry_key, &replayed);
+                        FastOutcome::Miss { cursor } => {
+                            let resume = recover(
+                                &self.step,
+                                &mut self.st,
+                                &self.fast_key,
+                                &self.scratch.replayed,
+                            );
                             self.st.stats.recoveries =
                                 self.st.stats.recoveries.saturating_add(1);
                             self.cursor = cursor;
@@ -335,25 +344,17 @@ impl Simulation {
 
     /// Writes `main`'s parameters into the real state from a key.
     fn seed_params(&mut self, key: &Key) {
+        let Simulation { step, st, .. } = self;
         let mut r = KeyReader::new(key);
-        let params: Vec<_> = self
-            .step
-            .ir
-            .main
-            .params
-            .iter()
-            .copied()
-            .zip(self.step.param_types.clone())
-            .collect();
-        for (p, t) in params {
+        for (p, t) in step.ir.main.params.iter().zip(step.param_types.iter()) {
             match t {
                 Type::Queue => {
                     let vals = r.queue().expect("key matches parameter types");
-                    self.st.agg_mut(Loc::Var(p)).load_values(&vals);
+                    st.agg_mut(Loc::Var(*p)).load_values(&vals);
                 }
                 _ => {
                     let v = r.scalar().expect("key matches parameter types");
-                    self.st.set_reg(p, v);
+                    st.set_reg(*p, v);
                 }
             }
         }

@@ -5,6 +5,13 @@
 //! ops, verifies dynamic result tests, and chains across step boundaries
 //! through INDEX actions. A missing successor is an *action-cache miss*
 //! and hands control back to the slow simulator.
+//!
+//! The replay loop is the simulator's hot path (>99% of instructions on
+//! the paper's workloads) and is written to be allocation-free in steady
+//! state: all growable buffers live in a caller-owned [`ReplayScratch`],
+//! the current entry key is only materialized lazily at miss/budget
+//! boundaries (into a reused buffer), and placeholder data is read
+//! straight out of the cache's contiguous slab. See docs/PERFORMANCE.md.
 
 use crate::state::{MachineState, Store};
 use facile_codegen::{ActionKind, CompiledStep, FOp, FOperand, KeyPlanArg};
@@ -23,15 +30,38 @@ pub struct Replayed {
     pub value: Option<i64>,
 }
 
+/// Reusable buffers for the replay loop. Owned by the driver and threaded
+/// through every [`fast_run`] call so steady-state replay performs zero
+/// heap allocations once the buffers have warmed up.
+#[derive(Default)]
+pub struct ReplayScratch {
+    /// Actions replayed since the current entry (the recovery stack).
+    pub replayed: Vec<Replayed>,
+    /// Dynamic INDEX signature being computed for the current crossing.
+    sig: Vec<i64>,
+    /// The signature observed at the *last taken* INDEX crossing, kept so
+    /// the current entry's key can be rebuilt on demand.
+    cur_sig: Vec<i64>,
+    /// Key serialization buffer (entry rebuilds and table fallbacks).
+    kw: KeyWriter,
+    /// Argument staging for external calls.
+    ext_args: Vec<i64>,
+}
+
+impl ReplayScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Why the fast engine returned.
 #[derive(Debug)]
 pub enum FastOutcome {
-    /// Mid-entry action-cache miss: recovery is required.
+    /// Mid-entry action-cache miss: recovery is required. The entry key
+    /// was materialized into the caller's key buffer and the replayed
+    /// actions (including the missing one) are in the scratch.
     Miss {
-        /// Key of the entry being replayed (recovers the step's inputs).
-        entry_key: Key,
-        /// Actions replayed since the entry, including the missing one.
-        replayed: Vec<Replayed>,
         /// Where the slow engine should attach new recordings.
         cursor: Cursor,
     },
@@ -45,46 +75,53 @@ pub enum FastOutcome {
     },
     /// The simulation halted during replay.
     Halted,
-    /// The step budget ran out; resume from this node later.
+    /// The step budget ran out; resume from this node later (its entry
+    /// key was materialized into the caller's key buffer).
     Budget {
         /// Node to resume at.
         node: NodeId,
-        /// Its entry key.
-        entry_key: Key,
     },
 }
 
 /// Replays from `node` (the entry node for `entry_key`) until a miss,
 /// halt or budget exhaustion. `steps` is incremented at each INDEX
 /// crossing and replay stops when it reaches `max_steps`.
+///
+/// `entry_key` must hold the key of the entry `node` belongs to on the
+/// way in; on [`FastOutcome::Miss`] and [`FastOutcome::Budget`] it holds
+/// the key of the entry being replayed at exit (updated in place).
+#[allow(clippy::too_many_arguments)] // the replay hot loop threads all reusable state explicitly
 pub fn fast_run(
     step: &CompiledStep,
     st: &mut MachineState,
     cache: &mut ActionCache,
     mut node: NodeId,
-    mut entry_key: Key,
+    entry_key: &mut Key,
+    scratch: &mut ReplayScratch,
     steps: &mut u64,
     max_steps: u64,
 ) -> FastOutcome {
     st.engine = Engine::Fast;
-    let mut replayed: Vec<Replayed> = Vec::new();
+    scratch.replayed.clear();
     // How to reconstruct the current entry's key on demand: the INDEX
-    // node we crossed, the placeholder offset of its key components, and
-    // the dynamic signature observed at the crossing. `None` means
-    // `entry_key` is already the current entry's key.
-    let mut cur_index: Option<(NodeId, usize, Vec<i64>)> = None;
+    // node last crossed and the placeholder offset of its key components
+    // (its dynamic signature sits in `scratch.cur_sig`). `None` means
+    // `entry_key` already holds the current entry's key.
+    let mut cur_index: Option<(NodeId, usize)> = None;
 
     loop {
         let n = cache.node(node);
         let action = n.action;
         let code = &step.actions[action as usize];
-        let data: &[i64] = &n.data;
         let mut ph = 0usize;
 
-        // Execute the dynamic ops.
-        for op in &code.ops {
-            if exec_fop(op, st, data, &mut ph) {
-                return FastOutcome::Halted;
+        // Execute the dynamic ops against the slab-resident data.
+        {
+            let data = cache.node_data(node);
+            for op in &code.ops {
+                if exec_fop(op, st, data, &mut ph, &mut scratch.ext_args) {
+                    return FastOutcome::Halted;
+                }
             }
         }
         st.stats.actions_replayed = st.stats.actions_replayed.saturating_add(1);
@@ -94,35 +131,47 @@ pub fn fast_run(
 
         match &code.kind {
             ActionKind::Plain => {
-                replayed.push(Replayed {
+                scratch.replayed.push(Replayed {
                     action,
                     value: None,
                 });
                 match cache.next_plain(node) {
                     Some(next) => node = next,
                     None => {
-                        note_miss(st, action, replayed.len());
+                        note_miss(st, action, scratch.replayed.len());
+                        materialize_entry_key(
+                            step,
+                            cache,
+                            entry_key,
+                            cur_index,
+                            &mut scratch.kw,
+                            &scratch.cur_sig,
+                        );
                         return FastOutcome::Miss {
-                            entry_key: current_entry_key(step, cache, &entry_key, &cur_index),
-                            replayed,
                             cursor: Cursor::AfterPlain(node),
                         };
                     }
                 }
             }
             ActionKind::Test { src } => {
-                let v = eval_foperand(*src, st, data, &mut ph);
-                replayed.push(Replayed {
+                let v = eval_foperand(*src, st, cache.node_data(node), &mut ph);
+                scratch.replayed.push(Replayed {
                     action,
                     value: Some(v),
                 });
-                match cache.next_test(node, v) {
+                match cache.next_test_hot(node, v) {
                     Some(next) => node = next,
                     None => {
-                        note_miss(st, action, replayed.len());
+                        note_miss(st, action, scratch.replayed.len());
+                        materialize_entry_key(
+                            step,
+                            cache,
+                            entry_key,
+                            cur_index,
+                            &mut scratch.kw,
+                            &scratch.cur_sig,
+                        );
                         return FastOutcome::Miss {
-                            entry_key: current_entry_key(step, cache, &entry_key, &cur_index),
-                            replayed,
                             cursor: Cursor::AfterTest(node, v),
                         };
                     }
@@ -132,39 +181,63 @@ pub fn fast_run(
                 st.stats.fast_steps = st.stats.fast_steps.saturating_add(1);
                 *steps += 1;
                 // Fast path: follow the node-local link keyed by the
-                // dynamic key components — no key serialization.
-                let sig = dynamic_signature(plan, st);
-                match cache.next_index_local(node, &sig) {
+                // dynamic key components — no key serialization. The
+                // node's hot-index inline cache makes the common
+                // same-successor case one slab compare.
+                dynamic_signature(plan, st, &mut scratch.sig);
+                match cache.next_index_local_hot(node, &scratch.sig) {
                     Some(next) => {
-                        cur_index = Some((node, ph, sig));
+                        std::mem::swap(&mut scratch.sig, &mut scratch.cur_sig);
+                        cur_index = Some((node, ph));
                         node = next;
-                        replayed.clear();
+                        scratch.replayed.clear();
                         if *steps >= max_steps {
-                            let entry_key =
-                                current_entry_key(step, cache, &entry_key, &cur_index);
-                            return FastOutcome::Budget { node, entry_key };
+                            materialize_entry_key(
+                                step,
+                                cache,
+                                entry_key,
+                                cur_index,
+                                &mut scratch.kw,
+                                &scratch.cur_sig,
+                            );
+                            return FastOutcome::Budget { node };
                         }
                     }
                     None => {
                         // Rebuild the full key for a table lookup; link
-                        // the signature locally for future replays.
-                        let key = rebuild_key(plan, st, data, &mut ph);
-                        match cache.entry(&key) {
+                        // the signature locally for future replays. This
+                        // path runs at most once per (node, signature)
+                        // pair, so owned allocations here are cold.
+                        scratch.kw.reset();
+                        rebuild_key(
+                            &mut scratch.kw,
+                            plan,
+                            st,
+                            cache.node_data(node),
+                            &mut ph,
+                        );
+                        match cache.entry_bytes(scratch.kw.bytes()) {
                             Some(next) => {
+                                let key = Key::from_bytes(scratch.kw.bytes());
                                 let cursor =
-                                    Cursor::AfterIndex(node, key.clone(), sig);
+                                    Cursor::AfterIndex(node, key, scratch.sig.clone());
                                 cache.link_existing(&cursor, next);
                                 node = next;
-                                entry_key = key;
+                                entry_key.set_from_bytes(scratch.kw.bytes());
                                 cur_index = None;
-                                replayed.clear();
+                                scratch.replayed.clear();
                                 if *steps >= max_steps {
-                                    return FastOutcome::Budget { node, entry_key };
+                                    return FastOutcome::Budget { node };
                                 }
                             }
                             None => {
+                                let key = Key::from_bytes(scratch.kw.bytes());
                                 return FastOutcome::NeedSlow {
-                                    cursor: Cursor::AfterIndex(node, key.clone(), sig),
+                                    cursor: Cursor::AfterIndex(
+                                        node,
+                                        key.clone(),
+                                        scratch.sig.clone(),
+                                    ),
                                     key,
                                 };
                             }
@@ -202,8 +275,15 @@ fn eval_foperand(op: FOperand, st: &MachineState, data: &[i64], ph: &mut usize) 
 }
 
 /// Executes one fast op. Returns `true` when the op halted the
-/// simulation.
-fn exec_fop(op: &FOp, st: &mut MachineState, data: &[i64], ph: &mut usize) -> bool {
+/// simulation. `ext_args` stages external-call arguments so the hot loop
+/// never collects them into a fresh vector.
+fn exec_fop(
+    op: &FOp,
+    st: &mut MachineState,
+    data: &[i64],
+    ph: &mut usize,
+    ext_args: &mut Vec<i64>,
+) -> bool {
     macro_rules! e {
         ($x:expr) => {
             eval_foperand($x, st, data, ph)
@@ -263,8 +343,12 @@ fn exec_fop(op: &FOp, st: &mut MachineState, data: &[i64], ph: &mut usize) -> bo
             st.set_reg(*dst, w);
         }
         FOp::CallExt { ext, args, dst } => {
-            let vals: Vec<i64> = args.iter().map(|&a| e!(a)).collect();
-            let r = st.call_ext(ext.index(), &vals);
+            ext_args.clear();
+            for &a in args.iter() {
+                let v = e!(a);
+                ext_args.push(v);
+            }
+            let r = st.call_ext(ext.index(), ext_args);
             if let Some(d) = dst {
                 st.set_reg(*d, r);
             }
@@ -325,60 +409,83 @@ fn exec_fop(op: &FOp, st: &mut MachineState, data: &[i64], ph: &mut usize) -> bo
     false
 }
 
-/// Materializes the current entry key: either the one passed in, or a
-/// rebuild from the last INDEX crossing's node data + dynamic signature.
-fn current_entry_key(
+/// Materializes the current entry key into `entry_key` (in place, reusing
+/// its buffer): either it already holds the right key, or it is rebuilt
+/// from the last INDEX crossing's node data + dynamic signature.
+fn materialize_entry_key(
     step: &CompiledStep,
     cache: &ActionCache,
-    entry_key: &Key,
-    cur_index: &Option<(NodeId, usize, Vec<i64>)>,
-) -> Key {
-    match cur_index {
-        None => entry_key.clone(),
-        Some((node, ph_pos, sig)) => {
-            let n = cache.node(*node);
-            let ActionKind::Index { plan } = &step.actions[n.action as usize].kind else {
-                unreachable!("index crossing recorded a non-index node");
-            };
-            let mut w = KeyWriter::new();
-            let mut ph = *ph_pos;
-            let mut si = 0usize;
-            for arg in plan {
-                match arg {
-                    KeyPlanArg::ScalarRt => {
-                        w.scalar(n.data[ph]);
-                        ph += 1;
-                    }
-                    KeyPlanArg::QueueRt => {
-                        let len = n.data[ph] as usize;
-                        ph += 1;
-                        w.queue(&n.data[ph..ph + len]);
-                        ph += len;
-                    }
-                    KeyPlanArg::ScalarDyn(_) => {
-                        w.scalar(sig[si]);
-                        si += 1;
-                    }
-                    KeyPlanArg::QueueDyn(_) => {
-                        let len = sig[si] as usize;
-                        w.queue(&sig[si + 1..si + 1 + len]);
-                        si += 1 + len;
-                    }
-                }
+    entry_key: &mut Key,
+    cur_index: Option<(NodeId, usize)>,
+    kw: &mut KeyWriter,
+    cur_sig: &[i64],
+) {
+    let Some((node, ph_pos)) = cur_index else {
+        return;
+    };
+    let n = cache.node(node);
+    let ActionKind::Index { plan } = &step.actions[n.action as usize].kind else {
+        unreachable!("index crossing recorded a non-index node");
+    };
+    let data = cache.node_data(node);
+    kw.reset();
+    let mut ph = ph_pos;
+    let mut si = 0usize;
+    for arg in plan {
+        match arg {
+            KeyPlanArg::ScalarRt => {
+                kw.scalar(data[ph]);
+                ph += 1;
             }
-            w.finish()
+            KeyPlanArg::QueueRt => {
+                let len = data[ph] as usize;
+                ph += 1;
+                kw.queue(&data[ph..ph + len]);
+                ph += len;
+            }
+            KeyPlanArg::ScalarDyn(_) => {
+                kw.scalar(cur_sig[si]);
+                si += 1;
+            }
+            KeyPlanArg::QueueDyn(_) => {
+                let len = cur_sig[si] as usize;
+                kw.queue(&cur_sig[si + 1..si + 1 + len]);
+                si += 1 + len;
+            }
         }
     }
+    entry_key.set_from_bytes(kw.bytes());
 }
 
-/// Collects the dynamic key components (the node-local link signature).
-fn dynamic_signature(plan: &[KeyPlanArg], st: &MachineState) -> Vec<i64> {
-    let mut sig: Vec<i64> = Vec::new();
+/// Collects the dynamic key components (the node-local link signature)
+/// into `sig`.
+///
+/// Dynamic components come from live state by construction — a
+/// [`FOperand::Ph`] here would mean the compiler put a run-time-static
+/// placeholder in a dynamic key-plan slot, and placeholder data is not in
+/// scope when the signature is computed. That invariant violation is
+/// caught by the `debug_assert!` in debug builds and reported with an
+/// explicit message (instead of an opaque index-out-of-bounds) in
+/// release builds.
+fn dynamic_signature(plan: &[KeyPlanArg], st: &MachineState, sig: &mut Vec<i64>) {
+    sig.clear();
     for arg in plan {
         match arg {
             KeyPlanArg::ScalarDyn(op) => {
-                let mut zero = 0usize;
-                sig.push(eval_foperand(*op, st, &[], &mut zero));
+                debug_assert!(
+                    !matches!(op, FOperand::Ph),
+                    "INDEX key plan placed a placeholder operand in a dynamic slot"
+                );
+                let v = match op {
+                    FOperand::Reg(v) => st.reg(*v),
+                    FOperand::Imm(c) => *c,
+                    FOperand::Ph => panic!(
+                        "INDEX dynamic signature: key plan resolves a dynamic scalar \
+                         to a run-time-static placeholder (compiler key-plan bug; \
+                         placeholder data is not available during signature collection)"
+                    ),
+                };
+                sig.push(v);
             }
             KeyPlanArg::QueueDyn(loc) => {
                 let agg = st.agg(*loc);
@@ -388,17 +495,17 @@ fn dynamic_signature(plan: &[KeyPlanArg], st: &MachineState) -> Vec<i64> {
             _ => {}
         }
     }
-    sig
 }
 
-/// Rebuilds the next step's key from the INDEX plan.
+/// Rebuilds the next step's key from the INDEX plan into `w` (already
+/// reset by the caller).
 fn rebuild_key(
+    w: &mut KeyWriter,
     plan: &[KeyPlanArg],
     st: &MachineState,
     data: &[i64],
     ph: &mut usize,
-) -> Key {
-    let mut w = KeyWriter::new();
+) {
     for arg in plan {
         match arg {
             KeyPlanArg::ScalarRt => {
@@ -417,10 +524,8 @@ fn rebuild_key(
                 w.queue(vals);
             }
             KeyPlanArg::QueueDyn(loc) => {
-                let vals: Vec<i64> = st.agg(*loc).iter().collect();
-                w.queue(&vals);
+                w.queue_vals(st.agg(*loc).iter());
             }
         }
     }
-    w.finish()
 }

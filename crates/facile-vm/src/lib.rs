@@ -56,4 +56,4 @@ pub mod slow;
 pub mod state;
 
 pub use engine::{ArgValue, SimError, SimOptions, Simulation};
-pub use state::{AggStorage, ExtFn, MachineState};
+pub use state::{AggIter, AggStorage, ExtFn, MachineState};

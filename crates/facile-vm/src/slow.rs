@@ -65,26 +65,33 @@ pub fn slow_step(
 ) -> StepOutcome {
     let mut block = start.block;
     let mut ii = start.inst;
-    // The open action group: (action id, memoized placeholder data).
-    let mut pending: Option<(u32, Vec<i64>)> = None;
+    // The open action group. Placeholder data accumulates in one reused
+    // buffer (`group`) — the cache copies it into its slab on record, so
+    // recording a group does not allocate a fresh vector.
+    let mut pending: Option<u32> = None;
+    let mut group: Vec<i64> = Vec::new();
+    // Reused staging for external-call arguments.
+    let mut ext_args: Vec<i64> = Vec::new();
 
     loop {
         let b = &step.ir.main.blocks[block.index()];
         let annots = &step.blocks[block.index()];
-        while ii < b.insts.len() {
-            let inst = &b.insts[ii];
-            let annot = &annots.insts[ii];
+        // Paired iteration over instructions and their annotations keeps
+        // the dispatch loop free of per-instruction bounds checks.
+        for (inst, annot) in b.insts[ii..].iter().zip(annots.insts[ii..].iter()) {
 
             if rec.is_some() {
                 if let Some(a) = annot.action_start {
                     debug_assert!(pending.is_none(), "previous group not closed");
-                    pending = Some((a, Vec::new()));
+                    pending = Some(a);
+                    group.clear();
                 }
                 if annot.dynamic && annot.closes != Some(Closes::Index) {
-                    let data = &mut pending
-                        .as_mut()
-                        .expect("dynamic instruction inside an open group")
-                        .1;
+                    debug_assert!(
+                        pending.is_some(),
+                        "dynamic instruction inside an open group"
+                    );
+                    let data = &mut group;
                     if let Some(lift) = &annot.lift {
                         match lift {
                             LiftWhat::Var(v) => data.push(st.reg(*v)),
@@ -92,8 +99,7 @@ pub fn slow_step(
                             LiftWhat::Agg(loc) => {
                                 let agg = st.agg(*loc);
                                 data.push(agg.len() as i64);
-                                let vals: Vec<i64> = agg.iter().collect();
-                                data.extend(vals);
+                                data.extend(agg.iter());
                             }
                         }
                     } else {
@@ -112,8 +118,11 @@ pub fn slow_step(
                         exec_fetch(*dst, *stream, step.ir.token_widths[token.index()], st);
                     }
                     Inst::CallExt { ext, args, dst } => {
-                        let vals: Vec<i64> = args.iter().map(|&a| ev(a, st)).collect();
-                        let r = st.call_ext(ext.index(), &vals);
+                        ext_args.clear();
+                        for &a in args.iter() {
+                            ext_args.push(ev(a, st));
+                        }
+                        let r = st.call_ext(ext.index(), &ext_args);
                         if let Some(d) = dst {
                             st.set_reg(*d, r);
                         }
@@ -147,8 +156,8 @@ pub fn slow_step(
                                 code: c,
                             });
                         }
-                        if let (Some(rec), Some((a, data))) = (&mut rec, pending.take()) {
-                            rec.cache.record_plain(rec.cursor, a, data);
+                        if let (Some(rec), Some(a)) = (&mut rec, pending.take()) {
+                            rec.cache.record_plain(rec.cursor, a, &group);
                         }
                         return StepOutcome::Halted;
                     }
@@ -159,13 +168,14 @@ pub fn slow_step(
                     Inst::Verify { dst, src } => {
                         let v = ev(*src, st);
                         st.set_reg(*dst, v);
-                        if let (Some(rec), Some((a, data))) = (&mut rec, pending.take()) {
-                            rec.cache.record_test(rec.cursor, a, data, v);
+                        if let (Some(rec), Some(a)) = (&mut rec, pending.take()) {
+                            rec.cache.record_test(rec.cursor, a, &group, v);
                         }
                     }
                     Inst::SetNext { args } => {
                         let key = build_key(args, st);
-                        if let (Some(rec), Some((a, mut data))) = (&mut rec, pending.take()) {
+                        if let (Some(rec), Some(a)) = (&mut rec, pending.take()) {
+                            let data = &mut group;
                             // Memoize the run-time-static key components so
                             // the fast engine can rebuild the key, and
                             // collect the dynamic signature used for
@@ -183,8 +193,7 @@ pub fn slow_step(
                                     (KeyPlanArg::QueueRt, KeyArg::Queue(loc)) => {
                                         let agg = st.agg(*loc);
                                         data.push(agg.len() as i64);
-                                        let vals: Vec<i64> = agg.iter().collect();
-                                        data.extend(vals);
+                                        data.extend(agg.iter());
                                     }
                                     (KeyPlanArg::ScalarDyn(_), KeyArg::Scalar(o)) => {
                                         sig.push(ev(*o, st));
@@ -207,13 +216,12 @@ pub fn slow_step(
                     other => unreachable!("value instruction not executed: {other}"),
                 }
             }
-            ii += 1;
         }
 
         // Close a plain group at the block end.
         if annots.term_action.is_none() {
-            if let (Some(rec), Some((a, data))) = (&mut rec, pending.take()) {
-                rec.cache.record_plain(rec.cursor, a, data);
+            if let (Some(rec), Some(a)) = (&mut rec, pending.take()) {
+                rec.cache.record_plain(rec.cursor, a, &group);
             }
         }
 
@@ -231,11 +239,8 @@ pub fn slow_step(
                 let v = ev(*cond, st);
                 if let Some(a) = annots.term_action {
                     if let Some(rec) = &mut rec {
-                        let data = pending.take().map(|p| p.1).unwrap_or_default();
-                        debug_assert!(
-                            pending.is_none(),
-                            "terminator test consumes the open group"
-                        );
+                        let data: &[i64] =
+                            if pending.take().is_some() { &group } else { &[] };
                         rec.cache.record_test(rec.cursor, a, data, v);
                     } else {
                         pending = None;
@@ -252,7 +257,8 @@ pub fn slow_step(
                 let v = ev(*val, st);
                 if let Some(a) = annots.term_action {
                     if let Some(rec) = &mut rec {
-                        let data = pending.take().map(|p| p.1).unwrap_or_default();
+                        let data: &[i64] =
+                            if pending.take().is_some() { &group } else { &[] };
                         rec.cache.record_test(rec.cursor, a, data, v);
                     } else {
                         pending = None;
@@ -275,8 +281,8 @@ pub fn slow_step(
                         code: 1,
                     });
                 }
-                if let (Some(rec), Some((a, data))) = (&mut rec, pending.take()) {
-                    rec.cache.record_plain(rec.cursor, a, data);
+                if let (Some(rec), Some(a)) = (&mut rec, pending.take()) {
+                    rec.cache.record_plain(rec.cursor, a, &group);
                 }
                 return StepOutcome::Halted;
             }
@@ -291,8 +297,7 @@ pub fn build_key(args: &[KeyArg], st: &MachineState) -> Key {
         match arg {
             KeyArg::Scalar(o) => w.scalar(ev(*o, st)),
             KeyArg::Queue(loc) => {
-                let vals: Vec<i64> = st.agg(*loc).iter().collect();
-                w.queue(&vals);
+                w.queue_vals(st.agg(*loc).iter());
             }
         }
     }

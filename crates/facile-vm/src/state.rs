@@ -132,11 +132,13 @@ impl AggStorage {
         }
     }
 
-    /// Iterates the elements in order.
-    pub fn iter(&self) -> Box<dyn Iterator<Item = i64> + '_> {
+    /// Iterates the elements in order. The concrete [`AggIter`] keeps
+    /// this off the heap — key building and INDEX signatures iterate
+    /// queues on the replay hot path.
+    pub fn iter(&self) -> AggIter<'_> {
         match self {
-            AggStorage::Array(a) => Box::new(a.iter().copied()),
-            AggStorage::Queue(q) => Box::new(q.iter().copied()),
+            AggStorage::Array(a) => AggIter::Array(a.iter()),
+            AggStorage::Queue(q) => AggIter::Queue(q.iter()),
         }
     }
 
@@ -168,6 +170,34 @@ impl AggStorage {
         }
     }
 }
+
+/// Concrete iterator over [`AggStorage`] elements (no boxing).
+pub enum AggIter<'a> {
+    /// Array elements, front to back.
+    Array(std::slice::Iter<'a, i64>),
+    /// Queue elements, front to back.
+    Queue(std::collections::vec_deque::Iter<'a, i64>),
+}
+
+impl Iterator for AggIter<'_> {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        match self {
+            AggIter::Array(it) => it.next().copied(),
+            AggIter::Queue(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            AggIter::Array(it) => it.size_hint(),
+            AggIter::Queue(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for AggIter<'_> {}
 
 /// Read/write access to registers, globals, aggregates and target text —
 /// the subset of state that run-time-static code touches. Implemented by

@@ -1,0 +1,96 @@
+//! Proves the steady-state fast-replay loop is allocation-free.
+//!
+//! A counting global allocator (this integration test is its own binary,
+//! so the allocator is private to it) watches a window of pure replay:
+//! after the action cache has recorded every key variant of a cyclic
+//! program, continuing to fast-forward must perform zero heap
+//! allocations — node data is read from the cache slab, dynamic INDEX
+//! signatures and entry keys live in reused scratch buffers, and the
+//! replayed-action log retains its capacity across steps.
+
+use facile_codegen::{compile, CodegenConfig};
+use facile_ir::lower::lower;
+use facile_lang::diag::Diagnostics;
+use facile_lang::parser::parse;
+use facile_runtime::{Image, Target};
+use facile_vm::engine::{ArgValue, SimOptions, Simulation};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, n)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Keys cycle 0..7 with a dynamic memory counter, a dynamic result test
+/// and a dynamic INDEX signature component — the full replay feature set.
+const SRC: &str = "fun main(x : int) {
+        val c = mem_ld(0);
+        mem_st(0, c + 1);
+        count_insns(1);
+        count_cycles(2);
+        if (c >= 100000) { sim_halt(); }
+        next((x + 1) % 7);
+    }";
+
+#[test]
+fn steady_state_replay_allocates_nothing() {
+    let mut diags = Diagnostics::new();
+    let prog = parse(SRC, &mut diags);
+    let syms = facile_sema::analyze(&prog, &mut diags);
+    assert!(!diags.has_errors(), "{}", diags.render_all(SRC));
+    let ir = lower(&prog, &syms, &mut diags).expect("lowering succeeds");
+    let step = compile(ir, &CodegenConfig::default());
+
+    let mut sim = Simulation::new(
+        step,
+        Target::load(&Image::default()),
+        &[ArgValue::Scalar(0)],
+        SimOptions::default(),
+    )
+    .unwrap();
+
+    // Warm up: record all 7 key variants and let replay buffers reach
+    // their steady-state capacities.
+    sim.run_steps(200);
+    let warm = *sim.stats();
+    assert!(warm.fast_steps > 0, "warm-up never fast-forwarded");
+
+    // Measured window: 1000 steps of pure replay.
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    sim.run_steps(1_000);
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    let s = sim.stats();
+
+    assert_eq!(
+        s.fast_steps - warm.fast_steps,
+        1_000,
+        "window was not pure fast replay (slow steps: {})",
+        s.slow_steps - warm.slow_steps
+    );
+    assert_eq!(s.slow_steps, warm.slow_steps, "window hit the slow engine");
+    assert_eq!(
+        allocs, 0,
+        "steady-state replay performed {allocs} heap allocations in 1000 steps"
+    );
+}

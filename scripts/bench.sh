@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Reproducible fast-replay measurement (docs/PERFORMANCE.md).
+#
+#   scripts/bench.sh [scale] [reps]
+#
+# Builds release, runs the fig11 workload suite through the compiled
+# out-of-order simulator with memoization (`fastreplay` harness), and
+# writes `BENCH_fastsim.json` at the repo root. Each workload is timed
+# best-of-N (default 3) to suppress host noise. When the committed
+# pre-optimization baseline `results/BENCH_baseline.json` exists, each
+# workload row and the output document carry the speedup against it.
+set -eu
+
+cd "$(dirname "$0")/.."
+SCALE="${1:-0.1}"
+REPS="${2:-3}"
+
+echo "==> cargo build --release --workspace (offline)"
+cargo build --release --offline --workspace
+
+BASELINE_ARGS=""
+if [ -f results/BENCH_baseline.json ]; then
+    BASELINE_ARGS="--baseline results/BENCH_baseline.json"
+fi
+
+echo "==> fastreplay --scale $SCALE --reps $REPS"
+# shellcheck disable=SC2086  # intentional word splitting of the optional flag
+./target/release/fastreplay --scale "$SCALE" --reps "$REPS" $BASELINE_ARGS \
+    --json-out BENCH_fastsim.json
+
+echo "bench: wrote BENCH_fastsim.json"

@@ -4,8 +4,11 @@
 #   scripts/verify.sh
 #
 # Runs the repo's tier-1 gate (ROADMAP.md) with --offline, lints the
-# instrumented crates at deny-warnings, and smoke-tests that
-# `facilec --run --metrics-out` emits a parseable facile-obs/v1 document.
+# instrumented crates at deny-warnings, smoke-tests that
+# `facilec --run --metrics-out` emits a parseable facile-obs/v1 document,
+# and gates the fast-replay hot path: a small fig11 workload must
+# fast-forward at least as much as the seed did, and steady-state replay
+# must be allocation-free (docs/PERFORMANCE.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,6 +18,15 @@ cargo build --release --offline
 
 echo "==> tier-1: cargo test -q (offline)"
 cargo test -q --offline
+
+echo "==> workspace: cargo build --release --workspace (offline)"
+cargo build --release --offline --workspace
+
+echo "==> workspace: cargo test -q --workspace (offline)"
+cargo test -q --offline --workspace
+
+echo "==> cargo check --features bench-ext (offline)"
+cargo check -q --offline --features bench-ext
 
 echo "==> clippy -D warnings on instrumented crates (offline)"
 cargo clippy --offline -q \
@@ -38,5 +50,24 @@ EOF
 ./target/release/sim_report "$tmp/metrics.json" > /dev/null
 grep -q '"schema":"facile-obs/v1"' "$tmp/metrics.json"
 grep -q '"ev":"halt"' "$tmp/trace.jsonl"
+
+echo "==> perf smoke: fig11 fast fraction holds on a small workload"
+./target/release/fastreplay --scale 0.02 --reps 1 --filter 145.fpppp \
+    --json-out "$tmp/perf.json" > /dev/null
+# The seed measures 98.6% fast-forwarded on fpppp at this scale; the
+# fraction is a behavioural (not timing) property, so gate it hard.
+awk 'BEGIN { ok = 0 }
+     {
+       if (match($0, /"name":"145.fpppp"[^}]*"fast_fraction":[0-9.]+/)) {
+         s = substr($0, RSTART, RLENGTH)
+         sub(/.*"fast_fraction":/, "", s)
+         if (s + 0 >= 0.98) ok = 1
+       }
+     }
+     END { exit ok ? 0 : 1 }' "$tmp/perf.json" \
+    || { echo "verify: fast fraction regressed (< 0.98 on fpppp)"; exit 1; }
+
+echo "==> perf smoke: steady-state replay is allocation-free"
+cargo test -q --offline -p facile-vm --test alloc_free_replay
 
 echo "verify: OK"
