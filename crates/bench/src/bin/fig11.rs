@@ -8,13 +8,22 @@
 //! (the paper reports 8.5–14.7x vs SimpleScalar on 1990s hosts; see
 //! EXPERIMENTS.md for why the magnitude is host-dependent).
 //!
-//! Usage: fig11 [--scale F] [--metrics-out fig11.jsonl]   (default scale 1.0)
+//! Usage: fig11 [--scale F] [--filter SUBSTR] [--metrics-out fig11.jsonl]
+//!              [--profile-out fig11-prof.jsonl]        (default scale 1.0)
+//!
+//! `--filter` keeps only workloads whose name contains the substring.
+//! `--profile-out` additionally runs the Facile *functional* simulator
+//! (the apples-to-apples peer of the hand-coded memoizers measured
+//! here) over each workload and writes its source-level profile.
 
 use bench::*;
 
 fn main() {
     let scale = arg_f64("--scale", 1.0);
+    let filter = arg_str("--filter");
     let mut sink = MetricsSink::from_args();
+    let mut prof = ProfileSink::from_args();
+    let prof_step = prof.active().then(|| compile_facile(FacileSim::Functional));
     println!("Figure 11: hand-coded fast-forwarding (FastSim role) vs SimpleScalar");
     println!("workload scale: {scale}\n");
     println!(
@@ -24,6 +33,11 @@ fn main() {
     let mut ratios_no = Vec::new();
     let mut ratios_memo = Vec::new();
     for w in facile_workloads::suite() {
+        if let Some(f) = &filter {
+            if !w.name.contains(f.as_str()) {
+                continue;
+            }
+        }
         let image = workload_image(&w, scale);
         let ss = run_simplescalar_sink(&image, &format!("{}/simplescalar", w.name), &mut sink);
         let fs_no = run_fastsim_sink(
@@ -37,6 +51,18 @@ fn main() {
             run_fastsim_sink(&image, true, None, &format!("{}/fastsim", w.name), &mut sink);
         assert_eq!(ss.insns, fs_no.insns);
         assert_eq!(fs_no.cycles, fs_yes.cycles, "memoization must be exact");
+        if let Some(step) = &prof_step {
+            run_facile_obs(
+                step,
+                FacileSim::Functional,
+                &image,
+                true,
+                None,
+                &format!("{}/facile-functional", w.name),
+                &mut MetricsSink::disabled(),
+                &mut prof,
+            );
+        }
         let r_no = fs_no.sim_ips() / ss.sim_ips();
         let r_memo = fs_yes.sim_ips() / fs_no.sim_ips();
         ratios_no.push(r_no);
@@ -62,4 +88,5 @@ fn main() {
         harmonic_mean(&ratios_memo)
     );
     sink.finish();
+    prof.finish();
 }

@@ -7,6 +7,7 @@
 //! full, which is what hurt the paper's gcc.
 //!
 //! Usage: fig12 [--scale F] [--cap BYTES] [--metrics-out fig12.jsonl]
+//!              [--profile-out fig12-prof.jsonl]
 
 use bench::*;
 
@@ -14,6 +15,7 @@ fn main() {
     let scale = arg_f64("--scale", 1.0);
     let cap = arg_f64("--cap", 256.0 * 1024.0 * 1024.0) as u64;
     let mut sink = MetricsSink::from_args();
+    let mut prof = ProfileSink::from_args();
     println!("Figure 12: Facile-compiled out-of-order simulator");
     println!("workload scale: {scale}, action cache cap: {} MiB\n", cap >> 20);
     println!(
@@ -35,7 +37,7 @@ fn main() {
             &format!("{}/facile-nomemo", w.name),
             &mut sink,
         );
-        let yes = run_facile_sink(
+        let yes = run_facile_obs(
             &step,
             FacileSim::Ooo,
             &image,
@@ -43,6 +45,7 @@ fn main() {
             Some(cap),
             &format!("{}/facile", w.name),
             &mut sink,
+            &mut prof,
         );
         assert_eq!(no.cycles, yes.cycles, "fast-forwarding must be exact");
         let sp = yes.sim_ips() / no.sim_ips();
@@ -70,4 +73,5 @@ fn main() {
         harmonic_mean(&vs_ss)
     );
     sink.finish();
+    prof.finish();
 }

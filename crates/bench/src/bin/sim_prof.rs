@@ -1,0 +1,239 @@
+//! `sim_prof` — renders source-level profiles from `facile-prof/v1`
+//! documents, with no re-simulation.
+//!
+//! Input is any mix of files produced by `facilec run --profile-out`
+//! (one JSON document) or the bench binaries' `--profile-out` (JSONL,
+//! one document per line; see `fig11`, `fig12`, `table1`, `table2`).
+//!
+//! ```text
+//! sim_prof prof.json [more.jsonl ...]            # flat per-line profile
+//! sim_prof prof.json --misses 10                 # top-k miss attribution
+//! sim_prof prof.json --folded                    # folded stacks (flamegraph)
+//! sim_prof prof.json --check                     # exactness gate (CI)
+//! ```
+//!
+//! The flat view aggregates attributed instructions by source line; the
+//! miss view ranks the dynamic result tests that broke fast-forwarding,
+//! with the divergent values the slow engine observed. `--folded`
+//! prints flamegraph-collapsed `label;kind;file:line count` lines to
+//! stdout (pipe into `flamegraph.pl`). `--check` verifies the
+//! exactness contract — attributed instructions sum to `sim.insns`,
+//! attributed misses to `sim.misses`, every row resolves to a real
+//! source position — and fails loudly if any document breaks it.
+
+use facile_obs::{json, ProfileDoc};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let folded = args.iter().any(|a| a == "--folded");
+    let check = args.iter().any(|a| a == "--check");
+    let misses_k = flag_val(&args, "--misses");
+    let top_n = flag_val(&args, "--top").unwrap_or(15);
+    let files: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| {
+            !a.starts_with("--")
+                && !matches!(args.get(i.wrapping_sub(1)), Some(p) if p == "--misses" || p == "--top")
+        })
+        .map(|(_, a)| a)
+        .collect();
+    if files.is_empty() {
+        eprintln!(
+            "usage: sim_prof <prof.json|prof.jsonl>... [--top N] [--misses K] [--folded] [--check]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut docs: Vec<ProfileDoc> = Vec::new();
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sim_prof: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match load_docs(&text) {
+            Some(mut d) if !d.is_empty() => docs.append(&mut d),
+            _ => {
+                eprintln!("sim_prof: {path}: no facile-prof/v1 profile documents");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if check {
+        return run_check(&docs);
+    }
+
+    let mut out = String::with_capacity(4096);
+    if folded {
+        for d in &docs {
+            out.push_str(&d.folded_stacks());
+        }
+    } else {
+        for d in &docs {
+            print_flat(&mut out, d, top_n);
+            print_misses(&mut out, d, misses_k.unwrap_or(5));
+        }
+    }
+    // One buffered write; a closed pipe (`sim_prof ... | head`) is the
+    // reader's choice, not an error.
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    ExitCode::SUCCESS
+}
+
+/// Parses either one JSON document or JSONL (one document per line).
+fn load_docs(text: &str) -> Option<Vec<ProfileDoc>> {
+    if let Ok(v) = json::parse(text) {
+        return ProfileDoc::from_value(&v).map(|d| vec![d]);
+    }
+    let mut docs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).ok()?;
+        docs.push(ProfileDoc::from_value(&v)?);
+    }
+    Some(docs)
+}
+
+fn flag_val(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn print_flat(out: &mut String, d: &ProfileDoc, top_n: usize) {
+    let total = d.attributed_insns();
+    let _ = writeln!(out, "=== {} ({}) ===", d.label, d.file);
+    let _ = writeln!(
+        out,
+        "attributed: {} insns over {} actions ({} fast, {} slow of sim total {}), {} misses",
+        total,
+        d.rows.len(),
+        d.sim.fast_insns,
+        d.sim.slow_insns,
+        d.sim.insns,
+        d.attributed_misses(),
+    );
+    let _ = writeln!(
+        out,
+        "\n{:>6} {:>14} {:>7} {:>12} {:>10} {:>8}",
+        "line", "insns", "insn%", "replays", "misses", "actions"
+    );
+    for l in d.flat_lines().into_iter().take(top_n) {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>14} {:>7.2} {:>12} {:>10} {:>8}",
+            l.line,
+            l.insns,
+            100.0 * l.insns as f64 / total.max(1) as f64,
+            l.replays,
+            l.misses,
+            l.actions,
+        );
+    }
+}
+
+fn print_misses(out: &mut String, d: &ProfileDoc, k: usize) {
+    let top = d.top_misses(k);
+    if top.is_empty() {
+        let _ = writeln!(out, "\n(no misses attributed)\n");
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "\ntop miss sites (dynamic result tests that broke fast-forwarding):"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>20} {:>10}  divergent values (value\u{d7}count)",
+        "action", "kind", "guard", "misses"
+    );
+    for r in top {
+        let vals: Vec<String> = r
+            .miss_values
+            .iter()
+            .map(|(v, c)| format!("{v}\u{d7}{c}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>20} {:>10}  {}",
+            r.action,
+            r.kind,
+            format!("{}:{}:{}", d.file, r.guard_line, r.guard_col),
+            r.misses,
+            if vals.is_empty() {
+                "-".to_owned()
+            } else {
+                vals.join(" ")
+            },
+        );
+    }
+    if d.miss_value_overflow > 0 {
+        let _ = writeln!(
+            out,
+            "({} miss value(s) beyond the per-action tracking cap)",
+            d.miss_value_overflow
+        );
+    }
+    out.push('\n');
+}
+
+/// `--check`: the exactness gate `scripts/verify.sh` runs.
+fn run_check(docs: &[ProfileDoc]) -> ExitCode {
+    let mut bad = 0usize;
+    for d in docs {
+        let mut errs: Vec<String> = Vec::new();
+        if d.attributed_insns() != d.sim.insns {
+            errs.push(format!(
+                "attributed insns {} != sim.insns {}",
+                d.attributed_insns(),
+                d.sim.insns
+            ));
+        }
+        if d.attributed_misses() != d.sim.misses {
+            errs.push(format!(
+                "attributed misses {} != sim.misses {}",
+                d.attributed_misses(),
+                d.sim.misses
+            ));
+        }
+        for r in &d.rows {
+            if r.line < 1 || r.col < 1 || r.guard_line < 1 || r.guard_col < 1 {
+                errs.push(format!("action {} has an unresolvable span", r.action));
+            }
+        }
+        if errs.is_empty() {
+            let mut line = String::new();
+            let _ = writeln!(
+                line,
+                "ok   {}: {} insns, {} misses, {} actions resolve",
+                d.label,
+                d.sim.insns,
+                d.sim.misses,
+                d.rows.len()
+            );
+            // A closed pipe (`--check | head`) is the reader's choice.
+            let _ = std::io::stdout().write_all(line.as_bytes());
+        } else {
+            bad += 1;
+            for e in errs {
+                eprintln!("FAIL {}: {e}", d.label);
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("sim_prof --check: {bad} document(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -150,9 +150,12 @@ fn print_hist(out: &mut String, name: &str, h: &LogHistogram, unit: &str) {
     if h.count() == 0 {
         return;
     }
+    // `quantile_lo` returns the *lower bound* of the log2 bucket holding
+    // the quantile (it can undershoot by up to 2x), so the labels say
+    // `p50_lo`/`p99_lo`, never `p50`/`p99`.
     let _ = writeln!(
         out,
-        "{name}: n={} mean={:.1}{unit} p50\u{2265}{}{unit} p99\u{2265}{}{unit} max={}{unit}",
+        "{name}: n={} mean={:.1}{unit} p50_lo={}{unit} p99_lo={}{unit} max={}{unit}",
         h.count(),
         h.mean(),
         h.quantile_lo(50),

@@ -6,12 +6,14 @@
 //! reproduction target (gcc/go worst, tight FP loops best).
 //!
 //! Usage: table1 [--scale F] [--metrics-out table1.jsonl]
+//!               [--profile-out table1-prof.jsonl]
 
 use bench::*;
 
 fn main() {
     let scale = arg_f64("--scale", 1.0);
     let mut sink = MetricsSink::from_args();
+    let mut prof = ProfileSink::from_args();
     println!("Table 1: percentage of instructions fast-forwarded (Facile OOO)\n");
     println!("{:<14} {:>12} {:>10} {:>10}", "benchmark", "insns", "ff%", "paper%");
     let paper: &[(&str, f64)] = &[
@@ -25,7 +27,16 @@ fn main() {
     let step = compile_facile(FacileSim::Ooo);
     for w in facile_workloads::suite() {
         let image = workload_image(&w, scale);
-        let r = run_facile_sink(&step, FacileSim::Ooo, &image, true, None, w.name, &mut sink);
+        let r = run_facile_obs(
+            &step,
+            FacileSim::Ooo,
+            &image,
+            true,
+            None,
+            w.name,
+            &mut sink,
+            &mut prof,
+        );
         let p = paper.iter().find(|(n, _)| *n == w.name).map(|(_, v)| *v).unwrap_or(0.0);
         println!(
             "{:<14} {:>12} {:>10.3} {:>10.3}",
@@ -36,4 +47,5 @@ fn main() {
         );
     }
     sink.finish();
+    prof.finish();
 }

@@ -6,12 +6,14 @@
 //! per-benchmark ordering and the integer-suite spread.
 //!
 //! Usage: table2 [--scale F] [--metrics-out table2.jsonl]
+//!               [--profile-out table2-prof.jsonl]
 
 use bench::*;
 
 fn main() {
     let scale = arg_f64("--scale", 1.0);
     let mut sink = MetricsSink::from_args();
+    let mut prof = ProfileSink::from_args();
     println!("Table 2: memoized data (Facile OOO, unbounded action cache)\n");
     println!("{:<14} {:>12} {:>12} {:>12}", "benchmark", "insns", "MiB", "paper MB");
     let paper: &[(&str, f64)] = &[
@@ -25,7 +27,16 @@ fn main() {
     let step = compile_facile(FacileSim::Ooo);
     for w in facile_workloads::suite() {
         let image = workload_image(&w, scale);
-        let r = run_facile_sink(&step, FacileSim::Ooo, &image, true, None, w.name, &mut sink);
+        let r = run_facile_obs(
+            &step,
+            FacileSim::Ooo,
+            &image,
+            true,
+            None,
+            w.name,
+            &mut sink,
+            &mut prof,
+        );
         let p = paper.iter().find(|(n, _)| *n == w.name).map(|(_, v)| *v).unwrap_or(0.0);
         println!(
             "{:<14} {:>12} {:>12.1} {:>12.1}",
@@ -36,4 +47,5 @@ fn main() {
         );
     }
     sink.finish();
+    prof.finish();
 }

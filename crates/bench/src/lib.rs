@@ -7,7 +7,7 @@
 
 use facile::hosts::{initial_args, ArchHost};
 use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
-use facile_obs::{CacheStatsSnapshot, MetricsDoc, SimStatsSnapshot};
+use facile_obs::{CacheStatsSnapshot, MetricsDoc, ProfileDoc, SimStatsSnapshot};
 use facile_runtime::Image;
 use facile_workloads::Workload;
 use std::time::{Duration, Instant};
@@ -85,6 +85,57 @@ impl MetricsSink {
         body.push('\n');
         match std::fs::write(path, body) {
             Ok(()) => eprintln!("wrote {} metrics document(s) to {path}", self.lines.len()),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
+
+/// Collects one `facile-prof/v1` profile document per Facile run;
+/// [`finish`](ProfileSink::finish) writes them as JSONL to the
+/// `--profile-out` path. Same shape as [`MetricsSink`]: without the
+/// flag the sink is inert and profiled runners behave exactly like
+/// their unprofiled forms.
+pub struct ProfileSink {
+    path: Option<String>,
+    lines: Vec<String>,
+}
+
+impl ProfileSink {
+    /// Binds to the `--profile-out <path>` command-line argument.
+    pub fn from_args() -> ProfileSink {
+        ProfileSink {
+            path: arg_str("--profile-out"),
+            lines: Vec::new(),
+        }
+    }
+
+    /// A sink that collects nothing.
+    pub fn disabled() -> ProfileSink {
+        ProfileSink {
+            path: None,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Whether documents are being collected.
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Adds one document (no-op when inactive).
+    pub fn push(&mut self, doc: &ProfileDoc) {
+        if self.active() {
+            self.lines.push(doc.to_json());
+        }
+    }
+
+    /// Writes the collected documents as JSONL and reports the path.
+    pub fn finish(&self) {
+        let Some(path) = &self.path else { return };
+        let mut body = self.lines.join("\n");
+        body.push('\n');
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!("wrote {} profile document(s) to {path}", self.lines.len()),
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
@@ -196,13 +247,19 @@ pub enum FacileSim {
     Ooo,
 }
 
+/// The Facile source of a shipped simulator and its display file name
+/// (what profile rows resolve their lines against).
+pub fn facile_source(which: FacileSim) -> (String, &'static str) {
+    match which {
+        FacileSim::Functional => (facile::sims::functional_source(), "functional.fac"),
+        FacileSim::Inorder => (facile::sims::inorder_source(), "inorder.fac"),
+        FacileSim::Ooo => (facile::sims::ooo_source(), "ooo.fac"),
+    }
+}
+
 /// Compiles a shipped Facile simulator once (reusable across runs).
 pub fn compile_facile(which: FacileSim) -> facile::CompiledStep {
-    let src = match which {
-        FacileSim::Functional => facile::sims::functional_source(),
-        FacileSim::Inorder => facile::sims::inorder_source(),
-        FacileSim::Ooo => facile::sims::ooo_source(),
-    };
+    let (src, _) = facile_source(which);
     compile_source(&src, &CompilerOptions::default()).expect("shipped simulator compiles")
 }
 
@@ -239,6 +296,34 @@ pub fn run_facile_sink(
     label: &str,
     sink: &mut MetricsSink,
 ) -> RunResult {
+    run_facile_obs(
+        step,
+        which,
+        image,
+        memoize,
+        capacity,
+        label,
+        sink,
+        &mut ProfileSink::disabled(),
+    )
+}
+
+/// [`run_facile_sink`], additionally recording a source-level profile
+/// document into `prof` when it is active. Either active sink attaches
+/// the observability handle; the profile joins the compiled step's
+/// debug-info table with the run's per-action cost counters against the
+/// shipped simulator's source.
+#[allow(clippy::too_many_arguments)]
+pub fn run_facile_obs(
+    step: &facile::CompiledStep,
+    which: FacileSim,
+    image: &Image,
+    memoize: bool,
+    capacity: Option<u64>,
+    label: &str,
+    sink: &mut MetricsSink,
+    prof: &mut ProfileSink,
+) -> RunResult {
     let args = match which {
         FacileSim::Functional => initial_args::functional(image.entry),
         FacileSim::Inorder => initial_args::inorder(image.entry),
@@ -255,7 +340,7 @@ pub fn run_facile_sink(
     )
     .expect("simulation constructs");
     ArchHost::new().bind(&mut sim).expect("externals bind");
-    if sink.active() {
+    if sink.active() || prof.active() {
         facile::obs::observe_metrics(&mut sim);
     }
     let t0 = Instant::now();
@@ -267,6 +352,16 @@ pub fn run_facile_sink(
     );
     if sink.active() {
         sink.push(&facile::obs::metrics_doc(label, &sim, wall.as_nanos() as u64));
+    }
+    if prof.active() {
+        let (src, file) = facile_source(which);
+        prof.push(&facile::obs::profile_doc(
+            label,
+            file,
+            &src,
+            &sim,
+            wall.as_nanos() as u64,
+        ));
     }
     let cs = sim.cache_stats();
     RunResult {

@@ -22,6 +22,7 @@
 //! ```text
 //! --metrics-out <path>   # write a facile-obs/v1 metrics JSON document
 //! --trace-out <path>     # stream the structured trace as JSONL
+//! --profile-out <path>   # write a facile-prof/v1 source profile
 //! ```
 //!
 //! Either flag attaches an observer to the run; `sim_report` (in the
@@ -39,9 +40,20 @@ fn main() -> ExitCode {
     let mut steps: u64 = u64::MAX >> 1;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut profile_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--profile-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => profile_out = Some(v.clone()),
+                    None => {
+                        eprintln!("facilec: --profile-out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--trace-out" => {
                 i += 1;
                 match args.get(i) {
@@ -86,6 +98,7 @@ fn main() -> ExitCode {
                 eprintln!("       facilec --builtin functional|inorder|ooo [--emit ...]");
                 eprintln!("       facilec --builtin ooo --run prog.asm [--steps N]");
                 eprintln!("               [--metrics-out m.json] [--trace-out t.jsonl]");
+                eprintln!("               [--profile-out prof.json]");
                 return ExitCode::SUCCESS;
             }
             f if !f.starts_with('-') => file = Some(f.to_owned()),
@@ -140,10 +153,19 @@ fn main() -> ExitCode {
     };
 
     if let Some(prog) = run {
-        return run_target(step, &builtin, &prog, steps, trace_out, metrics_out);
+        let src_name = file
+            .clone()
+            .or_else(|| builtin.as_ref().map(|b| format!("<builtin:{b}>")))
+            .unwrap_or_else(|| "<source>".to_owned());
+        let outs = Outs {
+            trace_out,
+            metrics_out,
+            profile_out,
+        };
+        return run_target(step, &src, &src_name, &builtin, &prog, steps, outs);
     }
-    if trace_out.is_some() || metrics_out.is_some() {
-        eprintln!("facilec: --trace-out/--metrics-out require --run");
+    if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() {
+        eprintln!("facilec: --trace-out/--metrics-out/--profile-out require --run");
         return ExitCode::FAILURE;
     }
 
@@ -204,15 +226,28 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Output paths of a `--run` invocation.
+struct Outs {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    profile_out: Option<String>,
+}
+
 /// Assembles and simulates a TRISC program under the compiled simulator.
 fn run_target(
     step: facile::CompiledStep,
+    src: &str,
+    src_name: &str,
     builtin: &Option<String>,
     prog: &str,
     steps: u64,
-    trace_out: Option<String>,
-    metrics_out: Option<String>,
+    outs: Outs,
 ) -> ExitCode {
+    let Outs {
+        trace_out,
+        metrics_out,
+        profile_out,
+    } = outs;
     use facile::hosts::{initial_args, ArchHost};
     use facile::{ObsConfig, ObsHandle, SimOptions, Simulation, Target};
 
@@ -247,7 +282,7 @@ fn run_target(
         eprintln!("facilec: {e}");
         return ExitCode::FAILURE;
     }
-    if trace_out.is_some() || metrics_out.is_some() {
+    if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() {
         let obs = ObsHandle::new(ObsConfig::default());
         if let Some(path) = &trace_out {
             match std::fs::File::create(path) {
@@ -276,6 +311,15 @@ fn run_target(
             builtin.as_deref().unwrap_or("custom")
         );
         let doc = facile::obs::metrics_doc(&label, &sim, wall.as_nanos() as u64);
+        if let Err(e) = std::fs::write(path, doc.to_json() + "\n") {
+            eprintln!("facilec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &profile_out {
+        let label = format!("{} {prog}", builtin.as_deref().unwrap_or("custom"));
+        let doc =
+            facile::obs::profile_doc(&label, src_name, src, &sim, wall.as_nanos() as u64);
         if let Err(e) = std::fs::write(path, doc.to_json() + "\n") {
             eprintln!("facilec: cannot write {path}: {e}");
             return ExitCode::FAILURE;

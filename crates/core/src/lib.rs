@@ -58,7 +58,9 @@ pub mod sims;
 pub use facile_bta::LiftConfig;
 pub use facile_codegen::{CodegenConfig, CompiledStep};
 pub use facile_lang::{Diagnostic, Diagnostics, Severity};
-pub use facile_obs::{MetricsDoc, ObsConfig, ObsHandle, SimObserver, TraceEvent};
+pub use facile_obs::{
+    ActionRow, MetricsDoc, ObsConfig, ObsHandle, ProfileDoc, SimObserver, TraceEvent,
+};
 pub use facile_runtime::{CacheStats, HaltReason, Image, Memory, SimStats, Target};
 pub use facile_vm::{ArgValue, SimError, SimOptions, Simulation};
 

@@ -7,7 +7,11 @@
 //! [`metrics_doc`], which makes every emitted document identical in
 //! shape — `sim_report` can render any of them.
 
-use facile_obs::{CacheStatsSnapshot, MetricsDoc, ObsConfig, ObsHandle, SimStatsSnapshot};
+use facile_lang::span::LineMap;
+use facile_obs::{
+    ActionRow, CacheStatsSnapshot, MetricsDoc, ObsConfig, ObsHandle, ProfileDoc,
+    SimStatsSnapshot,
+};
 use facile_runtime::{CacheStats, SimStats};
 use facile_vm::Simulation;
 
@@ -53,6 +57,64 @@ pub fn metrics_doc(label: &str, sim: &Simulation, wall_ns: u64) -> MetricsDoc {
     }
 }
 
+/// Builds the source-level profile document for an observed run by
+/// joining the compiler's per-action debug-info table (shipped in the
+/// [`crate::CompiledStep`]) with the per-action cost and miss counters
+/// in the run's metrics registry.
+///
+/// `src` must be the same source text the step was compiled from — the
+/// debug table stores byte spans and this resolves them to 1-based
+/// line/column with a [`LineMap`]. `file` is the display name written
+/// into the document (rows render as `file:line:col`).
+///
+/// Attribution is exact only when the run was observed end to end on a
+/// memoizing simulator; with no metrics registry attached the rows carry
+/// zero costs (the spans still resolve).
+pub fn profile_doc(
+    label: &str,
+    file: &str,
+    src: &str,
+    sim: &Simulation,
+    wall_ns: u64,
+) -> ProfileDoc {
+    let map = LineMap::new(src);
+    let metrics = sim.obs().metrics().unwrap_or_default();
+    let at = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+    let mut rows = Vec::with_capacity(sim.compiled().debug.len());
+    for (i, d) in sim.compiled().debug.iter().enumerate() {
+        let (line, col) = map.line_col(d.span.lo);
+        // `hi` is exclusive; step back one byte so the end lands on the
+        // last line of the span rather than just past it.
+        let (end_line, _) = map.line_col(d.span.hi.saturating_sub(1).max(d.span.lo));
+        let (guard_line, guard_col) = map.line_col(d.guard_span.lo);
+        rows.push(ActionRow {
+            action: i as u32,
+            kind: d.kind.name().to_string(),
+            line,
+            col,
+            end_line,
+            guard_line,
+            guard_col,
+            ph_operands: d.ph_operands,
+            reg_operands: d.reg_operands,
+            replays: at(&metrics.action_replays, i),
+            fast_insns: at(&metrics.action_fast_insns, i),
+            slow_visits: at(&metrics.action_slow_visits, i),
+            slow_insns: at(&metrics.action_slow_insns, i),
+            misses: at(&metrics.action_misses, i),
+            miss_values: metrics.miss_values.get(i).cloned().unwrap_or_default(),
+        });
+    }
+    ProfileDoc {
+        label: label.to_owned(),
+        file: file.to_owned(),
+        sim: snapshot_sim(sim.stats()),
+        wall_ns,
+        rows,
+        miss_value_overflow: metrics.miss_value_overflow,
+    }
+}
+
 /// Attaches a metrics-only observability handle (no event ring churn
 /// beyond the default capacity, no writer) and returns it. The common
 /// setup for `--metrics-out`.
@@ -68,15 +130,16 @@ mod tests {
     use crate::{compile_source, ArgValue, CompilerOptions, SimOptions};
     use facile_runtime::{Image, Target};
 
-    fn counting_sim() -> Simulation {
-        let src = r#"
+    const COUNTING_SRC: &str = r#"
             fun main(x : int) {
                 count_insns(1);
                 if (x == 0) { sim_halt(); }
                 next(x - 1);
             }
         "#;
-        let step = compile_source(src, &CompilerOptions::default()).unwrap();
+
+    fn counting_sim() -> Simulation {
+        let step = compile_source(COUNTING_SRC, &CompilerOptions::default()).unwrap();
         Simulation::new(
             step,
             Target::load(&Image::default()),
@@ -112,5 +175,47 @@ mod tests {
         // And the document survives its own serialization.
         let back = MetricsDoc::from_json(&doc.to_json()).unwrap();
         assert_eq!(back.sim, doc.sim);
+    }
+
+    #[test]
+    fn profile_attribution_is_exact() {
+        let mut sim = counting_sim();
+        let _obs = observe_metrics(&mut sim);
+        sim.run_steps(1_000);
+        let doc = profile_doc("count-down", "count.fac", COUNTING_SRC, &sim, 77);
+        // The exactness contract: every retired instruction and every
+        // miss lands in some row.
+        assert_eq!(doc.attributed_insns(), sim.stats().insns);
+        assert_eq!(doc.attributed_misses(), sim.stats().misses);
+        assert_eq!(doc.rows.len(), sim.compiled().actions.len());
+        assert_eq!(doc.wall_ns, 77);
+        // Every row resolves to a real source position and a known kind.
+        for r in &doc.rows {
+            assert!(r.line >= 1 && r.col >= 1, "unresolved span on {r:?}");
+            assert!(r.end_line >= r.line);
+            assert!(r.guard_line >= 1 && r.guard_col >= 1);
+            assert!(
+                ["plain", "verify", "branch", "switch", "index"].contains(&r.kind.as_str()),
+                "unknown kind {}",
+                r.kind
+            );
+        }
+        // The countdown's cost sits on the `count_insns(1)` line.
+        let flat = doc.flat_lines();
+        assert_eq!(flat[0].line, 3, "hottest line is count_insns");
+        assert_eq!(flat[0].insns, sim.stats().insns);
+        // And the document survives serialization.
+        let back = facile_obs::ProfileDoc::from_json(&doc.to_json()).unwrap();
+        assert_eq!(back.rows, doc.rows);
+    }
+
+    #[test]
+    fn unobserved_profile_still_resolves_spans() {
+        let mut sim = counting_sim();
+        sim.run_steps(1_000);
+        let doc = profile_doc("bare", "count.fac", COUNTING_SRC, &sim, 0);
+        assert_eq!(doc.attributed_insns(), 0, "no registry, no attribution");
+        assert_eq!(doc.rows.len(), sim.compiled().actions.len());
+        assert_eq!(doc.sim.insns, sim.stats().insns);
     }
 }

@@ -82,7 +82,11 @@ pub fn insert_lifts(ir: &mut IrProgram, config: LiftConfig) -> (Bta, LiftStats) 
         // Apply mid-block agg lifts (in reverse order to keep indices valid).
         work.sort_by_key(|w| std::cmp::Reverse((w.0, w.1)));
         for (block, idx, loc) in work {
-            ir.main.blocks[block].insts.insert(idx, Inst::LiftAgg { loc });
+            let b = &mut ir.main.blocks[block];
+            // The lift inherits the span of the access it guards.
+            let span = b.span_at(idx);
+            b.insts.insert(idx, Inst::LiftAgg { loc });
+            b.spans.insert(idx.min(b.spans.len()), span);
             stats.agg_lifts += 1;
         }
         for (from, to, lifts) in edge_work {
@@ -96,8 +100,12 @@ pub fn insert_lifts(ir: &mut IrProgram, config: LiftConfig) -> (Bta, LiftStats) 
         for (block, idx, lifts) in flush_work {
             let b = &mut ir.main.blocks[block.index()];
             stats.flushes += lifts.len();
+            // End-of-step flushes inherit the span of the `next(...)`
+            // (or terminator) they precede.
+            let span = b.span_at(idx);
             for (k, l) in lifts.into_iter().enumerate() {
                 b.insts.insert(idx + k, l);
+                b.spans.insert((idx + k).min(b.spans.len()), span);
             }
         }
     }
@@ -257,10 +265,12 @@ fn find_flushes(
 /// occurrences of `to` in `from`'s terminator are redirected.
 fn split_edge_with(ir: &mut IrProgram, from: BlockId, to: BlockId, insts: Vec<Inst>) {
     let new_id = BlockId(ir.main.blocks.len() as u32);
-    ir.main.blocks.push(Block {
-        insts,
-        term: Terminator::Jump(to),
-    });
+    // Edge lifts inherit the span of the branch that created the edge.
+    let span = ir.main.blocks[from.index()].term_span;
+    let mut nb = Block::with_insts(insts, Terminator::Jump(to));
+    nb.spans.fill(span);
+    nb.term_span = span;
+    ir.main.blocks.push(nb);
     let term = &mut ir.main.blocks[from.index()].term;
     match term {
         Terminator::Jump(t) => {

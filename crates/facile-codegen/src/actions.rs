@@ -27,6 +27,7 @@
 use facile_bta::{terminator_dynamic, transfer, Bt, Bta, Env};
 use facile_ir::ir::*;
 use facile_ir::liveness::var_liveness;
+use facile_lang::span::Span;
 use facile_sema::{GlobalId, Type};
 
 /// An operand of a fast-engine op.
@@ -270,6 +271,68 @@ pub struct ActionCode {
     pub known_globals_after: Box<[GlobalId]>,
 }
 
+/// Source-level construct kind of an action's guard site — what closed
+/// the group, phrased in the terms a profile report uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DebugKind {
+    /// Straight-line group closed at a block end or `halt`.
+    Plain,
+    /// `?verify` dynamic result test on an explicit value.
+    Verify,
+    /// Dynamic two-way branch (an `if` on a dynamic condition).
+    Branch,
+    /// Dynamic multi-way switch.
+    Switch,
+    /// The step's INDEX action (`next(...)`).
+    Index,
+}
+
+impl DebugKind {
+    /// Stable lower-case name used in profile documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            DebugKind::Plain => "plain",
+            DebugKind::Verify => "verify",
+            DebugKind::Branch => "branch",
+            DebugKind::Switch => "switch",
+            DebugKind::Index => "index",
+        }
+    }
+}
+
+/// Per-action debug info: the source-attribution record shipped alongside
+/// [`ActionCode`] (parallel vector, same indices). Everything a profiler
+/// needs to map an action number back to the Facile source: the covered
+/// span, the guarding construct, and the binding-time signature of the
+/// replayed operands.
+#[derive(Clone, Debug)]
+pub struct ActionDebug {
+    /// Union of the source spans of the group's dynamic instructions.
+    pub span: Span,
+    /// Span of the construct that closed the group (the dynamic result
+    /// test, branch, or `next(...)`); equals `span` for plain groups.
+    pub guard_span: Span,
+    /// What closed the group.
+    pub kind: DebugKind,
+    /// Operands replayed from memoized placeholders (rt-static class).
+    pub ph_operands: u32,
+    /// Operands read from live registers on replay (dynamic class).
+    pub reg_operands: u32,
+    /// Block the action starts in.
+    pub block: BlockId,
+    /// Instruction index of the first dynamic instruction, or `u32::MAX`
+    /// when the action consists only of a dynamic terminator.
+    pub inst: u32,
+}
+
+/// Folds `s` into `acc`, ignoring unknown ([`Span::DUMMY`]) spans.
+fn merge_span(acc: &mut Span, s: Span) {
+    if s == Span::DUMMY {
+        return;
+    }
+    *acc = if *acc == Span::DUMMY { s } else { acc.to(s) };
+}
+
 /// What, if anything, an instruction's value must be recorded as.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LiftWhat {
@@ -340,6 +403,8 @@ pub struct CompiledStep {
     pub bta: Bta,
     /// The fast engine's action table.
     pub actions: Vec<ActionCode>,
+    /// Per-action source-attribution records (parallel to `actions`).
+    pub debug: Vec<ActionDebug>,
     /// Per-block slow-engine instrumentation.
     pub blocks: Vec<BlockAnnot>,
     /// `main`'s parameter types (the key layout).
@@ -363,6 +428,7 @@ pub fn extract_actions(ir: IrProgram, bta: Bta) -> CompiledStep {
     let param_types = ir.main.param_types.clone();
     let liveness = var_liveness(&ir.main);
     let mut actions: Vec<ActionCode> = Vec::new();
+    let mut debug: Vec<ActionDebug> = Vec::new();
     let mut blocks: Vec<BlockAnnot> = ir
         .main
         .blocks
@@ -408,6 +474,15 @@ pub fn extract_actions(ir: IrProgram, bta: Bta) -> CompiledStep {
                         known_aggs_after: Box::new([]),
                         known_globals_after: Box::new([]),
                     });
+                    debug.push(ActionDebug {
+                        span: Span::DUMMY,
+                        guard_span: Span::DUMMY,
+                        kind: DebugKind::Plain,
+                        ph_operands: 0,
+                        reg_operands: 0,
+                        block: bid,
+                        inst: ii as u32,
+                    });
                     open = Some(id);
                     blocks[bi].insts[ii].action_start = Some(id);
                     id
@@ -432,6 +507,19 @@ pub fn extract_actions(ir: IrProgram, bta: Bta) -> CompiledStep {
                         } else {
                             fops.push(FOperand::Reg(v));
                         }
+                    }
+                }
+            }
+
+            let inst_span = ir.main.blocks[bi].span_at(ii);
+            {
+                let dbg = &mut debug[action_id as usize];
+                merge_span(&mut dbg.span, inst_span);
+                for f in &fops {
+                    match f {
+                        FOperand::Ph => dbg.ph_operands += 1,
+                        FOperand::Reg(_) => dbg.reg_operands += 1,
+                        FOperand::Imm(_) => {}
                     }
                 }
             }
@@ -537,6 +625,8 @@ pub fn extract_actions(ir: IrProgram, bta: Bta) -> CompiledStep {
                         inst: (ii + 1) as u32,
                     };
                     annot.closes = Some(Closes::Verify);
+                    debug[action_id as usize].kind = DebugKind::Verify;
+                    debug[action_id as usize].guard_span = inst_span;
                     closed = true;
                 }
                 Inst::SetNext { args } => {
@@ -584,6 +674,8 @@ pub fn extract_actions(ir: IrProgram, bta: Bta) -> CompiledStep {
                         inst: (ii + 1) as u32,
                     };
                     annot.closes = Some(Closes::Index);
+                    debug[action_id as usize].kind = DebugKind::Index;
+                    debug[action_id as usize].guard_span = inst_span;
                     closed = true;
                 }
             }
@@ -617,9 +709,33 @@ pub fn extract_actions(ir: IrProgram, bta: Bta) -> CompiledStep {
                         known_aggs_after: Box::new([]),
                         known_globals_after: Box::new([]),
                     });
+                    debug.push(ActionDebug {
+                        span: Span::DUMMY,
+                        guard_span: Span::DUMMY,
+                        kind: DebugKind::Plain,
+                        ph_operands: 0,
+                        reg_operands: 0,
+                        block: bid,
+                        inst: u32::MAX,
+                    });
                     id
                 }
             };
+            {
+                let term_span = ir.main.blocks[bi].term_span;
+                let dbg = &mut debug[action_id as usize];
+                merge_span(&mut dbg.span, term_span);
+                dbg.guard_span = term_span;
+                dbg.kind = match &ir.main.blocks[bi].term {
+                    Terminator::Switch { .. } => DebugKind::Switch,
+                    _ => DebugKind::Branch,
+                };
+                match fsrc {
+                    FOperand::Reg(_) => dbg.reg_operands += 1,
+                    FOperand::Ph => dbg.ph_operands += 1,
+                    FOperand::Imm(_) => {}
+                }
+            }
             let ac = &mut actions[action_id as usize];
             ac.kind = ActionKind::Test { src: fsrc };
             ac.resume = Resume::AtTerm { block: bid };
@@ -643,10 +759,23 @@ pub fn extract_actions(ir: IrProgram, bta: Bta) -> CompiledStep {
         }
     }
 
+    // Every action gets a resolvable span: fall back to the guard span
+    // (and vice versa), and for plain groups the guard *is* the group.
+    for d in &mut debug {
+        if d.span == Span::DUMMY {
+            d.span = d.guard_span;
+        }
+        if d.guard_span == Span::DUMMY {
+            d.guard_span = d.span;
+        }
+    }
+    debug_assert_eq!(actions.len(), debug.len());
+
     CompiledStep {
         ir,
         bta,
         actions,
+        debug,
         blocks,
         param_types,
     }
@@ -1003,6 +1132,67 @@ mod tests {
             .iter()
             .flat_map(|a| a.ops.iter())
             .any(|o| matches!(o, FOp::Halt { .. })));
+    }
+
+    #[test]
+    fn debug_table_parallels_actions_with_resolvable_spans() {
+        let src = "val R = array(32){0};\n\
+             fun main(pc : stream) {\n\
+               if (R[0] == 0) { count_cycles(2); } else { count_cycles(1); }\n\
+               next(pc + 4);\n\
+             }";
+        let c = compile(src);
+        assert_eq!(c.debug.len(), c.actions.len());
+        for (a, d) in c.actions.iter().zip(&c.debug) {
+            // Kind agrees with the action table.
+            match (&a.kind, d.kind) {
+                (ActionKind::Plain, DebugKind::Plain)
+                | (ActionKind::Index { .. }, DebugKind::Index)
+                | (
+                    ActionKind::Test { .. },
+                    DebugKind::Verify | DebugKind::Branch | DebugKind::Switch,
+                ) => {}
+                (k, dk) => panic!("kind mismatch: {k:?} vs {dk:?}"),
+            }
+            // Every span resolves into the source text.
+            assert_ne!(d.span, Span::DUMMY, "{d:?}");
+            assert_ne!(d.guard_span, Span::DUMMY, "{d:?}");
+            assert!((d.span.hi as usize) <= src.len(), "{d:?}");
+        }
+        // The dynamic branch is attributed as a Branch at the `if`.
+        let branch = c
+            .debug
+            .iter()
+            .find(|d| d.kind == DebugKind::Branch)
+            .expect("branch debug record");
+        let guard = &src[branch.guard_span.lo as usize..branch.guard_span.hi as usize];
+        assert!(guard.contains("R[0] == 0"), "guard text: {guard:?}");
+        let index = c
+            .debug
+            .iter()
+            .find(|d| d.kind == DebugKind::Index)
+            .expect("index debug record");
+        let guard = &src[index.guard_span.lo as usize..index.guard_span.hi as usize];
+        assert!(guard.contains("next"), "guard text: {guard:?}");
+    }
+
+    #[test]
+    fn verify_debug_guard_is_the_verify_site() {
+        let src = "ext fun cache(a : int) : int;\n\
+             fun main(x : int) {\n\
+               val lat = cache(x)?verify;\n\
+               count_cycles(lat);\n\
+               next(x + lat);\n\
+             }";
+        let c = compile(src);
+        let v = c
+            .debug
+            .iter()
+            .find(|d| d.kind == DebugKind::Verify)
+            .expect("verify debug record");
+        let guard = &src[v.guard_span.lo as usize..v.guard_span.hi as usize];
+        assert!(guard.contains("verify"), "guard text: {guard:?}");
+        assert!(v.inst != u32::MAX, "verify closes mid-block");
     }
 
     #[test]

@@ -40,8 +40,8 @@
 pub mod actions;
 
 pub use actions::{
-    ActionCode, ActionKind, BlockAnnot, Closes, CompiledStep, FOp, FOperand, InstAnnot,
-    KeyPlanArg, LiftWhat, Resume,
+    ActionCode, ActionDebug, ActionKind, BlockAnnot, Closes, CompiledStep, DebugKind, FOp,
+    FOperand, InstAnnot, KeyPlanArg, LiftWhat, Resume,
 };
 
 use facile_bta::{insert_lifts, LiftConfig};

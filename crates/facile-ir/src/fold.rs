@@ -342,10 +342,20 @@ fn remove_dead(f: &mut IrFunction, stats: &mut FoldStats) {
     }
     for b in &mut f.blocks {
         let before = b.insts.len();
-        b.insts.retain(|i| {
-            !(i.is_pure() && i.dst().map(|d| !used[d.index()]).unwrap_or(false))
-        });
-        stats.removed += before - b.insts.len();
+        // Filter instructions and their spans in lockstep.
+        let mut keep = 0usize;
+        for i in 0..b.insts.len() {
+            let inst = &b.insts[i];
+            let dead = inst.is_pure() && inst.dst().map(|d| !used[d.index()]).unwrap_or(false);
+            if !dead {
+                b.insts.swap(keep, i);
+                b.spans.swap(keep, i);
+                keep += 1;
+            }
+        }
+        b.insts.truncate(keep);
+        b.spans.truncate(keep);
+        stats.removed += before - keep;
     }
 }
 

@@ -10,6 +10,7 @@
 //! Everything downstream — binding-time analysis, action extraction, and
 //! both execution engines — operates on this representation.
 
+use facile_lang::span::Span;
 use facile_sema::{ExtId, GlobalId, TokenId, Type};
 use std::fmt;
 
@@ -474,12 +475,23 @@ impl Terminator {
 }
 
 /// A basic block: straight-line instructions plus a terminator.
+///
+/// Every instruction carries the source span it was lowered from
+/// (parallel `spans` vector, same length as `insts`); the terminator's
+/// origin is `term_span`. Spans are debug info only — they never affect
+/// execution — and passes that insert or remove instructions must keep
+/// the two vectors in lockstep. [`Span::DUMMY`] marks compiler-created
+/// instructions with no single source site.
 #[derive(Clone, Debug)]
 pub struct Block {
     /// Instructions in execution order.
     pub insts: Vec<Inst>,
+    /// Source span of each instruction (parallel to `insts`).
+    pub spans: Vec<Span>,
     /// The terminator.
     pub term: Terminator,
+    /// Source span of the terminator.
+    pub term_span: Span,
 }
 
 impl Block {
@@ -487,8 +499,34 @@ impl Block {
     pub fn new() -> Self {
         Block {
             insts: Vec::new(),
+            spans: Vec::new(),
             term: Terminator::Return,
+            term_span: Span::DUMMY,
         }
+    }
+
+    /// A block with the given instructions and terminator, every span
+    /// unknown. For synthetic blocks and tests.
+    pub fn with_insts(insts: Vec<Inst>, term: Terminator) -> Self {
+        let spans = vec![Span::DUMMY; insts.len()];
+        Block {
+            insts,
+            spans,
+            term,
+            term_span: Span::DUMMY,
+        }
+    }
+
+    /// Source span of instruction `i`; [`Span::DUMMY`] when none was
+    /// recorded (tolerates spans that were never threaded).
+    pub fn span_at(&self, i: usize) -> Span {
+        self.spans.get(i).copied().unwrap_or(Span::DUMMY)
+    }
+
+    /// Appends an instruction with its source span.
+    pub fn push_inst(&mut self, inst: Inst, span: Span) {
+        self.insts.push(inst);
+        self.spans.push(span);
     }
 }
 
@@ -859,22 +897,10 @@ mod tests {
             param_types: vec![],
             vars: vec![],
             blocks: vec![
-                Block {
-                    insts: vec![],
-                    term: Terminator::Jump(BlockId(1)),
-                },
-                Block {
-                    insts: vec![],
-                    term: Terminator::Jump(BlockId(2)),
-                },
-                Block {
-                    insts: vec![],
-                    term: Terminator::Return,
-                },
-                Block {
-                    insts: vec![],
-                    term: Terminator::Return,
-                },
+                Block::with_insts(vec![], Terminator::Jump(BlockId(1))),
+                Block::with_insts(vec![], Terminator::Jump(BlockId(2))),
+                Block::with_insts(vec![], Terminator::Return),
+                Block::with_insts(vec![], Terminator::Return),
             ],
             entry: BlockId(0),
         };
@@ -890,26 +916,17 @@ mod tests {
             param_types: vec![],
             vars: vec![],
             blocks: vec![
-                Block {
-                    insts: vec![],
-                    term: Terminator::Branch {
+                Block::with_insts(
+                    vec![],
+                    Terminator::Branch {
                         cond: Operand::Const(1),
                         then_bb: BlockId(1),
                         else_bb: BlockId(2),
                     },
-                },
-                Block {
-                    insts: vec![],
-                    term: Terminator::Jump(BlockId(3)),
-                },
-                Block {
-                    insts: vec![],
-                    term: Terminator::Jump(BlockId(3)),
-                },
-                Block {
-                    insts: vec![],
-                    term: Terminator::Return,
-                },
+                ),
+                Block::with_insts(vec![], Terminator::Jump(BlockId(3))),
+                Block::with_insts(vec![], Terminator::Jump(BlockId(3))),
+                Block::with_insts(vec![], Terminator::Return),
             ],
             entry: BlockId(0),
         };

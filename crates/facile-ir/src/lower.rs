@@ -62,6 +62,7 @@ pub fn lower(
         rets: Vec::new(),
         exit: BlockId(0),
         had_error: false,
+        cur_span: Span::DUMMY,
     };
 
     // Parameters.
@@ -272,6 +273,9 @@ struct Cx<'a> {
     rets: Vec<(Option<VarId>, BlockId)>,
     exit: BlockId,
     had_error: bool,
+    /// Source span attached to every emitted instruction/terminator: the
+    /// innermost statement or expression currently being lowered.
+    cur_span: Span,
 }
 
 // Aggregate aliases are rare (queue/array parameters of inlined functions),
@@ -299,11 +303,14 @@ impl<'a> Cx<'a> {
     }
 
     fn emit(&mut self, inst: Inst) {
-        self.f.blocks[self.cur.index()].insts.push(inst);
+        let span = self.cur_span;
+        self.f.blocks[self.cur.index()].push_inst(inst, span);
     }
 
     fn set_term(&mut self, term: Terminator) {
-        self.f.blocks[self.cur.index()].term = term;
+        let b = &mut self.f.blocks[self.cur.index()];
+        b.term = term;
+        b.term_span = self.cur_span;
     }
 
     fn switch_to(&mut self, b: BlockId) {
@@ -410,6 +417,12 @@ impl<'a> Cx<'a> {
     }
 
     fn stmt(&mut self, s: &ast::Stmt) {
+        let saved = std::mem::replace(&mut self.cur_span, s.span);
+        self.stmt_kind(s);
+        self.cur_span = saved;
+    }
+
+    fn stmt_kind(&mut self, s: &ast::Stmt) {
         match &s.kind {
             StmtKind::Local(v) => self.local(v),
             StmtKind::Assign { place, value } => self.assign(place, value),
@@ -1021,6 +1034,13 @@ impl<'a> Cx<'a> {
 
     /// Lowers a value-producing expression.
     fn expr(&mut self, e: &ast::Expr) -> Operand {
+        let saved = std::mem::replace(&mut self.cur_span, e.span);
+        let r = self.expr_kind(e);
+        self.cur_span = saved;
+        r
+    }
+
+    fn expr_kind(&mut self, e: &ast::Expr) -> Operand {
         match &e.kind {
             ExprKind::Int(v) => Operand::Const(*v),
             ExprKind::Bool(b) => Operand::Const(*b as i64),

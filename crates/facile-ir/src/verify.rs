@@ -95,6 +95,13 @@ pub fn verify(ir: &IrProgram) -> Result<(), Vec<String>> {
 
     for (bi, b) in f.blocks.iter().enumerate() {
         let at = |i: usize| format!("bb{bi}[{i}]");
+        if b.spans.len() != b.insts.len() {
+            errs.push(format!(
+                "bb{bi}: {} instructions but {} spans (debug info out of lockstep)",
+                b.insts.len(),
+                b.spans.len()
+            ));
+        }
         for (ii, inst) in b.insts.iter().enumerate() {
             if let Some(d) = inst.dst() {
                 check_scalar(d, &at(ii), &mut errs);
@@ -272,22 +279,28 @@ mod tests {
     #[test]
     fn detects_bad_var() {
         let mut ir = build("fun main(x : int) { next(x); }");
-        ir.main.blocks[0].insts.push(Inst::Copy {
-            dst: VarId(999),
-            src: Operand::Const(0),
-        });
+        ir.main.blocks[0].push_inst(
+            Inst::Copy {
+                dst: VarId(999),
+                src: Operand::Const(0),
+            },
+            facile_lang::span::Span::DUMMY,
+        );
         assert!(verify(&ir).is_err());
     }
 
     #[test]
     fn detects_queue_op_on_array() {
         let mut ir = build("val a = array(4){0};\nfun main(x : int) { next(x); }");
-        ir.main.blocks[0].insts.push(Inst::Queue {
-            op: QueueOp::Clear,
-            q: Loc::Global(facile_sema::GlobalId(0)),
-            args: [None, None],
-            dst: None,
-        });
+        ir.main.blocks[0].push_inst(
+            Inst::Queue {
+                op: QueueOp::Clear,
+                q: Loc::Global(facile_sema::GlobalId(0)),
+                args: [None, None],
+                dst: None,
+            },
+            facile_lang::span::Span::DUMMY,
+        );
         assert!(verify(&ir).is_err());
     }
 

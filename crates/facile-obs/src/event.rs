@@ -76,6 +76,10 @@ pub enum TraceEvent {
         /// Recovery-stack depth (actions replayed since the entry,
         /// including the missing one).
         depth: u64,
+        /// The observed divergent value when the miss was a dynamic
+        /// result test whose outcome had no recorded successor; `None`
+        /// for plain-successor misses.
+        value: Option<i64>,
     },
     /// Miss recovery started re-executing the run-time-static slice.
     RecoveryBegin {
@@ -175,8 +179,12 @@ impl TraceEvent {
                 step,
                 action,
                 depth,
+                value,
             } => {
                 let _ = write!(out, ",\"step\":{step},\"action\":{action},\"depth\":{depth}");
+                if let Some(v) = value {
+                    let _ = write!(out, ",\"value\":{v}");
+                }
             }
             TraceEvent::RecoveryBegin { step, depth } => {
                 let _ = write!(out, ",\"step\":{step},\"depth\":{depth}");
@@ -233,8 +241,19 @@ mod tests {
             step: 42,
             action: 7,
             depth: 3,
+            value: None,
         };
         assert_eq!(ev.to_json(), "{\"ev\":\"miss\",\"step\":42,\"action\":7,\"depth\":3}");
+        let ev = TraceEvent::Miss {
+            step: 42,
+            action: 7,
+            depth: 3,
+            value: Some(-9),
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ev\":\"miss\",\"step\":42,\"action\":7,\"depth\":3,\"value\":-9}"
+        );
     }
 
     #[test]
@@ -255,7 +274,7 @@ mod tests {
             TraceEvent::EngineSwitch { step: 0, from: EngineTag::Fast, to: EngineTag::Slow },
             TraceEvent::SlowStep { step: 1, insns: 2, ns: 3 },
             TraceEvent::FastBurst { step: 9, steps: 8, actions: 70, insns: 8, ns: 100 },
-            TraceEvent::Miss { step: 9, action: 2, depth: 4 },
+            TraceEvent::Miss { step: 9, action: 2, depth: 4, value: Some(17) },
             TraceEvent::RecoveryBegin { step: 9, depth: 4 },
             TraceEvent::RecoveryEnd { step: 9, action: 2, committed: 5 },
             TraceEvent::NeedSlow { step: 10 },

@@ -95,8 +95,13 @@ impl LogHistogram {
         self.buckets.iter().rposition(|&c| c > 0)
     }
 
-    /// An approximate quantile: the lower bound of the bucket containing
-    /// the `q`-th sample (`q` in 0..=100).
+    /// An approximate quantile: the **lower bound** of the log2 bucket
+    /// containing the `q`-th percentile sample (`q` in 0..=100).
+    ///
+    /// This is *not* the percentile itself — the true value lies
+    /// anywhere in `[bucket_lo(i), 2 * bucket_lo(i))`, so the result
+    /// can undershoot by up to 2×. Reports must label it as a bound
+    /// (`p50_lo`, `p99_lo`), never as `p50`/`p99`.
     pub fn quantile_lo(&self, q: u64) -> u64 {
         if self.count == 0 {
             return 0;

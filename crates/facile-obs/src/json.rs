@@ -58,6 +58,13 @@ impl Value {
         self.as_f64().map(|n| n as u64)
     }
 
+    /// The number as `i64` (truncating), if this is a number. Unlike
+    /// [`as_u64`](Self::as_u64) this preserves negative values, which
+    /// miss-attribution records can carry.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_f64().map(|n| n as i64)
+    }
+
     /// The elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {

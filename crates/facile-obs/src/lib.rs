@@ -34,6 +34,7 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod observer;
+pub mod profile;
 pub mod report;
 pub mod ring;
 
@@ -41,5 +42,6 @@ pub use event::{EngineTag, TraceEvent};
 pub use hist::LogHistogram;
 pub use metrics::Metrics;
 pub use observer::{ObsConfig, ObsHandle, SimObserver};
+pub use profile::{ActionRow, LineCost, ProfileDoc, PROF_SCHEMA};
 pub use report::{CacheStatsSnapshot, MetricsDoc, SimStatsSnapshot, SCHEMA};
 pub use ring::EventRing;

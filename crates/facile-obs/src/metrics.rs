@@ -11,11 +11,33 @@
 use crate::event::TraceEvent;
 use crate::hist::LogHistogram;
 
+/// Most distinct divergent values kept per action in
+/// [`Metrics::miss_values`]; further values collapse into the overflow
+/// count so miss attribution stays bounded on adversarial workloads.
+pub const MISS_VALUE_CAP: usize = 8;
+
 /// Derived metrics, updated by observing the event stream.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Replays per action number (index = action id).
     pub action_replays: Vec<u64>,
+    /// Instructions retired by fast replays of each action (exact: every
+    /// retirement is a `CountInsns` op inside some action's op list).
+    pub action_fast_insns: Vec<u64>,
+    /// Times the slow engine recorded/visited each action's group.
+    pub action_slow_visits: Vec<u64>,
+    /// Instructions retired while the slow engine executed each action's
+    /// group (recording runs only — recovery retires nothing).
+    pub action_slow_insns: Vec<u64>,
+    /// Action-cache misses charged to each action (the failing dynamic
+    /// result test or missing plain successor).
+    pub action_misses: Vec<u64>,
+    /// Observed divergent values per action: `(value, times_seen)`, at
+    /// most [`MISS_VALUE_CAP`] distinct values; overflow counted in
+    /// [`miss_value_overflow`](Self::miss_value_overflow).
+    pub miss_values: Vec<Vec<(i64, u64)>>,
+    /// Misses whose divergent value did not fit in the per-action cap.
+    pub miss_value_overflow: u64,
     /// Host-nanosecond latency of slow/complete steps.
     pub slow_step_ns: LogHistogram,
     /// Host-nanosecond latency of fast replay bursts.
@@ -38,6 +60,18 @@ pub struct Metrics {
     pub bytes_at_last_clear: u64,
     /// External calls observed in the trace.
     pub ext_calls: u64,
+    /// Events evicted from the event ring without reaching a sink
+    /// (snapshot taken when the registry is read out of the handle).
+    pub dropped_events: u64,
+    /// Capacity of the event ring, in events (same snapshot).
+    pub ring_capacity: u64,
+}
+
+fn at_mut(v: &mut Vec<u64>, i: usize) -> &mut u64 {
+    if i >= v.len() {
+        v.resize(i + 1, 0);
+    }
+    &mut v[i]
 }
 
 impl Metrics {
@@ -46,14 +80,26 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Records one replayed action (the hot hook).
+    /// Records one replayed action and the instructions it retired (the
+    /// hot hook).
     #[inline]
-    pub fn action_replayed(&mut self, action: u32) {
+    pub fn action_replayed(&mut self, action: u32, insns: u64) {
         let i = action as usize;
-        if i >= self.action_replays.len() {
-            self.action_replays.resize(i + 1, 0);
-        }
-        self.action_replays[i] = self.action_replays[i].saturating_add(1);
+        let c = at_mut(&mut self.action_replays, i);
+        *c = c.saturating_add(1);
+        let c = at_mut(&mut self.action_fast_insns, i);
+        *c = c.saturating_add(insns);
+    }
+
+    /// Records one slow-engine execution of an action's group and the
+    /// instructions it retired.
+    #[inline]
+    pub fn action_slow(&mut self, action: u32, insns: u64) {
+        let i = action as usize;
+        let c = at_mut(&mut self.action_slow_visits, i);
+        *c = c.saturating_add(1);
+        let c = at_mut(&mut self.action_slow_insns, i);
+        *c = c.saturating_add(insns);
     }
 
     /// Folds one trace event into the registry.
@@ -69,9 +115,30 @@ impl Metrics {
                 self.fast_burst_ns.record(ns);
                 self.fast_burst_steps.record(steps);
             }
-            TraceEvent::Miss { depth, .. } => {
+            TraceEvent::Miss {
+                action,
+                depth,
+                value,
+                ..
+            } => {
                 self.misses = self.misses.saturating_add(1);
                 self.recovery_depth.record(depth);
+                let i = action as usize;
+                let c = at_mut(&mut self.action_misses, i);
+                *c = c.saturating_add(1);
+                if let Some(v) = value {
+                    if i >= self.miss_values.len() {
+                        self.miss_values.resize(i + 1, Vec::new());
+                    }
+                    let seen = &mut self.miss_values[i];
+                    if let Some(slot) = seen.iter_mut().find(|(sv, _)| *sv == v) {
+                        slot.1 = slot.1.saturating_add(1);
+                    } else if seen.len() < MISS_VALUE_CAP {
+                        seen.push((v, 1));
+                    } else {
+                        self.miss_value_overflow = self.miss_value_overflow.saturating_add(1);
+                    }
+                }
             }
             TraceEvent::RecoveryEnd { .. } => {
                 self.recoveries = self.recoveries.saturating_add(1);
@@ -96,6 +163,26 @@ impl Metrics {
             .iter()
             .fold(0u64, |a, &b| a.saturating_add(b))
     }
+
+    /// Total instructions attributed to actions, both engines. For a run
+    /// observed end-to-end on a memoizing simulator this equals the
+    /// runtime's `SimStats::insns`: instruction retirement is always a
+    /// dynamic op inside some action, and recovery (which re-executes
+    /// only the run-time-static slice) retires nothing.
+    pub fn total_attributed_insns(&self) -> u64 {
+        self.action_fast_insns
+            .iter()
+            .chain(self.action_slow_insns.iter())
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Total misses attributed to actions (equals `misses` when every
+    /// miss event carried an action, which the engines guarantee).
+    pub fn total_attributed_misses(&self) -> u64 {
+        self.action_misses
+            .iter()
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
 }
 
 #[cfg(test)]
@@ -106,17 +193,44 @@ mod tests {
     #[test]
     fn per_action_counts_grow_on_demand() {
         let mut m = Metrics::new();
-        m.action_replayed(5);
-        m.action_replayed(5);
-        m.action_replayed(1);
+        m.action_replayed(5, 2);
+        m.action_replayed(5, 3);
+        m.action_replayed(1, 1);
         assert_eq!(m.action_replays, vec![0, 1, 0, 0, 0, 2]);
+        assert_eq!(m.action_fast_insns, vec![0, 1, 0, 0, 0, 5]);
         assert_eq!(m.total_action_replays(), 3);
+        m.action_slow(2, 7);
+        assert_eq!(m.action_slow_visits, vec![0, 0, 1]);
+        assert_eq!(m.action_slow_insns, vec![0, 0, 7]);
+        assert_eq!(m.total_attributed_insns(), 13);
+    }
+
+    #[test]
+    fn miss_values_accumulate_with_cap() {
+        let mut m = Metrics::new();
+        for v in [4, 4, -1, 4] {
+            m.observe(&TraceEvent::Miss { step: 1, action: 3, depth: 1, value: Some(v) });
+        }
+        m.observe(&TraceEvent::Miss { step: 1, action: 3, depth: 1, value: None });
+        assert_eq!(m.action_misses, vec![0, 0, 0, 5]);
+        assert_eq!(m.total_attributed_misses(), 5);
+        assert_eq!(m.miss_values[3], vec![(4, 3), (-1, 1)]);
+        // The cap collapses further distinct values into the overflow
+        // count without losing the per-action miss total.
+        for v in 0..(2 * MISS_VALUE_CAP as i64) {
+            m.observe(&TraceEvent::Miss { step: 2, action: 3, depth: 1, value: Some(100 + v) });
+        }
+        assert_eq!(m.miss_values[3].len(), MISS_VALUE_CAP);
+        // 2 distinct values were already tracked, so CAP-2 of the 2*CAP
+        // new ones fit and CAP+2 overflow.
+        assert_eq!(m.miss_value_overflow, MISS_VALUE_CAP as u64 + 2);
+        assert_eq!(m.action_misses[3], 5 + 2 * MISS_VALUE_CAP as u64);
     }
 
     #[test]
     fn events_update_the_right_counters() {
         let mut m = Metrics::new();
-        m.observe(&TraceEvent::Miss { step: 1, action: 0, depth: 4 });
+        m.observe(&TraceEvent::Miss { step: 1, action: 0, depth: 4, value: None });
         m.observe(&TraceEvent::RecoveryEnd { step: 1, action: 0, committed: 2 });
         m.observe(&TraceEvent::CacheClear { bytes: 100, nodes: 3, clears: 1 });
         m.observe(&TraceEvent::EngineSwitch {

@@ -30,8 +30,9 @@ pub trait SimObserver {
     fn on_slow_step(&mut self, _step: u64, _insns: u64, _ns: u64) {}
     /// A fast replay burst finished.
     fn on_fast_burst(&mut self, _step: u64, _steps: u64, _actions: u64, _insns: u64, _ns: u64) {}
-    /// The fast engine missed in the action cache.
-    fn on_miss(&mut self, _step: u64, _action: u32, _depth: u64) {}
+    /// The fast engine missed in the action cache (`value` is the
+    /// observed divergent value for dynamic-result-test misses).
+    fn on_miss(&mut self, _step: u64, _action: u32, _depth: u64, _value: Option<i64>) {}
     /// Miss recovery finished committing.
     fn on_recovery(&mut self, _step: u64, _action: u32, _committed: u64) {}
     /// The action cache cleared itself.
@@ -95,7 +96,8 @@ impl ObsCore {
                     step,
                     action,
                     depth,
-                } => obs.on_miss(step, action, depth),
+                    value,
+                } => obs.on_miss(step, action, depth, value),
                 TraceEvent::RecoveryEnd {
                     step,
                     action,
@@ -202,13 +204,25 @@ impl ObsHandle {
         }
     }
 
-    /// Records one replayed action into the metrics registry (the hot
-    /// per-action hook; deliberately not a full event).
+    /// Records one replayed action and its retired-instruction delta
+    /// into the metrics registry (the hot per-action hook; deliberately
+    /// not a full event).
     #[inline]
-    pub fn action_replayed(&self, action: u32) {
+    pub fn action_replayed(&self, action: u32, insns: u64) {
         if let Some(core) = &self.0 {
             if let Some(m) = &mut core.borrow_mut().metrics {
-                m.action_replayed(action);
+                m.action_replayed(action, insns);
+            }
+        }
+    }
+
+    /// Records one slow-engine (recording) execution of an action's
+    /// group and its retired-instruction delta.
+    #[inline]
+    pub fn action_slow(&self, action: u32, insns: u64) {
+        if let Some(core) = &self.0 {
+            if let Some(m) = &mut core.borrow_mut().metrics {
+                m.action_slow(action, insns);
             }
         }
     }
@@ -229,9 +243,17 @@ impl ObsHandle {
         }
     }
 
-    /// A snapshot of the metrics registry, if metrics are on.
+    /// A snapshot of the metrics registry, if metrics are on. The
+    /// snapshot carries the ring's drop count and capacity so a metrics
+    /// document records whether its trace stream was lossy.
     pub fn metrics(&self) -> Option<Metrics> {
-        self.0.as_ref().and_then(|c| c.borrow().metrics.clone())
+        self.0.as_ref().and_then(|c| {
+            let core = c.borrow();
+            let mut m = core.metrics.clone()?;
+            m.dropped_events = core.ring.dropped();
+            m.ring_capacity = core.ring.capacity() as u64;
+            Some(m)
+        })
     }
 
     /// Events evicted from the ring without reaching a sink.
@@ -264,7 +286,7 @@ mod tests {
         fn on_event(&mut self, _ev: &TraceEvent) {
             self.events += 1;
         }
-        fn on_miss(&mut self, _step: u64, _action: u32, _depth: u64) {
+        fn on_miss(&mut self, _step: u64, _action: u32, _depth: u64, _value: Option<i64>) {
             self.misses += 1;
         }
     }
@@ -274,7 +296,8 @@ mod tests {
         let h = ObsHandle::off();
         assert!(!h.enabled());
         h.emit(TraceEvent::NeedSlow { step: 1 });
-        h.action_replayed(3);
+        h.action_replayed(3, 1);
+        h.action_slow(3, 1);
         assert!(h.drain_events().is_empty());
         assert!(h.metrics().is_none());
         assert_eq!(h.total_events(), 0);
@@ -294,7 +317,7 @@ mod tests {
     fn observers_receive_typed_dispatch() {
         let h = ObsHandle::new(ObsConfig::default());
         h.subscribe(Box::<Counter>::default());
-        h.emit(TraceEvent::Miss { step: 1, action: 0, depth: 1 });
+        h.emit(TraceEvent::Miss { step: 1, action: 0, depth: 1, value: None });
         h.emit(TraceEvent::NeedSlow { step: 2 });
         // The counter is owned by the core; verify through the shared
         // metrics instead (same dispatch path).
@@ -332,6 +355,21 @@ mod tests {
         for line in text.lines() {
             assert!(crate::json::parse(line).is_ok(), "{line}");
         }
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_ring_stats() {
+        let h = ObsHandle::new(ObsConfig {
+            trace: true,
+            ring_capacity: 4,
+            metrics: true,
+        });
+        for i in 0..10 {
+            h.emit(TraceEvent::NeedSlow { step: i });
+        }
+        let m = h.metrics().unwrap();
+        assert_eq!(m.dropped_events, 6);
+        assert_eq!(m.ring_capacity, 4);
     }
 
     #[test]

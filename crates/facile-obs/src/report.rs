@@ -164,15 +164,41 @@ impl MetricsDoc {
                 ("cache_clears", m.cache_clears),
                 ("bytes_at_last_clear", m.bytes_at_last_clear),
                 ("ext_calls", m.ext_calls),
+                ("dropped_events", m.dropped_events),
+                ("ring_capacity", m.ring_capacity),
+                ("miss_value_overflow", m.miss_value_overflow),
             ] {
                 write_kv(&mut s, k, v, &mut first);
             }
-            s.push_str(",\"action_replays\":[");
-            for (i, c) in m.action_replays.iter().enumerate() {
+            for (k, counts) in [
+                ("action_replays", &m.action_replays),
+                ("action_fast_insns", &m.action_fast_insns),
+                ("action_slow_visits", &m.action_slow_visits),
+                ("action_slow_insns", &m.action_slow_insns),
+                ("action_misses", &m.action_misses),
+            ] {
+                let _ = write!(s, ",\"{k}\":[");
+                for (i, c) in counts.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{c}");
+                }
+                s.push(']');
+            }
+            s.push_str(",\"miss_values\":[");
+            for (i, vals) in m.miss_values.iter().enumerate() {
                 if i > 0 {
                     s.push(',');
                 }
-                let _ = write!(s, "{c}");
+                s.push('[');
+                for (j, (v, c)) in vals.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "[{v},{c}]");
+                }
+                s.push(']');
             }
             s.push(']');
             for (k, h) in [
@@ -217,6 +243,14 @@ impl MetricsDoc {
             bytes_peak: u64_field(cache_v, "bytes_peak")?,
             bytes_cleared: u64_field(cache_v, "bytes_cleared")?,
         };
+        // New-in-v1.1 fields default to empty/zero so older documents
+        // still parse.
+        let u64s = |d: &Value, key: &str| -> Vec<u64> {
+            d.get(key)
+                .and_then(Value::as_arr)
+                .map(|a| a.iter().map(|c| c.as_u64().unwrap_or(0)).collect())
+                .unwrap_or_default()
+        };
         let metrics = v.get("derived").and_then(|d| {
             Some(Metrics {
                 action_replays: d
@@ -225,6 +259,35 @@ impl MetricsDoc {
                     .iter()
                     .map(|c| c.as_u64().unwrap_or(0))
                     .collect(),
+                action_fast_insns: u64s(d, "action_fast_insns"),
+                action_slow_visits: u64s(d, "action_slow_visits"),
+                action_slow_insns: u64s(d, "action_slow_insns"),
+                action_misses: u64s(d, "action_misses"),
+                miss_values: d
+                    .get("miss_values")
+                    .and_then(Value::as_arr)
+                    .map(|per_action| {
+                        per_action
+                            .iter()
+                            .map(|vals| {
+                                vals.as_arr()
+                                    .map(|pairs| {
+                                        pairs
+                                            .iter()
+                                            .filter_map(|p| {
+                                                let p = p.as_arr()?;
+                                                Some((p.first()?.as_i64()?, p.get(1)?.as_u64()?))
+                                            })
+                                            .collect()
+                                    })
+                                    .unwrap_or_default()
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                miss_value_overflow: u64_field(d, "miss_value_overflow").unwrap_or(0),
+                dropped_events: u64_field(d, "dropped_events").unwrap_or(0),
+                ring_capacity: u64_field(d, "ring_capacity").unwrap_or(0),
                 slow_step_ns: LogHistogram::from_json(d.get("slow_step_ns")?)?,
                 fast_burst_ns: LogHistogram::from_json(d.get("fast_burst_ns")?)?,
                 fast_burst_steps: LogHistogram::from_json(d.get("fast_burst_steps")?)?,
@@ -264,10 +327,13 @@ mod tests {
 
     fn sample_doc() -> MetricsDoc {
         let mut m = Metrics::new();
-        m.action_replayed(0);
-        m.action_replayed(2);
-        m.action_replayed(2);
-        m.observe(&TraceEvent::Miss { step: 5, action: 2, depth: 3 });
+        m.action_replayed(0, 1);
+        m.action_replayed(2, 1);
+        m.action_replayed(2, 1);
+        m.action_slow(1, 4);
+        m.dropped_events = 3;
+        m.ring_capacity = 1 << 16;
+        m.observe(&TraceEvent::Miss { step: 5, action: 2, depth: 3, value: Some(-7) });
         m.observe(&TraceEvent::RecoveryEnd { step: 5, action: 2, committed: 1 });
         m.observe(&TraceEvent::SlowStep { step: 6, insns: 1, ns: 420 });
         MetricsDoc {
@@ -308,6 +374,14 @@ mod tests {
         assert_eq!(back.wall_ns, doc.wall_ns);
         let (a, b) = (back.metrics.unwrap(), doc.metrics.unwrap());
         assert_eq!(a.action_replays, b.action_replays);
+        assert_eq!(a.action_fast_insns, b.action_fast_insns);
+        assert_eq!(a.action_slow_visits, b.action_slow_visits);
+        assert_eq!(a.action_slow_insns, b.action_slow_insns);
+        assert_eq!(a.action_misses, b.action_misses);
+        assert_eq!(a.miss_values, b.miss_values);
+        assert_eq!(a.miss_values[2], vec![(-7, 1)]);
+        assert_eq!(a.dropped_events, 3);
+        assert_eq!(a.ring_capacity, 1 << 16);
         assert_eq!(a.misses, b.misses);
         assert_eq!(a.recovery_depth, b.recovery_depth);
         assert_eq!(a.slow_step_ns, b.slow_step_ns);

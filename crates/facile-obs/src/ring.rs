@@ -52,6 +52,11 @@ impl EventRing {
         self.buf.len()
     }
 
+    /// Maximum number of buffered events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether the ring holds no events.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()

@@ -99,6 +99,33 @@ impl Memory {
         self.pages.len()
     }
 
+    /// Content digest (FNV-1a over resident pages in page-number order,
+    /// skipping all-zero pages so residency of untouched pages does not
+    /// matter). Two memories with the same digest hold the same bytes —
+    /// the bit-for-bit equality check observability tests rely on.
+    pub fn digest(&self) -> u64 {
+        let mut pnos: Vec<u64> = self.index.keys().copied().collect();
+        pnos.sort_unstable();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for pno in pnos {
+            let page = &self.pages[self.index[&pno] as usize];
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
+            for b in pno.to_le_bytes() {
+                mix(b);
+            }
+            for &b in page.iter() {
+                mix(b);
+            }
+        }
+        h
+    }
+
     #[inline]
     fn page(&self, pno: u64) -> Option<&[u8; PAGE]> {
         let (lp, li) = self.last.get();

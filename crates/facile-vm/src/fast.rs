@@ -115,6 +115,10 @@ pub fn fast_run(
         let code = &step.actions[action as usize];
         let mut ph = 0usize;
 
+        // Instruction count before the ops: retirement only happens
+        // inside action ops, so the delta is this action's exact cost.
+        let insns0 = st.stats.insns;
+
         // Execute the dynamic ops against the slab-resident data.
         {
             let data = cache.node_data(node);
@@ -126,7 +130,8 @@ pub fn fast_run(
         }
         st.stats.actions_replayed = st.stats.actions_replayed.saturating_add(1);
         if st.obs.enabled() {
-            st.obs.action_replayed(action);
+            st.obs
+                .action_replayed(action, st.stats.insns.wrapping_sub(insns0));
         }
 
         match &code.kind {
@@ -138,7 +143,7 @@ pub fn fast_run(
                 match cache.next_plain(node) {
                     Some(next) => node = next,
                     None => {
-                        note_miss(st, action, scratch.replayed.len());
+                        note_miss(st, action, scratch.replayed.len(), None);
                         materialize_entry_key(
                             step,
                             cache,
@@ -162,7 +167,7 @@ pub fn fast_run(
                 match cache.next_test_hot(node, v) {
                     Some(next) => node = next,
                     None => {
-                        note_miss(st, action, scratch.replayed.len());
+                        note_miss(st, action, scratch.replayed.len(), Some(v));
                         materialize_entry_key(
                             step,
                             cache,
@@ -250,13 +255,15 @@ pub fn fast_run(
 }
 
 /// Counts an action-cache miss and announces it to the observer.
-fn note_miss(st: &mut MachineState, action: u32, depth: usize) {
+/// `value` is the divergent test value for dynamic-result-test misses.
+fn note_miss(st: &mut MachineState, action: u32, depth: usize, value: Option<i64>) {
     st.stats.misses = st.stats.misses.saturating_add(1);
     if st.obs.enabled() {
         st.obs.emit(TraceEvent::Miss {
             step: st.obs_step(),
             action,
             depth: depth as u64,
+            value,
         });
     }
 }

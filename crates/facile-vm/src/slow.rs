@@ -70,6 +70,10 @@ pub fn slow_step(
     // recording a group does not allocate a fresh vector.
     let mut pending: Option<u32> = None;
     let mut group: Vec<i64> = Vec::new();
+    // Instruction count at the open of the current group: retirement is
+    // always a dynamic op, so the delta at close is the group's exact
+    // instruction cost (profiling attribution; recording runs only).
+    let mut group_insns0: u64 = 0;
     // Reused staging for external-call arguments.
     let mut ext_args: Vec<i64> = Vec::new();
 
@@ -85,6 +89,7 @@ pub fn slow_step(
                     debug_assert!(pending.is_none(), "previous group not closed");
                     pending = Some(a);
                     group.clear();
+                    group_insns0 = st.stats.insns;
                 }
                 if annot.dynamic && annot.closes != Some(Closes::Index) {
                     debug_assert!(
@@ -158,6 +163,10 @@ pub fn slow_step(
                         }
                         if let (Some(rec), Some(a)) = (&mut rec, pending.take()) {
                             rec.cache.record_plain(rec.cursor, a, &group);
+                            if st.obs.enabled() {
+                                st.obs
+                                    .action_slow(a, st.stats.insns.wrapping_sub(group_insns0));
+                            }
                         }
                         return StepOutcome::Halted;
                     }
@@ -170,6 +179,10 @@ pub fn slow_step(
                         st.set_reg(*dst, v);
                         if let (Some(rec), Some(a)) = (&mut rec, pending.take()) {
                             rec.cache.record_test(rec.cursor, a, &group, v);
+                            if st.obs.enabled() {
+                                st.obs
+                                    .action_slow(a, st.stats.insns.wrapping_sub(group_insns0));
+                            }
                         }
                     }
                     Inst::SetNext { args } => {
@@ -207,6 +220,10 @@ pub fn slow_step(
                                 }
                             }
                             rec.cache.record_index(rec.cursor, a, data, key.clone(), sig);
+                            if st.obs.enabled() {
+                                st.obs
+                                    .action_slow(a, st.stats.insns.wrapping_sub(group_insns0));
+                            }
                         }
                         return StepOutcome::Next(key);
                     }
@@ -222,6 +239,10 @@ pub fn slow_step(
         if annots.term_action.is_none() {
             if let (Some(rec), Some(a)) = (&mut rec, pending.take()) {
                 rec.cache.record_plain(rec.cursor, a, &group);
+                if st.obs.enabled() {
+                    st.obs
+                        .action_slow(a, st.stats.insns.wrapping_sub(group_insns0));
+                }
             }
         }
 
@@ -239,9 +260,17 @@ pub fn slow_step(
                 let v = ev(*cond, st);
                 if let Some(a) = annots.term_action {
                     if let Some(rec) = &mut rec {
-                        let data: &[i64] =
-                            if pending.take().is_some() { &group } else { &[] };
+                        let open = pending.take().is_some();
+                        let data: &[i64] = if open { &group } else { &[] };
                         rec.cache.record_test(rec.cursor, a, data, v);
+                        if st.obs.enabled() {
+                            let insns = if open {
+                                st.stats.insns.wrapping_sub(group_insns0)
+                            } else {
+                                0
+                            };
+                            st.obs.action_slow(a, insns);
+                        }
                     } else {
                         pending = None;
                     }
@@ -257,9 +286,17 @@ pub fn slow_step(
                 let v = ev(*val, st);
                 if let Some(a) = annots.term_action {
                     if let Some(rec) = &mut rec {
-                        let data: &[i64] =
-                            if pending.take().is_some() { &group } else { &[] };
+                        let open = pending.take().is_some();
+                        let data: &[i64] = if open { &group } else { &[] };
                         rec.cache.record_test(rec.cursor, a, data, v);
+                        if st.obs.enabled() {
+                            let insns = if open {
+                                st.stats.insns.wrapping_sub(group_insns0)
+                            } else {
+                                0
+                            };
+                            st.obs.action_slow(a, insns);
+                        }
                     } else {
                         pending = None;
                     }
@@ -283,6 +320,10 @@ pub fn slow_step(
                 }
                 if let (Some(rec), Some(a)) = (&mut rec, pending.take()) {
                     rec.cache.record_plain(rec.cursor, a, &group);
+                    if st.obs.enabled() {
+                        st.obs
+                            .action_slow(a, st.stats.insns.wrapping_sub(group_insns0));
+                    }
                 }
                 return StepOutcome::Halted;
             }

@@ -51,6 +51,16 @@ EOF
 grep -q '"schema":"facile-obs/v1"' "$tmp/metrics.json"
 grep -q '"ev":"halt"' "$tmp/trace.jsonl"
 
+echo "==> smoke: sim_prof exactness gate on a profiled run"
+# --check asserts the profiler's contract (docs/PROFILING.md): every
+# attributed action resolves to a real source span, attributed
+# instructions sum exactly to sim.insns, misses to sim.misses.
+./target/release/facilec --builtin functional --run "$tmp/loop.asm" \
+    --profile-out "$tmp/prof.json" > /dev/null
+grep -q '"schema":"facile-prof/v1"' "$tmp/prof.json"
+./target/release/sim_prof "$tmp/prof.json" --check
+./target/release/sim_prof "$tmp/prof.json" --folded | grep -q ':'
+
 echo "==> perf smoke: fig11 fast fraction holds on a small workload"
 ./target/release/fastreplay --scale 0.02 --reps 1 --filter 145.fpppp \
     --json-out "$tmp/perf.json" > /dev/null

@@ -27,6 +27,13 @@ const LOOP_ASM: &str = "addi r1, r0, 300\n\
      halt\n";
 
 fn observed_run(which: &str) -> (Simulation, ObsHandle) {
+    observed_run_with(which, None)
+}
+
+fn observed_run_with(
+    which: &str,
+    writer: Option<Box<dyn std::io::Write>>,
+) -> (Simulation, ObsHandle) {
     let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
     let src = match which {
         "inorder" => facile::sims::inorder_source(),
@@ -46,6 +53,9 @@ fn observed_run(which: &str) -> (Simulation, ObsHandle) {
     .expect("simulation constructs");
     ArchHost::new().bind(&mut sim).expect("externals bind");
     let obs = ObsHandle::new(ObsConfig::default());
+    if let Some(w) = writer {
+        obs.set_writer(w);
+    }
     sim.attach_obs(obs.clone());
     sim.run_steps(u64::MAX >> 1);
     (sim, obs)
@@ -162,4 +172,103 @@ fn observation_does_not_perturb_the_simulation() {
         plain.cache_stats().bytes_total,
         observed.cache_stats().bytes_total
     );
+}
+
+/// A writer over shared storage so the test can read back what the
+/// event ring streamed out.
+#[derive(Clone, Default)]
+struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The streamed JSONL is the trace of record: every line parses, and
+/// recounting the parsed lines reproduces the live runtime counters.
+#[test]
+fn trace_writer_jsonl_resums_to_live_counters() {
+    let buf = SharedBuf::default();
+    let (sim, obs) = observed_run_with("functional", Some(Box::new(buf.clone())));
+    obs.flush();
+    assert_eq!(obs.io_errors(), 0, "writer accepted every flush");
+
+    let s = *sim.stats();
+    assert!(s.misses > 0 && s.fast_steps > 0, "mixed slow/fast workload");
+
+    let text = String::from_utf8(buf.0.borrow().clone()).expect("utf-8 jsonl");
+    let (mut actions, mut fast_insns, mut slow_insns) = (0u64, 0u64, 0u64);
+    let (mut fast_steps, mut misses, mut lines) = (0u64, 0u64, 0usize);
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        lines += 1;
+        let v = facile_obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("line {lines} is not JSON ({e:?}): {line}"));
+        let ev = v.get("ev").and_then(|e| e.as_str()).expect("ev tag");
+        let num = |k: &str| v.get(k).and_then(|n| n.as_u64()).unwrap_or(0);
+        match ev {
+            "fast_burst" => {
+                actions += num("actions");
+                fast_insns += num("insns");
+                fast_steps += num("steps");
+            }
+            "slow_step" => slow_insns += num("insns"),
+            "miss" => misses += 1,
+            _ => {}
+        }
+    }
+    assert!(lines > 0, "the writer received the stream");
+    assert_eq!(actions, s.actions_replayed, "jsonl replayed-action recount");
+    assert_eq!(fast_insns, s.fast_insns, "jsonl fast-insn recount");
+    assert_eq!(slow_insns, s.slow_insns, "jsonl slow-insn recount");
+    assert_eq!(fast_steps, s.fast_steps, "jsonl fast-step recount");
+    assert_eq!(misses, s.misses, "jsonl miss recount");
+}
+
+/// `--profile-out` must be a pure read-out: stats, program output and
+/// final target memory are bit-for-bit identical with and without it,
+/// and the profile it yields satisfies the exactness contract.
+#[test]
+fn profiling_does_not_perturb_the_simulation() {
+    let (observed, _obs) = observed_run("functional");
+    let prof = facile::obs::profile_doc(
+        "loop",
+        "functional.fac",
+        &facile::sims::functional_source(),
+        &observed,
+        0,
+    );
+
+    let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+    let step = compile_source(
+        &facile::sims::functional_source(),
+        &CompilerOptions::default(),
+    )
+    .expect("compiles");
+    let mut plain = Simulation::new(
+        step,
+        Target::load(&image),
+        &initial_args::functional(image.entry),
+        SimOptions::default(),
+    )
+    .expect("simulation constructs");
+    ArchHost::new().bind(&mut plain).expect("externals bind");
+    plain.run_steps(u64::MAX >> 1);
+
+    assert_eq!(plain.stats(), observed.stats(), "stats identical");
+    assert_eq!(plain.trace(), observed.trace(), "program output identical");
+    assert_eq!(
+        plain.memory().digest(),
+        observed.memory().digest(),
+        "final target memory identical"
+    );
+
+    // And the document the profiled run produced is exact.
+    assert_eq!(prof.attributed_insns(), observed.stats().insns);
+    assert_eq!(prof.attributed_misses(), observed.stats().misses);
+    assert!(prof.rows.iter().all(|r| r.line >= 1 && r.guard_line >= 1));
 }
