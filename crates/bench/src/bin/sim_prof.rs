@@ -26,8 +26,35 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::process::ExitCode;
 
+const HELP: &str = "\
+usage: sim_prof <prof.json|prof.jsonl>... [--top N] [--misses K] [--folded] [--check]
+
+Renders source-level profiles from facile-prof/v1 documents, with no
+re-simulation. Rows join the compiler's per-action debug spans with the
+per-action cost vectors of the run's `derived` metrics registry
+(action_fast_insns, action_slow_insns, action_misses, miss_values).
+Accepts single documents (facilec --profile-out), JSONL (bench bins,
+facilec batch), and merged batch documents.
+
+  --top N     rows in the flat per-line view (default 15)
+  --misses K  top-K miss attribution: the dynamic result tests that
+              broke fast-forwarding, with the divergent values observed
+  --folded    flamegraph-collapsed `label;kind;file:line count` lines
+  --check     exactness gate (CI): attributed instructions sum to
+              sim.insns, attributed misses to sim.misses, every row
+              resolves to a real source position. Holds for merged
+              batch documents exactly as for single-lane ones.
+
+Wall-clock quantiles shown by sim_report --detail are p50_lo/p99_lo
+(log2-bucket lower bounds); this tool's counters are exact, not
+bucketed. See docs/PROFILING.md and docs/OBSERVABILITY.md.";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
     let folded = args.iter().any(|a| a == "--folded");
     let check = args.iter().any(|a| a == "--check");
     let misses_k = flag_val(&args, "--misses");
@@ -45,6 +72,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: sim_prof <prof.json|prof.jsonl>... [--top N] [--misses K] [--folded] [--check]"
         );
+        eprintln!("       (--help for details)");
         return ExitCode::FAILURE;
     }
 

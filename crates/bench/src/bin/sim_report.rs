@@ -20,12 +20,36 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::process::ExitCode;
 
+const HELP: &str = "\
+usage: sim_report <metrics.json|metrics.jsonl>... [--detail]
+
+Renders paper-style tables from facile-obs/v1 metrics documents alone,
+with no re-simulation. Accepts single-document files (facilec
+--metrics-out), JSONL (bench bins, facilec batch), and merged batch
+documents.
+
+  --detail   additionally dump each document's `derived` registry —
+             the observed-run metrics block: engine switches,
+             miss/recovery counts, hottest replayed actions, recovery
+             depth and latency histograms. Histogram quantiles print
+             as p50_lo/p99_lo: the *lower bound* of the log2 bucket
+             holding the quantile (may undershoot the true value by up
+             to 2x), never an exact p50/p99. Documents without a
+             `derived` block (unobserved runs) render the tables only.
+
+See docs/OBSERVABILITY.md for the document schema.";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
     let detail = args.iter().any(|a| a == "--detail");
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if files.is_empty() {
         eprintln!("usage: sim_report <metrics.json|metrics.jsonl>... [--detail]");
+        eprintln!("       (--help for details)");
         return ExitCode::FAILURE;
     }
 

@@ -1,0 +1,392 @@
+//! Multi-threaded batch simulation driver.
+//!
+//! Runs N independent (workload, arguments, options) jobs over **one**
+//! compiled simulator across a fixed worker pool. The compiled program —
+//! IR, action table, binding-time labels, debug info — is immutable
+//! after compilation, so every worker shares a single
+//! [`Arc<CompiledStep>`]; everything mutable (machine state, slab action
+//! cache, replay scratch, observability registry) is per-job, built and
+//! torn down inside the worker. This is the shape the ROADMAP
+//! north-star asks for: many concurrent simulation lanes over shared
+//! read-only artifacts.
+//!
+//! # Determinism
+//!
+//! Workers pull jobs from an atomic dispenser, so *completion* order is
+//! scheduling-dependent — but every outcome is stored at its submission
+//! index and the merged documents are folded in submission order. Two
+//! runs of the same batch produce byte-identical merged
+//! [`MetricsDoc`]/[`ProfileDoc`] JSON (modulo wall-clock fields),
+//! regardless of thread count.
+//!
+//! # Exactness
+//!
+//! Each job's metrics registry observes that job's full event stream, so
+//! per-job documents satisfy the PR 3 exactness invariants
+//! (Σ row insns == sim.insns, Σ row misses == sim.misses). Merging adds
+//! both sides of each invariant, so the batch documents satisfy them
+//! too — `sim_prof --check` accepts a merged profile as readily as a
+//! single-lane one.
+
+use crate::hosts::ArchHost;
+use crate::obs::{metrics_doc, observe_metrics, profile_doc};
+use crate::{CompiledStep, MetricsDoc, ProfileDoc, SimError, SimOptions, Simulation};
+use facile_runtime::{HaltReason, Image, Target};
+use facile_vm::ArgValue;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One simulation job: a target image plus the per-lane knobs.
+pub struct BatchJob {
+    /// Display label; becomes the per-job document label.
+    pub label: String,
+    /// The assembled target program.
+    pub image: Image,
+    /// Initial `main` arguments (e.g. [`crate::hosts::initial_args`]).
+    pub args: Vec<ArgValue>,
+    /// Engine options (memoization, cache capacity) for this lane.
+    pub options: SimOptions,
+    /// Step budget; `u64::MAX >> 1` effectively means "until halt".
+    pub max_steps: u64,
+}
+
+/// Source text needed to resolve profile spans, when profiling a batch.
+pub struct ProfileSource {
+    /// Display name written into the documents (`file:line:col`).
+    pub file: String,
+    /// The Facile source the shared step was compiled from.
+    pub src: String,
+}
+
+/// Pool-level configuration.
+pub struct BatchConfig {
+    /// Worker threads; `0` means one per available CPU, capped at the
+    /// job count.
+    pub threads: usize,
+    /// Attach a metrics registry to every job. Required for merged
+    /// metrics/profile documents; off gives plain counter snapshots.
+    pub observe: bool,
+    /// Bind a fresh [`ArchHost`] (caches, predictors) to every job.
+    pub bind_arch: bool,
+    /// Also build per-job and merged source profiles.
+    pub profile: Option<ProfileSource>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            threads: 0,
+            observe: true,
+            bind_arch: true,
+            profile: None,
+        }
+    }
+}
+
+/// What one finished job produced.
+pub struct JobOutcome {
+    /// The job's label, copied through.
+    pub label: String,
+    /// Why (whether) the simulation halted within its step budget.
+    pub halt: Option<HaltReason>,
+    /// Steps executed (slow + fast).
+    pub steps: u64,
+    /// This lane's wall-clock, nanoseconds.
+    pub wall_ns: u64,
+    /// The per-job metrics document (with registry iff `observe`).
+    pub metrics: MetricsDoc,
+    /// The per-job profile document, when profiling was requested.
+    pub profile: Option<ProfileDoc>,
+}
+
+/// The whole batch: per-job outcomes in submission order plus folds.
+pub struct BatchResult {
+    /// Outcomes, indexed exactly like the submitted job list.
+    pub jobs: Vec<JobOutcome>,
+    /// All job documents folded in submission order.
+    pub merged_metrics: MetricsDoc,
+    /// Folded profile, when [`BatchConfig::profile`] was set.
+    pub merged_profile: Option<ProfileDoc>,
+    /// Batch wall-clock (pool start to last worker join), nanoseconds.
+    pub wall_ns: u64,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl BatchResult {
+    /// Aggregate simulated steps per second: total steps over the batch
+    /// wall-clock. This is the number that should beat serial execution.
+    pub fn aggregate_steps_per_sec(&self) -> f64 {
+        let steps: u64 = self.jobs.iter().map(|j| j.steps).sum();
+        steps as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Batch failures: either a lane failed to construct, or the fold hit
+/// documents that do not describe the same compiled program.
+#[derive(Clone, Debug)]
+pub enum BatchError {
+    /// Job `index` failed during construction or binding.
+    Job {
+        /// Submission index of the failing job.
+        index: usize,
+        /// The underlying simulation error.
+        error: SimError,
+    },
+    /// Profile documents disagreed on the action-table shape.
+    Merge(String),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Job { index, error } => write!(f, "job {index}: {error}"),
+            BatchError::Merge(m) => write!(f, "merge: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Runs every job across a worker pool and folds the results.
+///
+/// Jobs are dispensed through an atomic index; each worker builds its
+/// own [`Simulation`] (sharing `step` by reference count), runs it to
+/// its step budget, snapshots the documents, and drops the lane before
+/// pulling the next job. Outcomes land at their submission index.
+///
+/// # Errors
+///
+/// Fails on the first lane whose construction or binding fails (lowest
+/// submission index wins), or if profile folding detects mismatched
+/// action tables — impossible when all jobs share `step`, but checked.
+pub fn run_batch(
+    step: Arc<CompiledStep>,
+    jobs: Vec<BatchJob>,
+    config: &BatchConfig,
+) -> Result<BatchResult, BatchError> {
+    let n = jobs.len();
+    let threads = effective_threads(config.threads, n);
+    let slots: Vec<Mutex<Option<BatchJob>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let outcomes: Vec<Mutex<Option<Result<JobOutcome, SimError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("each job index is dispensed once");
+                let out = run_one(&step, job, config);
+                *outcomes[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            });
+        }
+    });
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let mut done = Vec::with_capacity(n);
+    for (i, slot) in outcomes.into_iter().enumerate() {
+        match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(Ok(outcome)) => done.push(outcome),
+            Some(Err(error)) => return Err(BatchError::Job { index: i, error }),
+            None => unreachable!("the dispenser covers every index"),
+        }
+    }
+
+    let mut merged_metrics = done[0].metrics.clone();
+    merged_metrics.label = format!("batch({n} jobs)");
+    for j in &done[1..] {
+        merged_metrics.merge(&j.metrics);
+    }
+    let mut merged_profile = done[0].profile.clone();
+    if let Some(mp) = merged_profile.as_mut() {
+        mp.label = format!("batch({n} jobs)");
+        for j in &done[1..] {
+            let theirs = j.profile.as_ref().expect("profiling is all-or-nothing");
+            mp.merge(theirs).map_err(BatchError::Merge)?;
+        }
+    }
+
+    Ok(BatchResult {
+        jobs: done,
+        merged_metrics,
+        merged_profile,
+        wall_ns,
+        threads,
+    })
+}
+
+/// Resolves the thread-count knob: `0` = available parallelism, and
+/// never more workers than jobs.
+fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        requested
+    };
+    t.clamp(1, jobs.max(1))
+}
+
+/// Builds, runs, and snapshots one lane.
+fn run_one(
+    step: &Arc<CompiledStep>,
+    job: BatchJob,
+    config: &BatchConfig,
+) -> Result<JobOutcome, SimError> {
+    let mut sim = Simulation::new(
+        step.clone(),
+        Target::load(&job.image),
+        &job.args,
+        job.options,
+    )?;
+    if config.bind_arch {
+        ArchHost::new().bind(&mut sim)?;
+    }
+    if config.observe {
+        observe_metrics(&mut sim);
+    }
+    let t0 = std::time::Instant::now();
+    let halt = sim.run_steps(job.max_steps);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let metrics = metrics_doc(&job.label, &sim, wall_ns);
+    let profile = config
+        .profile
+        .as_ref()
+        .map(|p| profile_doc(&job.label, &p.file, &p.src, &sim, wall_ns));
+    Ok(JobOutcome {
+        label: job.label,
+        halt,
+        steps: sim.stats().fast_steps + sim.stats().slow_steps,
+        wall_ns,
+        metrics,
+        profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosts::initial_args;
+    use crate::{compile_source, CompilerOptions};
+    use facile_isa::assemble_image;
+
+    /// A counted loop with a data-dependent inner branch: long replays
+    /// plus several misses, same shape as the stats-invariant tests.
+    const LOOP_ASM: &str = "addi r1, r0, 200\n\
+         addi r2, r0, 0\n\
+         loop: add r2, r2, r1\n\
+         andi r4, r1, 3\n\
+         bne r4, r0, skip\n\
+         addi r3, r3, 1\n\
+         skip: addi r1, r1, -1\n\
+         bne r1, r0, loop\n\
+         out r2\n\
+         halt\n";
+
+    fn shared_step() -> Arc<CompiledStep> {
+        let src = crate::sims::functional_source();
+        Arc::new(compile_source(&src, &CompilerOptions::default()).unwrap())
+    }
+
+    fn jobs(k: usize) -> Vec<BatchJob> {
+        let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+        (0..k)
+            .map(|i| BatchJob {
+                label: format!("job{i}"),
+                image: image.clone(),
+                args: initial_args::functional(image.entry),
+                options: SimOptions::default(),
+                max_steps: u64::MAX >> 1,
+            })
+            .collect()
+    }
+
+    /// A 4-thread batch's merged document equals the sum of per-job
+    /// documents on every counter, and the jobs come back in
+    /// submission order no matter which worker finished first.
+    #[test]
+    fn merged_doc_is_the_sum_of_the_lanes() {
+        let step = shared_step();
+        let config = BatchConfig {
+            threads: 4,
+            ..BatchConfig::default()
+        };
+        let result = run_batch(step, jobs(8), &config).expect("batch runs");
+        assert_eq!(result.threads, 4);
+        assert_eq!(result.jobs.len(), 8);
+        for (i, j) in result.jobs.iter().enumerate() {
+            assert_eq!(j.label, format!("job{i}"), "submission order held");
+            assert!(j.halt.is_some(), "every lane halts");
+            assert!(j.metrics.sim.misses > 0, "every lane misses at least once");
+        }
+        let sum = |f: fn(&JobOutcome) -> u64| result.jobs.iter().map(f).sum::<u64>();
+        let m = &result.merged_metrics;
+        assert_eq!(m.sim.insns, sum(|j| j.metrics.sim.insns));
+        assert_eq!(m.sim.misses, sum(|j| j.metrics.sim.misses));
+        assert_eq!(m.sim.fast_insns, sum(|j| j.metrics.sim.fast_insns));
+        assert_eq!(m.cache.bytes_total, sum(|j| j.metrics.cache.bytes_total));
+        let reg = m.metrics.as_ref().expect("observed batch carries a registry");
+        let per_job: u64 = result
+            .jobs
+            .iter()
+            .map(|j| j.metrics.metrics.as_ref().unwrap().action_replays.iter().sum::<u64>())
+            .sum();
+        assert_eq!(reg.action_replays.iter().sum::<u64>(), per_job);
+    }
+
+    /// The merged profile keeps the exactness invariants the
+    /// `sim_prof --check` gate enforces: attributed insns/misses equal
+    /// the (summed) simulation counters.
+    #[test]
+    fn merged_profile_passes_the_exactness_gate() {
+        let src = crate::sims::functional_source();
+        let step = shared_step();
+        let config = BatchConfig {
+            threads: 4,
+            profile: Some(ProfileSource {
+                file: "<builtin:functional>".to_owned(),
+                src,
+            }),
+            ..BatchConfig::default()
+        };
+        let result = run_batch(step, jobs(4), &config).expect("batch runs");
+        let p = result.merged_profile.as_ref().expect("profiled batch");
+        assert_eq!(p.attributed_insns(), result.merged_metrics.sim.insns);
+        assert_eq!(p.attributed_misses(), result.merged_metrics.sim.misses);
+        assert!(p.sim.insns > 0);
+    }
+
+    /// Thread count never exceeds the job count, and a serial (1-thread)
+    /// batch produces the same merged counters as a wide one.
+    #[test]
+    fn thread_count_does_not_change_the_merged_counters() {
+        let step = shared_step();
+        let wide = run_batch(
+            step.clone(),
+            jobs(3),
+            &BatchConfig { threads: 8, ..BatchConfig::default() },
+        )
+        .expect("wide batch");
+        assert_eq!(wide.threads, 3, "capped at the job count");
+        let serial = run_batch(
+            step,
+            jobs(3),
+            &BatchConfig { threads: 1, ..BatchConfig::default() },
+        )
+        .expect("serial batch");
+        assert_eq!(wide.merged_metrics.sim, serial.merged_metrics.sim);
+        assert_eq!(
+            wide.merged_metrics.metrics.as_ref().map(|m| &m.action_replays),
+            serial.merged_metrics.metrics.as_ref().map(|m| &m.action_replays),
+        );
+    }
+}

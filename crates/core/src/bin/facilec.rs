@@ -27,6 +27,19 @@
 //!
 //! Either flag attaches an observer to the run; `sim_report` (in the
 //! bench crate) renders paper-style tables from the metrics documents.
+//!
+//! Batch mode runs many independent jobs over one compiled simulator
+//! across a worker pool, sharing the compiled step read-only:
+//!
+//! ```text
+//! facilec --builtin ooo batch --jobs jobs.txt --threads 4 \
+//!         [--metrics-out m.jsonl] [--profile-out p.jsonl]
+//! ```
+//!
+//! The jobs file lists one job per line — `<prog.asm> [max-steps]`
+//! (blank lines and `#` comments skipped). Outputs are JSONL: one
+//! document per job in submission order, then the merged batch
+//! document; `sim_report`/`sim_prof` accept any line.
 
 use facile::{compile_source, CompilerOptions};
 use std::process::ExitCode;
@@ -41,9 +54,33 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut profile_out: Option<String> = None;
+    let mut batch = false;
+    let mut jobs_file: Option<String> = None;
+    let mut threads: usize = 0;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "batch" => batch = true,
+            "--jobs" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => jobs_file = Some(v.clone()),
+                    None => {
+                        eprintln!("facilec: --jobs requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--threads" => {
+                i += 1;
+                threads = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("facilec: --threads requires a number");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--profile-out" => {
                 i += 1;
                 match args.get(i) {
@@ -99,6 +136,10 @@ fn main() -> ExitCode {
                 eprintln!("       facilec --builtin ooo --run prog.asm [--steps N]");
                 eprintln!("               [--metrics-out m.json] [--trace-out t.jsonl]");
                 eprintln!("               [--profile-out prof.json]");
+                eprintln!("       facilec --builtin ooo batch --jobs jobs.txt [--threads K]");
+                eprintln!("               [--steps N] [--metrics-out m.jsonl] [--profile-out p.jsonl]");
+                eprintln!("         jobs file: one `prog.asm [max-steps]` per line;");
+                eprintln!("         outputs are JSONL, per-job docs then the merged batch doc");
                 return ExitCode::SUCCESS;
             }
             f if !f.starts_with('-') => file = Some(f.to_owned()),
@@ -152,6 +193,24 @@ fn main() -> ExitCode {
         }
     };
 
+    if batch {
+        let Some(jobs_path) = jobs_file else {
+            eprintln!("facilec: batch requires --jobs <file>");
+            return ExitCode::FAILURE;
+        };
+        let src_name = file
+            .clone()
+            .or_else(|| builtin.as_ref().map(|b| format!("<builtin:{b}>")))
+            .unwrap_or_else(|| "<source>".to_owned());
+        let outs = Outs {
+            trace_out: None,
+            metrics_out,
+            profile_out,
+        };
+        return run_batch_cmd(
+            step, &src, &src_name, &builtin, &jobs_path, threads, steps, outs,
+        );
+    }
     if let Some(prog) = run {
         let src_name = file
             .clone()
@@ -166,6 +225,10 @@ fn main() -> ExitCode {
     }
     if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() {
         eprintln!("facilec: --trace-out/--metrics-out/--profile-out require --run");
+        return ExitCode::FAILURE;
+    }
+    if jobs_file.is_some() || threads != 0 {
+        eprintln!("facilec: --jobs/--threads require the batch subcommand");
         return ExitCode::FAILURE;
     }
 
@@ -231,6 +294,160 @@ struct Outs {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     profile_out: Option<String>,
+}
+
+/// Parses a jobs file, runs the batch across the worker pool, and
+/// writes per-job + merged documents as JSONL.
+#[allow(clippy::too_many_arguments)]
+fn run_batch_cmd(
+    step: facile::CompiledStep,
+    src: &str,
+    src_name: &str,
+    builtin: &Option<String>,
+    jobs_path: &str,
+    threads: usize,
+    default_steps: u64,
+    outs: Outs,
+) -> ExitCode {
+    use facile::batch::{run_batch, BatchConfig, BatchJob, ProfileSource};
+    use facile::hosts::initial_args;
+    use facile::SimOptions;
+
+    let spec = match std::fs::read_to_string(jobs_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("facilec: cannot read {jobs_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut jobs = Vec::new();
+    for (lineno, line) in spec.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let prog = parts.next().expect("non-empty line has a first token");
+        let max_steps = match parts.next() {
+            Some(n) => match n.parse() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!(
+                        "facilec: {jobs_path}:{}: bad step count `{n}`",
+                        lineno + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => default_steps,
+        };
+        let asm = match std::fs::read_to_string(prog) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("facilec: cannot read {prog}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let image = match facile_isa::assemble_image(&asm, 0x1_0000, vec![]) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("facilec: {prog}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let args = match builtin.as_deref() {
+            Some("inorder") => initial_args::inorder(image.entry),
+            Some("ooo") => initial_args::ooo(image.entry),
+            _ => initial_args::functional(image.entry),
+        };
+        jobs.push(BatchJob {
+            label: format!("{} {prog}", builtin.as_deref().unwrap_or("custom")),
+            image,
+            args,
+            options: SimOptions::default(),
+            max_steps,
+        });
+    }
+    if jobs.is_empty() {
+        eprintln!("facilec: {jobs_path}: no jobs");
+        return ExitCode::FAILURE;
+    }
+
+    let config = BatchConfig {
+        threads,
+        observe: true,
+        bind_arch: true,
+        profile: outs.profile_out.as_ref().map(|_| ProfileSource {
+            file: src_name.to_owned(),
+            src: src.to_owned(),
+        }),
+    };
+    let n = jobs.len();
+    let result = match run_batch(std::sync::Arc::new(step), jobs, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("facilec: batch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &outs.metrics_out {
+        let mut text = String::new();
+        for j in &result.jobs {
+            text.push_str(&j.metrics.to_json());
+            text.push('\n');
+        }
+        text.push_str(&result.merged_metrics.to_json());
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("facilec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &outs.profile_out {
+        let mut text = String::new();
+        for j in &result.jobs {
+            if let Some(p) = &j.profile {
+                text.push_str(&p.to_json());
+                text.push('\n');
+            }
+        }
+        if let Some(p) = &result.merged_profile {
+            text.push_str(&p.to_json());
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("facilec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("batch:       {n} jobs on {} threads", result.threads);
+    for j in &result.jobs {
+        println!(
+            "  {:<28} {:>12} insns  {:>10} steps  {:.0} steps/s  {}",
+            j.label,
+            j.metrics.sim.insns,
+            j.steps,
+            j.steps as f64 / (j.wall_ns.max(1) as f64 / 1e9),
+            match j.halt {
+                Some(h) => format!("{h:?}"),
+                None => "step-budget".to_owned(),
+            }
+        );
+    }
+    println!(
+        "  merged:    {} insns, {} misses, {} cache KiB",
+        result.merged_metrics.sim.insns,
+        result.merged_metrics.sim.misses,
+        result.merged_metrics.cache.bytes_total >> 10
+    );
+    println!(
+        "  aggregate: {:.0} steps/s over {:.3} s wall",
+        result.aggregate_steps_per_sec(),
+        result.wall_ns as f64 / 1e9
+    );
+    ExitCode::SUCCESS
 }
 
 /// Assembles and simulates a TRISC program under the compiled simulator.

@@ -9,20 +9,25 @@
 use crate::{SimError, Simulation};
 use facile_arch::bpred::{BranchPredictor, Btb, Gshare};
 use facile_arch::cache::Hierarchy;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// The micro-architecture components shared between the externals of one
 /// simulation: a two-level cache hierarchy, a gshare branch predictor and
 /// a BTB for indirect jumps.
+///
+/// Components sit behind `Arc<Mutex<_>>` so the bound closures are
+/// `Send` and a wired simulation can move to a batch worker thread. The
+/// mutexes are uncontended in every workspace configuration — one host
+/// per simulation — so the cost is one atomic pair per external call,
+/// dwarfed by the cache/predictor lookup it guards.
 #[derive(Clone)]
 pub struct ArchHost {
     /// Cache hierarchy (instruction + data).
-    pub hierarchy: Rc<RefCell<Hierarchy>>,
+    pub hierarchy: Arc<Mutex<Hierarchy>>,
     /// Direction predictor.
-    pub predictor: Rc<RefCell<Gshare>>,
+    pub predictor: Arc<Mutex<Gshare>>,
     /// Branch target buffer.
-    pub btb: Rc<RefCell<Btb>>,
+    pub btb: Arc<Mutex<Btb>>,
 }
 
 impl ArchHost {
@@ -30,9 +35,9 @@ impl ArchHost {
     /// 512 KiB L2, 4 K-entry gshare, 512-entry BTB).
     pub fn new() -> ArchHost {
         ArchHost {
-            hierarchy: Rc::new(RefCell::new(Hierarchy::new())),
-            predictor: Rc::new(RefCell::new(Gshare::new(4096, 10))),
-            btb: Rc::new(RefCell::new(Btb::new(512))),
+            hierarchy: Arc::new(Mutex::new(Hierarchy::new())),
+            predictor: Arc::new(Mutex::new(Gshare::new(4096, 10))),
+            btb: Arc::new(Mutex::new(Btb::new(512))),
         }
     }
 
@@ -50,26 +55,27 @@ impl ArchHost {
         };
         let h = self.hierarchy.clone();
         tolerate(sim.bind_external("icache", move |args| {
-            h.borrow_mut().inst_access(args[0] as u64) as i64
+            h.lock().unwrap().inst_access(args[0] as u64) as i64
         }))?;
         let h = self.hierarchy.clone();
         tolerate(sim.bind_external("dcache", move |args| {
-            h.borrow_mut().data_access(args[0] as u64, args[1] != 0) as i64
+            h.lock().unwrap().data_access(args[0] as u64, args[1] != 0) as i64
         }))?;
         let p = self.predictor.clone();
         tolerate(sim.bind_external("bp_predict", move |args| {
-            p.borrow_mut().predict(args[0] as u64) as i64
+            p.lock().unwrap().predict(args[0] as u64) as i64
         }))?;
         let p = self.predictor.clone();
         tolerate(sim.bind_external("bp_update", move |args| {
-            p.borrow_mut().update(args[0] as u64, args[1] != 0);
+            p.lock().unwrap().update(args[0] as u64, args[1] != 0);
             0
         }))?;
         let b = self.btb.clone();
         tolerate(sim.bind_external("btb_lookup", move |args| {
             let (pc, actual) = (args[0] as u64, args[1] as u64);
-            let hit = b.borrow().predict(pc) == Some(actual);
-            b.borrow_mut().update(pc, actual);
+            let mut btb = b.lock().unwrap();
+            let hit = btb.predict(pc) == Some(actual);
+            btb.update(pc, actual);
             hit as i64
         }))?;
         Ok(())

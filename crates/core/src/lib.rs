@@ -50,7 +50,17 @@
 //! out-of-order with branch prediction, non-blocking caches and a
 //! 32-entry window — written against the TRISC target ISA
 //! (`facile-isa`).
+//!
+//! # Batch simulation
+//!
+//! [`batch`] runs many independent jobs over one compiled simulator
+//! across a worker pool: the `CompiledStep` is `Arc`-shared read-only,
+//! each lane owns its machine state and action cache, and per-job
+//! metrics/profile documents merge into batch documents that satisfy
+//! the same exactness invariants as a single run. `facilec batch` and
+//! the `sim_batch` bench binary are the command-line fronts.
 
+pub mod batch;
 pub mod hosts;
 pub mod obs;
 pub mod sims;

@@ -117,6 +117,20 @@ impl LogHistogram {
         Self::bucket_lo(BUCKETS - 1)
     }
 
+    /// Merges another histogram into this one: bucket-wise saturating
+    /// add, plus the combined count/sum/max. Merging the histograms of K
+    /// disjoint sample streams is bit-for-bit identical to recording all
+    /// K streams into one histogram, which is what lets per-worker
+    /// registries fold into one batch document.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Serializes as a compact JSON object.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
@@ -203,6 +217,24 @@ mod tests {
         }
         assert_eq!(h.quantile_lo(50), 8);
         assert_eq!(h.quantile_lo(99), 65536);
+    }
+
+    #[test]
+    fn merge_equals_recording_one_combined_stream() {
+        let first = [0u64, 3, 3, 900, 12];
+        let second = [1u64, 7, u64::MAX, 12];
+        let mut combined = LogHistogram::new();
+        for v in first.iter().chain(second.iter()) {
+            combined.record(*v);
+        }
+        let (mut a, mut b) = (LogHistogram::new(), LogHistogram::new());
+        first.iter().for_each(|v| a.record(*v));
+        second.iter().for_each(|v| b.record(*v));
+        a.merge(&b);
+        assert_eq!(a, combined);
+        // Merging an empty histogram is the identity.
+        a.merge(&LogHistogram::new());
+        assert_eq!(a, combined);
     }
 
     #[test]

@@ -28,6 +28,19 @@
 //! This crate is dependency-free and sits *below* `facile-runtime`, so
 //! the action cache itself can announce clears; snapshot conversion from
 //! the runtime's counter types lives up in `facile` core.
+//!
+//! # Merging and threads
+//!
+//! [`observer::ObsHandle`] is `Send` (an `Arc<Mutex<_>>` around the
+//! core; a disabled handle stays a null-check), so observed simulations
+//! can run on worker threads. Per-worker results fold together:
+//! [`metrics::Metrics::merge`], [`hist::LogHistogram::merge`],
+//! [`report::MetricsDoc::merge`] and [`profile::ProfileDoc::merge`] add
+//! counters, histograms and per-action vectors so that K registries
+//! over a partitioned event stream reproduce the combined registry
+//! bit-for-bit — the exactness invariants (Σ row insns == sim.insns,
+//! Σ row misses == sim.misses) survive the fold, and `sim_prof --check`
+//! accepts a merged document.
 
 pub mod event;
 pub mod hist;

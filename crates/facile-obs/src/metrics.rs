@@ -157,6 +157,68 @@ impl Metrics {
         }
     }
 
+    /// Merges another registry into this one, as if this registry had
+    /// observed `other`'s event stream *after* its own.
+    ///
+    /// Per-action vectors add element-wise (growing to the longer
+    /// length), scalar counters saturating-add, and histograms add
+    /// bucket-wise. Per-action miss values keep this registry's
+    /// first-seen order and append `other`'s new values in `other`'s
+    /// order, so merging K registries that observed a partition of one
+    /// event stream (in stream order) reproduces the combined registry
+    /// bit-for-bit — including [`MISS_VALUE_CAP`] overflow accounting.
+    ///
+    /// `ring_capacity` takes the maximum (each worker owns a ring);
+    /// `bytes_at_last_clear` takes `other`'s value when `other` observed
+    /// any clear, matching the "after" ordering.
+    pub fn merge(&mut self, other: &Metrics) {
+        fn add_vec(dst: &mut Vec<u64>, src: &[u64]) {
+            if dst.len() < src.len() {
+                dst.resize(src.len(), 0);
+            }
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d = d.saturating_add(*s);
+            }
+        }
+        add_vec(&mut self.action_replays, &other.action_replays);
+        add_vec(&mut self.action_fast_insns, &other.action_fast_insns);
+        add_vec(&mut self.action_slow_visits, &other.action_slow_visits);
+        add_vec(&mut self.action_slow_insns, &other.action_slow_insns);
+        add_vec(&mut self.action_misses, &other.action_misses);
+        if self.miss_values.len() < other.miss_values.len() {
+            self.miss_values.resize(other.miss_values.len(), Vec::new());
+        }
+        for (mine, theirs) in self.miss_values.iter_mut().zip(other.miss_values.iter()) {
+            for &(v, c) in theirs {
+                if let Some(slot) = mine.iter_mut().find(|(sv, _)| *sv == v) {
+                    slot.1 = slot.1.saturating_add(c);
+                } else if mine.len() < MISS_VALUE_CAP {
+                    mine.push((v, c));
+                } else {
+                    self.miss_value_overflow = self.miss_value_overflow.saturating_add(c);
+                }
+            }
+        }
+        self.miss_value_overflow = self
+            .miss_value_overflow
+            .saturating_add(other.miss_value_overflow);
+        self.slow_step_ns.merge(&other.slow_step_ns);
+        self.fast_burst_ns.merge(&other.fast_burst_ns);
+        self.fast_burst_steps.merge(&other.fast_burst_steps);
+        self.recovery_depth.merge(&other.recovery_depth);
+        self.engine_switches = self.engine_switches.saturating_add(other.engine_switches);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.recoveries = self.recoveries.saturating_add(other.recoveries);
+        self.need_slow = self.need_slow.saturating_add(other.need_slow);
+        self.cache_clears = self.cache_clears.saturating_add(other.cache_clears);
+        if other.cache_clears > 0 {
+            self.bytes_at_last_clear = other.bytes_at_last_clear;
+        }
+        self.ext_calls = self.ext_calls.saturating_add(other.ext_calls);
+        self.dropped_events = self.dropped_events.saturating_add(other.dropped_events);
+        self.ring_capacity = self.ring_capacity.max(other.ring_capacity);
+    }
+
     /// Total replays summed over every action.
     pub fn total_action_replays(&self) -> u64 {
         self.action_replays
@@ -225,6 +287,116 @@ mod tests {
         // new ones fit and CAP+2 overflow.
         assert_eq!(m.miss_value_overflow, MISS_VALUE_CAP as u64 + 2);
         assert_eq!(m.action_misses[3], 5 + 2 * MISS_VALUE_CAP as u64);
+    }
+
+    /// The canonical event stream used by the merge tests: misses with
+    /// repeated and overflowing values, recoveries, clears, engine
+    /// switches, latencies and per-action cost hooks.
+    fn busy_stream() -> Vec<TraceEvent> {
+        let mut evs = Vec::new();
+        for i in 0..40u64 {
+            evs.push(TraceEvent::Miss {
+                step: i,
+                action: (i % 5) as u32,
+                depth: i % 7,
+                value: Some((i % (MISS_VALUE_CAP as u64 + 4)) as i64),
+            });
+            evs.push(TraceEvent::RecoveryEnd { step: i, action: (i % 5) as u32, committed: i });
+            evs.push(TraceEvent::SlowStep { step: i, insns: i, ns: i * 37 });
+            evs.push(TraceEvent::FastBurst { step: i, steps: i, actions: 2 * i, insns: i, ns: i * 11 });
+            if i % 9 == 0 {
+                evs.push(TraceEvent::CacheClear { bytes: 100 + i, nodes: i, clears: i / 9 });
+                evs.push(TraceEvent::EngineSwitch {
+                    step: i,
+                    from: EngineTag::Fast,
+                    to: EngineTag::Slow,
+                });
+            }
+            evs.push(TraceEvent::NeedSlow { step: i });
+            evs.push(TraceEvent::ExtCall { step: i, ext: (i % 3) as u32 });
+        }
+        evs
+    }
+
+    fn feed(m: &mut Metrics, evs: &[TraceEvent]) {
+        for (i, ev) in evs.iter().enumerate() {
+            m.observe(ev);
+            m.action_replayed((i % 6) as u32, i as u64);
+            if i % 4 == 0 {
+                m.action_slow((i % 6) as u32, i as u64);
+            }
+        }
+    }
+
+    fn assert_metrics_eq(a: &Metrics, b: &Metrics) {
+        assert_eq!(a.action_replays, b.action_replays);
+        assert_eq!(a.action_fast_insns, b.action_fast_insns);
+        assert_eq!(a.action_slow_visits, b.action_slow_visits);
+        assert_eq!(a.action_slow_insns, b.action_slow_insns);
+        assert_eq!(a.action_misses, b.action_misses);
+        assert_eq!(a.miss_values, b.miss_values);
+        assert_eq!(a.miss_value_overflow, b.miss_value_overflow);
+        assert_eq!(a.slow_step_ns, b.slow_step_ns);
+        assert_eq!(a.fast_burst_ns, b.fast_burst_ns);
+        assert_eq!(a.fast_burst_steps, b.fast_burst_steps);
+        assert_eq!(a.recovery_depth, b.recovery_depth);
+        assert_eq!(a.engine_switches, b.engine_switches);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.recoveries, b.recoveries);
+        assert_eq!(a.need_slow, b.need_slow);
+        assert_eq!(a.cache_clears, b.cache_clears);
+        assert_eq!(a.bytes_at_last_clear, b.bytes_at_last_clear);
+        assert_eq!(a.ext_calls, b.ext_calls);
+        assert_eq!(a.dropped_events, b.dropped_events);
+        assert_eq!(a.ring_capacity, b.ring_capacity);
+    }
+
+    #[test]
+    fn merge_of_split_registries_is_bit_for_bit_the_combined_registry() {
+        let evs = busy_stream();
+        let mut combined = Metrics::new();
+        feed(&mut combined, &evs);
+        // Split the stream into K contiguous chunks — one per worker —
+        // and fold the per-chunk registries back together in order.
+        for k in [2usize, 3, 5] {
+            let chunk = evs.len().div_ceil(k);
+            let mut merged = Metrics::new();
+            let mut offset = 0;
+            for part in evs.chunks(chunk) {
+                let mut m = Metrics::new();
+                for (i, ev) in part.iter().enumerate() {
+                    let gi = offset + i;
+                    m.observe(ev);
+                    m.action_replayed((gi % 6) as u32, gi as u64);
+                    if gi % 4 == 0 {
+                        m.action_slow((gi % 6) as u32, gi as u64);
+                    }
+                }
+                offset += part.len();
+                merged.merge(&m);
+            }
+            assert_metrics_eq(&merged, &combined);
+        }
+    }
+
+    #[test]
+    fn merge_respects_the_miss_value_cap() {
+        // One full registry plus one with disjoint values: the new
+        // values cannot fit and must land in the overflow count.
+        let mut full = Metrics::new();
+        for v in 0..MISS_VALUE_CAP as i64 {
+            full.observe(&TraceEvent::Miss { step: 0, action: 0, depth: 0, value: Some(v) });
+        }
+        let mut fresh = Metrics::new();
+        for v in 0..4i64 {
+            fresh.observe(&TraceEvent::Miss { step: 0, action: 0, depth: 0, value: Some(100 + v) });
+            fresh.observe(&TraceEvent::Miss { step: 0, action: 0, depth: 0, value: Some(100 + v) });
+        }
+        full.merge(&fresh);
+        assert_eq!(full.miss_values[0].len(), MISS_VALUE_CAP);
+        assert_eq!(full.miss_value_overflow, 8, "2 occurrences of 4 lost values");
+        assert_eq!(full.action_misses[0], MISS_VALUE_CAP as u64 + 8);
+        assert_eq!(full.misses, MISS_VALUE_CAP as u64 + 8);
     }
 
     #[test]

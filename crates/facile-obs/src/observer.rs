@@ -6,22 +6,30 @@
 //! null-check and a return, so the hot loop pays nothing measurable when
 //! no tool subscribed and tracing is off. An enabled handle owns the
 //! event ring, the metrics registry and any subscribed observers behind
-//! one shared cell; clones share the same core, which is how the driver,
-//! the machine state and the action cache all feed a single stream.
+//! one shared mutex; clones share the same core, which is how the
+//! driver, the machine state and the action cache all feed a single
+//! stream.
+//!
+//! The handle is `Send`: a batch driver gives every worker thread its
+//! own handle (one simulation, one core, no contention — the mutex is
+//! only ever uncontended) and folds the per-worker registries together
+//! with [`Metrics::merge`] after the lanes join. Nothing prevents
+//! cloning one enabled handle across threads either; emits then
+//! serialize on the core's mutex.
 
 use crate::event::{EngineTag, TraceEvent};
 use crate::metrics::Metrics;
 use crate::ring::{EventRing, DEFAULT_CAPACITY};
-use std::cell::RefCell;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A subscriber to simulation events.
 ///
 /// Every method has a no-op default: implement only the hooks you need.
 /// Observers run inside the engine loop — they must not re-enter the
-/// simulation or emit events themselves.
-pub trait SimObserver {
+/// simulation or emit events themselves. Observers are `Send` so a
+/// simulation (and the handle it carries) can move to a worker thread.
+pub trait SimObserver: Send {
     /// Catch-all: called for every event, before the typed hook.
     fn on_event(&mut self, _ev: &TraceEvent) {}
     /// Control moved between the engines.
@@ -67,7 +75,7 @@ impl Default for ObsConfig {
 struct ObsCore {
     observers: Vec<Box<dyn SimObserver>>,
     ring: EventRing,
-    writer: Option<Box<dyn Write>>,
+    writer: Option<Box<dyn Write + Send>>,
     metrics: Option<Metrics>,
     trace: bool,
     io_errors: u64,
@@ -135,16 +143,24 @@ impl ObsCore {
 }
 
 /// The handle the engines carry. Cloning shares the underlying core;
-/// the default handle is disabled and free.
+/// the default handle is disabled and free. The handle is `Send`, so a
+/// fully-built simulation can move to a worker thread.
 #[derive(Clone, Default)]
-pub struct ObsHandle(Option<Rc<RefCell<ObsCore>>>);
+pub struct ObsHandle(Option<Arc<Mutex<ObsCore>>>);
+
+/// Locks the core. A panic while observing poisons the mutex; the data
+/// is integer counters that are never left half-updated, so later reads
+/// (e.g. draining metrics from a lane that died) keep working.
+fn locked(core: &Mutex<ObsCore>) -> MutexGuard<'_, ObsCore> {
+    core.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 impl std::fmt::Debug for ObsHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.0 {
             None => f.write_str("ObsHandle(off)"),
             Some(core) => {
-                let c = core.borrow();
+                let c = locked(core);
                 write!(
                     f,
                     "ObsHandle(trace={}, metrics={}, observers={})",
@@ -165,7 +181,7 @@ impl ObsHandle {
 
     /// An enabled handle.
     pub fn new(config: ObsConfig) -> ObsHandle {
-        ObsHandle(Some(Rc::new(RefCell::new(ObsCore {
+        ObsHandle(Some(Arc::new(Mutex::new(ObsCore {
             observers: Vec::new(),
             ring: EventRing::new(config.ring_capacity),
             writer: None,
@@ -184,15 +200,15 @@ impl ObsHandle {
     /// Subscribes an observer. No-op on a disabled handle.
     pub fn subscribe(&self, obs: Box<dyn SimObserver>) {
         if let Some(core) = &self.0 {
-            core.borrow_mut().observers.push(obs);
+            locked(core).observers.push(obs);
         }
     }
 
     /// Attaches a JSONL sink: the ring streams to it when full and on
     /// [`flush`](Self::flush). No-op on a disabled handle.
-    pub fn set_writer(&self, w: Box<dyn Write>) {
+    pub fn set_writer(&self, w: Box<dyn Write + Send>) {
         if let Some(core) = &self.0 {
-            core.borrow_mut().writer = Some(w);
+            locked(core).writer = Some(w);
         }
     }
 
@@ -200,7 +216,7 @@ impl ObsHandle {
     #[inline]
     pub fn emit(&self, ev: TraceEvent) {
         if let Some(core) = &self.0 {
-            core.borrow_mut().dispatch(&ev);
+            locked(core).dispatch(&ev);
         }
     }
 
@@ -210,7 +226,7 @@ impl ObsHandle {
     #[inline]
     pub fn action_replayed(&self, action: u32, insns: u64) {
         if let Some(core) = &self.0 {
-            if let Some(m) = &mut core.borrow_mut().metrics {
+            if let Some(m) = &mut locked(core).metrics {
                 m.action_replayed(action, insns);
             }
         }
@@ -221,7 +237,7 @@ impl ObsHandle {
     #[inline]
     pub fn action_slow(&self, action: u32, insns: u64) {
         if let Some(core) = &self.0 {
-            if let Some(m) = &mut core.borrow_mut().metrics {
+            if let Some(m) = &mut locked(core).metrics {
                 m.action_slow(action, insns);
             }
         }
@@ -230,7 +246,7 @@ impl ObsHandle {
     /// Writes buffered events to the attached sink, if any.
     pub fn flush(&self) {
         if let Some(core) = &self.0 {
-            core.borrow_mut().flush();
+            locked(core).flush();
         }
     }
 
@@ -238,7 +254,7 @@ impl ObsHandle {
     /// tests; use [`set_writer`](Self::set_writer) for streaming).
     pub fn drain_events(&self) -> Vec<TraceEvent> {
         match &self.0 {
-            Some(core) => core.borrow_mut().ring.drain(),
+            Some(core) => locked(core).ring.drain(),
             None => Vec::new(),
         }
     }
@@ -248,7 +264,7 @@ impl ObsHandle {
     /// document records whether its trace stream was lossy.
     pub fn metrics(&self) -> Option<Metrics> {
         self.0.as_ref().and_then(|c| {
-            let core = c.borrow();
+            let core = locked(c);
             let mut m = core.metrics.clone()?;
             m.dropped_events = core.ring.dropped();
             m.ring_capacity = core.ring.capacity() as u64;
@@ -258,17 +274,17 @@ impl ObsHandle {
 
     /// Events evicted from the ring without reaching a sink.
     pub fn dropped_events(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.borrow().ring.dropped())
+        self.0.as_ref().map_or(0, |c| locked(c).ring.dropped())
     }
 
     /// Events emitted through this handle so far.
     pub fn total_events(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.borrow().ring.total())
+        self.0.as_ref().map_or(0, |c| locked(c).ring.total())
     }
 
     /// Failed writes to the attached sink.
     pub fn io_errors(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.borrow().io_errors)
+        self.0.as_ref().map_or(0, |c| locked(c).io_errors)
     }
 }
 
@@ -328,17 +344,17 @@ mod tests {
 
     #[test]
     fn ring_streams_to_writer_when_full() {
-        struct Shared(Rc<RefCell<Vec<u8>>>);
+        struct Shared(Arc<Mutex<Vec<u8>>>);
         impl Write for Shared {
             fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.borrow_mut().extend_from_slice(buf);
+                self.0.lock().unwrap().extend_from_slice(buf);
                 Ok(buf.len())
             }
             fn flush(&mut self) -> std::io::Result<()> {
                 Ok(())
             }
         }
-        let sink = Rc::new(RefCell::new(Vec::new()));
+        let sink = Arc::new(Mutex::new(Vec::new()));
         let h = ObsHandle::new(ObsConfig {
             trace: true,
             ring_capacity: 4,
@@ -349,12 +365,37 @@ mod tests {
             h.emit(TraceEvent::NeedSlow { step: i });
         }
         h.flush();
-        let text = String::from_utf8(sink.borrow().clone()).unwrap();
+        let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
         assert_eq!(text.lines().count(), 10, "nothing dropped:\n{text}");
         assert_eq!(h.dropped_events(), 0);
         for line in text.lines() {
             assert!(crate::json::parse(line).is_ok(), "{line}");
         }
+    }
+
+    #[test]
+    fn handle_is_send_and_usable_across_threads() {
+        fn assert_send<T: Send>(_: &T) {}
+        let h = ObsHandle::new(ObsConfig::default());
+        assert_send(&h);
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        h.emit(TraceEvent::NeedSlow { step: t * 1000 + i });
+                        h.action_replayed((t % 3) as u32, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let m = h.metrics().unwrap();
+        assert_eq!(m.need_slow, 400);
+        assert_eq!(m.total_action_replays(), 400);
+        assert_eq!(h.total_events(), 400);
     }
 
     #[test]

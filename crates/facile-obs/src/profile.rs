@@ -170,6 +170,68 @@ impl ProfileDoc {
         rows
     }
 
+    /// Folds another profile of the **same compiled program** into this
+    /// one: per-row costs (replays, insns, visits, misses, miss values)
+    /// add element-wise, the `sim` snapshot adds field-wise, and
+    /// `wall_ns` takes the maximum (concurrent lanes overlap).
+    ///
+    /// Both documents must describe the same action table: the same
+    /// number of rows with identical action numbers, kinds, spans and
+    /// operand signatures. The exactness invariants survive the merge —
+    /// Σ row insns still equals the (summed) `sim.insns`, Σ row misses
+    /// the (summed) `sim.misses` — so a merged batch document passes
+    /// `sim_prof --check` unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first shape mismatch; `self` is unchanged on error.
+    pub fn merge(&mut self, other: &ProfileDoc) -> Result<(), String> {
+        if self.rows.len() != other.rows.len() {
+            return Err(format!(
+                "action tables differ: {} rows vs {}",
+                self.rows.len(),
+                other.rows.len()
+            ));
+        }
+        for (mine, theirs) in self.rows.iter().zip(other.rows.iter()) {
+            let same_site = mine.action == theirs.action
+                && mine.kind == theirs.kind
+                && mine.line == theirs.line
+                && mine.col == theirs.col
+                && mine.end_line == theirs.end_line
+                && mine.guard_line == theirs.guard_line
+                && mine.guard_col == theirs.guard_col
+                && mine.ph_operands == theirs.ph_operands
+                && mine.reg_operands == theirs.reg_operands;
+            if !same_site {
+                return Err(format!(
+                    "action {} resolves to different sites (different compiled programs?)",
+                    mine.action
+                ));
+            }
+        }
+        for (mine, theirs) in self.rows.iter_mut().zip(other.rows.iter()) {
+            mine.replays = mine.replays.saturating_add(theirs.replays);
+            mine.fast_insns = mine.fast_insns.saturating_add(theirs.fast_insns);
+            mine.slow_visits = mine.slow_visits.saturating_add(theirs.slow_visits);
+            mine.slow_insns = mine.slow_insns.saturating_add(theirs.slow_insns);
+            mine.misses = mine.misses.saturating_add(theirs.misses);
+            for &(v, c) in &theirs.miss_values {
+                if let Some(slot) = mine.miss_values.iter_mut().find(|(sv, _)| *sv == v) {
+                    slot.1 = slot.1.saturating_add(c);
+                } else {
+                    mine.miss_values.push((v, c));
+                }
+            }
+        }
+        self.sim.merge(&other.sim);
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
+        self.miss_value_overflow = self
+            .miss_value_overflow
+            .saturating_add(other.miss_value_overflow);
+        Ok(())
+    }
+
     /// Serializes the document as one JSON object.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024 + self.rows.len() * 128);
@@ -423,5 +485,42 @@ mod tests {
     fn wrong_schema_is_rejected() {
         let json = sample().to_json().replace(PROF_SCHEMA, "facile-prof/v0");
         assert!(ProfileDoc::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn merge_preserves_the_exactness_invariants() {
+        let mut a = sample();
+        let mut b = sample();
+        // Give the second lane different costs on the same sites.
+        b.sim.insns = 60;
+        b.sim.fast_insns = 40;
+        b.sim.slow_insns = 20;
+        b.sim.misses = 1;
+        b.rows[0].fast_insns = 30;
+        b.rows[0].slow_insns = 10;
+        b.rows[1].fast_insns = 10;
+        b.rows[1].slow_insns = 10;
+        b.rows[1].misses = 1;
+        b.rows[1].miss_values = vec![(1, 1)];
+        assert_eq!(b.attributed_insns(), b.sim.insns);
+        a.merge(&b).unwrap();
+        assert_eq!(a.sim.insns, 90);
+        assert_eq!(a.attributed_insns(), a.sim.insns, "Σinsns == sim.insns survives");
+        assert_eq!(a.attributed_misses(), a.sim.misses, "Σmisses == sim.misses survives");
+        assert_eq!(a.rows[1].miss_values, vec![(1, 3), (-4, 1)]);
+        assert_eq!(a.wall_ns, 5_000);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_action_tables() {
+        let mut a = sample();
+        let mut b = sample();
+        b.rows.pop();
+        assert!(a.merge(&b).unwrap_err().contains("rows"));
+        let mut c = sample();
+        c.rows[1].guard_line = 99;
+        let before = a.rows.clone();
+        assert!(a.merge(&c).unwrap_err().contains("different sites"));
+        assert_eq!(a.rows, before, "failed merge leaves the document unchanged");
     }
 }

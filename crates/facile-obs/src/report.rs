@@ -51,6 +51,21 @@ impl SimStatsSnapshot {
             self.fast_insns as f64 / self.insns as f64
         }
     }
+
+    /// Adds another snapshot field-wise (saturating): the counters of a
+    /// batch of independent simulations are the sums of the lanes'.
+    pub fn merge(&mut self, other: &SimStatsSnapshot) {
+        self.cycles = self.cycles.saturating_add(other.cycles);
+        self.insns = self.insns.saturating_add(other.insns);
+        self.fast_insns = self.fast_insns.saturating_add(other.fast_insns);
+        self.slow_insns = self.slow_insns.saturating_add(other.slow_insns);
+        self.fast_steps = self.fast_steps.saturating_add(other.fast_steps);
+        self.slow_steps = self.slow_steps.saturating_add(other.slow_steps);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.recoveries = self.recoveries.saturating_add(other.recoveries);
+        self.actions_replayed = self.actions_replayed.saturating_add(other.actions_replayed);
+        self.ext_calls = self.ext_calls.saturating_add(other.ext_calls);
+    }
 }
 
 /// Integer snapshot of the runtime's `CacheStats`.
@@ -76,6 +91,21 @@ impl CacheStatsSnapshot {
     /// Peak memoization footprint in MiB (Table 2's unit).
     pub fn peak_mib(&self) -> f64 {
         self.bytes_peak as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Adds another snapshot field-wise (saturating). Each lane of a
+    /// batch owns a private action cache, so creation/clear counters and
+    /// byte totals sum exactly; the summed `bytes_peak` is the batch's
+    /// worst-case resident footprint (lanes peak at different times, so
+    /// the true simultaneous peak may be lower).
+    pub fn merge(&mut self, other: &CacheStatsSnapshot) {
+        self.nodes_created = self.nodes_created.saturating_add(other.nodes_created);
+        self.entries_created = self.entries_created.saturating_add(other.entries_created);
+        self.clears = self.clears.saturating_add(other.clears);
+        self.bytes_current = self.bytes_current.saturating_add(other.bytes_current);
+        self.bytes_total = self.bytes_total.saturating_add(other.bytes_total);
+        self.bytes_peak = self.bytes_peak.saturating_add(other.bytes_peak);
+        self.bytes_cleared = self.bytes_cleared.saturating_add(other.bytes_cleared);
     }
 }
 
@@ -114,6 +144,30 @@ impl MetricsDoc {
         } else {
             self.sim.insns as f64 * 1e9 / self.wall_ns as f64
         }
+    }
+
+    /// Folds another document into this one: `sim` and `cache` counters
+    /// add field-wise, the derived registries merge via
+    /// [`Metrics::merge`], and `wall_ns` takes the maximum (batch lanes
+    /// run concurrently, so wall times overlap; a batch driver that
+    /// measured the whole batch overwrites `wall_ns` afterwards). The
+    /// label is kept; callers name the merged document.
+    ///
+    /// The merged registry is present only when *both* documents carry
+    /// one — a partial registry would break the exactness invariants
+    /// (Σ per-action insns == `sim.insns`) that `sim_prof --check`
+    /// verifies.
+    pub fn merge(&mut self, other: &MetricsDoc) {
+        self.sim.merge(&other.sim);
+        self.cache.merge(&other.cache);
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
+        self.metrics = match (self.metrics.take(), &other.metrics) {
+            (Some(mut mine), Some(theirs)) => {
+                mine.merge(theirs);
+                Some(mine)
+            }
+            _ => None,
+        };
     }
 
     /// Serializes the document as one JSON object.
@@ -408,5 +462,27 @@ mod tests {
     fn wrong_schema_is_rejected() {
         let json = sample_doc().to_json().replace(SCHEMA, "facile-obs/v0");
         assert!(MetricsDoc::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn merged_documents_sum_counters_and_overlap_wall_time() {
+        let mut a = sample_doc();
+        let b = sample_doc();
+        a.merge(&b);
+        assert_eq!(a.sim.insns, 2 * b.sim.insns);
+        assert_eq!(a.sim.misses, 2 * b.sim.misses);
+        assert_eq!(a.cache.bytes_total, 2 * b.cache.bytes_total);
+        assert_eq!(a.cache.bytes_peak, 2 * b.cache.bytes_peak);
+        assert_eq!(a.wall_ns, b.wall_ns, "concurrent lanes overlap");
+        let m = a.metrics.as_ref().unwrap();
+        assert_eq!(m.total_action_replays(), 6);
+        assert_eq!(m.misses, 2);
+        // A lane without a registry poisons the merged registry (the
+        // exactness invariant could no longer hold).
+        let mut bare = sample_doc();
+        bare.metrics = None;
+        a.merge(&bare);
+        assert!(a.metrics.is_none());
+        assert_eq!(a.sim.insns, 3 * b.sim.insns);
     }
 }

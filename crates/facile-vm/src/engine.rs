@@ -93,8 +93,16 @@ enum Mode {
 }
 
 /// A running fast-forwarding simulation.
+///
+/// The compiled step function is held behind an [`Arc`]: it is
+/// immutable after compilation, so N concurrent simulations of the same
+/// simulator share one action table and one debug-info table instead of
+/// carrying N copies. Everything mutable — machine state, action cache,
+/// replay scratch — is per-simulation. `Simulation` is `Send` (asserted
+/// by a compile-time test), which is what lets a batch driver build
+/// jobs on one thread and run them on workers.
 pub struct Simulation {
-    step: CompiledStep,
+    step: std::sync::Arc<CompiledStep>,
     st: MachineState,
     cache: ActionCache,
     cursor: Cursor,
@@ -111,16 +119,22 @@ impl Simulation {
     /// Creates a simulation of `step` over `target`, with `main`'s first
     /// arguments given by `args`.
     ///
+    /// `step` is taken as anything convertible to an
+    /// `Arc<CompiledStep>`: pass an owned [`CompiledStep`] for a single
+    /// simulation, or clone one `Arc` per job to share the compiled
+    /// program (action table, debug info, IR) across a batch.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::BadArguments`] when `args` do not match
     /// `main`'s parameter list.
     pub fn new(
-        step: CompiledStep,
+        step: impl Into<std::sync::Arc<CompiledStep>>,
         target: Target,
         args: &[ArgValue],
         options: SimOptions,
     ) -> Result<Simulation, SimError> {
+        let step = step.into();
         if args.len() != step.param_types.len() {
             return Err(SimError::BadArguments(format!(
                 "main takes {} parameter(s), got {}",
@@ -166,7 +180,7 @@ impl Simulation {
     pub fn bind_external(
         &mut self,
         name: &str,
-        f: impl FnMut(&[i64]) -> i64 + 'static,
+        f: impl FnMut(&[i64]) -> i64 + Send + 'static,
     ) -> Result<(), SimError> {
         let idx = self
             .step
@@ -400,4 +414,30 @@ impl Simulation {
     pub fn compiled(&self) -> &CompiledStep {
         &self.step
     }
+
+    /// The shared handle to the compiled step function (clone it to
+    /// construct further simulations of the same program without
+    /// copying the action table).
+    pub fn compiled_arc(&self) -> std::sync::Arc<CompiledStep> {
+        self.step.clone()
+    }
 }
+
+// The thread-safety contract the batch driver relies on, enforced at
+// compile time: a fully wired simulation (machine state with bound
+// externals, action cache, observability handle, replay scratch) can
+// move to a worker thread, and one compiled program can be shared
+// read-only between workers.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<Simulation>();
+    assert_send::<MachineState>();
+    assert_send::<facile_runtime::cache::ActionCache>();
+    assert_send::<crate::fast::ReplayScratch>();
+    assert_send_sync::<CompiledStep>();
+    // `Target` is Send but deliberately not Sync: `Memory` keeps a
+    // single-threaded translation cache in a `Cell`. Each worker owns
+    // its target image; only the compiled program is shared.
+    assert_send::<Target>();
+};

@@ -19,6 +19,18 @@
 //! dynamic register writes are directly visible to the slow engine after
 //! a miss, which is how dynamic data crosses the engine boundary.
 //!
+//! # Threading
+//!
+//! A [`engine::Simulation`] is `Send` — it can be built on one thread
+//! and run on another, which is what `facile::batch` does with its
+//! worker pool. The compiled step is held as an `Arc<CompiledStep>` and
+//! shared read-only between simulations; everything mutable (machine
+//! state, action cache, replay scratch) is owned per-simulation.
+//! External functions must therefore be `Send`
+//! ([`state::ExtFn`]), and the observability handle is backed by an
+//! uncontended mutex. Nothing here is `Sync`: one simulation, one
+//! thread at a time.
+//!
 //! # Examples
 //!
 //! ```

@@ -227,8 +227,11 @@ pub trait Store {
     }
 }
 
-/// An external (Rust) function callable from Facile.
-pub type ExtFn = Box<dyn FnMut(&[i64]) -> i64>;
+/// An external (Rust) function callable from Facile. `Send` so a fully
+/// wired simulation can move to a batch worker thread; hosts share
+/// their component state through `Arc<Mutex<_>>` (uncontended — each
+/// simulation owns its components).
+pub type ExtFn = Box<dyn FnMut(&[i64]) -> i64 + Send>;
 
 /// Maps variables/globals to aggregate slots.
 #[derive(Clone, Debug)]

@@ -28,4 +28,8 @@ echo "==> fastreplay --scale $SCALE --reps $REPS"
 ./target/release/fastreplay --scale "$SCALE" --reps "$REPS" $BASELINE_ARGS \
     --json-out BENCH_fastsim.json
 
-echo "bench: wrote BENCH_fastsim.json"
+echo "==> sim_batch --scale $SCALE --compare (suite as a worker-pool batch)"
+./target/release/sim_batch --scale "$SCALE" --compare \
+    --json-out BENCH_batch.json
+
+echo "bench: wrote BENCH_fastsim.json and BENCH_batch.json"

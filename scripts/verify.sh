@@ -8,7 +8,10 @@
 # `facilec --run --metrics-out` emits a parseable facile-obs/v1 document,
 # and gates the fast-replay hot path: a small fig11 workload must
 # fast-forward at least as much as the seed did, and steady-state replay
-# must be allocation-free (docs/PERFORMANCE.md).
+# must be allocation-free (docs/PERFORMANCE.md). Batch mode must produce
+# merged documents that pass the sim_prof --check exactness gate (and
+# beat serial throughput on multi-core hosts), and rustdoc must build
+# warning-free with its doc-tests green.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -79,5 +82,50 @@ awk 'BEGIN { ok = 0 }
 
 echo "==> perf smoke: steady-state replay is allocation-free"
 cargo test -q --offline -p facile-vm --test alloc_free_replay
+
+echo "==> smoke: batch merged documents pass the exactness gate"
+# Four jobs over one compiled step on four worker threads; the merged
+# profile must satisfy the same sim_prof --check contract as a
+# single-lane run, and the merged metrics document must carry the batch
+# label with the summed counters (4 x 304 insns for this loop).
+cat > "$tmp/jobs.txt" <<EOF
+$tmp/loop.asm
+$tmp/loop.asm
+$tmp/loop.asm
+$tmp/loop.asm
+EOF
+./target/release/facilec --builtin functional batch --jobs "$tmp/jobs.txt" \
+    --threads 4 --metrics-out "$tmp/batch_m.jsonl" \
+    --profile-out "$tmp/batch_p.jsonl" > /dev/null
+tail -n 1 "$tmp/batch_p.jsonl" > "$tmp/batch_merged_prof.json"
+./target/release/sim_prof "$tmp/batch_merged_prof.json" --check
+tail -n 1 "$tmp/batch_m.jsonl" | grep -q '"label":"batch(4 jobs)"'
+tail -n 1 "$tmp/batch_m.jsonl" | grep -q '"insns":1216'
+
+if [ "$(nproc)" -ge 2 ]; then
+    echo "==> perf smoke: batch throughput beats serial (multi-core host)"
+    # Timing-dependent, so only gated where parallel speedup is
+    # physically possible; single-core hosts check correctness above.
+    ./target/release/sim_batch --scale 0.02 --threads 4 --compare \
+        --json-out "$tmp/batch_bench.json" > /dev/null
+    awk 'BEGIN { ok = 0 }
+         {
+           if (match($0, /"batch_speedup":[0-9.]+/)) {
+             s = substr($0, RSTART, RLENGTH)
+             sub(/.*:/, "", s)
+             if (s + 0 >= 1.0) ok = 1
+           }
+         }
+         END { exit ok ? 0 : 1 }' "$tmp/batch_bench.json" \
+        || { echo "verify: batch aggregate did not beat serial"; exit 1; }
+else
+    echo "==> perf smoke: batch speedup gate skipped (single-core host)"
+fi
+
+echo "==> docs: rustdoc builds warning-free (offline)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --offline
+
+echo "==> docs: doc-tests pass (offline)"
+cargo test --doc -q --offline --workspace
 
 echo "verify: OK"

@@ -32,7 +32,7 @@ fn observed_run(which: &str) -> (Simulation, ObsHandle) {
 
 fn observed_run_with(
     which: &str,
-    writer: Option<Box<dyn std::io::Write>>,
+    writer: Option<Box<dyn std::io::Write + Send>>,
 ) -> (Simulation, ObsHandle) {
     let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
     let src = match which {
@@ -177,11 +177,11 @@ fn observation_does_not_perturb_the_simulation() {
 /// A writer over shared storage so the test can read back what the
 /// event ring streamed out.
 #[derive(Clone, Default)]
-struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
 
 impl std::io::Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        self.0.lock().unwrap().extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -201,7 +201,7 @@ fn trace_writer_jsonl_resums_to_live_counters() {
     let s = *sim.stats();
     assert!(s.misses > 0 && s.fast_steps > 0, "mixed slow/fast workload");
 
-    let text = String::from_utf8(buf.0.borrow().clone()).expect("utf-8 jsonl");
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf-8 jsonl");
     let (mut actions, mut fast_insns, mut slow_insns) = (0u64, 0u64, 0u64);
     let (mut fast_steps, mut misses, mut lines) = (0u64, 0u64, 0usize);
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
