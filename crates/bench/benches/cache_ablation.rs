@@ -2,7 +2,7 @@
 //! under shrinking action-cache budgets (clear-on-full). Run with
 //! `cargo bench -p bench --bench cache_ablation`.
 
-use bench::{arg_f64, compile_facile, run_facile, time_bench, workload_image, FacileSim};
+use bench::{arg_f64, compile_facile, run_facile, time_bench, workload_image, CachePolicy, FacileSim};
 
 fn main() {
     let scale = arg_f64("--scale", 0.02);
@@ -10,11 +10,11 @@ fn main() {
     let w = facile_workloads::by_name("134.perl").unwrap();
     let image = workload_image(&w, scale);
     // Unbounded footprint for this configuration.
-    let full = run_facile(&step, FacileSim::Ooo, &image, true, None).memo_bytes;
+    let full = run_facile(&step, FacileSim::Ooo, &image, true, None, CachePolicy::Clear).memo_bytes;
     for div in [1u64, 10, 50] {
         let cap = (full / div).max(64 * 1024);
         time_bench(&format!("cache_ablation/1-{div} ({cap} B)"), 10, &mut || {
-            run_facile(&step, FacileSim::Ooo, &image, true, Some(cap)).cycles
+            run_facile(&step, FacileSim::Ooo, &image, true, Some(cap), CachePolicy::Clear).cycles
         });
     }
 }

@@ -3,7 +3,7 @@
 //! runs a fresh simulation (fresh action cache). Run with
 //! `cargo bench -p bench --bench fig12_facile`.
 
-use bench::{arg_f64, compile_facile, run_facile, time_bench, workload_image, FacileSim};
+use bench::{arg_f64, compile_facile, run_facile, time_bench, workload_image, CachePolicy, FacileSim};
 
 fn main() {
     let scale = arg_f64("--scale", 0.02);
@@ -12,10 +12,10 @@ fn main() {
         let w = facile_workloads::by_name(name).unwrap();
         let image = workload_image(&w, scale);
         time_bench(&format!("fig12/facile_nomemo/{name}"), 10, &mut || {
-            run_facile(&step, FacileSim::Ooo, &image, false, None).cycles
+            run_facile(&step, FacileSim::Ooo, &image, false, None, CachePolicy::Clear).cycles
         });
         time_bench(&format!("fig12/facile_memo/{name}"), 10, &mut || {
-            run_facile(&step, FacileSim::Ooo, &image, true, None).cycles
+            run_facile(&step, FacileSim::Ooo, &image, true, None, CachePolicy::Clear).cycles
         });
     }
 }

@@ -1,25 +1,50 @@
 //! §6.2's cache-capacity claim: "cache size can be reduced by a factor
-//! of ten, with little impact on memoized simulator performance" under
-//! the clear-on-full policy.
+//! of ten, with little impact on memoized simulator performance" —
+//! measured under both capacity policies:
 //!
-//! Usage: cache_sweep [--scale F] [--bench NAME]
+//! * `clear` — the paper's wholesale clear-on-full, and
+//! * `generational` — partial eviction of the coldest generations,
+//!   which keeps the hot working set resident across the cap.
+//!
+//! For each capacity the two policies run over the same image; cycle
+//! counts must match the unbounded run (capacity is transparent), and
+//! the interesting deltas are slow-path instructions, misses, and
+//! clears vs. evictions.
+//!
+//! Usage: cache_sweep [--scale F] [--bench NAME] [--json-out PATH]
 
 use bench::*;
 
+/// One policy's measurements at one capacity, as a JSONL record.
+fn json_row(workload: &str, cap: u64, policy: &str, r: &RunResult) -> String {
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"cap\":{},\"policy\":\"{}\",",
+            "\"insns\":{},\"slow_insns\":{},\"misses\":{},",
+            "\"clears\":{},\"evictions\":{},\"ips\":{:.0}}}"
+        ),
+        workload,
+        cap,
+        policy,
+        r.insns,
+        r.slow_insns,
+        r.misses,
+        r.clears,
+        r.evictions,
+        r.sim_ips(),
+    )
+}
+
 fn main() {
     let scale = arg_f64("--scale", 1.0);
-    let name = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--bench")
-        .map(|w| w[1].clone())
-        .unwrap_or_else(|| "134.perl".into());
+    let name = arg_str("--bench").unwrap_or_else(|| "134.perl".into());
+    let json_out = arg_str("--json-out");
     let w = facile_workloads::by_name(&name).expect("workload exists");
     let step = compile_facile(FacileSim::Ooo);
     let image = workload_image(&w, scale);
 
     // Establish the unbounded footprint first.
-    let unbounded = run_facile(&step, FacileSim::Ooo, &image, true, None);
+    let unbounded = run_facile(&step, FacileSim::Ooo, &image, true, None, CachePolicy::Clear);
     println!(
         "{}: {} insns, unbounded cache {:.1} MiB, {} i/s\n",
         w.name,
@@ -27,18 +52,39 @@ fn main() {
         unbounded.memo_bytes as f64 / (1 << 20) as f64,
         fmt_rate(unbounded.sim_ips())
     );
-    println!("{:>12} {:>8} {:>10} {:>10} {:>10}", "cap", "clears", "i/s", "rel", "ff%");
+    println!(
+        "{:>12} {:>14} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "cap", "policy", "clears", "evicts", "slow", "misses", "i/s", "rel"
+    );
+    let mut json = Vec::new();
     for div in [1u64, 2, 4, 10, 20, 50] {
         let cap = (unbounded.memo_bytes / div).max(64 * 1024);
-        let r = run_facile(&step, FacileSim::Ooo, &image, true, Some(cap));
-        assert_eq!(r.cycles, unbounded.cycles, "capacity must not change results");
-        println!(
-            "{:>9}KiB {:>8} {:>10} {:>10.2} {:>10.3}",
-            cap >> 10,
-            r.clears,
-            fmt_rate(r.sim_ips()),
-            r.sim_ips() / unbounded.sim_ips(),
-            100.0 * r.fast_fraction,
-        );
+        for (policy, tag) in [
+            (CachePolicy::Clear, "clear"),
+            (CachePolicy::Generational, "generational"),
+        ] {
+            let r = run_facile(&step, FacileSim::Ooo, &image, true, Some(cap), policy);
+            assert_eq!(
+                r.cycles, unbounded.cycles,
+                "capacity must not change results ({tag})"
+            );
+            println!(
+                "{:>9}KiB {:>14} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10.2}",
+                cap >> 10,
+                tag,
+                r.clears,
+                r.evictions,
+                r.slow_insns,
+                r.misses,
+                fmt_rate(r.sim_ips()),
+                r.sim_ips() / unbounded.sim_ips(),
+            );
+            json.push(json_row(w.name, cap, tag, &r));
+        }
+    }
+    if let Some(path) = json_out {
+        let text = json.join("\n") + "\n";
+        std::fs::write(&path, text).expect("write --json-out");
+        println!("\nwrote {path}");
     }
 }

@@ -104,6 +104,7 @@ fn main() {
                 SimOptions {
                     memoize: true,
                     cache_capacity: None,
+                    ..SimOptions::default()
                 },
             )
             .expect("simulation constructs");

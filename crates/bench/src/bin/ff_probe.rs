@@ -17,7 +17,7 @@ fn main() {
     }
     let ooo = compile_facile(FacileSim::Ooo);
     let image = workload_image(&w, 1.0);
-    let r = run_facile(&ooo, FacileSim::Ooo, &image, true, None);
+    let r = run_facile(&ooo, FacileSim::Ooo, &image, true, None, CachePolicy::Clear);
     println!(
         "facile  scale 1.0: {} insns, ff {:.5}, {:.1} MiB, {} i/s",
         r.insns,

@@ -58,6 +58,7 @@ fn main() {
                 &image,
                 true,
                 None,
+                CachePolicy::Clear,
                 &format!("{}/facile-functional", w.name),
                 &mut MetricsSink::disabled(),
                 &mut prof,

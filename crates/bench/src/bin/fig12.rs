@@ -6,18 +6,26 @@
 //! irregular code; the action cache is capped at 256 MB and cleared when
 //! full, which is what hurt the paper's gcc.
 //!
-//! Usage: fig12 [--scale F] [--cap BYTES] [--metrics-out fig12.jsonl]
-//!              [--profile-out fig12-prof.jsonl]
+//! Usage: fig12 [--scale F] [--cap BYTES] [--cache-policy clear|generational]
+//!              [--metrics-out fig12.jsonl] [--profile-out fig12-prof.jsonl]
 
 use bench::*;
 
 fn main() {
     let scale = arg_f64("--scale", 1.0);
     let cap = arg_f64("--cap", 256.0 * 1024.0 * 1024.0) as u64;
+    let policy = match arg_str("--cache-policy").as_deref() {
+        None | Some("clear") => CachePolicy::Clear,
+        Some("generational") => CachePolicy::Generational,
+        Some(other) => panic!("unknown --cache-policy `{other}` (clear|generational)"),
+    };
     let mut sink = MetricsSink::from_args();
     let mut prof = ProfileSink::from_args();
     println!("Figure 12: Facile-compiled out-of-order simulator");
-    println!("workload scale: {scale}, action cache cap: {} MiB\n", cap >> 20);
+    println!(
+        "workload scale: {scale}, action cache cap: {} MiB, policy: {policy:?}\n",
+        cap >> 20
+    );
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
         "benchmark", "insns", "ss i/s", "fac- i/s", "fac+ i/s", "fac+/fac-", "fac+/ss", "ff%"
@@ -34,6 +42,7 @@ fn main() {
             &image,
             false,
             None,
+            policy,
             &format!("{}/facile-nomemo", w.name),
             &mut sink,
         );
@@ -43,6 +52,7 @@ fn main() {
             &image,
             true,
             Some(cap),
+            policy,
             &format!("{}/facile", w.name),
             &mut sink,
             &mut prof,

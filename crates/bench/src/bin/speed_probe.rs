@@ -17,9 +17,9 @@ fn main() {
     println!("fastsim +memo: {} insns, {} i/s (ff {:.4})", fs1.insns, fmt_rate(fs1.sim_ips()), fs1.fast_fraction);
 
     let ooo = compile_facile(FacileSim::Ooo);
-    let f0 = run_facile(&ooo, FacileSim::Ooo, &image, false, None);
+    let f0 = run_facile(&ooo, FacileSim::Ooo, &image, false, None, CachePolicy::Clear);
     println!("facile  -memo: {} insns, {} i/s", f0.insns, fmt_rate(f0.sim_ips()));
-    let f1 = run_facile(&ooo, FacileSim::Ooo, &image, true, None);
+    let f1 = run_facile(&ooo, FacileSim::Ooo, &image, true, None, CachePolicy::Clear);
     println!("facile  +memo: {} insns, {} i/s (ff {:.4}, {} KiB memo)", f1.insns, fmt_rate(f1.sim_ips()), f1.fast_fraction, f1.memo_bytes / 1024);
     println!("cycles: ss {}, fastsim {}, facile {}", ss.cycles, fs1.cycles, f1.cycles);
 }

@@ -33,6 +33,7 @@ fn main() {
             &image,
             true,
             None,
+            CachePolicy::Clear,
             w.name,
             &mut sink,
             &mut prof,

@@ -7,6 +7,8 @@
 
 use facile::hosts::{initial_args, ArchHost};
 use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
+
+pub use facile::CachePolicy;
 use facile_obs::{CacheStatsSnapshot, MetricsDoc, ProfileDoc, SimStatsSnapshot};
 use facile_runtime::Image;
 use facile_workloads::Workload;
@@ -23,10 +25,16 @@ pub struct RunResult {
     pub wall: Duration,
     /// Fraction of instructions fast-forwarded (0 for non-memoizing).
     pub fast_fraction: f64,
+    /// Instructions executed on the slow/complete path.
+    pub slow_insns: u64,
+    /// Action-cache misses (replay divergences).
+    pub misses: u64,
     /// Bytes ever memoized.
     pub memo_bytes: u64,
     /// Cache/memo clear events.
     pub clears: u64,
+    /// Generations evicted by the generational policy (0 under clear).
+    pub evictions: u64,
 }
 
 impl RunResult {
@@ -174,8 +182,11 @@ pub fn run_simplescalar_sink(image: &Image, label: &str, sink: &mut MetricsSink)
         cycles: sim.stats.cycles,
         wall,
         fast_fraction: 0.0,
+        slow_insns: sim.stats.insns,
+        misses: 0,
         memo_bytes: 0,
         clears: 0,
+        evictions: 0,
     }
 }
 
@@ -221,6 +232,8 @@ pub fn run_fastsim_sink(
                 // bytes at halt are the best lower bound available.
                 bytes_peak: m.bytes_current,
                 bytes_cleared: m.bytes_total.saturating_sub(m.bytes_current),
+                evictions: 0,
+                bytes_evicted: 0,
             },
             wall_ns: wall.as_nanos() as u64,
             metrics: None,
@@ -231,8 +244,11 @@ pub fn run_fastsim_sink(
         cycles: sim.stats.cycles,
         wall,
         fast_fraction: sim.stats.fast_forwarded_fraction(),
+        slow_insns: sim.stats.slow_insns,
+        misses: sim.stats.misses,
         memo_bytes: sim.memo_stats().bytes_total,
         clears: sim.memo_stats().clears,
+        evictions: 0,
     }
 }
 
@@ -270,6 +286,7 @@ pub fn run_facile(
     image: &Image,
     memoize: bool,
     capacity: Option<u64>,
+    policy: CachePolicy,
 ) -> RunResult {
     run_facile_sink(
         step,
@@ -277,6 +294,7 @@ pub fn run_facile(
         image,
         memoize,
         capacity,
+        policy,
         "facile",
         &mut MetricsSink::disabled(),
     )
@@ -287,12 +305,14 @@ pub fn run_facile(
 /// document includes the derived registry (per-action replay counts,
 /// latency histograms, recovery depths); with an inert sink the run is
 /// unobserved and identical to [`run_facile`].
+#[allow(clippy::too_many_arguments)]
 pub fn run_facile_sink(
     step: &facile::CompiledStep,
     which: FacileSim,
     image: &Image,
     memoize: bool,
     capacity: Option<u64>,
+    policy: CachePolicy,
     label: &str,
     sink: &mut MetricsSink,
 ) -> RunResult {
@@ -302,6 +322,7 @@ pub fn run_facile_sink(
         image,
         memoize,
         capacity,
+        policy,
         label,
         sink,
         &mut ProfileSink::disabled(),
@@ -320,6 +341,7 @@ pub fn run_facile_obs(
     image: &Image,
     memoize: bool,
     capacity: Option<u64>,
+    policy: CachePolicy,
     label: &str,
     sink: &mut MetricsSink,
     prof: &mut ProfileSink,
@@ -336,6 +358,7 @@ pub fn run_facile_obs(
         SimOptions {
             memoize,
             cache_capacity: capacity,
+            cache_policy: policy,
         },
     )
     .expect("simulation constructs");
@@ -369,8 +392,11 @@ pub fn run_facile_obs(
         cycles: sim.stats().cycles,
         wall,
         fast_fraction: sim.stats().fast_forwarded_fraction(),
+        slow_insns: sim.stats().slow_insns,
+        misses: sim.stats().misses,
         memo_bytes: cs.bytes_total,
         clears: cs.clears,
+        evictions: cs.evictions,
     }
 }
 

@@ -41,7 +41,7 @@
 //! document per job in submission order, then the merged batch
 //! document; `sim_report`/`sim_prof` accept any line.
 
-use facile::{compile_source, CompilerOptions};
+use facile::{compile_source, CachePolicy, CompilerOptions, SimOptions};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -57,10 +57,33 @@ fn main() -> ExitCode {
     let mut batch = false;
     let mut jobs_file: Option<String> = None;
     let mut threads: usize = 0;
+    let mut cache_capacity: Option<u64> = None;
+    let mut cache_policy = CachePolicy::Clear;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "batch" => batch = true,
+            "--cache-capacity" => {
+                i += 1;
+                cache_capacity = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(b) => Some(b),
+                    None => {
+                        eprintln!("facilec: --cache-capacity requires a byte count");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--cache-policy" => {
+                i += 1;
+                cache_policy = match args.get(i).map(String::as_str) {
+                    Some("clear") => CachePolicy::Clear,
+                    Some("generational") => CachePolicy::Generational,
+                    _ => {
+                        eprintln!("facilec: --cache-policy requires `clear` or `generational`");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--jobs" => {
                 i += 1;
                 match args.get(i) {
@@ -134,6 +157,7 @@ fn main() -> ExitCode {
                 eprintln!("usage: facilec <file.fac> [--emit ast|ir|bta|actions|stats]");
                 eprintln!("       facilec --builtin functional|inorder|ooo [--emit ...]");
                 eprintln!("       facilec --builtin ooo --run prog.asm [--steps N]");
+                eprintln!("               [--cache-capacity BYTES] [--cache-policy clear|generational]");
                 eprintln!("               [--metrics-out m.json] [--trace-out t.jsonl]");
                 eprintln!("               [--profile-out prof.json]");
                 eprintln!("       facilec --builtin ooo batch --jobs jobs.txt [--threads K]");
@@ -207,8 +231,13 @@ fn main() -> ExitCode {
             metrics_out,
             profile_out,
         };
+        let sim_options = SimOptions {
+            cache_capacity,
+            cache_policy,
+            ..SimOptions::default()
+        };
         return run_batch_cmd(
-            step, &src, &src_name, &builtin, &jobs_path, threads, steps, outs,
+            step, &src, &src_name, &builtin, &jobs_path, threads, steps, sim_options, outs,
         );
     }
     if let Some(prog) = run {
@@ -221,7 +250,12 @@ fn main() -> ExitCode {
             metrics_out,
             profile_out,
         };
-        return run_target(step, &src, &src_name, &builtin, &prog, steps, outs);
+        let sim_options = SimOptions {
+            cache_capacity,
+            cache_policy,
+            ..SimOptions::default()
+        };
+        return run_target(step, &src, &src_name, &builtin, &prog, steps, sim_options, outs);
     }
     if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() {
         eprintln!("facilec: --trace-out/--metrics-out/--profile-out require --run");
@@ -307,11 +341,11 @@ fn run_batch_cmd(
     jobs_path: &str,
     threads: usize,
     default_steps: u64,
+    sim_options: SimOptions,
     outs: Outs,
 ) -> ExitCode {
     use facile::batch::{run_batch, BatchConfig, BatchJob, ProfileSource};
     use facile::hosts::initial_args;
-    use facile::SimOptions;
 
     let spec = match std::fs::read_to_string(jobs_path) {
         Ok(s) => s,
@@ -364,7 +398,7 @@ fn run_batch_cmd(
             label: format!("{} {prog}", builtin.as_deref().unwrap_or("custom")),
             image,
             args,
-            options: SimOptions::default(),
+            options: sim_options,
             max_steps,
         });
     }
@@ -451,6 +485,7 @@ fn run_batch_cmd(
 }
 
 /// Assembles and simulates a TRISC program under the compiled simulator.
+#[allow(clippy::too_many_arguments)]
 fn run_target(
     step: facile::CompiledStep,
     src: &str,
@@ -458,6 +493,7 @@ fn run_target(
     builtin: &Option<String>,
     prog: &str,
     steps: u64,
+    sim_options: SimOptions,
     outs: Outs,
 ) -> ExitCode {
     let Outs {
@@ -466,7 +502,7 @@ fn run_target(
         profile_out,
     } = outs;
     use facile::hosts::{initial_args, ArchHost};
-    use facile::{ObsConfig, ObsHandle, SimOptions, Simulation, Target};
+    use facile::{ObsConfig, ObsHandle, Simulation, Target};
 
     let asm = match std::fs::read_to_string(prog) {
         Ok(s) => s,
@@ -487,8 +523,7 @@ fn run_target(
         Some("ooo") => initial_args::ooo(image.entry),
         _ => initial_args::functional(image.entry),
     };
-    let mut sim = match Simulation::new(step, Target::load(&image), &args, SimOptions::default())
-    {
+    let mut sim = match Simulation::new(step, Target::load(&image), &args, sim_options) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("facilec: {e}");

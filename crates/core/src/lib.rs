@@ -71,8 +71,8 @@ pub use facile_lang::{Diagnostic, Diagnostics, Severity};
 pub use facile_obs::{
     ActionRow, MetricsDoc, ObsConfig, ObsHandle, ProfileDoc, SimObserver, TraceEvent,
 };
-pub use facile_runtime::{CacheStats, HaltReason, Image, Memory, SimStats, Target};
-pub use facile_vm::{ArgValue, SimError, SimOptions, Simulation};
+pub use facile_runtime::{CachePolicy, CacheStats, HaltReason, Image, Memory, SimStats, Target};
+pub use facile_vm::{ArgValue, RecoveryError, RecoveryErrorKind, SimError, SimOptions, Simulation};
 
 /// Options of the whole compiler pipeline.
 #[derive(Clone, Copy, Debug, Default)]
@@ -134,5 +134,7 @@ pub fn compile_source(
             rendered: format!("internal IR verification failed:\n{}", errs.join("\n")),
         });
     }
-    Ok(facile_codegen::compile(ir, &options.codegen))
+    facile_codegen::compile(ir, &options.codegen).map_err(|e| CompileError {
+        rendered: format!("internal codegen validation failed: {e}"),
+    })
 }

@@ -41,6 +41,8 @@ pub fn snapshot_cache(c: &CacheStats) -> CacheStatsSnapshot {
         bytes_total: c.bytes_total,
         bytes_peak: c.bytes_peak,
         bytes_cleared: c.bytes_cleared,
+        evictions: c.evictions,
+        bytes_evicted: c.bytes_evicted,
     }
 }
 

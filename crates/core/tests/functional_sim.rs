@@ -16,6 +16,7 @@ fn run_facile(asm: &str, memoize: bool, max_steps: u64) -> Simulation {
         SimOptions {
             memoize,
             cache_capacity: None,
+            ..SimOptions::default()
         },
     )
     .expect("simulation constructs");

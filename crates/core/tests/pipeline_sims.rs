@@ -39,6 +39,7 @@ fn run(which: &Sim, image: &Image, memoize: bool, max_steps: u64) -> Simulation 
         SimOptions {
             memoize,
             cache_capacity: None,
+            ..SimOptions::default()
         },
     )
     .expect("constructs");

@@ -31,7 +31,7 @@
 //! let program = parse(src, &mut diags);
 //! let syms = sema(&program, &mut diags);
 //! let ir = lower(&program, &syms, &mut diags).unwrap();
-//! let step = compile(ir, &CodegenConfig::default());
+//! let step = compile(ir, &CodegenConfig::default()).unwrap();
 //! // The register update and the step's INDEX share one action: nothing
 //! // dynamic separates them, so they replay as a single unit.
 //! assert_eq!(step.action_count(), 1);
@@ -47,6 +47,50 @@ pub use actions::{
 use facile_bta::{insert_lifts, LiftConfig};
 use facile_ir::fold::fold_constants;
 use facile_ir::ir::IrProgram;
+
+/// An internal consistency failure detected while generating the action
+/// table — the compiled step would be unsafe to run (the VM would hit an
+/// unreachable state at simulation time), so it is rejected here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodegenError {
+    /// Human-readable description of the rejected construct.
+    pub rendered: String,
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Rejects INDEX key plans that place a run-time-static placeholder
+/// ([`FOperand::Ph`]) in a *dynamic* slot. Placeholder data is only
+/// available while replaying a recorded node, not while collecting a
+/// dynamic signature, so such a plan would send the fast engine into an
+/// unreachable state at simulation time. Extraction never builds one
+/// (dynamic scalar slots are always `Reg`/`Imm`); this guards the
+/// invariant at the compiler boundary so the VM can rely on it.
+fn validate_key_plans(step: &CompiledStep) -> Result<(), CodegenError> {
+    for (i, code) in step.actions.iter().enumerate() {
+        if let ActionKind::Index { plan } = &code.kind {
+            for (j, arg) in plan.iter().enumerate() {
+                if matches!(arg, KeyPlanArg::ScalarDyn(FOperand::Ph)) {
+                    return Err(CodegenError {
+                        rendered: format!(
+                            "action {i}: INDEX key plan component {j} resolves a \
+                             dynamic scalar to a run-time-static placeholder \
+                             (placeholder data is not available during dynamic \
+                             signature collection)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Configuration of the back-end pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -67,11 +111,58 @@ impl Default for CodegenConfig {
 }
 
 /// Runs folding, binding-time analysis, lift insertion and action
-/// extraction.
-pub fn compile(mut ir: IrProgram, config: &CodegenConfig) -> CompiledStep {
+/// extraction, then validates the generated action table.
+///
+/// # Errors
+///
+/// Returns a [`CodegenError`] when the generated table violates an
+/// engine invariant (see [`validate_key_plans`]) — a compiler bug
+/// surfaced at compile time instead of a VM panic at simulation time.
+pub fn compile(mut ir: IrProgram, config: &CodegenConfig) -> Result<CompiledStep, CodegenError> {
     if config.fold {
         fold_constants(&mut ir.main);
     }
     let (bta, _stats) = insert_lifts(&mut ir, config.lifts);
-    actions::extract_actions(ir, bta)
+    let step = actions::extract_actions(ir, bta);
+    validate_key_plans(&step)?;
+    Ok(step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a step through the normal pipeline, then corrupts one INDEX
+    /// key plan the way the satellite bug describes: a dynamic scalar
+    /// slot holding a placeholder operand.
+    #[test]
+    fn placeholder_in_dynamic_key_slot_is_rejected() {
+        let src = r#"
+            fun main(pc : stream) {
+                count_insns(1);
+                next(pc + 4);
+            }
+        "#;
+        let mut diags = facile_lang::diag::Diagnostics::new();
+        let program = facile_lang::parser::parse(src, &mut diags);
+        let syms = facile_sema::analyze(&program, &mut diags);
+        let ir = facile_ir::lower::lower(&program, &syms, &mut diags).unwrap();
+        let mut step = compile(ir, &CodegenConfig::default()).expect("valid program compiles");
+        let mut corrupted = false;
+        for code in &mut step.actions {
+            if let ActionKind::Index { plan } = &mut code.kind {
+                for arg in plan.iter_mut() {
+                    *arg = KeyPlanArg::ScalarDyn(FOperand::Ph);
+                    corrupted = true;
+                    break;
+                }
+            }
+        }
+        assert!(corrupted, "the step has an INDEX action with a key plan");
+        let err = validate_key_plans(&step).unwrap_err();
+        assert!(
+            err.rendered.contains("run-time-static placeholder"),
+            "{err}"
+        );
+    }
 }

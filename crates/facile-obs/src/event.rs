@@ -112,6 +112,18 @@ pub enum TraceEvent {
         /// Clears so far, including this one.
         clears: u64,
     },
+    /// The action cache retired one storage generation (generational
+    /// eviction policy).
+    CacheEvict {
+        /// Sequence number of the evicted generation.
+        gen: u64,
+        /// Bytes the generation held.
+        bytes: u64,
+        /// Nodes the generation held.
+        nodes: u64,
+        /// Evictions so far, including this one.
+        evictions: u64,
+    },
     /// An external (host) function was called.
     ExtCall {
         /// Logical step count.
@@ -143,6 +155,7 @@ impl TraceEvent {
             TraceEvent::RecoveryEnd { .. } => "recovery_end",
             TraceEvent::NeedSlow { .. } => "need_slow",
             TraceEvent::CacheClear { .. } => "cache_clear",
+            TraceEvent::CacheEvict { .. } => "cache_evict",
             TraceEvent::ExtCall { .. } => "ext_call",
             TraceEvent::Halt { .. } => "halt",
         }
@@ -208,6 +221,17 @@ impl TraceEvent {
                 clears,
             } => {
                 let _ = write!(out, ",\"bytes\":{bytes},\"nodes\":{nodes},\"clears\":{clears}");
+            }
+            TraceEvent::CacheEvict {
+                gen,
+                bytes,
+                nodes,
+                evictions,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"gen\":{gen},\"bytes\":{bytes},\"nodes\":{nodes},\"evictions\":{evictions}"
+                );
             }
             TraceEvent::ExtCall { step, ext } => {
                 let _ = write!(out, ",\"step\":{step},\"ext\":{ext}");
@@ -279,6 +303,7 @@ mod tests {
             TraceEvent::RecoveryEnd { step: 9, action: 2, committed: 5 },
             TraceEvent::NeedSlow { step: 10 },
             TraceEvent::CacheClear { bytes: 4096, nodes: 17, clears: 1 },
+            TraceEvent::CacheEvict { gen: 3, bytes: 512, nodes: 9, evictions: 2 },
             TraceEvent::ExtCall { step: 11, ext: 0 },
             TraceEvent::Halt { step: 12, engine: EngineTag::Fast, code: 0 },
         ];

@@ -58,6 +58,10 @@ pub struct Metrics {
     pub cache_clears: u64,
     /// Bytes held by the cache at its last observed clear.
     pub bytes_at_last_clear: u64,
+    /// Cache generation evictions observed (generational policy).
+    pub cache_evictions: u64,
+    /// Bytes released by observed generation evictions (cumulative).
+    pub bytes_evicted: u64,
     /// External calls observed in the trace.
     pub ext_calls: u64,
     /// Events evicted from the event ring without reaching a sink
@@ -150,6 +154,10 @@ impl Metrics {
                 self.cache_clears = self.cache_clears.saturating_add(1);
                 self.bytes_at_last_clear = bytes;
             }
+            TraceEvent::CacheEvict { bytes, .. } => {
+                self.cache_evictions = self.cache_evictions.saturating_add(1);
+                self.bytes_evicted = self.bytes_evicted.saturating_add(bytes);
+            }
             TraceEvent::ExtCall { .. } => {
                 self.ext_calls = self.ext_calls.saturating_add(1);
             }
@@ -214,6 +222,8 @@ impl Metrics {
         if other.cache_clears > 0 {
             self.bytes_at_last_clear = other.bytes_at_last_clear;
         }
+        self.cache_evictions = self.cache_evictions.saturating_add(other.cache_evictions);
+        self.bytes_evicted = self.bytes_evicted.saturating_add(other.bytes_evicted);
         self.ext_calls = self.ext_calls.saturating_add(other.ext_calls);
         self.dropped_events = self.dropped_events.saturating_add(other.dropped_events);
         self.ring_capacity = self.ring_capacity.max(other.ring_capacity);
@@ -304,6 +314,14 @@ mod tests {
             evs.push(TraceEvent::RecoveryEnd { step: i, action: (i % 5) as u32, committed: i });
             evs.push(TraceEvent::SlowStep { step: i, insns: i, ns: i * 37 });
             evs.push(TraceEvent::FastBurst { step: i, steps: i, actions: 2 * i, insns: i, ns: i * 11 });
+            if i % 7 == 0 {
+                evs.push(TraceEvent::CacheEvict {
+                    gen: i / 7,
+                    bytes: 50 + i,
+                    nodes: i,
+                    evictions: i / 7,
+                });
+            }
             if i % 9 == 0 {
                 evs.push(TraceEvent::CacheClear { bytes: 100 + i, nodes: i, clears: i / 9 });
                 evs.push(TraceEvent::EngineSwitch {
@@ -346,6 +364,8 @@ mod tests {
         assert_eq!(a.need_slow, b.need_slow);
         assert_eq!(a.cache_clears, b.cache_clears);
         assert_eq!(a.bytes_at_last_clear, b.bytes_at_last_clear);
+        assert_eq!(a.cache_evictions, b.cache_evictions);
+        assert_eq!(a.bytes_evicted, b.bytes_evicted);
         assert_eq!(a.ext_calls, b.ext_calls);
         assert_eq!(a.dropped_events, b.dropped_events);
         assert_eq!(a.ring_capacity, b.ring_capacity);
@@ -405,6 +425,8 @@ mod tests {
         m.observe(&TraceEvent::Miss { step: 1, action: 0, depth: 4, value: None });
         m.observe(&TraceEvent::RecoveryEnd { step: 1, action: 0, committed: 2 });
         m.observe(&TraceEvent::CacheClear { bytes: 100, nodes: 3, clears: 1 });
+        m.observe(&TraceEvent::CacheEvict { gen: 2, bytes: 64, nodes: 5, evictions: 1 });
+        m.observe(&TraceEvent::CacheEvict { gen: 3, bytes: 36, nodes: 4, evictions: 2 });
         m.observe(&TraceEvent::EngineSwitch {
             step: 2,
             from: EngineTag::Fast,
@@ -416,6 +438,8 @@ mod tests {
         assert_eq!(m.recoveries, 1);
         assert_eq!(m.cache_clears, 1);
         assert_eq!(m.bytes_at_last_clear, 100);
+        assert_eq!(m.cache_evictions, 2);
+        assert_eq!(m.bytes_evicted, 100);
         assert_eq!(m.engine_switches, 1);
         assert_eq!(m.slow_step_ns.count(), 1);
         assert_eq!(m.fast_burst_steps.sum(), 6);

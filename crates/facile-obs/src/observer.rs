@@ -45,6 +45,8 @@ pub trait SimObserver: Send {
     fn on_recovery(&mut self, _step: u64, _action: u32, _committed: u64) {}
     /// The action cache cleared itself.
     fn on_cache_clear(&mut self, _bytes: u64, _nodes: u64, _clears: u64) {}
+    /// The action cache evicted one storage generation.
+    fn on_cache_evict(&mut self, _gen: u64, _bytes: u64, _nodes: u64, _evictions: u64) {}
     /// An external function was called.
     fn on_ext_call(&mut self, _step: u64, _ext: u32) {}
     /// The simulation halted.
@@ -116,6 +118,12 @@ impl ObsCore {
                     nodes,
                     clears,
                 } => obs.on_cache_clear(bytes, nodes, clears),
+                TraceEvent::CacheEvict {
+                    gen,
+                    bytes,
+                    nodes,
+                    evictions,
+                } => obs.on_cache_evict(gen, bytes, nodes, evictions),
                 TraceEvent::ExtCall { step, ext } => obs.on_ext_call(step, ext),
                 TraceEvent::Halt { step, engine, code } => obs.on_halt(step, engine, code),
                 TraceEvent::RecoveryBegin { .. } | TraceEvent::NeedSlow { .. } => {}

@@ -85,6 +85,10 @@ pub struct CacheStatsSnapshot {
     pub bytes_peak: u64,
     /// Bytes released by clears (cumulative).
     pub bytes_cleared: u64,
+    /// Generations evicted by the generational policy (cumulative).
+    pub evictions: u64,
+    /// Bytes released by generational evictions (cumulative).
+    pub bytes_evicted: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -106,6 +110,8 @@ impl CacheStatsSnapshot {
         self.bytes_total = self.bytes_total.saturating_add(other.bytes_total);
         self.bytes_peak = self.bytes_peak.saturating_add(other.bytes_peak);
         self.bytes_cleared = self.bytes_cleared.saturating_add(other.bytes_cleared);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.bytes_evicted = self.bytes_evicted.saturating_add(other.bytes_evicted);
     }
 }
 
@@ -203,6 +209,8 @@ impl MetricsDoc {
             ("bytes_total", self.cache.bytes_total),
             ("bytes_peak", self.cache.bytes_peak),
             ("bytes_cleared", self.cache.bytes_cleared),
+            ("evictions", self.cache.evictions),
+            ("bytes_evicted", self.cache.bytes_evicted),
         ] {
             write_kv(&mut s, k, v, &mut first);
         }
@@ -217,6 +225,8 @@ impl MetricsDoc {
                 ("need_slow", m.need_slow),
                 ("cache_clears", m.cache_clears),
                 ("bytes_at_last_clear", m.bytes_at_last_clear),
+                ("cache_evictions", m.cache_evictions),
+                ("bytes_evicted", m.bytes_evicted),
                 ("ext_calls", m.ext_calls),
                 ("dropped_events", m.dropped_events),
                 ("ring_capacity", m.ring_capacity),
@@ -296,6 +306,10 @@ impl MetricsDoc {
             bytes_total: u64_field(cache_v, "bytes_total")?,
             bytes_peak: u64_field(cache_v, "bytes_peak")?,
             bytes_cleared: u64_field(cache_v, "bytes_cleared")?,
+            // New-in-v1.2 fields default to zero so older documents
+            // still parse.
+            evictions: u64_field(cache_v, "evictions").unwrap_or(0),
+            bytes_evicted: u64_field(cache_v, "bytes_evicted").unwrap_or(0),
         };
         // New-in-v1.1 fields default to empty/zero so older documents
         // still parse.
@@ -352,6 +366,8 @@ impl MetricsDoc {
                 need_slow: u64_field(d, "need_slow")?,
                 cache_clears: u64_field(d, "cache_clears")?,
                 bytes_at_last_clear: u64_field(d, "bytes_at_last_clear")?,
+                cache_evictions: u64_field(d, "cache_evictions").unwrap_or(0),
+                bytes_evicted: u64_field(d, "bytes_evicted").unwrap_or(0),
                 ext_calls: u64_field(d, "ext_calls")?,
             })
         });
@@ -412,6 +428,8 @@ mod tests {
                 bytes_total: 128,
                 bytes_peak: 96,
                 bytes_cleared: 64,
+                evictions: 2,
+                bytes_evicted: 32,
             },
             wall_ns: 1_000_000,
             metrics: Some(m),

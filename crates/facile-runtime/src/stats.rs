@@ -25,6 +25,9 @@ pub enum HaltReason {
     DecodeFail,
     /// The host asked the run loop to stop (step budget).
     Budget,
+    /// The engine diagnosed an internal failure (e.g. a corrupted
+    /// recovery stack) and stopped instead of aborting the process.
+    Fault,
     /// Program-defined reason code (anything else).
     Other(i64),
 }

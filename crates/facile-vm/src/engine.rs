@@ -12,13 +12,13 @@
 //! ```
 
 use crate::fast::{fast_run, FastOutcome, ReplayScratch};
-use crate::recovery::recover;
+use crate::recovery::{recover, RecoveryError};
 use crate::slow::{slow_step, Position, Recording, StepOutcome};
 use crate::state::{ExtFn, MachineState, Store};
 use facile_codegen::CompiledStep;
 use facile_ir::ir::Loc;
 use facile_obs::{EngineTag, ObsHandle, TraceEvent};
-use facile_runtime::cache::{ActionCache, Cursor, NodeId};
+use facile_runtime::cache::{ActionCache, CachePolicy, Cursor, NodeId};
 use facile_runtime::key::{Key, KeyReader, KeyWriter};
 use facile_runtime::{CacheStats, Engine, HaltReason, SimStats, Target};
 use facile_sema::Type;
@@ -33,15 +33,18 @@ pub enum ArgValue {
 }
 
 /// Simulator construction options.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct SimOptions {
     /// Enable fast-forwarding (memoization). Off reproduces the paper's
     /// "without memoization" builds: only the slow simulator runs, with no
     /// recording overhead.
     pub memoize: bool,
-    /// Action-cache capacity in bytes; the cache clears when it fills
+    /// Action-cache capacity in bytes, enforced at step boundaries
     /// (§6.2 used 256 MB). `None` = unbounded.
     pub cache_capacity: Option<u64>,
+    /// What happens when the capacity is exceeded: the paper's wholesale
+    /// clear, or generational partial eviction.
+    pub cache_policy: CachePolicy,
 }
 
 impl Default for SimOptions {
@@ -49,6 +52,7 @@ impl Default for SimOptions {
         SimOptions {
             memoize: true,
             cache_capacity: None,
+            cache_policy: CachePolicy::Clear,
         }
     }
 }
@@ -113,6 +117,9 @@ pub struct Simulation {
     fast_key: Key,
     /// Reusable replay buffers (see [`ReplayScratch`]).
     scratch: ReplayScratch,
+    /// The diagnosed failure that halted the run, if any (see
+    /// [`fault`](Self::fault)).
+    fault: Option<RecoveryError>,
 }
 
 impl Simulation {
@@ -155,10 +162,7 @@ impl Simulation {
             }
         }
         let key = w.finish();
-        let cache = match options.cache_capacity {
-            Some(cap) => ActionCache::with_capacity(cap),
-            None => ActionCache::new(),
-        };
+        let cache = ActionCache::with_policy(options.cache_capacity, options.cache_policy);
         let st = MachineState::new(&step.ir, target);
         Ok(Simulation {
             cursor: Cursor::AtEntry(key.clone()),
@@ -169,6 +173,7 @@ impl Simulation {
             cache,
             fast_key: Key::default(),
             scratch: ReplayScratch::new(),
+            fault: None,
         })
     }
 
@@ -238,8 +243,10 @@ impl Simulation {
                             self.mode = Mode::Fast(entry);
                             continue;
                         }
-                        if self.cache.over_capacity() {
-                            self.cache.clear();
+                        if !self.cache.reclaim(&self.cursor) {
+                            // Clear-on-full invalidated the cursor:
+                            // recording restarts at the entry. (The
+                            // generational policy keeps it valid.)
                             self.cursor = Cursor::AtEntry(key.clone());
                         }
                     }
@@ -252,6 +259,17 @@ impl Simulation {
                     self.run_slow_from(pos);
                 }
                 Mode::Fast(node) => {
+                    if !self.cache.is_resident(node) {
+                        // The node was evicted between bursts (capacity
+                        // reclaim at a step boundary, or a wholesale
+                        // clear). Its entry key is materialized in
+                        // `fast_key` at every point that can return
+                        // `Mode::Fast`, so restart the step through the
+                        // ordinary slow path.
+                        self.cursor = Cursor::AtEntry(self.fast_key.clone());
+                        self.mode = Mode::Slow(self.fast_key.clone());
+                        continue;
+                    }
                     self.note_engine(Engine::Fast);
                     // Timing and counter deltas only when someone listens.
                     let before = self
@@ -298,16 +316,28 @@ impl Simulation {
                             self.mode = Mode::Slow(key);
                         }
                         FastOutcome::Miss { cursor } => {
-                            let resume = recover(
+                            match recover(
                                 &self.step,
                                 &mut self.st,
                                 &self.fast_key,
                                 &self.scratch.replayed,
-                            );
-                            self.st.stats.recoveries =
-                                self.st.stats.recoveries.saturating_add(1);
-                            self.cursor = cursor;
-                            self.mode = Mode::SlowResume(resume);
+                            ) {
+                                Ok(resume) => {
+                                    self.st.stats.recoveries =
+                                        self.st.stats.recoveries.saturating_add(1);
+                                    self.cursor = cursor;
+                                    self.mode = Mode::SlowResume(resume);
+                                }
+                                Err(e) => {
+                                    // A corrupted recovery stack is a
+                                    // diagnosed engine failure, not a
+                                    // process abort.
+                                    self.fault = Some(e);
+                                    self.st.halted = Some(HaltReason::Fault);
+                                    self.mode = Mode::Done;
+                                    return self.st.halted;
+                                }
+                            }
                         }
                     }
                 }
@@ -392,6 +422,12 @@ impl Simulation {
     /// Why the simulation halted, if it has.
     pub fn halted(&self) -> Option<HaltReason> {
         self.st.halted
+    }
+
+    /// The diagnosed failure behind a [`HaltReason::Fault`] halt, with
+    /// the failing action number and step context.
+    pub fn fault(&self) -> Option<&RecoveryError> {
+        self.fault.as_ref()
     }
 
     /// Reads a scalar global by source name (post-halt inspection).

@@ -470,26 +470,21 @@ fn materialize_entry_key(
 /// Dynamic components come from live state by construction — a
 /// [`FOperand::Ph`] here would mean the compiler put a run-time-static
 /// placeholder in a dynamic key-plan slot, and placeholder data is not in
-/// scope when the signature is computed. That invariant violation is
-/// caught by the `debug_assert!` in debug builds and reported with an
-/// explicit message (instead of an opaque index-out-of-bounds) in
-/// release builds.
+/// scope when the signature is computed. `facile-codegen` rejects such
+/// plans at compile time (`CodegenError`), so the arm below is truly
+/// unreachable for any step that compiled successfully.
 fn dynamic_signature(plan: &[KeyPlanArg], st: &MachineState, sig: &mut Vec<i64>) {
     sig.clear();
     for arg in plan {
         match arg {
             KeyPlanArg::ScalarDyn(op) => {
-                debug_assert!(
-                    !matches!(op, FOperand::Ph),
-                    "INDEX key plan placed a placeholder operand in a dynamic slot"
-                );
                 let v = match op {
                     FOperand::Reg(v) => st.reg(*v),
                     FOperand::Imm(c) => *c,
-                    FOperand::Ph => panic!(
+                    FOperand::Ph => unreachable!(
                         "INDEX dynamic signature: key plan resolves a dynamic scalar \
-                         to a run-time-static placeholder (compiler key-plan bug; \
-                         placeholder data is not available during signature collection)"
+                         to a run-time-static placeholder; codegen validation \
+                         (validate_key_plans) rejects such plans at compile time"
                     ),
                 };
                 sig.push(v);

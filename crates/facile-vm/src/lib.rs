@@ -12,8 +12,10 @@
 //! * [`recovery`] — action-cache miss recovery via shadow re-execution of
 //!   the run-time-static slice (the paper's §6.3 optimization 2: a
 //!   dedicated recovery engine with the dynamic guards compiled out).
-//! * [`engine::Simulation`] — the driver tying them together, with the
-//!   clear-on-full capacity policy of §6.2.
+//! * [`engine::Simulation`] — the driver tying them together, enforcing
+//!   the cache capacity at step boundaries under either the clear-on-full
+//!   policy of §6.2 or generational partial eviction
+//!   ([`facile_runtime::cache::CachePolicy`]).
 //!
 //! Both engines share one [`state::MachineState`]; the fast engine's
 //! dynamic register writes are directly visible to the slow engine after
@@ -52,7 +54,7 @@
 //! let program = parse(src, &mut diags);
 //! let syms = sema(&program, &mut diags);
 //! let ir = lower(&program, &syms, &mut diags).unwrap();
-//! let step = compile(ir, &CodegenConfig::default());
+//! let step = compile(ir, &CodegenConfig::default()).unwrap();
 //! let target = Target::load(&Image::default());
 //! let mut sim = Simulation::new(step, target, &[ArgValue::Scalar(10)],
 //!                               SimOptions::default()).unwrap();
@@ -68,4 +70,5 @@ pub mod slow;
 pub mod state;
 
 pub use engine::{ArgValue, SimError, SimOptions, Simulation};
+pub use recovery::{RecoveryError, RecoveryErrorKind};
 pub use state::{AggIter, AggStorage, ExtFn, MachineState};

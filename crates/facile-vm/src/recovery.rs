@@ -47,21 +47,80 @@ impl RealSlots<'_> {
     }
 }
 
+/// How a recovery attempt failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryErrorKind {
+    /// The recovery stack ran out before the recorded actions did.
+    Underflow,
+    /// A stack item's action number disagrees with the recorded one.
+    Mismatch {
+        /// Action number the recorded program reached.
+        expected: u32,
+        /// Action number found on the recovery stack.
+        found: u32,
+    },
+    /// The step returned before the stack was consumed (extra trailing
+    /// items — the dual of [`Underflow`](Self::Underflow)).
+    Overrun,
+}
+
+/// A diagnosed recovery failure: the recovery stack disagrees with the
+/// recorded action numbers — the consistency check the paper calls
+/// "useful to ensure that the fast and slow simulators communicate
+/// correctly". Surfaced by the driver as a [`facile_runtime::HaltReason::Fault`]
+/// instead of aborting the process, so embedding hosts (batch lanes,
+/// servers) survive a corrupted replay stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryError {
+    /// What went wrong.
+    pub kind: RecoveryErrorKind,
+    /// Action number the recovery engine was consuming when it failed.
+    pub action: u32,
+    /// Logical step count at the failed recovery.
+    pub step: u64,
+    /// Recovery-stack depth handed to the attempt.
+    pub depth: usize,
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            RecoveryErrorKind::Underflow => write!(
+                f,
+                "recovery stack underflow at action {} (step {}, depth {})",
+                self.action, self.step, self.depth
+            ),
+            RecoveryErrorKind::Mismatch { expected, found } => write!(
+                f,
+                "recovery stack action mismatch at step {}: recorded {expected}, stack has {found} (depth {})",
+                self.step, self.depth
+            ),
+            RecoveryErrorKind::Overrun => write!(
+                f,
+                "recovery stack overrun: step returned with items left (step {}, depth {})",
+                self.step, self.depth
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
 /// Re-executes the run-time-static slice and commits it; returns where
 /// normal slow execution resumes.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the recovery stack disagrees with the recorded action
-/// numbers — that would mean the two engines were generated from
-/// different programs (the consistency check the paper calls "useful to
-/// ensure that the fast and slow simulators communicate correctly").
+/// Returns a [`RecoveryError`] if the recovery stack disagrees with the
+/// recorded action numbers (underflow or action mismatch). The real
+/// state is untouched in that case — commits only happen at the final
+/// consistent item — so the driver can surface a diagnosed fault.
 pub fn recover(
     step: &CompiledStep,
     st: &mut MachineState,
     entry_key: &Key,
     replayed: &[Replayed],
-) -> Position {
+) -> Result<Position, RecoveryError> {
     assert!(!replayed.is_empty(), "recovery needs at least the miss action");
     let obs = st.obs.clone();
     let step_no = st.obs_step();
@@ -105,14 +164,23 @@ pub fn recover(
             let annot = &annots.insts[ii];
             if annot.dynamic {
                 if let Some(a) = annot.action_start {
-                    let r = replayed
-                        .get(item)
-                        .unwrap_or_else(|| panic!("recovery stack underflow at action {a}"));
-                    assert_eq!(
-                        r.action, a,
-                        "recovery stack action mismatch: recorded {a}, stack has {}",
-                        r.action
-                    );
+                    let r = replayed.get(item).ok_or(RecoveryError {
+                        kind: RecoveryErrorKind::Underflow,
+                        action: a,
+                        step: step_no,
+                        depth: replayed.len(),
+                    })?;
+                    if r.action != a {
+                        return Err(RecoveryError {
+                            kind: RecoveryErrorKind::Mismatch {
+                                expected: a,
+                                found: r.action,
+                            },
+                            action: a,
+                            step: step_no,
+                            depth: replayed.len(),
+                        });
+                    }
                     current = Some(*r);
                     item += 1;
                 }
@@ -131,10 +199,10 @@ pub fn recover(
                             else {
                                 unreachable!("verify resumes at the next instruction")
                             };
-                            return Position {
+                            return Ok(Position {
                                 block,
                                 inst: inst as usize,
-                            };
+                            });
                         }
                     }
                     Some(Closes::Index) => {
@@ -166,10 +234,10 @@ pub fn recover(
             if let Some(r) = current.take() {
                 if item == replayed.len() {
                     commit(step, &mut real, &shadow, r.action, &obs, step_no);
-                    return Position {
+                    return Ok(Position {
                         block,
                         inst: b.insts.len(),
-                    };
+                    });
                 }
             }
         }
@@ -185,14 +253,14 @@ pub fn recover(
                 else_bb,
             } => {
                 let v = if let Some(a) = annots.term_action {
-                    let r = take_term_item(replayed, &mut item, &mut current, a);
+                    let r = take_term_item(replayed, &mut item, &mut current, a, step_no)?;
                     let v = r.value.expect("test actions record their value");
                     if item == replayed.len() {
                         commit(step, &mut real, &shadow, a, &obs, step_no);
-                        return Position {
+                        return Ok(Position {
                             block: if v != 0 { *then_bb } else { *else_bb },
                             inst: 0,
-                        };
+                        });
                     }
                     v
                 } else {
@@ -207,7 +275,7 @@ pub fn recover(
                 default,
             } => {
                 let v = if let Some(a) = annots.term_action {
-                    let r = take_term_item(replayed, &mut item, &mut current, a);
+                    let r = take_term_item(replayed, &mut item, &mut current, a, step_no)?;
                     let v = r.value.expect("test actions record their value");
                     if item == replayed.len() {
                         commit(step, &mut real, &shadow, a, &obs, step_no);
@@ -216,10 +284,10 @@ pub fn recover(
                             .find(|(c, _)| *c == v)
                             .map(|&(_, t)| t)
                             .unwrap_or(*default);
-                        return Position {
+                        return Ok(Position {
                             block: target,
                             inst: 0,
-                        };
+                        });
                     }
                     v
                 } else {
@@ -233,7 +301,15 @@ pub fn recover(
                 ii = 0;
             }
             Terminator::Return => {
-                unreachable!("recovery walked past the recorded actions")
+                // With a consistent stack the miss action always commits
+                // before the step returns; reaching here means the stack
+                // carried extra trailing items.
+                return Err(RecoveryError {
+                    kind: RecoveryErrorKind::Overrun,
+                    action: replayed[replayed.len() - 1].action,
+                    step: step_no,
+                    depth: replayed.len(),
+                });
             }
         }
     }
@@ -246,17 +322,34 @@ fn take_term_item(
     item: &mut usize,
     current: &mut Option<Replayed>,
     action: u32,
-) -> Replayed {
+    step_no: u64,
+) -> Result<Replayed, RecoveryError> {
+    let mismatch = |found: u32| RecoveryError {
+        kind: RecoveryErrorKind::Mismatch {
+            expected: action,
+            found,
+        },
+        action,
+        step: step_no,
+        depth: replayed.len(),
+    };
     if let Some(r) = current.take() {
-        assert_eq!(r.action, action, "terminator closes its own group");
-        return r;
+        if r.action != action {
+            return Err(mismatch(r.action));
+        }
+        return Ok(r);
     }
-    let r = replayed
-        .get(*item)
-        .unwrap_or_else(|| panic!("recovery stack underflow at terminator action {action}"));
-    assert_eq!(r.action, action, "recovery stack terminator mismatch");
+    let r = replayed.get(*item).ok_or(RecoveryError {
+        kind: RecoveryErrorKind::Underflow,
+        action,
+        step: step_no,
+        depth: replayed.len(),
+    })?;
+    if r.action != action {
+        return Err(mismatch(r.action));
+    }
     *item += 1;
-    *r
+    Ok(*r)
 }
 
 /// Writes `main`'s parameters into the shadow from the entry key.

@@ -60,7 +60,7 @@ fn steady_state_replay_allocates_nothing() {
     let syms = facile_sema::analyze(&prog, &mut diags);
     assert!(!diags.has_errors(), "{}", diags.render_all(SRC));
     let ir = lower(&prog, &syms, &mut diags).expect("lowering succeeds");
-    let step = compile(ir, &CodegenConfig::default());
+    let step = compile(ir, &CodegenConfig::default()).expect("codegen succeeds");
 
     let mut sim = Simulation::new(
         step,

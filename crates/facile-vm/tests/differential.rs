@@ -36,7 +36,7 @@ fn build() -> facile_codegen::CompiledStep {
     let syms = facile_sema::analyze(&prog, &mut diags);
     assert!(!diags.has_errors(), "{}", diags.render_all(SRC));
     let ir = lower(&prog, &syms, &mut diags).expect("lowering succeeds");
-    compile(ir, &CodegenConfig::default())
+    compile(ir, &CodegenConfig::default()).expect("codegen succeeds")
 }
 
 fn run(step: &facile_codegen::CompiledStep, seed: u64, memoize: bool) -> Simulation {
@@ -47,6 +47,7 @@ fn run(step: &facile_codegen::CompiledStep, seed: u64, memoize: bool) -> Simulat
         SimOptions {
             memoize,
             cache_capacity: None,
+            ..SimOptions::default()
         },
     )
     .unwrap();

@@ -19,7 +19,7 @@ fn build(src: &str) -> facile_codegen::CompiledStep {
     let syms = sema(&prog, &mut diags);
     assert!(!diags.has_errors(), "{}", diags.render_all(src));
     let ir = lower(&prog, &syms, &mut diags).expect("lowering succeeds");
-    compile(ir, &CodegenConfig::default())
+    compile(ir, &CodegenConfig::default()).expect("codegen succeeds")
 }
 
 fn sim(src: &str, args: &[ArgValue], opts: SimOptions) -> Simulation {
@@ -45,6 +45,7 @@ fn check_transparent(
         SimOptions {
             memoize: false,
             cache_capacity: None,
+            ..SimOptions::default()
         },
     );
     bind(&mut slowsim);
@@ -73,6 +74,7 @@ fn countdown_halts_without_memoization_overhead() {
         SimOptions {
             memoize: false,
             cache_capacity: None,
+            ..SimOptions::default()
         },
     );
     assert_eq!(s.run_steps(100), Some(HaltReason::Explicit));
@@ -123,6 +125,7 @@ fn memory_state_identical_after_fast_forwarding() {
         SimOptions {
             memoize: false,
             cache_capacity: None,
+            ..SimOptions::default()
         },
     );
     slowsim.run_steps(10_000);
@@ -273,6 +276,7 @@ fn decode_loop_over_real_token_stream() {
             SimOptions {
                 memoize,
                 cache_capacity: None,
+                ..SimOptions::default()
             },
         )
         .unwrap();
@@ -305,7 +309,8 @@ fn cache_clear_on_capacity_is_transparent() {
         &[ArgValue::Scalar(0)],
         SimOptions {
             memoize: true,
-            cache_capacity: Some(600), // forces repeated clears
+            cache_capacity: Some(600), // forces repeated clears,
+            ..SimOptions::default()
         },
     )
     .unwrap();

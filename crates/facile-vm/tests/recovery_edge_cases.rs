@@ -16,7 +16,7 @@ fn build(src: &str) -> facile_codegen::CompiledStep {
     let syms = sema(&prog, &mut diags);
     assert!(!diags.has_errors(), "{}", diags.render_all(src));
     let ir = lower(&prog, &syms, &mut diags).expect("lowers");
-    compile(ir, &CodegenConfig::default())
+    compile(ir, &CodegenConfig::default()).expect("codegen succeeds")
 }
 
 fn new_sim(src: &str, args: &[ArgValue], memoize: bool) -> Simulation {
@@ -27,6 +27,7 @@ fn new_sim(src: &str, args: &[ArgValue], memoize: bool) -> Simulation {
         SimOptions {
             memoize,
             cache_capacity: None,
+            ..SimOptions::default()
         },
     )
     .unwrap()
@@ -228,6 +229,7 @@ fn tiny_cache_with_forks_is_sound() {
             SimOptions {
                 memoize,
                 cache_capacity: cap,
+                ..SimOptions::default()
             },
         )
         .unwrap();

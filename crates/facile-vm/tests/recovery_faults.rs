@@ -1,0 +1,127 @@
+//! Corrupted-recovery-stack regressions: a replay stack that disagrees
+//! with the recorded action numbers must surface a structured
+//! [`RecoveryError`] — not a process abort — and leave the real machine
+//! state untouched.
+
+use facile_codegen::{compile, ActionKind, CodegenConfig};
+use facile_ir::lower::lower;
+use facile_lang::diag::Diagnostics;
+use facile_lang::parser::parse;
+use facile_runtime::key::KeyWriter;
+use facile_runtime::{Image, Target};
+use facile_sema::analyze as sema;
+use facile_vm::fast::Replayed;
+use facile_vm::recovery::recover;
+use facile_vm::{MachineState, RecoveryErrorKind};
+
+/// One verify action and nothing else dynamic on the `k = 5` path, so a
+/// well-formed recovery stack is exactly one item for that action.
+const SRC: &str = "ext fun f(x : int) : int;
+                   fun main(k : int) {
+                     count_insns(1);
+                     val u = f(k)?verify;
+                     if (k < 0) { count_cycles(u); }
+                     next(k);
+                   }";
+
+fn build() -> facile_codegen::CompiledStep {
+    let mut diags = Diagnostics::new();
+    let prog = parse(SRC, &mut diags);
+    let syms = sema(&prog, &mut diags);
+    assert!(!diags.has_errors(), "{}", diags.render_all(SRC));
+    let ir = lower(&prog, &syms, &mut diags).expect("lowers");
+    compile(ir, &CodegenConfig::default()).expect("codegen succeeds")
+}
+
+/// The verify's action number (the only Test action in the step).
+fn verify_action(step: &facile_codegen::CompiledStep) -> u32 {
+    step.actions
+        .iter()
+        .position(|a| matches!(a.kind, ActionKind::Test { .. }))
+        .expect("the step has a verify action") as u32
+}
+
+fn entry_key(k: i64) -> facile_runtime::key::Key {
+    let mut w = KeyWriter::new();
+    w.scalar(k);
+    w.finish()
+}
+
+#[test]
+fn wrong_action_number_is_a_diagnosed_mismatch() {
+    let step = build();
+    let expected = verify_action(&step);
+    let mut st = MachineState::new(&step.ir, Target::load(&Image::default()));
+    let regs_before = (0..st.regs.len()).map(|i| st.regs[i]).collect::<Vec<_>>();
+    let stack = [Replayed {
+        action: 7777,
+        value: Some(0),
+    }];
+    let err = recover(&step, &mut st, &entry_key(5), &stack)
+        .expect_err("a mismatched action number must not recover");
+    assert_eq!(
+        err.kind,
+        RecoveryErrorKind::Mismatch {
+            expected,
+            found: 7777
+        }
+    );
+    assert_eq!(err.depth, 1);
+    // Commits only happen at the final consistent item, so the real
+    // state must be untouched by the failed attempt.
+    let regs_after = (0..st.regs.len()).map(|i| st.regs[i]).collect::<Vec<_>>();
+    assert_eq!(regs_before, regs_after);
+    // The rendered message names the disagreement.
+    let msg = err.to_string();
+    assert!(msg.contains("mismatch") && msg.contains("7777"), "{msg}");
+}
+
+#[test]
+fn trailing_garbage_is_diagnosed_at_the_next_boundary() {
+    let step = build();
+    let action = verify_action(&step);
+    let index_action = step
+        .actions
+        .iter()
+        .position(|a| matches!(a.kind, ActionKind::Index { .. }))
+        .expect("the step ends in an INDEX action") as u32;
+    let mut st = MachineState::new(&step.ir, Target::load(&Image::default()));
+    // A valid item for the verify, then a stale leftover. With items
+    // remaining the verify is not the miss point, so recovery runs on
+    // into the step's INDEX group — whose recorded action number the
+    // garbage item cannot match.
+    let stack = [
+        Replayed {
+            action,
+            value: Some(3),
+        },
+        Replayed {
+            action: 4242,
+            value: None,
+        },
+    ];
+    let err = recover(&step, &mut st, &entry_key(5), &stack)
+        .expect_err("extra trailing items must not recover");
+    assert_eq!(
+        err.kind,
+        RecoveryErrorKind::Mismatch {
+            expected: index_action,
+            found: 4242
+        }
+    );
+    assert_eq!(err.depth, 2);
+}
+
+/// A well-formed single-item stack still recovers (the conversion to
+/// `Result` must not break the success path).
+#[test]
+fn consistent_stack_still_recovers() {
+    let step = build();
+    let action = verify_action(&step);
+    let mut st = MachineState::new(&step.ir, Target::load(&Image::default()));
+    let stack = [Replayed {
+        action,
+        value: Some(3),
+    }];
+    recover(&step, &mut st, &entry_key(5), &stack).expect("a consistent stack recovers");
+}

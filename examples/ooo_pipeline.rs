@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             SimOptions {
                 memoize,
                 cache_capacity: Some(256 << 20),
+                ..SimOptions::default()
             },
         )?;
         ArchHost::new().bind(&mut sim)?;

@@ -32,4 +32,8 @@ echo "==> sim_batch --scale $SCALE --compare (suite as a worker-pool batch)"
 ./target/release/sim_batch --scale "$SCALE" --compare \
     --json-out BENCH_batch.json
 
-echo "bench: wrote BENCH_fastsim.json and BENCH_batch.json"
+echo "==> cache_sweep --bench 126.gcc --scale $SCALE (both capacity policies)"
+./target/release/cache_sweep --bench 126.gcc --scale "$SCALE" \
+    --json-out BENCH_cache.json
+
+echo "bench: wrote BENCH_fastsim.json, BENCH_batch.json and BENCH_cache.json"

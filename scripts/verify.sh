@@ -122,6 +122,34 @@ else
     echo "==> perf smoke: batch speedup gate skipped (single-core host)"
 fi
 
+echo "==> perf smoke: generational eviction beats clear-on-full on gcc-like"
+# Both capacity policies over the same capped sweep of the gcc-like
+# workload. cache_sweep itself asserts transparency (cycle counts match
+# the unbounded run under both policies); the gate here compares the
+# slow-path work. Raw miss counters are not comparable across policies —
+# stale generational links surface as *recoverable* misses while a
+# wholesale clear silently discards everything and re-records without a
+# miss event — so the gate sums slow-path instructions, the quantity the
+# paper's fast-forwarding minimizes, and requires the generational total
+# to be strictly lower.
+./target/release/cache_sweep --bench 126.gcc --scale 0.05 \
+    --json-out "$tmp/cache.jsonl" > /dev/null
+awk 'BEGIN { clear = 0; gen = 0 }
+     {
+       line = $0
+       slow = 0
+       if (match(line, /"slow_insns":[0-9]+/)) {
+         s = substr(line, RSTART, RLENGTH)
+         sub(/.*:/, "", s)
+         slow = s + 0
+       }
+       if (line ~ /"policy":"clear"/)        clear += slow
+       if (line ~ /"policy":"generational"/) gen += slow
+     }
+     END { exit (clear > 0 && gen > 0 && gen < clear) ? 0 : 1 }' \
+    "$tmp/cache.jsonl" \
+    || { echo "verify: generational policy did not reduce slow-path work"; exit 1; }
+
 echo "==> docs: rustdoc builds warning-free (offline)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --offline
 

@@ -36,6 +36,7 @@ fn facile_ooo(image: &Image, memoize: bool) -> Simulation {
         SimOptions {
             memoize,
             cache_capacity: None,
+            ..SimOptions::default()
         },
     )
     .expect("constructs");

@@ -25,11 +25,13 @@ fn capacity_sweep_is_transparent_for_the_ooo_simulator() {
     let reference = run_sim(&src, &image, &args, SimOptions {
         memoize: false,
         cache_capacity: None,
+        ..SimOptions::default()
     });
     for cap in [None, Some(50_000_000), Some(200_000), Some(20_000)] {
         let sim = run_sim(&src, &image, &args, SimOptions {
             memoize: true,
             cache_capacity: cap,
+            ..SimOptions::default()
         });
         assert_eq!(sim.stats().cycles, reference.stats().cycles, "cap {cap:?}");
         assert_eq!(sim.stats().insns, reference.stats().insns, "cap {cap:?}");
@@ -48,6 +50,7 @@ fn inorder_simulator_transparent_on_workloads() {
         let slow = run_sim(&src, &image, &args, SimOptions {
             memoize: false,
             cache_capacity: None,
+            ..SimOptions::default()
         });
         assert_eq!(fast.stats().cycles, slow.stats().cycles, "{name}");
         assert_eq!(fast.trace(), slow.trace(), "{name}");
@@ -89,7 +92,7 @@ fn random_programs_are_transparent() {
                 step,
                 Target::load(&image),
                 &[facile::ArgValue::Scalar(0)],
-                SimOptions { memoize, cache_capacity: Some(4096) },
+                SimOptions { memoize, cache_capacity: Some(4096), ..SimOptions::default() },
             )
             .unwrap();
             let mut state = seed | 1;

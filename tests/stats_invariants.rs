@@ -6,8 +6,8 @@
 
 use facile::hosts::{initial_args, ArchHost};
 use facile::{
-    compile_source, CompilerOptions, ObsConfig, ObsHandle, SimOptions, Simulation, Target,
-    TraceEvent,
+    compile_source, CachePolicy, CompilerOptions, ObsConfig, ObsHandle, SimOptions, Simulation,
+    Target, TraceEvent,
 };
 use facile_isa::asm::assemble_image;
 
@@ -227,6 +227,140 @@ fn trace_writer_jsonl_resums_to_live_counters() {
     assert_eq!(slow_insns, s.slow_insns, "jsonl slow-insn recount");
     assert_eq!(fast_steps, s.fast_steps, "jsonl fast-step recount");
     assert_eq!(misses, s.misses, "jsonl miss recount");
+}
+
+/// Runs the loop under the inorder simulator with the given cache
+/// configuration (no observation).
+fn capped_run(memoize: bool, cap: Option<u64>, policy: CachePolicy) -> Simulation {
+    let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+    let step = compile_source(
+        &facile::sims::inorder_source(),
+        &CompilerOptions::default(),
+    )
+    .expect("compiles");
+    let mut sim = Simulation::new(
+        step,
+        Target::load(&image),
+        &initial_args::inorder(image.entry),
+        SimOptions {
+            memoize,
+            cache_capacity: cap,
+            cache_policy: policy,
+        },
+    )
+    .expect("simulation constructs");
+    ArchHost::new().bind(&mut sim).expect("externals bind");
+    sim.run_steps(u64::MAX >> 1);
+    assert!(sim.halted().is_some(), "workload halts");
+    sim
+}
+
+/// Eviction torture: a capacity far below the working set forces many
+/// reclaims under both policies. Fast-forwarding must stay transparent —
+/// architectural state, program output, and cycle counts bit-identical
+/// to running with memoization off — and the extended bytes invariant
+/// must hold at halt.
+#[test]
+fn capacity_pressure_is_transparent_under_both_policies() {
+    let reference = capped_run(false, None, CachePolicy::Clear);
+
+    let mut evictions_seen = 0u64;
+    for policy in [CachePolicy::Clear, CachePolicy::Generational] {
+        let sim = capped_run(true, Some(512), policy);
+        assert_eq!(
+            sim.stats().cycles,
+            reference.stats().cycles,
+            "{policy:?}: cycle counts must be exact"
+        );
+        assert_eq!(
+            sim.stats().insns,
+            reference.stats().insns,
+            "{policy:?}: instruction counts must be exact"
+        );
+        assert_eq!(
+            sim.trace(),
+            reference.trace(),
+            "{policy:?}: program output must be exact"
+        );
+        assert_eq!(
+            sim.memory().digest(),
+            reference.memory().digest(),
+            "{policy:?}: final target memory must be exact"
+        );
+        let cs = sim.cache_stats();
+        assert_eq!(
+            cs.bytes_total,
+            cs.bytes_current + cs.bytes_cleared + cs.bytes_evicted,
+            "{policy:?}: every byte is current, cleared, or evicted"
+        );
+        match policy {
+            CachePolicy::Clear => {
+                assert!(cs.clears > 0, "the tiny cap must force clears");
+                assert_eq!(cs.evictions, 0, "clear-on-full never evicts");
+                assert_eq!(cs.bytes_evicted, 0);
+            }
+            CachePolicy::Generational => {
+                assert!(cs.evictions > 0, "the tiny cap must force evictions");
+                assert!(cs.bytes_evicted > 0);
+                evictions_seen = cs.evictions;
+            }
+        }
+    }
+    assert!(evictions_seen > 0);
+}
+
+/// The observer's `cache_evict` stream recounts exactly to the runtime's
+/// eviction counters, like every other event kind in this file.
+#[test]
+fn cache_evict_events_recount_to_cache_stats() {
+    let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+    let step = compile_source(
+        &facile::sims::inorder_source(),
+        &CompilerOptions::default(),
+    )
+    .expect("compiles");
+    let mut sim = Simulation::new(
+        step,
+        Target::load(&image),
+        &initial_args::inorder(image.entry),
+        SimOptions {
+            memoize: true,
+            cache_capacity: Some(512),
+            cache_policy: CachePolicy::Generational,
+        },
+    )
+    .expect("simulation constructs");
+    ArchHost::new().bind(&mut sim).expect("externals bind");
+    let obs = ObsHandle::new(ObsConfig::default());
+    sim.attach_obs(obs.clone());
+    sim.run_steps(u64::MAX >> 1);
+    assert!(sim.halted().is_some(), "workload halts");
+
+    let cs = sim.cache_stats();
+    assert!(cs.evictions > 0, "the tiny cap must force evictions");
+    assert_eq!(obs.dropped_events(), 0, "ring big enough");
+    // One event per evicted generation; the event's `evictions` field is
+    // the running total, so the last one must equal the final counter.
+    let (mut evictions, mut bytes, mut last_total) = (0u64, 0u64, 0u64);
+    for ev in obs.drain_events() {
+        if let TraceEvent::CacheEvict {
+            bytes: b,
+            evictions: e,
+            ..
+        } = ev
+        {
+            evictions += 1;
+            bytes += b;
+            last_total = e;
+        }
+    }
+    assert_eq!(last_total, cs.evictions, "running total on the last event");
+    assert_eq!(evictions, cs.evictions, "eviction recount");
+    assert_eq!(bytes, cs.bytes_evicted, "evicted-bytes recount");
+
+    let m = obs.metrics().expect("metrics registry is on by default");
+    assert_eq!(m.cache_evictions, cs.evictions, "registry evictions");
+    assert_eq!(m.bytes_evicted, cs.bytes_evicted, "registry evicted bytes");
 }
 
 /// `--profile-out` must be a pure read-out: stats, program output and

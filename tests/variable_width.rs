@@ -87,6 +87,7 @@ fn run(memoize: bool) -> Simulation {
         SimOptions {
             memoize,
             cache_capacity: None,
+            ..SimOptions::default()
         },
     )
     .expect("constructs");
