@@ -1,0 +1,254 @@
+//! Observability-overhead self-benchmark: what does watching the
+//! simulator cost the simulator?
+//!
+//! Runs the compiled (Facile) out-of-order simulator with memoization
+//! over the Figure 11 workload suite three times per workload:
+//!
+//! * **disabled** — a disabled `ObsHandle` is attached, so every hook
+//!   is one null check. This is the always-on-capable baseline;
+//!   `scripts/verify.sh` gates its harmonic-mean throughput against the
+//!   unobserved `BENCH_fastsim.json` run.
+//! * **sampled** — metrics registry plus the replay flight recorder
+//!   sampling 1-in-N bursts (`--sample`, default 64).
+//! * **full** — metrics registry plus the flight recorder on every
+//!   burst; recounts are exact and the hot-chain documents this mode
+//!   produces feed `sim_hot`.
+//!
+//! Usage:
+//!   obs_overhead [--scale F] [--reps N] [--filter NAME] [--sample N]
+//!                [--json-out PATH] [--fastsim PATH] [--hot-out PATH]
+//!
+//! Defaults: scale 0.1, 3 reps (best-of, same methodology as
+//! `fastreplay`), all workloads, sample 64. `--fastsim` embeds the
+//! harmonic-mean comparison against a previously written
+//! `BENCH_fastsim.json`; `--hot-out` writes the full-mode hot-chain
+//! documents as JSONL (one per workload).
+
+use bench::*;
+use std::fmt::Write as _;
+
+/// One mode's best-of-reps measurement.
+#[derive(Clone, Copy)]
+struct Meas {
+    wall_ns: u64,
+    steps: u64,
+    insns: u64,
+}
+
+impl Meas {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / (self.wall_ns as f64 / 1e9).max(1e-9)
+    }
+}
+
+struct Row {
+    name: &'static str,
+    disabled: Meas,
+    sampled: Meas,
+    full: Meas,
+    fast_fraction: f64,
+    /// Fraction of fast-path insns the top-10 chains cover (full mode).
+    top10_coverage: f64,
+    chains: usize,
+    bursts: u64,
+    hot_json: String,
+}
+
+fn main() {
+    let scale = arg_f64("--scale", 0.1);
+    let reps = arg_f64("--reps", 3.0).max(1.0) as u32;
+    let sample = arg_f64("--sample", 64.0).max(1.0) as u64;
+    let filter = arg_str("--filter");
+    let json_out = arg_str("--json-out");
+    let hot_out = arg_str("--hot-out");
+    let fastsim = arg_str("--fastsim").and_then(|p| std::fs::read_to_string(&p).ok());
+
+    let step = compile_facile(FacileSim::Ooo);
+    let mut rows: Vec<Row> = Vec::new();
+    println!(
+        "obs-overhead benchmark: facile ooo +memo, workload scale {scale}, best of {reps}, 1-in-{sample} sampling"
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>10} {:>8} {:>8} {:>8}",
+        "benchmark", "disabled", "sampled", "ovh%", "full", "ovh%", "ff%", "top10%"
+    );
+    for w in facile_workloads::suite() {
+        if let Some(f) = &filter {
+            if !w.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let image = workload_image(&w, scale);
+        let best = |mode: ObsMode| -> HotRun {
+            let mut best: Option<HotRun> = None;
+            for _ in 0..reps {
+                let r = run_facile_hot(
+                    &step,
+                    FacileSim::Ooo,
+                    &image,
+                    true,
+                    None,
+                    CachePolicy::Clear,
+                    w.name,
+                    mode,
+                );
+                if best
+                    .as_ref()
+                    .is_none_or(|b| r.run.wall < b.run.wall)
+                {
+                    best = Some(r);
+                }
+            }
+            best.expect("at least one rep ran")
+        };
+        let disabled = best(ObsMode::Disabled);
+        let sampled = best(ObsMode::Sampled(sample));
+        let full = best(ObsMode::Full);
+        let meas = |r: &HotRun| Meas {
+            wall_ns: r.run.wall.as_nanos() as u64,
+            steps: r.steps,
+            insns: r.run.insns,
+        };
+        let hot = full.hot.as_ref().expect("full mode carries a recorder");
+        let top10: u64 = hot.hot.ranked_chains().iter().take(10).map(|c| c.insns).sum();
+        let row = Row {
+            name: w.name,
+            disabled: meas(&disabled),
+            sampled: meas(&sampled),
+            full: meas(&full),
+            fast_fraction: disabled.run.fast_fraction,
+            top10_coverage: top10 as f64 / hot.sim.fast_insns.max(1) as f64,
+            chains: hot.hot.chains.len(),
+            bursts: hot.hot.bursts,
+            hot_json: hot.to_json(),
+        };
+        let ovh = |m: &Meas| 100.0 * (row.disabled.steps_per_sec() / m.steps_per_sec() - 1.0);
+        println!(
+            "{:<14} {:>10} {:>10} {:>8.2} {:>10} {:>8.2} {:>8.3} {:>8.1}",
+            row.name,
+            fmt_rate(row.disabled.steps_per_sec()),
+            fmt_rate(row.sampled.steps_per_sec()),
+            ovh(&row.sampled),
+            fmt_rate(row.full.steps_per_sec()),
+            ovh(&row.full),
+            100.0 * row.fast_fraction,
+            100.0 * row.top10_coverage,
+        );
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        eprintln!("obs_overhead: no workloads matched the filter");
+        std::process::exit(1);
+    }
+
+    let hmean_of = |f: &dyn Fn(&Row) -> f64| {
+        let rates: Vec<f64> = rows.iter().map(f).collect();
+        harmonic_mean(&rates)
+    };
+    let hm_disabled = hmean_of(&|r| r.disabled.steps_per_sec());
+    let hm_sampled = hmean_of(&|r| r.sampled.steps_per_sec());
+    let hm_full = hmean_of(&|r| r.full.steps_per_sec());
+    println!("\nharmonic mean steps/s: disabled {}, sampled {}, full {}",
+        fmt_rate(hm_disabled), fmt_rate(hm_sampled), fmt_rate(hm_full));
+    println!(
+        "relative throughput:   sampled/disabled {:.4}, full/disabled {:.4}",
+        hm_sampled / hm_disabled.max(1e-9),
+        hm_full / hm_disabled.max(1e-9)
+    );
+    let fastsim_hmean = fastsim.as_deref().and_then(extract_hmean);
+    if let Some(base) = fastsim_hmean {
+        println!(
+            "vs BENCH_fastsim.json: disabled/unobserved {:.4} (hmean {} vs {})",
+            hm_disabled / base.max(1e-9),
+            fmt_rate(hm_disabled),
+            fmt_rate(base)
+        );
+    }
+
+    if let Some(path) = hot_out {
+        let mut body = String::new();
+        for r in &rows {
+            body.push_str(&r.hot_json);
+            body.push('\n');
+        }
+        match std::fs::write(&path, &body) {
+            Ok(()) => eprintln!("wrote {} hot-chain document(s) to {path}", rows.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = json_out {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema\":\"facile-bench-obs/v1\",\"bench\":\"obs_overhead\",\"sim\":\"ooo+memo\",\
+             \"scale\":{scale},\"sample_every\":{sample},\"workloads\":["
+        );
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let m = |m: &Meas| {
+                format!(
+                    "{{\"wall_ns\":{},\"steps\":{},\"insns\":{},\"steps_per_sec\":{:.1}}}",
+                    m.wall_ns,
+                    m.steps,
+                    m.insns,
+                    m.steps_per_sec()
+                )
+            };
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"disabled\":{},\"sampled\":{},\"full\":{},\
+                 \"fast_fraction\":{:.6},\"hot_top10_coverage\":{:.6},\"hot_chains\":{},\"hot_bursts\":{}}}",
+                r.name,
+                m(&r.disabled),
+                m(&r.sampled),
+                m(&r.full),
+                r.fast_fraction,
+                r.top10_coverage,
+                r.chains,
+                r.bursts,
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"hmean_disabled_steps_per_sec\":{hm_disabled:.1},\
+             \"hmean_sampled_steps_per_sec\":{hm_sampled:.1},\
+             \"hmean_full_steps_per_sec\":{hm_full:.1},\
+             \"sampled_over_disabled\":{:.4},\"full_over_disabled\":{:.4}",
+            hm_sampled / hm_disabled.max(1e-9),
+            hm_full / hm_disabled.max(1e-9)
+        );
+        if let Some(base) = fastsim_hmean {
+            let _ = write!(
+                s,
+                ",\"fastsim_hmean_steps_per_sec\":{base:.1},\"disabled_over_fastsim\":{:.4}",
+                hm_disabled / base.max(1e-9)
+            );
+        }
+        s.push_str("}\n");
+        match std::fs::write(&path, &s) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Extracts `hmean_steps_per_sec` from a `BENCH_fastsim.json` body
+/// (hand-rolled: the workspace builds without serde).
+fn extract_hmean(json: &str) -> Option<f64> {
+    let key = "\"hmean_steps_per_sec\":";
+    let k = json.find(key)?;
+    let num = &json[k + key.len()..];
+    let end = num
+        .find(|c: char| c != '.' && c != '-' && c != 'e' && c != '+' && !c.is_ascii_digit())
+        .unwrap_or(num.len());
+    num[..end].parse().ok()
+}

@@ -51,6 +51,8 @@ fn main() {
             file: file.to_owned(),
             src: src.clone(),
         }),
+        hot: None,
+        progress: None,
     };
 
     let jobs = build_jobs(which, scale, filter.as_deref());
@@ -93,6 +95,8 @@ fn main() {
             observe,
             bind_arch: true,
             profile: None,
+            hot: None,
+            progress: None,
         };
         let r = run_batch(step.clone(), jobs, &serial_config).expect("serial batch runs");
         let rate = r.aggregate_steps_per_sec();

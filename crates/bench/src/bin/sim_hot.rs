@@ -1,0 +1,349 @@
+//! `sim_hot` — renders replay flight-recorder reports from
+//! `facile-hot/v1` documents alone, with no re-simulation.
+//!
+//! Input is any mix of files produced by `facilec run --hot-out` (one
+//! JSON document), `facilec batch --hot-out` (JSONL, per-job docs then
+//! the merged doc) or the `obs_overhead` bench's `--hot-out`.
+//!
+//! ```text
+//! sim_hot hot.jsonl [more.json ...] [--top N] [--check]
+//! ```
+//!
+//! For every document this renders the burst-length distributions, the
+//! per-exit-cause counters, the hot-chain table ranked by cumulative
+//! retired instructions, INDEX dispatch stability (monomorphic vs
+//! polymorphic sites) and the superinstruction candidates ROADMAP item 1
+//! would fuse first. `--check` instead recounts each document against
+//! its own runtime snapshot and fails loudly on any mismatch — the
+//! exactness gate `scripts/verify.sh` runs.
+
+use facile_obs::{json, BurstExit, ChainRow, HotDoc, LogHistogram};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+usage: sim_hot <hot.json|hot.jsonl>... [--top N] [--check]
+
+Renders replay flight-recorder reports from facile-hot/v1 documents
+(facilec --hot-out, facilec batch --hot-out, obs_overhead --hot-out).
+
+  --top N    chains to print per document (default 15)
+  --check    recount every document instead of rendering: exit counters
+             must sum to the burst count, the histograms must hold one
+             entry per burst, every non-evicted burst must be tabled or
+             counted as overflow, and in exact mode (sample_every=1,
+             nothing skipped) the burst histograms must recount the
+             runtime's fast-path counters bit for bit. Exits non-zero on
+             the first mismatch.
+
+See docs/OBSERVABILITY.md for the document schema.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let check = args.iter().any(|a| a == "--check");
+    let top = args
+        .iter()
+        .position(|a| a == "--top")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15usize);
+    let files: Vec<&String> = {
+        let mut skip = false;
+        args.iter()
+            .filter(|a| {
+                if skip {
+                    skip = false;
+                    return false;
+                }
+                if *a == "--top" {
+                    skip = true;
+                }
+                !a.starts_with("--")
+            })
+            .collect()
+    };
+    if files.is_empty() {
+        eprintln!("usage: sim_hot <hot.json|hot.jsonl>... [--top N] [--check]");
+        eprintln!("       (--help for details)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut docs: Vec<HotDoc> = Vec::new();
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sim_hot: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match load_docs(&text) {
+            Some(mut d) if !d.is_empty() => docs.append(&mut d),
+            _ => {
+                eprintln!("sim_hot: {path}: no facile-hot/v1 documents");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if check {
+        for d in &docs {
+            if let Err(msg) = recount(d) {
+                eprintln!("sim_hot: check FAILED for `{}`: {msg}", d.label);
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "sim_hot: check ok: `{}` ({} bursts, {} chains)",
+                d.label,
+                d.hot.bursts,
+                d.hot.chains.len()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut out = String::with_capacity(4096);
+    for d in &docs {
+        render(&mut out, d, top);
+    }
+    // One buffered write; a closed pipe (`sim_hot ... | head`) is the
+    // reader's choice, not an error.
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    ExitCode::SUCCESS
+}
+
+/// Parses either one JSON document or JSONL (one document per line).
+fn load_docs(text: &str) -> Option<Vec<HotDoc>> {
+    if let Ok(v) = json::parse(text) {
+        return HotDoc::from_value(&v).map(|d| vec![d]);
+    }
+    let mut docs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).ok()?;
+        docs.push(HotDoc::from_value(&v)?);
+    }
+    Some(docs)
+}
+
+/// The `--check` recount: every invariant the recorder promises,
+/// verified against the document's own runtime snapshot.
+fn recount(d: &HotDoc) -> Result<(), String> {
+    let h = &d.hot;
+    let eq = |name: &str, got: u64, want: u64| {
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("{name}: {got} != {want}"))
+        }
+    };
+    eq("sum(exits) vs bursts", h.exits.iter().sum::<u64>(), h.bursts)?;
+    eq("burst_steps count vs bursts", h.burst_steps.count(), h.bursts)?;
+    eq("burst_insns count vs bursts", h.burst_insns.count(), h.bursts)?;
+    let evicted = h.exits[BurstExit::Evicted as usize];
+    eq(
+        "tabled replays + overflow vs non-evicted bursts",
+        h.tabled_replays() + h.chain_overflow,
+        h.bursts - evicted,
+    )?;
+    let tabled_insns: u64 = h.chains.iter().map(|c| c.insns).sum();
+    eq(
+        "tabled insns + overflow insns vs recorded insns",
+        tabled_insns + h.chain_overflow_insns,
+        h.burst_insns.sum(),
+    )?;
+    // Every completed INDEX crossing in a sampled burst records exactly
+    // one dispatch, so the site table recounts the steps histogram.
+    eq(
+        "total dispatches vs recorded steps",
+        h.total_dispatches(),
+        h.burst_steps.sum(),
+    )?;
+    if h.sample_every == 1 && h.bursts_skipped == 0 {
+        // Exact mode: the recorder saw every burst, so the histograms
+        // recount the runtime's fast-path counters bit for bit.
+        eq(
+            "sum(burst steps) vs sim.fast_steps",
+            h.burst_steps.sum(),
+            d.sim.fast_steps,
+        )?;
+        eq(
+            "sum(burst insns) vs sim.fast_insns",
+            h.burst_insns.sum(),
+            d.sim.fast_insns,
+        )?;
+    }
+    Ok(())
+}
+
+fn render(out: &mut String, d: &HotDoc, top: usize) {
+    let h = &d.hot;
+    let _ = writeln!(out, "=== {} ===", d.label);
+    let _ = writeln!(
+        out,
+        "run:     {} insns ({:.1}% fast-forwarded), {} fast / {} slow steps, {:.3} s wall",
+        d.sim.insns,
+        100.0 * d.sim.fast_forwarded_fraction(),
+        d.sim.fast_steps,
+        d.sim.slow_steps,
+        d.wall_ns as f64 / 1e9,
+    );
+    let _ = writeln!(
+        out,
+        "bursts:  {} recorded, {} skipped (1-in-{} sampling)",
+        h.bursts, h.bursts_skipped, h.sample_every
+    );
+    let exits: Vec<String> = BurstExit::ALL
+        .iter()
+        .filter(|e| h.exits[**e as usize] > 0)
+        .map(|e| format!("{} {}", e.label(), h.exits[*e as usize]))
+        .collect();
+    let _ = writeln!(out, "exits:   {}", exits.join(", "));
+    print_hist(out, "burst steps", &h.burst_steps);
+    print_hist(out, "burst insns", &h.burst_insns);
+
+    // Dispatch stability: how predictable each INDEX crossing is. A
+    // linearizer can fuse across monomorphic sites without a guard.
+    let live: Vec<(usize, &facile_obs::SiteRow)> = h
+        .sites
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.dispatches > 0)
+        .collect();
+    let mono = live.iter().filter(|(_, s)| s.is_mono()).count();
+    let _ = writeln!(
+        out,
+        "sites:   {} INDEX sites dispatched, {} monomorphic, {} polymorphic",
+        live.len(),
+        mono,
+        live.len() - mono
+    );
+    let mut poly: Vec<&(usize, &facile_obs::SiteRow)> =
+        live.iter().filter(|(_, s)| !s.is_mono()).collect();
+    poly.sort_by(|a, b| b.1.dispatches.cmp(&a.1.dispatches).then(a.0.cmp(&b.0)));
+    for (action, s) in poly.iter().take(5) {
+        let targets: Vec<String> = s
+            .targets
+            .iter()
+            .map(|(t, n)| format!("#{t}\u{d7}{n}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "         poly #{action}: {} dispatches -> {}{}",
+            s.dispatches,
+            targets.join(", "),
+            if s.target_overflow > 0 {
+                format!(" (+{} beyond cap)", s.target_overflow)
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    let ranked = h.ranked_chains();
+    let recorded = h.burst_insns.sum().max(1);
+    let _ = writeln!(
+        out,
+        "\nhot chains (top {} of {}, {} overflowed):",
+        top.min(ranked.len()),
+        ranked.len(),
+        h.chain_overflow
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>10} {:>10} {:>12} {:>7} {:>5}  chain",
+        "rank", "replays", "steps", "insns", "insn%", "len"
+    );
+    for (i, c) in ranked.iter().take(top).enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>10} {:>10} {:>12} {:>7.2} {:>5}  {}",
+            i + 1,
+            c.replays,
+            c.steps,
+            c.insns,
+            100.0 * c.insns as f64 / recorded as f64,
+            c.path.len(),
+            fmt_path(c),
+        );
+    }
+    let top10: u64 = ranked.iter().take(10).map(|c| c.insns).sum();
+    let _ = writeln!(
+        out,
+        "top-10 chains cover {:.1}% of recorded fast-path insns",
+        100.0 * top10 as f64 / recorded as f64
+    );
+
+    // Superinstruction candidates: chains whose every interior INDEX
+    // crossing is monomorphic replay the same action sequence every
+    // time, so a linearizer could fuse them into one dispatch. The
+    // saving estimate counts the dispatches the fusion removes.
+    let mut cands: Vec<(&ChainRow, u64)> = ranked
+        .iter()
+        .filter(|c| c.path.len() >= 2 && chain_is_stable(c, h))
+        .map(|c| (*c, c.replays.saturating_mul(c.path.len() as u64 - 1)))
+        .collect();
+    cands.sort_by_key(|(_, saved)| std::cmp::Reverse(*saved));
+    if cands.is_empty() {
+        let _ = writeln!(out, "superinstruction candidates: none (no stable multi-action chains)\n");
+    } else {
+        let _ = writeln!(out, "superinstruction candidates (stable chains, by saved dispatches):");
+        for (c, saved) in cands.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  {:<40} replays {:>8}  est. saved dispatches {:>10}",
+                fmt_path(c),
+                c.replays,
+                saved
+            );
+        }
+        out.push('\n');
+    }
+}
+
+/// Whether every INDEX site on the chain's path dispatched to exactly
+/// one successor across the whole run (fusable without a guard).
+fn chain_is_stable(c: &ChainRow, h: &facile_obs::HotMetrics) -> bool {
+    c.path.iter().all(|&a| {
+        h.sites
+            .get(a as usize)
+            .is_none_or(|s| s.dispatches == 0 || s.is_mono())
+    })
+}
+
+fn fmt_path(c: &ChainRow) -> String {
+    let mut s = String::new();
+    for (i, a) in c.path.iter().enumerate() {
+        if i > 0 {
+            s.push('>');
+        }
+        let _ = write!(s, "#{a}");
+    }
+    s
+}
+
+fn print_hist(out: &mut String, name: &str, h: &LogHistogram) {
+    if h.count() == 0 {
+        return;
+    }
+    // `quantile_lo` returns the *lower bound* of the log2 bucket holding
+    // the quantile, hence the `_lo` labels (see sim_report).
+    let _ = writeln!(
+        out,
+        "{name}: n={} sum={} mean={:.1} p50_lo={} p99_lo={} max={}",
+        h.count(),
+        h.sum(),
+        h.mean(),
+        h.quantile_lo(50),
+        h.quantile_lo(99),
+        h.max(),
+    );
+}

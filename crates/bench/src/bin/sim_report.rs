@@ -147,6 +147,18 @@ fn print_detail(out: &mut String, d: &MetricsDoc) {
         "replay:  {} actions, {} misses, {} recoveries, {} ext calls",
         d.sim.actions_replayed, d.sim.misses, d.sim.recoveries, d.sim.ext_calls
     );
+    // Generational-cache accounting: how much the eviction policy threw
+    // away and how much of the peak footprint was still resident at the
+    // end of the run (1.0 = nothing was ever evicted or cleared).
+    let _ = writeln!(
+        out,
+        "cache:   {} evictions ({:.2} MiB evicted), {} clears, residency {:.1}% of {:.2} MiB peak",
+        d.cache.evictions,
+        d.cache.bytes_evicted as f64 / (1024.0 * 1024.0),
+        d.cache.clears,
+        100.0 * d.cache.bytes_current as f64 / d.cache.bytes_peak.max(1) as f64,
+        d.cache.peak_mib(),
+    );
     let Some(m) = &d.metrics else {
         let _ = writeln!(out, "derived: (run was not observed)");
         return;

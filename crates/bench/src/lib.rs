@@ -9,6 +9,7 @@ use facile::hosts::{initial_args, ArchHost};
 use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
 
 pub use facile::CachePolicy;
+use facile::{HotConfig, HotDoc, ObsConfig, ObsHandle};
 use facile_obs::{CacheStatsSnapshot, MetricsDoc, ProfileDoc, SimStatsSnapshot};
 use facile_runtime::Image;
 use facile_workloads::Workload;
@@ -397,6 +398,132 @@ pub fn run_facile_obs(
         memo_bytes: cs.bytes_total,
         clears: cs.clears,
         evictions: cs.evictions,
+    }
+}
+
+/// Observability level of a measured Facile run (the obs-overhead
+/// self-benchmark sweeps these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsMode {
+    /// A *disabled* handle is attached: every hook is one null check.
+    /// This is the always-on-capable baseline the overhead gate holds
+    /// to the unobserved run.
+    Disabled,
+    /// Metrics registry plus the replay flight recorder sampling 1-in-N
+    /// bursts (trace ring off).
+    Sampled(u64),
+    /// Metrics registry plus the flight recorder on every burst (trace
+    /// ring off). Recounts are exact in this mode.
+    Full,
+}
+
+impl ObsMode {
+    /// Display name (`disabled`, `sampled`, `full`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ObsMode::Disabled => "disabled",
+            ObsMode::Sampled(_) => "sampled",
+            ObsMode::Full => "full",
+        }
+    }
+}
+
+/// One measured run with an observability mode attached.
+pub struct HotRun {
+    /// The usual run result (wall, insns, fast fraction, ...).
+    pub run: RunResult,
+    /// Simulator main-loop iterations (fast + slow steps) — the unit of
+    /// replay throughput `BENCH_fastsim.json` reports.
+    pub steps: u64,
+    /// The flight-recorder document (`None` in [`ObsMode::Disabled`]).
+    pub hot: Option<HotDoc>,
+}
+
+impl HotRun {
+    /// Steps per host second.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.run.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs a compiled Facile simulator with the given observability mode
+/// attached.
+#[allow(clippy::too_many_arguments)]
+pub fn run_facile_hot(
+    step: &facile::CompiledStep,
+    which: FacileSim,
+    image: &Image,
+    memoize: bool,
+    capacity: Option<u64>,
+    policy: CachePolicy,
+    label: &str,
+    mode: ObsMode,
+) -> HotRun {
+    let args = match which {
+        FacileSim::Functional => initial_args::functional(image.entry),
+        FacileSim::Inorder => initial_args::inorder(image.entry),
+        FacileSim::Ooo => initial_args::ooo(image.entry),
+    };
+    let mut sim = Simulation::new(
+        step.clone(),
+        Target::load(image),
+        &args,
+        SimOptions {
+            memoize,
+            cache_capacity: capacity,
+            cache_policy: policy,
+        },
+    )
+    .expect("simulation constructs");
+    ArchHost::new().bind(&mut sim).expect("externals bind");
+    match mode {
+        ObsMode::Disabled => sim.attach_obs(ObsHandle::off()),
+        // Trace and the metrics registry stay off in the enabled modes:
+        // this benchmark isolates the flight recorder's own cost. The
+        // registry's per-action accounting is a separate, additive
+        // pathway with its own (much larger) per-action price.
+        ObsMode::Sampled(n) => sim.attach_obs(ObsHandle::new(ObsConfig {
+            trace: false,
+            metrics: false,
+            hot: HotConfig {
+                enabled: true,
+                sample_every: n.max(1),
+            },
+            ..ObsConfig::default()
+        })),
+        ObsMode::Full => sim.attach_obs(ObsHandle::new(ObsConfig {
+            trace: false,
+            metrics: false,
+            hot: HotConfig {
+                enabled: true,
+                sample_every: 1,
+            },
+            ..ObsConfig::default()
+        })),
+    }
+    let t0 = Instant::now();
+    sim.run_steps(MAX_INSNS);
+    let wall = t0.elapsed();
+    assert!(
+        sim.halted().is_some(),
+        "workload did not halt under the facile simulator"
+    );
+    let hot = facile::obs::hot_doc(label, &sim, wall.as_nanos() as u64);
+    let cs = sim.cache_stats();
+    HotRun {
+        run: RunResult {
+            insns: sim.stats().insns,
+            cycles: sim.stats().cycles,
+            wall,
+            fast_fraction: sim.stats().fast_forwarded_fraction(),
+            slow_insns: sim.stats().slow_insns,
+            misses: sim.stats().misses,
+            memo_bytes: cs.bytes_total,
+            clears: cs.clears,
+            evictions: cs.evictions,
+        },
+        steps: sim.stats().fast_steps + sim.stats().slow_steps,
+        hot,
     }
 }
 

@@ -29,8 +29,11 @@
 //! single-lane one.
 
 use crate::hosts::ArchHost;
-use crate::obs::{metrics_doc, observe_metrics, profile_doc};
-use crate::{CompiledStep, MetricsDoc, ProfileDoc, SimError, SimOptions, Simulation};
+use crate::obs::{hot_doc, metrics_doc, profile_doc};
+use crate::{
+    CompiledStep, HotConfig, HotDoc, MetricsDoc, ObsConfig, ObsHandle, ProfileDoc, SimError,
+    SimOptions, Simulation,
+};
 use facile_runtime::{HaltReason, Image, Target};
 use facile_vm::ArgValue;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,6 +61,11 @@ pub struct ProfileSource {
     pub src: String,
 }
 
+/// Called by a worker the moment one job completes (out of submission
+/// order). Invoked concurrently, so it must synchronize any shared sink
+/// itself.
+pub type ProgressFn = Box<dyn Fn(&JobOutcome) + Send + Sync>;
+
 /// Pool-level configuration.
 pub struct BatchConfig {
     /// Worker threads; `0` means one per available CPU, capped at the
@@ -70,6 +78,12 @@ pub struct BatchConfig {
     pub bind_arch: bool,
     /// Also build per-job and merged source profiles.
     pub profile: Option<ProfileSource>,
+    /// Attach the replay flight recorder to every job with this 1-in-N
+    /// burst sampling period (see [`crate::obs::observe_hot`]); the
+    /// per-job and merged `facile-hot/v1` documents are collected.
+    pub hot: Option<u64>,
+    /// Per-job completion heartbeat (e.g. `facilec batch --progress`).
+    pub progress: Option<ProgressFn>,
 }
 
 impl Default for BatchConfig {
@@ -79,6 +93,8 @@ impl Default for BatchConfig {
             observe: true,
             bind_arch: true,
             profile: None,
+            hot: None,
+            progress: None,
         }
     }
 }
@@ -97,6 +113,8 @@ pub struct JobOutcome {
     pub metrics: MetricsDoc,
     /// The per-job profile document, when profiling was requested.
     pub profile: Option<ProfileDoc>,
+    /// The per-job hot-chain document, when the recorder was requested.
+    pub hot: Option<HotDoc>,
 }
 
 /// The whole batch: per-job outcomes in submission order plus folds.
@@ -107,6 +125,10 @@ pub struct BatchResult {
     pub merged_metrics: MetricsDoc,
     /// Folded profile, when [`BatchConfig::profile`] was set.
     pub merged_profile: Option<ProfileDoc>,
+    /// Folded hot-chain document, when [`BatchConfig::hot`] was set.
+    /// Folding happens in submission order, so it is bit-for-bit what a
+    /// single recorder observing the lanes back-to-back would hold.
+    pub merged_hot: Option<HotDoc>,
     /// Batch wall-clock (pool start to last worker join), nanoseconds.
     pub wall_ns: u64,
     /// Worker threads actually used.
@@ -187,6 +209,9 @@ pub fn run_batch(
                     .take()
                     .expect("each job index is dispensed once");
                 let out = run_one(&step, job, config);
+                if let (Some(cb), Ok(o)) = (&config.progress, &out) {
+                    cb(o);
+                }
                 *outcomes[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
             });
         }
@@ -215,11 +240,19 @@ pub fn run_batch(
             mp.merge(theirs).map_err(BatchError::Merge)?;
         }
     }
+    let mut merged_hot = done[0].hot.clone();
+    if let Some(mh) = merged_hot.as_mut() {
+        mh.label = format!("batch({n} jobs)");
+        for j in &done[1..] {
+            mh.merge(j.hot.as_ref().expect("hot recording is all-or-nothing"));
+        }
+    }
 
     Ok(BatchResult {
         jobs: done,
         merged_metrics,
         merged_profile,
+        merged_hot,
         wall_ns,
         threads,
     })
@@ -251,8 +284,20 @@ fn run_one(
     if config.bind_arch {
         ArchHost::new().bind(&mut sim)?;
     }
-    if config.observe {
-        observe_metrics(&mut sim);
+    if config.observe || config.hot.is_some() {
+        // One handle carries both the metrics registry (iff `observe`)
+        // and the flight recorder (iff `hot`).
+        sim.attach_obs(ObsHandle::new(ObsConfig {
+            metrics: config.observe,
+            hot: match config.hot {
+                Some(sample_every) => HotConfig {
+                    enabled: true,
+                    sample_every,
+                },
+                None => HotConfig::default(),
+            },
+            ..ObsConfig::default()
+        }));
     }
     let t0 = std::time::Instant::now();
     let halt = sim.run_steps(job.max_steps);
@@ -262,6 +307,7 @@ fn run_one(
         .profile
         .as_ref()
         .map(|p| profile_doc(&job.label, &p.file, &p.src, &sim, wall_ns));
+    let hot = hot_doc(&job.label, &sim, wall_ns);
     Ok(JobOutcome {
         label: job.label,
         halt,
@@ -269,6 +315,7 @@ fn run_one(
         wall_ns,
         metrics,
         profile,
+        hot,
     })
 }
 
@@ -363,6 +410,77 @@ mod tests {
         assert_eq!(p.attributed_insns(), result.merged_metrics.sim.insns);
         assert_eq!(p.attributed_misses(), result.merged_metrics.sim.misses);
         assert!(p.sim.insns > 0);
+    }
+
+    /// The merged hot-chain aggregate is bit-for-bit what one flight
+    /// recorder observing the same lanes back-to-back would hold: the
+    /// submission-order fold reproduces a single-registry run exactly
+    /// (chain signatures hash compile-time action numbers, not
+    /// lane-local node ids, so lanes agree on chain identity).
+    #[test]
+    fn merged_hot_doc_matches_a_single_registry_run() {
+        let step = shared_step();
+        let config = BatchConfig {
+            threads: 4,
+            hot: Some(1),
+            ..BatchConfig::default()
+        };
+        let result = run_batch(step.clone(), jobs(6), &config).expect("batch runs");
+        let merged = result.merged_hot.as_ref().expect("hot batch");
+        assert!(merged.hot.bursts > 0, "lanes fast-forward");
+        for j in &result.jobs {
+            assert!(j.hot.is_some(), "every lane carries a hot doc");
+        }
+
+        // One recorder, six sequential lanes.
+        let single = ObsHandle::new(ObsConfig {
+            hot: HotConfig {
+                enabled: true,
+                sample_every: 1,
+            },
+            ..ObsConfig::default()
+        });
+        for job in jobs(6) {
+            let mut sim = Simulation::new(
+                step.clone(),
+                Target::load(&job.image),
+                &job.args,
+                job.options,
+            )
+            .expect("lane constructs");
+            ArchHost::new().bind(&mut sim).expect("binds");
+            sim.attach_obs(single.clone());
+            sim.run_steps(job.max_steps);
+        }
+        assert_eq!(merged.hot, single.hot().unwrap());
+        // The merged counters recount too (full sampling).
+        assert_eq!(merged.hot.burst_steps.sum(), merged.sim.fast_steps);
+        assert_eq!(merged.hot.burst_insns.sum(), merged.sim.fast_insns);
+        assert_eq!(merged.hot.exits.iter().sum::<u64>(), merged.hot.bursts);
+    }
+
+    /// The progress callback fires exactly once per job, with a usable
+    /// outcome, no matter which worker finishes first.
+    #[test]
+    fn progress_heartbeat_fires_once_per_job() {
+        use std::sync::atomic::AtomicU64;
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen_steps = Arc::new(AtomicU64::new(0));
+        let (c, s) = (calls.clone(), seen_steps.clone());
+        let config = BatchConfig {
+            threads: 3,
+            progress: Some(Box::new(move |o: &JobOutcome| {
+                assert!(o.halt.is_some(), "heartbeat carries the halt");
+                assert!(o.label.starts_with("job"));
+                c.fetch_add(1, Ordering::SeqCst);
+                s.fetch_add(o.steps, Ordering::SeqCst);
+            })),
+            ..BatchConfig::default()
+        };
+        let result = run_batch(shared_step(), jobs(5), &config).expect("batch runs");
+        assert_eq!(calls.load(Ordering::SeqCst), 5);
+        let total: u64 = result.jobs.iter().map(|j| j.steps).sum();
+        assert_eq!(seen_steps.load(Ordering::SeqCst), total);
     }
 
     /// Thread count never exceeds the job count, and a serial (1-thread)

@@ -23,6 +23,8 @@
 //! --metrics-out <path>   # write a facile-obs/v1 metrics JSON document
 //! --trace-out <path>     # stream the structured trace as JSONL
 //! --profile-out <path>   # write a facile-prof/v1 source profile
+//! --hot-out <path>       # write a facile-hot/v1 replay flight-recorder doc
+//! --hot-sample <N>       # record 1-in-N fast bursts (default 1: exact)
 //! ```
 //!
 //! Either flag attaches an observer to the run; `sim_report` (in the
@@ -39,7 +41,10 @@
 //! The jobs file lists one job per line — `<prog.asm> [max-steps]`
 //! (blank lines and `#` comments skipped). Outputs are JSONL: one
 //! document per job in submission order, then the merged batch
-//! document; `sim_report`/`sim_prof` accept any line.
+//! document; `sim_report`/`sim_prof` accept any line. `--hot-out`
+//! works in batch mode too (per-job docs then the merged doc), and
+//! `--progress` prints one JSONL heartbeat line to stderr as each job
+//! completes.
 
 use facile::{compile_source, CachePolicy, CompilerOptions, SimOptions};
 use std::process::ExitCode;
@@ -54,6 +59,9 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut profile_out: Option<String> = None;
+    let mut hot_out: Option<String> = None;
+    let mut hot_sample: u64 = 1;
+    let mut progress = false;
     let mut batch = false;
     let mut jobs_file: Option<String> = None;
     let mut threads: usize = 0;
@@ -124,6 +132,27 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--hot-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => hot_out = Some(v.clone()),
+                    None => {
+                        eprintln!("facilec: --hot-out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--hot-sample" => {
+                i += 1;
+                hot_sample = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("facilec: --hot-sample requires a period >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--progress" => progress = true,
             "--metrics-out" => {
                 i += 1;
                 match args.get(i) {
@@ -160,10 +189,13 @@ fn main() -> ExitCode {
                 eprintln!("               [--cache-capacity BYTES] [--cache-policy clear|generational]");
                 eprintln!("               [--metrics-out m.json] [--trace-out t.jsonl]");
                 eprintln!("               [--profile-out prof.json]");
+                eprintln!("               [--hot-out hot.json] [--hot-sample N]");
                 eprintln!("       facilec --builtin ooo batch --jobs jobs.txt [--threads K]");
                 eprintln!("               [--steps N] [--metrics-out m.jsonl] [--profile-out p.jsonl]");
+                eprintln!("               [--hot-out hot.jsonl] [--hot-sample N] [--progress]");
                 eprintln!("         jobs file: one `prog.asm [max-steps]` per line;");
-                eprintln!("         outputs are JSONL, per-job docs then the merged batch doc");
+                eprintln!("         outputs are JSONL, per-job docs then the merged batch doc;");
+                eprintln!("         --progress prints a JSONL heartbeat per job to stderr");
                 return ExitCode::SUCCESS;
             }
             f if !f.starts_with('-') => file = Some(f.to_owned()),
@@ -230,6 +262,9 @@ fn main() -> ExitCode {
             trace_out: None,
             metrics_out,
             profile_out,
+            hot_out,
+            hot_sample,
+            progress,
         };
         let sim_options = SimOptions {
             cache_capacity,
@@ -249,6 +284,9 @@ fn main() -> ExitCode {
             trace_out,
             metrics_out,
             profile_out,
+            hot_out,
+            hot_sample,
+            progress: false,
         };
         let sim_options = SimOptions {
             cache_capacity,
@@ -257,12 +295,13 @@ fn main() -> ExitCode {
         };
         return run_target(step, &src, &src_name, &builtin, &prog, steps, sim_options, outs);
     }
-    if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() {
-        eprintln!("facilec: --trace-out/--metrics-out/--profile-out require --run");
+    if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() || hot_out.is_some()
+    {
+        eprintln!("facilec: --trace-out/--metrics-out/--profile-out/--hot-out require --run");
         return ExitCode::FAILURE;
     }
-    if jobs_file.is_some() || threads != 0 {
-        eprintln!("facilec: --jobs/--threads require the batch subcommand");
+    if jobs_file.is_some() || threads != 0 || progress {
+        eprintln!("facilec: --jobs/--threads/--progress require the batch subcommand");
         return ExitCode::FAILURE;
     }
 
@@ -328,6 +367,9 @@ struct Outs {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     profile_out: Option<String>,
+    hot_out: Option<String>,
+    hot_sample: u64,
+    progress: bool,
 }
 
 /// Parses a jobs file, runs the batch across the worker pool, and
@@ -415,6 +457,19 @@ fn run_batch_cmd(
             file: src_name.to_owned(),
             src: src.to_owned(),
         }),
+        hot: outs.hot_out.as_ref().map(|_| outs.hot_sample),
+        progress: outs.progress.then(|| -> facile::batch::ProgressFn {
+            Box::new(|o: &facile::batch::JobOutcome| {
+                eprintln!(
+                    "{{\"job\":\"{}\",\"wall_ns\":{},\"steps\":{},\"steps_per_sec\":{:.0},\"fast_fraction\":{:.6}}}",
+                    o.label.replace('\\', "\\\\").replace('"', "\\\""),
+                    o.wall_ns,
+                    o.steps,
+                    o.steps as f64 / (o.wall_ns.max(1) as f64 / 1e9),
+                    o.metrics.sim.fast_forwarded_fraction(),
+                );
+            })
+        }),
     };
     let n = jobs.len();
     let result = match run_batch(std::sync::Arc::new(step), jobs, &config) {
@@ -448,6 +503,23 @@ fn run_batch_cmd(
         }
         if let Some(p) = &result.merged_profile {
             text.push_str(&p.to_json());
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("facilec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &outs.hot_out {
+        let mut text = String::new();
+        for j in &result.jobs {
+            if let Some(h) = &j.hot {
+                text.push_str(&h.to_json());
+                text.push('\n');
+            }
+        }
+        if let Some(h) = &result.merged_hot {
+            text.push_str(&h.to_json());
             text.push('\n');
         }
         if let Err(e) = std::fs::write(path, text) {
@@ -500,9 +572,12 @@ fn run_target(
         trace_out,
         metrics_out,
         profile_out,
+        hot_out,
+        hot_sample,
+        progress: _,
     } = outs;
     use facile::hosts::{initial_args, ArchHost};
-    use facile::{ObsConfig, ObsHandle, Simulation, Target};
+    use facile::{HotConfig, ObsConfig, ObsHandle, Simulation, Target};
 
     let asm = match std::fs::read_to_string(prog) {
         Ok(s) => s,
@@ -534,8 +609,15 @@ fn run_target(
         eprintln!("facilec: {e}");
         return ExitCode::FAILURE;
     }
-    if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() {
-        let obs = ObsHandle::new(ObsConfig::default());
+    if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() || hot_out.is_some()
+    {
+        let obs = ObsHandle::new(ObsConfig {
+            hot: HotConfig {
+                enabled: hot_out.is_some(),
+                sample_every: hot_sample,
+            },
+            ..ObsConfig::default()
+        });
         if let Some(path) = &trace_out {
             match std::fs::File::create(path) {
                 Ok(f) => obs.set_writer(Box::new(std::io::BufWriter::new(f))),
@@ -572,6 +654,15 @@ fn run_target(
         let label = format!("{} {prog}", builtin.as_deref().unwrap_or("custom"));
         let doc =
             facile::obs::profile_doc(&label, src_name, src, &sim, wall.as_nanos() as u64);
+        if let Err(e) = std::fs::write(path, doc.to_json() + "\n") {
+            eprintln!("facilec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &hot_out {
+        let label = format!("{} {prog}", builtin.as_deref().unwrap_or("custom"));
+        let doc = facile::obs::hot_doc(&label, &sim, wall.as_nanos() as u64)
+            .expect("a recorder was attached for --hot-out");
         if let Err(e) = std::fs::write(path, doc.to_json() + "\n") {
             eprintln!("facilec: cannot write {path}: {e}");
             return ExitCode::FAILURE;

@@ -69,7 +69,8 @@ pub use facile_bta::LiftConfig;
 pub use facile_codegen::{CodegenConfig, CompiledStep};
 pub use facile_lang::{Diagnostic, Diagnostics, Severity};
 pub use facile_obs::{
-    ActionRow, MetricsDoc, ObsConfig, ObsHandle, ProfileDoc, SimObserver, TraceEvent,
+    ActionRow, BurstExit, HotConfig, HotDoc, HotMetrics, MetricsDoc, ObsConfig, ObsHandle,
+    ProfileDoc, SimObserver, TraceEvent,
 };
 pub use facile_runtime::{CachePolicy, CacheStats, HaltReason, Image, Memory, SimStats, Target};
 pub use facile_vm::{ArgValue, RecoveryError, RecoveryErrorKind, SimError, SimOptions, Simulation};

@@ -9,8 +9,8 @@
 
 use facile_lang::span::LineMap;
 use facile_obs::{
-    ActionRow, CacheStatsSnapshot, MetricsDoc, ObsConfig, ObsHandle, ProfileDoc,
-    SimStatsSnapshot,
+    ActionRow, CacheStatsSnapshot, HotConfig, HotDoc, MetricsDoc, ObsConfig, ObsHandle,
+    ProfileDoc, SimStatsSnapshot,
 };
 use facile_runtime::{CacheStats, SimStats};
 use facile_vm::Simulation;
@@ -126,6 +126,34 @@ pub fn observe_metrics(sim: &mut Simulation) -> ObsHandle {
     obs
 }
 
+/// Attaches an observability handle with the replay flight recorder on
+/// (plus the default metrics registry) and returns it. The common setup
+/// for `--hot-out`; `sample_every` is the 1-in-N burst sampling period
+/// (1 records every burst, the mode whose recounts are exact).
+pub fn observe_hot(sim: &mut Simulation, sample_every: u64) -> ObsHandle {
+    let obs = ObsHandle::new(ObsConfig {
+        hot: HotConfig {
+            enabled: true,
+            sample_every,
+        },
+        ..ObsConfig::default()
+    });
+    sim.attach_obs(obs.clone());
+    obs
+}
+
+/// Builds the hot-chain document (`facile-hot/v1`) for a run whose
+/// handle carried the flight recorder; `None` when no recorder was
+/// attached. `wall_ns` is the caller-measured wall-clock duration.
+pub fn hot_doc(label: &str, sim: &Simulation, wall_ns: u64) -> Option<HotDoc> {
+    Some(HotDoc {
+        label: label.to_owned(),
+        sim: snapshot_sim(sim.stats()),
+        wall_ns,
+        hot: sim.obs().hot()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +237,65 @@ mod tests {
         // And the document survives serialization.
         let back = facile_obs::ProfileDoc::from_json(&doc.to_json()).unwrap();
         assert_eq!(back.rows, doc.rows);
+    }
+
+    /// Keys cycle 0..7 while a memory counter decides when to halt, so
+    /// after the first lap everything replays through the fast engine.
+    const LOOPING_SRC: &str = r#"
+            fun main(x : int) {
+                val c = mem_ld(0);
+                mem_st(0, c + 1);
+                count_insns(1);
+                if (c >= 200) { sim_halt(); }
+                next((x + 1) % 7);
+            }
+        "#;
+
+    fn looping_sim() -> Simulation {
+        let step = compile_source(LOOPING_SRC, &CompilerOptions::default()).unwrap();
+        Simulation::new(
+            step,
+            Target::load(&Image::default()),
+            &[ArgValue::Scalar(0)],
+            SimOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hot_doc_recounts_the_fast_path_exactly() {
+        let mut sim = looping_sim();
+        observe_hot(&mut sim, 1);
+        sim.run_steps(10_000);
+        assert!(sim.stats().fast_steps > 0, "the loop fast-forwards");
+        let doc = hot_doc("loop", &sim, 9).expect("recorder attached");
+        let h = &doc.hot;
+        // Full sampling: every fast step and fast instruction is inside
+        // exactly one recorded burst, and every burst has one exit.
+        assert!(h.bursts > 0, "the loop fast-forwards");
+        assert_eq!(h.bursts_skipped, 0);
+        assert_eq!(h.exits.iter().sum::<u64>(), h.bursts);
+        assert_eq!(h.burst_steps.count(), h.bursts);
+        assert_eq!(h.burst_insns.count(), h.bursts);
+        assert_eq!(h.burst_steps.sum(), sim.stats().fast_steps);
+        assert_eq!(h.burst_insns.sum(), sim.stats().fast_insns);
+        // Every non-evicted burst lands in the chain table (or the
+        // overflow counter once the table caps out).
+        assert_eq!(
+            h.tabled_replays() + h.chain_overflow,
+            h.bursts - h.exits[facile_obs::BurstExit::Evicted as usize]
+        );
+        // And the document survives its own serialization.
+        let back = HotDoc::from_json(&doc.to_json()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn without_recorder_hot_doc_is_none() {
+        let mut sim = counting_sim();
+        observe_metrics(&mut sim);
+        sim.run_steps(1_000);
+        assert!(hot_doc("bare", &sim, 0).is_none());
     }
 
     #[test]

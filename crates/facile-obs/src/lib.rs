@@ -24,6 +24,11 @@
 //! * [`report::MetricsDoc`] — the JSON document `--metrics-out` writes
 //!   and `sim_report` renders into the paper's Table 1 / Table 2 layout,
 //!   via the offline reader/writer in [`json`].
+//! * [`burst::HotMetrics`] — the replay flight recorder: per-burst
+//!   length/exit telemetry, a capped hot-chain table keyed by a
+//!   bounded-depth action-path signature, and per-INDEX-site dispatch
+//!   stability, exported as the `facile-hot/v1` document
+//!   ([`burst::HotDoc`]) `--hot-out` writes and `sim_hot` renders.
 //!
 //! This crate is dependency-free and sits *below* `facile-runtime`, so
 //! the action cache itself can announce clears; snapshot conversion from
@@ -42,6 +47,7 @@
 //! Σ row misses == sim.misses) survive the fold, and `sim_prof --check`
 //! accepts a merged document.
 
+pub mod burst;
 pub mod event;
 pub mod hist;
 pub mod json;
@@ -51,6 +57,10 @@ pub mod profile;
 pub mod report;
 pub mod ring;
 
+pub use burst::{
+    fold_sig, BurstExit, BurstRecord, ChainRow, HotConfig, HotDoc, HotMetrics, SiteRow,
+    CHAIN_DEPTH, ENTRY_UNKNOWN, HOT_CHAIN_CAP, HOT_SCHEMA, SIG_SEED, SITE_TARGET_CAP,
+};
 pub use event::{EngineTag, TraceEvent};
 pub use hist::LogHistogram;
 pub use metrics::Metrics;

@@ -17,6 +17,7 @@
 //! cloning one enabled handle across threads either; emits then
 //! serialize on the core's mutex.
 
+use crate::burst::{BurstRecord, HotConfig, HotMetrics};
 use crate::event::{EngineTag, TraceEvent};
 use crate::metrics::Metrics;
 use crate::ring::{EventRing, DEFAULT_CAPACITY};
@@ -62,6 +63,9 @@ pub struct ObsConfig {
     pub ring_capacity: usize,
     /// Maintain the derived [`Metrics`] registry.
     pub metrics: bool,
+    /// Replay flight recorder: burst/chain telemetry (see
+    /// [`crate::burst`]). Off by default.
+    pub hot: HotConfig,
 }
 
 impl Default for ObsConfig {
@@ -70,6 +74,7 @@ impl Default for ObsConfig {
             trace: true,
             ring_capacity: DEFAULT_CAPACITY,
             metrics: true,
+            hot: HotConfig::default(),
         }
     }
 }
@@ -79,6 +84,9 @@ struct ObsCore {
     ring: EventRing,
     writer: Option<Box<dyn Write + Send>>,
     metrics: Option<Metrics>,
+    hot: Option<HotMetrics>,
+    /// Bursts seen so far, sampled or not (drives 1-in-N sampling).
+    hot_seq: u64,
     trace: bool,
     io_errors: u64,
 }
@@ -154,7 +162,14 @@ impl ObsCore {
 /// the default handle is disabled and free. The handle is `Send`, so a
 /// fully-built simulation can move to a worker thread.
 #[derive(Clone, Default)]
-pub struct ObsHandle(Option<Arc<Mutex<ObsCore>>>);
+pub struct ObsHandle {
+    core: Option<Arc<Mutex<ObsCore>>>,
+    /// Cached at construction: the core maintains a metrics registry.
+    /// Lets the per-action hooks skip the lock entirely when no
+    /// registry is attached (configuration is fixed at construction, so
+    /// the cache can never go stale).
+    counts_actions: bool,
+}
 
 /// Locks the core. A panic while observing poisons the mutex; the data
 /// is integer counters that are never left half-updated, so later reads
@@ -165,7 +180,7 @@ fn locked(core: &Mutex<ObsCore>) -> MutexGuard<'_, ObsCore> {
 
 impl std::fmt::Debug for ObsHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match &self.0 {
+        match &self.core {
             None => f.write_str("ObsHandle(off)"),
             Some(core) => {
                 let c = locked(core);
@@ -184,30 +199,38 @@ impl std::fmt::Debug for ObsHandle {
 impl ObsHandle {
     /// The disabled handle: every hook is a no-op.
     pub fn off() -> ObsHandle {
-        ObsHandle(None)
+        ObsHandle::default()
     }
 
     /// An enabled handle.
     pub fn new(config: ObsConfig) -> ObsHandle {
-        ObsHandle(Some(Arc::new(Mutex::new(ObsCore {
-            observers: Vec::new(),
-            ring: EventRing::new(config.ring_capacity),
-            writer: None,
-            metrics: config.metrics.then(Metrics::new),
-            trace: config.trace,
-            io_errors: 0,
-        }))))
+        ObsHandle {
+            counts_actions: config.metrics,
+            core: Some(Arc::new(Mutex::new(ObsCore {
+                observers: Vec::new(),
+                ring: EventRing::new(config.ring_capacity),
+                writer: None,
+                metrics: config.metrics.then(Metrics::new),
+                hot: config
+                    .hot
+                    .enabled
+                    .then(|| HotMetrics::new(config.hot.sample_every)),
+                hot_seq: 0,
+                trace: config.trace,
+                io_errors: 0,
+            }))),
+        }
     }
 
     /// Whether any instrumentation is active.
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.0.is_some()
+        self.core.is_some()
     }
 
     /// Subscribes an observer. No-op on a disabled handle.
     pub fn subscribe(&self, obs: Box<dyn SimObserver>) {
-        if let Some(core) = &self.0 {
+        if let Some(core) = &self.core {
             locked(core).observers.push(obs);
         }
     }
@@ -215,7 +238,7 @@ impl ObsHandle {
     /// Attaches a JSONL sink: the ring streams to it when full and on
     /// [`flush`](Self::flush). No-op on a disabled handle.
     pub fn set_writer(&self, w: Box<dyn Write + Send>) {
-        if let Some(core) = &self.0 {
+        if let Some(core) = &self.core {
             locked(core).writer = Some(w);
         }
     }
@@ -223,7 +246,7 @@ impl ObsHandle {
     /// Emits one event: metrics fold, observer dispatch, ring append.
     #[inline]
     pub fn emit(&self, ev: TraceEvent) {
-        if let Some(core) = &self.0 {
+        if let Some(core) = &self.core {
             locked(core).dispatch(&ev);
         }
     }
@@ -233,7 +256,10 @@ impl ObsHandle {
     /// not a full event).
     #[inline]
     pub fn action_replayed(&self, action: u32, insns: u64) {
-        if let Some(core) = &self.0 {
+        if !self.counts_actions {
+            return;
+        }
+        if let Some(core) = &self.core {
             if let Some(m) = &mut locked(core).metrics {
                 m.action_replayed(action, insns);
             }
@@ -244,16 +270,69 @@ impl ObsHandle {
     /// group and its retired-instruction delta.
     #[inline]
     pub fn action_slow(&self, action: u32, insns: u64) {
-        if let Some(core) = &self.0 {
+        if !self.counts_actions {
+            return;
+        }
+        if let Some(core) = &self.core {
             if let Some(m) = &mut locked(core).metrics {
                 m.action_slow(action, insns);
             }
         }
     }
 
+    /// Decides whether the fast-replay burst about to run should be
+    /// recorded by the flight recorder. Counts the burst against the
+    /// 1-in-N sampling period either way, so sampling is deterministic
+    /// in the burst sequence (no clocks, no RNG). Always `false` when
+    /// the handle is disabled or the recorder is off.
+    #[inline]
+    pub fn hot_burst_sampled(&self) -> bool {
+        let Some(core) = &self.core else {
+            return false;
+        };
+        let mut c = locked(core);
+        let Some(h) = &mut c.hot else {
+            return false;
+        };
+        let every = h.sample_every.max(1);
+        let seq = c.hot_seq;
+        c.hot_seq = c.hot_seq.wrapping_add(1);
+        if seq.is_multiple_of(every) {
+            true
+        } else {
+            // Reborrow: `h` ended at the `hot_seq` writes above.
+            if let Some(h) = &mut c.hot {
+                h.bursts_skipped = h.bursts_skipped.saturating_add(1);
+            }
+            false
+        }
+    }
+
+    /// Records one finished (sampled-in) burst into the flight
+    /// recorder, together with the burst's taken INDEX crossings as
+    /// locally pre-aggregated `(site, target, count)` rows — the burst
+    /// pays one registry lock total, never one per fast step. No-op
+    /// when the recorder is off.
+    #[inline]
+    pub fn record_burst(&self, rec: BurstRecord, dispatches: &[(u32, u32, u64)]) {
+        if let Some(core) = &self.core {
+            if let Some(h) = &mut locked(core).hot {
+                h.observe_burst(&rec);
+                for &(site, target, n) in dispatches {
+                    h.index_dispatch_n(site, target, n);
+                }
+            }
+        }
+    }
+
+    /// A snapshot of the flight recorder's aggregate, if it is on.
+    pub fn hot(&self) -> Option<HotMetrics> {
+        self.core.as_ref().and_then(|c| locked(c).hot.clone())
+    }
+
     /// Writes buffered events to the attached sink, if any.
     pub fn flush(&self) {
-        if let Some(core) = &self.0 {
+        if let Some(core) = &self.core {
             locked(core).flush();
         }
     }
@@ -261,7 +340,7 @@ impl ObsHandle {
     /// Removes and returns the buffered events (for in-memory tools and
     /// tests; use [`set_writer`](Self::set_writer) for streaming).
     pub fn drain_events(&self) -> Vec<TraceEvent> {
-        match &self.0 {
+        match &self.core {
             Some(core) => locked(core).ring.drain(),
             None => Vec::new(),
         }
@@ -271,7 +350,7 @@ impl ObsHandle {
     /// snapshot carries the ring's drop count and capacity so a metrics
     /// document records whether its trace stream was lossy.
     pub fn metrics(&self) -> Option<Metrics> {
-        self.0.as_ref().and_then(|c| {
+        self.core.as_ref().and_then(|c| {
             let core = locked(c);
             let mut m = core.metrics.clone()?;
             m.dropped_events = core.ring.dropped();
@@ -282,17 +361,17 @@ impl ObsHandle {
 
     /// Events evicted from the ring without reaching a sink.
     pub fn dropped_events(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| locked(c).ring.dropped())
+        self.core.as_ref().map_or(0, |c| locked(c).ring.dropped())
     }
 
     /// Events emitted through this handle so far.
     pub fn total_events(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| locked(c).ring.total())
+        self.core.as_ref().map_or(0, |c| locked(c).ring.total())
     }
 
     /// Failed writes to the attached sink.
     pub fn io_errors(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| locked(c).io_errors)
+        self.core.as_ref().map_or(0, |c| locked(c).io_errors)
     }
 }
 
@@ -322,9 +401,37 @@ mod tests {
         h.emit(TraceEvent::NeedSlow { step: 1 });
         h.action_replayed(3, 1);
         h.action_slow(3, 1);
+        assert!(!h.hot_burst_sampled());
+        h.record_burst(BurstRecord::evicted(0, 0), &[(0, 1, 1)]);
         assert!(h.drain_events().is_empty());
         assert!(h.metrics().is_none());
+        assert!(h.hot().is_none());
         assert_eq!(h.total_events(), 0);
+    }
+
+    #[test]
+    fn hot_sampling_is_deterministic_and_counts_skips() {
+        let h = ObsHandle::new(ObsConfig {
+            hot: HotConfig {
+                enabled: true,
+                sample_every: 3,
+            },
+            ..Default::default()
+        });
+        let sampled: Vec<bool> = (0..9).map(|_| h.hot_burst_sampled()).collect();
+        assert_eq!(
+            sampled,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
+        assert_eq!(h.hot().unwrap().bursts_skipped, 6);
+    }
+
+    #[test]
+    fn recorder_off_means_no_sampling_even_when_enabled() {
+        let h = ObsHandle::new(ObsConfig::default());
+        assert!(h.enabled());
+        assert!(!h.hot_burst_sampled());
+        assert!(h.hot().is_none());
     }
 
     #[test]
@@ -367,6 +474,7 @@ mod tests {
             trace: true,
             ring_capacity: 4,
             metrics: false,
+            hot: HotConfig::default(),
         });
         h.set_writer(Box::new(Shared(sink.clone())));
         for i in 0..10 {
@@ -412,6 +520,7 @@ mod tests {
             trace: true,
             ring_capacity: 4,
             metrics: true,
+            hot: HotConfig::default(),
         });
         for i in 0..10 {
             h.emit(TraceEvent::NeedSlow { step: i });
@@ -427,6 +536,7 @@ mod tests {
             trace: true,
             ring_capacity: 4,
             metrics: false,
+            hot: HotConfig::default(),
         });
         for i in 0..10 {
             h.emit(TraceEvent::NeedSlow { step: i });

@@ -700,6 +700,37 @@ impl ActionCache {
         }
     }
 
+    /// Evicts the coldest generations until at most `target` bytes stay
+    /// resident — the memory-pressure release valve behind
+    /// `Simulation::trim_cache`, independent of the capacity policy.
+    /// The recording generation and `cursor`'s generation are pinned
+    /// (recording continues seamlessly), so the target is best-effort:
+    /// pinned bytes stay put. A paused replay position is not pinned;
+    /// evicting it is detected by the engine's residency check and
+    /// healed through the slow path.
+    pub fn shrink_to(&mut self, target: u64, cursor: &Cursor) {
+        let pin_cur = self.gens[self.cur].seq;
+        let pin_cursor = match cursor {
+            Cursor::AtEntry(_) => None,
+            Cursor::AfterPlain(n) | Cursor::AfterTest(n, _) | Cursor::AfterIndex(n, _, _) => {
+                Some(n.gen)
+            }
+        };
+        while self.stats.bytes_current > target {
+            let victim = self
+                .gens
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.seq != pin_cur && Some(g.seq) != pin_cursor)
+                .min_by_key(|(_, g)| g.last_touch.get())
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => self.evict_gen(i),
+                None => break,
+            }
+        }
+    }
+
     /// Retires one generation: releases its bytes and announces the
     /// eviction. Links into it become stale and read as ordinary misses.
     fn evict_gen(&mut self, slot: usize) {

@@ -16,7 +16,7 @@
 use crate::state::{MachineState, Store};
 use facile_codegen::{ActionKind, CompiledStep, FOp, FOperand, KeyPlanArg};
 use facile_ir::lower::{eval_binop, eval_unop};
-use facile_obs::{EngineTag, TraceEvent};
+use facile_obs::{fold_sig, EngineTag, TraceEvent, CHAIN_DEPTH, SIG_SEED};
 use facile_runtime::cache::{ActionCache, Cursor, NodeId};
 use facile_runtime::key::{Key, KeyWriter};
 use facile_runtime::{Engine, HaltReason};
@@ -46,12 +46,60 @@ pub struct ReplayScratch {
     kw: KeyWriter,
     /// Argument staging for external calls.
     ext_args: Vec<i64>,
+    /// Flight recorder armed for the current burst (set by the driver
+    /// when the burst was sampled in; one predictable branch per action
+    /// when off).
+    pub(crate) hot: bool,
+    /// Rolling chain signature over the first [`CHAIN_DEPTH`] replayed
+    /// actions of the current burst.
+    pub(crate) chain_sig: u64,
+    /// The action numbers folded into `chain_sig`, in replay order.
+    pub(crate) chain_path: [u32; CHAIN_DEPTH],
+    /// How many of `chain_path` are meaningful.
+    pub(crate) chain_len: u8,
+    /// Per-burst INDEX dispatch accumulator: `(site, target, count)`
+    /// rows collected locally so a sampled burst takes the observer
+    /// lock once at the end instead of once per step.
+    pub(crate) dispatches: Vec<(u32, u32, u64)>,
+    /// Last-hit index into `dispatches` — INDEX sites are heavily
+    /// monomorphic, so consecutive steps usually bump the same row.
+    dispatch_hot: usize,
 }
 
 impl ReplayScratch {
     /// Fresh, empty scratch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arms (or disarms) the flight recorder for the next [`fast_run`]
+    /// call and resets the chain accumulator.
+    pub(crate) fn begin_burst(&mut self, hot: bool) {
+        self.hot = hot;
+        self.chain_sig = SIG_SEED;
+        self.chain_len = 0;
+        self.dispatches.clear();
+        self.dispatch_hot = 0;
+    }
+
+    /// Records one INDEX crossing (`site` dispatched to `target`) in the
+    /// local accumulator. Only called on sampled bursts.
+    pub(crate) fn note_dispatch(&mut self, site: u32, target: u32) {
+        if let Some(row) = self.dispatches.get_mut(self.dispatch_hot) {
+            if row.0 == site && row.1 == target {
+                row.2 = row.2.saturating_add(1);
+                return;
+            }
+        }
+        for (i, row) in self.dispatches.iter_mut().enumerate() {
+            if row.0 == site && row.1 == target {
+                row.2 = row.2.saturating_add(1);
+                self.dispatch_hot = i;
+                return;
+            }
+        }
+        self.dispatch_hot = self.dispatches.len();
+        self.dispatches.push((site, target, 1));
     }
 }
 
@@ -112,6 +160,11 @@ pub fn fast_run(
     loop {
         let n = cache.node(node);
         let action = n.action;
+        if scratch.hot && (scratch.chain_len as usize) < CHAIN_DEPTH {
+            scratch.chain_path[scratch.chain_len as usize] = action;
+            scratch.chain_len += 1;
+            scratch.chain_sig = fold_sig(scratch.chain_sig, action);
+        }
         let code = &step.actions[action as usize];
         let mut ph = 0usize;
 
@@ -192,6 +245,10 @@ pub fn fast_run(
                 dynamic_signature(plan, st, &mut scratch.sig);
                 match cache.next_index_local_hot(node, &scratch.sig) {
                     Some(next) => {
+                        if scratch.hot {
+                            let target = cache.node(next).action;
+                            scratch.note_dispatch(action, target);
+                        }
                         std::mem::swap(&mut scratch.sig, &mut scratch.cur_sig);
                         cur_index = Some((node, ph));
                         node = next;
@@ -223,6 +280,10 @@ pub fn fast_run(
                         );
                         match cache.entry_bytes(scratch.kw.bytes()) {
                             Some(next) => {
+                                if scratch.hot {
+                                    let target = cache.node(next).action;
+                                    scratch.note_dispatch(action, target);
+                                }
                                 let key = Key::from_bytes(scratch.kw.bytes());
                                 let cursor =
                                     Cursor::AfterIndex(node, key, scratch.sig.clone());

@@ -1,0 +1,238 @@
+//! Recount invariants of the replay flight recorder, checked against
+//! the live runtime counters rather than a serialized document.
+//!
+//! The recorder's contract (see `facile_obs::burst`): with 1-in-1
+//! sampling every fast step and fast instruction lands in exactly one
+//! recorded burst, every burst has exactly one exit cause, every
+//! completed INDEX crossing records one dispatch, and eviction of the
+//! resume node between bursts is classified as an eviction — never as a
+//! generic cache miss. And, like every observer before it, attaching
+//! the recorder must not perturb the simulation: obs-on and obs-off
+//! runs produce bit-for-bit identical statistics and memory.
+
+use facile_codegen::{compile, CodegenConfig};
+use facile_lang::diag::Diagnostics;
+use facile_lang::parser::parse;
+use facile_obs::{BurstExit, HotConfig, HotMetrics, ObsConfig, ObsHandle};
+use facile_runtime::{CachePolicy, HaltReason, Image, Target};
+use facile_sema::analyze as sema;
+use facile_vm::engine::{ArgValue, SimOptions, Simulation};
+
+fn build(src: &str) -> facile_codegen::CompiledStep {
+    let mut diags = Diagnostics::new();
+    let prog = parse(src, &mut diags);
+    let syms = sema(&prog, &mut diags);
+    assert!(!diags.has_errors(), "{}", diags.render_all(src));
+    let ir = facile_ir::lower::lower(&prog, &syms, &mut diags).expect("lowering succeeds");
+    compile(ir, &CodegenConfig::default()).expect("codegen succeeds")
+}
+
+fn sim(src: &str, opts: SimOptions) -> Simulation {
+    let step = build(src);
+    Simulation::new(
+        step,
+        Target::load(&Image::default()),
+        &[ArgValue::Scalar(0)],
+        opts,
+    )
+    .unwrap()
+}
+
+/// Keys cycle through a small space while a memory counter decides when
+/// to halt, so after the first lap every step replays.
+const LOOPING_SRC: &str = "fun main(x : int) {
+    val c = mem_ld(0);
+    mem_st(0, c + 1);
+    count_insns(1);
+    if (c >= 400) { sim_halt(); }
+    next((x + 1) % 11);
+}";
+
+/// Attaches a flight recorder (1-in-`n` sampling) and returns the
+/// handle.
+fn record(s: &mut Simulation, sample_every: u64) -> ObsHandle {
+    let obs = ObsHandle::new(ObsConfig {
+        hot: HotConfig {
+            enabled: true,
+            sample_every,
+        },
+        ..ObsConfig::default()
+    });
+    s.attach_obs(obs.clone());
+    obs
+}
+
+fn hot_of(obs: &ObsHandle) -> HotMetrics {
+    obs.hot().expect("flight recorder attached")
+}
+
+#[test]
+fn burst_recount_matches_live_counters_exactly() {
+    let mut s = sim(LOOPING_SRC, SimOptions::default());
+    let obs = record(&mut s, 1);
+    assert_eq!(s.run_steps(100_000), Some(HaltReason::Explicit));
+    assert!(s.stats().fast_steps > 0, "the loop fast-forwards");
+
+    let h = hot_of(&obs);
+    // Σ(exit-cause counters) == burst count, and every burst lands in
+    // both histograms.
+    assert_eq!(h.exits.iter().sum::<u64>(), h.bursts);
+    assert_eq!(h.burst_steps.count(), h.bursts);
+    assert_eq!(h.burst_insns.count(), h.bursts);
+    // Σ(burst lengths) == fast-path steps/insns: nothing the fast
+    // engine did escapes the recorder at full sampling.
+    assert_eq!(h.bursts_skipped, 0);
+    assert_eq!(h.burst_steps.sum(), s.stats().fast_steps);
+    assert_eq!(h.burst_insns.sum(), s.stats().fast_insns);
+    // Every completed INDEX crossing recorded exactly one dispatch.
+    assert_eq!(h.total_dispatches(), h.burst_steps.sum());
+    // Every non-evicted burst is tabled or counted as overflow.
+    let evicted = h.exits[BurstExit::Evicted as usize];
+    assert_eq!(h.tabled_replays() + h.chain_overflow, h.bursts - evicted);
+}
+
+/// Drives a simulation to completion in small budget slices. Every
+/// slice that lands mid-replay ends its burst with a `Budget` exit, so
+/// this produces a long burst stream (one sampling decision each) from
+/// a program whose uninterrupted run would fast-forward in a handful of
+/// long bursts.
+fn run_sliced(s: &mut Simulation, slice: u64) {
+    while s.halted().is_none() {
+        s.run_steps(slice);
+    }
+}
+
+#[test]
+fn sampling_partitions_the_burst_stream() {
+    let mut s = sim(LOOPING_SRC, SimOptions::default());
+    let obs = record(&mut s, 1);
+    run_sliced(&mut s, 25);
+    let full = hot_of(&obs);
+    assert!(full.bursts >= 10, "slicing produced only {} bursts", full.bursts);
+
+    let mut s2 = sim(LOOPING_SRC, SimOptions::default());
+    let obs2 = record(&mut s2, 3);
+    run_sliced(&mut s2, 25);
+    let sampled = hot_of(&obs2);
+
+    // The sampled recorder saw the same stream, recording every third
+    // burst and counting the rest as skipped.
+    assert_eq!(sampled.bursts + sampled.bursts_skipped, full.bursts);
+    assert!(sampled.bursts > 0);
+    assert!(sampled.bursts_skipped > 0);
+    // Recorded bursts still satisfy the per-burst invariants.
+    assert_eq!(sampled.exits.iter().sum::<u64>(), sampled.bursts);
+    assert_eq!(sampled.burst_steps.count(), sampled.bursts);
+    assert_eq!(sampled.total_dispatches(), sampled.burst_steps.sum());
+    // But only a subset of the fast path was recorded.
+    assert!(sampled.burst_steps.sum() <= full.burst_steps.sum());
+}
+
+/// The satellite regression for the evicted-between-bursts path
+/// (`engine.rs`, `Mode::Fast` with a non-resident node): generational
+/// reclaim while a replay is paused must count each eviction exactly
+/// once in the cache statistics, and the flight recorder must classify
+/// the stalled burst as an eviction — a zero-length pseudo-burst — not
+/// as a generic miss.
+///
+/// The scenario needs `trim_cache`: within `run_steps` the engine only
+/// reclaims in slow mode, when no replay position is held, so the
+/// non-resident resume node can only materialize when a driver releases
+/// memory *between* budget-bounded calls — pause mid-replay, trim,
+/// resume.
+#[test]
+fn eviction_between_bursts_is_counted_once_and_classified() {
+    let mut s = sim(
+        LOOPING_SRC,
+        SimOptions {
+            memoize: true,
+            // Roomy enough that the ring replays (no reclaim treadmill)
+            // but small enough that generations hold only a node or two,
+            // so a trim's pins do not cover the whole ring.
+            cache_capacity: Some(800),
+            cache_policy: CachePolicy::Generational,
+        },
+    );
+    let obs = record(&mut s, 1);
+    // Pause mid-replay every 25 steps and trim to zero: everything
+    // unpinned goes, including the generation holding the paused
+    // replay position (only the recording and cursor generations are
+    // pinned), so the resume node is evicted out from under the
+    // replay.
+    while s.halted().is_none() {
+        s.run_steps(25);
+        s.trim_cache(0);
+    }
+    assert_eq!(s.halted(), Some(HaltReason::Explicit));
+    let cs = s.cache_stats();
+    assert!(cs.evictions > 0, "capacity never forced an eviction");
+    assert!(cs.bytes_evicted > 0);
+    // Counted exactly once: the byte ledger balances, so no eviction
+    // was double-charged (or charged as a clear as well).
+    assert_eq!(
+        cs.bytes_total,
+        cs.bytes_current + cs.bytes_cleared + cs.bytes_evicted
+    );
+    assert_eq!(cs.bytes_cleared, 0, "generational policy never clears wholesale");
+
+    let h = hot_of(&obs);
+    let evicted = h.exits[BurstExit::Evicted as usize];
+    assert!(evicted > 0, "no burst was classified as evicted");
+    // Eviction is its own exit cause: the stalled bursts do not leak
+    // into the miss counters. Misses recorded by the recorder must not
+    // exceed what the runtime itself counted.
+    let misses = h.exits[BurstExit::MissPlain as usize] + h.exits[BurstExit::MissTest as usize];
+    assert!(
+        misses <= s.stats().misses,
+        "recorder saw {misses} miss exits but the runtime counted {}",
+        s.stats().misses
+    );
+    // Counted exactly once: the recount invariants still balance with
+    // the pseudo-bursts included (each contributes one exit, zero
+    // steps, zero insns).
+    assert_eq!(h.exits.iter().sum::<u64>(), h.bursts);
+    assert_eq!(h.burst_steps.sum(), s.stats().fast_steps);
+    assert_eq!(h.burst_insns.sum(), s.stats().fast_insns);
+    assert_eq!(h.tabled_replays() + h.chain_overflow, h.bursts - evicted);
+
+    // And the whole run is still transparent: an unbounded-cache run
+    // retires the same instructions.
+    let mut free = sim(LOOPING_SRC, SimOptions::default());
+    free.run_steps(100_000);
+    assert_eq!(s.stats().insns, free.stats().insns);
+    assert_eq!(s.trace(), free.trace());
+}
+
+/// Observability transparency over the new hooks: a run with the flight
+/// recorder (and metrics, and trace ring) attached is bit-for-bit the
+/// unobserved run — same counters, same output trace, same memory
+/// digest.
+#[test]
+fn recorder_does_not_perturb_the_simulation() {
+    let mut bare = sim(LOOPING_SRC, SimOptions::default());
+    bare.run_steps(100_000);
+
+    let mut observed = sim(LOOPING_SRC, SimOptions::default());
+    record(&mut observed, 1);
+    observed.run_steps(100_000);
+
+    assert_eq!(bare.halted(), observed.halted());
+    assert_eq!(bare.stats().insns, observed.stats().insns);
+    assert_eq!(bare.stats().cycles, observed.stats().cycles);
+    assert_eq!(bare.stats().fast_steps, observed.stats().fast_steps);
+    assert_eq!(bare.stats().slow_steps, observed.stats().slow_steps);
+    assert_eq!(bare.stats().misses, observed.stats().misses);
+    assert_eq!(bare.trace(), observed.trace());
+    assert_eq!(
+        bare.memory().digest(),
+        observed.memory().digest(),
+        "observing the run changed simulated memory"
+    );
+
+    // Sampling modes are equally transparent.
+    let mut sampled = sim(LOOPING_SRC, SimOptions::default());
+    record(&mut sampled, 7);
+    sampled.run_steps(100_000);
+    assert_eq!(bare.stats().insns, sampled.stats().insns);
+    assert_eq!(bare.memory().digest(), sampled.memory().digest());
+}

@@ -5,8 +5,10 @@
 #
 # Builds release, runs the fig11 workload suite through the compiled
 # out-of-order simulator with memoization (`fastreplay` harness), and
-# writes `BENCH_fastsim.json` at the repo root. Each workload is timed
-# best-of-N (default 3) to suppress host noise. When the committed
+# writes `BENCH_fastsim.json` at the repo root, then repeats the suite
+# under the three observability modes (`obs_overhead` harness,
+# `BENCH_obs.json`). Each workload is timed best-of-N (default 3) to
+# suppress host noise. When the committed
 # pre-optimization baseline `results/BENCH_baseline.json` exists, each
 # workload row and the output document carry the speedup against it.
 set -eu
@@ -36,4 +38,12 @@ echo "==> cache_sweep --bench 126.gcc --scale $SCALE (both capacity policies)"
 ./target/release/cache_sweep --bench 126.gcc --scale "$SCALE" \
     --json-out BENCH_cache.json
 
-echo "bench: wrote BENCH_fastsim.json, BENCH_batch.json and BENCH_cache.json"
+echo "==> obs_overhead --scale $SCALE --reps $REPS (disabled / sampled / full)"
+# Same suite, same scale, same best-of-N methodology as fastreplay just
+# above, so the embedded disabled-vs-unobserved hmean ratio compares
+# like with like (the <= 2% disabled-handle budget in
+# docs/OBSERVABILITY.md).
+./target/release/obs_overhead --scale "$SCALE" --reps "$REPS" \
+    --fastsim BENCH_fastsim.json --json-out BENCH_obs.json
+
+echo "bench: wrote BENCH_fastsim.json, BENCH_batch.json, BENCH_cache.json and BENCH_obs.json"

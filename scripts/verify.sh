@@ -8,10 +8,14 @@
 # `facilec --run --metrics-out` emits a parseable facile-obs/v1 document,
 # and gates the fast-replay hot path: a small fig11 workload must
 # fast-forward at least as much as the seed did, and steady-state replay
-# must be allocation-free (docs/PERFORMANCE.md). Batch mode must produce
-# merged documents that pass the sim_prof --check exactness gate (and
-# beat serial throughput on multi-core hosts), and rustdoc must build
-# warning-free with its doc-tests green.
+# must be allocation-free (docs/PERFORMANCE.md). The replay flight
+# recorder must pass the sim_hot --check recount on single runs and on
+# batch-merged documents, its top-10 hot chains must explain >= 50% of
+# gcc-like fast-path instructions, and watching the simulator must stay
+# cheap (obs_overhead). Batch mode must produce merged documents that
+# pass the sim_prof --check exactness gate (and beat serial throughput
+# on multi-core hosts), and rustdoc must build warning-free with its
+# doc-tests green.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -64,6 +68,17 @@ grep -q '"schema":"facile-prof/v1"' "$tmp/prof.json"
 ./target/release/sim_prof "$tmp/prof.json" --check
 ./target/release/sim_prof "$tmp/prof.json" --folded | grep -q ':'
 
+echo "==> smoke: sim_hot exactness gate on a flight-recorded run"
+# --check asserts the flight recorder's contract (docs/OBSERVABILITY.md):
+# exit counters sum to the burst count, dispatches recount the steps
+# histogram, and in exact mode the burst histograms recount the
+# runtime's fast-path counters bit for bit.
+./target/release/facilec --builtin ooo --run "$tmp/loop.asm" \
+    --hot-out "$tmp/hot.json" > /dev/null
+grep -q '"schema":"facile-hot/v1"' "$tmp/hot.json"
+./target/release/sim_hot "$tmp/hot.json" --check
+./target/release/sim_hot "$tmp/hot.json" | grep -q 'hot chains'
+
 echo "==> perf smoke: fig11 fast fraction holds on a small workload"
 ./target/release/fastreplay --scale 0.02 --reps 1 --filter 145.fpppp \
     --json-out "$tmp/perf.json" > /dev/null
@@ -96,11 +111,18 @@ $tmp/loop.asm
 EOF
 ./target/release/facilec --builtin functional batch --jobs "$tmp/jobs.txt" \
     --threads 4 --metrics-out "$tmp/batch_m.jsonl" \
-    --profile-out "$tmp/batch_p.jsonl" > /dev/null
+    --profile-out "$tmp/batch_p.jsonl" \
+    --hot-out "$tmp/batch_h.jsonl" --progress 2> "$tmp/progress.jsonl" > /dev/null
 tail -n 1 "$tmp/batch_p.jsonl" > "$tmp/batch_merged_prof.json"
 ./target/release/sim_prof "$tmp/batch_merged_prof.json" --check
 tail -n 1 "$tmp/batch_m.jsonl" | grep -q '"label":"batch(4 jobs)"'
 tail -n 1 "$tmp/batch_m.jsonl" | grep -q '"insns":1216'
+# The per-job and merged hot-chain documents must all pass the sim_hot
+# recount, and the heartbeat must have reported every completed job.
+./target/release/sim_hot "$tmp/batch_h.jsonl" --check
+tail -n 1 "$tmp/batch_h.jsonl" | grep -q '"label":"batch(4 jobs)"'
+[ "$(grep -c '"steps_per_sec"' "$tmp/progress.jsonl")" -eq 4 ] \
+    || { echo "verify: batch --progress did not report 4 jobs"; exit 1; }
 
 if [ "$(nproc)" -ge 2 ]; then
     echo "==> perf smoke: batch throughput beats serial (multi-core host)"
@@ -149,6 +171,41 @@ awk 'BEGIN { clear = 0; gen = 0 }
      END { exit (clear > 0 && gen > 0 && gen < clear) ? 0 : 1 }' \
     "$tmp/cache.jsonl" \
     || { echo "verify: generational policy did not reduce slow-path work"; exit 1; }
+
+echo "==> perf smoke: observability overhead stays small on gcc-like"
+# One small obs_overhead lane: the top-10 hot chains must explain at
+# least half of the fast-path instructions (a behavioural property,
+# gated hard), and the disabled-handle / sampled-recorder throughput
+# must stay near the unobserved baseline. The timing half is gated
+# leniently (>= 0.90) and only on multi-core hosts, like the other
+# wall-clock gates; the committed BENCH_obs.json carries the
+# full-suite <= 2% methodology.
+./target/release/obs_overhead --scale 0.02 --reps 1 --filter 126.gcc \
+    --json-out "$tmp/obs.json" > /dev/null
+awk 'BEGIN { ok = 0 }
+     {
+       if (match($0, /"hot_top10_coverage":[0-9.]+/)) {
+         s = substr($0, RSTART, RLENGTH)
+         sub(/.*:/, "", s)
+         if (s + 0 >= 0.5) ok = 1
+       }
+     }
+     END { exit ok ? 0 : 1 }' "$tmp/obs.json" \
+    || { echo "verify: top-10 hot chains cover < 50% of fast-path insns"; exit 1; }
+if [ "$(nproc)" -ge 2 ]; then
+    awk 'BEGIN { ok = 0 }
+         {
+           if (match($0, /"sampled_over_disabled":[0-9.]+/)) {
+             s = substr($0, RSTART, RLENGTH)
+             sub(/.*:/, "", s)
+             if (s + 0 >= 0.90) ok = 1
+           }
+         }
+         END { exit ok ? 0 : 1 }' "$tmp/obs.json" \
+        || { echo "verify: sampled flight recorder cost > 10% throughput"; exit 1; }
+else
+    echo "    (timing half skipped: single-core host)"
+fi
 
 echo "==> docs: rustdoc builds warning-free (offline)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --offline
