@@ -34,8 +34,11 @@ Renders replay flight-recorder reports from facile-hot/v1 documents
              entry per burst, every non-evicted burst must be tabled or
              counted as overflow, and in exact mode (sample_every=1,
              nothing skipped) the burst histograms must recount the
-             runtime's fast-path counters bit for bit. Exits non-zero on
-             the first mismatch.
+             runtime's fast-path counters bit for bit. Supertrace
+             counters are bounded against the runtime snapshot: trace
+             steps/insns never exceed the fast-path totals, bails never
+             exceed enters, and a run that built no traces entered
+             none. Exits non-zero on the first mismatch.
 
 See docs/OBSERVABILITY.md for the document schema.";
 
@@ -181,6 +184,25 @@ fn recount(d: &HotDoc) -> Result<(), String> {
             d.sim.fast_insns,
         )?;
     }
+    // Supertrace counters: trace-executed work is a subset of the
+    // fast path, a bail presupposes an enter, an enter presupposes a
+    // built trace.
+    let le = |name: &str, got: u64, cap: u64| {
+        if got <= cap {
+            Ok(())
+        } else {
+            Err(format!("{name}: {got} > {cap}"))
+        }
+    };
+    let t = &h.trace;
+    le("trace steps vs sim.fast_steps", t.steps, d.sim.fast_steps)?;
+    le("trace insns vs sim.fast_insns", t.insns, d.sim.fast_insns)?;
+    le("trace bails vs enters", t.bails, t.enters)?;
+    le("trace invalidated vs built", t.invalidated, t.built)?;
+    if t.built == 0 {
+        eq("trace enters with no traces built", t.enters, 0)?;
+        eq("trace steps with no traces built", t.steps, 0)?;
+    }
     Ok(())
 }
 
@@ -245,6 +267,30 @@ fn render(out: &mut String, d: &HotDoc, top: usize) {
             } else {
                 String::new()
             }
+        );
+    }
+
+    // Superaction compilation: what the VM actually linearized and how
+    // much replay ran direct-threaded (zeros mean supertrace was off or
+    // nothing crossed the hotness threshold).
+    let t = &h.trace;
+    if t.built + t.build_failed + t.enters > 0 {
+        let _ = writeln!(
+            out,
+            "straces: {} built, {} build-failed, {} invalidated; {} enters ({} bailed, {:.1}%)",
+            t.built,
+            t.build_failed,
+            t.invalidated,
+            t.enters,
+            t.bails,
+            100.0 * t.bails as f64 / t.enters.max(1) as f64,
+        );
+        let _ = writeln!(
+            out,
+            "         {} steps / {} insns inside traces ({:.1}% of fast-path insns)",
+            t.steps,
+            t.insns,
+            100.0 * t.insns as f64 / d.sim.fast_insns.max(1) as f64,
         );
     }
 

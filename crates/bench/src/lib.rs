@@ -360,6 +360,7 @@ pub fn run_facile_obs(
             memoize,
             cache_capacity: capacity,
             cache_policy: policy,
+            ..SimOptions::default()
         },
     )
     .expect("simulation constructs");
@@ -472,6 +473,7 @@ pub fn run_facile_hot(
             memoize,
             cache_capacity: capacity,
             cache_policy: policy,
+            ..SimOptions::default()
         },
     )
     .expect("simulation constructs");

@@ -440,6 +440,7 @@ mod tests {
             },
             ..ObsConfig::default()
         });
+        let mut trace = facile_obs::TraceCounters::default();
         for job in jobs(6) {
             let mut sim = Simulation::new(
                 step.clone(),
@@ -451,8 +452,14 @@ mod tests {
             ArchHost::new().bind(&mut sim).expect("binds");
             sim.attach_obs(single.clone());
             sim.run_steps(job.max_steps);
+            // The recorder sees the event stream; supertrace counters
+            // are runtime totals folded in at snapshot time, exactly as
+            // `hot_doc` does per lane.
+            trace.merge(&crate::obs::snapshot_trace(&sim.trace_stats()));
         }
-        assert_eq!(merged.hot, single.hot().unwrap());
+        let mut expected = single.hot().unwrap();
+        expected.trace = trace;
+        assert_eq!(merged.hot, expected);
         // The merged counters recount too (full sampling).
         assert_eq!(merged.hot.burst_steps.sum(), merged.sim.fast_steps);
         assert_eq!(merged.hot.burst_insns.sum(), merged.sim.fast_insns);

@@ -67,10 +67,33 @@ fn main() -> ExitCode {
     let mut threads: usize = 0;
     let mut cache_capacity: Option<u64> = None;
     let mut cache_policy = CachePolicy::Clear;
+    let mut supertrace = SimOptions::default().supertrace;
+    let mut supertrace_threshold = SimOptions::default().supertrace_threshold;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "batch" => batch = true,
+            "--supertrace" => {
+                i += 1;
+                supertrace = match args.get(i).map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => {
+                        eprintln!("facilec: --supertrace requires `on` or `off`");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--supertrace-threshold" => {
+                i += 1;
+                supertrace_threshold = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("facilec: --supertrace-threshold requires a count >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--cache-capacity" => {
                 i += 1;
                 cache_capacity = match args.get(i).and_then(|v| v.parse().ok()) {
@@ -187,6 +210,7 @@ fn main() -> ExitCode {
                 eprintln!("       facilec --builtin functional|inorder|ooo [--emit ...]");
                 eprintln!("       facilec --builtin ooo --run prog.asm [--steps N]");
                 eprintln!("               [--cache-capacity BYTES] [--cache-policy clear|generational]");
+                eprintln!("               [--supertrace on|off] [--supertrace-threshold N]");
                 eprintln!("               [--metrics-out m.json] [--trace-out t.jsonl]");
                 eprintln!("               [--profile-out prof.json]");
                 eprintln!("               [--hot-out hot.json] [--hot-sample N]");
@@ -269,6 +293,8 @@ fn main() -> ExitCode {
         let sim_options = SimOptions {
             cache_capacity,
             cache_policy,
+            supertrace,
+            supertrace_threshold,
             ..SimOptions::default()
         };
         return run_batch_cmd(
@@ -291,6 +317,8 @@ fn main() -> ExitCode {
         let sim_options = SimOptions {
             cache_capacity,
             cache_policy,
+            supertrace,
+            supertrace_threshold,
             ..SimOptions::default()
         };
         return run_target(step, &src, &src_name, &builtin, &prog, steps, sim_options, outs);

@@ -73,7 +73,9 @@ pub use facile_obs::{
     ProfileDoc, SimObserver, TraceEvent,
 };
 pub use facile_runtime::{CachePolicy, CacheStats, HaltReason, Image, Memory, SimStats, Target};
-pub use facile_vm::{ArgValue, RecoveryError, RecoveryErrorKind, SimError, SimOptions, Simulation};
+pub use facile_vm::{
+    ArgValue, RecoveryError, RecoveryErrorKind, SimError, SimOptions, Simulation, TraceStats,
+};
 
 /// Options of the whole compiler pipeline.
 #[derive(Clone, Copy, Debug, Default)]

@@ -10,10 +10,10 @@
 use facile_lang::span::LineMap;
 use facile_obs::{
     ActionRow, CacheStatsSnapshot, HotConfig, HotDoc, MetricsDoc, ObsConfig, ObsHandle,
-    ProfileDoc, SimStatsSnapshot,
+    ProfileDoc, SimStatsSnapshot, TraceCounters,
 };
 use facile_runtime::{CacheStats, SimStats};
-use facile_vm::Simulation;
+use facile_vm::{Simulation, TraceStats};
 
 /// Snapshots the simulation counters into the JSON-facing form.
 pub fn snapshot_sim(s: &SimStats) -> SimStatsSnapshot {
@@ -142,15 +142,34 @@ pub fn observe_hot(sim: &mut Simulation, sample_every: u64) -> ObsHandle {
     obs
 }
 
+/// Snapshots the VM's superaction-compilation counters into the
+/// JSON-facing form (`facile-obs` cannot see `TraceStats` directly).
+pub fn snapshot_trace(t: &TraceStats) -> TraceCounters {
+    TraceCounters {
+        built: t.built,
+        build_failed: t.build_failed,
+        enters: t.enters,
+        bails: t.bails,
+        invalidated: t.invalidated,
+        steps: t.steps,
+        insns: t.insns,
+    }
+}
+
 /// Builds the hot-chain document (`facile-hot/v1`) for a run whose
 /// handle carried the flight recorder; `None` when no recorder was
 /// attached. `wall_ns` is the caller-measured wall-clock duration.
+/// Supertrace counters come straight from the simulation (they are
+/// runtime totals, not sampled events), so they stay exact even under
+/// 1-in-N burst sampling.
 pub fn hot_doc(label: &str, sim: &Simulation, wall_ns: u64) -> Option<HotDoc> {
+    let mut hot = sim.obs().hot()?;
+    hot.trace = snapshot_trace(&sim.trace_stats());
     Some(HotDoc {
         label: label.to_owned(),
         sim: snapshot_sim(sim.stats()),
         wall_ns,
-        hot: sim.obs().hot()?,
+        hot,
     })
 }
 

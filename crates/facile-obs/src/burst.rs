@@ -226,6 +226,43 @@ impl SiteRow {
     }
 }
 
+/// Supertrace (superaction compilation) counters: how many hot chains
+/// the VM linearized into direct-threaded trace buffers and how much
+/// replay work ran inside them. Mirrors the VM's `TraceStats`
+/// (redeclared here so this crate stays dependency-free); populated by
+/// drivers from `Simulation::trace_stats()` at snapshot time rather
+/// than from the event stream, so sampled recorders stay exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Supertraces built from hot chains.
+    pub built: u64,
+    /// Build attempts abandoned (chain too short, unstable hints, …).
+    pub build_failed: u64,
+    /// Times replay entered a supertrace.
+    pub enters: u64,
+    /// Entries that bailed on a guard back to the generic loop.
+    pub bails: u64,
+    /// Supertraces dropped because eviction retired their nodes.
+    pub invalidated: u64,
+    /// Steps (INDEX crossings) completed inside supertraces.
+    pub steps: u64,
+    /// Instructions retired inside supertraces.
+    pub insns: u64,
+}
+
+impl TraceCounters {
+    /// Adds another snapshot field-wise (batch-lane fold).
+    pub fn merge(&mut self, other: &TraceCounters) {
+        self.built = self.built.saturating_add(other.built);
+        self.build_failed = self.build_failed.saturating_add(other.build_failed);
+        self.enters = self.enters.saturating_add(other.enters);
+        self.bails = self.bails.saturating_add(other.bails);
+        self.invalidated = self.invalidated.saturating_add(other.invalidated);
+        self.steps = self.steps.saturating_add(other.steps);
+        self.insns = self.insns.saturating_add(other.insns);
+    }
+}
+
 /// Grows `v` with defaults so `v[i]` exists, and returns `&mut v[i]`.
 fn at_mut<T: Default + Clone>(v: &mut Vec<T>, i: usize) -> &mut T {
     if v.len() <= i {
@@ -258,6 +295,9 @@ pub struct HotMetrics {
     /// Per-INDEX-site dispatch profiles, indexed by site action number
     /// (sparse sites stay `Default`).
     pub sites: Vec<SiteRow>,
+    /// Supertrace counters for the run (zero when superaction
+    /// compilation is off or the producer predates it).
+    pub trace: TraceCounters,
 }
 
 impl HotMetrics {
@@ -274,6 +314,7 @@ impl HotMetrics {
             chain_overflow: 0,
             chain_overflow_insns: 0,
             sites: Vec::new(),
+            trace: TraceCounters::default(),
         }
     }
 
@@ -403,6 +444,7 @@ impl HotMetrics {
             }
             mine.target_overflow = mine.target_overflow.saturating_add(theirs.target_overflow);
         }
+        self.trace.merge(&other.trace);
     }
 }
 
@@ -460,10 +502,22 @@ impl HotDoc {
             let _ = write!(s, "\"{k}\":{v}");
         }
         let h = &self.hot;
+        let t = &h.trace;
         let _ = write!(
             s,
-            "}},\"hot\":{{\"sample_every\":{},\"bursts\":{},\"bursts_skipped\":{},\"exits\":{{",
-            h.sample_every, h.bursts, h.bursts_skipped
+            "}},\"hot\":{{\"sample_every\":{},\"bursts\":{},\"bursts_skipped\":{},\
+             \"trace\":{{\"built\":{},\"build_failed\":{},\"enters\":{},\"bails\":{},\
+             \"invalidated\":{},\"steps\":{},\"insns\":{}}},\"exits\":{{",
+            h.sample_every,
+            h.bursts,
+            h.bursts_skipped,
+            t.built,
+            t.build_failed,
+            t.enters,
+            t.bails,
+            t.invalidated,
+            t.steps,
+            t.insns
         );
         for (i, exit) in BurstExit::ALL.iter().enumerate() {
             if i > 0 {
@@ -550,6 +604,19 @@ impl HotDoc {
         let mut hot = HotMetrics::new(u(h, "sample_every")?);
         hot.bursts = u(h, "bursts")?;
         hot.bursts_skipped = u(h, "bursts_skipped")?;
+        // Optional: documents written before superaction compilation
+        // carry no "trace" object and parse with zeroed counters.
+        if let Some(t) = h.get("trace") {
+            hot.trace = TraceCounters {
+                built: u(t, "built")?,
+                build_failed: u(t, "build_failed")?,
+                enters: u(t, "enters")?,
+                bails: u(t, "bails")?,
+                invalidated: u(t, "invalidated")?,
+                steps: u(t, "steps")?,
+                insns: u(t, "insns")?,
+            };
+        }
         let exits = h.get("exits")?;
         for exit in BurstExit::ALL {
             hot.exits[exit as usize] = u(exits, exit.label())?;
@@ -776,8 +843,31 @@ mod tests {
 
     #[test]
     fn document_round_trips() {
-        let d = sample_doc();
+        let mut d = sample_doc();
+        d.hot.trace = TraceCounters {
+            built: 3,
+            build_failed: 1,
+            enters: 500,
+            bails: 2,
+            invalidated: 1,
+            steps: 4000,
+            insns: 9000,
+        };
         let back = HotDoc::from_json(&d.to_json()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn pre_supertrace_documents_parse_with_zero_trace_counters() {
+        let d = sample_doc();
+        let json = d.to_json();
+        // Strip the "trace" object the way a PR-6 producer would never
+        // have written it.
+        let start = json.find(",\"trace\":{").unwrap();
+        let end = json[start + 1..].find('}').unwrap() + start + 2;
+        let old = format!("{}{}", &json[..start], &json[end..]);
+        let back = HotDoc::from_json(&old).unwrap();
+        assert_eq!(back.hot.trace, TraceCounters::default());
         assert_eq!(back, d);
     }
 

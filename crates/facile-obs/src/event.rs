@@ -124,6 +124,25 @@ pub enum TraceEvent {
         /// Evictions so far, including this one.
         evictions: u64,
     },
+    /// The VM compiled a hot replay chain into a supertrace buffer.
+    TraceBuild {
+        /// Logical step count.
+        step: u64,
+        /// Action number of the trace's head node.
+        head_action: u32,
+        /// Cache nodes the trace linearized.
+        nodes: u64,
+        /// Trivial TEST nodes fused into compare chains.
+        cmps: u64,
+    },
+    /// Supertraces were dropped because a cache clear or eviction
+    /// retired nodes they depend on.
+    TraceInvalidate {
+        /// Logical step count.
+        step: u64,
+        /// Traces dropped by this sweep.
+        traces: u64,
+    },
     /// An external (host) function was called.
     ExtCall {
         /// Logical step count.
@@ -156,6 +175,8 @@ impl TraceEvent {
             TraceEvent::NeedSlow { .. } => "need_slow",
             TraceEvent::CacheClear { .. } => "cache_clear",
             TraceEvent::CacheEvict { .. } => "cache_evict",
+            TraceEvent::TraceBuild { .. } => "trace_build",
+            TraceEvent::TraceInvalidate { .. } => "trace_invalidate",
             TraceEvent::ExtCall { .. } => "ext_call",
             TraceEvent::Halt { .. } => "halt",
         }
@@ -233,6 +254,20 @@ impl TraceEvent {
                     ",\"gen\":{gen},\"bytes\":{bytes},\"nodes\":{nodes},\"evictions\":{evictions}"
                 );
             }
+            TraceEvent::TraceBuild {
+                step,
+                head_action,
+                nodes,
+                cmps,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"step\":{step},\"head_action\":{head_action},\"nodes\":{nodes},\"cmps\":{cmps}"
+                );
+            }
+            TraceEvent::TraceInvalidate { step, traces } => {
+                let _ = write!(out, ",\"step\":{step},\"traces\":{traces}");
+            }
             TraceEvent::ExtCall { step, ext } => {
                 let _ = write!(out, ",\"step\":{step},\"ext\":{ext}");
             }
@@ -304,6 +339,8 @@ mod tests {
             TraceEvent::NeedSlow { step: 10 },
             TraceEvent::CacheClear { bytes: 4096, nodes: 17, clears: 1 },
             TraceEvent::CacheEvict { gen: 3, bytes: 512, nodes: 9, evictions: 2 },
+            TraceEvent::TraceBuild { step: 10, head_action: 4, nodes: 23, cmps: 6 },
+            TraceEvent::TraceInvalidate { step: 11, traces: 2 },
             TraceEvent::ExtCall { step: 11, ext: 0 },
             TraceEvent::Halt { step: 12, engine: EngineTag::Fast, code: 0 },
         ];

@@ -59,7 +59,8 @@ pub mod ring;
 
 pub use burst::{
     fold_sig, BurstExit, BurstRecord, ChainRow, HotConfig, HotDoc, HotMetrics, SiteRow,
-    CHAIN_DEPTH, ENTRY_UNKNOWN, HOT_CHAIN_CAP, HOT_SCHEMA, SIG_SEED, SITE_TARGET_CAP,
+    TraceCounters, CHAIN_DEPTH, ENTRY_UNKNOWN, HOT_CHAIN_CAP, HOT_SCHEMA, SIG_SEED,
+    SITE_TARGET_CAP,
 };
 pub use event::{EngineTag, TraceEvent};
 pub use hist::LogHistogram;

@@ -134,7 +134,10 @@ impl ObsCore {
                 } => obs.on_cache_evict(gen, bytes, nodes, evictions),
                 TraceEvent::ExtCall { step, ext } => obs.on_ext_call(step, ext),
                 TraceEvent::Halt { step, engine, code } => obs.on_halt(step, engine, code),
-                TraceEvent::RecoveryBegin { .. } | TraceEvent::NeedSlow { .. } => {}
+                TraceEvent::RecoveryBegin { .. }
+                | TraceEvent::NeedSlow { .. }
+                | TraceEvent::TraceBuild { .. }
+                | TraceEvent::TraceInvalidate { .. } => {}
             }
         }
         if self.trace {

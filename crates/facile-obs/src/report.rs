@@ -227,6 +227,8 @@ impl MetricsDoc {
                 ("bytes_at_last_clear", m.bytes_at_last_clear),
                 ("cache_evictions", m.cache_evictions),
                 ("bytes_evicted", m.bytes_evicted),
+                ("trace_builds", m.trace_builds),
+                ("trace_invalidations", m.trace_invalidations),
                 ("ext_calls", m.ext_calls),
                 ("dropped_events", m.dropped_events),
                 ("ring_capacity", m.ring_capacity),
@@ -367,6 +369,10 @@ impl MetricsDoc {
                 cache_clears: u64_field(d, "cache_clears")?,
                 bytes_at_last_clear: u64_field(d, "bytes_at_last_clear")?,
                 cache_evictions: u64_field(d, "cache_evictions").unwrap_or(0),
+                // New-in-v1.3 (superaction compilation); zero for older
+                // documents.
+                trace_builds: u64_field(d, "trace_builds").unwrap_or(0),
+                trace_invalidations: u64_field(d, "trace_invalidations").unwrap_or(0),
                 bytes_evicted: u64_field(d, "bytes_evicted").unwrap_or(0),
                 ext_calls: u64_field(d, "ext_calls")?,
             })

@@ -565,6 +565,35 @@ impl ActionCache {
         self.generation
     }
 
+    /// Monotonic invalidation epoch: advances whenever *any* resident
+    /// node may have become stale — a wholesale clear or a generational
+    /// eviction. Consumers that hold [`NodeId`]s outside the cache
+    /// (e.g. the VM's supertrace buffers) compare this against their
+    /// last-seen value and re-validate only when it moved, instead of
+    /// checking residency on every use.
+    #[inline]
+    pub fn invalidation_epoch(&self) -> u64 {
+        self.stats.clears + self.stats.evictions
+    }
+
+    /// Whether the generation with sequence number `seq` is still
+    /// resident (the generation-level form of
+    /// [`is_resident`](Self::is_resident)).
+    #[inline]
+    pub fn seq_resident(&self, seq: u32) -> bool {
+        self.gen_slot(seq).is_some()
+    }
+
+    /// Stamps each generation in `seqs` as recently used. Supertrace
+    /// execution bypasses the per-step lookups that normally feed the
+    /// eviction touch clock, so it reports the generations it reads
+    /// through this instead (once per trace entry, not per step).
+    pub fn touch_gens(&self, seqs: &[u32]) {
+        for &s in seqs {
+            self.touch_seq(s);
+        }
+    }
+
     /// Number of live nodes.
     pub fn node_count(&self) -> usize {
         self.gens.iter().map(|g| g.nodes.len()).sum()
@@ -896,6 +925,39 @@ impl ActionCache {
         list.hot = i as u32;
         self.touch_seq(n.gen);
         Some(n)
+    }
+
+    /// The hot-hint successor of a dynamic result test: the
+    /// `(observed value, target)` pair the node's inline cache points
+    /// at, if the target is still resident. This is the edge a trace
+    /// builder should speculate on — it is the last edge replay took.
+    pub fn predicted_test(&self, id: NodeId) -> Option<(i64, NodeId)> {
+        let g = self.gen_of(id);
+        let Succ::Tests(list) = &g.succs[id.index()] else {
+            return None;
+        };
+        let &(v, n) = list.items.get(list.hot as usize)?;
+        if self.is_resident(n) {
+            Some((v, n))
+        } else {
+            None
+        }
+    }
+
+    /// The hot-hint successor of an INDEX action: the dynamic signature
+    /// contents and target entry of the inline-cached link, if the
+    /// target is still resident.
+    pub fn predicted_index(&self, id: NodeId) -> Option<(&[i64], NodeId)> {
+        let g = self.gen_of(id);
+        let Succ::Index(list) = &g.succs[id.index()] else {
+            return None;
+        };
+        let &(r, n) = list.items.get(list.hot as usize)?;
+        if self.is_resident(n) {
+            Some((range_of(&g.slab, r), n))
+        } else {
+            None
+        }
     }
 
     // ----- recording -----

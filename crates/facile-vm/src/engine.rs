@@ -15,6 +15,7 @@ use crate::fast::{fast_run, FastOutcome, ReplayScratch};
 use crate::recovery::{recover, RecoveryError};
 use crate::slow::{slow_step, Position, Recording, StepOutcome};
 use crate::state::{ExtFn, MachineState, Store};
+use crate::supertrace::{SuperTraceSet, TraceStats};
 use facile_codegen::CompiledStep;
 use facile_ir::ir::Loc;
 use facile_obs::{BurstExit, BurstRecord, EngineTag, ObsHandle, TraceEvent};
@@ -45,7 +46,20 @@ pub struct SimOptions {
     /// What happens when the capacity is exceeded: the paper's wholesale
     /// clear, or generational partial eviction.
     pub cache_policy: CachePolicy,
+    /// Superaction compilation: linearize hot replay chains into
+    /// direct-threaded trace buffers (see [`crate::supertrace`]). On by
+    /// default; architectural results are bit-for-bit identical either
+    /// way, only replay speed changes.
+    pub supertrace: bool,
+    /// Replayed-step heat a burst-entry node must accumulate before its
+    /// chain is compiled into a trace.
+    pub supertrace_threshold: u64,
 }
+
+/// Default supertrace hotness threshold (replayed steps through one
+/// burst-entry node): low enough that steady loops compile within a few
+/// bursts, high enough that one-off chains never do.
+pub const SUPERTRACE_THRESHOLD: u64 = 256;
 
 impl Default for SimOptions {
     fn default() -> Self {
@@ -53,6 +67,8 @@ impl Default for SimOptions {
             memoize: true,
             cache_capacity: None,
             cache_policy: CachePolicy::Clear,
+            supertrace: true,
+            supertrace_threshold: SUPERTRACE_THRESHOLD,
         }
     }
 }
@@ -117,6 +133,9 @@ pub struct Simulation {
     fast_key: Key,
     /// Reusable replay buffers (see [`ReplayScratch`]).
     scratch: ReplayScratch,
+    /// Compiled supertraces + hotness bookkeeping (see
+    /// [`crate::supertrace`]).
+    traces: SuperTraceSet,
     /// The diagnosed failure that halted the run, if any (see
     /// [`fault`](Self::fault)).
     fault: Option<RecoveryError>,
@@ -173,6 +192,10 @@ impl Simulation {
             cache,
             fast_key: Key::default(),
             scratch: ReplayScratch::new(),
+            traces: SuperTraceSet::new(
+                options.supertrace && options.memoize,
+                options.supertrace_threshold,
+            ),
             fault: None,
         })
     }
@@ -296,6 +319,7 @@ impl Simulation {
                         .hot_burst_sampled()
                         .then(|| (self.cache.node(node).action, node));
                     self.scratch.begin_burst(hot_entry.is_some());
+                    let steps_before = self.st.stats.fast_steps;
                     let out = fast_run(
                         &self.step,
                         &mut self.st,
@@ -303,9 +327,33 @@ impl Simulation {
                         node,
                         &mut self.fast_key,
                         &mut self.scratch,
+                        &mut self.traces,
                         &mut steps,
                         max_steps,
                     );
+                    // Supertrace compilation happens lazily here, off
+                    // the burst-exit path: fold the burst's heat into
+                    // the entry node and build once it crosses the
+                    // threshold (the entry stayed resident — nothing
+                    // evicts mid-burst).
+                    if self.traces.enabled() {
+                        let delta = self.st.stats.fast_steps.wrapping_sub(steps_before);
+                        self.traces
+                            .note_burst(node, delta, &self.step, &self.cache);
+                        // Drain build events queued since the last burst
+                        // (including chain-exit builds from inside the
+                        // fast loop, where the observer is unreachable).
+                        while let Some((head_action, nodes, cmps)) = self.traces.pop_build() {
+                            if self.st.obs.enabled() {
+                                self.st.obs.emit(TraceEvent::TraceBuild {
+                                    step: self.st.obs_step(),
+                                    head_action,
+                                    nodes,
+                                    cmps,
+                                });
+                            }
+                        }
+                    }
                     if let Some((t0, b)) = before {
                         let s = self.st.stats;
                         self.st.obs.emit(TraceEvent::FastBurst {
@@ -473,6 +521,12 @@ impl Simulation {
     /// Action-cache counters so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Supertrace compiler counters so far (all zero when supertrace
+    /// compilation is disabled).
+    pub fn trace_stats(&self) -> TraceStats {
+        self.traces.stats()
     }
 
     /// Values the target emitted via `trace(v)`.

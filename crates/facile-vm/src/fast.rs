@@ -14,6 +14,7 @@
 //! straight out of the cache's contiguous slab. See docs/PERFORMANCE.md.
 
 use crate::state::{MachineState, Store};
+use crate::supertrace::{self, SuperTraceSet, TraceRun};
 use facile_codegen::{ActionKind, CompiledStep, FOp, FOperand, KeyPlanArg};
 use facile_ir::lower::{eval_binop, eval_unop};
 use facile_obs::{fold_sig, EngineTag, TraceEvent, CHAIN_DEPTH, SIG_SEED};
@@ -38,14 +39,14 @@ pub struct ReplayScratch {
     /// Actions replayed since the current entry (the recovery stack).
     pub replayed: Vec<Replayed>,
     /// Dynamic INDEX signature being computed for the current crossing.
-    sig: Vec<i64>,
+    pub(crate) sig: Vec<i64>,
     /// The signature observed at the *last taken* INDEX crossing, kept so
     /// the current entry's key can be rebuilt on demand.
-    cur_sig: Vec<i64>,
+    pub(crate) cur_sig: Vec<i64>,
     /// Key serialization buffer (entry rebuilds and table fallbacks).
-    kw: KeyWriter,
+    pub(crate) kw: KeyWriter,
     /// Argument staging for external calls.
-    ext_args: Vec<i64>,
+    pub(crate) ext_args: Vec<i64>,
     /// Flight recorder armed for the current burst (set by the driver
     /// when the burst was sampled in; one predictable branch per action
     /// when off).
@@ -59,12 +60,24 @@ pub struct ReplayScratch {
     pub(crate) chain_len: u8,
     /// Per-burst INDEX dispatch accumulator: `(site, target, count)`
     /// rows collected locally so a sampled burst takes the observer
-    /// lock once at the end instead of once per step.
+    /// lock once at the end instead of once per step. Rows stay in
+    /// first-seen order (the flight recorder folds them in order, so
+    /// merged documents are deterministic).
     pub(crate) dispatches: Vec<(u32, u32, u64)>,
     /// Last-hit index into `dispatches` — INDEX sites are heavily
     /// monomorphic, so consecutive steps usually bump the same row.
     dispatch_hot: usize,
+    /// Row indices sorted by `(site, target)`, maintained only once
+    /// `dispatches` outgrows [`DISPATCH_LINEAR_MAX`]: lookups switch
+    /// from an O(rows) scan to a binary search, so bursts touching
+    /// many INDEX sites no longer pay O(sites) per crossing.
+    dispatch_order: Vec<u32>,
 }
+
+/// Dispatch rows at or below this are scanned linearly (after the hot-row
+/// probe); past it, [`ReplayScratch::dispatch_order`] keeps a sorted
+/// index for binary search.
+const DISPATCH_LINEAR_MAX: usize = 8;
 
 impl ReplayScratch {
     /// Fresh, empty scratch.
@@ -80,6 +93,7 @@ impl ReplayScratch {
         self.chain_len = 0;
         self.dispatches.clear();
         self.dispatch_hot = 0;
+        self.dispatch_order.clear();
     }
 
     /// Records one INDEX crossing (`site` dispatched to `target`) in the
@@ -91,15 +105,45 @@ impl ReplayScratch {
                 return;
             }
         }
-        for (i, row) in self.dispatches.iter_mut().enumerate() {
-            if row.0 == site && row.1 == target {
-                row.2 = row.2.saturating_add(1);
+        if self.dispatches.len() <= DISPATCH_LINEAR_MAX {
+            for (i, row) in self.dispatches.iter_mut().enumerate() {
+                if row.0 == site && row.1 == target {
+                    row.2 = row.2.saturating_add(1);
+                    self.dispatch_hot = i;
+                    return;
+                }
+            }
+            self.dispatch_hot = self.dispatches.len();
+            self.dispatches.push((site, target, 1));
+            if self.dispatches.len() == DISPATCH_LINEAR_MAX + 1 {
+                // Just outgrew the linear regime: index every row.
+                self.dispatch_order.clear();
+                self.dispatch_order
+                    .extend(0..self.dispatches.len() as u32);
+                let rows = &self.dispatches;
+                self.dispatch_order
+                    .sort_unstable_by_key(|&i| (rows[i as usize].0, rows[i as usize].1));
+            }
+            return;
+        }
+        let rows = &mut self.dispatches;
+        match self
+            .dispatch_order
+            .binary_search_by_key(&(site, target), |&i| {
+                (rows[i as usize].0, rows[i as usize].1)
+            }) {
+            Ok(pos) => {
+                let i = self.dispatch_order[pos] as usize;
+                rows[i].2 = rows[i].2.saturating_add(1);
                 self.dispatch_hot = i;
-                return;
+            }
+            Err(pos) => {
+                let i = rows.len();
+                rows.push((site, target, 1));
+                self.dispatch_order.insert(pos, i as u32);
+                self.dispatch_hot = i;
             }
         }
-        self.dispatch_hot = self.dispatches.len();
-        self.dispatches.push((site, target, 1));
     }
 }
 
@@ -146,6 +190,7 @@ pub fn fast_run(
     mut node: NodeId,
     entry_key: &mut Key,
     scratch: &mut ReplayScratch,
+    traces: &mut SuperTraceSet,
     steps: &mut u64,
     max_steps: u64,
 ) -> FastOutcome {
@@ -156,6 +201,28 @@ pub fn fast_run(
     // (its dynamic signature sits in `scratch.cur_sig`). `None` means
     // `entry_key` already holds the current entry's key.
     let mut cur_index: Option<(NodeId, usize)> = None;
+
+    // Supertrace housekeeping happens at burst entry, never per action:
+    // drop traces invalidated by evictions/clears since the last burst
+    // (no eviction can occur *during* a burst — the cache is borrowed
+    // mutably for its whole duration), then enter a trace if the burst
+    // starts on a compiled head.
+    if traces.any() {
+        let dropped = traces.sweep(cache);
+        if dropped > 0 && st.obs.enabled() {
+            st.obs.emit(TraceEvent::TraceInvalidate {
+                step: st.obs_step(),
+                traces: dropped,
+            });
+        }
+        match supertrace::try_traces(
+            traces, step, st, cache, node, entry_key, scratch, steps, max_steps,
+            &mut cur_index,
+        ) {
+            TraceRun::Continue(n) => node = n,
+            TraceRun::Out(out) => return out,
+        }
+    }
 
     loop {
         let n = cache.node(node);
@@ -264,6 +331,17 @@ pub fn fast_run(
                             );
                             return FastOutcome::Budget { node };
                         }
+                        // Step boundary: the only place control can land
+                        // on a supertrace head mid-burst.
+                        if traces.any() {
+                            match supertrace::try_traces(
+                                traces, step, st, cache, node, entry_key, scratch, steps,
+                                max_steps, &mut cur_index,
+                            ) {
+                                TraceRun::Continue(n) => node = n,
+                                TraceRun::Out(out) => return out,
+                            }
+                        }
                     }
                     None => {
                         // Rebuild the full key for a table lookup; link
@@ -295,6 +373,15 @@ pub fn fast_run(
                                 if *steps >= max_steps {
                                     return FastOutcome::Budget { node };
                                 }
+                                if traces.any() {
+                                    match supertrace::try_traces(
+                                        traces, step, st, cache, node, entry_key, scratch,
+                                        steps, max_steps, &mut cur_index,
+                                    ) {
+                                        TraceRun::Continue(n) => node = n,
+                                        TraceRun::Out(out) => return out,
+                                    }
+                                }
                             }
                             None => {
                                 let key = Key::from_bytes(scratch.kw.bytes());
@@ -317,7 +404,7 @@ pub fn fast_run(
 
 /// Counts an action-cache miss and announces it to the observer.
 /// `value` is the divergent test value for dynamic-result-test misses.
-fn note_miss(st: &mut MachineState, action: u32, depth: usize, value: Option<i64>) {
+pub(crate) fn note_miss(st: &mut MachineState, action: u32, depth: usize, value: Option<i64>) {
     st.stats.misses = st.stats.misses.saturating_add(1);
     if st.obs.enabled() {
         st.obs.emit(TraceEvent::Miss {
@@ -329,8 +416,8 @@ fn note_miss(st: &mut MachineState, action: u32, depth: usize, value: Option<i64
     }
 }
 
-#[inline]
-fn eval_foperand(op: FOperand, st: &MachineState, data: &[i64], ph: &mut usize) -> i64 {
+#[inline(always)]
+pub(crate) fn eval_foperand(op: FOperand, st: &MachineState, data: &[i64], ph: &mut usize) -> i64 {
     match op {
         FOperand::Reg(v) => st.reg(v),
         FOperand::Imm(c) => c,
@@ -345,7 +432,8 @@ fn eval_foperand(op: FOperand, st: &MachineState, data: &[i64], ph: &mut usize) 
 /// Executes one fast op. Returns `true` when the op halted the
 /// simulation. `ext_args` stages external-call arguments so the hot loop
 /// never collects them into a fresh vector.
-fn exec_fop(
+#[inline(always)]
+pub(crate) fn exec_fop(
     op: &FOp,
     st: &mut MachineState,
     data: &[i64],
@@ -480,7 +568,7 @@ fn exec_fop(
 /// Materializes the current entry key into `entry_key` (in place, reusing
 /// its buffer): either it already holds the right key, or it is rebuilt
 /// from the last INDEX crossing's node data + dynamic signature.
-fn materialize_entry_key(
+pub(crate) fn materialize_entry_key(
     step: &CompiledStep,
     cache: &ActionCache,
     entry_key: &mut Key,
@@ -534,7 +622,8 @@ fn materialize_entry_key(
 /// scope when the signature is computed. `facile-codegen` rejects such
 /// plans at compile time (`CodegenError`), so the arm below is truly
 /// unreachable for any step that compiled successfully.
-fn dynamic_signature(plan: &[KeyPlanArg], st: &MachineState, sig: &mut Vec<i64>) {
+#[inline(always)]
+pub(crate) fn dynamic_signature(plan: &[KeyPlanArg], st: &MachineState, sig: &mut Vec<i64>) {
     sig.clear();
     for arg in plan {
         match arg {
@@ -562,7 +651,7 @@ fn dynamic_signature(plan: &[KeyPlanArg], st: &MachineState, sig: &mut Vec<i64>)
 
 /// Rebuilds the next step's key from the INDEX plan into `w` (already
 /// reset by the caller).
-fn rebuild_key(
+pub(crate) fn rebuild_key(
     w: &mut KeyWriter,
     plan: &[KeyPlanArg],
     st: &MachineState,
@@ -590,5 +679,147 @@ fn rebuild_key(
                 w.queue_vals(st.agg(*loc).iter());
             }
         }
+    }
+}
+
+/// Outcome of one generic INDEX step advance (see [`index_advance`]).
+pub(crate) enum IndexStep {
+    /// The step boundary was crossed; generic replay continues at `next`.
+    Taken {
+        /// The next entry's node.
+        next: NodeId,
+    },
+    /// The burst ended (budget, clean boundary with no cached entry).
+    Out(FastOutcome),
+}
+
+/// The INDEX step advance of [`fast_run`]'s generic loop, factored out
+/// for the supertrace bail path: `scratch.sig` already holds the
+/// crossing's dynamic signature, `data`/`ph` give the key plan's view of
+/// the node's run-time-static placeholders (the supertrace passes its
+/// trace-local copy — same values, so the rebuilt key is identical).
+/// Mirrors the `ActionKind::Index` arm of `fast_run` exactly; both must
+/// stay in sync.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn index_advance(
+    step: &CompiledStep,
+    st: &mut MachineState,
+    cache: &mut ActionCache,
+    node: NodeId,
+    action: u32,
+    plan: &[KeyPlanArg],
+    entry_key: &mut Key,
+    scratch: &mut ReplayScratch,
+    steps: &mut u64,
+    max_steps: u64,
+    data: &[i64],
+    mut ph: usize,
+    cur_index: &mut Option<(NodeId, usize)>,
+) -> IndexStep {
+    match cache.next_index_local_hot(node, &scratch.sig) {
+        Some(next) => {
+            if scratch.hot {
+                let target = cache.node(next).action;
+                scratch.note_dispatch(action, target);
+            }
+            std::mem::swap(&mut scratch.sig, &mut scratch.cur_sig);
+            *cur_index = Some((node, ph));
+            scratch.replayed.clear();
+            if *steps >= max_steps {
+                materialize_entry_key(
+                    step,
+                    cache,
+                    entry_key,
+                    *cur_index,
+                    &mut scratch.kw,
+                    &scratch.cur_sig,
+                );
+                return IndexStep::Out(FastOutcome::Budget { node: next });
+            }
+            IndexStep::Taken { next }
+        }
+        None => {
+            scratch.kw.reset();
+            rebuild_key(&mut scratch.kw, plan, st, data, &mut ph);
+            match cache.entry_bytes(scratch.kw.bytes()) {
+                Some(next) => {
+                    if scratch.hot {
+                        let target = cache.node(next).action;
+                        scratch.note_dispatch(action, target);
+                    }
+                    let key = Key::from_bytes(scratch.kw.bytes());
+                    let cursor = Cursor::AfterIndex(node, key, scratch.sig.clone());
+                    cache.link_existing(&cursor, next);
+                    entry_key.set_from_bytes(scratch.kw.bytes());
+                    *cur_index = None;
+                    scratch.replayed.clear();
+                    if *steps >= max_steps {
+                        return IndexStep::Out(FastOutcome::Budget { node: next });
+                    }
+                    IndexStep::Taken { next }
+                }
+                None => {
+                    let key = Key::from_bytes(scratch.kw.bytes());
+                    IndexStep::Out(FastOutcome::NeedSlow {
+                        cursor: Cursor::AfterIndex(node, key.clone(), scratch.sig.clone()),
+                        key,
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// The dispatch accumulator must stay exact and first-seen-ordered
+    /// across the linear→indexed transition (satellite of PR 7: bursts
+    /// touching many INDEX sites used to pay O(sites) per crossing).
+    #[test]
+    fn note_dispatch_exact_across_many_sites() {
+        let mut s = ReplayScratch::new();
+        s.begin_burst(true);
+        let mut reference: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut first_seen: Vec<(u32, u32)> = Vec::new();
+        // A deterministic stream hitting 60 distinct (site, target)
+        // pairs with skewed repetition, interleaved so the hot-row probe
+        // both hits and misses.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let site = ((x >> 33) % 12) as u32;
+            let target = ((x >> 17) % 5) as u32;
+            s.note_dispatch(site, target);
+            let e = reference.entry((site, target)).or_insert(0);
+            if *e == 0 {
+                first_seen.push((site, target));
+            }
+            *e += 1;
+        }
+        assert_eq!(s.dispatches.len(), reference.len());
+        for (i, &(site, target, count)) in s.dispatches.iter().enumerate() {
+            assert_eq!(first_seen[i], (site, target), "row order must be first-seen");
+            assert_eq!(reference[&(site, target)], count, "count for {site}->{target}");
+        }
+    }
+
+    /// Re-arming a burst must fully reset the accumulator, including the
+    /// sorted index built past the linear threshold.
+    #[test]
+    fn note_dispatch_resets_between_bursts() {
+        let mut s = ReplayScratch::new();
+        s.begin_burst(true);
+        for i in 0..(DISPATCH_LINEAR_MAX as u32 + 8) {
+            s.note_dispatch(i, 0);
+        }
+        assert_eq!(s.dispatches.len(), DISPATCH_LINEAR_MAX + 8);
+        s.begin_burst(true);
+        assert!(s.dispatches.is_empty());
+        s.note_dispatch(3, 4);
+        s.note_dispatch(3, 4);
+        assert_eq!(s.dispatches, vec![(3, 4, 2)]);
     }
 }

@@ -12,6 +12,9 @@
 //! * [`recovery`] — action-cache miss recovery via shadow re-execution of
 //!   the run-time-static slice (the paper's §6.3 optimization 2: a
 //!   dedicated recovery engine with the dynamic guards compiled out).
+//! * [`supertrace`] — superaction compilation: hot replay chains
+//!   linearized into direct-threaded trace buffers with guarded
+//!   speculation and a bail path back to the generic replay loop.
 //! * [`engine::Simulation`] — the driver tying them together, enforcing
 //!   the cache capacity at step boundaries under either the clear-on-full
 //!   policy of §6.2 or generational partial eviction
@@ -68,7 +71,9 @@ pub mod fast;
 pub mod recovery;
 pub mod slow;
 pub mod state;
+pub mod supertrace;
 
 pub use engine::{ArgValue, SimError, SimOptions, Simulation};
 pub use recovery::{RecoveryError, RecoveryErrorKind};
 pub use state::{AggIter, AggStorage, ExtFn, MachineState};
+pub use supertrace::{SuperTraceSet, TraceStats};

@@ -73,8 +73,19 @@ fn steady_state_replay_allocates_nothing() {
     // Warm up: record all 7 key variants and let replay buffers reach
     // their steady-state capacities.
     sim.run_steps(200);
+    // Budget-bounded bursts resume at a key that advances by
+    // 1000 mod 7 per call, so at most 7 distinct burst heads recur.
+    // Eight more bursts push every head past the supertrace hotness
+    // threshold and get its trace built (builds allocate, by design —
+    // they happen off the burst-exit path), leaving the steady state:
+    // replay runs *inside* the trace buffers.
+    for _ in 0..8 {
+        sim.run_steps(1_000);
+    }
     let warm = *sim.stats();
     assert!(warm.fast_steps > 0, "warm-up never fast-forwarded");
+    let traces_warm = sim.trace_stats();
+    assert!(traces_warm.built > 0, "warm-up never built a supertrace");
 
     // Measured window: 1000 steps of pure replay.
     let a0 = ALLOCS.load(Ordering::Relaxed);
@@ -89,6 +100,11 @@ fn steady_state_replay_allocates_nothing() {
         s.slow_steps - warm.slow_steps
     );
     assert_eq!(s.slow_steps, warm.slow_steps, "window hit the slow engine");
+    let traces = sim.trace_stats();
+    assert!(
+        traces.enters > traces_warm.enters,
+        "window never entered a supertrace"
+    );
     assert_eq!(
         allocs, 0,
         "steady-state replay performed {allocs} heap allocations in 1000 steps"

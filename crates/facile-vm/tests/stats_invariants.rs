@@ -151,6 +151,7 @@ fn eviction_between_bursts_is_counted_once_and_classified() {
             // so a trim's pins do not cover the whole ring.
             cache_capacity: Some(800),
             cache_policy: CachePolicy::Generational,
+            ..SimOptions::default()
         },
     );
     let obs = record(&mut s, 1);
@@ -235,4 +236,96 @@ fn recorder_does_not_perturb_the_simulation() {
     sampled.run_steps(100_000);
     assert_eq!(bare.stats().insns, sampled.stats().insns);
     assert_eq!(bare.memory().digest(), sampled.memory().digest());
+}
+
+/// Splitmix64: a tiny deterministic generator so the torture schedule
+/// below is reproducible without pulling in a dependency.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A longer run of the looping program so traces both build and get
+/// torn down many times under the random schedule.
+const TORTURE_SRC: &str = "fun main(x : int) {
+    val c = mem_ld(0);
+    mem_st(0, c + 1);
+    count_insns(1);
+    if (c >= 6000) { sim_halt(); }
+    next((x + 1) % 11);
+}";
+
+/// Randomized eviction torture for superaction compilation: random
+/// budget slices interleaved with random `trim_cache` calls (full and
+/// partial) on a generational cache sized far below the working set,
+/// with a low hotness threshold so supertraces compile, execute, get
+/// invalidated when reclaim retires their nodes, and recompile — many
+/// times per run. Whatever the schedule, the run must stay bit-for-bit
+/// identical to the slow-only simulator, and the trace counters must
+/// stay internally consistent.
+#[test]
+fn supertrace_survives_randomized_eviction_torture() {
+    let mut slow_only = sim(
+        TORTURE_SRC,
+        SimOptions {
+            memoize: false,
+            ..SimOptions::default()
+        },
+    );
+    assert_eq!(slow_only.run_steps(1_000_000), Some(HaltReason::Explicit));
+
+    let (mut built, mut invalidated, mut trace_steps) = (0u64, 0u64, 0u64);
+    for seed in 1u64..=8 {
+        let mut rng = SplitMix(seed);
+        let mut s = sim(
+            TORTURE_SRC,
+            SimOptions {
+                memoize: true,
+                cache_capacity: Some(900),
+                cache_policy: CachePolicy::Generational,
+                supertrace: true,
+                supertrace_threshold: 8,
+            },
+        );
+        while s.halted().is_none() {
+            s.run_steps(1 + rng.next() % 97);
+            match rng.next() % 4 {
+                // Full trim: every unpinned generation goes, retiring
+                // trace nodes out from under the compiled buffers.
+                0 => s.trim_cache(0),
+                // Partial trim: only the coldest generations go.
+                1 => s.trim_cache(rng.next() % 600),
+                // Let the run breathe so traces re-form.
+                _ => {}
+            }
+        }
+        assert_eq!(s.halted(), Some(HaltReason::Explicit), "seed {seed}");
+        assert_eq!(s.stats().insns, slow_only.stats().insns, "seed {seed}");
+        assert_eq!(s.stats().cycles, slow_only.stats().cycles, "seed {seed}");
+        assert_eq!(s.trace(), slow_only.trace(), "seed {seed}");
+        assert_eq!(
+            s.memory().digest(),
+            slow_only.memory().digest(),
+            "seed {seed}: supertrace+eviction torture diverged from slow-only"
+        );
+        let t = s.trace_stats();
+        assert!(t.bails <= t.enters, "seed {seed}");
+        assert!(t.steps <= s.stats().fast_steps, "seed {seed}");
+        assert!(t.insns <= s.stats().fast_insns, "seed {seed}");
+        built += t.built;
+        invalidated += t.invalidated;
+        trace_steps += t.steps;
+    }
+    // The schedule must actually exercise the machinery: across the
+    // seeds, traces were compiled, executed, and torn down by reclaim.
+    assert!(built > 0, "no supertrace ever compiled under torture");
+    assert!(trace_steps > 0, "no step ever executed inside a trace");
+    assert!(invalidated > 0, "reclaim never invalidated a live trace");
 }

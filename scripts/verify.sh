@@ -7,8 +7,10 @@
 # instrumented crates at deny-warnings, smoke-tests that
 # `facilec --run --metrics-out` emits a parseable facile-obs/v1 document,
 # and gates the fast-replay hot path: a small fig11 workload must
-# fast-forward at least as much as the seed did, and steady-state replay
-# must be allocation-free (docs/PERFORMANCE.md). The replay flight
+# fast-forward at least as much as the seed did, steady-state replay
+# must be allocation-free (docs/PERFORMANCE.md), and superaction
+# compilation must be architecturally invisible (supertrace on/off and
+# slow-only runs produce bit-identical results and digests). The replay flight
 # recorder must pass the sim_hot --check recount on single runs and on
 # batch-merged documents, its top-10 hot chains must explain >= 50% of
 # gcc-like fast-path instructions, and watching the simulator must stay
@@ -78,6 +80,26 @@ echo "==> smoke: sim_hot exactness gate on a flight-recorded run"
 grep -q '"schema":"facile-hot/v1"' "$tmp/hot.json"
 ./target/release/sim_hot "$tmp/hot.json" --check
 ./target/release/sim_hot "$tmp/hot.json" | grep -q 'hot chains'
+
+echo "==> smoke: supertrace on/off digest equality"
+# Superaction compilation is a replay-speed optimization only: the same
+# workload run with trace compilation forced on (low threshold) and off
+# must print identical architectural results — halt reason, instruction
+# and cycle counts, fast-forwarded fraction, memoized bytes, program
+# output. Only the throughput line may differ.
+./target/release/facilec --builtin ooo --run "$tmp/loop.asm" \
+    --supertrace on --supertrace-threshold 8 | grep -v 'sim speed' > "$tmp/st_on.txt"
+./target/release/facilec --builtin ooo --run "$tmp/loop.asm" \
+    --supertrace off | grep -v 'sim speed' > "$tmp/st_off.txt"
+cmp -s "$tmp/st_on.txt" "$tmp/st_off.txt" \
+    || { echo "verify: supertrace on/off architectural results differ"; \
+         diff "$tmp/st_on.txt" "$tmp/st_off.txt" || true; exit 1; }
+# The deeper differential gates: on/off/slow-only memory digests must be
+# bit-identical, including under randomized eviction torture.
+cargo test -q --offline --test stats_invariants \
+    supertrace_on_off_and_slow_only_agree_bit_for_bit
+cargo test -q --offline -p facile-vm --test stats_invariants \
+    supertrace_survives_randomized_eviction_torture
 
 echo "==> perf smoke: fig11 fast fraction holds on a small workload"
 ./target/release/fastreplay --scale 0.02 --reps 1 --filter 145.fpppp \

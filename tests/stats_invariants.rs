@@ -246,6 +246,7 @@ fn capped_run(memoize: bool, cap: Option<u64>, policy: CachePolicy) -> Simulatio
             memoize,
             cache_capacity: cap,
             cache_policy: policy,
+            ..SimOptions::default()
         },
     )
     .expect("simulation constructs");
@@ -309,6 +310,64 @@ fn capacity_pressure_is_transparent_under_both_policies() {
     assert!(evictions_seen > 0);
 }
 
+/// The three-way differential digest gate for superaction compilation:
+/// slow-only (no memoization), fast replay with supertrace off, and
+/// fast replay with supertrace on must all retire the same instruction
+/// and cycle counts, emit the same program output, and leave identical
+/// target memory. The supertrace-on run uses a low hotness threshold so
+/// the trace compiler provably engages on this workload.
+#[test]
+fn supertrace_on_off_and_slow_only_agree_bit_for_bit() {
+    let run = |memoize: bool, supertrace: bool| {
+        let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+        let step = compile_source(
+            &facile::sims::inorder_source(),
+            &CompilerOptions::default(),
+        )
+        .expect("compiles");
+        let mut sim = Simulation::new(
+            step,
+            Target::load(&image),
+            &initial_args::inorder(image.entry),
+            SimOptions {
+                memoize,
+                supertrace,
+                supertrace_threshold: 8,
+                ..SimOptions::default()
+            },
+        )
+        .expect("simulation constructs");
+        ArchHost::new().bind(&mut sim).expect("externals bind");
+        // Budget-sliced driving: every slice boundary is a burst exit,
+        // which is where trace heat accrues — an uninterrupted run
+        // would replay the whole loop as one burst and only cross the
+        // hotness threshold when no steps remain to spend in a trace.
+        while sim.halted().is_none() {
+            sim.run_steps(40);
+        }
+        sim
+    };
+    let slow = run(false, false);
+    let st_off = run(true, false);
+    let st_on = run(true, true);
+    assert!(
+        st_on.trace_stats().built > 0 && st_on.trace_stats().steps > 0,
+        "the supertrace-on arm never compiled or entered a trace: {:?}",
+        st_on.trace_stats()
+    );
+    assert_eq!(st_off.trace_stats().built, 0, "supertrace off still built traces");
+    for (label, sim) in [("supertrace off", &st_off), ("supertrace on", &st_on)] {
+        assert_eq!(sim.stats().insns, slow.stats().insns, "{label}: insns");
+        assert_eq!(sim.stats().cycles, slow.stats().cycles, "{label}: cycles");
+        assert_eq!(sim.trace(), slow.trace(), "{label}: program output");
+        assert_eq!(
+            sim.memory().digest(),
+            slow.memory().digest(),
+            "{label}: target memory"
+        );
+    }
+}
+
 /// The observer's `cache_evict` stream recounts exactly to the runtime's
 /// eviction counters, like every other event kind in this file.
 #[test]
@@ -327,6 +386,7 @@ fn cache_evict_events_recount_to_cache_stats() {
             memoize: true,
             cache_capacity: Some(512),
             cache_policy: CachePolicy::Generational,
+            ..SimOptions::default()
         },
     )
     .expect("simulation constructs");
