@@ -13,16 +13,23 @@
 //! * **full** — metrics registry plus the flight recorder on every
 //!   burst; recounts are exact and the hot-chain documents this mode
 //!   produces feed `sim_hot`.
+//! * **timeline** — epoch time-series sampling only (`--epoch`, default
+//!   10000 steps), with the run driven in epoch-sized budget slices
+//!   exactly as `facilec --timeline-out` drives it, so the recorded
+//!   cost covers both the per-epoch fold and the slicing. The
+//!   timeline documents feed `sim_timeline`.
 //!
 //! Usage:
 //!   obs_overhead [--scale F] [--reps N] [--filter NAME] [--sample N]
-//!                [--json-out PATH] [--fastsim PATH] [--hot-out PATH]
+//!                [--epoch N] [--json-out PATH] [--fastsim PATH]
+//!                [--hot-out PATH] [--timeline-out PATH]
 //!
 //! Defaults: scale 0.1, 3 reps (best-of, same methodology as
-//! `fastreplay`), all workloads, sample 64. `--fastsim` embeds the
-//! harmonic-mean comparison against a previously written
+//! `fastreplay`), all workloads, sample 64, epoch 10000. `--fastsim`
+//! embeds the harmonic-mean comparison against a previously written
 //! `BENCH_fastsim.json`; `--hot-out` writes the full-mode hot-chain
-//! documents as JSONL (one per workload).
+//! documents as JSONL (one per workload); `--timeline-out` does the
+//! same for the timeline-mode epoch documents.
 
 use bench::*;
 use std::fmt::Write as _;
@@ -46,31 +53,37 @@ struct Row {
     disabled: Meas,
     sampled: Meas,
     full: Meas,
+    timeline: Meas,
     fast_fraction: f64,
     /// Fraction of fast-path insns the top-10 chains cover (full mode).
     top10_coverage: f64,
     chains: usize,
     bursts: u64,
+    /// Epochs the timeline mode closed.
+    epochs: u64,
     hot_json: String,
+    timeline_json: String,
 }
 
 fn main() {
     let scale = arg_f64("--scale", 0.1);
     let reps = arg_f64("--reps", 3.0).max(1.0) as u32;
     let sample = arg_f64("--sample", 64.0).max(1.0) as u64;
+    let epoch = arg_f64("--epoch", 10_000.0).max(1.0) as u64;
     let filter = arg_str("--filter");
     let json_out = arg_str("--json-out");
     let hot_out = arg_str("--hot-out");
+    let timeline_out = arg_str("--timeline-out");
     let fastsim = arg_str("--fastsim").and_then(|p| std::fs::read_to_string(&p).ok());
 
     let step = compile_facile(FacileSim::Ooo);
     let mut rows: Vec<Row> = Vec::new();
     println!(
-        "obs-overhead benchmark: facile ooo +memo, workload scale {scale}, best of {reps}, 1-in-{sample} sampling"
+        "obs-overhead benchmark: facile ooo +memo, workload scale {scale}, best of {reps}, 1-in-{sample} sampling, {epoch}-step epochs"
     );
     println!(
-        "{:<14} {:>10} {:>10} {:>8} {:>10} {:>8} {:>8} {:>8}",
-        "benchmark", "disabled", "sampled", "ovh%", "full", "ovh%", "ff%", "top10%"
+        "{:<14} {:>10} {:>10} {:>8} {:>10} {:>8} {:>10} {:>8} {:>8} {:>8}",
+        "benchmark", "disabled", "sampled", "ovh%", "full", "ovh%", "timeline", "ovh%", "ff%", "top10%"
     );
     for w in facile_workloads::suite() {
         if let Some(f) = &filter {
@@ -104,33 +117,43 @@ fn main() {
         let disabled = best(ObsMode::Disabled);
         let sampled = best(ObsMode::Sampled(sample));
         let full = best(ObsMode::Full);
+        let timeline = best(ObsMode::Timeline(epoch));
         let meas = |r: &HotRun| Meas {
             wall_ns: r.run.wall.as_nanos() as u64,
             steps: r.steps,
             insns: r.run.insns,
         };
         let hot = full.hot.as_ref().expect("full mode carries a recorder");
+        let tl = timeline
+            .timeline
+            .as_ref()
+            .expect("timeline mode carries a timeline");
         let top10: u64 = hot.hot.ranked_chains().iter().take(10).map(|c| c.insns).sum();
         let row = Row {
             name: w.name,
             disabled: meas(&disabled),
             sampled: meas(&sampled),
             full: meas(&full),
+            timeline: meas(&timeline),
             fast_fraction: disabled.run.fast_fraction,
             top10_coverage: top10 as f64 / hot.sim.fast_insns.max(1) as f64,
             chains: hot.hot.chains.len(),
             bursts: hot.hot.bursts,
+            epochs: tl.timeline.epochs_total(),
             hot_json: hot.to_json(),
+            timeline_json: tl.to_json(),
         };
         let ovh = |m: &Meas| 100.0 * (row.disabled.steps_per_sec() / m.steps_per_sec() - 1.0);
         println!(
-            "{:<14} {:>10} {:>10} {:>8.2} {:>10} {:>8.2} {:>8.3} {:>8.1}",
+            "{:<14} {:>10} {:>10} {:>8.2} {:>10} {:>8.2} {:>10} {:>8.2} {:>8.3} {:>8.1}",
             row.name,
             fmt_rate(row.disabled.steps_per_sec()),
             fmt_rate(row.sampled.steps_per_sec()),
             ovh(&row.sampled),
             fmt_rate(row.full.steps_per_sec()),
             ovh(&row.full),
+            fmt_rate(row.timeline.steps_per_sec()),
+            ovh(&row.timeline),
             100.0 * row.fast_fraction,
             100.0 * row.top10_coverage,
         );
@@ -148,12 +171,14 @@ fn main() {
     let hm_disabled = hmean_of(&|r| r.disabled.steps_per_sec());
     let hm_sampled = hmean_of(&|r| r.sampled.steps_per_sec());
     let hm_full = hmean_of(&|r| r.full.steps_per_sec());
-    println!("\nharmonic mean steps/s: disabled {}, sampled {}, full {}",
-        fmt_rate(hm_disabled), fmt_rate(hm_sampled), fmt_rate(hm_full));
+    let hm_timeline = hmean_of(&|r| r.timeline.steps_per_sec());
+    println!("\nharmonic mean steps/s: disabled {}, sampled {}, full {}, timeline {}",
+        fmt_rate(hm_disabled), fmt_rate(hm_sampled), fmt_rate(hm_full), fmt_rate(hm_timeline));
     println!(
-        "relative throughput:   sampled/disabled {:.4}, full/disabled {:.4}",
+        "relative throughput:   sampled/disabled {:.4}, full/disabled {:.4}, timeline/disabled {:.4}",
         hm_sampled / hm_disabled.max(1e-9),
-        hm_full / hm_disabled.max(1e-9)
+        hm_full / hm_disabled.max(1e-9),
+        hm_timeline / hm_disabled.max(1e-9)
     );
     let fastsim_hmean = fastsim.as_deref().and_then(extract_hmean);
     if let Some(base) = fastsim_hmean {
@@ -179,13 +204,27 @@ fn main() {
             }
         }
     }
+    if let Some(path) = timeline_out {
+        let mut body = String::new();
+        for r in &rows {
+            body.push_str(&r.timeline_json);
+            body.push('\n');
+        }
+        match std::fs::write(&path, &body) {
+            Ok(()) => eprintln!("wrote {} timeline document(s) to {path}", rows.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if let Some(path) = json_out {
         let mut s = String::new();
         let _ = write!(
             s,
             "{{\"schema\":\"facile-bench-obs/v1\",\"bench\":\"obs_overhead\",\"sim\":\"ooo+memo\",\
-             \"scale\":{scale},\"sample_every\":{sample},\"workloads\":["
+             \"scale\":{scale},\"sample_every\":{sample},\"epoch_steps\":{epoch},\"workloads\":["
         );
         for (i, r) in rows.iter().enumerate() {
             if i > 0 {
@@ -202,16 +241,19 @@ fn main() {
             };
             let _ = write!(
                 s,
-                "{{\"name\":\"{}\",\"disabled\":{},\"sampled\":{},\"full\":{},\
-                 \"fast_fraction\":{:.6},\"hot_top10_coverage\":{:.6},\"hot_chains\":{},\"hot_bursts\":{}}}",
+                "{{\"name\":\"{}\",\"disabled\":{},\"sampled\":{},\"full\":{},\"timeline\":{},\
+                 \"fast_fraction\":{:.6},\"hot_top10_coverage\":{:.6},\"hot_chains\":{},\"hot_bursts\":{},\
+                 \"timeline_epochs\":{}}}",
                 r.name,
                 m(&r.disabled),
                 m(&r.sampled),
                 m(&r.full),
+                m(&r.timeline),
                 r.fast_fraction,
                 r.top10_coverage,
                 r.chains,
                 r.bursts,
+                r.epochs,
             );
         }
         let _ = write!(
@@ -219,9 +261,12 @@ fn main() {
             "],\"hmean_disabled_steps_per_sec\":{hm_disabled:.1},\
              \"hmean_sampled_steps_per_sec\":{hm_sampled:.1},\
              \"hmean_full_steps_per_sec\":{hm_full:.1},\
-             \"sampled_over_disabled\":{:.4},\"full_over_disabled\":{:.4}",
+             \"hmean_timeline_steps_per_sec\":{hm_timeline:.1},\
+             \"sampled_over_disabled\":{:.4},\"full_over_disabled\":{:.4},\
+             \"timeline_over_disabled\":{:.4}",
             hm_sampled / hm_disabled.max(1e-9),
-            hm_full / hm_disabled.max(1e-9)
+            hm_full / hm_disabled.max(1e-9),
+            hm_timeline / hm_disabled.max(1e-9)
         );
         if let Some(base) = fastsim_hmean {
             let _ = write!(

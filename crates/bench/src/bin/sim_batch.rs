@@ -52,6 +52,7 @@ fn main() {
             src: src.clone(),
         }),
         hot: None,
+        timeline: None,
         progress: None,
     };
 
@@ -96,6 +97,7 @@ fn main() {
             bind_arch: true,
             profile: None,
             hot: None,
+            timeline: None,
             progress: None,
         };
         let r = run_batch(step.clone(), jobs, &serial_config).expect("serial batch runs");

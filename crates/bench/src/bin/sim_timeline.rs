@@ -1,0 +1,269 @@
+//! `sim_timeline` — renders epoch time-series reports from
+//! `facile-timeline/v1` documents alone, with no re-simulation.
+//!
+//! Input is any mix of files produced by `facilec run --timeline-out`
+//! (one JSON document), `facilec batch --timeline-out` (JSONL, per-job
+//! docs then the merged doc) or the `obs_overhead` bench's
+//! `--timeline-out`.
+//!
+//! ```text
+//! sim_timeline tl.json [more.jsonl ...] [--width N] [--check] [--merge-check]
+//! ```
+//!
+//! For every document this renders an ASCII sparkline of the
+//! fast-forwarded fraction and the steps-per-second rate across the
+//! retained epochs, plus the steady-state detector's warm-up summary.
+//! `--check` instead recounts each document against its own final
+//! counters (the epoch-delta exactness gate `scripts/verify.sh` runs);
+//! `--merge-check` refolds each JSONL file's per-lane documents in
+//! order and demands the fold be byte-identical to the file's trailing
+//! merged document.
+
+use facile_obs::{json, EpochRecord, TimelineDoc};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+usage: sim_timeline <tl.json|tl.jsonl>... [--width N] [--eps F] [--k N]
+                    [--check] [--merge-check]
+
+Renders epoch time-series reports from facile-timeline/v1 documents
+(facilec --timeline-out, facilec batch --timeline-out).
+
+  --width N      sparkline columns (default 64); longer timelines are
+                 bucket-averaged down to fit
+  --eps F        rerun the steady-state detector over the retained
+                 epochs with this tolerance instead of the document's
+                 stored verdict
+  --k N          tail-window size for --eps (default 5)
+  --check        recount every document instead of rendering: the epoch
+                 deltas (retained + dropped) must sum exactly to the
+                 final simulation, cache and supertrace counters, and
+                 the ring overflow accounting must balance. Exits
+                 non-zero on the first mismatch.
+  --merge-check  treat each file as a batch JSONL (per-lane docs, then
+                 the merged doc last): refold the lanes in order and
+                 demand the fold be byte-identical to the trailing
+                 merged document.
+
+See docs/OBSERVABILITY.md for the document schema and the detector
+definition.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let check = args.iter().any(|a| a == "--check");
+    let merge_check = args.iter().any(|a| a == "--merge-check");
+    let width = args
+        .iter()
+        .position(|a| a == "--width")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64usize)
+        .max(8);
+    let eps: Option<f64> = args
+        .iter()
+        .position(|a| a == "--eps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let k = args
+        .iter()
+        .position(|a| a == "--k")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5usize)
+        .max(1);
+    let files: Vec<&String> = {
+        let mut skip = false;
+        args.iter()
+            .filter(|a| {
+                if skip {
+                    skip = false;
+                    return false;
+                }
+                if *a == "--width" || *a == "--eps" || *a == "--k" {
+                    skip = true;
+                }
+                !a.starts_with("--")
+            })
+            .collect()
+    };
+    if files.is_empty() {
+        eprintln!("usage: sim_timeline <tl.json|tl.jsonl>... [--width N] [--check] [--merge-check]");
+        eprintln!("       (--help for details)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut out = String::with_capacity(4096);
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sim_timeline: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let docs = match load_docs(&text) {
+            Some(d) if !d.is_empty() => d,
+            _ => {
+                eprintln!("sim_timeline: {path}: no facile-timeline/v1 documents");
+                return ExitCode::FAILURE;
+            }
+        };
+        if merge_check {
+            if let Err(msg) = merge_recount(&docs) {
+                eprintln!("sim_timeline: merge-check FAILED for {path}: {msg}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "sim_timeline: merge-check ok: {path} ({} lanes fold into `{}`)",
+                docs.len() - 1,
+                docs.last().expect("non-empty").label
+            );
+            continue;
+        }
+        if check {
+            for d in &docs {
+                if let Err(msg) = d.recount() {
+                    eprintln!("sim_timeline: check FAILED for `{}`: {msg}", d.label);
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "sim_timeline: check ok: `{}` ({} epochs, {} steps)",
+                    d.label,
+                    d.timeline.epochs_total(),
+                    d.timeline.totals.steps()
+                );
+            }
+            continue;
+        }
+        for d in &docs {
+            render(&mut out, d, width, eps, k);
+        }
+    }
+    // One buffered write; a closed pipe (`sim_timeline ... | head`) is
+    // the reader's choice, not an error.
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    ExitCode::SUCCESS
+}
+
+/// Parses either one JSON document or JSONL (one document per line).
+fn load_docs(text: &str) -> Option<Vec<TimelineDoc>> {
+    if let Ok(v) = json::parse(text) {
+        return TimelineDoc::from_value(&v).map(|d| vec![d]);
+    }
+    let mut docs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).ok()?;
+        docs.push(TimelineDoc::from_value(&v)?);
+    }
+    Some(docs)
+}
+
+/// The `--merge-check` gate: per-lane documents folded in file order
+/// must reproduce the trailing merged document byte for byte.
+fn merge_recount(docs: &[TimelineDoc]) -> Result<(), String> {
+    if docs.len() < 2 {
+        return Err(format!(
+            "need at least one lane and the merged doc, got {} document(s)",
+            docs.len()
+        ));
+    }
+    let (merged, lanes) = docs.split_last().expect("len checked above");
+    let mut fold = lanes[0].clone();
+    fold.label = merged.label.clone();
+    for lane in &lanes[1..] {
+        fold.merge(lane);
+    }
+    if fold.to_json() != merged.to_json() {
+        return Err("refolded lanes differ from the merged document".to_owned());
+    }
+    merged.recount()
+}
+
+fn render(out: &mut String, d: &TimelineDoc, width: usize, eps: Option<f64>, k: usize) {
+    let t = &d.timeline;
+    let _ = writeln!(out, "=== {} ===", d.label);
+    let _ = writeln!(
+        out,
+        "run:     {} insns ({:.1}% fast-forwarded), {} steps, {:.3} s wall",
+        d.sim.insns,
+        100.0 * d.sim.fast_forwarded_fraction(),
+        t.totals.steps(),
+        d.wall_ns as f64 / 1e9,
+    );
+    let _ = writeln!(
+        out,
+        "epochs:  {} of {} steps each ({} retained, {} dropped from the ring)",
+        t.epochs_total(),
+        t.epoch_steps,
+        t.epochs.len(),
+        t.dropped,
+    );
+    if t.epochs.is_empty() {
+        out.push('\n');
+        return;
+    }
+
+    let ff: Vec<f64> = t.epochs.iter().map(EpochRecord::fast_fraction).collect();
+    let sps: Vec<f64> = t.epochs.iter().map(EpochRecord::steps_per_sec).collect();
+    let _ = writeln!(out, "fast-fraction per epoch (0..1):");
+    let _ = writeln!(out, "  [{}]", sparkline(&ff, width, 1.0));
+    let peak = sps.iter().cloned().fold(0.0f64, f64::max);
+    let _ = writeln!(out, "steps/sec per epoch (peak {:.0}):", peak);
+    let _ = writeln!(out, "  [{}]", sparkline(&sps, width, peak));
+
+    // --eps reruns the detector over the retained epochs; otherwise the
+    // document's stored verdict is rendered as-is.
+    let warmup = match eps {
+        Some(e) => d.timeline.detect(e, k),
+        None => d.warmup,
+    };
+    match &warmup {
+        Some(w) => {
+            let _ = writeln!(out, "warm-up (|fast_fraction - tail mean| <= {} for {} epochs):", w.eps, w.k);
+            let _ = writeln!(
+                out,
+                "  steady from epoch {:>6}   tail mean fast-fraction {:.4}",
+                w.steady_state_epoch, w.tail_mean
+            );
+            let _ = writeln!(
+                out,
+                "  warm-up spent {:>12} steps   {:.3} ms wall",
+                w.warmup_steps,
+                w.warmup_wall_ns as f64 / 1e6
+            );
+        }
+        None => {
+            let _ = writeln!(out, "warm-up: never settled (or too few epochs for the detector)");
+        }
+    }
+    out.push('\n');
+}
+
+/// Bucket-averages `vals` down to at most `width` columns and maps each
+/// column onto a 10-level density ramp against `scale` (values at or
+/// above `scale` print as the densest glyph).
+fn sparkline(vals: &[f64], width: usize, scale: f64) -> String {
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let cols = vals.len().min(width);
+    let mut s = String::with_capacity(cols);
+    for c in 0..cols {
+        // Column c averages the half-open value range [lo, hi).
+        let lo = c * vals.len() / cols;
+        let hi = ((c + 1) * vals.len() / cols).max(lo + 1);
+        let mean = vals[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        let norm = if scale > 0.0 { (mean / scale).clamp(0.0, 1.0) } else { 0.0 };
+        let level = (norm * (RAMP.len() - 1) as f64).round() as usize;
+        s.push(RAMP[level.min(RAMP.len() - 1)]);
+    }
+    s
+}

@@ -9,7 +9,7 @@ use facile::hosts::{initial_args, ArchHost};
 use facile::{compile_source, CompilerOptions, SimOptions, Simulation, Target};
 
 pub use facile::CachePolicy;
-use facile::{HotConfig, HotDoc, ObsConfig, ObsHandle};
+use facile::{HotConfig, HotDoc, ObsConfig, ObsHandle, TimelineConfig, TimelineDoc};
 use facile_obs::{CacheStatsSnapshot, MetricsDoc, ProfileDoc, SimStatsSnapshot};
 use facile_runtime::Image;
 use facile_workloads::Workload;
@@ -49,9 +49,9 @@ impl RunResult {
 /// halt on their own).
 pub const MAX_INSNS: u64 = 2_000_000_000;
 
-/// Collects one `facile-obs` metrics document per run; [`finish`]
-/// (MetricsSink::finish) writes them as JSONL to the `--metrics-out`
-/// path. Without the flag the sink is inert and the runners skip all
+/// Collects one `facile-obs` metrics document per run;
+/// [`finish`](MetricsSink::finish) writes them as JSONL to the
+/// `--metrics-out` path. Without the flag the sink is inert and the runners skip all
 /// observation work.
 pub struct MetricsSink {
     path: Option<String>,
@@ -416,15 +416,22 @@ pub enum ObsMode {
     /// Metrics registry plus the flight recorder on every burst (trace
     /// ring off). Recounts are exact in this mode.
     Full,
+    /// Epoch timeline with this interval in steps (trace ring, metrics
+    /// registry and flight recorder off). The run is driven in
+    /// epoch-sized budget slices, exactly as `facilec --timeline-out`
+    /// drives it, so the measured cost includes both the per-epoch
+    /// sampling and the slicing itself.
+    Timeline(u64),
 }
 
 impl ObsMode {
-    /// Display name (`disabled`, `sampled`, `full`).
+    /// Display name (`disabled`, `sampled`, `full`, `timeline`).
     pub fn label(self) -> &'static str {
         match self {
             ObsMode::Disabled => "disabled",
             ObsMode::Sampled(_) => "sampled",
             ObsMode::Full => "full",
+            ObsMode::Timeline(_) => "timeline",
         }
     }
 }
@@ -436,8 +443,12 @@ pub struct HotRun {
     /// Simulator main-loop iterations (fast + slow steps) — the unit of
     /// replay throughput `BENCH_fastsim.json` reports.
     pub steps: u64,
-    /// The flight-recorder document (`None` in [`ObsMode::Disabled`]).
+    /// The flight-recorder document (`None` in [`ObsMode::Disabled`]
+    /// and [`ObsMode::Timeline`]).
     pub hot: Option<HotDoc>,
+    /// The epoch time-series document (`None` outside
+    /// [`ObsMode::Timeline`]).
+    pub timeline: Option<TimelineDoc>,
 }
 
 impl HotRun {
@@ -502,14 +513,40 @@ pub fn run_facile_hot(
             },
             ..ObsConfig::default()
         })),
+        ObsMode::Timeline(epoch) => sim.attach_obs(ObsHandle::new(ObsConfig {
+            trace: false,
+            metrics: false,
+            timeline: TimelineConfig {
+                enabled: true,
+                epoch_steps: epoch.max(1),
+                ..TimelineConfig::default()
+            },
+            ..ObsConfig::default()
+        })),
     }
     let t0 = Instant::now();
-    sim.run_steps(MAX_INSNS);
+    if let ObsMode::Timeline(epoch) = mode {
+        // Budget-sliced driving, exactly like `facilec --timeline-out`:
+        // the slicing is part of what this mode costs.
+        let slice = epoch.max(1);
+        let mut left = MAX_INSNS;
+        while sim.halted().is_none() && left > 0 {
+            sim.run_steps(slice.min(left));
+            left = left.saturating_sub(slice);
+        }
+    } else {
+        sim.run_steps(MAX_INSNS);
+    }
     let wall = t0.elapsed();
     assert!(
         sim.halted().is_some(),
         "workload did not halt under the facile simulator"
     );
+    let timeline = if matches!(mode, ObsMode::Timeline(_)) {
+        facile::obs::timeline_doc(label, &mut sim, wall.as_nanos() as u64)
+    } else {
+        None
+    };
     let hot = facile::obs::hot_doc(label, &sim, wall.as_nanos() as u64);
     let cs = sim.cache_stats();
     HotRun {
@@ -526,6 +563,7 @@ pub fn run_facile_hot(
         },
         steps: sim.stats().fast_steps + sim.stats().slow_steps,
         hot,
+        timeline,
     }
 }
 

@@ -29,10 +29,10 @@
 //! single-lane one.
 
 use crate::hosts::ArchHost;
-use crate::obs::{hot_doc, metrics_doc, profile_doc};
+use crate::obs::{hot_doc, metrics_doc, profile_doc, timeline_doc};
 use crate::{
     CompiledStep, HotConfig, HotDoc, MetricsDoc, ObsConfig, ObsHandle, ProfileDoc, SimError,
-    SimOptions, Simulation,
+    SimOptions, Simulation, TimelineConfig, TimelineDoc,
 };
 use facile_runtime::{HaltReason, Image, Target};
 use facile_vm::ArgValue;
@@ -82,6 +82,12 @@ pub struct BatchConfig {
     /// burst sampling period (see [`crate::obs::observe_hot`]); the
     /// per-job and merged `facile-hot/v1` documents are collected.
     pub hot: Option<u64>,
+    /// Attach an epoch timeline to every job with this epoch interval
+    /// in steps (see [`crate::obs::observe_timeline`]); the lane is
+    /// driven in epoch-sized budget slices so replay bursts exit near
+    /// epoch boundaries, and the per-job and merged
+    /// `facile-timeline/v1` documents are collected.
+    pub timeline: Option<u64>,
     /// Per-job completion heartbeat (e.g. `facilec batch --progress`).
     pub progress: Option<ProgressFn>,
 }
@@ -94,6 +100,7 @@ impl Default for BatchConfig {
             bind_arch: true,
             profile: None,
             hot: None,
+            timeline: None,
             progress: None,
         }
     }
@@ -115,6 +122,8 @@ pub struct JobOutcome {
     pub profile: Option<ProfileDoc>,
     /// The per-job hot-chain document, when the recorder was requested.
     pub hot: Option<HotDoc>,
+    /// The per-job epoch timeline, when a timeline was requested.
+    pub timeline: Option<TimelineDoc>,
 }
 
 /// The whole batch: per-job outcomes in submission order plus folds.
@@ -129,6 +138,11 @@ pub struct BatchResult {
     /// Folding happens in submission order, so it is bit-for-bit what a
     /// single recorder observing the lanes back-to-back would hold.
     pub merged_hot: Option<HotDoc>,
+    /// Folded timeline, when [`BatchConfig::timeline`] was set. Lane
+    /// timelines concatenate in submission order (all-integer epoch
+    /// records make the fold bit-for-bit deterministic) and the
+    /// steady-state detector reruns over the concatenation.
+    pub merged_timeline: Option<TimelineDoc>,
     /// Batch wall-clock (pool start to last worker join), nanoseconds.
     pub wall_ns: u64,
     /// Worker threads actually used.
@@ -247,12 +261,24 @@ pub fn run_batch(
             mh.merge(j.hot.as_ref().expect("hot recording is all-or-nothing"));
         }
     }
+    let mut merged_timeline = done[0].timeline.clone();
+    if let Some(mt) = merged_timeline.as_mut() {
+        mt.label = format!("batch({n} jobs)");
+        for j in &done[1..] {
+            mt.merge(
+                j.timeline
+                    .as_ref()
+                    .expect("timeline recording is all-or-nothing"),
+            );
+        }
+    }
 
     Ok(BatchResult {
         jobs: done,
         merged_metrics,
         merged_profile,
         merged_hot,
+        merged_timeline,
         wall_ns,
         threads,
     })
@@ -284,9 +310,9 @@ fn run_one(
     if config.bind_arch {
         ArchHost::new().bind(&mut sim)?;
     }
-    if config.observe || config.hot.is_some() {
-        // One handle carries both the metrics registry (iff `observe`)
-        // and the flight recorder (iff `hot`).
+    if config.observe || config.hot.is_some() || config.timeline.is_some() {
+        // One handle carries the metrics registry (iff `observe`), the
+        // flight recorder (iff `hot`) and the timeline (iff `timeline`).
         sim.attach_obs(ObsHandle::new(ObsConfig {
             metrics: config.observe,
             hot: match config.hot {
@@ -296,12 +322,42 @@ fn run_one(
                 },
                 None => HotConfig::default(),
             },
+            timeline: match config.timeline {
+                Some(epoch_steps) => TimelineConfig {
+                    enabled: true,
+                    epoch_steps,
+                    ..TimelineConfig::default()
+                },
+                None => TimelineConfig::default(),
+            },
             ..ObsConfig::default()
         }));
     }
     let t0 = std::time::Instant::now();
-    let halt = sim.run_steps(job.max_steps);
+    let halt = match config.timeline {
+        // Budget-sliced driving: epochs close when a replay burst or a
+        // slow-path group ends, and a burst runs to its whole budget,
+        // so an unsliced lane of a tight loop would close one giant
+        // epoch. Slicing by the interval keeps epochs near-uniform.
+        Some(epoch) => {
+            let slice = epoch.max(1);
+            let mut left = job.max_steps;
+            loop {
+                let halt = sim.run_steps(slice.min(left));
+                left = left.saturating_sub(slice);
+                if halt.is_some() || left == 0 {
+                    break halt;
+                }
+            }
+        }
+        None => sim.run_steps(job.max_steps),
+    };
     let wall_ns = t0.elapsed().as_nanos() as u64;
+    let timeline = if config.timeline.is_some() {
+        timeline_doc(&job.label, &mut sim, wall_ns)
+    } else {
+        None
+    };
     let metrics = metrics_doc(&job.label, &sim, wall_ns);
     let profile = config
         .profile
@@ -316,6 +372,7 @@ fn run_one(
         metrics,
         profile,
         hot,
+        timeline,
     })
 }
 
@@ -464,6 +521,37 @@ mod tests {
         assert_eq!(merged.hot.burst_steps.sum(), merged.sim.fast_steps);
         assert_eq!(merged.hot.burst_insns.sum(), merged.sim.fast_insns);
         assert_eq!(merged.hot.exits.iter().sum::<u64>(), merged.hot.bursts);
+    }
+
+    /// The merged timeline is exactly the submission-order fold of the
+    /// per-lane documents (byte-identical JSON), and both levels pass
+    /// the epoch-delta exactness gate: Σ epoch deltas, retained plus
+    /// dropped, equals the final counters.
+    #[test]
+    fn merged_timeline_is_the_submission_order_fold() {
+        let step = shared_step();
+        let config = BatchConfig {
+            threads: 4,
+            timeline: Some(32),
+            ..BatchConfig::default()
+        };
+        let result = run_batch(step, jobs(6), &config).expect("batch runs");
+        let merged = result.merged_timeline.as_ref().expect("timeline batch");
+        merged.recount().expect("merged doc recounts");
+        for j in &result.jobs {
+            let t = j.timeline.as_ref().expect("every lane carries a timeline");
+            t.recount().expect("lane doc recounts");
+            assert!(
+                t.timeline.epochs_total() > 1,
+                "budget-sliced lanes close several epochs"
+            );
+        }
+        let mut expected = result.jobs[0].timeline.clone().expect("lane 0 timeline");
+        expected.label = "batch(6 jobs)".to_owned();
+        for j in &result.jobs[1..] {
+            expected.merge(j.timeline.as_ref().expect("lane timeline"));
+        }
+        assert_eq!(merged.to_json(), expected.to_json(), "fold is bit-for-bit");
     }
 
     /// The progress callback fires exactly once per job, with a usable

@@ -25,7 +25,15 @@
 //! --profile-out <path>   # write a facile-prof/v1 source profile
 //! --hot-out <path>       # write a facile-hot/v1 replay flight-recorder doc
 //! --hot-sample <N>       # record 1-in-N fast bursts (default 1: exact)
+//! --timeline-out <path>  # write a facile-timeline/v1 epoch time-series doc
+//! --timeline-stream <p>  # stream one JSONL line per closed epoch, live
+//! --timeline-epoch <N>   # epoch interval in steps (default 100000)
 //! ```
+//!
+//! With a timeline attached the run is driven in epoch-sized budget
+//! slices, so replay bursts exit near epoch boundaries and the
+//! time-series stays uniform; `sim_timeline` (in the bench crate)
+//! renders warm-up curves and checks the epoch-delta exactness gate.
 //!
 //! Either flag attaches an observer to the run; `sim_report` (in the
 //! bench crate) renders paper-style tables from the metrics documents.
@@ -46,7 +54,7 @@
 //! `--progress` prints one JSONL heartbeat line to stderr as each job
 //! completes.
 
-use facile::{compile_source, CachePolicy, CompilerOptions, SimOptions};
+use facile::{compile_source, CachePolicy, CompilerOptions, SimOptions, TimelineConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -61,6 +69,9 @@ fn main() -> ExitCode {
     let mut profile_out: Option<String> = None;
     let mut hot_out: Option<String> = None;
     let mut hot_sample: u64 = 1;
+    let mut timeline_out: Option<String> = None;
+    let mut timeline_stream: Option<String> = None;
+    let mut timeline_epoch: u64 = TimelineConfig::default().epoch_steps;
     let mut progress = false;
     let mut batch = false;
     let mut jobs_file: Option<String> = None;
@@ -175,6 +186,36 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--timeline-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => timeline_out = Some(v.clone()),
+                    None => {
+                        eprintln!("facilec: --timeline-out requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--timeline-stream" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => timeline_stream = Some(v.clone()),
+                    None => {
+                        eprintln!("facilec: --timeline-stream requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--timeline-epoch" => {
+                i += 1;
+                timeline_epoch = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("facilec: --timeline-epoch requires a step count >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--progress" => progress = true,
             "--metrics-out" => {
                 i += 1;
@@ -214,9 +255,12 @@ fn main() -> ExitCode {
                 eprintln!("               [--metrics-out m.json] [--trace-out t.jsonl]");
                 eprintln!("               [--profile-out prof.json]");
                 eprintln!("               [--hot-out hot.json] [--hot-sample N]");
+                eprintln!("               [--timeline-out tl.json] [--timeline-stream tl.jsonl]");
+                eprintln!("               [--timeline-epoch N]");
                 eprintln!("       facilec --builtin ooo batch --jobs jobs.txt [--threads K]");
                 eprintln!("               [--steps N] [--metrics-out m.jsonl] [--profile-out p.jsonl]");
                 eprintln!("               [--hot-out hot.jsonl] [--hot-sample N] [--progress]");
+                eprintln!("               [--timeline-out tl.jsonl] [--timeline-epoch N]");
                 eprintln!("         jobs file: one `prog.asm [max-steps]` per line;");
                 eprintln!("         outputs are JSONL, per-job docs then the merged batch doc;");
                 eprintln!("         --progress prints a JSONL heartbeat per job to stderr");
@@ -278,6 +322,10 @@ fn main() -> ExitCode {
             eprintln!("facilec: batch requires --jobs <file>");
             return ExitCode::FAILURE;
         };
+        if timeline_stream.is_some() {
+            eprintln!("facilec: --timeline-stream requires --run (lanes would interleave)");
+            return ExitCode::FAILURE;
+        }
         let src_name = file
             .clone()
             .or_else(|| builtin.as_ref().map(|b| format!("<builtin:{b}>")))
@@ -288,6 +336,9 @@ fn main() -> ExitCode {
             profile_out,
             hot_out,
             hot_sample,
+            timeline_out,
+            timeline_stream: None,
+            timeline_epoch,
             progress,
         };
         let sim_options = SimOptions {
@@ -312,6 +363,9 @@ fn main() -> ExitCode {
             profile_out,
             hot_out,
             hot_sample,
+            timeline_out,
+            timeline_stream,
+            timeline_epoch,
             progress: false,
         };
         let sim_options = SimOptions {
@@ -323,9 +377,16 @@ fn main() -> ExitCode {
         };
         return run_target(step, &src, &src_name, &builtin, &prog, steps, sim_options, outs);
     }
-    if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() || hot_out.is_some()
+    if trace_out.is_some()
+        || metrics_out.is_some()
+        || profile_out.is_some()
+        || hot_out.is_some()
+        || timeline_out.is_some()
+        || timeline_stream.is_some()
     {
-        eprintln!("facilec: --trace-out/--metrics-out/--profile-out/--hot-out require --run");
+        eprintln!(
+            "facilec: --trace-out/--metrics-out/--profile-out/--hot-out/--timeline-out require --run"
+        );
         return ExitCode::FAILURE;
     }
     if jobs_file.is_some() || threads != 0 || progress {
@@ -397,6 +458,9 @@ struct Outs {
     profile_out: Option<String>,
     hot_out: Option<String>,
     hot_sample: u64,
+    timeline_out: Option<String>,
+    timeline_stream: Option<String>,
+    timeline_epoch: u64,
     progress: bool,
 }
 
@@ -486,10 +550,28 @@ fn run_batch_cmd(
             src: src.to_owned(),
         }),
         hot: outs.hot_out.as_ref().map(|_| outs.hot_sample),
+        timeline: outs.timeline_out.as_ref().map(|_| outs.timeline_epoch),
         progress: outs.progress.then(|| -> facile::batch::ProgressFn {
             Box::new(|o: &facile::batch::JobOutcome| {
+                // With a timeline attached, the heartbeat carries the
+                // lane's latest closed epoch too.
+                let epoch = o
+                    .timeline
+                    .as_ref()
+                    .and_then(|t| {
+                        let last = t.timeline.epochs.last()?;
+                        Some((t.timeline.epochs_total().saturating_sub(1), last))
+                    })
+                    .map(|(i, e)| {
+                        format!(
+                            ",\"epoch\":{i},\"epoch_steps\":{},\"epoch_fast_fraction\":{:.6}",
+                            e.steps(),
+                            e.fast_fraction(),
+                        )
+                    })
+                    .unwrap_or_default();
                 eprintln!(
-                    "{{\"job\":\"{}\",\"wall_ns\":{},\"steps\":{},\"steps_per_sec\":{:.0},\"fast_fraction\":{:.6}}}",
+                    "{{\"job\":\"{}\",\"wall_ns\":{},\"steps\":{},\"steps_per_sec\":{:.0},\"fast_fraction\":{:.6}{epoch}}}",
                     o.label.replace('\\', "\\\\").replace('"', "\\\""),
                     o.wall_ns,
                     o.steps,
@@ -555,6 +637,23 @@ fn run_batch_cmd(
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &outs.timeline_out {
+        let mut text = String::new();
+        for j in &result.jobs {
+            if let Some(t) = &j.timeline {
+                text.push_str(&t.to_json());
+                text.push('\n');
+            }
+        }
+        if let Some(t) = &result.merged_timeline {
+            text.push_str(&t.to_json());
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("facilec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     println!("batch:       {n} jobs on {} threads", result.threads);
     for j in &result.jobs {
@@ -602,10 +701,14 @@ fn run_target(
         profile_out,
         hot_out,
         hot_sample,
+        timeline_out,
+        timeline_stream,
+        timeline_epoch,
         progress: _,
     } = outs;
     use facile::hosts::{initial_args, ArchHost};
     use facile::{HotConfig, ObsConfig, ObsHandle, Simulation, Target};
+    let timeline_on = timeline_out.is_some() || timeline_stream.is_some();
 
     let asm = match std::fs::read_to_string(prog) {
         Ok(s) => s,
@@ -637,12 +740,21 @@ fn run_target(
         eprintln!("facilec: {e}");
         return ExitCode::FAILURE;
     }
-    if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() || hot_out.is_some()
+    if trace_out.is_some()
+        || metrics_out.is_some()
+        || profile_out.is_some()
+        || hot_out.is_some()
+        || timeline_on
     {
         let obs = ObsHandle::new(ObsConfig {
             hot: HotConfig {
                 enabled: hot_out.is_some(),
                 sample_every: hot_sample,
+            },
+            timeline: TimelineConfig {
+                enabled: timeline_on,
+                epoch_steps: timeline_epoch,
+                ..TimelineConfig::default()
             },
             ..ObsConfig::default()
         });
@@ -655,11 +767,40 @@ fn run_target(
                 }
             }
         }
+        if let Some(path) = &timeline_stream {
+            match std::fs::File::create(path) {
+                Ok(f) => obs.set_timeline_writer(Box::new(std::io::BufWriter::new(f))),
+                Err(e) => {
+                    eprintln!("facilec: cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         sim.attach_obs(obs);
     }
     let t0 = std::time::Instant::now();
-    let halt = sim.run_steps(steps);
+    let halt = if timeline_on {
+        // Budget-sliced driving: epochs close when a replay burst or a
+        // slow-path group ends, and a burst runs to its whole budget,
+        // so an unsliced run would close one epoch per miss at best.
+        // Slicing by the interval keeps the time-series uniform.
+        let slice = timeline_epoch.max(1);
+        let mut left = steps;
+        loop {
+            let h = sim.run_steps(slice.min(left));
+            left = left.saturating_sub(slice);
+            if h.is_some() || left == 0 {
+                break h;
+            }
+        }
+    } else {
+        sim.run_steps(steps)
+    };
     let wall = t0.elapsed();
+    if timeline_on {
+        // Close the final partial epoch (emits it to the stream too).
+        sim.timeline_flush();
+    }
     sim.obs().flush();
     if sim.obs().io_errors() > 0 {
         eprintln!(
@@ -691,6 +832,15 @@ fn run_target(
         let label = format!("{} {prog}", builtin.as_deref().unwrap_or("custom"));
         let doc = facile::obs::hot_doc(&label, &sim, wall.as_nanos() as u64)
             .expect("a recorder was attached for --hot-out");
+        if let Err(e) = std::fs::write(path, doc.to_json() + "\n") {
+            eprintln!("facilec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &timeline_out {
+        let label = format!("{} {prog}", builtin.as_deref().unwrap_or("custom"));
+        let doc = facile::obs::timeline_doc(&label, &mut sim, wall.as_nanos() as u64)
+            .expect("a timeline was attached for --timeline-out");
         if let Err(e) = std::fs::write(path, doc.to_json() + "\n") {
             eprintln!("facilec: cannot write {path}: {e}");
             return ExitCode::FAILURE;

@@ -69,8 +69,8 @@ pub use facile_bta::LiftConfig;
 pub use facile_codegen::{CodegenConfig, CompiledStep};
 pub use facile_lang::{Diagnostic, Diagnostics, Severity};
 pub use facile_obs::{
-    ActionRow, BurstExit, HotConfig, HotDoc, HotMetrics, MetricsDoc, ObsConfig, ObsHandle,
-    ProfileDoc, SimObserver, TraceEvent,
+    ActionRow, BurstExit, EpochRecord, HotConfig, HotDoc, HotMetrics, MetricsDoc, ObsConfig,
+    ObsHandle, ProfileDoc, SimObserver, TimelineConfig, TimelineDoc, TimelineMetrics, TraceEvent,
 };
 pub use facile_runtime::{CachePolicy, CacheStats, HaltReason, Image, Memory, SimStats, Target};
 pub use facile_vm::{

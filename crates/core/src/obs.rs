@@ -10,7 +10,8 @@
 use facile_lang::span::LineMap;
 use facile_obs::{
     ActionRow, CacheStatsSnapshot, HotConfig, HotDoc, MetricsDoc, ObsConfig, ObsHandle,
-    ProfileDoc, SimStatsSnapshot, TraceCounters,
+    ProfileDoc, SimStatsSnapshot, TimelineConfig, TimelineDoc, TraceCounters,
+    DEFAULT_STEADY_EPS, DEFAULT_STEADY_K,
 };
 use facile_runtime::{CacheStats, SimStats};
 use facile_vm::{Simulation, TraceStats};
@@ -140,6 +141,47 @@ pub fn observe_hot(sim: &mut Simulation, sample_every: u64) -> ObsHandle {
     });
     sim.attach_obs(obs.clone());
     obs
+}
+
+/// Attaches an observability handle with the timeline recorder on
+/// (plus the default metrics registry) and returns it. The common
+/// setup for `--timeline-out`; `epoch_steps` is the epoch interval in
+/// simulator steps (0 is treated as 1). Epoch sampling starts at the
+/// attach point, so attach before running for an exact recount.
+pub fn observe_timeline(sim: &mut Simulation, epoch_steps: u64) -> ObsHandle {
+    let obs = ObsHandle::new(ObsConfig {
+        timeline: TimelineConfig {
+            enabled: true,
+            epoch_steps,
+            ..TimelineConfig::default()
+        },
+        ..ObsConfig::default()
+    });
+    sim.attach_obs(obs.clone());
+    obs
+}
+
+/// Builds the timeline document (`facile-timeline/v1`) for a run whose
+/// handle carried the timeline recorder; `None` when no recorder was
+/// attached. Flushes the final partial epoch first, so the returned
+/// document satisfies the `sim_timeline --check` recount (Σ epoch
+/// deltas == final counters) whenever the recorder was attached before
+/// the first step. The steady-state detector runs with the default
+/// tolerance and window; `wall_ns` is the caller-measured wall-clock
+/// duration of the whole run.
+pub fn timeline_doc(label: &str, sim: &mut Simulation, wall_ns: u64) -> Option<TimelineDoc> {
+    sim.timeline_flush();
+    let timeline = sim.obs().timeline()?;
+    let warmup = timeline.detect(DEFAULT_STEADY_EPS, DEFAULT_STEADY_K);
+    Some(TimelineDoc {
+        label: label.to_owned(),
+        sim: snapshot_sim(sim.stats()),
+        cache: snapshot_cache(&sim.cache_stats()),
+        trace: snapshot_trace(&sim.trace_stats()),
+        wall_ns,
+        timeline,
+        warmup,
+    })
 }
 
 /// Snapshots the VM's superaction-compilation counters into the
@@ -315,6 +357,64 @@ mod tests {
         observe_metrics(&mut sim);
         sim.run_steps(1_000);
         assert!(hot_doc("bare", &sim, 0).is_none());
+    }
+
+    #[test]
+    fn timeline_doc_recounts_the_run_exactly() {
+        let mut sim = looping_sim();
+        observe_timeline(&mut sim, 16);
+        // Budget-sliced driving: epochs close at burst exits, and a
+        // replay burst runs to its budget, so unsliced runs of this
+        // tight loop would close one giant epoch. Real drivers slice
+        // the same way (facilec runs in budget slices).
+        while sim.halted().is_none() {
+            sim.run_steps(16);
+        }
+        let doc = timeline_doc("loop", &mut sim, 42).expect("recorder attached");
+        // The tentpole invariant: Σ epoch deltas == final counters,
+        // bit for bit, including the flushed partial epoch.
+        doc.recount().expect("epoch recount");
+        assert!(
+            doc.timeline.epochs.len() > 1,
+            "the 200-lap loop crosses several 16-step epochs"
+        );
+        assert_eq!(doc.sim.insns, sim.stats().insns);
+        // Convergence is visible: some later epoch fast-forwards more
+        // than the recording-dominated first one (the *final* epoch can
+        // dip again — the data-dependent halt exits through the slow
+        // path — which is exactly what a timeline is for).
+        let first = doc.timeline.epochs.first().unwrap();
+        let peak = doc
+            .timeline
+            .epochs
+            .iter()
+            .map(|e| e.fast_fraction())
+            .fold(0.0f64, f64::max);
+        assert!(first.fast_fraction() < peak);
+        // And the document survives its own serialization.
+        let back = TimelineDoc::from_json(&doc.to_json()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn timeline_flush_is_idempotent() {
+        let mut sim = looping_sim();
+        observe_timeline(&mut sim, 16);
+        sim.run_steps(10_000);
+        sim.timeline_flush();
+        let once = sim.obs().timeline().unwrap();
+        sim.timeline_flush();
+        let twice = sim.obs().timeline().unwrap();
+        assert_eq!(once.epochs.len(), twice.epochs.len(), "no zero epochs");
+        assert_eq!(once.totals, twice.totals);
+    }
+
+    #[test]
+    fn without_recorder_timeline_doc_is_none() {
+        let mut sim = counting_sim();
+        observe_metrics(&mut sim);
+        sim.run_steps(1_000);
+        assert!(timeline_doc("bare", &mut sim, 0).is_none());
     }
 
     #[test]

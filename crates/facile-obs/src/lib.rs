@@ -29,6 +29,11 @@
 //!   bounded-depth action-path signature, and per-INDEX-site dispatch
 //!   stability, exported as the `facile-hot/v1` document
 //!   ([`burst::HotDoc`]) `--hot-out` writes and `sim_hot` renders.
+//! * [`timeline::TimelineMetrics`] — temporal telemetry: fixed-interval
+//!   epoch snapshots of counter deltas with a steady-state detector,
+//!   exported as the `facile-timeline/v1` document
+//!   ([`timeline::TimelineDoc`]) `--timeline-out` writes and
+//!   `sim_timeline` renders.
 //!
 //! This crate is dependency-free and sits *below* `facile-runtime`, so
 //! the action cache itself can announce clears; snapshot conversion from
@@ -56,6 +61,7 @@ pub mod observer;
 pub mod profile;
 pub mod report;
 pub mod ring;
+pub mod timeline;
 
 pub use burst::{
     fold_sig, BurstExit, BurstRecord, ChainRow, HotConfig, HotDoc, HotMetrics, SiteRow,
@@ -69,3 +75,7 @@ pub use observer::{ObsConfig, ObsHandle, SimObserver};
 pub use profile::{ActionRow, LineCost, ProfileDoc, PROF_SCHEMA};
 pub use report::{CacheStatsSnapshot, MetricsDoc, SimStatsSnapshot, SCHEMA};
 pub use ring::EventRing;
+pub use timeline::{
+    EpochRecord, TimelineConfig, TimelineDoc, TimelineMetrics, Warmup, DEFAULT_EPOCH_CAP,
+    DEFAULT_EPOCH_STEPS, DEFAULT_STEADY_EPS, DEFAULT_STEADY_K, TIMELINE_SCHEMA,
+};

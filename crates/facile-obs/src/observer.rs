@@ -21,6 +21,7 @@ use crate::burst::{BurstRecord, HotConfig, HotMetrics};
 use crate::event::{EngineTag, TraceEvent};
 use crate::metrics::Metrics;
 use crate::ring::{EventRing, DEFAULT_CAPACITY};
+use crate::timeline::{EpochRecord, TimelineConfig, TimelineMetrics};
 use std::io::Write;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -66,6 +67,9 @@ pub struct ObsConfig {
     /// Replay flight recorder: burst/chain telemetry (see
     /// [`crate::burst`]). Off by default.
     pub hot: HotConfig,
+    /// Timeline recorder: fixed-interval epoch snapshots (see
+    /// [`crate::timeline`]). Off by default.
+    pub timeline: TimelineConfig,
 }
 
 impl Default for ObsConfig {
@@ -75,6 +79,7 @@ impl Default for ObsConfig {
             ring_capacity: DEFAULT_CAPACITY,
             metrics: true,
             hot: HotConfig::default(),
+            timeline: TimelineConfig::default(),
         }
     }
 }
@@ -87,6 +92,9 @@ struct ObsCore {
     hot: Option<HotMetrics>,
     /// Bursts seen so far, sampled or not (drives 1-in-N sampling).
     hot_seq: u64,
+    timeline: Option<TimelineMetrics>,
+    /// Live JSONL sink for closed epochs (`--timeline-stream`).
+    timeline_writer: Option<Box<dyn Write + Send>>,
     trace: bool,
     io_errors: u64,
 }
@@ -172,6 +180,11 @@ pub struct ObsHandle {
     /// registry is attached (configuration is fixed at construction, so
     /// the cache can never go stale).
     counts_actions: bool,
+    /// Cached at construction: the timeline's epoch interval in
+    /// simulator steps, 0 when the timeline recorder is off. Lets the
+    /// driver keep its epoch bookkeeping lock-free (one integer compare
+    /// per burst/slow-step) and take the core lock once per epoch.
+    epoch_every: u64,
 }
 
 /// Locks the core. A panic while observing poisons the mutex; the data
@@ -209,6 +222,11 @@ impl ObsHandle {
     pub fn new(config: ObsConfig) -> ObsHandle {
         ObsHandle {
             counts_actions: config.metrics,
+            epoch_every: if config.timeline.enabled {
+                config.timeline.epoch_steps.max(1)
+            } else {
+                0
+            },
             core: Some(Arc::new(Mutex::new(ObsCore {
                 observers: Vec::new(),
                 ring: EventRing::new(config.ring_capacity),
@@ -219,6 +237,11 @@ impl ObsHandle {
                     .enabled
                     .then(|| HotMetrics::new(config.hot.sample_every)),
                 hot_seq: 0,
+                timeline: config
+                    .timeline
+                    .enabled
+                    .then(|| TimelineMetrics::new(config.timeline.epoch_steps, config.timeline.cap)),
+                timeline_writer: None,
                 trace: config.trace,
                 io_errors: 0,
             }))),
@@ -333,6 +356,53 @@ impl ObsHandle {
         self.core.as_ref().and_then(|c| locked(c).hot.clone())
     }
 
+    /// The timeline recorder's epoch interval in simulator steps, 0
+    /// when the recorder is off. Cached at construction — no lock.
+    #[inline]
+    pub fn timeline_every(&self) -> u64 {
+        self.epoch_every
+    }
+
+    /// Folds one closed epoch into the timeline recorder and streams it
+    /// to the epoch sink, if one is attached. The driver accumulates
+    /// epoch deltas lock-free and calls this once per epoch — the
+    /// timeline's entire locking cost. No-op when the recorder is off.
+    pub fn timeline_epoch(&self, rec: &EpochRecord) {
+        let Some(core) = &self.core else {
+            return;
+        };
+        let mut c = locked(core);
+        let Some(t) = &mut c.timeline else {
+            return;
+        };
+        let index = t.epochs_total();
+        t.observe_epoch(rec);
+        if c.timeline_writer.is_some() {
+            let mut line = rec.stream_json(index);
+            line.push('\n');
+            if let Some(w) = &mut c.timeline_writer {
+                // Flush per epoch: the stream's purpose is liveness.
+                if w.write_all(line.as_bytes()).is_err() || w.flush().is_err() {
+                    c.io_errors = c.io_errors.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    /// Attaches a JSONL sink that receives every closed epoch as one
+    /// line, flushed immediately (`--timeline-stream`). No-op on a
+    /// disabled handle.
+    pub fn set_timeline_writer(&self, w: Box<dyn Write + Send>) {
+        if let Some(core) = &self.core {
+            locked(core).timeline_writer = Some(w);
+        }
+    }
+
+    /// A snapshot of the timeline recorder's aggregate, if it is on.
+    pub fn timeline(&self) -> Option<TimelineMetrics> {
+        self.core.as_ref().and_then(|c| locked(c).timeline.clone())
+    }
+
     /// Writes buffered events to the attached sink, if any.
     pub fn flush(&self) {
         if let Some(core) = &self.core {
@@ -409,7 +479,62 @@ mod tests {
         assert!(h.drain_events().is_empty());
         assert!(h.metrics().is_none());
         assert!(h.hot().is_none());
+        h.timeline_epoch(&EpochRecord::default());
+        assert!(h.timeline().is_none());
+        assert_eq!(h.timeline_every(), 0);
         assert_eq!(h.total_events(), 0);
+    }
+
+    #[test]
+    fn timeline_epochs_fold_and_stream() {
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let h = ObsHandle::new(ObsConfig {
+            timeline: TimelineConfig {
+                enabled: true,
+                epoch_steps: 500,
+                ..TimelineConfig::default()
+            },
+            ..ObsConfig::default()
+        });
+        assert_eq!(h.timeline_every(), 500);
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        h.set_timeline_writer(Box::new(Shared(sink.clone())));
+        for i in 0..3u64 {
+            h.timeline_epoch(&EpochRecord {
+                fast_steps: 400 + i,
+                slow_steps: 100,
+                fast_insns: 4_000,
+                slow_insns: 1_000,
+                wall_ns: 10,
+                ..EpochRecord::default()
+            });
+        }
+        let t = h.timeline().expect("timeline on");
+        assert_eq!(t.epochs.len(), 3);
+        assert_eq!(t.totals.fast_steps, 3 * 400 + 3);
+        let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 3, "one line per epoch:\n{text}");
+        for (i, line) in text.lines().enumerate() {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(v.get("epoch").unwrap().as_u64(), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn timeline_off_means_no_interval_even_when_enabled() {
+        let h = ObsHandle::new(ObsConfig::default());
+        assert!(h.enabled());
+        assert_eq!(h.timeline_every(), 0);
+        assert!(h.timeline().is_none());
     }
 
     #[test]
@@ -477,7 +602,7 @@ mod tests {
             trace: true,
             ring_capacity: 4,
             metrics: false,
-            hot: HotConfig::default(),
+            ..ObsConfig::default()
         });
         h.set_writer(Box::new(Shared(sink.clone())));
         for i in 0..10 {
@@ -523,7 +648,7 @@ mod tests {
             trace: true,
             ring_capacity: 4,
             metrics: true,
-            hot: HotConfig::default(),
+            ..ObsConfig::default()
         });
         for i in 0..10 {
             h.emit(TraceEvent::NeedSlow { step: i });
@@ -539,7 +664,7 @@ mod tests {
             trace: true,
             ring_capacity: 4,
             metrics: false,
-            hot: HotConfig::default(),
+            ..ObsConfig::default()
         });
         for i in 0..10 {
             h.emit(TraceEvent::NeedSlow { step: i });

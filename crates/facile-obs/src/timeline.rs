@@ -1,0 +1,862 @@
+//! Temporal telemetry: fixed-interval epoch snapshots of the run.
+//!
+//! Every aggregate document this crate produces ([`MetricsDoc`],
+//! [`HotDoc`](crate::HotDoc)) is an end-of-run roll-up, but the paper's
+//! central claim — memoization makes simulation *converge* from slow
+//! recording to fast replay — is a temporal phenomenon. The timeline
+//! subsystem makes it visible: the driver closes an **epoch** every
+//! [`TimelineConfig::epoch_steps`] simulator steps and records the
+//! counter *deltas* accumulated since the previous close (steps split
+//! by engine, instructions split by engine, misses, memoized bytes,
+//! evictions, supertrace enters/bails, wall time). Epochs are sampled
+//! off the hot path — at fast-burst exits and slow-step closes, never
+//! per step — so a burst that overshoots a boundary simply closes one
+//! larger epoch; the deltas stay exact either way.
+//!
+//! Exactness is the design invariant, and it holds by telescoping: each
+//! epoch is `counters_now − counters_at_last_close`, and the driver
+//! flushes the final partial epoch at snapshot time, so
+//!
+//! ```text
+//! Σ epoch deltas  ==  final counters        (checked by sim_timeline --check)
+//! ```
+//!
+//! bit for bit, with no float in the stored records (per-epoch
+//! `fast_fraction` is derived at render time). The retained-epoch ring
+//! is capped ([`TimelineConfig::cap`]); overflowed epochs lose their
+//! identity into [`TimelineMetrics::dropped_sum`] but never their
+//! counts, so the recount invariant survives arbitrarily long runs.
+//!
+//! The **steady-state detector** answers ROADMAP item 2's question —
+//! how long until the cache is warm? An epoch stream is *steady from
+//! epoch e* when every epoch from `e` to the end has `fast_fraction`
+//! within ε of the tail mean (the mean over the last K epochs) and at
+//! least K epochs are in that span. The earliest such `e` is
+//! `steady_state_epoch`; everything before it is warm-up
+//! ([`Warmup::warmup_steps`], [`Warmup::warmup_wall_ns`]).
+//!
+//! Merging follows the crate's deterministic-partition discipline:
+//! lane timelines concatenate in submission order through the same
+//! capped push path a live stream takes, so a batch's merged document
+//! is bit-for-bit the fold of its lanes (`sim_timeline --merge-check`).
+//!
+//! [`MetricsDoc`]: crate::MetricsDoc
+
+use crate::json::{escape_into, parse, ParseError, Value};
+use crate::report::{CacheStatsSnapshot, SimStatsSnapshot};
+use crate::TraceCounters;
+use std::fmt::Write as _;
+
+/// Schema tag written into every timeline document.
+pub const TIMELINE_SCHEMA: &str = "facile-timeline/v1";
+
+/// Default epoch interval in simulator steps.
+pub const DEFAULT_EPOCH_STEPS: u64 = 100_000;
+
+/// Default retained-epoch ring capacity. Overflowed epochs fold into
+/// [`TimelineMetrics::dropped_sum`] (counts kept, identity lost).
+pub const DEFAULT_EPOCH_CAP: usize = 4096;
+
+/// Default steady-state tolerance: an epoch is steady when its
+/// fast-forwarded fraction is within this of the tail mean.
+pub const DEFAULT_STEADY_EPS: f64 = 0.01;
+
+/// Default steady-state window: the tail mean averages this many final
+/// epochs, and at least this many consecutive steady epochs are
+/// required before a steady state is declared.
+pub const DEFAULT_STEADY_K: usize = 5;
+
+/// Timeline construction options (part of
+/// [`ObsConfig`](crate::ObsConfig)).
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineConfig {
+    /// Record epochs at all. Off by default: existing observers pay
+    /// nothing new.
+    pub enabled: bool,
+    /// Epoch interval in simulator steps (fast + slow). 0 is treated
+    /// as 1.
+    pub epoch_steps: u64,
+    /// Retained-epoch ring capacity.
+    pub cap: usize,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        TimelineConfig {
+            enabled: false,
+            epoch_steps: DEFAULT_EPOCH_STEPS,
+            cap: DEFAULT_EPOCH_CAP,
+        }
+    }
+}
+
+/// One closed epoch: pure counter deltas since the previous close.
+/// All integers — per-epoch rates and fractions are derived at render
+/// time so documents stay exactly mergeable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// Fast (replayed) steps completed this epoch.
+    pub fast_steps: u64,
+    /// Slow (recorded) steps completed this epoch.
+    pub slow_steps: u64,
+    /// Instructions retired by the fast engine this epoch.
+    pub fast_insns: u64,
+    /// Instructions retired by the slow engine this epoch.
+    pub slow_insns: u64,
+    /// Action-cache misses this epoch.
+    pub misses: u64,
+    /// Bytes newly memoized this epoch (delta of `bytes_total`).
+    pub cache_bytes: u64,
+    /// Storage generations evicted this epoch.
+    pub cache_evictions: u64,
+    /// Supertrace entries this epoch.
+    pub trace_enters: u64,
+    /// Supertrace guard bails this epoch.
+    pub trace_bails: u64,
+    /// Wall-clock spent in this epoch, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl EpochRecord {
+    /// Simulator steps completed this epoch (both engines).
+    pub fn steps(&self) -> u64 {
+        self.fast_steps.saturating_add(self.slow_steps)
+    }
+
+    /// Instructions retired this epoch (both engines).
+    pub fn insns(&self) -> u64 {
+        self.fast_insns.saturating_add(self.slow_insns)
+    }
+
+    /// Fraction of this epoch's instructions retired by fast replay
+    /// (0.0 for an empty epoch). The per-epoch analogue of
+    /// [`SimStatsSnapshot::fast_forwarded_fraction`].
+    pub fn fast_fraction(&self) -> f64 {
+        let total = self.insns();
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_insns as f64 / total as f64
+        }
+    }
+
+    /// Simulated steps per second over this epoch's wall time.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.steps() as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Whether every counter (including wall time) is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == EpochRecord::default()
+    }
+
+    /// Adds another record field-wise (overflow accounting and merges).
+    pub fn add(&mut self, other: &EpochRecord) {
+        self.fast_steps = self.fast_steps.saturating_add(other.fast_steps);
+        self.slow_steps = self.slow_steps.saturating_add(other.slow_steps);
+        self.fast_insns = self.fast_insns.saturating_add(other.fast_insns);
+        self.slow_insns = self.slow_insns.saturating_add(other.slow_insns);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.cache_bytes = self.cache_bytes.saturating_add(other.cache_bytes);
+        self.cache_evictions = self.cache_evictions.saturating_add(other.cache_evictions);
+        self.trace_enters = self.trace_enters.saturating_add(other.trace_enters);
+        self.trace_bails = self.trace_bails.saturating_add(other.trace_bails);
+        self.wall_ns = self.wall_ns.saturating_add(other.wall_ns);
+    }
+
+    /// The stored fields in serialization order.
+    fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("fast_steps", self.fast_steps),
+            ("slow_steps", self.slow_steps),
+            ("fast_insns", self.fast_insns),
+            ("slow_insns", self.slow_insns),
+            ("misses", self.misses),
+            ("cache_bytes", self.cache_bytes),
+            ("cache_evictions", self.cache_evictions),
+            ("trace_enters", self.trace_enters),
+            ("trace_bails", self.trace_bails),
+            ("wall_ns", self.wall_ns),
+        ]
+    }
+
+    fn write_json(&self, s: &mut String) {
+        s.push('{');
+        for (i, (k, v)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{k}\":{v}");
+        }
+        s.push('}');
+    }
+
+    fn from_value(v: &Value) -> Option<EpochRecord> {
+        let u = |k: &str| v.get(k).and_then(Value::as_u64);
+        Some(EpochRecord {
+            fast_steps: u("fast_steps")?,
+            slow_steps: u("slow_steps")?,
+            fast_insns: u("fast_insns")?,
+            slow_insns: u("slow_insns")?,
+            misses: u("misses")?,
+            cache_bytes: u("cache_bytes")?,
+            cache_evictions: u("cache_evictions")?,
+            trace_enters: u("trace_enters")?,
+            trace_bails: u("trace_bails")?,
+            wall_ns: u("wall_ns")?,
+        })
+    }
+
+    /// One live-stream JSONL line for this epoch (`--timeline-stream`):
+    /// the stored deltas plus the derived `steps` and `fast_fraction`,
+    /// tagged with the epoch's absolute index.
+    pub fn stream_json(&self, index: u64) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(s, "{{\"epoch\":{index},\"steps\":{}", self.steps());
+        for (k, v) in self.fields() {
+            let _ = write!(s, ",\"{k}\":{v}");
+        }
+        let _ = write!(s, ",\"fast_fraction\":{:.6}}}", self.fast_fraction());
+        s
+    }
+}
+
+/// The detector's verdict: when the run reached steady state and what
+/// the warm-up before it cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Warmup {
+    /// Absolute index (counting dropped epochs) of the first epoch of
+    /// the steady tail.
+    pub steady_state_epoch: u64,
+    /// Simulator steps completed before the steady tail began.
+    pub warmup_steps: u64,
+    /// Wall-clock spent before the steady tail began, nanoseconds.
+    pub warmup_wall_ns: u64,
+    /// Mean fast-forwarded fraction of the last `k` epochs.
+    pub tail_mean: f64,
+    /// Tolerance the detection used.
+    pub eps: f64,
+    /// Tail-window size the detection used.
+    pub k: u64,
+}
+
+/// The epoch aggregate a timeline recorder maintains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineMetrics {
+    /// Configured epoch interval in simulator steps.
+    pub epoch_steps: u64,
+    /// Retained-epoch ring capacity.
+    pub cap: usize,
+    /// Retained epochs, oldest first, at most `cap`.
+    pub epochs: Vec<EpochRecord>,
+    /// Epochs dropped from the front of the ring (identity lost).
+    pub dropped: u64,
+    /// Field-wise sum of every dropped epoch (counts kept).
+    pub dropped_sum: EpochRecord,
+    /// Field-wise sum of every epoch ever observed. The recount
+    /// reference: equals the final counters when sampling started at
+    /// step zero and the final partial epoch was flushed.
+    pub totals: EpochRecord,
+}
+
+impl TimelineMetrics {
+    /// An empty timeline with the given interval and ring capacity.
+    pub fn new(epoch_steps: u64, cap: usize) -> TimelineMetrics {
+        TimelineMetrics {
+            epoch_steps: epoch_steps.max(1),
+            cap: cap.max(1),
+            epochs: Vec::new(),
+            dropped: 0,
+            dropped_sum: EpochRecord::default(),
+            totals: EpochRecord::default(),
+        }
+    }
+
+    /// Epochs ever observed (retained + dropped).
+    pub fn epochs_total(&self) -> u64 {
+        self.dropped.saturating_add(self.epochs.len() as u64)
+    }
+
+    /// Folds one closed epoch into the aggregate, evicting the oldest
+    /// retained epoch into `dropped_sum` when the ring is full.
+    pub fn observe_epoch(&mut self, rec: &EpochRecord) {
+        self.totals.add(rec);
+        if self.epochs.len() >= self.cap {
+            let evicted = self.epochs.remove(0);
+            self.dropped = self.dropped.saturating_add(1);
+            self.dropped_sum.add(&evicted);
+        }
+        self.epochs.push(*rec);
+    }
+
+    /// Field-wise sum of the retained epochs.
+    pub fn retained_sum(&self) -> EpochRecord {
+        let mut sum = EpochRecord::default();
+        for e in &self.epochs {
+            sum.add(e);
+        }
+        sum
+    }
+
+    /// Folds another timeline's epochs after this one's, exactly as if
+    /// one recorder had observed the two epoch streams back to back
+    /// (`self`'s first): `other`'s retained epochs push through the
+    /// same capped ring path a live stream takes, and its overflow
+    /// accounting carries over. A batch fold in submission order is
+    /// therefore bit-for-bit a single-registry run over the
+    /// concatenated stream. Lanes are expected to share one interval;
+    /// if they differ the merged document keeps the larger.
+    pub fn merge(&mut self, other: &TimelineMetrics) {
+        self.epoch_steps = self.epoch_steps.max(other.epoch_steps);
+        self.dropped = self.dropped.saturating_add(other.dropped);
+        self.dropped_sum.add(&other.dropped_sum);
+        self.totals.add(&other.totals);
+        for rec in &other.epochs {
+            if self.epochs.len() >= self.cap {
+                let evicted = self.epochs.remove(0);
+                self.dropped = self.dropped.saturating_add(1);
+                self.dropped_sum.add(&evicted);
+            }
+            self.epochs.push(*rec);
+        }
+    }
+
+    /// Runs the steady-state detector over the retained epochs.
+    ///
+    /// The tail mean is the mean `fast_fraction` of the last `k`
+    /// retained epochs. Scanning backwards from the end, the steady
+    /// tail is the longest suffix whose every epoch is within `eps` of
+    /// that mean; if the suffix holds at least `k` epochs, its first
+    /// epoch (as an absolute index, counting dropped epochs) is the
+    /// steady-state epoch and everything before it is warm-up. Returns
+    /// `None` when fewer than `k` epochs were retained or the tail
+    /// never settled.
+    pub fn detect(&self, eps: f64, k: usize) -> Option<Warmup> {
+        let n = self.epochs.len();
+        if k == 0 || n < k {
+            return None;
+        }
+        let tail_mean = self.epochs[n - k..]
+            .iter()
+            .map(EpochRecord::fast_fraction)
+            .sum::<f64>()
+            / k as f64;
+        let mut first_steady = n;
+        for (i, e) in self.epochs.iter().enumerate().rev() {
+            if (e.fast_fraction() - tail_mean).abs() > eps {
+                break;
+            }
+            first_steady = i;
+        }
+        if n - first_steady < k {
+            return None;
+        }
+        let mut warm = self.dropped_sum;
+        for e in &self.epochs[..first_steady] {
+            warm.add(e);
+        }
+        Some(Warmup {
+            steady_state_epoch: self.dropped.saturating_add(first_steady as u64),
+            warmup_steps: warm.steps(),
+            warmup_wall_ns: warm.wall_ns,
+            tail_mean,
+            eps,
+            k: k as u64,
+        })
+    }
+}
+
+/// One run's timeline document, as written by `--timeline-out`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineDoc {
+    /// Human label for the run (workload/config name).
+    pub label: String,
+    /// Snapshot of the final simulation counters (recount reference).
+    pub sim: SimStatsSnapshot,
+    /// Snapshot of the final action-cache counters.
+    pub cache: CacheStatsSnapshot,
+    /// Snapshot of the final supertrace counters.
+    pub trace: TraceCounters,
+    /// Wall-clock duration of the whole run, nanoseconds.
+    pub wall_ns: u64,
+    /// The epoch aggregate.
+    pub timeline: TimelineMetrics,
+    /// The detector's verdict over the retained epochs (`None` when
+    /// the run never settled or produced too few epochs).
+    pub warmup: Option<Warmup>,
+}
+
+impl TimelineDoc {
+    /// Folds another lane's document after this one: the label is kept
+    /// (batch drivers relabel the merged document), counter snapshots
+    /// add field-wise, `wall_ns` takes the maximum (concurrent lanes
+    /// overlap), the timelines concatenate per
+    /// [`TimelineMetrics::merge`], and the detector reruns over the
+    /// merged epochs with the same parameters.
+    pub fn merge(&mut self, other: &TimelineDoc) {
+        self.sim.merge(&other.sim);
+        self.cache.merge(&other.cache);
+        self.trace.merge(&other.trace);
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
+        self.timeline.merge(&other.timeline);
+        let (eps, k) = self
+            .warmup
+            .map_or((DEFAULT_STEADY_EPS, DEFAULT_STEADY_K), |w| {
+                (w.eps, w.k as usize)
+            });
+        self.warmup = self.timeline.detect(eps, k);
+    }
+
+    /// The `sim_timeline --check` exactness contract: every counter in
+    /// `totals` recounts the corresponding final counter bit for bit,
+    /// and the retained epochs plus the overflow accounting recount
+    /// `totals`. Returns the first violated invariant.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first failed recount.
+    pub fn recount(&self) -> Result<(), String> {
+        let eq = |what: &str, got: u64, want: u64| {
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("{what}: epochs sum to {got}, counters say {want}"))
+            }
+        };
+        let t = &self.timeline.totals;
+        eq("fast_steps", t.fast_steps, self.sim.fast_steps)?;
+        eq("slow_steps", t.slow_steps, self.sim.slow_steps)?;
+        eq("fast_insns", t.fast_insns, self.sim.fast_insns)?;
+        eq("slow_insns", t.slow_insns, self.sim.slow_insns)?;
+        eq("misses", t.misses, self.sim.misses)?;
+        eq("cache_bytes", t.cache_bytes, self.cache.bytes_total)?;
+        eq("cache_evictions", t.cache_evictions, self.cache.evictions)?;
+        eq("trace_enters", t.trace_enters, self.trace.enters)?;
+        eq("trace_bails", t.trace_bails, self.trace.bails)?;
+        let mut ring = self.timeline.dropped_sum;
+        ring.add(&self.timeline.retained_sum());
+        if ring != *t {
+            return Err(format!(
+                "ring accounting: retained + dropped epochs sum to {} steps, totals say {}",
+                ring.steps(),
+                t.steps()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes the document as one JSON object. Everything stored is
+    /// an integer except the detector's `tail_mean`/`eps`, written with
+    /// fixed precision so identical folds serialize identically.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024 + self.timeline.epochs.len() * 200);
+        s.push_str("{\"schema\":");
+        escape_into(&mut s, TIMELINE_SCHEMA);
+        s.push_str(",\"label\":");
+        escape_into(&mut s, &self.label);
+        let _ = write!(s, ",\"wall_ns\":{},\"sim\":{{", self.wall_ns);
+        let mut first = true;
+        for (k, v) in [
+            ("cycles", self.sim.cycles),
+            ("insns", self.sim.insns),
+            ("fast_insns", self.sim.fast_insns),
+            ("slow_insns", self.sim.slow_insns),
+            ("fast_steps", self.sim.fast_steps),
+            ("slow_steps", self.sim.slow_steps),
+            ("misses", self.sim.misses),
+            ("recoveries", self.sim.recoveries),
+            ("actions_replayed", self.sim.actions_replayed),
+            ("ext_calls", self.sim.ext_calls),
+        ] {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{k}\":{v}");
+        }
+        s.push_str("},\"cache\":{");
+        first = true;
+        for (k, v) in [
+            ("nodes_created", self.cache.nodes_created),
+            ("entries_created", self.cache.entries_created),
+            ("clears", self.cache.clears),
+            ("bytes_current", self.cache.bytes_current),
+            ("bytes_total", self.cache.bytes_total),
+            ("bytes_peak", self.cache.bytes_peak),
+            ("bytes_cleared", self.cache.bytes_cleared),
+            ("evictions", self.cache.evictions),
+            ("bytes_evicted", self.cache.bytes_evicted),
+        ] {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{k}\":{v}");
+        }
+        let tr = &self.trace;
+        let _ = write!(
+            s,
+            "}},\"trace\":{{\"built\":{},\"build_failed\":{},\"enters\":{},\"bails\":{},\
+             \"invalidated\":{},\"steps\":{},\"insns\":{}}}",
+            tr.built, tr.build_failed, tr.enters, tr.bails, tr.invalidated, tr.steps, tr.insns
+        );
+        let t = &self.timeline;
+        let _ = write!(
+            s,
+            ",\"timeline\":{{\"epoch_steps\":{},\"cap\":{},\"dropped\":{},\"dropped_sum\":",
+            t.epoch_steps, t.cap, t.dropped
+        );
+        t.dropped_sum.write_json(&mut s);
+        s.push_str(",\"totals\":");
+        t.totals.write_json(&mut s);
+        s.push_str(",\"epochs\":[");
+        for (i, e) in t.epochs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            e.write_json(&mut s);
+        }
+        s.push_str("]}");
+        if let Some(w) = &self.warmup {
+            let _ = write!(
+                s,
+                ",\"warmup\":{{\"steady_state_epoch\":{},\"warmup_steps\":{},\
+                 \"warmup_wall_ns\":{},\"tail_mean\":{:.6},\"eps\":{:.6},\"k\":{}}}",
+                w.steady_state_epoch, w.warmup_steps, w.warmup_wall_ns, w.tail_mean, w.eps, w.k
+            );
+        }
+        s.push('}');
+        s
+    }
+
+    /// Rebuilds a document from its parsed JSON value.
+    pub fn from_value(v: &Value) -> Option<TimelineDoc> {
+        if v.get("schema")?.as_str()? != TIMELINE_SCHEMA {
+            return None;
+        }
+        let u = |o: &Value, k: &str| o.get(k).and_then(Value::as_u64);
+        let sim_v = v.get("sim")?;
+        let sim = SimStatsSnapshot {
+            cycles: u(sim_v, "cycles")?,
+            insns: u(sim_v, "insns")?,
+            fast_insns: u(sim_v, "fast_insns")?,
+            slow_insns: u(sim_v, "slow_insns")?,
+            fast_steps: u(sim_v, "fast_steps")?,
+            slow_steps: u(sim_v, "slow_steps")?,
+            misses: u(sim_v, "misses")?,
+            recoveries: u(sim_v, "recoveries")?,
+            actions_replayed: u(sim_v, "actions_replayed")?,
+            ext_calls: u(sim_v, "ext_calls")?,
+        };
+        let cache_v = v.get("cache")?;
+        let cache = CacheStatsSnapshot {
+            nodes_created: u(cache_v, "nodes_created")?,
+            entries_created: u(cache_v, "entries_created")?,
+            clears: u(cache_v, "clears")?,
+            bytes_current: u(cache_v, "bytes_current")?,
+            bytes_total: u(cache_v, "bytes_total")?,
+            bytes_peak: u(cache_v, "bytes_peak")?,
+            bytes_cleared: u(cache_v, "bytes_cleared")?,
+            evictions: u(cache_v, "evictions").unwrap_or(0),
+            bytes_evicted: u(cache_v, "bytes_evicted").unwrap_or(0),
+        };
+        let tr = v.get("trace")?;
+        let trace = TraceCounters {
+            built: u(tr, "built")?,
+            build_failed: u(tr, "build_failed")?,
+            enters: u(tr, "enters")?,
+            bails: u(tr, "bails")?,
+            invalidated: u(tr, "invalidated")?,
+            steps: u(tr, "steps")?,
+            insns: u(tr, "insns")?,
+        };
+        let t = v.get("timeline")?;
+        let mut timeline = TimelineMetrics::new(u(t, "epoch_steps")?, u(t, "cap")? as usize);
+        timeline.dropped = u(t, "dropped")?;
+        timeline.dropped_sum = EpochRecord::from_value(t.get("dropped_sum")?)?;
+        timeline.totals = EpochRecord::from_value(t.get("totals")?)?;
+        for e in t.get("epochs")?.as_arr()? {
+            timeline.epochs.push(EpochRecord::from_value(e)?);
+        }
+        let warmup = match v.get("warmup") {
+            None => None,
+            Some(w) => Some(Warmup {
+                steady_state_epoch: u(w, "steady_state_epoch")?,
+                warmup_steps: u(w, "warmup_steps")?,
+                warmup_wall_ns: u(w, "warmup_wall_ns")?,
+                tail_mean: w.get("tail_mean")?.as_f64()?,
+                eps: w.get("eps")?.as_f64()?,
+                k: u(w, "k")?,
+            }),
+        };
+        Some(TimelineDoc {
+            label: v.get("label")?.as_str()?.to_string(),
+            sim,
+            cache,
+            trace,
+            wall_ns: u(v, "wall_ns")?,
+            timeline,
+            warmup,
+        })
+    }
+
+    /// Parses a document from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or a value that is not a timeline document.
+    pub fn from_json(text: &str) -> Result<TimelineDoc, ParseError> {
+        let v = parse(text)?;
+        TimelineDoc::from_value(&v).ok_or(ParseError {
+            msg: "not a facile-timeline/v1 document",
+            at: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An epoch whose fast fraction is `num`/(`num`+`den`) with easy
+    /// round numbers everywhere else.
+    fn epoch(fast_insns: u64, slow_insns: u64) -> EpochRecord {
+        EpochRecord {
+            fast_steps: fast_insns / 10,
+            slow_steps: slow_insns / 10,
+            fast_insns,
+            slow_insns,
+            misses: slow_insns / 100,
+            cache_bytes: slow_insns,
+            cache_evictions: 0,
+            trace_enters: fast_insns / 50,
+            trace_bails: 0,
+            wall_ns: 1_000,
+        }
+    }
+
+    /// A convergence-shaped stream: mostly-slow start, fast steady tail.
+    fn warming_stream() -> Vec<EpochRecord> {
+        let mut v = vec![
+            epoch(100, 900),
+            epoch(500, 500),
+            epoch(900, 100),
+            epoch(985, 15),
+        ];
+        for _ in 0..8 {
+            v.push(epoch(990, 10));
+        }
+        v
+    }
+
+    #[test]
+    fn totals_recount_the_stream() {
+        let mut t = TimelineMetrics::new(64, DEFAULT_EPOCH_CAP);
+        let stream = warming_stream();
+        for e in &stream {
+            t.observe_epoch(e);
+        }
+        assert_eq!(t.epochs_total(), stream.len() as u64);
+        assert_eq!(t.dropped, 0);
+        let mut want = EpochRecord::default();
+        for e in &stream {
+            want.add(e);
+        }
+        assert_eq!(t.totals, want);
+        assert_eq!(t.retained_sum(), want);
+    }
+
+    #[test]
+    fn ring_overflow_keeps_counts_and_drops_identity() {
+        let mut t = TimelineMetrics::new(64, 4);
+        let stream = warming_stream();
+        for e in &stream {
+            t.observe_epoch(e);
+        }
+        assert_eq!(t.epochs.len(), 4);
+        assert_eq!(t.dropped, stream.len() as u64 - 4);
+        let mut ring = t.dropped_sum;
+        ring.add(&t.retained_sum());
+        assert_eq!(ring, t.totals, "nothing lost to the cap");
+        // The retained epochs are the newest ones.
+        assert_eq!(t.epochs[3], *stream.last().unwrap());
+    }
+
+    #[test]
+    fn merge_of_split_streams_is_bit_for_bit_the_combined_stream() {
+        let stream = warming_stream();
+        let mut combined = TimelineMetrics::new(64, 6);
+        for e in &stream {
+            combined.observe_epoch(e);
+        }
+        let (first, second) = stream.split_at(5);
+        let mut a = TimelineMetrics::new(64, 6);
+        let mut b = TimelineMetrics::new(64, 6);
+        for e in first {
+            a.observe_epoch(e);
+        }
+        for e in second {
+            b.observe_epoch(e);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn detector_finds_the_steady_tail() {
+        let mut t = TimelineMetrics::new(64, DEFAULT_EPOCH_CAP);
+        for e in warming_stream() {
+            t.observe_epoch(&e);
+        }
+        let w = t.detect(DEFAULT_STEADY_EPS, DEFAULT_STEADY_K).unwrap();
+        // Epochs 0..3 ramp up; the 0.985 epoch joins the 0.99 tail
+        // within eps = 0.01.
+        assert_eq!(w.steady_state_epoch, 3);
+        let warm: u64 = warming_stream()[..3].iter().map(EpochRecord::steps).sum();
+        assert_eq!(w.warmup_steps, warm);
+        assert_eq!(w.warmup_wall_ns, 3_000);
+        assert!((w.tail_mean - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detector_rejects_unsettled_streams() {
+        let mut t = TimelineMetrics::new(64, DEFAULT_EPOCH_CAP);
+        for i in 0..12u64 {
+            // Alternates between 0.2 and 0.8: never within eps of the
+            // tail mean for 5 consecutive epochs.
+            let e = if i % 2 == 0 {
+                epoch(200, 800)
+            } else {
+                epoch(800, 200)
+            };
+            t.observe_epoch(&e);
+        }
+        assert!(t.detect(DEFAULT_STEADY_EPS, DEFAULT_STEADY_K).is_none());
+        // And too-short streams never detect.
+        let mut short = TimelineMetrics::new(64, DEFAULT_EPOCH_CAP);
+        short.observe_epoch(&epoch(990, 10));
+        assert!(short.detect(DEFAULT_STEADY_EPS, DEFAULT_STEADY_K).is_none());
+    }
+
+    fn sample_doc() -> TimelineDoc {
+        let mut timeline = TimelineMetrics::new(64, DEFAULT_EPOCH_CAP);
+        for e in warming_stream() {
+            timeline.observe_epoch(&e);
+        }
+        let t = timeline.totals;
+        let warmup = timeline.detect(DEFAULT_STEADY_EPS, DEFAULT_STEADY_K);
+        TimelineDoc {
+            label: "126.gcc".into(),
+            sim: SimStatsSnapshot {
+                cycles: 0,
+                insns: t.insns(),
+                fast_insns: t.fast_insns,
+                slow_insns: t.slow_insns,
+                fast_steps: t.fast_steps,
+                slow_steps: t.slow_steps,
+                misses: t.misses,
+                recoveries: t.misses,
+                actions_replayed: 0,
+                ext_calls: 0,
+            },
+            cache: CacheStatsSnapshot {
+                nodes_created: 10,
+                entries_created: 10,
+                clears: 0,
+                bytes_current: t.cache_bytes,
+                bytes_total: t.cache_bytes,
+                bytes_peak: t.cache_bytes,
+                bytes_cleared: 0,
+                evictions: t.cache_evictions,
+                bytes_evicted: 0,
+            },
+            trace: TraceCounters {
+                built: 1,
+                build_failed: 0,
+                enters: t.trace_enters,
+                bails: t.trace_bails,
+                invalidated: 0,
+                steps: 0,
+                insns: 0,
+            },
+            wall_ns: 20_000,
+            timeline,
+            warmup,
+        }
+    }
+
+    #[test]
+    fn document_round_trips() {
+        let d = sample_doc();
+        let back = TimelineDoc::from_json(&d.to_json()).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.to_json(), d.to_json());
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let json = sample_doc()
+            .to_json()
+            .replace(TIMELINE_SCHEMA, "facile-timeline/v0");
+        assert!(TimelineDoc::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn recount_accepts_exact_documents_and_rejects_tampered_ones() {
+        let d = sample_doc();
+        d.recount().expect("sample doc is exact by construction");
+        let mut bad = d.clone();
+        bad.sim.fast_insns += 1;
+        assert!(bad.recount().is_err());
+        let mut bad = d;
+        bad.timeline.epochs.pop();
+        assert!(bad.recount().is_err(), "ring accounting violation");
+    }
+
+    #[test]
+    fn merged_documents_equal_a_single_registry_fold() {
+        let stream = warming_stream();
+        let mut single = sample_doc();
+        single.timeline = TimelineMetrics::new(64, DEFAULT_EPOCH_CAP);
+        for e in &stream {
+            single.timeline.observe_epoch(e);
+        }
+        single.sim.merge(&sample_doc().sim);
+        single.cache.merge(&sample_doc().cache);
+        single.trace.merge(&sample_doc().trace);
+        single.warmup = single.timeline.detect(DEFAULT_STEADY_EPS, DEFAULT_STEADY_K);
+
+        let mut lane_a = sample_doc();
+        lane_a.timeline = TimelineMetrics::new(64, DEFAULT_EPOCH_CAP);
+        let mut lane_b = sample_doc();
+        lane_b.timeline = TimelineMetrics::new(64, DEFAULT_EPOCH_CAP);
+        let (first, second) = stream.split_at(4);
+        for e in first {
+            lane_a.timeline.observe_epoch(e);
+        }
+        for e in second {
+            lane_b.timeline.observe_epoch(e);
+        }
+        lane_a.merge(&lane_b);
+        assert_eq!(lane_a.to_json(), single.to_json());
+    }
+
+    #[test]
+    fn stream_json_carries_the_derived_fields() {
+        let e = epoch(900, 100);
+        let line = e.stream_json(7);
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("steps").unwrap().as_u64(), Some(e.steps()));
+        assert_eq!(v.get("fast_insns").unwrap().as_u64(), Some(900));
+        let ff = v.get("fast_fraction").unwrap().as_f64().unwrap();
+        assert!((ff - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        let t = TimelineMetrics::new(0, 0);
+        assert_eq!(t.epoch_steps, 1);
+        assert_eq!(t.cap, 1);
+    }
+}

@@ -18,7 +18,7 @@ use crate::state::{ExtFn, MachineState, Store};
 use crate::supertrace::{SuperTraceSet, TraceStats};
 use facile_codegen::CompiledStep;
 use facile_ir::ir::Loc;
-use facile_obs::{BurstExit, BurstRecord, EngineTag, ObsHandle, TraceEvent};
+use facile_obs::{BurstExit, BurstRecord, EngineTag, EpochRecord, ObsHandle, TraceEvent};
 use facile_runtime::cache::{ActionCache, CachePolicy, Cursor, NodeId};
 use facile_runtime::key::{Key, KeyReader, KeyWriter};
 use facile_runtime::{CacheStats, Engine, HaltReason, SimStats, Target};
@@ -112,6 +112,30 @@ enum Mode {
     Done,
 }
 
+/// Timeline bookkeeping: the counter baselines of the currently open
+/// epoch. Lives on the driver (not behind the observability mutex) so
+/// the boundary check is one integer compare; the core lock is taken
+/// once per closed epoch, in [`ObsHandle::timeline_epoch`]. Present
+/// only when the attached handle carries a timeline recorder.
+struct EpochState {
+    /// Epoch interval in simulator steps (fast + slow).
+    every: u64,
+    /// Total-step count at which the open epoch closes.
+    next: u64,
+    /// Simulation counters at the last close.
+    base: SimStats,
+    /// `CacheStats::bytes_total` at the last close.
+    cache_bytes: u64,
+    /// `CacheStats::evictions` at the last close.
+    cache_evictions: u64,
+    /// `TraceStats::enters` at the last close.
+    trace_enters: u64,
+    /// `TraceStats::bails` at the last close.
+    trace_bails: u64,
+    /// Wall-clock instant of the last close.
+    last: std::time::Instant,
+}
+
 /// A running fast-forwarding simulation.
 ///
 /// The compiled step function is held behind an [`Arc`]: it is
@@ -139,6 +163,9 @@ pub struct Simulation {
     /// The diagnosed failure that halted the run, if any (see
     /// [`fault`](Self::fault)).
     fault: Option<RecoveryError>,
+    /// Open-epoch baselines when the attached handle records a
+    /// timeline; `None` costs one check per burst/slow step.
+    epoch: Option<EpochState>,
 }
 
 impl Simulation {
@@ -197,6 +224,7 @@ impl Simulation {
                 options.supertrace_threshold,
             ),
             fault: None,
+            epoch: None,
         })
     }
 
@@ -223,10 +251,32 @@ impl Simulation {
 
     /// Attaches an observability handle. Trace events and metrics flow
     /// through it from this point on, from both engines and the action
-    /// cache. Pass [`ObsHandle::off()`] to detach.
+    /// cache. Pass [`ObsHandle::off()`] to detach. When the handle
+    /// carries a timeline recorder, epoch sampling starts here: the
+    /// current counters become the first epoch's baseline.
     pub fn attach_obs(&mut self, obs: ObsHandle) {
         self.cache.set_obs(obs.clone());
+        let every = obs.timeline_every();
         self.st.obs = obs;
+        self.epoch = (every > 0).then(|| {
+            let c = self.cache.stats();
+            let t = self.traces.stats();
+            let total = self
+                .st
+                .stats
+                .fast_steps
+                .saturating_add(self.st.stats.slow_steps);
+            EpochState {
+                every,
+                next: (total / every).saturating_add(1).saturating_mul(every),
+                base: self.st.stats,
+                cache_bytes: c.bytes_total,
+                cache_evictions: c.evictions,
+                trace_enters: t.enters,
+                trace_bails: t.bails,
+                last: std::time::Instant::now(),
+            }
+        });
     }
 
     /// The attached observability handle (disabled by default).
@@ -389,6 +439,7 @@ impl Simulation {
                             );
                         }
                     }
+                    self.epoch_tick();
                     match out {
                         FastOutcome::Halted => {
                             self.mode = Mode::Done;
@@ -442,6 +493,94 @@ impl Simulation {
         self.st.halted
     }
 
+    /// Closes an epoch if the total step count crossed the boundary.
+    /// Called at burst exits and slow-step closes — never per step — so
+    /// a burst that overshoots the interval closes one larger epoch
+    /// with exact deltas. One `Option` check when no timeline recorder
+    /// is attached.
+    #[inline]
+    fn epoch_tick(&mut self) {
+        let Some(ep) = &self.epoch else {
+            return;
+        };
+        let total = self
+            .st
+            .stats
+            .fast_steps
+            .saturating_add(self.st.stats.slow_steps);
+        if total < ep.next {
+            return;
+        }
+        self.epoch_close(total);
+    }
+
+    /// Closes the open epoch: computes counter deltas against the
+    /// stored baselines, rebases them, and folds the record into the
+    /// timeline recorder under one lock. All-zero epochs (a repeated
+    /// flush) are dropped silently.
+    fn epoch_close(&mut self, total: u64) {
+        let cache = self.cache.stats();
+        let tr = self.traces.stats();
+        let now = std::time::Instant::now();
+        let Some(ep) = &mut self.epoch else {
+            return;
+        };
+        let s = self.st.stats;
+        let rec = EpochRecord {
+            fast_steps: s.fast_steps.saturating_sub(ep.base.fast_steps),
+            slow_steps: s.slow_steps.saturating_sub(ep.base.slow_steps),
+            fast_insns: s.fast_insns.saturating_sub(ep.base.fast_insns),
+            slow_insns: s.slow_insns.saturating_sub(ep.base.slow_insns),
+            misses: s.misses.saturating_sub(ep.base.misses),
+            cache_bytes: cache.bytes_total.saturating_sub(ep.cache_bytes),
+            cache_evictions: cache.evictions.saturating_sub(ep.cache_evictions),
+            trace_enters: tr.enters.saturating_sub(ep.trace_enters),
+            trace_bails: tr.bails.saturating_sub(ep.trace_bails),
+            wall_ns: now.duration_since(ep.last).as_nanos() as u64,
+        };
+        ep.base = s;
+        ep.cache_bytes = cache.bytes_total;
+        ep.cache_evictions = cache.evictions;
+        ep.trace_enters = tr.enters;
+        ep.trace_bails = tr.bails;
+        ep.last = now;
+        ep.next = (total / ep.every).saturating_add(1).saturating_mul(ep.every);
+        // Deltas telescope: every counted unit lands in exactly one
+        // epoch, so Σ epochs == final counters. A flush that raced a
+        // boundary produces a zero record; skip it (wall time between
+        // two immediate closes is noise, not simulation time).
+        if rec.fast_steps
+            | rec.slow_steps
+            | rec.fast_insns
+            | rec.slow_insns
+            | rec.misses
+            | rec.cache_bytes
+            | rec.cache_evictions
+            | rec.trace_enters
+            | rec.trace_bails
+            != 0
+        {
+            self.st.obs.timeline_epoch(&rec);
+        }
+    }
+
+    /// Closes the final partial epoch, if a timeline recorder is
+    /// attached and any counter moved since the last close. Drivers
+    /// call this before snapshotting a timeline document so the epoch
+    /// sum recounts the final counters exactly; safe to call at any
+    /// point (and repeatedly) — a no-op when nothing changed.
+    pub fn timeline_flush(&mut self) {
+        if self.epoch.is_none() {
+            return;
+        }
+        let total = self
+            .st
+            .stats
+            .fast_steps
+            .saturating_add(self.st.stats.slow_steps);
+        self.epoch_close(total);
+    }
+
     /// Runs one slow step (recording if memoization is on) and updates the
     /// mode from its outcome.
     fn run_slow_from(&mut self, pos: Position) {
@@ -476,6 +615,7 @@ impl Simulation {
                 ns: t0.elapsed().as_nanos() as u64,
             });
         }
+        self.epoch_tick();
     }
 
     /// Writes `main`'s parameters into the real state from a key.

@@ -81,6 +81,19 @@ grep -q '"schema":"facile-hot/v1"' "$tmp/hot.json"
 ./target/release/sim_hot "$tmp/hot.json" --check
 ./target/release/sim_hot "$tmp/hot.json" | grep -q 'hot chains'
 
+echo "==> smoke: sim_timeline exactness gate on an epoch-sampled run"
+# --check asserts the timeline's contract (docs/OBSERVABILITY.md):
+# the epoch deltas, retained plus dropped, telescope exactly to the
+# final simulation, cache and supertrace counters, and the ring
+# overflow accounting balances.
+./target/release/facilec --builtin ooo --run "$tmp/loop.asm" \
+    --timeline-out "$tmp/tl.json" --timeline-stream "$tmp/tl.jsonl" \
+    --timeline-epoch 32 > /dev/null
+grep -q '"schema":"facile-timeline/v1"' "$tmp/tl.json"
+./target/release/sim_timeline "$tmp/tl.json" --check
+./target/release/sim_timeline "$tmp/tl.json" | grep -q 'fast-fraction per epoch'
+grep -q '"epoch":0,' "$tmp/tl.jsonl"
+
 echo "==> smoke: supertrace on/off digest equality"
 # Superaction compilation is a replay-speed optimization only: the same
 # workload run with trace compilation forced on (low threshold) and off
@@ -134,7 +147,9 @@ EOF
 ./target/release/facilec --builtin functional batch --jobs "$tmp/jobs.txt" \
     --threads 4 --metrics-out "$tmp/batch_m.jsonl" \
     --profile-out "$tmp/batch_p.jsonl" \
-    --hot-out "$tmp/batch_h.jsonl" --progress 2> "$tmp/progress.jsonl" > /dev/null
+    --hot-out "$tmp/batch_h.jsonl" \
+    --timeline-out "$tmp/batch_tl.jsonl" --timeline-epoch 32 \
+    --progress 2> "$tmp/progress.jsonl" > /dev/null
 tail -n 1 "$tmp/batch_p.jsonl" > "$tmp/batch_merged_prof.json"
 ./target/release/sim_prof "$tmp/batch_merged_prof.json" --check
 tail -n 1 "$tmp/batch_m.jsonl" | grep -q '"label":"batch(4 jobs)"'
@@ -145,6 +160,14 @@ tail -n 1 "$tmp/batch_m.jsonl" | grep -q '"insns":1216'
 tail -n 1 "$tmp/batch_h.jsonl" | grep -q '"label":"batch(4 jobs)"'
 [ "$(grep -c '"steps_per_sec"' "$tmp/progress.jsonl")" -eq 4 ] \
     || { echo "verify: batch --progress did not report 4 jobs"; exit 1; }
+# The timeline lanes must refold bit-for-bit into the trailing merged
+# document, every document must recount, and with a timeline attached
+# the heartbeats must carry each lane's latest epoch.
+./target/release/sim_timeline "$tmp/batch_tl.jsonl" --check
+./target/release/sim_timeline "$tmp/batch_tl.jsonl" --merge-check
+tail -n 1 "$tmp/batch_tl.jsonl" | grep -q '"label":"batch(4 jobs)"'
+[ "$(grep -c '"epoch_fast_fraction"' "$tmp/progress.jsonl")" -eq 4 ] \
+    || { echo "verify: batch --progress heartbeats lack epoch fields"; exit 1; }
 
 if [ "$(nproc)" -ge 2 ]; then
     echo "==> perf smoke: batch throughput beats serial (multi-core host)"

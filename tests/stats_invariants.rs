@@ -423,6 +423,120 @@ fn cache_evict_events_recount_to_cache_stats() {
     assert_eq!(m.bytes_evicted, cs.bytes_evicted, "registry evicted bytes");
 }
 
+/// The epoch-delta exactness invariant: across very different engine
+/// configurations — slow-only, mixed replay, supertrace compilation
+/// engaged, and mid-run `trim_cache` — the timeline's epoch deltas
+/// (retained plus dropped) must telescope exactly to the final
+/// simulation, cache and supertrace counters. `TimelineDoc::recount`
+/// is the single checker; any drift is an instrumentation bug.
+#[test]
+fn timeline_epoch_deltas_recount_exactly() {
+    let run = |label: &str, options: SimOptions, trim_at: Option<u64>| {
+        let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+        let step = compile_source(
+            &facile::sims::inorder_source(),
+            &CompilerOptions::default(),
+        )
+        .expect("compiles");
+        let mut sim = Simulation::new(
+            step,
+            Target::load(&image),
+            &initial_args::inorder(image.entry),
+            options,
+        )
+        .expect("simulation constructs");
+        ArchHost::new().bind(&mut sim).expect("externals bind");
+        facile::obs::observe_timeline(&mut sim, 24);
+        // Budget-sliced driving, as every timeline front end drives it.
+        let mut slices = 0u64;
+        while sim.halted().is_none() {
+            sim.run_steps(24);
+            slices += 1;
+            if Some(slices) == trim_at {
+                sim.trim_cache(0);
+            }
+        }
+        let doc = facile::obs::timeline_doc(label, &mut sim, 1).expect("timeline attached");
+        doc.recount()
+            .unwrap_or_else(|e| panic!("{label}: epoch recount failed: {e}"));
+        assert!(
+            doc.timeline.epochs_total() > 2,
+            "{label}: several epochs closed"
+        );
+        doc
+    };
+    let slow_only = run(
+        "slow-only",
+        SimOptions {
+            memoize: false,
+            ..SimOptions::default()
+        },
+        None,
+    );
+    assert_eq!(slow_only.sim.fast_steps, 0, "slow-only run never replays");
+    let mixed = run("mixed", SimOptions::default(), None);
+    assert!(mixed.sim.fast_steps > 0 && mixed.sim.misses > 0);
+    let st = run(
+        "supertrace-on",
+        SimOptions {
+            supertrace: true,
+            supertrace_threshold: 8,
+            ..SimOptions::default()
+        },
+        None,
+    );
+    assert!(
+        st.trace.enters > 0,
+        "supertrace arm entered traces: {:?}",
+        st.trace
+    );
+    let trimmed = run("post-trim", SimOptions::default(), Some(3));
+    assert!(trimmed.sim.fast_steps > 0);
+}
+
+/// A timeline is a pure read-out: the same workload run with epoch
+/// sampling on (budget-sliced, as the front ends drive it) and fully
+/// off must retire identical stats, program output and target memory.
+#[test]
+fn timeline_on_off_architectural_digests_agree() {
+    let build = || {
+        let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+        let step = compile_source(
+            &facile::sims::functional_source(),
+            &CompilerOptions::default(),
+        )
+        .expect("compiles");
+        let mut sim = Simulation::new(
+            step,
+            Target::load(&image),
+            &initial_args::functional(image.entry),
+            SimOptions::default(),
+        )
+        .expect("simulation constructs");
+        ArchHost::new().bind(&mut sim).expect("externals bind");
+        sim
+    };
+    let mut with = build();
+    facile::obs::observe_timeline(&mut with, 16);
+    while with.halted().is_none() {
+        with.run_steps(16);
+    }
+    let doc = facile::obs::timeline_doc("on", &mut with, 1).expect("timeline attached");
+    doc.recount().expect("sampled run recounts");
+
+    let mut without = build();
+    without.run_steps(u64::MAX >> 1);
+    assert!(without.halted().is_some(), "workload halts");
+
+    assert_eq!(with.stats(), without.stats(), "stats identical");
+    assert_eq!(with.trace(), without.trace(), "program output identical");
+    assert_eq!(
+        with.memory().digest(),
+        without.memory().digest(),
+        "final target memory identical"
+    );
+}
+
 /// `--profile-out` must be a pure read-out: stats, program output and
 /// final target memory are bit-for-bit identical with and without it,
 /// and the profile it yields satisfies the exactness contract.
