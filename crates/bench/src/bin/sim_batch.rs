@@ -54,6 +54,7 @@ fn main() {
         hot: None,
         timeline: None,
         progress: None,
+        warm: None,
     };
 
     let jobs = build_jobs(which, scale, filter.as_deref());
@@ -99,6 +100,7 @@ fn main() {
             hot: None,
             timeline: None,
             progress: None,
+            warm: None,
         };
         let r = run_batch(step.clone(), jobs, &serial_config).expect("serial batch runs");
         let rate = r.aggregate_steps_per_sec();

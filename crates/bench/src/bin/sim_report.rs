@@ -159,6 +159,17 @@ fn print_detail(out: &mut String, d: &MetricsDoc) {
         100.0 * d.cache.bytes_current as f64 / d.cache.bytes_peak.max(1) as f64,
         d.cache.peak_mib(),
     );
+    // Warm-started runs (facilec --cache-load) pin a frozen snapshot
+    // image next to the live cache; its bytes sit outside the
+    // bytes_current/peak accounting above.
+    if d.cache.frozen_gens > 0 {
+        let _ = writeln!(
+            out,
+            "warm:    {:.2} MiB snapshot loaded across {} pinned generation(s)",
+            d.cache.bytes_frozen as f64 / (1024.0 * 1024.0),
+            d.cache.frozen_gens,
+        );
+    }
     let Some(m) = &d.metrics else {
         let _ = writeln!(out, "derived: (run was not observed)");
         return;

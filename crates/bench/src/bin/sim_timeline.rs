@@ -208,6 +208,17 @@ fn render(out: &mut String, d: &TimelineDoc, width: usize, eps: Option<f64>, k: 
         t.epochs.len(),
         t.dropped,
     );
+    // Warm-started runs (facilec --cache-load) carry a pinned snapshot
+    // image; epoch 0 then starts inside the memoized regime.
+    if d.cache.frozen_gens > 0 {
+        let _ = writeln!(
+            out,
+            "warm:    {:.2} MiB snapshot across {} pinned generation(s), epoch-0 fast-fraction {:.4}",
+            d.cache.bytes_frozen as f64 / (1024.0 * 1024.0),
+            d.cache.frozen_gens,
+            t.epochs.first().map_or(0.0, EpochRecord::fast_fraction),
+        );
+    }
     if t.epochs.is_empty() {
         out.push('\n');
         return;

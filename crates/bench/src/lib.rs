@@ -235,6 +235,8 @@ pub fn run_fastsim_sink(
                 bytes_cleared: m.bytes_total.saturating_sub(m.bytes_current),
                 evictions: 0,
                 bytes_evicted: 0,
+                bytes_frozen: 0,
+                frozen_gens: 0,
             },
             wall_ns: wall.as_nanos() as u64,
             metrics: None,

@@ -90,6 +90,13 @@ pub struct BatchConfig {
     pub timeline: Option<u64>,
     /// Per-job completion heartbeat (e.g. `facilec batch --progress`).
     pub progress: Option<ProgressFn>,
+    /// A parsed action-cache snapshot every lane warm-starts from. The
+    /// decoded image is shared read-only behind its `Arc`; each lane
+    /// layers private copy-on-write recording on top, so lanes never
+    /// observe each other's links. Validity is checked per lane — a
+    /// lane whose target digest does not match runs cold, exactly as if
+    /// no snapshot had been offered (see `docs/PERSISTENCE.md`).
+    pub warm: Option<Arc<facile_vm::snapshot::LoadedSnapshot>>,
 }
 
 impl Default for BatchConfig {
@@ -102,6 +109,7 @@ impl Default for BatchConfig {
             hot: None,
             timeline: None,
             progress: None,
+            warm: None,
         }
     }
 }
@@ -333,6 +341,16 @@ fn run_one(
             ..ObsConfig::default()
         }));
     }
+    if let Some(w) = &config.warm {
+        // Warm-start after the observer is attached so the lane's
+        // `snapshot_load` trace event and warm-start counters land in
+        // its documents. A failed per-lane validation (different
+        // target, policy, ...) silently degrades to a cold lane — the
+        // batch result is identical either way, only slower.
+        if w.validate(&sim).is_ok() {
+            let _ = sim.warm_start(w.image());
+        }
+    }
     let t0 = std::time::Instant::now();
     let halt = match config.timeline {
         // Budget-sliced driving: epochs close when a replay burst or a
@@ -552,6 +570,85 @@ mod tests {
             expected.merge(j.timeline.as_ref().expect("lane timeline"));
         }
         assert_eq!(merged.to_json(), expected.to_json(), "fold is bit-for-bit");
+    }
+
+    /// Lanes warm-started from one shared snapshot replay from step 0,
+    /// produce bit-identical merged counters to a cold batch, and stay
+    /// isolated: private copy-on-write recording per lane, while a lane
+    /// whose target digest does not match silently runs cold.
+    #[test]
+    fn lanes_share_one_warm_snapshot_copy_on_write() {
+        let step = shared_step();
+        let cold = run_batch(
+            step.clone(),
+            jobs(4),
+            &BatchConfig {
+                threads: 4,
+                ..BatchConfig::default()
+            },
+        )
+        .expect("cold batch");
+
+        // Record the snapshot from one donor lane, the way
+        // `facilec --run --cache-save` does.
+        let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+        let mut donor = Simulation::new(
+            step.clone(),
+            Target::load(&image),
+            &initial_args::functional(image.entry),
+            SimOptions::default(),
+        )
+        .expect("donor constructs");
+        ArchHost::new().bind(&mut donor).expect("binds");
+        donor.run_steps(u64::MAX >> 1);
+        assert!(donor.halted().is_some());
+        let bytes = crate::snapshot::save(&donor);
+        let snap = crate::snapshot::parse(&bytes).expect("round-trips");
+        let payload = bytes.len() as u64 - u64::from(facile_vm::snapshot::HEADER_LEN);
+
+        // Four matching lanes plus one with a different program: the
+        // mismatched lane must run cold (and correctly), not wrongly.
+        let mut batch_jobs = jobs(4);
+        let other_asm = LOOP_ASM.replace("addi r1, r0, 200", "addi r1, r0, 120");
+        let other = assemble_image(&other_asm, 0x1_0000, vec![]).expect("assembles");
+        batch_jobs.push(BatchJob {
+            label: "job-other".to_owned(),
+            image: other.clone(),
+            args: initial_args::functional(other.entry),
+            options: SimOptions::default(),
+            max_steps: u64::MAX >> 1,
+        });
+        let config = BatchConfig {
+            threads: 4,
+            warm: Some(Arc::new(snap)),
+            ..BatchConfig::default()
+        };
+        let warm = run_batch(step, batch_jobs, &config).expect("warm batch");
+
+        for (c, w) in cold.jobs.iter().zip(&warm.jobs) {
+            assert_eq!(
+                (c.metrics.sim.insns, c.metrics.sim.cycles),
+                (w.metrics.sim.insns, w.metrics.sim.cycles),
+                "warm lane {} must match its cold twin architecturally",
+                w.label
+            );
+            // The whole point of sharing: no lane re-records the graph.
+            assert_eq!(w.metrics.sim.slow_steps, 0, "{} replays from step 0", w.label);
+            assert_eq!(w.metrics.cache.nodes_created, 0);
+            assert_eq!(w.metrics.cache.bytes_frozen, payload);
+            assert!(w.metrics.cache.frozen_gens > 0);
+        }
+        // The digest-mismatched lane declined the snapshot and ran cold.
+        let other_lane = &warm.jobs[4];
+        assert_eq!(other_lane.metrics.cache.bytes_frozen, 0);
+        assert!(other_lane.metrics.sim.slow_steps > 0, "cold lane records");
+        assert!(other_lane.halt.is_some());
+        // Merged warm counters are the per-lane sum (4 pinned images).
+        assert_eq!(warm.merged_metrics.cache.bytes_frozen, 4 * payload);
+        assert_eq!(
+            warm.merged_metrics.cache.frozen_gens,
+            warm.jobs.iter().map(|j| j.metrics.cache.frozen_gens).sum::<u64>()
+        );
     }
 
     /// The progress callback fires exactly once per job, with a usable

@@ -78,6 +78,8 @@ fn main() -> ExitCode {
     let mut threads: usize = 0;
     let mut cache_capacity: Option<u64> = None;
     let mut cache_policy = CachePolicy::Clear;
+    let mut cache_save: Option<String> = None;
+    let mut cache_load: Option<String> = None;
     let mut supertrace = SimOptions::default().supertrace;
     let mut supertrace_threshold = SimOptions::default().supertrace_threshold;
     let mut i = 0;
@@ -125,6 +127,26 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
+            }
+            "--cache-save" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => cache_save = Some(v.clone()),
+                    None => {
+                        eprintln!("facilec: --cache-save requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--cache-load" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => cache_load = Some(v.clone()),
+                    None => {
+                        eprintln!("facilec: --cache-load requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             "--jobs" => {
                 i += 1;
@@ -252,6 +274,7 @@ fn main() -> ExitCode {
                 eprintln!("       facilec --builtin ooo --run prog.asm [--steps N]");
                 eprintln!("               [--cache-capacity BYTES] [--cache-policy clear|generational]");
                 eprintln!("               [--supertrace on|off] [--supertrace-threshold N]");
+                eprintln!("               [--cache-save snap.facsnap] [--cache-load snap.facsnap]");
                 eprintln!("               [--metrics-out m.json] [--trace-out t.jsonl]");
                 eprintln!("               [--profile-out prof.json]");
                 eprintln!("               [--hot-out hot.json] [--hot-sample N]");
@@ -261,9 +284,14 @@ fn main() -> ExitCode {
                 eprintln!("               [--steps N] [--metrics-out m.jsonl] [--profile-out p.jsonl]");
                 eprintln!("               [--hot-out hot.jsonl] [--hot-sample N] [--progress]");
                 eprintln!("               [--timeline-out tl.jsonl] [--timeline-epoch N]");
+                eprintln!("               [--cache-load snap.facsnap]");
                 eprintln!("         jobs file: one `prog.asm [max-steps]` per line;");
                 eprintln!("         outputs are JSONL, per-job docs then the merged batch doc;");
                 eprintln!("         --progress prints a JSONL heartbeat per job to stderr");
+                eprintln!("         --cache-save writes a facile-snap/v1 action-cache snapshot");
+                eprintln!("         after the run; --cache-load warm-starts from one (a stale or");
+                eprintln!("         corrupt snapshot falls back to a cold start, never an error;");
+                eprintln!("         batch lanes share one loaded snapshot copy-on-write)");
                 return ExitCode::SUCCESS;
             }
             f if !f.starts_with('-') => file = Some(f.to_owned()),
@@ -330,6 +358,10 @@ fn main() -> ExitCode {
             .clone()
             .or_else(|| builtin.as_ref().map(|b| format!("<builtin:{b}>")))
             .unwrap_or_else(|| "<source>".to_owned());
+        if cache_save.is_some() {
+            eprintln!("facilec: --cache-save requires --run (save one lane's cache instead)");
+            return ExitCode::FAILURE;
+        }
         let outs = Outs {
             trace_out: None,
             metrics_out,
@@ -340,6 +372,8 @@ fn main() -> ExitCode {
             timeline_stream: None,
             timeline_epoch,
             progress,
+            cache_save: None,
+            cache_load,
         };
         let sim_options = SimOptions {
             cache_capacity,
@@ -367,6 +401,8 @@ fn main() -> ExitCode {
             timeline_stream,
             timeline_epoch,
             progress: false,
+            cache_save,
+            cache_load,
         };
         let sim_options = SimOptions {
             cache_capacity,
@@ -387,6 +423,10 @@ fn main() -> ExitCode {
         eprintln!(
             "facilec: --trace-out/--metrics-out/--profile-out/--hot-out/--timeline-out require --run"
         );
+        return ExitCode::FAILURE;
+    }
+    if cache_save.is_some() || cache_load.is_some() {
+        eprintln!("facilec: --cache-save/--cache-load require --run or batch");
         return ExitCode::FAILURE;
     }
     if jobs_file.is_some() || threads != 0 || progress {
@@ -462,6 +502,34 @@ struct Outs {
     timeline_stream: Option<String>,
     timeline_epoch: u64,
     progress: bool,
+    cache_save: Option<String>,
+    cache_load: Option<String>,
+}
+
+/// Reads and validates a `facile-snap/v1` snapshot for `sim`. Every
+/// failure — unreadable file, corrupt bytes, mismatched header — is a
+/// warning and a cold start, never a hard error: a stale snapshot may
+/// cost warm-up time but must not change results or exit codes.
+fn load_snapshot_or_warn(path: &str, sim: &facile::Simulation) -> Option<facile::snapshot::LoadedSnapshot> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("facilec: warning: --cache-load {path}: {e}; starting cold");
+            return None;
+        }
+    };
+    let snap = match facile::snapshot::parse(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("facilec: warning: --cache-load {path}: {e}; starting cold");
+            return None;
+        }
+    };
+    if let Err(e) = snap.validate(sim) {
+        eprintln!("facilec: warning: --cache-load {path}: {e}; starting cold");
+        return None;
+    }
+    Some(snap)
 }
 
 /// Parses a jobs file, runs the batch across the worker pool, and
@@ -541,10 +609,32 @@ fn run_batch_cmd(
         return ExitCode::FAILURE;
     }
 
+    // One parse serves every lane: the decoded image is shared behind
+    // an `Arc`, each lane layers private copy-on-write recording on
+    // top. Structural defects are reported once here; run validity
+    // (digest/policy/fingerprint) is checked per lane, and a
+    // non-matching lane simply runs cold.
+    let warm = outs.cache_load.as_ref().and_then(|path| {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("facilec: warning: --cache-load {path}: {e}; lanes start cold");
+                return None;
+            }
+        };
+        match facile::snapshot::parse(&bytes) {
+            Ok(s) => Some(std::sync::Arc::new(s)),
+            Err(e) => {
+                eprintln!("facilec: warning: --cache-load {path}: {e}; lanes start cold");
+                None
+            }
+        }
+    });
     let config = BatchConfig {
         threads,
         observe: true,
         bind_arch: true,
+        warm,
         profile: outs.profile_out.as_ref().map(|_| ProfileSource {
             file: src_name.to_owned(),
             src: src.to_owned(),
@@ -705,6 +795,8 @@ fn run_target(
         timeline_stream,
         timeline_epoch,
         progress: _,
+        cache_save,
+        cache_load,
     } = outs;
     use facile::hosts::{initial_args, ArchHost};
     use facile::{HotConfig, ObsConfig, ObsHandle, Simulation, Target};
@@ -778,6 +870,15 @@ fn run_target(
         }
         sim.attach_obs(obs);
     }
+    if let Some(path) = &cache_load {
+        // After attach_obs, so the snapshot_load trace event and the
+        // warm-start counters land in this run's documents.
+        if let Some(snap) = load_snapshot_or_warn(path, &sim) {
+            if let Err(e) = sim.warm_start(snap.image()) {
+                eprintln!("facilec: warning: --cache-load {path}: {e}; starting cold");
+            }
+        }
+    }
     let t0 = std::time::Instant::now();
     let halt = if timeline_on {
         // Budget-sliced driving: epochs close when a replay burst or a
@@ -800,6 +901,14 @@ fn run_target(
     if timeline_on {
         // Close the final partial epoch (emits it to the stream too).
         sim.timeline_flush();
+    }
+    if let Some(path) = &cache_save {
+        // Before the trace flush, so the snapshot_save event is written.
+        let bytes = facile::snapshot::save(&sim);
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("facilec: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     sim.obs().flush();
     if sim.obs().io_errors() > 0 {

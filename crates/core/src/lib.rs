@@ -73,6 +73,7 @@ pub use facile_obs::{
     ObsHandle, ProfileDoc, SimObserver, TimelineConfig, TimelineDoc, TimelineMetrics, TraceEvent,
 };
 pub use facile_runtime::{CachePolicy, CacheStats, HaltReason, Image, Memory, SimStats, Target};
+pub use facile_vm::snapshot;
 pub use facile_vm::{
     ArgValue, RecoveryError, RecoveryErrorKind, SimError, SimOptions, Simulation, TraceStats,
 };

@@ -44,6 +44,8 @@ pub fn snapshot_cache(c: &CacheStats) -> CacheStatsSnapshot {
         bytes_cleared: c.bytes_cleared,
         evictions: c.evictions,
         bytes_evicted: c.bytes_evicted,
+        bytes_frozen: c.bytes_frozen,
+        frozen_gens: c.frozen_gens,
     }
 }
 

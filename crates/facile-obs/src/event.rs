@@ -124,6 +124,29 @@ pub enum TraceEvent {
         /// Evictions so far, including this one.
         evictions: u64,
     },
+    /// A persisted action-cache snapshot was installed before the run
+    /// (warm start; see docs/PERSISTENCE.md).
+    SnapshotLoad {
+        /// Snapshot payload bytes decoded from disk.
+        bytes: u64,
+        /// Frozen generations pinned into the cache.
+        gens: u64,
+        /// Action nodes the snapshot carried.
+        nodes: u64,
+        /// Step entries re-registered from the snapshot.
+        entries: u64,
+    },
+    /// The action cache was serialized to a `facile-snap/v1` snapshot.
+    SnapshotSave {
+        /// Snapshot payload bytes produced (header excluded).
+        bytes: u64,
+        /// Generations exported.
+        gens: u64,
+        /// Action nodes exported.
+        nodes: u64,
+        /// Step entries exported.
+        entries: u64,
+    },
     /// The VM compiled a hot replay chain into a supertrace buffer.
     TraceBuild {
         /// Logical step count.
@@ -175,6 +198,8 @@ impl TraceEvent {
             TraceEvent::NeedSlow { .. } => "need_slow",
             TraceEvent::CacheClear { .. } => "cache_clear",
             TraceEvent::CacheEvict { .. } => "cache_evict",
+            TraceEvent::SnapshotLoad { .. } => "snapshot_load",
+            TraceEvent::SnapshotSave { .. } => "snapshot_save",
             TraceEvent::TraceBuild { .. } => "trace_build",
             TraceEvent::TraceInvalidate { .. } => "trace_invalidate",
             TraceEvent::ExtCall { .. } => "ext_call",
@@ -252,6 +277,23 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"gen\":{gen},\"bytes\":{bytes},\"nodes\":{nodes},\"evictions\":{evictions}"
+                );
+            }
+            TraceEvent::SnapshotLoad {
+                bytes,
+                gens,
+                nodes,
+                entries,
+            }
+            | TraceEvent::SnapshotSave {
+                bytes,
+                gens,
+                nodes,
+                entries,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"bytes\":{bytes},\"gens\":{gens},\"nodes\":{nodes},\"entries\":{entries}"
                 );
             }
             TraceEvent::TraceBuild {
@@ -339,6 +381,8 @@ mod tests {
             TraceEvent::NeedSlow { step: 10 },
             TraceEvent::CacheClear { bytes: 4096, nodes: 17, clears: 1 },
             TraceEvent::CacheEvict { gen: 3, bytes: 512, nodes: 9, evictions: 2 },
+            TraceEvent::SnapshotLoad { bytes: 4096, gens: 2, nodes: 40, entries: 6 },
+            TraceEvent::SnapshotSave { bytes: 4096, gens: 2, nodes: 40, entries: 6 },
             TraceEvent::TraceBuild { step: 10, head_action: 4, nodes: 23, cmps: 6 },
             TraceEvent::TraceInvalidate { step: 11, traces: 2 },
             TraceEvent::ExtCall { step: 11, ext: 0 },

@@ -172,7 +172,12 @@ impl Metrics {
             TraceEvent::TraceInvalidate { traces, .. } => {
                 self.trace_invalidations = self.trace_invalidations.saturating_add(traces);
             }
-            TraceEvent::RecoveryBegin { .. } | TraceEvent::Halt { .. } => {}
+            // Snapshot traffic is accounted in `CacheStatsSnapshot`
+            // (`bytes_frozen` / `frozen_gens`), not re-counted here.
+            TraceEvent::RecoveryBegin { .. }
+            | TraceEvent::Halt { .. }
+            | TraceEvent::SnapshotLoad { .. }
+            | TraceEvent::SnapshotSave { .. } => {}
         }
     }
 

@@ -145,7 +145,9 @@ impl ObsCore {
                 TraceEvent::RecoveryBegin { .. }
                 | TraceEvent::NeedSlow { .. }
                 | TraceEvent::TraceBuild { .. }
-                | TraceEvent::TraceInvalidate { .. } => {}
+                | TraceEvent::TraceInvalidate { .. }
+                | TraceEvent::SnapshotLoad { .. }
+                | TraceEvent::SnapshotSave { .. } => {}
             }
         }
         if self.trace {

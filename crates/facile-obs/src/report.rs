@@ -89,6 +89,11 @@ pub struct CacheStatsSnapshot {
     pub evictions: u64,
     /// Bytes released by generational evictions (cumulative).
     pub bytes_evicted: u64,
+    /// Snapshot payload bytes installed by a warm start (0 when the
+    /// run started cold; see docs/PERSISTENCE.md).
+    pub bytes_frozen: u64,
+    /// Frozen generations pinned by a warm start (0 when cold).
+    pub frozen_gens: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -112,6 +117,8 @@ impl CacheStatsSnapshot {
         self.bytes_cleared = self.bytes_cleared.saturating_add(other.bytes_cleared);
         self.evictions = self.evictions.saturating_add(other.evictions);
         self.bytes_evicted = self.bytes_evicted.saturating_add(other.bytes_evicted);
+        self.bytes_frozen = self.bytes_frozen.saturating_add(other.bytes_frozen);
+        self.frozen_gens = self.frozen_gens.saturating_add(other.frozen_gens);
     }
 }
 
@@ -211,6 +218,8 @@ impl MetricsDoc {
             ("bytes_cleared", self.cache.bytes_cleared),
             ("evictions", self.cache.evictions),
             ("bytes_evicted", self.cache.bytes_evicted),
+            ("bytes_frozen", self.cache.bytes_frozen),
+            ("frozen_gens", self.cache.frozen_gens),
         ] {
             write_kv(&mut s, k, v, &mut first);
         }
@@ -312,6 +321,9 @@ impl MetricsDoc {
             // still parse.
             evictions: u64_field(cache_v, "evictions").unwrap_or(0),
             bytes_evicted: u64_field(cache_v, "bytes_evicted").unwrap_or(0),
+            // New-in-v1.3 warm-start counters (snapshot persistence).
+            bytes_frozen: u64_field(cache_v, "bytes_frozen").unwrap_or(0),
+            frozen_gens: u64_field(cache_v, "frozen_gens").unwrap_or(0),
         };
         // New-in-v1.1 fields default to empty/zero so older documents
         // still parse.
@@ -436,6 +448,8 @@ mod tests {
                 bytes_cleared: 64,
                 evictions: 2,
                 bytes_evicted: 32,
+                bytes_frozen: 2048,
+                frozen_gens: 1,
             },
             wall_ns: 1_000_000,
             metrics: Some(m),

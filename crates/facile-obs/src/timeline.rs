@@ -433,6 +433,15 @@ impl TimelineDoc {
         eq("cache_evictions", t.cache_evictions, self.cache.evictions)?;
         eq("trace_enters", t.trace_enters, self.trace.enters)?;
         eq("trace_bails", t.trace_bails, self.trace.bails)?;
+        // Warm-start counters are set once at snapshot install, before
+        // epoch 0, and never flow through epoch deltas (frozen bytes
+        // live outside `bytes_total`); the two must agree on coldness.
+        if (self.cache.bytes_frozen == 0) != (self.cache.frozen_gens == 0) {
+            return Err(format!(
+                "warm-start counters inconsistent: bytes_frozen {} with frozen_gens {}",
+                self.cache.bytes_frozen, self.cache.frozen_gens
+            ));
+        }
         let mut ring = self.timeline.dropped_sum;
         ring.add(&self.timeline.retained_sum());
         if ring != *t {
@@ -486,6 +495,8 @@ impl TimelineDoc {
             ("bytes_cleared", self.cache.bytes_cleared),
             ("evictions", self.cache.evictions),
             ("bytes_evicted", self.cache.bytes_evicted),
+            ("bytes_frozen", self.cache.bytes_frozen),
+            ("frozen_gens", self.cache.frozen_gens),
         ] {
             if !first {
                 s.push(',');
@@ -559,6 +570,9 @@ impl TimelineDoc {
             bytes_cleared: u(cache_v, "bytes_cleared")?,
             evictions: u(cache_v, "evictions").unwrap_or(0),
             bytes_evicted: u(cache_v, "bytes_evicted").unwrap_or(0),
+            // New-in-v1.3 warm-start counters (snapshot persistence).
+            bytes_frozen: u(cache_v, "bytes_frozen").unwrap_or(0),
+            frozen_gens: u(cache_v, "frozen_gens").unwrap_or(0),
         };
         let tr = v.get("trace")?;
         let trace = TraceCounters {
@@ -769,6 +783,8 @@ mod tests {
                 bytes_cleared: 0,
                 evictions: t.cache_evictions,
                 bytes_evicted: 0,
+                bytes_frozen: 0,
+                frozen_gens: 0,
             },
             trace: TraceCounters {
                 built: 1,

@@ -55,7 +55,7 @@
 //!   mix of the key bytes — no SipHash, no per-lookup hasher state.
 //! * Test and INDEX successor lists carry a **hot index**: the position
 //!   taken by the previous replay, checked first. Lists that outgrow
-//!   [`LINEAR_MAX`] are kept sorted and binary-searched.
+//!   `LINEAR_MAX` are kept sorted and binary-searched.
 //! * Generation resolution keeps a **hot slot** hint: replay chains stay
 //!   within one generation for long stretches, so resolving a `NodeId`
 //!   is one sequence-number compare in the common case.
@@ -63,6 +63,8 @@
 use crate::key::{hash_bytes, varint_len, zigzag, Key};
 use facile_obs::{ObsHandle, TraceEvent};
 use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifier of a node in the action cache.
 ///
@@ -79,6 +81,14 @@ pub struct NodeId {
 }
 
 impl NodeId {
+    /// Reassembles an id from its generation sequence number and index —
+    /// the snapshot decoder's constructor. An id that does not resolve
+    /// against the frozen set is rejected by
+    /// [`FrozenGensBuilder::finish`], never dereferenced.
+    pub fn from_parts(gen: u32, idx: u32) -> NodeId {
+        NodeId { gen, idx }
+    }
+
     /// The id as a usable index within its generation.
     pub fn index(self) -> usize {
         self.idx as usize
@@ -99,6 +109,11 @@ pub struct SlabRange {
 
 impl SlabRange {
     const EMPTY: SlabRange = SlabRange { off: 0, len: 0 };
+
+    /// Start offset of the range within its generation's slab.
+    pub fn off(self) -> usize {
+        self.off as usize
+    }
 
     /// Number of values in the range.
     pub fn len(self) -> usize {
@@ -217,6 +232,12 @@ pub struct IndexList {
 }
 
 impl IndexList {
+    /// The recorded `(signature range, successor)` pairs (ranges resolve
+    /// against the owning generation's slab; order unspecified).
+    pub fn items(&self) -> &[(SlabRange, NodeId)] {
+        &self.items
+    }
+
     /// Number of recorded successors.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -300,6 +321,13 @@ pub struct CacheStats {
     /// Bytes released by generational evictions (cumulative). Invariant:
     /// `bytes_total == bytes_current + bytes_cleared + bytes_evicted`.
     pub bytes_evicted: u64,
+    /// Snapshot payload bytes installed by [`ActionCache::install_frozen`]
+    /// (warm start). Frozen storage is read-only and pinned, so it is
+    /// accounted here, *outside* `bytes_current` and the capacity
+    /// budget — the byte invariant above is untouched by warm starts.
+    pub bytes_frozen: u64,
+    /// Frozen generations pinned by a warm start (0 when cold).
+    pub frozen_gens: u64,
 }
 
 /// One slot of the open-addressing entry table.
@@ -468,6 +496,326 @@ impl Generation {
     }
 }
 
+/// One generation of an immutable, shareable cache image: the `Cell`-free
+/// twin of `Generation` (no touch clock, no byte ledger), so the whole
+/// image is `Sync` and batch lanes can share it behind one `Arc`.
+#[derive(Clone, Debug)]
+pub struct FrozenGen {
+    seq: u32,
+    nodes: Vec<Node>,
+    succs: Vec<Succ>,
+    slab: Vec<i64>,
+}
+
+impl FrozenGen {
+    /// The generation's (never reused) sequence number.
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// The recorded action nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The successor links of node `idx` (ranges in `Index` links
+    /// resolve against this generation's [`slab`](Self::slab)).
+    pub fn succ(&self, idx: usize) -> &Succ {
+        &self.succs[idx]
+    }
+
+    /// The contiguous placeholder-data / signature store.
+    pub fn slab(&self) -> &[i64] {
+        &self.slab
+    }
+}
+
+/// An immutable image of an action cache: frozen generations sorted by
+/// sequence number plus the entry registrations that point into them.
+///
+/// This is what [`ActionCache::freeze`] exports, what the snapshot codec
+/// serializes (docs/PERSISTENCE.md), and what
+/// [`ActionCache::install_frozen`] pins under a live cache for a warm
+/// start. It is plain data — `Send + Sync` — so `facilec batch` lanes
+/// share one image behind an `Arc` while each lane layers private
+/// copy-on-write recording on top.
+#[derive(Clone, Debug, Default)]
+pub struct FrozenGens {
+    /// Frozen generations, sorted by `seq` ascending.
+    gens: Vec<FrozenGen>,
+    /// Entry registrations `key -> entry node`, in export order.
+    entries: Vec<(Key, NodeId)>,
+    /// Serialized payload size (set by the snapshot codec; 0 for images
+    /// that never touched disk). Reported as `CacheStats::bytes_frozen`.
+    bytes: u64,
+}
+
+impl FrozenGens {
+    /// The frozen generations, sorted by sequence number.
+    pub fn gens(&self) -> &[FrozenGen] {
+        &self.gens
+    }
+
+    /// The entry registrations, in export order.
+    pub fn entries(&self) -> &[(Key, NodeId)] {
+        &self.entries
+    }
+
+    /// Serialized payload size in bytes (0 when never serialized).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Stamps the serialized payload size (the snapshot codec knows it,
+    /// the image does not).
+    pub fn set_bytes(&mut self, bytes: u64) {
+        self.bytes = bytes;
+    }
+
+    /// Number of frozen generations.
+    pub fn generation_count(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Total frozen nodes across all generations.
+    pub fn node_count(&self) -> usize {
+        self.gens.iter().map(|g| g.nodes.len()).sum()
+    }
+
+    /// Number of entry registrations.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Largest frozen sequence number (`None` for an empty image).
+    pub fn max_seq(&self) -> Option<u32> {
+        self.gens.last().map(|g| g.seq)
+    }
+
+    /// Whether sequence number `seq` names a frozen generation.
+    pub fn has_seq(&self, seq: u32) -> bool {
+        self.gens.binary_search_by_key(&seq, |g| g.seq).is_ok()
+    }
+
+    fn node_count_of(&self, seq: u32) -> Option<usize> {
+        self.gens
+            .binary_search_by_key(&seq, |g| g.seq)
+            .ok()
+            .map(|i| self.gens[i].nodes.len())
+    }
+}
+
+/// Successor links in the snapshot decoder's wire-level form: targets as
+/// raw `(gen, idx)` ids and INDEX signatures as raw slab ranges, exactly
+/// as docs/PERSISTENCE.md lays them out. [`FrozenGensBuilder`] converts
+/// these into the runtime's list types (inline caches reset to cold) and
+/// validates every reference before anything can be dereferenced.
+#[derive(Clone, Debug)]
+pub enum FrozenSucc {
+    /// No successor recorded.
+    None,
+    /// Straight-line link.
+    One(NodeId),
+    /// Dynamic result test successors: `(observed value, target)`.
+    Tests(Vec<(i64, NodeId)>),
+    /// INDEX successors: `(slab offset, length, target)`.
+    Index(Vec<(u32, u32, NodeId)>),
+}
+
+/// Builds a validated [`FrozenGens`] from untrusted decoded parts.
+///
+/// The snapshot decoder streams generations and nodes through this;
+/// [`finish`](Self::finish) then proves every cross-reference resolves
+/// within the frozen set, every slab range is in bounds and every action
+/// number is within the compiled step's table — so a corrupted payload
+/// becomes a load error, never a wrong answer or a panic at replay time.
+#[derive(Debug, Default)]
+pub struct FrozenGensBuilder {
+    gens: Vec<FrozenGen>,
+}
+
+impl FrozenGensBuilder {
+    /// An empty builder.
+    pub fn new() -> FrozenGensBuilder {
+        FrozenGensBuilder::default()
+    }
+
+    /// Opens the next generation. Sequence numbers must be strictly
+    /// increasing (the on-disk order).
+    ///
+    /// # Errors
+    ///
+    /// A description of the ordering violation.
+    pub fn begin_gen(&mut self, seq: u32, slab: Vec<i64>) -> Result<(), String> {
+        if let Some(last) = self.gens.last() {
+            if seq <= last.seq {
+                return Err(format!(
+                    "generation sequence numbers must increase: {seq} after {}",
+                    last.seq
+                ));
+            }
+        }
+        self.gens.push(FrozenGen {
+            seq,
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            slab,
+        });
+        Ok(())
+    }
+
+    /// Appends one node (with its successor links) to the open
+    /// generation. The placeholder-data range is checked against the
+    /// generation's slab immediately; link targets are checked in
+    /// [`finish`](Self::finish) because links cross generations freely.
+    ///
+    /// # Errors
+    ///
+    /// A description of the out-of-bounds range or missing generation.
+    pub fn push_node(
+        &mut self,
+        action: u32,
+        data_off: u32,
+        data_len: u32,
+        succ: FrozenSucc,
+    ) -> Result<(), String> {
+        let g = self
+            .gens
+            .last_mut()
+            .ok_or_else(|| "node before any generation".to_owned())?;
+        let end = (data_off as u64).saturating_add(data_len as u64);
+        if end > g.slab.len() as u64 {
+            return Err(format!(
+                "node data range {data_off}+{data_len} exceeds slab of {} values",
+                g.slab.len()
+            ));
+        }
+        let succ = match succ {
+            FrozenSucc::None => Succ::None,
+            FrozenSucc::One(n) => Succ::One(n),
+            FrozenSucc::Tests(items) => Succ::Tests(TestList { items, hot: 0 }),
+            FrozenSucc::Index(items) => {
+                let slab_len = g.slab.len() as u64;
+                let mut out = Vec::with_capacity(items.len());
+                for (off, len, n) in items {
+                    if (off as u64).saturating_add(len as u64) > slab_len {
+                        return Err(format!(
+                            "INDEX signature range {off}+{len} exceeds slab of {slab_len} values"
+                        ));
+                    }
+                    out.push((SlabRange { off, len }, n));
+                }
+                Succ::Index(IndexList { items: out, hot: 0 })
+            }
+        };
+        g.nodes.push(Node {
+            action,
+            data: SlabRange {
+                off: data_off,
+                len: data_len,
+            },
+        });
+        g.succs.push(succ);
+        Ok(())
+    }
+
+    /// Validates all cross-references and seals the image.
+    ///
+    /// Every successor and entry target must resolve within the frozen
+    /// set (frozen links never dangle: frozen generations are pinned for
+    /// the life of the run), every action number must be below
+    /// `action_limit`, and successor lists are re-sorted where the
+    /// lookup invariant demands it — the on-disk order is not trusted.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first failed structural check.
+    pub fn finish(
+        self,
+        entries: Vec<(Key, NodeId)>,
+        action_limit: u32,
+    ) -> Result<FrozenGens, String> {
+        let image = FrozenGens {
+            gens: self.gens,
+            entries,
+            bytes: 0,
+        };
+        let resolve = |what: &str, n: NodeId| -> Result<(), String> {
+            match image.node_count_of(n.gen) {
+                Some(count) if n.index() < count => Ok(()),
+                Some(count) => Err(format!(
+                    "{what} target {}:{} out of bounds (generation has {count} nodes)",
+                    n.gen, n.idx
+                )),
+                None => Err(format!(
+                    "{what} target {}:{} names a generation outside the snapshot",
+                    n.gen, n.idx
+                )),
+            }
+        };
+        for g in &image.gens {
+            for node in &g.nodes {
+                if node.action >= action_limit {
+                    return Err(format!(
+                        "action number {} out of range (step has {action_limit} actions)",
+                        node.action
+                    ));
+                }
+            }
+            for s in &g.succs {
+                match s {
+                    Succ::None => {}
+                    Succ::One(n) => resolve("plain link", *n)?,
+                    Succ::Tests(list) => {
+                        for &(_, n) in &list.items {
+                            resolve("test link", n)?;
+                        }
+                    }
+                    Succ::Index(list) => {
+                        for &(_, n) in &list.items {
+                            resolve("INDEX link", n)?;
+                        }
+                    }
+                }
+            }
+        }
+        for &(_, n) in &image.entries {
+            resolve("entry", n)?;
+        }
+        // Re-establish the sorted lookup invariant for large lists and
+        // reject duplicate discriminators (a decoder must be able to
+        // trust lookups, not the writer's ordering).
+        let mut image = image;
+        for g in &mut image.gens {
+            let slab = &g.slab;
+            for s in &mut g.succs {
+                match s {
+                    Succ::Tests(list) if list.items.len() > LINEAR_MAX => {
+                        list.items.sort_unstable_by_key(|&(v, _)| v);
+                        if list.items.windows(2).any(|w| w[0].0 == w[1].0) {
+                            return Err("duplicate test value in successor list".to_owned());
+                        }
+                    }
+                    Succ::Index(list) if list.items.len() > LINEAR_MAX => {
+                        list.items.sort_unstable_by(|&(a, _), &(b, _)| {
+                            range_of(slab, a).cmp(range_of(slab, b))
+                        });
+                        if list
+                            .items
+                            .windows(2)
+                            .any(|w| range_of(slab, w[0].0) == range_of(slab, w[1].0))
+                        {
+                            return Err("duplicate INDEX signature in successor list".to_owned());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(image)
+    }
+}
+
 /// The specialized action cache.
 #[derive(Clone, Debug)]
 pub struct ActionCache {
@@ -494,6 +842,24 @@ pub struct ActionCache {
     generation: u64,
     /// Observability hook; disabled (free) by default.
     obs: ObsHandle,
+    /// Read-only warm-start image pinned under the live generations
+    /// (see [`install_frozen`](Self::install_frozen)). Shared — batch
+    /// lanes hold clones of one `Arc`. Every frozen sequence number is
+    /// strictly below every live one, frozen generations are never
+    /// touched by eviction, and frozen links only target frozen nodes,
+    /// so frozen resolution never dangles.
+    frozen: Option<Arc<FrozenGens>>,
+    /// Hot-slot hint into `frozen.gens` (twin of `hot_gen`).
+    frozen_hot: Cell<u32>,
+    /// Private copy-on-write delta over the frozen image: links recorded
+    /// *from* frozen nodes after a warm start land here instead of
+    /// mutating the shared image. Lookups probe the frozen base first
+    /// (the common warm hit costs nothing extra) and this map only on a
+    /// base miss. Holds only additions — never copies of frozen links.
+    overlay: HashMap<NodeId, Succ>,
+    /// Backing store for overlay INDEX signatures; `SlabRange`s inside
+    /// `overlay` resolve against this, never against a frozen slab.
+    overlay_slab: Vec<i64>,
 }
 
 /// Fixed per-node overhead charged to the byte budget (action number +
@@ -538,6 +904,10 @@ impl ActionCache {
             stats: CacheStats::default(),
             generation: 0,
             obs: ObsHandle::off(),
+            frozen: None,
+            frozen_hot: Cell::new(0),
+            overlay: HashMap::new(),
+            overlay_slab: Vec::new(),
         }
     }
 
@@ -578,10 +948,11 @@ impl ActionCache {
 
     /// Whether the generation with sequence number `seq` is still
     /// resident (the generation-level form of
-    /// [`is_resident`](Self::is_resident)).
+    /// [`is_resident`](Self::is_resident)). Frozen generations are
+    /// resident for the life of the run.
     #[inline]
     pub fn seq_resident(&self, seq: u32) -> bool {
-        self.gen_slot(seq).is_some()
+        self.gen_slot(seq).is_some() || self.has_frozen_seq(seq)
     }
 
     /// Stamps each generation in `seqs` as recently used. Supertrace
@@ -618,10 +989,52 @@ impl ActionCache {
         }
     }
 
-    /// Whether `id` resolves to a live (non-evicted) node.
+    /// Whether `id` resolves to a live (non-evicted) or frozen node.
     #[inline]
     pub fn is_resident(&self, id: NodeId) -> bool {
-        self.gen_slot(id.gen).is_some()
+        self.gen_slot(id.gen).is_some() || self.has_frozen_seq(id.gen)
+    }
+
+    /// Whether `seq` names a frozen generation (hot-hint first; frozen
+    /// sequence numbers are always below live ones, so this is one
+    /// compare on the cold-cache common path).
+    #[inline]
+    fn has_frozen_seq(&self, seq: u32) -> bool {
+        match self.frozen.as_deref() {
+            Some(f) => self.frozen_slot(f, seq).is_some(),
+            None => false,
+        }
+    }
+
+    /// Slot of the frozen generation with sequence number `seq`.
+    #[inline]
+    fn frozen_slot(&self, f: &FrozenGens, seq: u32) -> Option<usize> {
+        let hot = self.frozen_hot.get() as usize;
+        if let Some(g) = f.gens.get(hot) {
+            if g.seq == seq {
+                return Some(hot);
+            }
+        }
+        let i = f.gens.binary_search_by_key(&seq, |g| g.seq).ok()?;
+        self.frozen_hot.set(i as u32);
+        Some(i)
+    }
+
+    /// The frozen generation with sequence number `seq`, if any.
+    #[inline]
+    fn frozen_gen(&self, seq: u32) -> Option<&FrozenGen> {
+        let f = self.frozen.as_deref()?;
+        let slot = self.frozen_slot(f, seq)?;
+        Some(&f.gens[slot])
+    }
+
+    /// The frozen generation owning `id`; panics on a stale id.
+    /// Reached only after live resolution failed (replay checks
+    /// residency through the lookup APIs before dereferencing).
+    #[inline]
+    fn frozen_gen_of(&self, id: NodeId) -> &FrozenGen {
+        self.frozen_gen(id.gen)
+            .expect("stale NodeId: its generation was evicted or cleared")
     }
 
     /// Slot of the generation with sequence number `seq`, hot-hint first.
@@ -639,16 +1052,6 @@ impl ActionCache {
         let i = self.gens.iter().position(|g| g.seq == seq)?;
         self.hot_gen.set(i as u32);
         Some(i)
-    }
-
-    /// The generation owning `id`; panics on a stale id (replay checks
-    /// residency through the lookup APIs before dereferencing).
-    #[inline]
-    fn gen_of(&self, id: NodeId) -> &Generation {
-        let slot = self
-            .gen_slot(id.gen)
-            .expect("stale NodeId: its generation was evicted or cleared");
-        &self.gens[slot]
     }
 
     /// Stamps the generation owning `seq` with a fresh touch-clock tick
@@ -674,10 +1077,17 @@ impl ActionCache {
         self.cur = 0;
         self.hot_gen.set(0);
         self.entries.clear();
+        // The frozen image is read-only, outside the byte budget and
+        // keyed to this run, so a clear keeps it (its entries are
+        // re-registered below); only the private overlay dies — every
+        // overlay target just went stale with the live generations.
+        self.overlay.clear();
+        self.overlay_slab.clear();
         self.stats.bytes_cleared = self.stats.bytes_cleared.saturating_add(freed);
         self.stats.bytes_current = 0;
         self.stats.clears += 1;
         self.generation += 1;
+        self.reregister_frozen_entries();
         if self.obs.enabled() {
             self.obs.emit(TraceEvent::CacheClear {
                 bytes: freed,
@@ -828,26 +1238,56 @@ impl ActionCache {
     ///
     /// Panics if `id` is stale (its generation was evicted or cleared).
     pub fn node(&self, id: NodeId) -> Node {
-        self.gen_of(id).nodes[id.index()]
+        if let Some(slot) = self.gen_slot(id.gen) {
+            return self.gens[slot].nodes[id.index()];
+        }
+        self.frozen_gen_of(id).nodes[id.index()]
     }
 
     /// The placeholder data of a node, resolved from its generation's
     /// slab.
     pub fn node_data(&self, id: NodeId) -> &[i64] {
-        let g = self.gen_of(id);
+        if let Some(slot) = self.gen_slot(id.gen) {
+            let g = &self.gens[slot];
+            return range_of(&g.slab, g.nodes[id.index()].data);
+        }
+        let g = self.frozen_gen_of(id);
         range_of(&g.slab, g.nodes[id.index()].data)
     }
 
-    /// The successor links of a node.
+    /// The successor links of a node. For a frozen node this is the
+    /// *base* link set; copy-on-write additions live in the private
+    /// overlay and are only reachable through the lookup methods.
     pub fn succ(&self, id: NodeId) -> &Succ {
-        &self.gen_of(id).succs[id.index()]
+        if let Some(slot) = self.gen_slot(id.gen) {
+            return &self.gens[slot].succs[id.index()];
+        }
+        &self.frozen_gen_of(id).succs[id.index()]
+    }
+
+    /// The overlay's successor record for a frozen node, if any links
+    /// were recorded on top of it.
+    fn overlay_succ(&self, id: NodeId) -> Option<&Succ> {
+        self.overlay.get(&id)
     }
 
     /// Successor of a plain action. A link whose target was evicted
     /// reads as missing.
     pub fn next_plain(&self, id: NodeId) -> Option<NodeId> {
-        match self.succ(id) {
-            Succ::One(n) if self.is_resident(*n) => Some(*n),
+        if let Some(slot) = self.gen_slot(id.gen) {
+            return match &self.gens[slot].succs[id.index()] {
+                Succ::One(n) if self.is_resident(*n) => Some(*n),
+                _ => None,
+            };
+        }
+        // Frozen node: base first (frozen links never dangle), then the
+        // copy-on-write overlay (targets are live, so filter).
+        match &self.frozen_gen_of(id).succs[id.index()] {
+            Succ::One(n) => Some(*n),
+            Succ::None => match self.overlay_succ(id) {
+                Some(Succ::One(n)) if self.is_resident(*n) => Some(*n),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -855,20 +1295,43 @@ impl ActionCache {
     /// Successor of a dynamic result test for `value` (immutable; no
     /// inline-cache update — replay uses [`next_test_hot`](Self::next_test_hot)).
     pub fn next_test(&self, id: NodeId, value: i64) -> Option<NodeId> {
-        match self.succ(id) {
-            Succ::Tests(list) => list.get(value).filter(|&n| self.is_resident(n)),
+        if let Some(slot) = self.gen_slot(id.gen) {
+            return match &self.gens[slot].succs[id.index()] {
+                Succ::Tests(list) => list.get(value).filter(|&n| self.is_resident(n)),
+                _ => None,
+            };
+        }
+        match &self.frozen_gen_of(id).succs[id.index()] {
+            Succ::Tests(list) => list.get(value).or_else(|| match self.overlay_succ(id) {
+                Some(Succ::Tests(ov)) => ov.get(value).filter(|&n| self.is_resident(n)),
+                _ => None,
+            }),
             _ => None,
         }
     }
 
     /// Successor of a dynamic result test for `value`, refreshing the
-    /// node's hot-index inline cache on a hit.
+    /// node's hot-index inline cache on a hit. A frozen node's base list
+    /// is shared and immutable, so only overlay hits refresh a hot index
+    /// (the snapshot's inline caches stay cold, as documented).
     pub fn next_test_hot(&mut self, id: NodeId, value: i64) -> Option<NodeId> {
-        let slot = self
-            .gen_slot(id.gen)
-            .expect("stale NodeId: its generation was evicted or cleared");
-        let n = match &mut self.gens[slot].succs[id.index()] {
-            Succ::Tests(list) => list.get_hot(value)?,
+        if let Some(slot) = self.gen_slot(id.gen) {
+            let n = match &mut self.gens[slot].succs[id.index()] {
+                Succ::Tests(list) => list.get_hot(value)?,
+                _ => return None,
+            };
+            return if self.is_resident(n) { Some(n) } else { None };
+        }
+        match &self.frozen_gen_of(id).succs[id.index()] {
+            Succ::Tests(list) => {
+                if let Some(n) = list.get(value) {
+                    return Some(n);
+                }
+            }
+            _ => return None,
+        }
+        let n = match self.overlay.get_mut(&id) {
+            Some(Succ::Tests(ov)) => ov.get_hot(value)?,
             _ => return None,
         };
         if self.is_resident(n) {
@@ -881,48 +1344,88 @@ impl ActionCache {
     /// Node-local successor of an INDEX action for a dynamic signature —
     /// the fast path, no key serialization needed (immutable variant).
     pub fn next_index_local(&self, id: NodeId, sig: &[i64]) -> Option<NodeId> {
-        let g = self.gen_of(id);
+        if let Some(slot) = self.gen_slot(id.gen) {
+            let g = &self.gens[slot];
+            let Succ::Index(list) = &g.succs[id.index()] else {
+                return None;
+            };
+            if let Some(&(r, n)) = list.items.get(list.hot as usize) {
+                if range_of(&g.slab, r) == sig && self.is_resident(n) {
+                    return Some(n);
+                }
+            }
+            return index_position(&g.slab, list, sig)
+                .map(|i| list.items[i].1)
+                .filter(|&n| self.is_resident(n));
+        }
+        let g = self.frozen_gen_of(id);
         let Succ::Index(list) = &g.succs[id.index()] else {
             return None;
         };
-        if let Some(&(r, n)) = list.items.get(list.hot as usize) {
-            if range_of(&g.slab, r) == sig && self.is_resident(n) {
-                return Some(n);
-            }
+        if let Some(i) = index_position(&g.slab, list, sig) {
+            return Some(list.items[i].1);
         }
-        index_position(&g.slab, list, sig)
-            .map(|i| list.items[i].1)
-            .filter(|&n| self.is_resident(n))
+        match self.overlay_succ(id) {
+            Some(Succ::Index(ov)) => index_position(&self.overlay_slab, ov, sig)
+                .map(|i| ov.items[i].1)
+                .filter(|&n| self.is_resident(n)),
+            _ => None,
+        }
     }
 
     /// [`next_index_local`](Self::next_index_local), refreshing the
     /// node's hot-index inline cache on a hit and stamping the target's
     /// generation as recently used (once-per-step eviction coldness).
+    /// Frozen base lists are shared and stay cold; only overlay hits
+    /// refresh a hot index.
     pub fn next_index_local_hot(&mut self, id: NodeId, sig: &[i64]) -> Option<NodeId> {
-        let slot = self
-            .gen_slot(id.gen)
-            .expect("stale NodeId: its generation was evicted or cleared");
-        let g = &self.gens[slot];
-        let Succ::Index(list) = &g.succs[id.index()] else {
-            return None;
-        };
-        let found = if let Some(&(r, n)) = list.items.get(list.hot as usize) {
-            if range_of(&g.slab, r) == sig {
-                Some((list.hot as usize, n))
+        if let Some(slot) = self.gen_slot(id.gen) {
+            let g = &self.gens[slot];
+            let Succ::Index(list) = &g.succs[id.index()] else {
+                return None;
+            };
+            let found = if let Some(&(r, n)) = list.items.get(list.hot as usize) {
+                if range_of(&g.slab, r) == sig {
+                    Some((list.hot as usize, n))
+                } else {
+                    index_position(&g.slab, list, sig).map(|i| (i, list.items[i].1))
+                }
             } else {
                 index_position(&g.slab, list, sig).map(|i| (i, list.items[i].1))
+            };
+            let (i, n) = found?;
+            if !self.is_resident(n) {
+                return None;
             }
-        } else {
-            index_position(&g.slab, list, sig).map(|i| (i, list.items[i].1))
+            let Succ::Index(list) = &mut self.gens[slot].succs[id.index()] else {
+                unreachable!()
+            };
+            list.hot = i as u32;
+            self.touch_seq(n.gen);
+            return Some(n);
+        }
+        {
+            let g = self.frozen_gen_of(id);
+            let Succ::Index(list) = &g.succs[id.index()] else {
+                return None;
+            };
+            if let Some(i) = index_position(&g.slab, list, sig) {
+                return Some(list.items[i].1);
+            }
+        }
+        let found = match self.overlay.get(&id) {
+            Some(Succ::Index(ov)) => {
+                index_position(&self.overlay_slab, ov, sig).map(|i| (i, ov.items[i].1))
+            }
+            _ => None,
         };
         let (i, n) = found?;
         if !self.is_resident(n) {
             return None;
         }
-        let Succ::Index(list) = &mut self.gens[slot].succs[id.index()] else {
-            unreachable!()
-        };
-        list.hot = i as u32;
+        if let Some(Succ::Index(ov)) = self.overlay.get_mut(&id) {
+            ov.hot = i as u32;
+        }
         self.touch_seq(n.gen);
         Some(n)
     }
@@ -932,32 +1435,58 @@ impl ActionCache {
     /// at, if the target is still resident. This is the edge a trace
     /// builder should speculate on — it is the last edge replay took.
     pub fn predicted_test(&self, id: NodeId) -> Option<(i64, NodeId)> {
-        let g = self.gen_of(id);
-        let Succ::Tests(list) = &g.succs[id.index()] else {
+        if let Some(slot) = self.gen_slot(id.gen) {
+            let Succ::Tests(list) = &self.gens[slot].succs[id.index()] else {
+                return None;
+            };
+            let &(v, n) = list.items.get(list.hot as usize)?;
+            return if self.is_resident(n) { Some((v, n)) } else { None };
+        }
+        // Frozen node: the overlay's hot index is the only one that
+        // moves, so it carries the recency signal when present.
+        if let Some(Succ::Tests(ov)) = self.overlay_succ(id) {
+            if let Some(&(v, n)) = ov.items.get(ov.hot as usize) {
+                if self.is_resident(n) {
+                    return Some((v, n));
+                }
+            }
+        }
+        let Succ::Tests(list) = &self.frozen_gen_of(id).succs[id.index()] else {
             return None;
         };
         let &(v, n) = list.items.get(list.hot as usize)?;
-        if self.is_resident(n) {
-            Some((v, n))
-        } else {
-            None
-        }
+        Some((v, n))
     }
 
     /// The hot-hint successor of an INDEX action: the dynamic signature
     /// contents and target entry of the inline-cached link, if the
     /// target is still resident.
     pub fn predicted_index(&self, id: NodeId) -> Option<(&[i64], NodeId)> {
-        let g = self.gen_of(id);
+        if let Some(slot) = self.gen_slot(id.gen) {
+            let g = &self.gens[slot];
+            let Succ::Index(list) = &g.succs[id.index()] else {
+                return None;
+            };
+            let &(r, n) = list.items.get(list.hot as usize)?;
+            return if self.is_resident(n) {
+                Some((range_of(&g.slab, r), n))
+            } else {
+                None
+            };
+        }
+        if let Some(Succ::Index(ov)) = self.overlay_succ(id) {
+            if let Some(&(r, n)) = ov.items.get(ov.hot as usize) {
+                if self.is_resident(n) {
+                    return Some((range_of(&self.overlay_slab, r), n));
+                }
+            }
+        }
+        let g = self.frozen_gen_of(id);
         let Succ::Index(list) = &g.succs[id.index()] else {
             return None;
         };
         let &(r, n) = list.items.get(list.hot as usize)?;
-        if self.is_resident(n) {
-            Some((range_of(&g.slab, r), n))
-        } else {
-            None
-        }
+        Some((range_of(&g.slab, r), n))
     }
 
     // ----- recording -----
@@ -1038,9 +1567,12 @@ impl ActionCache {
     /// crossing — when the owning generation's slab offset space cannot
     /// absorb the signature.
     fn index_insert(&mut self, index_node: NodeId, sig: &[i64], target: NodeId) -> bool {
-        let slot = self
-            .gen_slot(index_node.gen)
-            .expect("stale NodeId: its generation was evicted or cleared");
+        let Some(slot) = self.gen_slot(index_node.gen) else {
+            if self.has_frozen_seq(index_node.gen) {
+                return self.overlay_index_insert(index_node, sig, target);
+            }
+            panic!("stale NodeId: its generation was evicted or cleared");
+        };
         let limit = self.offset_limit as usize;
         let Generation { slab, succs, .. } = &mut self.gens[slot];
         let Succ::Index(list) = &mut succs[index_node.index()] else {
@@ -1082,37 +1614,109 @@ impl ActionCache {
         true
     }
 
+    /// [`index_insert`](Self::index_insert) for a *frozen* INDEX node:
+    /// the copy-on-write path. The shared image is never touched; the
+    /// link lands in the private overlay and its signature is copied
+    /// into the overlay slab. Reached only after a lookup missed both
+    /// the frozen base and the overlay for this signature (frozen base
+    /// links never dangle, so a base duplicate is impossible).
+    fn overlay_index_insert(&mut self, index_node: NodeId, sig: &[i64], target: NodeId) -> bool {
+        let list = match self
+            .overlay
+            .entry(index_node)
+            .or_insert_with(|| Succ::Index(IndexList::default()))
+        {
+            Succ::Index(list) => list,
+            other => unreachable!("index link on non-index overlay record: {other:?}"),
+        };
+        if let Some(i) = index_position(&self.overlay_slab, list, sig) {
+            // Same signature, target evicted: reuse the recorded range.
+            list.items[i].1 = target;
+            list.hot = i as u32;
+            return false;
+        }
+        if self.overlay_slab.len() + sig.len() > u32::MAX as usize {
+            // Overlay offset space exhausted: skip the link; the
+            // entry-table fallback still resolves the crossing.
+            return false;
+        }
+        let off = self.overlay_slab.len() as u32;
+        self.overlay_slab.extend_from_slice(sig);
+        let range = SlabRange {
+            off,
+            len: sig.len() as u32,
+        };
+        if list.items.len() < LINEAR_MAX {
+            list.hot = list.items.len() as u32;
+            list.items.push((range, target));
+            return true;
+        }
+        let slab = &self.overlay_slab;
+        if list.items.len() == LINEAR_MAX {
+            list.items
+                .sort_unstable_by(|&(a, _), &(b, _)| range_of(slab, a).cmp(range_of(slab, b)));
+        }
+        let at = list
+            .items
+            .binary_search_by(|&(r, _)| range_of(slab, r).cmp(sig))
+            .unwrap_err();
+        list.items.insert(at, (range, target));
+        list.hot = at as u32;
+        true
+    }
+
     fn link(&mut self, cursor: &Cursor, new: NodeId) {
         match cursor {
             Cursor::AtEntry(key) => {
                 self.register_entry(key.clone(), new);
             }
             Cursor::AfterPlain(n) => {
-                debug_assert!(
-                    match self.succ(*n) {
-                        Succ::None => true,
-                        Succ::One(t) => !self.is_resident(*t),
-                        _ => false,
-                    },
-                    "plain link already filled with a live target"
-                );
-                let slot = self
-                    .gen_slot(n.gen)
-                    .expect("stale cursor: its generation was evicted or cleared");
-                self.gens[slot].succs[n.index()] = Succ::One(new);
+                if let Some(slot) = self.gen_slot(n.gen) {
+                    debug_assert!(
+                        match &self.gens[slot].succs[n.index()] {
+                            Succ::None => true,
+                            Succ::One(t) => !self.is_resident(*t),
+                            _ => false,
+                        },
+                        "plain link already filled with a live target"
+                    );
+                    self.gens[slot].succs[n.index()] = Succ::One(new);
+                } else if self.has_frozen_seq(n.gen) {
+                    // Frozen cursor node: a recorded base link would have
+                    // replayed (frozen links never dangle), so the base
+                    // is `None` here; the new link is a COW addition. An
+                    // existing overlay link can only have an evicted
+                    // target — overwrite it.
+                    debug_assert!(matches!(
+                        self.frozen_gen_of(*n).succs[n.index()],
+                        Succ::None
+                    ));
+                    self.overlay.insert(*n, Succ::One(new));
+                } else {
+                    panic!("stale cursor: its generation was evicted or cleared");
+                }
             }
             Cursor::AfterTest(n, v) => {
-                let slot = self
-                    .gen_slot(n.gen)
-                    .expect("stale cursor: its generation was evicted or cleared");
-                match &mut self.gens[slot].succs[n.index()] {
-                    Succ::Tests(list) => {
-                        if list.insert(*v, new) {
-                            let bytes = varint_len(zigzag(*v)) as u64 + 4;
-                            self.charge(n.gen, bytes);
-                        }
+                let added = if let Some(slot) = self.gen_slot(n.gen) {
+                    match &mut self.gens[slot].succs[n.index()] {
+                        Succ::Tests(list) => list.insert(*v, new),
+                        other => unreachable!("test cursor on non-test node: {other:?}"),
                     }
-                    other => unreachable!("test cursor on non-test node: {other:?}"),
+                } else if self.has_frozen_seq(n.gen) {
+                    match self
+                        .overlay
+                        .entry(*n)
+                        .or_insert_with(|| Succ::Tests(TestList::default()))
+                    {
+                        Succ::Tests(list) => list.insert(*v, new),
+                        other => unreachable!("test cursor on non-test overlay record: {other:?}"),
+                    }
+                } else {
+                    panic!("stale cursor: its generation was evicted or cleared");
+                };
+                if added {
+                    let bytes = varint_len(zigzag(*v)) as u64 + 4;
+                    self.charge(n.gen, bytes);
                 }
             }
             Cursor::AfterIndex(n, key, sig) => {
@@ -1128,7 +1732,9 @@ impl ActionCache {
     fn register_entry(&mut self, key: Key, node: NodeId) {
         let bytes = key.len() as u64 + ENTRY_OVERHEAD;
         let gens = &self.gens;
-        let resident = |seq: u32| gens.iter().any(|g| g.seq == seq);
+        let frozen = self.frozen.as_deref();
+        let resident =
+            |seq: u32| gens.iter().any(|g| g.seq == seq) || frozen.is_some_and(|f| f.has_seq(seq));
         if self.entries.insert(key, node, resident) {
             // Entry bytes are charged to the *target's* generation so an
             // eviction reclaims them along with the nodes they point at.
@@ -1197,6 +1803,265 @@ impl ActionCache {
     fn set_offset_limit(&mut self, limit: u32) {
         self.offset_limit = limit;
     }
+
+    // ----- persistence (docs/PERSISTENCE.md) -----
+
+    /// The configured byte capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+
+    /// The installed warm-start image, if any.
+    pub fn frozen(&self) -> Option<&Arc<FrozenGens>> {
+        self.frozen.as_ref()
+    }
+
+    /// Exports the cache's recorded behaviour as an immutable image:
+    /// the checkpoint half of persistence.
+    ///
+    /// The export is deterministic for a given cache history. An
+    /// installed frozen base is re-exported first (in sequence order)
+    /// with the private overlay's additions merged in and overlay
+    /// signatures re-copied into the owning generation's slab; live
+    /// generations follow, sorted by sequence number. Links whose
+    /// target is no longer resident are pruned, inline caches are reset
+    /// to cold, and entry registrations keep only resident targets — so
+    /// every reference in the image resolves within the image.
+    pub fn freeze(&self) -> FrozenGens {
+        let mut gens: Vec<FrozenGen> = Vec::new();
+        if let Some(f) = self.frozen.as_deref() {
+            for g in &f.gens {
+                let mut slab = g.slab.clone();
+                let mut succs = Vec::with_capacity(g.succs.len());
+                for (idx, base) in g.succs.iter().enumerate() {
+                    let id = NodeId {
+                        gen: g.seq,
+                        idx: idx as u32,
+                    };
+                    succs.push(self.export_frozen_succ(base, self.overlay.get(&id), &mut slab));
+                }
+                gens.push(FrozenGen {
+                    seq: g.seq,
+                    nodes: g.nodes.clone(),
+                    succs,
+                    slab,
+                });
+            }
+        }
+        // `evict_gen` swap-removes, so the live vector's order is a
+        // history artifact — sort by seq for a canonical image.
+        let mut live: Vec<&Generation> = self.gens.iter().filter(|g| !g.nodes.is_empty()).collect();
+        live.sort_unstable_by_key(|g| g.seq);
+        for g in live {
+            let succs = g.succs.iter().map(|s| self.export_live_succ(s)).collect();
+            gens.push(FrozenGen {
+                seq: g.seq,
+                nodes: g.nodes.clone(),
+                succs,
+                slab: g.slab.clone(),
+            });
+        }
+        let mut entries = Vec::new();
+        for slot in &self.entries.slots {
+            if slot.node == EntryTable::VACANT {
+                continue;
+            }
+            let id = NodeId {
+                gen: slot.gen,
+                idx: slot.node,
+            };
+            if self.is_resident(id) {
+                entries.push((slot.key.clone(), id));
+            }
+        }
+        let mut image = FrozenGens {
+            gens,
+            entries,
+            bytes: 0,
+        };
+        // A nominal in-memory size so warm-start accounting is non-zero
+        // even for images shared without touching disk; the snapshot
+        // codec overwrites this with the serialized payload size.
+        image.bytes = image_bytes(&image);
+        image
+    }
+
+    /// One frozen successor record merged with its overlay delta, for
+    /// [`freeze`](Self::freeze). Overlay INDEX signatures are re-copied
+    /// into `slab` (the exported generation's slab, of which the frozen
+    /// base slab is a prefix, so base ranges stay valid).
+    fn export_frozen_succ(&self, base: &Succ, ov: Option<&Succ>, slab: &mut Vec<i64>) -> Succ {
+        match base {
+            Succ::None => match ov {
+                Some(Succ::One(n)) if self.is_resident(*n) => Succ::One(*n),
+                _ => Succ::None,
+            },
+            Succ::One(n) => Succ::One(*n),
+            Succ::Tests(list) => {
+                let mut items = list.items.clone();
+                if let Some(Succ::Tests(ovl)) = ov {
+                    for &(v, n) in &ovl.items {
+                        if self.is_resident(n) && !items.iter().any(|&(bv, _)| bv == v) {
+                            items.push((v, n));
+                        }
+                    }
+                }
+                if items.len() > LINEAR_MAX {
+                    items.sort_unstable_by_key(|&(v, _)| v);
+                }
+                Succ::Tests(TestList { items, hot: 0 })
+            }
+            Succ::Index(list) => {
+                let mut items = list.items.clone();
+                if let Some(Succ::Index(ovl)) = ov {
+                    for &(r, n) in &ovl.items {
+                        if !self.is_resident(n) {
+                            continue;
+                        }
+                        let dup = {
+                            let sig = range_of(&self.overlay_slab, r);
+                            items.iter().any(|&(br, _)| range_of(slab, br) == sig)
+                        };
+                        if dup {
+                            continue;
+                        }
+                        let off = slab.len() as u32;
+                        slab.extend_from_slice(range_of(&self.overlay_slab, r));
+                        items.push((SlabRange { off, len: r.len }, n));
+                    }
+                }
+                if items.len() > LINEAR_MAX {
+                    items.sort_unstable_by(|&(a, _), &(b, _)| {
+                        range_of(slab, a).cmp(range_of(slab, b))
+                    });
+                }
+                Succ::Index(IndexList { items, hot: 0 })
+            }
+        }
+    }
+
+    /// One live successor record with stale targets pruned and the
+    /// inline cache reset, for [`freeze`](Self::freeze). Filtering
+    /// preserves order, so large lists stay sorted.
+    fn export_live_succ(&self, s: &Succ) -> Succ {
+        match s {
+            Succ::None => Succ::None,
+            Succ::One(n) => {
+                if self.is_resident(*n) {
+                    Succ::One(*n)
+                } else {
+                    Succ::None
+                }
+            }
+            Succ::Tests(list) => {
+                let items = list
+                    .items
+                    .iter()
+                    .copied()
+                    .filter(|&(_, n)| self.is_resident(n))
+                    .collect();
+                Succ::Tests(TestList { items, hot: 0 })
+            }
+            Succ::Index(list) => {
+                let items = list
+                    .items
+                    .iter()
+                    .copied()
+                    .filter(|&(_, n)| self.is_resident(n))
+                    .collect();
+                Succ::Index(IndexList { items, hot: 0 })
+            }
+        }
+    }
+
+    /// Pins a frozen image under this cache: the warm-start half of
+    /// persistence. Only legal on a cache that has never recorded — the
+    /// live (empty) generation is renumbered above the frozen range so
+    /// sequence numbers stay globally unique, which also keeps frozen
+    /// generations invisible to eviction (it only scans live storage).
+    ///
+    /// # Errors
+    ///
+    /// A static description when a snapshot is already installed, the
+    /// cache has recorded state, or the sequence space is exhausted.
+    pub fn install_frozen(&mut self, snap: Arc<FrozenGens>) -> Result<(), &'static str> {
+        if self.frozen.is_some() {
+            return Err("a snapshot is already installed");
+        }
+        if self.stats.nodes_created != 0 || self.entries.len != 0 {
+            return Err("cache is not empty");
+        }
+        if let Some(max_seq) = snap.max_seq() {
+            self.next_seq = max_seq
+                .checked_add(1)
+                .ok_or("snapshot sequence space exhausted")?;
+            let seq = self.fresh_seq();
+            self.gens.clear();
+            self.gens.push(Generation::new(seq, self.touch.get()));
+            self.cur = 0;
+            self.hot_gen.set(0);
+        }
+        let (bytes, gens, nodes, entries) = (
+            snap.bytes(),
+            snap.generation_count() as u64,
+            snap.node_count() as u64,
+            snap.entry_count() as u64,
+        );
+        self.stats.bytes_frozen = bytes;
+        self.stats.frozen_gens = gens;
+        self.frozen = Some(snap);
+        self.frozen_hot.set(0);
+        self.reregister_frozen_entries();
+        if self.obs.enabled() {
+            self.obs.emit(TraceEvent::SnapshotLoad {
+                bytes,
+                gens,
+                nodes,
+                entries,
+            });
+        }
+        Ok(())
+    }
+
+    /// (Re-)registers the frozen image's entries in the entry table —
+    /// at install, and again after a clear emptied the table. Frozen
+    /// storage is accounted through `bytes_frozen`, so no bytes are
+    /// charged and `entries_created` is not bumped.
+    fn reregister_frozen_entries(&mut self) {
+        let Some(f) = self.frozen.clone() else {
+            return;
+        };
+        for (key, node) in f.entries() {
+            let gens = &self.gens;
+            let frozen = self.frozen.as_deref();
+            let resident = |seq: u32| {
+                gens.iter().any(|g| g.seq == seq) || frozen.is_some_and(|fz| fz.has_seq(seq))
+            };
+            self.entries.insert(key.clone(), *node, resident);
+        }
+    }
+}
+
+/// Nominal in-memory size of an image (node headers, links, slabs and
+/// entry keys), used until the snapshot codec stamps the exact
+/// serialized payload size.
+fn image_bytes(image: &FrozenGens) -> u64 {
+    let mut bytes = 0u64;
+    for g in &image.gens {
+        bytes += 12 + 8 * g.slab.len() as u64 + 12 * g.nodes.len() as u64;
+        for s in &g.succs {
+            bytes += match s {
+                Succ::None => 1,
+                Succ::One(_) => 9,
+                Succ::Tests(list) => 5 + 16 * list.items.len() as u64,
+                Succ::Index(list) => 5 + 16 * list.items.len() as u64,
+            };
+        }
+    }
+    for (key, _) in &image.entries {
+        bytes += key.len() as u64 + 12;
+    }
+    bytes
 }
 
 /// Free-function range resolution, usable while a successor list is
@@ -1827,5 +2692,255 @@ mod tests {
     fn send_holds_with_touch_cells() {
         const fn assert_send<T: Send>() {}
         assert_send::<ActionCache>();
+    }
+
+    // ---- persistence: freeze / install / overlay COW -------------------
+
+    /// A small graph exercising every node flavor: entry → plain →
+    /// test (2 branches) and a second entry chained through an INDEX.
+    fn record_sample_graph(c: &mut ActionCache) -> (NodeId, NodeId, NodeId) {
+        let mut cur = Cursor::AtEntry(key(1));
+        let p = c.record_plain(&mut cur, 1, &[10, 20]);
+        let t = c.record_test(&mut cur, 2, &[], 0);
+        c.record_plain(&mut cur, 3, &[]);
+        let mut cur2 = Cursor::AfterTest(t, 5);
+        c.record_plain(&mut cur2, 4, &[]);
+        let mut cur3 = Cursor::AtEntry(key(2));
+        let idx = c.record_index(&mut cur3, 5, &[], key(1), vec![7, 8]);
+        c.link_existing(&cur3, p);
+        (p, t, idx)
+    }
+
+    #[test]
+    fn freeze_and_install_resolve_in_a_fresh_cache() {
+        let mut donor = ActionCache::new();
+        let (p, t, idx) = record_sample_graph(&mut donor);
+        let hit = donor.next_test(t, 0).unwrap();
+        let miss = donor.next_test(t, 5).unwrap();
+
+        let image = donor.freeze();
+        assert!(image.bytes() > 0, "freeze stamps a nominal size");
+        let snap = Arc::new(image);
+
+        let mut warm = ActionCache::new();
+        warm.install_frozen(Arc::clone(&snap)).unwrap();
+        // The same NodeIds resolve: freeze preserves seq numbers.
+        assert_eq!(warm.entry(&key(1)), Some(p));
+        assert_eq!(warm.node(p).action, 1);
+        assert_eq!(warm.node_data(p), &[10, 20]);
+        assert_eq!(warm.next_plain(p), Some(t));
+        assert_eq!(warm.next_test(t, 0), Some(hit));
+        assert_eq!(warm.next_test_hot(t, 5), Some(miss));
+        assert_eq!(warm.next_test(t, 99), None);
+        assert_eq!(warm.next_index_local(idx, &[7, 8]), Some(p));
+        assert_eq!(warm.next_index_local_hot(idx, &[7, 8]), Some(p));
+
+        // Frozen storage is accounted outside the live byte budget.
+        let s = warm.stats();
+        assert_eq!(s.bytes_current, 0);
+        assert_eq!(s.bytes_frozen, snap.bytes());
+        assert_eq!(s.frozen_gens, snap.generation_count() as u64);
+        assert_bytes_invariant(&warm);
+    }
+
+    #[test]
+    fn install_rejects_nonempty_or_double() {
+        let mut donor = ActionCache::new();
+        record_sample_graph(&mut donor);
+        let snap = Arc::new(donor.freeze());
+
+        let mut dirty = ActionCache::new();
+        let mut cur = Cursor::AtEntry(key(9));
+        dirty.record_plain(&mut cur, 1, &[]);
+        assert!(dirty.install_frozen(Arc::clone(&snap)).is_err());
+
+        let mut warm = ActionCache::new();
+        warm.install_frozen(Arc::clone(&snap)).unwrap();
+        assert!(warm.install_frozen(snap).is_err());
+    }
+
+    #[test]
+    fn overlay_links_are_private_to_each_installation() {
+        let mut donor = ActionCache::new();
+        let (p, t, idx) = record_sample_graph(&mut donor);
+        // Frozen tail: the branch node after test-value 5 has no successor.
+        let tail = donor.next_test(t, 5).unwrap();
+        let snap = Arc::new(donor.freeze());
+
+        let mut a = ActionCache::new();
+        a.install_frozen(Arc::clone(&snap)).unwrap();
+        let mut b = ActionCache::new();
+        b.install_frozen(Arc::clone(&snap)).unwrap();
+
+        // Lane A extends the shared image copy-on-write: a plain link
+        // off a frozen tail, a new test branch, a new INDEX signature.
+        let mut cur = Cursor::AfterPlain(tail);
+        let ext = a.record_plain(&mut cur, 6, &[1]);
+        assert_eq!(a.next_plain(tail), Some(ext));
+        let mut cur2 = Cursor::AfterTest(t, 42);
+        let branch = a.record_plain(&mut cur2, 7, &[]);
+        assert_eq!(a.next_test(t, 42), Some(branch));
+        assert_eq!(a.next_test_hot(t, 42), Some(branch));
+        let mut cur3 = Cursor::AfterIndex(idx, key(3), vec![100]);
+        let e3 = a.record_plain(&mut cur3, 8, &[]);
+        assert_eq!(a.next_index_local(idx, &[100]), Some(e3));
+        assert_eq!(a.next_index_local_hot(idx, &[100]), Some(e3));
+        // Base links still resolve through the overlay path.
+        assert_eq!(a.next_test(t, 0), Some(donor.next_test(t, 0).unwrap()));
+        assert_eq!(a.next_index_local(idx, &[7, 8]), Some(p));
+        assert_bytes_invariant(&a);
+
+        // Lane B shares the same Arc and sees none of lane A's links.
+        assert_eq!(b.next_plain(tail), None);
+        assert_eq!(b.next_test(t, 42), None);
+        assert_eq!(b.next_index_local(idx, &[100]), None);
+        // And the frozen image itself is untouched.
+        assert_eq!(snap.node_count(), donor.freeze().node_count());
+    }
+
+    #[test]
+    fn refreeze_merges_overlay_and_live_recordings() {
+        let mut donor = ActionCache::new();
+        let (_, t, idx) = record_sample_graph(&mut donor);
+        let tail = donor.next_test(t, 5).unwrap();
+        let snap = Arc::new(donor.freeze());
+
+        let mut warm = ActionCache::new();
+        warm.install_frozen(snap).unwrap();
+        let mut cur = Cursor::AfterPlain(tail);
+        let ext = warm.record_plain(&mut cur, 6, &[9]);
+        let mut cur3 = Cursor::AfterIndex(idx, key(3), vec![100, 101]);
+        let e3 = warm.record_plain(&mut cur3, 8, &[]);
+
+        // Re-freezing folds the overlay into the exported base.
+        let merged = Arc::new(warm.freeze());
+        let mut next = ActionCache::new();
+        next.install_frozen(merged).unwrap();
+        assert_eq!(next.next_plain(tail), Some(ext));
+        assert_eq!(next.next_test(t, 0), Some(donor.next_test(t, 0).unwrap()));
+        assert_eq!(next.next_index_local(idx, &[7, 8]), donor.next_index_local(idx, &[7, 8]));
+        assert_eq!(next.next_index_local(idx, &[100, 101]), Some(e3));
+        assert_eq!(next.entry(&key(3)), Some(e3));
+        assert_bytes_invariant(&next);
+    }
+
+    #[test]
+    fn clear_keeps_the_frozen_image_but_drops_the_overlay() {
+        let mut donor = ActionCache::new();
+        let (p, t, _) = record_sample_graph(&mut donor);
+        let tail = donor.next_test(t, 5).unwrap();
+        let snap = Arc::new(donor.freeze());
+
+        let mut warm = ActionCache::new();
+        warm.install_frozen(Arc::clone(&snap)).unwrap();
+        let mut cur = Cursor::AfterPlain(tail);
+        warm.record_plain(&mut cur, 6, &[]);
+        assert!(warm.next_plain(tail).is_some());
+
+        warm.clear();
+        // Frozen entries re-registered; frozen graph still resolves.
+        assert_eq!(warm.entry(&key(1)), Some(p));
+        assert_eq!(warm.next_plain(p), Some(t));
+        // The overlay link's target went stale with the clear.
+        assert_eq!(warm.next_plain(tail), None);
+        let s = warm.stats();
+        assert_eq!(s.bytes_frozen, snap.bytes());
+        assert_eq!(s.bytes_current, 0);
+        assert_bytes_invariant(&warm);
+    }
+
+    #[test]
+    fn builder_validates_structure() {
+        // Non-increasing generation sequence.
+        let mut b = FrozenGensBuilder::new();
+        b.begin_gen(3, vec![]).unwrap();
+        assert!(b.begin_gen(3, vec![]).is_err());
+
+        // Node data range past the slab.
+        let mut b = FrozenGensBuilder::new();
+        b.begin_gen(0, vec![1, 2]).unwrap();
+        assert!(b.push_node(0, 1, 2, FrozenSucc::None).is_err());
+
+        // INDEX signature range past the slab.
+        let mut b = FrozenGensBuilder::new();
+        b.begin_gen(0, vec![1]).unwrap();
+        let far = NodeId::from_parts(0, 0);
+        assert!(b
+            .push_node(0, 0, 0, FrozenSucc::Index(vec![(0, 2, far)]))
+            .is_err());
+
+        // Link target out of bounds within the snapshot.
+        let mut b = FrozenGensBuilder::new();
+        b.begin_gen(0, vec![]).unwrap();
+        b.push_node(0, 0, 0, FrozenSucc::One(NodeId::from_parts(0, 7)))
+            .unwrap();
+        assert!(b.finish(vec![], 16).is_err());
+
+        // Link target in a generation outside the snapshot.
+        let mut b = FrozenGensBuilder::new();
+        b.begin_gen(0, vec![]).unwrap();
+        b.push_node(0, 0, 0, FrozenSucc::One(NodeId::from_parts(9, 0)))
+            .unwrap();
+        assert!(b.finish(vec![], 16).is_err());
+
+        // Entry target out of bounds.
+        let mut b = FrozenGensBuilder::new();
+        b.begin_gen(0, vec![]).unwrap();
+        b.push_node(0, 0, 0, FrozenSucc::None).unwrap();
+        assert!(b
+            .finish(vec![(key(1), NodeId::from_parts(0, 1))], 16)
+            .is_err());
+
+        // Action number at or past the step's action count.
+        let mut b = FrozenGensBuilder::new();
+        b.begin_gen(0, vec![]).unwrap();
+        b.push_node(16, 0, 0, FrozenSucc::None).unwrap();
+        assert!(b.finish(vec![], 16).is_err());
+
+        // Duplicate test values in a beyond-linear list.
+        let mut b = FrozenGensBuilder::new();
+        b.begin_gen(0, vec![]).unwrap();
+        let this = NodeId::from_parts(0, 0);
+        let dups: Vec<(i64, NodeId)> = (0..=LINEAR_MAX as i64).map(|_| (7, this)).collect();
+        b.push_node(0, 0, 0, FrozenSucc::Tests(dups)).unwrap();
+        assert!(b.finish(vec![], 16).is_err());
+    }
+
+    #[test]
+    fn builder_roundtrips_a_frozen_image() {
+        // Decode-style reconstruction: walk a frozen image through the
+        // builder (as the snapshot codec does) and get an equal image.
+        let mut donor = ActionCache::new();
+        record_sample_graph(&mut donor);
+        let image = donor.freeze();
+
+        let mut b = FrozenGensBuilder::new();
+        for g in image.gens() {
+            b.begin_gen(g.seq(), g.slab().to_vec()).unwrap();
+            for (i, n) in g.nodes().iter().enumerate() {
+                let succ = match g.succ(i) {
+                    Succ::None => FrozenSucc::None,
+                    Succ::One(n) => FrozenSucc::One(*n),
+                    Succ::Tests(list) => FrozenSucc::Tests(list.items().to_vec()),
+                    Succ::Index(list) => FrozenSucc::Index(
+                        list.items()
+                            .iter()
+                            .map(|&(r, n)| (r.off() as u32, r.len, n))
+                            .collect(),
+                    ),
+                };
+                b.push_node(n.action, n.data.off() as u32, n.data.len, succ)
+                    .unwrap();
+            }
+        }
+        let rebuilt = b.finish(image.entries().to_vec(), 16).unwrap();
+        assert_eq!(rebuilt.generation_count(), image.generation_count());
+        assert_eq!(rebuilt.node_count(), image.node_count());
+        assert_eq!(rebuilt.entry_count(), image.entry_count());
+
+        let mut warm = ActionCache::new();
+        warm.install_frozen(Arc::new(rebuilt)).unwrap();
+        assert_eq!(warm.entry(&key(1)), donor.entry(&key(1)));
+        assert_eq!(warm.entry(&key(2)), donor.entry(&key(2)));
     }
 }

@@ -258,6 +258,20 @@ impl Target {
         self.text.len()
     }
 
+    /// Digest of the immutable code identity: entry point, text base and
+    /// the text bytes themselves ([`crate::key::hash_bytes`]).
+    /// Combined with the *initial*
+    /// [`Memory::digest`], this keys a persisted action-cache snapshot
+    /// to the exact program it was recorded against — see
+    /// `docs/PERSISTENCE.md`.
+    pub fn code_digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(16 + self.text.len());
+        bytes.extend_from_slice(&self.entry.to_le_bytes());
+        bytes.extend_from_slice(&self.text_base.to_le_bytes());
+        bytes.extend_from_slice(&self.text);
+        crate::key::hash_bytes(&bytes)
+    }
+
     /// Fetches an instruction token of `bits` width (8/16/32/64) at
     /// `addr`, zero-extended. Out-of-text reads return 0 (which no valid
     /// pattern should match).

@@ -166,6 +166,11 @@ pub struct Simulation {
     /// Open-epoch baselines when the attached handle records a
     /// timeline; `None` costs one check per burst/slow step.
     epoch: Option<EpochState>,
+    /// Digest of the initial target (code identity + initial memory),
+    /// computed at construction — memory mutates once the run starts,
+    /// so this is the only moment the snapshot validity key can be
+    /// taken. See [`crate::snapshot`].
+    warm_digest: u64,
 }
 
 impl Simulation {
@@ -209,6 +214,7 @@ impl Simulation {
         }
         let key = w.finish();
         let cache = ActionCache::with_policy(options.cache_capacity, options.cache_policy);
+        let warm_digest = target.code_digest() ^ target.mem.digest().rotate_left(32);
         let st = MachineState::new(&step.ir, target);
         Ok(Simulation {
             cursor: Cursor::AtEntry(key.clone()),
@@ -225,6 +231,7 @@ impl Simulation {
             ),
             fault: None,
             epoch: None,
+            warm_digest,
         })
     }
 
@@ -711,6 +718,44 @@ impl Simulation {
     /// copying the action table).
     pub fn compiled_arc(&self) -> std::sync::Arc<CompiledStep> {
         self.step.clone()
+    }
+
+    /// The snapshot validity digest of this simulation's initial target
+    /// (code identity + initial memory). A persisted action-cache
+    /// snapshot only warm-starts a simulation with the *same* digest —
+    /// see [`crate::snapshot`] and `docs/PERSISTENCE.md`.
+    pub fn warm_digest(&self) -> u64 {
+        self.warm_digest
+    }
+
+    /// Read access to the action cache (snapshot export, diagnostics).
+    pub fn action_cache(&self) -> &facile_runtime::ActionCache {
+        &self.cache
+    }
+
+    /// Installs a frozen action-cache image as this simulation's
+    /// read-only warm-start base. New recordings layer on top
+    /// copy-on-write; the shared image is never written.
+    ///
+    /// Validity (digest / policy / fingerprint) is the caller's problem
+    /// — use [`crate::snapshot::LoadedSnapshot::validate`]. This method
+    /// only enforces the structural preconditions.
+    ///
+    /// # Errors
+    ///
+    /// The simulation must be memoizing, must not have run yet, and
+    /// must not already carry a snapshot.
+    pub fn warm_start(
+        &mut self,
+        snap: std::sync::Arc<facile_runtime::FrozenGens>,
+    ) -> Result<(), &'static str> {
+        if !self.memoize {
+            return Err("memoization is disabled");
+        }
+        if self.st.stats.fast_steps != 0 || self.st.stats.slow_steps != 0 {
+            return Err("simulation has already run");
+        }
+        self.cache.install_frozen(snap)
     }
 }
 

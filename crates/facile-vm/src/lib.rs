@@ -70,6 +70,7 @@ pub mod exec;
 pub mod fast;
 pub mod recovery;
 pub mod slow;
+pub mod snapshot;
 pub mod state;
 pub mod supertrace;
 

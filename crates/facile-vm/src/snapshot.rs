@@ -1,0 +1,541 @@
+//! Action-cache persistence: the `facile-snap/v1` on-disk format.
+//!
+//! A snapshot is a serialized [`FrozenGens`] image — the memoized
+//! action graph of a finished (or interrupted) run — plus a validity
+//! header that keys it to the exact program and target it was recorded
+//! against. Loading a snapshot into a fresh [`Simulation`] warm-starts
+//! it: replay begins at step 0 instead of after a recording warm-up,
+//! and batch lanes can share one read-only image behind an `Arc` with
+//! private copy-on-write recording layered on top.
+//!
+//! The byte-level layout, validity rules and versioning policy are
+//! specified in `docs/PERSISTENCE.md`. The load path is strictly
+//! fail-safe: any mismatched or corrupted snapshot is reported as a
+//! [`SnapshotError`] and the caller falls back to an ordinary cold
+//! start — a stale snapshot can cost warm-up time, never correctness.
+//!
+//! # Examples
+//!
+//! ```
+//! use facile_lang::{parser::parse, diag::Diagnostics};
+//! use facile_sema::analyze as sema;
+//! use facile_ir::lower::lower;
+//! use facile_codegen::{compile, CodegenConfig};
+//! use facile_vm::engine::{ArgValue, SimOptions, Simulation};
+//! use facile_vm::snapshot;
+//! use facile_runtime::{Image, Target};
+//!
+//! let src = r#"
+//!     fun main(x : int) {
+//!         count_insns(1);
+//!         if (x == 0) { sim_halt(); }
+//!         next(x - 1);
+//!     }
+//! "#;
+//! let mut diags = Diagnostics::new();
+//! let program = parse(src, &mut diags);
+//! let syms = sema(&program, &mut diags);
+//! let ir = lower(&program, &syms, &mut diags).unwrap();
+//! let step = compile(ir, &CodegenConfig::default()).unwrap();
+//!
+//! // Cold run records the action graph...
+//! let target = Target::load(&Image::default());
+//! let mut cold = Simulation::new(step.clone(), target, &[ArgValue::Scalar(10)],
+//!                                SimOptions::default()).unwrap();
+//! cold.run_steps(1_000);
+//! let bytes = snapshot::save(&cold);
+//!
+//! // ...and a second run over the same target starts warm.
+//! let target = Target::load(&Image::default());
+//! let mut warm = Simulation::new(step, target, &[ArgValue::Scalar(10)],
+//!                                SimOptions::default()).unwrap();
+//! let snap = snapshot::parse(&bytes).unwrap();
+//! snap.validate(&warm).unwrap();
+//! warm.warm_start(snap.image()).unwrap();
+//! warm.run_steps(1_000);
+//! assert_eq!(warm.stats().insns, 11);
+//! assert_eq!(warm.stats().slow_steps, 0); // pure replay
+//! ```
+
+use crate::engine::Simulation;
+use facile_codegen::CompiledStep;
+use facile_obs::TraceEvent;
+use facile_runtime::cache::{CachePolicy, FrozenGens, FrozenGensBuilder, FrozenSucc, Succ};
+use facile_runtime::key::{hash_bytes, Key};
+use facile_runtime::NodeId;
+use std::sync::Arc;
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: &[u8; 8] = b"FACSNAP1";
+/// Format version this module reads and writes.
+pub const VERSION: u32 = 1;
+/// Fixed header size in bytes (the payload starts here).
+pub const HEADER_LEN: u32 = 64;
+/// `capacity` header sentinel for an unbounded cache.
+const CAPACITY_UNBOUNDED: u64 = u64::MAX;
+
+/// Why a snapshot was rejected. Every variant is a clean cold-start
+/// for the caller, never a wrong answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not begin with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`VERSION`].
+    BadVersion(u32),
+    /// The header is self-inconsistent (wrong length field, non-zero
+    /// reserved bytes, counts that disagree with the payload).
+    BadHeader(String),
+    /// The payload is truncated, fails its checksum, or decodes to a
+    /// structurally invalid image.
+    Corrupt(String),
+    /// Recorded against a different target (code or initial memory).
+    DigestMismatch {
+        /// Digest in the snapshot header.
+        snapshot: u64,
+        /// Digest of the simulation being warm-started.
+        simulation: u64,
+    },
+    /// Recorded under a different cache capacity.
+    CapacityMismatch,
+    /// Recorded under a different eviction policy.
+    PolicyMismatch,
+    /// Recorded against a different compiled step function.
+    FingerprintMismatch,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a facile-snap file (bad magic)"),
+            SnapshotError::BadVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (expected {VERSION})")
+            }
+            SnapshotError::BadHeader(m) => write!(f, "malformed snapshot header: {m}"),
+            SnapshotError::Corrupt(m) => write!(f, "corrupt snapshot payload: {m}"),
+            SnapshotError::DigestMismatch {
+                snapshot,
+                simulation,
+            } => write!(
+                f,
+                "snapshot was recorded against a different target \
+                 (snapshot digest {snapshot:#018x}, simulation {simulation:#018x})"
+            ),
+            SnapshotError::CapacityMismatch => {
+                write!(f, "snapshot was recorded under a different cache capacity")
+            }
+            SnapshotError::PolicyMismatch => {
+                write!(f, "snapshot was recorded under a different cache policy")
+            }
+            SnapshotError::FingerprintMismatch => {
+                write!(f, "snapshot was recorded against a different compiled step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Fingerprint of a compiled step function: FNV-1a over the debug
+/// rendering of the action table and `main`'s parameter types. Not
+/// portable across toolchain versions (the rendering may change) —
+/// by design the cheap answer is a cold start, so a conservative,
+/// easily-invalidated fingerprint is the right trade.
+pub fn step_fingerprint(step: &CompiledStep) -> u64 {
+    let mut text = format!("{:?}", step.actions);
+    text.push('|');
+    text.push_str(&format!("{:?}", step.param_types));
+    hash_bytes(text.as_bytes())
+}
+
+/// A parsed, checksum-verified snapshot: the header's validity fields
+/// plus the decoded image behind an `Arc`, ready to share across batch
+/// lanes. Produced by [`parse`]; gate installation with
+/// [`validate`](Self::validate).
+#[derive(Clone, Debug)]
+pub struct LoadedSnapshot {
+    /// Target validity digest ([`Simulation::warm_digest`]).
+    pub target_digest: u64,
+    /// Compiled-step fingerprint ([`step_fingerprint`]).
+    pub step_fingerprint: u64,
+    /// Cache capacity the image was recorded under.
+    pub capacity: Option<u64>,
+    /// Eviction policy the image was recorded under.
+    pub policy: CachePolicy,
+    image: Arc<FrozenGens>,
+}
+
+impl LoadedSnapshot {
+    /// The decoded image (clone the `Arc` per warm-started lane).
+    pub fn image(&self) -> Arc<FrozenGens> {
+        Arc::clone(&self.image)
+    }
+
+    /// Checks that this snapshot may warm-start `sim`: target digest,
+    /// compiled-step fingerprint, cache capacity and policy must all
+    /// match, and every recorded action number must exist in the step's
+    /// action table.
+    ///
+    /// # Errors
+    ///
+    /// The first failed validity rule; the caller should log it and
+    /// cold-start.
+    pub fn validate(&self, sim: &Simulation) -> Result<(), SnapshotError> {
+        if self.target_digest != sim.warm_digest() {
+            return Err(SnapshotError::DigestMismatch {
+                snapshot: self.target_digest,
+                simulation: sim.warm_digest(),
+            });
+        }
+        if self.step_fingerprint != step_fingerprint(sim.compiled()) {
+            return Err(SnapshotError::FingerprintMismatch);
+        }
+        if self.capacity != sim.action_cache().capacity() {
+            return Err(SnapshotError::CapacityMismatch);
+        }
+        if self.policy != sim.action_cache().policy() {
+            return Err(SnapshotError::PolicyMismatch);
+        }
+        // Belt and braces under a matching fingerprint; decisive if a
+        // caller skips the fingerprint on purpose.
+        let limit = sim.compiled().action_count() as u32;
+        for g in self.image.gens() {
+            if let Some(n) = g.nodes().iter().find(|n| n.action >= limit) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "action number {} out of range (step has {limit} actions)",
+                    n.action
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---- encoding -----------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn node_id(&mut self, n: NodeId) {
+        self.u32(n.generation());
+        self.u32(n.index() as u32);
+    }
+}
+
+/// Serializes `image` under the given validity header fields. Most
+/// callers want [`save`], which freezes a simulation's cache and fills
+/// the header in; this entry point exists for tests and tools that
+/// construct images directly.
+pub fn encode(
+    image: &FrozenGens,
+    target_digest: u64,
+    fingerprint: u64,
+    capacity: Option<u64>,
+    policy: CachePolicy,
+) -> Vec<u8> {
+    let mut p = Writer { buf: Vec::new() };
+    for g in image.gens() {
+        p.u32(g.seq());
+        p.u32(g.nodes().len() as u32);
+        p.u32(g.slab().len() as u32);
+        for &v in g.slab() {
+            p.i64(v);
+        }
+        for n in g.nodes() {
+            p.u32(n.action);
+            p.u32(n.data.off() as u32);
+            p.u32(n.data.len() as u32);
+        }
+        for i in 0..g.nodes().len() {
+            match g.succ(i) {
+                Succ::None => p.u8(0),
+                Succ::One(n) => {
+                    p.u8(1);
+                    p.node_id(*n);
+                }
+                Succ::Tests(list) => {
+                    p.u8(2);
+                    p.u32(list.items().len() as u32);
+                    for &(v, n) in list.items() {
+                        p.i64(v);
+                        p.node_id(n);
+                    }
+                }
+                Succ::Index(list) => {
+                    p.u8(3);
+                    p.u32(list.items().len() as u32);
+                    for &(r, n) in list.items() {
+                        p.u32(r.off() as u32);
+                        p.u32(r.len() as u32);
+                        p.node_id(n);
+                    }
+                }
+            }
+        }
+    }
+    for (key, n) in image.entries() {
+        p.u32(key.as_bytes().len() as u32);
+        p.buf.extend_from_slice(key.as_bytes());
+        p.node_id(*n);
+    }
+    let payload = p.buf;
+
+    let mut h = Writer {
+        buf: Vec::with_capacity(HEADER_LEN as usize + payload.len()),
+    };
+    h.buf.extend_from_slice(MAGIC);
+    h.u32(VERSION);
+    h.u32(HEADER_LEN);
+    h.u64(target_digest);
+    h.u64(fingerprint);
+    h.u64(capacity.unwrap_or(CAPACITY_UNBOUNDED));
+    h.u8(match policy {
+        CachePolicy::Clear => 0,
+        CachePolicy::Generational => 1,
+    });
+    for _ in 0..7 {
+        h.u8(0); // reserved
+    }
+    h.u32(image.generation_count() as u32);
+    h.u32(image.entry_count() as u32);
+    h.u64(hash_bytes(&payload));
+    debug_assert_eq!(h.buf.len(), HEADER_LEN as usize);
+    h.buf.extend_from_slice(&payload);
+    h.buf
+}
+
+/// Freezes `sim`'s action cache (frozen base + copy-on-write overlay +
+/// live recordings, folded into one canonical image) and serializes it
+/// with the simulation's own validity header. Emits a
+/// [`TraceEvent::SnapshotSave`] when observability is attached.
+pub fn save(sim: &Simulation) -> Vec<u8> {
+    let image = sim.action_cache().freeze();
+    let bytes = encode(
+        &image,
+        sim.warm_digest(),
+        step_fingerprint(sim.compiled()),
+        sim.action_cache().capacity(),
+        sim.action_cache().policy(),
+    );
+    if sim.obs().enabled() {
+        sim.obs().emit(TraceEvent::SnapshotSave {
+            bytes: bytes.len() as u64,
+            gens: image.generation_count() as u64,
+            nodes: image.node_count() as u64,
+            entries: image.entry_count() as u64,
+        });
+    }
+    bytes
+}
+
+// ---- decoding -----------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                SnapshotError::Corrupt(format!(
+                    "truncated at byte {} (wanted {n} more of {})",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn node_id(&mut self) -> Result<NodeId, SnapshotError> {
+        let gen = self.u32()?;
+        let idx = self.u32()?;
+        Ok(NodeId::from_parts(gen, idx))
+    }
+}
+
+/// Sanity ceiling on declared element counts: a corrupted count field
+/// must not drive a pre-allocation larger than the file itself.
+fn check_count(count: u32, at_least_bytes: usize, remaining: usize) -> Result<(), SnapshotError> {
+    if (count as u64).saturating_mul(at_least_bytes as u64) > remaining as u64 {
+        return Err(SnapshotError::Corrupt(format!(
+            "declared count {count} exceeds remaining payload"
+        )));
+    }
+    Ok(())
+}
+
+/// Parses and checksum-verifies a `facile-snap/v1` byte stream into a
+/// [`LoadedSnapshot`]. Structural validity (every link target resolves,
+/// slab ranges in bounds, successor lists well-formed) is enforced
+/// here via [`FrozenGensBuilder`]; run validity (digest, fingerprint,
+/// capacity, policy) is the separate [`LoadedSnapshot::validate`] step
+/// so one parsed snapshot can be checked against many simulations.
+///
+/// # Errors
+///
+/// The first structural defect found; see [`SnapshotError`].
+pub fn parse(bytes: &[u8]) -> Result<LoadedSnapshot, SnapshotError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(8).map_err(|_| SnapshotError::BadMagic)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32().map_err(|_| SnapshotError::BadVersion(0))?;
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let header_len = r
+        .u32()
+        .map_err(|_| SnapshotError::BadHeader("truncated".into()))?;
+    if header_len != HEADER_LEN {
+        return Err(SnapshotError::BadHeader(format!(
+            "header length {header_len} (expected {HEADER_LEN})"
+        )));
+    }
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(SnapshotError::BadHeader("truncated".into()));
+    }
+    let target_digest = r.u64().unwrap();
+    let fingerprint = r.u64().unwrap();
+    let capacity = match r.u64().unwrap() {
+        CAPACITY_UNBOUNDED => None,
+        c => Some(c),
+    };
+    let policy = match r.u8().unwrap() {
+        0 => CachePolicy::Clear,
+        1 => CachePolicy::Generational,
+        p => {
+            return Err(SnapshotError::BadHeader(format!(
+                "unknown cache policy {p}"
+            )))
+        }
+    };
+    if r.take(7).unwrap().iter().any(|&b| b != 0) {
+        return Err(SnapshotError::BadHeader(
+            "reserved bytes are not zero".into(),
+        ));
+    }
+    let gen_count = r.u32().unwrap();
+    let entry_count = r.u32().unwrap();
+    let crc = r.u64().unwrap();
+    debug_assert_eq!(r.pos, HEADER_LEN as usize);
+
+    let payload = &bytes[HEADER_LEN as usize..];
+    if hash_bytes(payload) != crc {
+        return Err(SnapshotError::Corrupt("payload checksum mismatch".into()));
+    }
+
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let mut b = FrozenGensBuilder::new();
+    for _ in 0..gen_count {
+        let seq = r.u32()?;
+        let node_count = r.u32()?;
+        let slab_len = r.u32()?;
+        check_count(slab_len, 8, payload.len() - r.pos)?;
+        let mut slab = Vec::with_capacity(slab_len as usize);
+        for _ in 0..slab_len {
+            slab.push(r.i64()?);
+        }
+        b.begin_gen(seq, slab).map_err(SnapshotError::Corrupt)?;
+        check_count(node_count, 12, payload.len() - r.pos)?;
+        let mut nodes = Vec::with_capacity(node_count as usize);
+        for _ in 0..node_count {
+            let action = r.u32()?;
+            let off = r.u32()?;
+            let len = r.u32()?;
+            nodes.push((action, off, len));
+        }
+        for (action, off, len) in nodes {
+            let succ = match r.u8()? {
+                0 => FrozenSucc::None,
+                1 => FrozenSucc::One(r.node_id()?),
+                2 => {
+                    let count = r.u32()?;
+                    check_count(count, 16, payload.len() - r.pos)?;
+                    let mut items = Vec::with_capacity(count as usize);
+                    for _ in 0..count {
+                        let v = r.i64()?;
+                        items.push((v, r.node_id()?));
+                    }
+                    FrozenSucc::Tests(items)
+                }
+                3 => {
+                    let count = r.u32()?;
+                    check_count(count, 16, payload.len() - r.pos)?;
+                    let mut items = Vec::with_capacity(count as usize);
+                    for _ in 0..count {
+                        let o = r.u32()?;
+                        let l = r.u32()?;
+                        items.push((o, l, r.node_id()?));
+                    }
+                    FrozenSucc::Index(items)
+                }
+                t => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "unknown successor tag {t}"
+                    )))
+                }
+            };
+            b.push_node(action, off, len, succ)
+                .map_err(SnapshotError::Corrupt)?;
+        }
+    }
+    let mut entries = Vec::with_capacity(entry_count.min(1 << 20) as usize);
+    for _ in 0..entry_count {
+        let klen = r.u32()?;
+        let key = Key::from_bytes(r.take(klen as usize)?);
+        entries.push((key, r.node_id()?));
+    }
+    if r.pos != payload.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after payload",
+            payload.len() - r.pos
+        )));
+    }
+    // Action numbers are range-checked against the live step in
+    // `validate` — the builder only enforces structure here.
+    let mut image = b
+        .finish(entries, u32::MAX)
+        .map_err(SnapshotError::Corrupt)?;
+    image.set_bytes(payload.len() as u64);
+    Ok(LoadedSnapshot {
+        target_digest,
+        step_fingerprint: fingerprint,
+        capacity,
+        policy,
+        image: Arc::new(image),
+    })
+}

@@ -1,0 +1,318 @@
+//! Action-cache persistence: `facile-snap/v1` round-trips, validity
+//! rejection, and copy-on-write sharing (see `docs/PERSISTENCE.md`).
+//!
+//! The contract under test is fail-safe warm-starting: a valid snapshot
+//! makes a run start fast (replay from step 0, no recording warm-up)
+//! with bit-identical architectural results; an invalid snapshot of
+//! *any* kind is rejected cleanly and the run proceeds cold — also with
+//! bit-identical results.
+
+use facile_codegen::{compile, CodegenConfig};
+use facile_ir::lower::lower;
+use facile_lang::diag::Diagnostics;
+use facile_lang::parser::parse;
+use facile_runtime::{Image, Target};
+use facile_sema::analyze as sema;
+use facile_vm::engine::{ArgValue, SimOptions, Simulation};
+use facile_vm::snapshot::{self, SnapshotError, HEADER_LEN};
+
+/// A branchy looping simulator: INDEX actions chain the steps, the
+/// verified external forks TEST successors, memory and the trace carry
+/// dynamic state. Everything persistence must preserve.
+const BRANCHY: &str = "ext fun flip(salt : int) : int;
+    fun main(x : int) {
+      count_insns(1);
+      val t = flip(x)?verify;
+      trace(t);
+      count_cycles(t + 1);
+      val c = mem_ld(0);
+      mem_st(0, c + 1);
+      if (c >= 150) { sim_halt(); }
+      next((x + t + 1) % 7);
+    }";
+
+fn build(src: &str) -> facile_codegen::CompiledStep {
+    let mut diags = Diagnostics::new();
+    let prog = parse(src, &mut diags);
+    let syms = sema(&prog, &mut diags);
+    assert!(!diags.has_errors(), "{}", diags.render_all(src));
+    let ir = lower(&prog, &syms, &mut diags).expect("lowering succeeds");
+    compile(ir, &CodegenConfig::default()).expect("codegen succeeds")
+}
+
+fn branchy_sim(opts: SimOptions) -> Simulation {
+    let step = build(BRANCHY);
+    let mut s = Simulation::new(
+        step,
+        Target::load(&Image::default()),
+        &[ArgValue::Scalar(0)],
+        opts,
+    )
+    .unwrap();
+    // Deterministic outcome sequence keyed on the argument only, so
+    // replay and re-execution agree.
+    s.bind_external("flip", move |args| (args[0] * 31 + 7) % 3)
+        .unwrap();
+    s
+}
+
+/// The observable end state that must be bit-identical across cold,
+/// warm, and rejected-snapshot runs.
+fn fingerprint(s: &Simulation) -> (Option<facile_runtime::HaltReason>, u64, u64, Vec<i64>, u64) {
+    (
+        s.halted(),
+        s.stats().cycles,
+        s.stats().insns,
+        s.trace().to_vec(),
+        s.memory().digest(),
+    )
+}
+
+fn recorded_snapshot() -> Vec<u8> {
+    let mut cold = branchy_sim(SimOptions::default());
+    cold.run_steps(100_000);
+    assert!(cold.halted().is_some(), "cold run must finish");
+    snapshot::save(&cold)
+}
+
+#[test]
+fn warm_run_matches_cold_run_exactly_and_skips_recording() {
+    let mut cold = branchy_sim(SimOptions::default());
+    cold.run_steps(100_000);
+    let bytes = snapshot::save(&cold);
+
+    let mut warm = branchy_sim(SimOptions::default());
+    let snap = snapshot::parse(&bytes).expect("well-formed snapshot");
+    snap.validate(&warm).expect("same program, same target");
+    warm.warm_start(snap.image()).unwrap();
+    warm.run_steps(100_000);
+
+    assert_eq!(fingerprint(&warm), fingerprint(&cold));
+    // The whole point: the recorded graph replays from step 0.
+    assert_eq!(warm.stats().slow_steps, 0, "warm run should never record");
+    assert_eq!(warm.cache_stats().nodes_created, 0);
+    assert!(warm.cache_stats().bytes_frozen > 0);
+    assert_eq!(
+        warm.cache_stats().bytes_frozen,
+        bytes.len() as u64 - HEADER_LEN as u64,
+        "bytes_frozen reports the serialized payload size"
+    );
+}
+
+#[test]
+fn refrozen_snapshot_is_stable() {
+    // freeze → encode → parse → freeze must converge: saving a
+    // warm-started run that recorded nothing new yields an equivalent
+    // snapshot (same graph shape; byte equality is not promised because
+    // export order is canonicalized only after the first freeze).
+    let bytes = recorded_snapshot();
+    let snap = snapshot::parse(&bytes).unwrap();
+
+    let mut warm = branchy_sim(SimOptions::default());
+    warm.warm_start(snap.image()).unwrap();
+    warm.run_steps(100_000);
+    let bytes2 = snapshot::save(&warm);
+    let snap2 = snapshot::parse(&bytes2).unwrap();
+    assert_eq!(
+        snap2.image().node_count(),
+        snap.image().node_count(),
+        "pure replay must not grow the graph"
+    );
+    assert_eq!(snap2.image().entry_count(), snap.image().entry_count());
+}
+
+#[test]
+fn every_header_field_gates_the_load() {
+    let bytes = recorded_snapshot();
+    let sim = branchy_sim(SimOptions::default());
+
+    // Parse-time rejections: magic, version, header length, policy
+    // byte, reserved bytes, checksum, truncation.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(snapshot::parse(&bad), Err(SnapshotError::BadMagic)));
+
+    let mut bad = bytes.clone();
+    bad[8] = 9; // version
+    assert!(matches!(
+        snapshot::parse(&bad),
+        Err(SnapshotError::BadVersion(9))
+    ));
+
+    let mut bad = bytes.clone();
+    bad[12] = 63; // header_len
+    assert!(matches!(
+        snapshot::parse(&bad),
+        Err(SnapshotError::BadHeader(_))
+    ));
+
+    let mut bad = bytes.clone();
+    bad[40] = 7; // policy byte
+    assert!(matches!(
+        snapshot::parse(&bad),
+        Err(SnapshotError::BadHeader(_))
+    ));
+
+    let mut bad = bytes.clone();
+    bad[41] = 1; // reserved must be zero
+    assert!(matches!(
+        snapshot::parse(&bad),
+        Err(SnapshotError::BadHeader(_))
+    ));
+
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x01; // payload bit flip → checksum
+    assert!(matches!(snapshot::parse(&bad), Err(SnapshotError::Corrupt(_))));
+
+    let mut bad = bytes.clone();
+    bad[56] ^= 0x01; // stored checksum itself
+    assert!(matches!(snapshot::parse(&bad), Err(SnapshotError::Corrupt(_))));
+
+    let bad = &bytes[..bytes.len() - 9]; // truncated slab/payload
+    assert!(matches!(snapshot::parse(bad), Err(SnapshotError::Corrupt(_))));
+
+    let bad = &bytes[..HEADER_LEN as usize / 2]; // truncated header
+    assert!(snapshot::parse(bad).is_err());
+
+    // Validate-time rejections: digest, fingerprint, capacity, policy.
+    let mut bad = bytes.clone();
+    bad[16] ^= 0xFF; // target digest — rewrite checksum? No: digest is
+                     // in the header, outside the payload checksum.
+    assert!(matches!(
+        snapshot::parse(&bad).unwrap().validate(&sim),
+        Err(SnapshotError::DigestMismatch { .. })
+    ));
+
+    let mut bad = bytes.clone();
+    bad[24] ^= 0xFF; // step fingerprint
+    assert!(matches!(
+        snapshot::parse(&bad).unwrap().validate(&sim),
+        Err(SnapshotError::FingerprintMismatch)
+    ));
+
+    let mut bad = bytes.clone();
+    bad[32] ^= 0xFF; // capacity
+    assert!(matches!(
+        snapshot::parse(&bad).unwrap().validate(&sim),
+        Err(SnapshotError::CapacityMismatch)
+    ));
+
+    // Policy mismatch: a valid Generational header against a Clear sim.
+    let gen_sim = branchy_sim(SimOptions {
+        cache_policy: facile_runtime::CachePolicy::Generational,
+        ..SimOptions::default()
+    });
+    let snap = snapshot::parse(&bytes).unwrap();
+    assert!(matches!(
+        snap.validate(&gen_sim),
+        Err(SnapshotError::PolicyMismatch)
+    ));
+
+    // And the good bytes still pass: the rejections above were the
+    // mutations' doing, not parser pickiness.
+    snapshot::parse(&bytes).unwrap().validate(&sim).unwrap();
+}
+
+#[test]
+fn rejected_snapshot_leaves_a_bit_identical_cold_run() {
+    // The CLI's fallback contract, checked at the library level: after
+    // any rejection the simulation is untouched and a cold run over it
+    // matches a never-offered-a-snapshot run exactly.
+    let mut control = branchy_sim(SimOptions::default());
+    control.run_steps(100_000);
+
+    let mut bytes = recorded_snapshot();
+    bytes[16] ^= 0xFF; // digest mismatch
+    let mut s = branchy_sim(SimOptions::default());
+    let snap = snapshot::parse(&bytes).unwrap();
+    assert!(snap.validate(&s).is_err());
+    // Caller declines to warm-start; run proceeds cold.
+    s.run_steps(100_000);
+    assert_eq!(fingerprint(&s), fingerprint(&control));
+    assert_eq!(s.cache_stats().bytes_frozen, 0);
+}
+
+#[test]
+fn warm_start_guards_are_enforced() {
+    let bytes = recorded_snapshot();
+    let snap = snapshot::parse(&bytes).unwrap();
+
+    // Already ran.
+    let mut s = branchy_sim(SimOptions::default());
+    s.run_steps(5);
+    assert!(s.warm_start(snap.image()).is_err());
+
+    // Memoization disabled.
+    let mut s = branchy_sim(SimOptions {
+        memoize: false,
+        ..SimOptions::default()
+    });
+    assert!(s.warm_start(snap.image()).is_err());
+
+    // Double install.
+    let mut s = branchy_sim(SimOptions::default());
+    s.warm_start(snap.image()).unwrap();
+    assert!(s.warm_start(snap.image()).is_err());
+}
+
+#[test]
+fn lanes_share_one_image_copy_on_write_across_threads() {
+    // Batch sharing: one parsed snapshot, N threads, each lane
+    // warm-starts from the same `Arc` and records privately on top.
+    // Lanes run *different* argument streams, so each one records new
+    // successor links the others must never observe. (The outcome
+    // stream is mod-3, so only lanes 0..3 are pairwise distinct.)
+    let bytes = recorded_snapshot();
+    let snap = snapshot::parse(&bytes).unwrap();
+    let base_nodes = snap.image().node_count();
+
+    let mut handles = Vec::new();
+    for lane in 0..3i64 {
+        let image = snap.image();
+        handles.push(std::thread::spawn(move || {
+            let step = build(BRANCHY);
+            let mut s = Simulation::new(
+                step,
+                Target::load(&Image::default()),
+                &[ArgValue::Scalar(0)],
+                SimOptions::default(),
+            )
+            .unwrap();
+            // Per-lane outcome stream: lane 0 matches the recording,
+            // others diverge and must recover + record COW links.
+            s.bind_external("flip", move |args| (args[0] * 31 + 7 + lane) % 3)
+                .unwrap();
+            s.warm_start(image).unwrap();
+            s.run_steps(100_000);
+            // Each lane, cold, for the ground truth.
+            let step = build(BRANCHY);
+            let mut cold = Simulation::new(
+                step,
+                Target::load(&Image::default()),
+                &[ArgValue::Scalar(0)],
+                SimOptions::default(),
+            )
+            .unwrap();
+            cold.bind_external("flip", move |args| (args[0] * 31 + 7 + lane) % 3)
+                .unwrap();
+            cold.run_steps(100_000);
+            assert_eq!(
+                fingerprint(&s),
+                fingerprint(&cold),
+                "lane {lane}: warm-shared run must match its own cold run"
+            );
+            (lane, s.stats().slow_steps)
+        }));
+    }
+    let mut results: Vec<(i64, u64)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    results.sort_unstable();
+    // Lane 0 replays the recording verbatim; diverging lanes record.
+    assert_eq!(results[0].1, 0, "matching lane is pure replay");
+    assert!(
+        results[1..].iter().all(|&(_, slow)| slow > 0),
+        "diverging lanes must fall back to recording"
+    );
+    // The shared image itself never grew.
+    assert_eq!(snap.image().node_count(), base_nodes);
+}

@@ -80,4 +80,11 @@ echo "==> obs_overhead --scale $SCALE --reps $REPS (disabled / sampled / full / 
 ./target/release/obs_overhead --scale "$SCALE" --reps "$REPS" \
     --fastsim BENCH_fastsim.json --json-out BENCH_obs.json
 
-echo "bench: wrote BENCH_fastsim.json, BENCH_batch.json, BENCH_cache.json and BENCH_obs.json"
+echo "==> sim_warm --scale $SCALE (cold vs warm-start A/B over facile-snap/v1)"
+# Each workload runs cold, snapshots its action cache
+# (docs/PERSISTENCE.md), then reruns warm from the snapshot. The warm
+# run must replay the cold run's architected results exactly (the
+# binary asserts it) and should start at fast fraction ~1.0 in epoch 0.
+./target/release/sim_warm --scale "$SCALE" --json-out BENCH_warm.json
+
+echo "bench: wrote BENCH_fastsim.json, BENCH_batch.json, BENCH_cache.json, BENCH_obs.json and BENCH_warm.json"

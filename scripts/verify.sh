@@ -94,6 +94,44 @@ grep -q '"schema":"facile-timeline/v1"' "$tmp/tl.json"
 ./target/release/sim_timeline "$tmp/tl.json" | grep -q 'fast-fraction per epoch'
 grep -q '"epoch":0,' "$tmp/tl.jsonl"
 
+echo "==> smoke: action-cache snapshot round-trip (docs/PERSISTENCE.md)"
+# A cold run saves its cache; a warm run loads it and must print the
+# same architectural results (halt reason, insns, cycles, ipc, program
+# output). The warm run legitimately differs on the replay-side lines:
+# fast-fwd reaches 100%, memoized stays 0 (nothing new is recorded),
+# and speed changes.
+./target/release/facilec --builtin ooo --run "$tmp/loop.asm" \
+    --cache-save "$tmp/loop.facsnap" \
+    | grep -v 'sim speed\|fast-fwd\|memoized' > "$tmp/cold.txt"
+grep -q 'FACSNAP1' "$tmp/loop.facsnap"
+./target/release/facilec --builtin ooo --run "$tmp/loop.asm" \
+    --cache-load "$tmp/loop.facsnap" > "$tmp/warm_full.txt"
+grep -v 'sim speed\|fast-fwd\|memoized' "$tmp/warm_full.txt" > "$tmp/warm.txt"
+cmp -s "$tmp/cold.txt" "$tmp/warm.txt" \
+    || { echo "verify: warm-start architectural results differ from cold"; \
+         diff "$tmp/cold.txt" "$tmp/warm.txt" || true; exit 1; }
+# The warm run must actually engage the snapshot: pure replay from the
+# first step, no slow-engine recording.
+grep -q 'fast-fwd:    100.000%' "$tmp/warm_full.txt" \
+    || { echo "verify: warm-started run was not pure replay"; exit 1; }
+
+echo "==> smoke: corrupted snapshot header falls back to a cold run"
+# Any header damage must degrade to a clean cold start: a warning on
+# stderr, exit 0, and output bit-identical to a never-warmed run
+# (only the timing line may differ).
+./target/release/facilec --builtin ooo --run "$tmp/loop.asm" \
+    | grep -v 'sim speed' > "$tmp/cold_ref.txt"
+cp "$tmp/loop.facsnap" "$tmp/bad.facsnap"
+printf 'XX' | dd of="$tmp/bad.facsnap" bs=1 seek=0 conv=notrunc 2>/dev/null
+./target/release/facilec --builtin ooo --run "$tmp/loop.asm" \
+    --cache-load "$tmp/bad.facsnap" 2> "$tmp/bad_err.txt" \
+    | grep -v 'sim speed' > "$tmp/bad_run.txt"
+grep -q 'starting cold' "$tmp/bad_err.txt" \
+    || { echo "verify: corrupted snapshot load did not warn"; exit 1; }
+cmp -s "$tmp/cold_ref.txt" "$tmp/bad_run.txt" \
+    || { echo "verify: rejected snapshot did not fall back to a cold run"; \
+         diff "$tmp/cold_ref.txt" "$tmp/bad_run.txt" || true; exit 1; }
+
 echo "==> smoke: supertrace on/off digest equality"
 # Superaction compilation is a replay-speed optimization only: the same
 # workload run with trace compilation forced on (low threshold) and off
@@ -168,6 +206,22 @@ tail -n 1 "$tmp/batch_h.jsonl" | grep -q '"label":"batch(4 jobs)"'
 tail -n 1 "$tmp/batch_tl.jsonl" | grep -q '"label":"batch(4 jobs)"'
 [ "$(grep -c '"epoch_fast_fraction"' "$tmp/progress.jsonl")" -eq 4 ] \
     || { echo "verify: batch --progress heartbeats lack epoch fields"; exit 1; }
+# Warm batch: every lane installs the same read-only snapshot
+# (copy-on-write, docs/PERSISTENCE.md) and the merged documents must
+# satisfy the same exactness gates with identical summed counters.
+./target/release/facilec --builtin functional --run "$tmp/loop.asm" \
+    --cache-save "$tmp/func.facsnap" > /dev/null
+./target/release/facilec --builtin functional batch --jobs "$tmp/jobs.txt" \
+    --threads 4 --cache-load "$tmp/func.facsnap" \
+    --metrics-out "$tmp/warm_m.jsonl" \
+    --timeline-out "$tmp/warm_tl.jsonl" --timeline-epoch 32 > /dev/null
+tail -n 1 "$tmp/warm_m.jsonl" | grep -q '"insns":1216'
+tail -n 1 "$tmp/warm_m.jsonl" | grep -q '"slow_steps":0'
+./target/release/sim_timeline "$tmp/warm_tl.jsonl" --check
+./target/release/sim_timeline "$tmp/warm_tl.jsonl" --merge-check
+# The merged document pins one snapshot image per lane.
+tail -n 1 "$tmp/warm_tl.jsonl" | grep -q '"frozen_gens":4' \
+    || { echo "verify: warm batch lanes did not pin the shared snapshot"; exit 1; }
 
 if [ "$(nproc)" -ge 2 ]; then
     echo "==> perf smoke: batch throughput beats serial (multi-core host)"
