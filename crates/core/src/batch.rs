@@ -34,6 +34,7 @@ use crate::{
     CompiledStep, HotConfig, HotDoc, MetricsDoc, ObsConfig, ObsHandle, ProfileDoc, SimError,
     SimOptions, Simulation, TimelineConfig, TimelineDoc,
 };
+use facile_obs::EpochRecord;
 use facile_runtime::{HaltReason, Image, Target};
 use facile_vm::ArgValue;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -124,6 +125,12 @@ pub struct JobOutcome {
     pub steps: u64,
     /// This lane's wall-clock, nanoseconds.
     pub wall_ns: u64,
+    /// Digest of the lane's final target memory — the bit-identity
+    /// witness drivers compare across execution paths (batch vs serve
+    /// vs a direct run of the same job).
+    pub digest: u64,
+    /// The program's `out` values, in emission order.
+    pub out: Vec<i64>,
     /// The per-job metrics document (with registry iff `observe`).
     pub metrics: MetricsDoc,
     /// The per-job profile document, when profiling was requested.
@@ -170,7 +177,12 @@ impl BatchResult {
 /// documents that do not describe the same compiled program.
 #[derive(Clone, Debug)]
 pub enum BatchError {
-    /// Job `index` failed during construction or binding.
+    /// The submitted job list was empty. Folding an empty batch has no
+    /// meaningful merged document, so this is a structured error rather
+    /// than an empty result (it used to be a `done[0]` index panic).
+    NoJobs,
+    /// Job `index` failed during construction, binding, or by
+    /// panicking inside the worker (see [`SimError::Panic`]).
     Job {
         /// Submission index of the failing job.
         index: usize,
@@ -184,6 +196,7 @@ pub enum BatchError {
 impl std::fmt::Display for BatchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            BatchError::NoJobs => write!(f, "no jobs were submitted"),
             BatchError::Job { index, error } => write!(f, "job {index}: {error}"),
             BatchError::Merge(m) => write!(f, "merge: {m}"),
         }
@@ -201,15 +214,21 @@ impl std::error::Error for BatchError {}
 ///
 /// # Errors
 ///
-/// Fails on the first lane whose construction or binding fails (lowest
-/// submission index wins), or if profile folding detects mismatched
-/// action tables — impossible when all jobs share `step`, but checked.
+/// Rejects an empty job list ([`BatchError::NoJobs`]); fails on the
+/// first lane whose construction or binding fails or that panicked in
+/// flight (lowest submission index wins, surfaced as a structured
+/// [`SimError`] — the panic is caught per job, never unwinding the
+/// pool); or if profile folding detects mismatched action tables —
+/// impossible when all jobs share `step`, but checked.
 pub fn run_batch(
     step: Arc<CompiledStep>,
     jobs: Vec<BatchJob>,
     config: &BatchConfig,
 ) -> Result<BatchResult, BatchError> {
     let n = jobs.len();
+    if n == 0 {
+        return Err(BatchError::NoJobs);
+    }
     let threads = effective_threads(config.threads, n);
     let slots: Vec<Mutex<Option<BatchJob>>> =
         jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
@@ -230,10 +249,24 @@ pub fn run_batch(
                     .unwrap_or_else(|e| e.into_inner())
                     .take()
                     .expect("each job index is dispensed once");
-                let out = run_one(&step, job, config);
-                if let (Some(cb), Ok(o)) = (&config.progress, &out) {
-                    cb(o);
-                }
+                let label = job.label.clone();
+                // A panicking job or progress callback must not unwind
+                // `thread::scope` (which would abort every in-flight
+                // lane and leave `None` outcome slots behind): catch it
+                // here and surface a structured per-job error instead.
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let out = run_one(&step, job, config, None);
+                    if let (Some(cb), Ok(o)) = (&config.progress, &out) {
+                        cb(o);
+                    }
+                    out
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(SimError::Panic(format!(
+                        "job `{label}`: {}",
+                        panic_message(payload.as_ref())
+                    )))
+                });
                 *outcomes[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
             });
         }
@@ -292,9 +325,21 @@ pub fn run_batch(
     })
 }
 
+/// Renders a caught panic payload; `panic!` carries `&str` or `String`,
+/// anything else gets a placeholder.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Resolves the thread-count knob: `0` = available parallelism, and
 /// never more workers than jobs.
-fn effective_threads(requested: usize, jobs: usize) -> usize {
+pub(crate) fn effective_threads(requested: usize, jobs: usize) -> usize {
     let t = if requested == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
@@ -303,11 +348,19 @@ fn effective_threads(requested: usize, jobs: usize) -> usize {
     t.clamp(1, jobs.max(1))
 }
 
+/// A per-closed-epoch observer: the epoch's index and record.
+pub(crate) type EpochCallback<'a> = Option<&'a dyn Fn(u64, &EpochRecord)>;
+
 /// Builds, runs, and snapshots one lane.
-fn run_one(
+///
+/// `epoch_cb` (serve heartbeats) fires once per *closed* timeline epoch
+/// with the epoch's index and record; it is `None` for plain batches
+/// and ignored unless [`BatchConfig::timeline`] sliced the drive.
+pub(crate) fn run_one(
     step: &Arc<CompiledStep>,
     job: BatchJob,
     config: &BatchConfig,
+    epoch_cb: EpochCallback<'_>,
 ) -> Result<JobOutcome, SimError> {
     let mut sim = Simulation::new(
         step.clone(),
@@ -360,9 +413,26 @@ fn run_one(
         Some(epoch) => {
             let slice = epoch.max(1);
             let mut left = job.max_steps;
+            let mut seen_epochs = 0u64;
             loop {
                 let halt = sim.run_steps(slice.min(left));
                 left = left.saturating_sub(slice);
+                if let Some(cb) = epoch_cb {
+                    // Serve heartbeats: emit every epoch the slice just
+                    // closed, in order, exactly once.
+                    if let Some(t) = sim.obs().timeline() {
+                        let total = t.epochs_total();
+                        let dropped = total.saturating_sub(t.epochs.len() as u64);
+                        // Epochs evicted into `dropped_sum` before this
+                        // poll are gone; heartbeats resume at the
+                        // oldest retained one.
+                        seen_epochs = seen_epochs.max(dropped);
+                        while seen_epochs < total {
+                            cb(seen_epochs, &t.epochs[(seen_epochs - dropped) as usize]);
+                            seen_epochs += 1;
+                        }
+                    }
+                }
                 if halt.is_some() || left == 0 {
                     break halt;
                 }
@@ -387,6 +457,8 @@ fn run_one(
         halt,
         steps: sim.stats().fast_steps + sim.stats().slow_steps,
         wall_ns,
+        digest: sim.memory().digest(),
+        out: sim.trace().to_vec(),
         metrics,
         profile,
         hot,
@@ -673,6 +745,77 @@ mod tests {
         assert_eq!(calls.load(Ordering::SeqCst), 5);
         let total: u64 = result.jobs.iter().map(|j| j.steps).sum();
         assert_eq!(seen_steps.load(Ordering::SeqCst), total);
+    }
+
+    /// An empty job list is a structured error, not the `done[0]` index
+    /// panic it used to be: a daemon submitting whatever a client sent
+    /// must get an `Err` it can turn into an error frame.
+    #[test]
+    fn empty_job_list_is_a_structured_error_not_a_panic() {
+        let result = run_batch(shared_step(), vec![], &BatchConfig::default());
+        assert!(
+            matches!(result, Err(BatchError::NoJobs)),
+            "empty batch must fail structurally"
+        );
+        let msg = result.err().map(|e| e.to_string()).unwrap_or_default();
+        assert!(msg.contains("no jobs"), "message names the problem: {msg}");
+    }
+
+    /// A panicking progress callback used to unwind `thread::scope`,
+    /// aborting every in-flight lane and leaving `None` outcome slots
+    /// behind the `unreachable!` arm. Now the unwind is caught per job
+    /// and surfaced as a structured [`SimError::Panic`] — the other
+    /// lanes keep running and the batch fails cleanly.
+    #[test]
+    fn panicking_progress_callback_is_a_structured_error() {
+        let config = BatchConfig {
+            threads: 2,
+            progress: Some(Box::new(|o: &JobOutcome| {
+                if o.label == "job1" {
+                    panic!("deliberate test panic in job1's heartbeat");
+                }
+            })),
+            ..BatchConfig::default()
+        };
+        let result = run_batch(shared_step(), jobs(4), &config);
+        match result {
+            Err(BatchError::Job { index, error: SimError::Panic(m) }) => {
+                assert_eq!(index, 1, "the panicking job's submission index");
+                assert!(m.contains("deliberate test panic"), "payload preserved: {m}");
+                assert!(m.contains("job1"), "label named: {m}");
+            }
+            Err(e) => panic!("wrong error shape: {e}"),
+            Ok(_) => panic!("a panicking callback must fail the batch"),
+        }
+    }
+
+    /// The outcome's digest and `out` trace are the bit-identity
+    /// witnesses the serve path compares against a direct run: same
+    /// job, same digest, regardless of driver.
+    #[test]
+    fn outcome_digest_matches_a_direct_run() {
+        let step = shared_step();
+        let result = run_batch(
+            step.clone(),
+            jobs(2),
+            &BatchConfig { threads: 2, ..BatchConfig::default() },
+        )
+        .expect("batch runs");
+
+        let image = assemble_image(LOOP_ASM, 0x1_0000, vec![]).expect("assembles");
+        let mut sim = Simulation::new(
+            step,
+            Target::load(&image),
+            &initial_args::functional(image.entry),
+            SimOptions::default(),
+        )
+        .expect("constructs");
+        ArchHost::new().bind(&mut sim).expect("binds");
+        sim.run_steps(u64::MAX >> 1);
+        for j in &result.jobs {
+            assert_eq!(j.digest, sim.memory().digest(), "{} digest", j.label);
+            assert_eq!(j.out, sim.trace().to_vec(), "{} out trace", j.label);
+        }
     }
 
     /// Thread count never exceeds the job count, and a serial (1-thread)

@@ -53,6 +53,21 @@
 //! works in batch mode too (per-job docs then the merged doc), and
 //! `--progress` prints one JSONL heartbeat line to stderr as each job
 //! completes.
+//!
+//! Serve mode turns the same substrate into a long-running job daemon
+//! (ROADMAP item 3, `docs/SERVING.md`):
+//!
+//! ```text
+//! facilec --builtin ooo serve --addr 127.0.0.1:7634 --threads 4
+//! ```
+//!
+//! Clients speak length-prefixed JSON frames over TCP; every job
+//! shares the one compiled step (and `--cache-load` warm snapshot).
+//! The daemon prints `serving on <addr>` when ready, streams per-job
+//! results (documents and epoch heartbeats on request), rejects
+//! overflow with `queue_full` backpressure, and drains gracefully on
+//! SIGTERM/SIGINT or a client `shutdown` frame, printing its
+//! `facile-serve/v1` lifetime counters on exit.
 
 use facile::{compile_source, CachePolicy, CompilerOptions, SimOptions, TimelineConfig};
 use std::process::ExitCode;
@@ -74,6 +89,9 @@ fn main() -> ExitCode {
     let mut timeline_epoch: u64 = TimelineConfig::default().epoch_steps;
     let mut progress = false;
     let mut batch = false;
+    let mut serve = false;
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut queue_cap: usize = 64;
     let mut jobs_file: Option<String> = None;
     let mut threads: usize = 0;
     let mut cache_capacity: Option<u64> = None;
@@ -86,6 +104,27 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "batch" => batch = true,
+            "serve" => serve = true,
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => addr = v.clone(),
+                    None => {
+                        eprintln!("facilec: --addr requires host:port");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--queue-cap" => {
+                i += 1;
+                queue_cap = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("facilec: --queue-cap requires a depth >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--supertrace" => {
                 i += 1;
                 supertrace = match args.get(i).map(String::as_str) {
@@ -292,6 +331,11 @@ fn main() -> ExitCode {
                 eprintln!("         after the run; --cache-load warm-starts from one (a stale or");
                 eprintln!("         corrupt snapshot falls back to a cold start, never an error;");
                 eprintln!("         batch lanes share one loaded snapshot copy-on-write)");
+                eprintln!("       facilec --builtin ooo serve [--addr host:port] [--threads K]");
+                eprintln!("               [--queue-cap N] [--timeline-epoch N] [--cache-load snap]");
+                eprintln!("         long-running job daemon over a length-prefixed JSON frame");
+                eprintln!("         protocol (docs/SERVING.md); prints `serving on <addr>` when");
+                eprintln!("         ready, drains and exits on SIGTERM/SIGINT or a shutdown frame");
                 return ExitCode::SUCCESS;
             }
             f if !f.starts_with('-') => file = Some(f.to_owned()),
@@ -345,6 +389,31 @@ fn main() -> ExitCode {
         }
     };
 
+    if serve {
+        let src_name = file
+            .clone()
+            .or_else(|| builtin.as_ref().map(|b| format!("<builtin:{b}>")))
+            .unwrap_or_else(|| "<source>".to_owned());
+        let sim_options = SimOptions {
+            cache_capacity,
+            cache_policy,
+            supertrace,
+            supertrace_threshold,
+            ..SimOptions::default()
+        };
+        return run_serve_cmd(
+            step,
+            &src,
+            &src_name,
+            &builtin,
+            &addr,
+            threads,
+            queue_cap,
+            timeline_epoch,
+            sim_options,
+            cache_load,
+        );
+    }
     if batch {
         let Some(jobs_path) = jobs_file else {
             eprintln!("facilec: batch requires --jobs <file>");
@@ -605,7 +674,12 @@ fn run_batch_cmd(
         });
     }
     if jobs.is_empty() {
-        eprintln!("facilec: {jobs_path}: no jobs");
+        // `run_batch` would reject this too (`BatchError::NoJobs`, once
+        // a `done[0]` panic); name the cause at the source instead.
+        eprintln!(
+            "facilec: {jobs_path}: no jobs — every line is blank or a comment; \
+             list one `<prog.asm> [max-steps]` per line"
+        );
         return ExitCode::FAILURE;
     }
 
@@ -770,6 +844,117 @@ fn run_batch_cmd(
         result.aggregate_steps_per_sec(),
         result.wall_ns as f64 / 1e9
     );
+    ExitCode::SUCCESS
+}
+
+/// SIGTERM/SIGINT handling for the serve daemon, dependency-free: std
+/// already links libc, so the C `signal` entry point is declarable
+/// directly. The handler only stores an atomic flag (async-signal-safe);
+/// a watcher thread turns the flag into a graceful drain.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            let handler = on_signal as *const () as usize;
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod term_signal {
+    use std::sync::atomic::AtomicBool;
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+    pub fn install() {}
+}
+
+/// Starts the job daemon and blocks until a drain finishes — requested
+/// by a client `shutdown` frame or by SIGTERM/SIGINT.
+#[allow(clippy::too_many_arguments)]
+fn run_serve_cmd(
+    step: facile::CompiledStep,
+    src: &str,
+    src_name: &str,
+    builtin: &Option<String>,
+    addr: &str,
+    threads: usize,
+    queue_cap: usize,
+    timeline_epoch: u64,
+    sim_options: SimOptions,
+    cache_load: Option<String>,
+) -> ExitCode {
+    use facile::batch::ProfileSource;
+    use facile::serve::{ServeConfig, Server};
+    use std::io::Write as _;
+
+    let warm = cache_load.as_ref().and_then(|path| {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("facilec: warning: --cache-load {path}: {e}; lanes start cold");
+                return None;
+            }
+        };
+        match facile::snapshot::parse(&bytes) {
+            Ok(s) => Some(std::sync::Arc::new(s)),
+            Err(e) => {
+                eprintln!("facilec: warning: --cache-load {path}: {e}; lanes start cold");
+                None
+            }
+        }
+    });
+    let config = ServeConfig {
+        addr: addr.to_owned(),
+        threads,
+        queue_cap,
+        epoch_steps: timeline_epoch,
+        arch: builtin.clone().unwrap_or_else(|| "functional".to_owned()),
+        options: sim_options,
+        source: Some(ProfileSource {
+            file: src_name.to_owned(),
+            src: src.to_owned(),
+        }),
+        warm,
+    };
+    let server = match Server::start(std::sync::Arc::new(step), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("facilec: cannot serve on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The readiness line scripts wait for — flushed immediately so a
+    // pipe reader sees it before the first client connects.
+    println!("serving on {}", server.addr());
+    let _ = std::io::stdout().flush();
+
+    term_signal::install();
+    let trigger = server.shutdown_trigger();
+    std::thread::spawn(move || loop {
+        if term_signal::REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+            trigger.trigger();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+
+    let counters = server.join();
+    println!("{}", counters.to_json());
     ExitCode::SUCCESS
 }
 

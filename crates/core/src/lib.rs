@@ -59,10 +59,20 @@
 //! metrics/profile documents merge into batch documents that satisfy
 //! the same exactness invariants as a single run. `facilec batch` and
 //! the `sim_batch` bench binary are the command-line fronts.
+//!
+//! # Simulation as a service
+//!
+//! [`serve`] wraps the batch substrate in a long-running job daemon:
+//! `facilec serve` binds a TCP socket, speaks a dependency-free
+//! length-prefixed JSON frame protocol, and feeds client-submitted
+//! jobs through a bounded queue into the same worker pool — one
+//! compiled step and one warm snapshot amortized across every client
+//! (see `docs/SERVING.md`).
 
 pub mod batch;
 pub mod hosts;
 pub mod obs;
+pub mod serve;
 pub mod sims;
 
 pub use facile_bta::LiftConfig;

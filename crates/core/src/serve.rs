@@ -1,0 +1,1112 @@
+//! Simulation-as-a-service: the `facilec serve` job daemon.
+//!
+//! The paper's pitch is that a compiled, memoizing simulator makes
+//! re-simulation cheap enough to run constantly. This module turns the
+//! batch driver into a long-running service so its amortized artifacts —
+//! one [`Arc<CompiledStep>`], one frozen warm snapshot shared
+//! copy-on-write (PR 9) — serve many clients over a TCP socket instead
+//! of one job file. The workspace builds fully offline, so the protocol
+//! is hand-rolled: length-prefixed JSON frames (see `docs/SERVING.md`).
+//!
+//! # Frame format
+//!
+//! Every message, both directions, is one frame:
+//!
+//! ```text
+//! <body-length as ASCII decimal>\n<body bytes>
+//! ```
+//!
+//! The body is one JSON object. Requests carry an `op` — `ping`,
+//! `stats`, `sim`, `shutdown` — and responses echo `"ok":true/false`
+//! plus the client-chosen job `id` where one applies. A `sim` job is
+//! answered with an `accepted` frame, optional `epoch` heartbeats
+//! (PR 8's timeline slicing), and finally one `result` or `error`
+//! frame.
+//!
+//! # Hardening
+//!
+//! The daemon survives what batch never had to:
+//!
+//! * **Malformed frames** — an unparsable length header is `bad_frame`
+//!   and closes the connection (the stream cannot resync); a
+//!   well-framed body that is not a valid request is `bad_request` and
+//!   the connection stays usable.
+//! * **Queue overflow** — the job queue is bounded; a full queue
+//!   rejects with a structured `queue_full` error immediately, never
+//!   blocking the accept loop (honest backpressure).
+//! * **Mid-job disconnects** — result and heartbeat writes to a dead
+//!   client are dropped, the job completes, the worker moves on.
+//! * **Panicking jobs** — the worker wraps each job in
+//!   `catch_unwind`, exactly like the batch pool, and answers with a
+//!   `job_panicked` error frame.
+//! * **Graceful drain** — `shutdown` (or [`ShutdownTrigger`], wired to
+//!   SIGTERM in `facilec serve`) stops the accept loop, closes the
+//!   queue, lets the workers finish every queued job and deliver its
+//!   result, then severs connections.
+
+use crate::batch::{panic_message, run_one, BatchConfig, BatchJob, ProfileSource};
+use crate::hosts::initial_args;
+use crate::{CompiledStep, EpochRecord, SimError, SimOptions};
+use facile_obs::json::{escape_into, parse, Value};
+use facile_obs::ServeCounters;
+use facile_runtime::CachePolicy;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted frame body, in bytes. Assembly programs are small;
+/// anything past this is a confused or hostile client.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// Largest accepted length header (digits before the newline).
+const HEADER_MAX: usize = 10;
+
+/// How often the accept loop polls its shutdown flag between
+/// non-blocking accepts.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+// ---------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------
+
+/// Why reading one frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly between frames.
+    Eof,
+    /// The length header was not a decimal length (stream cannot
+    /// resync past this; close the connection).
+    BadHeader(String),
+    /// The declared body length exceeds [`MAX_FRAME`].
+    TooBig(usize),
+    /// The underlying transport failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::BadHeader(h) => write!(f, "bad frame header {h:?}"),
+            FrameError::TooBig(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            FrameError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame and flushes it.
+///
+/// # Errors
+///
+/// Propagates the transport error; the caller decides whether the
+/// connection is dead.
+pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
+    // One write call per frame keeps concurrent writers (workers
+    // sharing a connection) from interleaving header and body.
+    let mut msg = Vec::with_capacity(body.len() + HEADER_MAX + 1);
+    msg.extend_from_slice(body.len().to_string().as_bytes());
+    msg.push(b'\n');
+    msg.extend_from_slice(body.as_bytes());
+    w.write_all(&msg)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame body.
+///
+/// # Errors
+///
+/// [`FrameError::Eof`] on a clean close before any header byte;
+/// [`FrameError::BadHeader`] when the header is not a plain decimal
+/// length (including an oversized header and a header interrupted by
+/// EOF); [`FrameError::TooBig`] / [`FrameError::Io`] as named.
+pub fn read_frame(r: &mut impl BufRead) -> Result<String, FrameError> {
+    let mut header = Vec::with_capacity(HEADER_MAX + 1);
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) if header.is_empty() => return Err(FrameError::Eof),
+            Ok(0) => {
+                return Err(FrameError::BadHeader(
+                    String::from_utf8_lossy(&header).into_owned(),
+                ))
+            }
+            Ok(_) => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        header.push(byte[0]);
+        if header.len() > HEADER_MAX {
+            return Err(FrameError::BadHeader(
+                String::from_utf8_lossy(&header).into_owned(),
+            ));
+        }
+    }
+    let text = String::from_utf8_lossy(&header).into_owned();
+    let len: usize = match text.trim_end_matches('\r').parse() {
+        Ok(n) => n,
+        Err(_) => return Err(FrameError::BadHeader(text)),
+    };
+    if len > MAX_FRAME {
+        return Err(FrameError::TooBig(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(FrameError::Io)?;
+    String::from_utf8(body).map_err(|_| FrameError::BadHeader("non-utf8 body".to_owned()))
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Daemon configuration; everything a `facilec serve` flag can set.
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (the chosen
+    /// address is [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Bounded job-queue depth; a push past this rejects with
+    /// `queue_full`.
+    pub queue_cap: usize,
+    /// Epoch interval (steps) for heartbeats and requested timelines.
+    pub epoch_steps: u64,
+    /// Which shipped micro-architecture the compiled step models —
+    /// `functional`, `inorder` or `ooo` — selecting the initial `main`
+    /// arguments for every job.
+    pub arch: String,
+    /// Default engine options; a job's `options` object overrides
+    /// field-wise.
+    pub options: SimOptions,
+    /// Source text, for jobs that request a profile document.
+    pub source: Option<ProfileSource>,
+    /// A warm snapshot every lane starts from, shared copy-on-write
+    /// exactly as in batch mode (validated per lane; mismatches run
+    /// cold).
+    pub warm: Option<Arc<facile_vm::snapshot::LoadedSnapshot>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 0,
+            queue_cap: 64,
+            epoch_steps: facile_obs::DEFAULT_EPOCH_STEPS,
+            arch: "functional".to_owned(),
+            options: SimOptions::default(),
+            source: None,
+            warm: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internals: connection writer, job queue, shared state
+// ---------------------------------------------------------------------
+
+/// The write half of one client connection, shared between the reader
+/// thread (acks, errors) and every worker that picked up one of its
+/// jobs (heartbeats, results). A failed write marks the connection
+/// dead; later frames to it are dropped silently — a disconnected
+/// client must not wedge a worker.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter {
+            stream: Mutex::new(stream),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    /// Sends one frame; `false` when the client is (or just became)
+    /// unreachable.
+    fn send(&self, body: &str) -> bool {
+        if !self.alive.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        if write_frame(&mut *s, body).is_err() {
+            self.alive.store(false, Ordering::Release);
+            return false;
+        }
+        true
+    }
+
+    /// Severs the connection in both directions, unblocking its reader.
+    fn sever(&self) {
+        self.alive.store(false, Ordering::Release);
+        let s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// One accepted simulation job, parked until a worker picks it up.
+struct QueuedJob {
+    id: u64,
+    job: BatchJob,
+    want: WantDocs,
+    heartbeat: bool,
+    conn: Arc<ConnWriter>,
+}
+
+/// Which per-job documents the client asked to have embedded in the
+/// result frame.
+#[derive(Clone, Copy, Default)]
+struct WantDocs {
+    metrics: bool,
+    profile: bool,
+    hot: bool,
+    timeline: bool,
+}
+
+/// Why a job could not be queued.
+enum PushError {
+    /// The queue is at capacity — honest backpressure, reject now.
+    Full,
+    /// The daemon is draining; no new work.
+    Closed,
+}
+
+struct QueueInner {
+    jobs: VecDeque<QueuedJob>,
+    closed: bool,
+    peak: u64,
+}
+
+/// Bounded MPMC job queue: readers push (failing fast on overflow),
+/// workers block on pop until a job arrives or the queue closes empty.
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+                peak: 0,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn push(&self, job: QueuedJob) -> Result<(), PushError> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.closed {
+            return Err(PushError::Closed);
+        }
+        if q.jobs.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        q.jobs.push_back(job);
+        q.peak = q.peak.max(q.jobs.len() as u64);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` once the queue is
+    /// closed **and** drained — the drain-then-exit contract.
+    fn pop(&self) -> Option<QueuedJob> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = q.jobs.pop_front() {
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+
+    fn peak(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).peak
+    }
+}
+
+/// Everything the accept loop, reader threads, and workers share.
+struct Shared {
+    step: Arc<CompiledStep>,
+    queue: JobQueue,
+    counters: Mutex<ServeCounters>,
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<Arc<ConnWriter>>>,
+    epoch_steps: u64,
+    arch: String,
+    options: SimOptions,
+    source: Option<(String, String)>,
+    warm: Option<Arc<facile_vm::snapshot::LoadedSnapshot>>,
+}
+
+impl Shared {
+    fn count(&self, f: impl FnOnce(&mut ServeCounters)) {
+        f(&mut self.counters.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+
+    fn stats(&self) -> ServeCounters {
+        let mut c = self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        c.queue_peak = self.queue.peak();
+        c
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------
+
+/// A handle that requests a graceful drain from another thread —
+/// `facilec serve` hands one to its SIGTERM watcher.
+#[derive(Clone)]
+pub struct ShutdownTrigger(Arc<Shared>);
+
+impl ShutdownTrigger {
+    /// Requests drain-then-exit; idempotent.
+    pub fn trigger(&self) {
+        self.0.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// A running job daemon. Constructed bound and serving; consumed by
+/// [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns
+    /// immediately; the daemon serves until `shutdown` is requested.
+    ///
+    /// # Errors
+    ///
+    /// Only transport setup can fail: bind or the non-blocking switch.
+    pub fn start(step: Arc<CompiledStep>, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            config.threads
+        };
+        let shared = Arc::new(Shared {
+            step,
+            queue: JobQueue::new(config.queue_cap),
+            counters: Mutex::new(ServeCounters::default()),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            epoch_steps: config.epoch_steps.max(1),
+            arch: config.arch,
+            options: config.options,
+            source: config.source.map(|p| (p.file, p.src)),
+            warm: config.warm,
+        });
+
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    while let Some(q) = shared.queue.pop() {
+                        run_job(&shared, q);
+                    }
+                })
+            })
+            .collect();
+
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable handle that requests shutdown from anywhere.
+    pub fn shutdown_trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger(self.shared.clone())
+    }
+
+    /// Whether a drain has been requested (by a `shutdown` frame or a
+    /// trigger).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Blocks until shutdown is requested, drains the queue — every
+    /// already-accepted job runs and its result frame is delivered —
+    /// then severs connections and returns the lifetime counters.
+    pub fn join(mut self) -> ServeCounters {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Past this point no reader can enqueue (pushes fail Closed →
+        // `shutting_down` error frames), but queued jobs still run.
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Results are all delivered; now unblock the reader threads.
+        let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for c in &conns {
+            c.sever();
+        }
+        self.shared.stats()
+    }
+}
+
+/// The accept loop: non-blocking accepts with a shutdown poll between
+/// them, so a drain request is honored within [`ACCEPT_POLL`] even
+/// with no client traffic.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.count(|c| c.connections += 1);
+                let _ = stream.set_nonblocking(false);
+                let writer = match stream.try_clone() {
+                    Ok(w) => Arc::new(ConnWriter::new(w)),
+                    Err(_) => continue,
+                };
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(writer.clone());
+                let shared = shared.clone();
+                std::thread::spawn(move || serve_conn(stream, &writer, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// One connection's reader: parse frames, answer control ops inline,
+/// queue `sim` jobs. Returns (ending the thread) on EOF, an
+/// unrecoverable frame error, or a severed stream.
+fn serve_conn(stream: TcpStream, writer: &Arc<ConnWriter>, shared: &Arc<Shared>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(b) => b,
+            Err(FrameError::Eof) => {
+                writer.alive.store(false, Ordering::Release);
+                return;
+            }
+            Err(e @ (FrameError::BadHeader(_) | FrameError::TooBig(_))) => {
+                // The stream cannot resync after a bad header: answer
+                // once, then close.
+                shared.count(|c| c.bad_frames += 1);
+                writer.send(&error_frame(None, "bad_frame", &e.to_string()));
+                writer.sever();
+                return;
+            }
+            Err(FrameError::Io(_)) => {
+                writer.alive.store(false, Ordering::Release);
+                return;
+            }
+        };
+        let req = match parse(&body) {
+            Ok(v) => v,
+            Err(e) => {
+                // Well-framed garbage: report it, keep the connection.
+                shared.count(|c| c.bad_requests += 1);
+                writer.send(&error_frame(None, "bad_request", &e.to_string()));
+                continue;
+            }
+        };
+        let id = req.get("id").and_then(Value::as_u64);
+        match req.get("op").and_then(Value::as_str) {
+            Some("ping") => {
+                writer.send("{\"ok\":true,\"op\":\"pong\"}");
+            }
+            Some("stats") => {
+                let mut s = String::from("{\"ok\":true,\"op\":\"stats\",\"serve\":");
+                s.push_str(&shared.stats().to_json());
+                s.push('}');
+                writer.send(&s);
+            }
+            Some("shutdown") => {
+                writer.send("{\"ok\":true,\"op\":\"shutdown\"}");
+                shared.shutdown.store(true, Ordering::Release);
+            }
+            Some("sim") => handle_sim(&req, id, writer, shared),
+            _ => {
+                shared.count(|c| c.bad_requests += 1);
+                writer.send(&error_frame(id, "bad_request", "missing or unknown `op`"));
+            }
+        }
+    }
+}
+
+/// Parses and queues one `sim` request, answering `accepted` or a
+/// structured rejection.
+fn handle_sim(req: &Value, id: Option<u64>, writer: &Arc<ConnWriter>, shared: &Arc<Shared>) {
+    let id = id.unwrap_or(0);
+    let Some(asm) = req.get("asm").and_then(Value::as_str) else {
+        shared.count(|c| c.bad_requests += 1);
+        writer.send(&error_frame(Some(id), "bad_request", "`sim` requires `asm`"));
+        return;
+    };
+    let image = match facile_isa::assemble_image(asm, 0x1_0000, vec![]) {
+        Ok(i) => i,
+        Err(e) => {
+            shared.count(|c| c.bad_requests += 1);
+            writer.send(&error_frame(Some(id), "asm_error", &e.to_string()));
+            return;
+        }
+    };
+    let label = req
+        .get("label")
+        .and_then(Value::as_str)
+        .map_or_else(|| format!("serve-job{id}"), str::to_owned);
+    let max_steps = req
+        .get("max_steps")
+        .and_then(Value::as_u64)
+        .unwrap_or(u64::MAX >> 1)
+        .min(u64::MAX >> 1);
+    let mut options = shared.options;
+    if let Some(o) = req.get("options") {
+        if let Some(v) = o.get("memoize") {
+            options.memoize = matches!(v, Value::Bool(true));
+        }
+        if let Some(v) = o.get("supertrace") {
+            options.supertrace = matches!(v, Value::Bool(true));
+        }
+        if let Some(n) = o.get("supertrace_threshold").and_then(Value::as_u64) {
+            options.supertrace_threshold = n.max(1);
+        }
+        if let Some(n) = o.get("cache_capacity").and_then(Value::as_u64) {
+            options.cache_capacity = Some(n);
+        }
+        match o.get("cache_policy").and_then(Value::as_str) {
+            Some("clear") => options.cache_policy = CachePolicy::Clear,
+            Some("generational") => options.cache_policy = CachePolicy::Generational,
+            Some(other) => {
+                shared.count(|c| c.bad_requests += 1);
+                writer.send(&error_frame(
+                    Some(id),
+                    "bad_request",
+                    &format!("unknown cache_policy `{other}`"),
+                ));
+                return;
+            }
+            None => {}
+        }
+    }
+    let mut want = WantDocs::default();
+    if let Some(arr) = req.get("want").and_then(Value::as_arr) {
+        for w in arr {
+            match w.as_str() {
+                Some("metrics") => want.metrics = true,
+                Some("profile") => want.profile = true,
+                Some("hot") => want.hot = true,
+                Some("timeline") => want.timeline = true,
+                _ => {
+                    shared.count(|c| c.bad_requests += 1);
+                    writer.send(&error_frame(
+                        Some(id),
+                        "bad_request",
+                        "`want` entries are metrics|profile|hot|timeline",
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+    if want.profile && shared.source.is_none() {
+        shared.count(|c| c.bad_requests += 1);
+        writer.send(&error_frame(
+            Some(id),
+            "bad_request",
+            "this daemon has no source attached; profile documents unavailable",
+        ));
+        return;
+    }
+    let heartbeat = matches!(req.get("heartbeat"), Some(Value::Bool(true)));
+    let args = match shared.arch.as_str() {
+        "inorder" => initial_args::inorder(image.entry),
+        "ooo" => initial_args::ooo(image.entry),
+        _ => initial_args::functional(image.entry),
+    };
+    let queued = QueuedJob {
+        id,
+        job: BatchJob {
+            label,
+            image,
+            args,
+            options,
+            max_steps,
+        },
+        want,
+        heartbeat,
+        conn: writer.clone(),
+    };
+    match shared.queue.push(queued) {
+        Ok(()) => {
+            shared.count(|c| c.accepted += 1);
+            writer.send(&format!("{{\"ok\":true,\"op\":\"accepted\",\"id\":{id}}}"));
+        }
+        Err(PushError::Full) => {
+            shared.count(|c| c.rejected += 1);
+            writer.send(&error_frame(
+                Some(id),
+                "queue_full",
+                "job queue is at capacity; retry later",
+            ));
+        }
+        Err(PushError::Closed) => {
+            writer.send(&error_frame(
+                Some(id),
+                "shutting_down",
+                "daemon is draining; no new jobs",
+            ));
+        }
+    }
+}
+
+/// Runs one queued job on a worker: the batch lane runner under a
+/// panic shield, streaming heartbeats, then one result or error frame.
+fn run_job(shared: &Arc<Shared>, q: QueuedJob) {
+    let QueuedJob {
+        id,
+        job,
+        want,
+        heartbeat,
+        conn,
+    } = q;
+    let label = job.label.clone();
+    let config = BatchConfig {
+        threads: 1,
+        observe: true,
+        bind_arch: true,
+        profile: if want.profile {
+            shared.source.as_ref().map(|(file, src)| ProfileSource {
+                file: file.clone(),
+                src: src.clone(),
+            })
+        } else {
+            None
+        },
+        hot: want.hot.then_some(1),
+        timeline: (want.timeline || heartbeat).then_some(shared.epoch_steps),
+        progress: None,
+        warm: shared.warm.clone(),
+    };
+    let epoch_cb = |epoch: u64, rec: &EpochRecord| {
+        let frame = format!(
+            "{{\"ok\":true,\"op\":\"epoch\",\"id\":{id},\"epoch\":{epoch},\
+             \"steps\":{},\"insns\":{},\"misses\":{},\"fast_fraction\":{:.6}}}",
+            rec.steps(),
+            rec.insns(),
+            rec.misses,
+            rec.fast_fraction(),
+        );
+        if conn.send(&frame) {
+            shared.count(|c| c.heartbeats += 1);
+        }
+    };
+    let cb: crate::batch::EpochCallback<'_> = if heartbeat { Some(&epoch_cb) } else { None };
+    // The same shield the batch pool holds: one panicking job answers
+    // with an error frame instead of killing the worker.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_one(&shared.step, job, &config, cb)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(SimError::Panic(format!(
+            "job `{label}`: {}",
+            panic_message(payload.as_ref())
+        )))
+    });
+    match outcome {
+        Ok(o) => {
+            shared.count(|c| c.completed += 1);
+            if !conn.send(&result_frame(id, &o, want)) {
+                shared.count(|c| c.disconnects += 1);
+            }
+        }
+        Err(e) => {
+            shared.count(|c| c.failed += 1);
+            let code = match &e {
+                SimError::Panic(_) => "job_panicked",
+                _ => "sim_error",
+            };
+            if !conn.send(&error_frame(Some(id), code, &e.to_string())) {
+                shared.count(|c| c.disconnects += 1);
+            }
+        }
+    }
+}
+
+/// Renders one result frame: the scalar outcome (digest as a hex
+/// string — JSON numbers are lossy past 2^53), plus any requested
+/// documents embedded verbatim.
+fn result_frame(id: u64, o: &crate::batch::JobOutcome, want: WantDocs) -> String {
+    let mut s = String::with_capacity(256);
+    let _ = write!(s, "{{\"ok\":true,\"op\":\"result\",\"id\":{id},\"label\":");
+    escape_into(&mut s, &o.label);
+    let _ = write!(
+        s,
+        ",\"halt\":{},\"steps\":{},\"wall_ns\":{},\"digest\":\"{:016x}\",\
+         \"insns\":{},\"cycles\":{},\"misses\":{},\"fast_fraction\":{:.6},\"out\":[",
+        match o.halt {
+            Some(h) => format!("\"{h:?}\""),
+            None => "null".to_owned(),
+        },
+        o.steps,
+        o.wall_ns,
+        o.digest,
+        o.metrics.sim.insns,
+        o.metrics.sim.cycles,
+        o.metrics.sim.misses,
+        o.metrics.sim.fast_forwarded_fraction(),
+    );
+    for (i, v) in o.out.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        // Decimal strings, same reason the digest is hex: `out` values
+        // use the full 64-bit range and JSON numbers are lossy there.
+        let _ = write!(s, "\"{v}\"");
+    }
+    s.push(']');
+    if want.metrics {
+        s.push_str(",\"metrics\":");
+        s.push_str(&o.metrics.to_json());
+    }
+    if want.profile {
+        if let Some(p) = &o.profile {
+            s.push_str(",\"profile\":");
+            s.push_str(&p.to_json());
+        }
+    }
+    if want.hot {
+        if let Some(h) = &o.hot {
+            s.push_str(",\"hot\":");
+            s.push_str(&h.to_json());
+        }
+    }
+    if want.timeline {
+        if let Some(t) = &o.timeline {
+            s.push_str(",\"timeline\":");
+            s.push_str(&t.to_json());
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Renders one structured error frame.
+fn error_frame(id: Option<u64>, code: &str, message: &str) -> String {
+    let mut s = String::with_capacity(64 + message.len());
+    s.push_str("{\"ok\":false,\"op\":\"error\",\"error\":\"");
+    s.push_str(code);
+    s.push('"');
+    if let Some(id) = id {
+        let _ = write!(s, ",\"id\":{id}");
+    }
+    s.push_str(",\"message\":");
+    escape_into(&mut s, message);
+    s.push('}');
+    s
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A blocking protocol client: one connection, framed requests and
+/// responses. The integration tests and the `sim_serve` load generator
+/// speak through this; external clients only need the frame format.
+pub struct ServeClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from connect or stream cloning.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServeClient { stream, reader })
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn send(&mut self, body: &str) -> io::Result<()> {
+        write_frame(&mut self.stream, body)
+    }
+
+    /// Receives one frame body, verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Frame errors become `io::Error` (`UnexpectedEof` for a closed
+    /// stream, `InvalidData` for framing violations).
+    pub fn recv_raw(&mut self) -> io::Result<String> {
+        read_frame(&mut self.reader).map_err(|e| match e {
+            FrameError::Eof => io::Error::new(io::ErrorKind::UnexpectedEof, "closed"),
+            FrameError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })
+    }
+
+    /// Receives and parses one frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` when the daemon sent
+    /// something that is not JSON (it never does).
+    pub fn recv(&mut self) -> io::Result<Value> {
+        let body = self.recv_raw()?;
+        parse(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends one frame and receives the next one — the control-op
+    /// round-trip (`ping`, `stats`, `shutdown`).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::send`] / [`ServeClient::recv`].
+    pub fn request(&mut self, body: &str) -> io::Result<Value> {
+        self.send(body)?;
+        self.recv()
+    }
+
+    /// Submits one simulation job (already-rendered request body) and
+    /// blocks until its `result`/`error` frame, skipping `accepted`
+    /// acks and `epoch` heartbeats.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; a structured daemon-side failure is the `Ok`
+    /// value (`"ok": false` in the frame), not an `Err`.
+    pub fn submit_and_wait(&mut self, body: &str) -> io::Result<Value> {
+        self.send(body)?;
+        loop {
+            let frame = self.recv()?;
+            match frame.get("op").and_then(Value::as_str) {
+                Some("accepted" | "epoch") => continue,
+                _ => return Ok(frame),
+            }
+        }
+    }
+}
+
+/// Renders a `sim` request body for [`ServeClient::submit_and_wait`].
+pub fn sim_request(id: u64, label: &str, asm: &str, want: &[&str], heartbeat: bool) -> String {
+    let mut s = String::with_capacity(asm.len() + 128);
+    let _ = write!(s, "{{\"op\":\"sim\",\"id\":{id},\"label\":");
+    escape_into(&mut s, label);
+    s.push_str(",\"asm\":");
+    escape_into(&mut s, asm);
+    if !want.is_empty() {
+        s.push_str(",\"want\":[");
+        for (i, w) in want.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{w}\"");
+        }
+        s.push(']');
+    }
+    if heartbeat {
+        s.push_str(",\"heartbeat\":true");
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_source, CompilerOptions};
+
+    const LOOP_ASM: &str = "addi r1, r0, 50\n\
+         addi r2, r0, 0\n\
+         loop: add r2, r2, r1\n\
+         addi r1, r1, -1\n\
+         bne r1, r0, loop\n\
+         out r2\n\
+         halt\n";
+
+    fn server() -> Server {
+        let src = crate::sims::functional_source();
+        let step = Arc::new(compile_source(&src, &CompilerOptions::default()).unwrap());
+        Server::start(
+            step,
+            ServeConfig {
+                threads: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("binds an ephemeral port")
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\":\"ping\"}").unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap(), "{\"op\":\"ping\"}");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn bad_headers_are_structured_errors() {
+        let mut r = io::BufReader::new(&b"xyz\n{}"[..]);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::BadHeader(_))));
+        let huge = format!("{}\n", MAX_FRAME + 1);
+        let mut r = io::BufReader::new(huge.as_bytes());
+        assert!(matches!(read_frame(&mut r), Err(FrameError::TooBig(_))));
+    }
+
+    #[test]
+    fn ping_job_stats_shutdown_round_trip() {
+        let server = server();
+        let addr = server.addr();
+        let mut c = ServeClient::connect(addr).expect("connects");
+        let pong = c.request("{\"op\":\"ping\"}").expect("pong");
+        assert_eq!(pong.get("op").and_then(Value::as_str), Some("pong"));
+
+        let result = c
+            .submit_and_wait(&sim_request(7, "t", LOOP_ASM, &["metrics"], false))
+            .expect("result frame");
+        assert_eq!(result.get("op").and_then(Value::as_str), Some("result"));
+        assert_eq!(result.get("id").and_then(Value::as_u64), Some(7));
+        assert_eq!(result.get("halt").and_then(Value::as_str), Some("Explicit"));
+        assert_eq!(
+            result.get("out").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(1)
+        );
+        let digest = result.get("digest").and_then(Value::as_str).unwrap();
+        assert_eq!(digest.len(), 16, "16 hex digits");
+        assert!(
+            result.get("metrics").and_then(|m| m.get("schema")).is_some(),
+            "requested metrics doc is embedded"
+        );
+
+        let stats = c.request("{\"op\":\"stats\"}").expect("stats");
+        let serve = ServeCounters::from_value(stats.get("serve").expect("serve object"));
+        assert_eq!(serve.completed, 1);
+        assert_eq!(serve.connections, 1);
+
+        let ack = c.request("{\"op\":\"shutdown\"}").expect("ack");
+        assert_eq!(ack.get("op").and_then(Value::as_str), Some("shutdown"));
+        let final_counters = server.join();
+        assert_eq!(final_counters.completed, 1);
+        assert_eq!(final_counters.failed, 0);
+    }
+
+    #[test]
+    fn garbage_body_keeps_the_connection_usable() {
+        let server = server();
+        let mut c = ServeClient::connect(server.addr()).expect("connects");
+        let err = c.request("this is not json").expect("error frame");
+        assert_eq!(err.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(
+            err.get("error").and_then(Value::as_str),
+            Some("bad_request")
+        );
+        // Same connection still serves.
+        let pong = c.request("{\"op\":\"ping\"}").expect("pong after error");
+        assert_eq!(pong.get("op").and_then(Value::as_str), Some("pong"));
+        server.shutdown_trigger().trigger();
+        server.join();
+    }
+
+    #[test]
+    fn bad_asm_is_a_structured_error() {
+        let server = server();
+        let mut c = ServeClient::connect(server.addr()).expect("connects");
+        let err = c
+            .submit_and_wait(&sim_request(1, "bad", "not an instruction\n", &[], false))
+            .expect("error frame");
+        assert_eq!(err.get("error").and_then(Value::as_str), Some("asm_error"));
+        assert_eq!(err.get("id").and_then(Value::as_u64), Some(1));
+        server.shutdown_trigger().trigger();
+        server.join();
+    }
+
+    #[test]
+    fn heartbeats_stream_closed_epochs() {
+        let src = crate::sims::functional_source();
+        let step = Arc::new(compile_source(&src, &CompilerOptions::default()).unwrap());
+        let server = Server::start(
+            step,
+            ServeConfig {
+                threads: 1,
+                epoch_steps: 16,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("binds");
+        let mut c = ServeClient::connect(server.addr()).expect("connects");
+        c.send(&sim_request(3, "hb", LOOP_ASM, &[], true)).unwrap();
+        let mut epochs = Vec::new();
+        let result = loop {
+            let frame = c.recv().expect("frame");
+            match frame.get("op").and_then(Value::as_str) {
+                Some("accepted") => {}
+                Some("epoch") => {
+                    epochs.push(frame.get("epoch").and_then(Value::as_u64).unwrap());
+                }
+                _ => break frame,
+            }
+        };
+        assert_eq!(result.get("op").and_then(Value::as_str), Some("result"));
+        assert!(!epochs.is_empty(), "a 16-step epoch over a 50-iteration loop closes epochs");
+        let in_order = epochs.windows(2).all(|w| w[1] == w[0] + 1);
+        assert!(in_order, "heartbeats arrive in epoch order: {epochs:?}");
+        assert_eq!(epochs[0], 0, "heartbeats start at epoch 0");
+        server.shutdown_trigger().trigger();
+        let counters = server.join();
+        assert_eq!(counters.heartbeats, epochs.len() as u64);
+    }
+}

@@ -61,6 +61,7 @@ pub mod observer;
 pub mod profile;
 pub mod report;
 pub mod ring;
+pub mod serve;
 pub mod timeline;
 
 pub use burst::{
@@ -75,6 +76,7 @@ pub use observer::{ObsConfig, ObsHandle, SimObserver};
 pub use profile::{ActionRow, LineCost, ProfileDoc, PROF_SCHEMA};
 pub use report::{CacheStatsSnapshot, MetricsDoc, SimStatsSnapshot, SCHEMA};
 pub use ring::EventRing;
+pub use serve::{ServeCounters, SERVE_SCHEMA};
 pub use timeline::{
     EpochRecord, TimelineConfig, TimelineDoc, TimelineMetrics, Warmup, DEFAULT_EPOCH_CAP,
     DEFAULT_EPOCH_STEPS, DEFAULT_STEADY_EPS, DEFAULT_STEADY_K, TIMELINE_SCHEMA,

@@ -1,0 +1,164 @@
+//! Counters of the `facilec serve` job daemon.
+//!
+//! The daemon (`facile::serve`, docs/SERVING.md) answers `stats`
+//! requests with one [`ServeCounters`] snapshot serialized as the
+//! `facile-serve/v1` document. The struct lives here, below the
+//! runtime, for the same reason the metrics documents do: every
+//! consumer — the daemon, the `sim_serve` load generator, offline
+//! tooling — shares one JSON contract with exact integer round-trips.
+
+use crate::json::{parse, ParseError, Value};
+use std::fmt::Write as _;
+
+/// Schema tag written into every serve-counters document.
+pub const SERVE_SCHEMA: &str = "facile-serve/v1";
+
+/// Lifetime counters of one job-server process. All counters are
+/// cumulative since the daemon started; none ever decrease.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Client connections ever accepted.
+    pub connections: u64,
+    /// Simulation jobs accepted into the queue.
+    pub accepted: u64,
+    /// Jobs that ran to completion and produced a result frame.
+    pub completed: u64,
+    /// Jobs that failed structurally (construction error or a caught
+    /// panic inside the worker) and produced an error frame instead.
+    pub failed: u64,
+    /// Jobs rejected with `queue_full` backpressure.
+    pub rejected: u64,
+    /// Frames whose length prefix could not be parsed (the connection
+    /// is closed after the error response — the stream cannot resync).
+    pub bad_frames: u64,
+    /// Well-framed requests that did not parse as a valid request (the
+    /// connection stays usable).
+    pub bad_requests: u64,
+    /// Result or heartbeat frames dropped because the client had
+    /// disconnected mid-job.
+    pub disconnects: u64,
+    /// Epoch heartbeat frames delivered.
+    pub heartbeats: u64,
+    /// High-water mark of the job queue depth.
+    pub queue_peak: u64,
+}
+
+impl ServeCounters {
+    /// Adds another snapshot field-wise (saturating); `queue_peak`
+    /// takes the maximum. Folding the per-daemon documents of a fleet
+    /// gives fleet totals, same shape as the metrics-document merges.
+    pub fn merge(&mut self, other: &ServeCounters) {
+        self.connections = self.connections.saturating_add(other.connections);
+        self.accepted = self.accepted.saturating_add(other.accepted);
+        self.completed = self.completed.saturating_add(other.completed);
+        self.failed = self.failed.saturating_add(other.failed);
+        self.rejected = self.rejected.saturating_add(other.rejected);
+        self.bad_frames = self.bad_frames.saturating_add(other.bad_frames);
+        self.bad_requests = self.bad_requests.saturating_add(other.bad_requests);
+        self.disconnects = self.disconnects.saturating_add(other.disconnects);
+        self.heartbeats = self.heartbeats.saturating_add(other.heartbeats);
+        self.queue_peak = self.queue_peak.max(other.queue_peak);
+    }
+
+    /// Serializes the snapshot as one `facile-serve/v1` JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"{SERVE_SCHEMA}\",\"connections\":{},\"accepted\":{},\
+             \"completed\":{},\"failed\":{},\"rejected\":{},\"bad_frames\":{},\
+             \"bad_requests\":{},\"disconnects\":{},\"heartbeats\":{},\"queue_peak\":{}}}",
+            self.connections,
+            self.accepted,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.bad_frames,
+            self.bad_requests,
+            self.disconnects,
+            self.heartbeats,
+            self.queue_peak,
+        );
+        s
+    }
+
+    /// Reads a snapshot back from a parsed JSON value. Missing fields
+    /// read as zero so newer readers accept older documents.
+    pub fn from_value(v: &Value) -> ServeCounters {
+        let u = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+        ServeCounters {
+            connections: u("connections"),
+            accepted: u("accepted"),
+            completed: u("completed"),
+            failed: u("failed"),
+            rejected: u("rejected"),
+            bad_frames: u("bad_frames"),
+            bad_requests: u("bad_requests"),
+            disconnects: u("disconnects"),
+            heartbeats: u("heartbeats"),
+            queue_peak: u("queue_peak"),
+        }
+    }
+
+    /// Parses one `facile-serve/v1` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON parse error; an object with the
+    /// wrong (or missing) schema tag parses as all-zero counters only
+    /// if it is still a JSON object.
+    pub fn from_json(text: &str) -> Result<ServeCounters, ParseError> {
+        Ok(ServeCounters::from_value(&parse(text)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_round_trip_exactly() {
+        let c = ServeCounters {
+            connections: 9,
+            accepted: 8,
+            completed: 6,
+            failed: 1,
+            rejected: 3,
+            bad_frames: 2,
+            bad_requests: 4,
+            disconnects: 1,
+            heartbeats: 120,
+            queue_peak: 5,
+        };
+        let back = ServeCounters::from_json(&c.to_json()).unwrap();
+        assert_eq!(back, c);
+        assert!(c.to_json().contains(SERVE_SCHEMA));
+    }
+
+    #[test]
+    fn merge_sums_and_takes_the_peak() {
+        let mut a = ServeCounters {
+            completed: 2,
+            queue_peak: 7,
+            ..ServeCounters::default()
+        };
+        let b = ServeCounters {
+            completed: 3,
+            rejected: 1,
+            queue_peak: 4,
+            ..ServeCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.completed, 5);
+        assert_eq!(a.rejected, 1);
+        assert_eq!(a.queue_peak, 7, "peak is a maximum, not a sum");
+    }
+
+    #[test]
+    fn missing_fields_read_as_zero() {
+        let c = ServeCounters::from_json("{\"schema\":\"facile-serve/v1\",\"completed\":4}")
+            .unwrap();
+        assert_eq!(c.completed, 4);
+        assert_eq!(c.rejected, 0);
+    }
+}

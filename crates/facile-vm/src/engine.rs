@@ -80,6 +80,11 @@ pub enum SimError {
     UnknownExternal(String),
     /// The initial arguments do not match `main`'s parameters.
     BadArguments(String),
+    /// A job (or one of its callbacks) panicked inside a driver that
+    /// isolates panics per job — the batch worker pool and the serve
+    /// daemon catch the unwind and surface it as this structured error
+    /// instead of tearing down every in-flight lane.
+    Panic(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -87,6 +92,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::UnknownExternal(n) => write!(f, "unknown external function `{n}`"),
             SimError::BadArguments(m) => write!(f, "bad initial arguments: {m}"),
+            SimError::Panic(m) => write!(f, "panicked: {m}"),
         }
     }
 }

@@ -87,4 +87,12 @@ echo "==> sim_warm --scale $SCALE (cold vs warm-start A/B over facile-snap/v1)"
 # binary asserts it) and should start at fast fraction ~1.0 in epoch 0.
 ./target/release/sim_warm --scale "$SCALE" --json-out BENCH_warm.json
 
-echo "bench: wrote BENCH_fastsim.json, BENCH_batch.json, BENCH_cache.json, BENCH_obs.json and BENCH_warm.json"
+echo "==> sim_serve --clients 1,2,4,8 (job daemon under concurrent clients)"
+# Each row starts a fresh in-process daemon, splits the suite's 18
+# jobs round-robin across C client connections, and measures service
+# throughput (docs/SERVING.md). Rows share one job list, so the curve
+# is the scaling of the serve path itself.
+./target/release/sim_serve --scale "$SCALE" --jobs 18 --clients 1,2,4,8 \
+    --json-out BENCH_serve.json
+
+echo "bench: wrote BENCH_fastsim.json, BENCH_batch.json, BENCH_cache.json, BENCH_obs.json, BENCH_warm.json and BENCH_serve.json"

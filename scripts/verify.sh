@@ -16,8 +16,11 @@
 # gcc-like fast-path instructions, and watching the simulator must stay
 # cheap (obs_overhead). Batch mode must produce merged documents that
 # pass the sim_prof --check exactness gate (and beat serial throughput
-# on multi-core hosts), and rustdoc must build warning-free with its
-# doc-tests green.
+# on multi-core hosts); its empty-list/panicking-callback edge cases
+# must stay structured errors. The serve daemon must round-trip jobs
+# from concurrent clients with digests bit-identical to in-process
+# runs and drain cleanly over the protocol (docs/SERVING.md). Rustdoc
+# must build warning-free with its doc-tests green.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -222,6 +225,39 @@ tail -n 1 "$tmp/warm_m.jsonl" | grep -q '"slow_steps":0'
 # The merged document pins one snapshot image per lane.
 tail -n 1 "$tmp/warm_tl.jsonl" | grep -q '"frozen_gens":4' \
     || { echo "verify: warm batch lanes did not pin the shared snapshot"; exit 1; }
+
+echo "==> regression: batch driver edge cases are structured errors"
+# An empty job list and a panicking --progress callback must both come
+# back as errors, never as panics/aborts (both test names contain
+# "structured_error"; see crates/core/src/batch.rs).
+cargo test -q --offline -p facile --lib structured_error
+
+echo "==> smoke: facilec serve end-to-end (docs/SERVING.md)"
+# Start the daemon on an ephemeral port, wait for the readiness line,
+# then drive it with sim_serve: two concurrent clients, four jobs,
+# --check-local reruns every job in-process and asserts the daemon's
+# memory digests and out traces match bit-for-bit, --shutdown drains
+# it over the protocol. The daemon must exit 0 with its lifetime
+# counters showing every job completed.
+./target/release/facilec --builtin functional serve --addr 127.0.0.1:0 \
+    > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+i=0
+while ! grep -q 'serving on' "$tmp/serve.log"; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "verify: serve daemon never became ready"; \
+                          kill "$serve_pid" 2>/dev/null || true; exit 1; }
+    sleep 0.1
+done
+serve_addr="$(sed -n 's/^serving on //p' "$tmp/serve.log" | head -n 1)"
+./target/release/sim_serve --sim functional --addr "$serve_addr" \
+    --clients 2 --jobs 4 --scale 0.01 --check-local --shutdown > /dev/null
+wait "$serve_pid" \
+    || { echo "verify: serve daemon exited nonzero"; cat "$tmp/serve.log"; exit 1; }
+grep -q '"schema":"facile-serve/v1"' "$tmp/serve.log"
+grep -q '"completed":4' "$tmp/serve.log" \
+    || { echo "verify: serve daemon did not complete all 4 jobs"; \
+         cat "$tmp/serve.log"; exit 1; }
 
 if [ "$(nproc)" -ge 2 ]; then
     echo "==> perf smoke: batch throughput beats serial (multi-core host)"
